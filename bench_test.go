@@ -1,0 +1,397 @@
+package slidingsample
+
+// bench_test.go: the E11 systems table plus one timing benchmark per
+// experiment workload (E1–E15). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The statistical content of each experiment (memory tables, uniformity
+// p-values, estimator errors) is produced by cmd/swbench; these benchmarks
+// measure the per-element and per-query costs of exactly the same
+// configurations, so EXPERIMENTS.md can report both axes.
+
+import (
+	"testing"
+
+	"slidingsample/internal/apps"
+	"slidingsample/internal/baseline"
+	"slidingsample/internal/core"
+	"slidingsample/internal/ehist"
+	"slidingsample/internal/reservoir"
+	"slidingsample/internal/stream"
+	"slidingsample/internal/xrand"
+)
+
+// tsPattern yields a mildly bursty timestamp for arrival i.
+func tsAt(i int) int64 { return int64(i / 3) }
+
+// ---------------------------------------------------------------------------
+// E1: sequence-based, with replacement
+// ---------------------------------------------------------------------------
+
+func BenchmarkE1_SeqWR_Observe(b *testing.B) {
+	for _, k := range []int{1, 16, 64} {
+		b.Run(benchName("k", k), func(b *testing.B) {
+			s := core.NewSeqWR[uint64](xrand.New(1), 10_000, k)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Observe(uint64(i), int64(i))
+			}
+		})
+	}
+}
+
+func BenchmarkE1_Chain_Observe(b *testing.B) {
+	for _, k := range []int{1, 16, 64} {
+		b.Run(benchName("k", k), func(b *testing.B) {
+			s := baseline.NewChain[uint64](xrand.New(1), 10_000, k)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Observe(uint64(i), int64(i))
+			}
+		})
+	}
+}
+
+func BenchmarkE1_SeqWR_Sample(b *testing.B) {
+	s := core.NewSeqWR[uint64](xrand.New(1), 10_000, 16)
+	for i := 0; i < 25_000; i++ {
+		s.Observe(uint64(i), int64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Sample(); !ok {
+			b.Fatal("no sample")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E2: sequence-based, without replacement
+// ---------------------------------------------------------------------------
+
+func BenchmarkE2_SeqWOR_Observe(b *testing.B) {
+	for _, k := range []int{4, 64} {
+		b.Run(benchName("k", k), func(b *testing.B) {
+			s := core.NewSeqWOR[uint64](xrand.New(1), 10_000, k)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Observe(uint64(i), int64(i))
+			}
+		})
+	}
+}
+
+func BenchmarkE2_SeqWOR_Sample(b *testing.B) {
+	s := core.NewSeqWOR[uint64](xrand.New(1), 10_000, 64)
+	for i := 0; i < 25_000; i++ {
+		s.Observe(uint64(i), int64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Sample(); !ok {
+			b.Fatal("no sample")
+		}
+	}
+}
+
+func BenchmarkE2_Oversample_Observe(b *testing.B) {
+	s := baseline.NewOversample[uint64](xrand.New(1), 10_000, 64, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Observe(uint64(i), int64(i))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E3: timestamp-based, with replacement
+// ---------------------------------------------------------------------------
+
+func BenchmarkE3_TSWR_Observe(b *testing.B) {
+	for _, k := range []int{1, 16} {
+		b.Run(benchName("k", k), func(b *testing.B) {
+			s := core.NewTSWR[uint64](xrand.New(1), 512, k)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Observe(uint64(i), tsAt(i))
+			}
+		})
+	}
+}
+
+func BenchmarkE3_Priority_Observe(b *testing.B) {
+	for _, k := range []int{1, 16} {
+		b.Run(benchName("k", k), func(b *testing.B) {
+			s := baseline.NewPriority[uint64](xrand.New(1), 512, k)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Observe(uint64(i), tsAt(i))
+			}
+		})
+	}
+}
+
+func BenchmarkE3_TSWR_Sample(b *testing.B) {
+	s := core.NewTSWR[uint64](xrand.New(1), 512, 16)
+	for i := 0; i < 100_000; i++ {
+		s.Observe(uint64(i), tsAt(i))
+	}
+	now := tsAt(99_999)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.SampleAt(now); !ok {
+			b.Fatal("no sample")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E4: the doubling adversary (stress arrival path under huge bursts)
+// ---------------------------------------------------------------------------
+
+func BenchmarkE4_TSWR_DoublingAdversary(b *testing.B) {
+	adv := stream.NewDoublingArrivals(10, 0)
+	s := core.NewTSWR[uint64](xrand.New(1), 10, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Observe(uint64(i), adv.Next())
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E5: timestamp-based, without replacement
+// ---------------------------------------------------------------------------
+
+func BenchmarkE5_TSWOR_Observe(b *testing.B) {
+	for _, k := range []int{4, 16} {
+		b.Run(benchName("k", k), func(b *testing.B) {
+			s := core.NewTSWOR[uint64](xrand.New(1), 512, k)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Observe(uint64(i), tsAt(i))
+			}
+		})
+	}
+}
+
+func BenchmarkE5_Skyband_Observe(b *testing.B) {
+	for _, k := range []int{4, 16} {
+		b.Run(benchName("k", k), func(b *testing.B) {
+			s := baseline.NewSkyband[uint64](xrand.New(1), 512, k)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Observe(uint64(i), tsAt(i))
+			}
+		})
+	}
+}
+
+func BenchmarkE5_TSWOR_Sample(b *testing.B) {
+	s := core.NewTSWOR[uint64](xrand.New(1), 512, 16)
+	for i := 0; i < 60_000; i++ {
+		s.Observe(uint64(i), tsAt(i))
+	}
+	now := tsAt(59_999)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.SampleAt(now); !ok {
+			b.Fatal("no sample")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E6/E7 use the same samplers as above; the public-API wrapper overhead is
+// what remains to measure.
+// ---------------------------------------------------------------------------
+
+func BenchmarkE6_PublicSequenceWOR_Observe(b *testing.B) {
+	s, err := NewSequenceWOR[uint64](10_000, 16, WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Observe(uint64(i))
+	}
+}
+
+func BenchmarkE7_PublicTimestampWR_Observe(b *testing.B) {
+	s, err := NewTimestampWR[uint64](512, 4, WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Observe(uint64(i), tsAt(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E8-E10: Section 5 estimators (per-element cost includes the counter layer)
+// ---------------------------------------------------------------------------
+
+func BenchmarkE8_Moments_Observe(b *testing.B) {
+	r := xrand.New(1)
+	est := apps.NewMoments(apps.SeqWRSource(core.NewSeqWR[uint64](r.Split(), 4096, 80)), 2, 16, 5)
+	zipf := stream.NewZipfValues(r.Split(), 1.2, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est.Observe(zipf.Next(), int64(i))
+	}
+}
+
+func BenchmarkE9_Triangles_Observe(b *testing.B) {
+	r := xrand.New(1)
+	est := apps.NewTriangles(r.Split(), 512, 128, 1024)
+	gen := r.Split()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := gen.Uint64n(128)
+		c := (a + 1 + gen.Uint64n(126)) % 128
+		est.Observe(apps.Edge{U: a, V: c}, int64(i))
+	}
+}
+
+func BenchmarkE10_Entropy_Observe(b *testing.B) {
+	r := xrand.New(1)
+	eh := ehist.NewEps(512, 0.05)
+	s := core.NewTSWR[uint64](r.Split(), 512, 80)
+	est := apps.NewEntropy(apps.TSWRSource(s, eh.SizeOracle()), 16, 5)
+	zipf := stream.NewZipfValues(r.Split(), 1.2, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts := tsAt(i)
+		est.Observe(zipf.Next(), ts)
+		eh.Observe(ts)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E11: substrate ablations — reservoir variants and the full-window strawman
+// ---------------------------------------------------------------------------
+
+func BenchmarkE11_ReservoirSingle_Observe(b *testing.B) {
+	s := reservoir.NewSingle[uint64](xrand.New(1))
+	e := stream.Element[uint64]{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Index = uint64(i)
+		s.Observe(e)
+	}
+}
+
+func BenchmarkE11_ReservoirFastSingle_Observe(b *testing.B) {
+	s := reservoir.NewFastSingle[uint64](xrand.New(1))
+	e := stream.Element[uint64]{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Index = uint64(i)
+		s.Observe(e)
+	}
+}
+
+func BenchmarkE11_FullWindow_Observe(b *testing.B) {
+	s := baseline.NewFullWindowSeq[uint64](xrand.New(1), 10_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Observe(uint64(i), int64(i))
+	}
+}
+
+func BenchmarkE11_Ehist_Observe(b *testing.B) {
+	c := ehist.NewEps(512, 0.05)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Observe(tsAt(i))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E12: step-biased sampling
+// ---------------------------------------------------------------------------
+
+func BenchmarkE12_StepBiased_Observe(b *testing.B) {
+	s, err := NewStepBiased[uint64]([]uint64{100, 10_000}, []uint64{1, 1}, WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Observe(uint64(i))
+	}
+}
+
+func benchName(k string, v int) string {
+	return k + "=" + itoa(v)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// ---------------------------------------------------------------------------
+// Ablation: TSWR's shared bucket skeleton vs k independent single-sample
+// instances. DESIGN.md calls the sharing out as a design decision: boundaries
+// are deterministic, so one skeleton can carry k independent (R,Q) slot
+// pairs. The ablation measures what the sharing buys in time and words.
+// ---------------------------------------------------------------------------
+
+func BenchmarkAblation_TSWR_SharedSkeleton_k16(b *testing.B) {
+	s := core.NewTSWR[uint64](xrand.New(1), 512, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Observe(uint64(i), tsAt(i))
+	}
+}
+
+func BenchmarkAblation_TSWR_IndependentInstances_k16(b *testing.B) {
+	r := xrand.New(1)
+	insts := make([]*core.TSWR[uint64], 16)
+	for i := range insts {
+		insts[i] = core.NewTSWR[uint64](r.Split(), 512, 1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range insts {
+			s.Observe(uint64(i), tsAt(i))
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Command swbench regenerates the reproduction experiments E1–E15 (see
+// DESIGN.md §4 and EXPERIMENTS.md): memory tables contrasting the paper's
+// deterministic bounds with the randomized baselines, uniformity and
+// independence test tables, and the Section 5 application-error tables.
+//
+// Usage:
+//
+//	swbench                 # run everything (full scale)
+//	swbench -e E1,E3        # selected experiments
+//	swbench -quick          # smaller trial counts (CI speed)
+//	swbench -seed 7         # different master seed
+//	swbench -list           # list experiments
+//
+// Every run is deterministic given -seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"slidingsample/internal/bench"
+)
+
+func main() {
+	var (
+		exps  = flag.String("e", "all", "comma-separated experiment ids (E1..E15) or 'all'")
+		seed  = flag.Uint64("seed", 2009, "master seed (2009: the paper's PODS year)")
+		quick = flag.Bool("quick", false, "reduced trial counts")
+		list  = flag.Bool("list", false, "list available experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-4s %s\n     %s\n", e.ID, e.Title, e.Claim)
+		}
+		return
+	}
+
+	var selected []bench.Experiment
+	if *exps == "all" {
+		selected = bench.All()
+	} else {
+		for _, id := range strings.Split(*exps, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := bench.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "swbench: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	cfg := bench.Config{Seed: *seed, Quick: *quick, Out: os.Stdout}
+	start := time.Now()
+	for _, e := range selected {
+		t0 := time.Now()
+		e.Run(cfg)
+		fmt.Printf("    [%s done in %v]\n", e.ID, time.Since(t0).Round(time.Millisecond))
+	}
+	fmt.Printf("\nall done in %v\n", time.Since(start).Round(time.Millisecond))
+}

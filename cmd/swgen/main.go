@@ -1,0 +1,78 @@
+// Command swgen emits synthetic data streams on stdout, one element per
+// line as "timestamp value". It pairs with swsample for a self-contained
+// live demo of the library:
+//
+//	go run ./cmd/swgen -n 100000 -arrivals bursty | \
+//	    go run ./cmd/swsample -mode ts -t0 50 -k 5 -every 20000
+//
+// Value distributions: uniform (default), zipf, const, index.
+// Arrival processes: steady (default), bursty, poisson, doubling
+// (the Lemma 3.10 adversary — see DESIGN.md E4).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"slidingsample/internal/stream"
+	"slidingsample/internal/xrand"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 100_000, "number of elements to emit")
+		values   = flag.String("values", "uniform", "value distribution: uniform, zipf, const, index")
+		arrivals = flag.String("arrivals", "steady", "arrival process: steady, bursty, poisson, doubling")
+		m        = flag.Uint64("m", 1000, "value domain size (uniform/zipf)")
+		zipfS    = flag.Float64("s", 1.2, "zipf exponent (values=zipf)")
+		constV   = flag.Uint64("const", 0, "the constant (values=const)")
+		perTick  = flag.Int("rate", 10, "elements per tick (arrivals=steady)")
+		burst    = flag.Float64("burst", 16, "mean burst size (arrivals=bursty)")
+		gap      = flag.Float64("gap", 4, "mean gap ticks (arrivals=bursty)")
+		prate    = flag.Float64("prate", 5, "elements per tick (arrivals=poisson)")
+		t0       = flag.Int("t0", 10, "adversary window parameter (arrivals=doubling)")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	r := xrand.New(*seed)
+	var vg stream.ValueGen
+	switch *values {
+	case "uniform":
+		vg = stream.NewUniformValues(r.Split(), *m)
+	case "zipf":
+		vg = stream.NewZipfValues(r.Split(), *zipfS, int(*m))
+	case "const":
+		vg = stream.NewConstValues(*constV)
+	case "index":
+		vg = stream.NewIndexValues()
+	default:
+		fmt.Fprintf(os.Stderr, "swgen: unknown values %q\n", *values)
+		os.Exit(2)
+	}
+
+	var ag stream.Arrivals
+	switch *arrivals {
+	case "steady":
+		ag = stream.NewSteadyArrivals(*perTick)
+	case "bursty":
+		ag = stream.NewBurstyArrivals(r.Split(), *burst, *gap)
+	case "poisson":
+		ag = stream.NewPoissonArrivals(r.Split(), *prate)
+	case "doubling":
+		ag = stream.NewDoublingArrivals(*t0, 1<<20)
+	default:
+		fmt.Fprintf(os.Stderr, "swgen: unknown arrivals %q\n", *arrivals)
+		os.Exit(2)
+	}
+
+	src := stream.NewSource(vg, ag)
+	w := bufio.NewWriterSize(os.Stdout, 1<<20)
+	defer w.Flush()
+	for i := 0; i < *n; i++ {
+		e := src.Next()
+		fmt.Fprintf(w, "%d %d\n", e.TS, e.Value)
+	}
+}

@@ -1,0 +1,133 @@
+// Command swsample maintains a live uniform sample over a sliding window of
+// lines read from stdin — a direct demonstration of the library on real
+// input.
+//
+// Usage:
+//
+//	tail -f app.log | swsample -mode seq -n 1000 -k 5 -every 100
+//	cat events.tsv  | swsample -mode ts  -t0 60 -k 3 -field 1
+//
+// Modes:
+//
+//	seq  sequence-based window: the last -n lines are active; each line is
+//	     one element.
+//	ts   timestamp-based window: each line starts with an integer timestamp
+//	     (first whitespace-separated field by default, -field to choose);
+//	     the last -t0 ticks are active.
+//
+// Every -every lines the current sample (without replacement) is printed to
+// stderr together with the sampler's memory footprint in the paper's word
+// model.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"slidingsample"
+)
+
+func main() {
+	var (
+		mode  = flag.String("mode", "seq", "window mode: seq or ts")
+		n     = flag.Uint64("n", 1000, "sequence window size (mode=seq)")
+		t0    = flag.Int64("t0", 60, "timestamp horizon in ticks (mode=ts)")
+		k     = flag.Int("k", 5, "sample size (without replacement)")
+		every = flag.Int("every", 1000, "print the sample every this many lines")
+		field = flag.Int("field", 0, "0-based whitespace field holding the timestamp (mode=ts)")
+		seed  = flag.Uint64("seed", 0, "seed for reproducible sampling (0: random)")
+	)
+	flag.Parse()
+
+	var opts []slidingsample.Option
+	if *seed != 0 {
+		opts = append(opts, slidingsample.WithSeed(*seed))
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lines := 0
+
+	switch *mode {
+	case "seq":
+		s, err := slidingsample.NewSequenceWOR[string](*n, *k, opts...)
+		if err != nil {
+			fatal(err)
+		}
+		for sc.Scan() {
+			s.Observe(sc.Text())
+			lines++
+			if lines%*every == 0 {
+				report(lines, s.Words(), s.MaxWords(), sampleLines(s))
+			}
+		}
+		report(lines, s.Words(), s.MaxWords(), sampleLines(s))
+	case "ts":
+		s, err := slidingsample.NewTimestampWOR[string](*t0, *k, opts...)
+		if err != nil {
+			fatal(err)
+		}
+		for sc.Scan() {
+			line := sc.Text()
+			fields := strings.Fields(line)
+			if *field >= len(fields) {
+				fmt.Fprintf(os.Stderr, "swsample: line %d has no field %d, skipped\n", lines+1, *field)
+				continue
+			}
+			ts, err := strconv.ParseInt(fields[*field], 10, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "swsample: line %d: bad timestamp %q, skipped\n", lines+1, fields[*field])
+				continue
+			}
+			if err := s.Observe(line, ts); err != nil {
+				fmt.Fprintf(os.Stderr, "swsample: line %d: %v, skipped\n", lines+1, err)
+				continue
+			}
+			lines++
+			if lines%*every == 0 {
+				got, _ := s.Sample()
+				report(lines, s.Words(), s.MaxWords(), values(got))
+			}
+		}
+		got, _ := s.Sample()
+		report(lines, s.Words(), s.MaxWords(), values(got))
+	default:
+		fatal(fmt.Errorf("unknown mode %q (want seq or ts)", *mode))
+	}
+
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+}
+
+func sampleLines(s *slidingsample.SequenceWOR[string]) []string {
+	got, _ := s.Sample()
+	return values(got)
+}
+
+func values(got []slidingsample.Sampled[string]) []string {
+	out := make([]string, len(got))
+	for i, e := range got {
+		out[i] = e.Value
+	}
+	return out
+}
+
+func report(lines, words, peak int, sample []string) {
+	fmt.Fprintf(os.Stderr, "--- after %d lines (memory %d words, peak %d)\n", lines, words, peak)
+	for _, s := range sample {
+		if len(s) > 120 {
+			s = s[:117] + "..."
+		}
+		fmt.Fprintf(os.Stderr, "    %s\n", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "swsample:", err)
+	os.Exit(1)
+}

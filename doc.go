@@ -1,0 +1,55 @@
+// Package slidingsample provides uniform random sampling from sliding
+// windows over data streams with worst-case (deterministic) memory bounds —
+// a Go implementation of Braverman, Ostrovsky and Zaniolo, "Optimal sampling
+// from sliding windows" (PODS 2009; J. Comput. Syst. Sci. 78(1):260–272,
+// 2012).
+//
+// # The problem
+//
+// A sliding window keeps only the most recent part of a stream active:
+// either the last n elements (a sequence-based window) or the elements of
+// the last t0 time units (a timestamp-based window). Sampling uniformly
+// from such a window is harder than sampling from a whole stream because
+// elements expire implicitly — by the time a sample expires, the data that
+// should replace it has already passed by. Prior solutions (chain sampling,
+// priority sampling, over-sampling) keep enough "backup" elements in
+// expectation, but their memory use is a random variable. This package
+// implements the paper's algorithms, whose memory bounds hold at every
+// instant of every run:
+//
+//	NewSequenceWR   k samples with replacement,    last-n window,   Θ(k) words
+//	NewSequenceWOR  k samples without replacement, last-n window,   Θ(k) words
+//	NewTimestampWR  k samples with replacement,    last-t0 window,  Θ(k·log n) words
+//	NewTimestampWOR k samples without replacement, last-t0 window,  Θ(k·log n) words
+//	NewStepBiased   recency-biased sampling from nested windows     Θ(steps) words
+//
+// The timestamp bounds are optimal: they match the Ω(k log n) lower bound
+// of Gemulla and Lehner.
+//
+// # Usage
+//
+// Samplers are generic in the element type and are fed one element at a
+// time; queries may interleave arbitrarily with arrivals:
+//
+//	s, _ := slidingsample.NewSequenceWOR[string](1000, 10)
+//	for msg := range input {
+//	    s.Observe(msg)
+//	    if sample, ok := s.Sample(); ok { ... }
+//	}
+//
+// Timestamp-based samplers take explicit non-decreasing timestamps (any
+// integer clock — seconds, milliseconds, ticks) and answer queries "as of"
+// a time:
+//
+//	s, _ := slidingsample.NewTimestampWR[Packet](60_000, 5) // last minute
+//	s.Observe(pkt, pkt.ArrivalMillis)
+//	sample, ok := s.SampleAt(nowMillis)
+//
+// Samplers are not safe for concurrent use; feed each from a single
+// goroutine (e.g. a channel consumer).
+//
+// All samplers report their footprint in the paper's cost model via Words
+// and MaxWords, which is how the repository's experiments (see EXPERIMENTS.md)
+// demonstrate the deterministic-versus-randomized contrast against the
+// bundled baseline implementations.
+package slidingsample

@@ -1,0 +1,127 @@
+package slidingsample_test
+
+import (
+	"fmt"
+
+	"slidingsample"
+)
+
+// ExampleNewSequenceWOR maintains 3 distinct samples of the last 8 stream
+// elements.
+func ExampleNewSequenceWOR() {
+	s, err := slidingsample.NewSequenceWOR[string](8, 3, slidingsample.WithSeed(42))
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 100; i++ {
+		s.Observe(fmt.Sprintf("msg-%03d", i))
+	}
+	sample, ok := s.Sample()
+	fmt.Println("ok:", ok, "distinct:", len(sample))
+	for _, e := range sample {
+		fmt.Println(e.Index >= 92, e.Value[:4]) // all within the last 8
+	}
+	// Output:
+	// ok: true distinct: 3
+	// true msg-
+	// true msg-
+	// true msg-
+}
+
+// ExampleNewSequenceWR shows k independent with-replacement samples and the
+// constant memory footprint.
+func ExampleNewSequenceWR() {
+	s, err := slidingsample.NewSequenceWR[int](1000, 4, slidingsample.WithSeed(7))
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 50_000; i++ {
+		s.Observe(i)
+	}
+	vals, _ := s.Values()
+	allRecent := true
+	for _, v := range vals {
+		if v < 49_000 {
+			allRecent = false
+		}
+	}
+	fmt.Println("samples:", len(vals), "all in window:", allRecent)
+	fmt.Println("peak memory independent of n and stream length:", s.MaxWords() < 50)
+	// Output:
+	// samples: 4 all in window: true
+	// peak memory independent of n and stream length: true
+}
+
+// ExampleNewTimestampWR samples from "the last 10 ticks" of a bursty stream.
+func ExampleNewTimestampWR() {
+	s, err := slidingsample.NewTimestampWR[string](10, 2, slidingsample.WithSeed(3))
+	if err != nil {
+		panic(err)
+	}
+	// A burst at tick 0, silence, then a burst at tick 50.
+	for i := 0; i < 100; i++ {
+		_ = s.Observe(fmt.Sprintf("old-%d", i), 0)
+	}
+	for i := 0; i < 5; i++ {
+		_ = s.Observe(fmt.Sprintf("new-%d", i), 50)
+	}
+	sample, ok := s.SampleAt(55)
+	fmt.Println("ok:", ok)
+	for _, e := range sample {
+		fmt.Println(e.Value[:3], "from tick", e.Timestamp)
+	}
+	// Output:
+	// ok: true
+	// new from tick 50
+	// new from tick 50
+}
+
+// ExampleNewTimestampWOR demonstrates the window emptying out.
+func ExampleNewTimestampWOR() {
+	s, err := slidingsample.NewTimestampWOR[int](5, 3, slidingsample.WithSeed(1))
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 10; i++ {
+		_ = s.Observe(i, int64(i))
+	}
+	if got, ok := s.SampleAt(9); ok {
+		fmt.Println("active window sample size:", len(got))
+	}
+	if _, ok := s.SampleAt(100); !ok {
+		fmt.Println("window empty after the horizon passes")
+	}
+	// Output:
+	// active window sample size: 3
+	// window empty after the horizon passes
+}
+
+// ExampleNewStepBiased builds a two-step recency bias.
+func ExampleNewStepBiased() {
+	s, err := slidingsample.NewStepBiased[int]([]uint64{10, 100}, []uint64{1, 1}, slidingsample.WithSeed(5))
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 1000; i++ {
+		s.Observe(i)
+	}
+	fmt.Printf("P(newest) = %.3f\n", s.Prob(0))
+	fmt.Printf("P(age 50) = %.3f\n", s.Prob(50))
+	fmt.Printf("P(age 200) = %.3f\n", s.Prob(200))
+	// Output:
+	// P(newest) = 0.055
+	// P(age 50) = 0.005
+	// P(age 200) = 0.000
+}
+
+// ExampleSequenceWOR_Sample shows warm-up behaviour: before the window
+// holds k elements, the sample is the entire window.
+func ExampleSequenceWOR_Sample() {
+	s, _ := slidingsample.NewSequenceWOR[string](100, 5, slidingsample.WithSeed(2))
+	s.Observe("a")
+	s.Observe("b")
+	sample, _ := s.Sample()
+	fmt.Println(len(sample), "of 5 slots filled after 2 arrivals")
+	// Output:
+	// 2 of 5 slots filled after 2 arrivals
+}

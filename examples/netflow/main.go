@@ -1,0 +1,115 @@
+// Netflow: monitoring a bursty packet stream with a timestamp-based window.
+//
+// The scenario the paper's timestamp windows were designed for: packets
+// arrive asynchronously (bursts, gaps), and the analyst wants, at any
+// moment, statistics over "the last minute" — not the last N packets.
+//
+// This example maintains:
+//
+//   - a k-sample WITHOUT replacement of the packets of the last 60 ticks
+//     (e.g. for flagging suspicious source addresses by inspection), and
+//   - a windowed source-address ENTROPY estimate (Corollary 5.4 machinery):
+//     entropy collapse is a classic signature of a scanning attack or a
+//     single-source flood.
+//
+// An attack is injected mid-stream; watch the entropy estimate drop and the
+// sample fill up with the attacker.
+//
+// Run with:
+//
+//	go run ./examples/netflow
+package main
+
+import (
+	"fmt"
+
+	"slidingsample/internal/apps"
+	"slidingsample/internal/core"
+	"slidingsample/internal/ehist"
+	"slidingsample/internal/stream"
+	"slidingsample/internal/xrand"
+
+	"slidingsample"
+)
+
+const (
+	horizon  = 60  // ticks: "the last minute"
+	sources  = 256 // address space of benign traffic
+	attacker = uint64(666)
+)
+
+func main() {
+	rng := xrand.New(1)
+
+	// Public API: the WOR packet sample for inspection.
+	sample, err := slidingsample.NewTimestampWOR[uint64](horizon, 8, slidingsample.WithSeed(7))
+	if err != nil {
+		panic(err)
+	}
+
+	// Estimator layer: windowed entropy of source addresses. The window
+	// size of a timestamp window is not exactly computable in small space
+	// (the paper's Section 3 negative result), so the estimator scales by
+	// the (1±5%) exponential-histogram count.
+	counter := ehist.NewEps(horizon, 0.05)
+	sampler := core.NewTSWR[uint64](rng.Split(), horizon, 80)
+	entropy := apps.NewEntropy(apps.TSWRSource(sampler, counter.SizeOracle()), 16, 5)
+
+	benign := stream.NewZipfValues(rng.Split(), 1.05, sources)
+	arrivals := stream.NewBurstyArrivals(rng.Split(), 12, 2)
+
+	fmt.Println("tick   packets/window   H(source) bits   note")
+	var clock int64
+	packets := 0
+	peakWindow := uint64(0)
+	lastReport := int64(-10)
+	for packets < 60_000 {
+		clock = arrivals.Next()
+		src := benign.Next()
+
+		// Attack phase: between ticks 400 and 500 the attacker floods —
+		// 3 of 4 packets come from one address.
+		attack := clock >= 400 && clock < 500
+		if attack && packets%4 != 0 {
+			src = attacker
+		}
+
+		if err := sample.Observe(src, clock); err != nil {
+			panic(err)
+		}
+		entropy.Observe(src, clock)
+		counter.Observe(clock)
+		packets++
+
+		if clock >= lastReport+50 {
+			lastReport = clock
+			h, ok := entropy.EstimateAt(clock)
+			if !ok {
+				continue
+			}
+			nEst := counter.EstimateAt(clock)
+			if nEst > peakWindow {
+				peakWindow = nEst
+			}
+			tag := ""
+			if attack {
+				tag = "  <-- flood in progress"
+			}
+			fmt.Printf("%5d  %7d          %6.2f%s\n", clock, nEst, h, tag)
+		}
+	}
+
+	// Inspect the final window sample.
+	fmt.Println("\nfinal 8-packet sample of the last minute (distinct packets):")
+	if got, ok := sample.SampleAt(clock); ok {
+		for _, e := range got {
+			marker := ""
+			if e.Value == attacker {
+				marker = "  (attacker)"
+			}
+			fmt.Printf("  src=%4d  t=%d%s\n", e.Value, e.Timestamp, marker)
+		}
+	}
+	fmt.Printf("\nsampler memory: %d words (peak %d) — Θ(k·log n), deterministic; the\n", sample.Words(), sample.MaxWords())
+	fmt.Printf("window itself held up to ~%d packets.\n", peakWindow)
+}

@@ -1,0 +1,300 @@
+package slidingsample
+
+// Integration tests: cross-module paths a unit test cannot cover — samplers
+// validated against the exact full-window oracle on long shared streams,
+// channel-fed pipelines, estimator + sampler + size-oracle stacks, and
+// determinism of whole pipelines.
+
+import (
+	"math"
+	"testing"
+
+	"slidingsample/internal/apps"
+	"slidingsample/internal/baseline"
+	"slidingsample/internal/core"
+	"slidingsample/internal/ehist"
+	"slidingsample/internal/stats"
+	"slidingsample/internal/stream"
+	"slidingsample/internal/window"
+	"slidingsample/internal/xrand"
+)
+
+// TestIntegrationSeqAgainstOracle drives all sequence-based samplers and
+// the full-window oracle over one long stream, checking at many interleaved
+// query points that every sampler only ever returns true window content.
+func TestIntegrationSeqAgainstOracle(t *testing.T) {
+	const n = 64
+	r := xrand.New(1)
+	wr := core.NewSeqWR[uint64](r.Split(), n, 4)
+	wor := core.NewSeqWOR[uint64](r.Split(), n, 4)
+	chain := baseline.NewChain[uint64](r.Split(), n, 4)
+	oracle := baseline.NewFullWindowSeq[uint64](r.Split(), n)
+	buf := window.NewSeqBuffer[uint64](n)
+
+	for i := 0; i < 5000; i++ {
+		v := uint64(i) * 3
+		wr.Observe(v, int64(i))
+		wor.Observe(v, int64(i))
+		chain.Observe(v, int64(i))
+		oracle.Observe(v, int64(i))
+		buf.Observe(stream.Element[uint64]{Value: v, Index: uint64(i), TS: int64(i)})
+
+		if i%37 != 0 {
+			continue
+		}
+		inWindow := map[uint64]bool{}
+		for _, e := range buf.Contents() {
+			inWindow[e.Index] = true
+		}
+		check := func(name string, es []stream.Element[uint64], distinct bool) {
+			seen := map[uint64]bool{}
+			for _, e := range es {
+				if !inWindow[e.Index] {
+					t.Fatalf("step %d: %s returned non-window element %d", i, name, e.Index)
+				}
+				if e.Value != e.Index*3 {
+					t.Fatalf("step %d: %s corrupted a value", i, name)
+				}
+				if distinct && seen[e.Index] {
+					t.Fatalf("step %d: %s returned duplicates", i, name)
+				}
+				seen[e.Index] = true
+			}
+		}
+		if es, ok := wr.Sample(); ok {
+			check("SeqWR", es, false)
+		} else {
+			t.Fatalf("step %d: SeqWR empty", i)
+		}
+		if es, ok := wor.Sample(); ok {
+			check("SeqWOR", es, true)
+		} else {
+			t.Fatalf("step %d: SeqWOR empty", i)
+		}
+		if es, ok := chain.Sample(); ok {
+			check("Chain", es, false)
+		}
+		if es, ok := oracle.SampleWOR(0, 4); ok {
+			check("FullWindow", es, true)
+		}
+	}
+}
+
+// TestIntegrationTSAgainstOracle does the same for the timestamp-based
+// samplers over a shared bursty stream with interleaved queries.
+func TestIntegrationTSAgainstOracle(t *testing.T) {
+	const t0 = 32
+	r := xrand.New(2)
+	wr := core.NewTSWR[uint64](r.Split(), t0, 3)
+	wor := core.NewTSWOR[uint64](r.Split(), t0, 3)
+	prio := baseline.NewPriority[uint64](r.Split(), t0, 3)
+	sky := baseline.NewSkyband[uint64](r.Split(), t0, 3)
+	buf := window.NewTSBuffer[uint64](t0)
+
+	gen := r.Split()
+	ts := int64(0)
+	for i := 0; i < 4000; i++ {
+		if gen.Uint64n(4) == 0 {
+			ts += int64(gen.Uint64n(9))
+		}
+		v := uint64(i)
+		wr.Observe(v, ts)
+		wor.Observe(v, ts)
+		prio.Observe(v, ts)
+		sky.Observe(v, ts)
+		buf.Observe(stream.Element[uint64]{Value: v, Index: v, TS: ts})
+
+		if i%29 != 0 {
+			continue
+		}
+		inWindow := map[uint64]bool{}
+		for _, e := range buf.Contents() {
+			inWindow[e.Index] = true
+		}
+		check := func(name string, es []stream.Element[uint64], distinct bool) {
+			seen := map[uint64]bool{}
+			for _, e := range es {
+				if !inWindow[e.Index] {
+					t.Fatalf("step %d: %s returned expired/unknown element %d", i, name, e.Index)
+				}
+				if distinct && seen[e.Index] {
+					t.Fatalf("step %d: %s returned duplicates", i, name)
+				}
+				seen[e.Index] = true
+			}
+		}
+		if es, ok := wr.SampleAt(ts); ok {
+			check("TSWR", es, false)
+		} else {
+			t.Fatalf("step %d: TSWR empty though an element just arrived", i)
+		}
+		if es, ok := wor.SampleAt(ts); ok {
+			check("TSWOR", es, true)
+		} else {
+			t.Fatalf("step %d: TSWOR empty", i)
+		}
+		if es, ok := prio.SampleAt(ts); ok {
+			check("Priority", es, false)
+		}
+		if es, ok := sky.SampleAt(ts); ok {
+			check("Skyband", es, true)
+		}
+	}
+}
+
+// TestIntegrationChannelPipeline feeds the public API from a channel
+// producer — the idiomatic streaming deployment shape.
+func TestIntegrationChannelPipeline(t *testing.T) {
+	src := stream.NewSource(stream.NewIndexValues(), stream.NewSteadyArrivals(4))
+	s, err := NewTimestampWOR[uint64](16, 5, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last int64
+	for e := range src.Channel(10_000) {
+		if err := s.Observe(e.Value, e.TS); err != nil {
+			t.Fatal(err)
+		}
+		last = e.TS
+	}
+	got, ok := s.SampleAt(last)
+	if !ok || len(got) != 5 {
+		t.Fatalf("ok=%v len=%d", ok, len(got))
+	}
+	// Steady 4/tick with horizon 16: the window holds the last 64 arrivals
+	// (indexes 9936..9999 at tick 2499... the last 16 ticks hold 64
+	// elements). All sampled elements must be within the last 64.
+	for _, e := range got {
+		if e.Index < 10_000-64 {
+			t.Fatalf("expired element %d in channel pipeline sample", e.Index)
+		}
+	}
+}
+
+// TestIntegrationEstimatorStack runs the full Section 5 stack — TSWR
+// sampler + suffix counters + exponential-histogram size oracle — and
+// compares windowed entropy and F2 against exact values at several query
+// times along one stream.
+func TestIntegrationEstimatorStack(t *testing.T) {
+	const t0 = 128
+	r := xrand.New(4)
+	eh := ehist.NewEps(t0, 0.05)
+	sampler := core.NewTSWR[uint64](r.Split(), t0, 80)
+	ent := apps.NewEntropy(apps.TSWRSource(sampler, eh.SizeOracle()), 16, 5)
+	buf := window.NewTSBuffer[uint64](t0)
+	zipf := stream.NewZipfValues(r.Split(), 1.3, 32)
+	arr := stream.NewBurstyArrivals(r.Split(), 6, 2)
+
+	var worstErr float64
+	checks := 0
+	for i := 0; i < 12_000; i++ {
+		v := zipf.Next()
+		ts := arr.Next()
+		ent.Observe(v, ts)
+		eh.Observe(ts)
+		buf.Observe(stream.Element[uint64]{Value: v, Index: uint64(i), TS: ts})
+		if i > 2000 && i%1500 == 0 {
+			var content []uint64
+			for _, e := range buf.Contents() {
+				content = append(content, e.Value)
+			}
+			exact := apps.ExactEntropy(content)
+			got, ok := ent.EstimateAt(ts)
+			if !ok {
+				t.Fatalf("step %d: no estimate", i)
+			}
+			if e := math.Abs(got - exact); e > worstErr {
+				worstErr = e
+			}
+			checks++
+		}
+	}
+	if checks < 5 {
+		t.Fatalf("only %d checkpoints exercised", checks)
+	}
+	if worstErr > 1.2 {
+		t.Fatalf("worst entropy error %.3f bits too large for 80 copies", worstErr)
+	}
+}
+
+// TestIntegrationPipelineDeterminism re-runs a full mixed pipeline twice
+// with the same seeds and asserts identical outputs end to end.
+func TestIntegrationPipelineDeterminism(t *testing.T) {
+	run := func() []uint64 {
+		r := xrand.New(99)
+		wr := core.NewTSWR[uint64](r.Split(), 24, 2)
+		wor := core.NewSeqWOR[uint64](r.Split(), 32, 3)
+		gen := r.Split()
+		ts := int64(0)
+		var out []uint64
+		for i := 0; i < 2000; i++ {
+			if gen.Uint64n(3) == 0 {
+				ts++
+			}
+			wr.Observe(uint64(i), ts)
+			wor.Observe(uint64(i), ts)
+			if i%17 == 0 {
+				if es, ok := wr.SampleAt(ts); ok {
+					for _, e := range es {
+						out = append(out, e.Index)
+					}
+				}
+				if es, ok := wor.Sample(); ok {
+					for _, e := range es {
+						out = append(out, e.Index)
+					}
+				}
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("pipeline determinism broken: lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pipeline determinism broken at %d", i)
+		}
+	}
+}
+
+// TestIntegrationUniformityThroughChiSquare is the E6 experiment in unit
+// form: the internal stats package must accept the samplers' outputs as
+// uniform at every configuration exercised.
+func TestIntegrationUniformityThroughChiSquare(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test skipped in -short mode")
+	}
+	const trials = 30000
+	r := xrand.New(5)
+	// Sequence WOR over a straddling window.
+	const n, k, m = 6, 2, 15
+	counts := map[[2]uint64]int{}
+	for tr := 0; tr < trials; tr++ {
+		s := core.NewSeqWOR[uint64](r, n, k)
+		for i := 0; i < m; i++ {
+			s.Observe(uint64(i), int64(i))
+		}
+		got, _ := s.Sample()
+		a, b := got[0].Index, got[1].Index
+		if a > b {
+			a, b = b, a
+		}
+		counts[[2]uint64{a, b}]++
+	}
+	flat := make([]int, 0, len(counts))
+	for _, c := range counts {
+		flat = append(flat, c)
+	}
+	if len(flat) != 15 {
+		t.Fatalf("saw %d subsets, want 15", len(flat))
+	}
+	_, p, err := stats.ChiSquareUniform(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 1e-5 {
+		t.Fatalf("uniformity rejected with p=%v", p)
+	}
+}

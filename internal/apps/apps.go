@@ -1,0 +1,113 @@
+// Package apps implements the paper's Section 5: Theorem 5.1 states that any
+// sampling-based streaming algorithm transfers to sliding windows by
+// replacing its sampler with the paper's window samplers. This package makes
+// that translation concrete for the three corollaries —
+//
+//   - frequency moments F_p (Corollary 5.2, the Alon–Matias–Szegedy
+//     estimator),
+//   - triangle counting in graph streams (Corollary 5.3, the sampled-edge +
+//     sampled-vertex estimator of Buriol et al.),
+//   - empirical entropy (Corollary 5.4, the Chakrabarti–Cormode–McGregor
+//     style suffix-count estimator),
+//
+// plus the step-biased sampling extension sketched at the end of Section 5.
+//
+// # How the translation works
+//
+// The AMS family of estimators needs, for a uniformly sampled position p,
+// the count r of occurrences of the sampled value from p to the end of the
+// window. The samplers in internal/core expose every element they currently
+// retain through ForEachStored; the estimators here attach a counter to each
+// retained slot when it is created (which is always at that element's
+// arrival) and bump it on every later matching arrival. Because every later
+// arrival is more recent than the slot's element, the counter equals the
+// within-window suffix count exactly whenever the slot's element is active —
+// and the samplers only ever output active elements. No change to the
+// samplers is needed: this is Theorem 5.1 as an API.
+//
+// Estimators are Θ(slots) extra words and Θ(slots) extra work per arrival.
+package apps
+
+import (
+	"slidingsample/internal/core"
+	"slidingsample/internal/stream"
+)
+
+// SlotSource adapts a window sampler for the estimator layer: feeding
+// elements, visiting retained slots, and producing the chosen sample slots
+// at query time together with the (known or estimated) window size the
+// estimators scale by.
+type SlotSource[T any] struct {
+	// Observe feeds the next element.
+	Observe func(value T, ts int64)
+	// ForEach visits every retained slot (for counter maintenance).
+	ForEach func(func(*stream.Stored[T]))
+	// Slots returns the sampler's current output slots at time now.
+	Slots func(now int64) ([]*stream.Stored[T], bool)
+	// WindowSize returns |W| at time now.
+	WindowSize func(now int64) (float64, bool)
+}
+
+// SeqWRSource adapts a sequence-based with-replacement sampler: the window
+// size is min(count, n), known exactly.
+func SeqWRSource[T any](s *core.SeqWR[T]) SlotSource[T] {
+	return SlotSource[T]{
+		Observe: s.Observe,
+		ForEach: s.ForEachStored,
+		Slots:   func(int64) ([]*stream.Stored[T], bool) { return s.SampleSlots() },
+		WindowSize: func(int64) (float64, bool) {
+			if s.Count() == 0 {
+				return 0, false
+			}
+			if s.Count() < s.N() {
+				return float64(s.Count()), true
+			}
+			return float64(s.N()), true
+		},
+	}
+}
+
+// TSWRSource adapts a timestamp-based with-replacement sampler. The window
+// size n(t) of a timestamp window cannot be computed exactly in sublinear
+// space (Datar–Gionis–Indyk–Motwani), so the caller provides a size oracle —
+// exact (from test ground truth) or approximate (the exponential-histogram
+// counter in internal/ehist, the classic (1±ε) sliding-window counter).
+func TSWRSource[T any](s *core.TSWR[T], size func(now int64) (float64, bool)) SlotSource[T] {
+	return SlotSource[T]{
+		Observe:    s.Observe,
+		ForEach:    s.ForEachStored,
+		Slots:      s.SampleSlots,
+		WindowSize: size,
+	}
+}
+
+// suffixCounter is the per-slot auxiliary state: occurrences of the slot's
+// value from the slot's element (inclusive) to the newest arrival.
+type suffixCounter struct {
+	r uint64
+}
+
+// bumpCounters initializes the counter of any slot created by the current
+// arrival (slots are only ever created for the arriving element, so a nil
+// Aux identifies them) and increments the counter of every slot whose value
+// matches the arrival.
+func bumpCounters[T comparable](src SlotSource[T], value T) {
+	src.ForEach(func(st *stream.Stored[T]) {
+		if st.Aux == nil {
+			st.Aux = &suffixCounter{r: 1}
+			return
+		}
+		if c, ok := st.Aux.(*suffixCounter); ok && st.Elem.Value == value {
+			c.r++
+		}
+	})
+}
+
+// suffixCount reads a slot's counter (1 if the estimator never saw the slot,
+// which cannot happen when Observe went through the estimator).
+func suffixCount[T any](st *stream.Stored[T]) uint64 {
+	if c, ok := st.Aux.(*suffixCounter); ok {
+		return c.r
+	}
+	return 1
+}

@@ -1,0 +1,445 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"slidingsample/internal/core"
+	"slidingsample/internal/stream"
+	"slidingsample/internal/window"
+	"slidingsample/internal/xrand"
+)
+
+// ---------------------------------------------------------------------------
+// Frequency moments (Corollary 5.2)
+// ---------------------------------------------------------------------------
+
+func TestExactMoment(t *testing.T) {
+	vals := []uint64{1, 1, 1, 2, 2, 3}
+	if got := ExactMoment(vals, 2); got != 9+4+1 {
+		t.Fatalf("F2 = %v, want 14", got)
+	}
+	if got := ExactMoment(vals, 3); got != 27+8+1 {
+		t.Fatalf("F3 = %v, want 36", got)
+	}
+	if got := ExactMoment(vals, 1); got != 6 {
+		t.Fatalf("F1 = %v, want 6", got)
+	}
+	if got := ExactMoment(nil, 2); got != 0 {
+		t.Fatalf("F2 of empty = %v", got)
+	}
+}
+
+// TestMomentsUnbiased checks E[X] = F_p for the single-copy estimator by
+// averaging many independent runs against the exact window moment, on a
+// window that straddles buckets.
+func TestMomentsUnbiased(t *testing.T) {
+	const n, m = 32, 80
+	const runs = 4000
+	r := xrand.New(1)
+	// Fixed value sequence: index mod 7 gives a known skew.
+	values := make([]uint64, m)
+	for i := range values {
+		values[i] = uint64(i) % 7
+	}
+	exact := ExactMoment(values[m-n:], 2)
+	sum := 0.0
+	for run := 0; run < runs; run++ {
+		est := NewMoments(SeqWRSource(core.NewSeqWR[uint64](r.Split(), n, 1)), 2, 1, 1)
+		for i, v := range values {
+			est.Observe(v, int64(i))
+		}
+		got, ok := est.EstimateAt(0)
+		if !ok {
+			t.Fatal("no estimate")
+		}
+		sum += got
+	}
+	avg := sum / runs
+	if math.Abs(avg-exact)/exact > 0.05 {
+		t.Fatalf("estimator biased: avg %.1f, exact %.1f", avg, exact)
+	}
+}
+
+// TestMomentsConcentrates: with many copies the median-of-means estimate
+// should land within 25%% of the exact value on a Zipf window.
+func TestMomentsConcentrates(t *testing.T) {
+	const n = 256
+	const m = 600
+	r := xrand.New(2)
+	zipf := stream.NewZipfValues(r.Split(), 1.3, 64)
+	values := make([]uint64, m)
+	for i := range values {
+		values[i] = zipf.Next()
+	}
+	exact := ExactMoment(values[m-n:], 2)
+	est := NewMoments(SeqWRSource(core.NewSeqWR[uint64](r.Split(), n, 16*5)), 2, 16, 5)
+	for i, v := range values {
+		est.Observe(v, int64(i))
+	}
+	got, ok := est.EstimateAt(0)
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	if rel := math.Abs(got-exact) / exact; rel > 0.25 {
+		t.Fatalf("F2 estimate %.0f vs exact %.0f (rel err %.2f)", got, exact, rel)
+	}
+}
+
+func TestMomentsWarmup(t *testing.T) {
+	// Before the window fills, the estimator runs over the partial window.
+	r := xrand.New(3)
+	est := NewMoments(SeqWRSource(core.NewSeqWR[uint64](r, 100, 4)), 2, 4, 1)
+	if _, ok := est.EstimateAt(0); ok {
+		t.Fatal("estimate from empty stream")
+	}
+	est.Observe(5, 0)
+	got, ok := est.EstimateAt(0)
+	if !ok || got != 1 {
+		// F2 of a single element is 1; with one element every slot holds it
+		// and r=1, X = 1*(1-0) = 1.
+		t.Fatalf("single-element F2 = %v ok=%v, want exactly 1", got, ok)
+	}
+}
+
+func TestMomentsConstantStream(t *testing.T) {
+	// All-equal values: F2 = n^2 exactly, r of the sampled position is
+	// (n - pos) and X = n*(r^2-(r-1)^2) -> E[X] = n^2; with the window
+	// full of one value the suffix counts are exact, so the estimator has
+	// nonzero variance but correct mean; check a big-copies run lands close.
+	const n = 64
+	r := xrand.New(4)
+	est := NewMoments(SeqWRSource(core.NewSeqWR[uint64](r, n, 60)), 2, 12, 5)
+	for i := 0; i < 300; i++ {
+		est.Observe(7, int64(i))
+	}
+	got, _ := est.EstimateAt(0)
+	exact := float64(n * n)
+	if math.Abs(got-exact)/exact > 0.3 {
+		t.Fatalf("constant-stream F2 %.0f vs %.0f", got, exact)
+	}
+}
+
+func TestMomentsPanics(t *testing.T) {
+	r := xrand.New(5)
+	src := SeqWRSource(core.NewSeqWR[uint64](r, 8, 1))
+	for _, fn := range []func(){
+		func() { NewMoments(src, 0, 1, 1) },
+		func() { NewMoments(src, 2, 0, 1) },
+		func() { NewMoments(src, 2, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad NewMoments args did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Entropy (Corollary 5.4)
+// ---------------------------------------------------------------------------
+
+func TestExactEntropy(t *testing.T) {
+	if got := ExactEntropy([]uint64{1, 1, 2, 2}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("H = %v, want 1 bit", got)
+	}
+	if got := ExactEntropy([]uint64{3, 3, 3}); got != 0 {
+		t.Fatalf("H of constant = %v, want 0", got)
+	}
+	if got := ExactEntropy(nil); got != 0 {
+		t.Fatalf("H of empty = %v", got)
+	}
+	// Uniform over 8 values: 3 bits.
+	var u []uint64
+	for i := uint64(0); i < 8; i++ {
+		for j := 0; j < 5; j++ {
+			u = append(u, i)
+		}
+	}
+	if got := ExactEntropy(u); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("H = %v, want 3 bits", got)
+	}
+}
+
+func TestEntropyUnbiased(t *testing.T) {
+	const n, m = 32, 70
+	const runs = 4000
+	r := xrand.New(6)
+	values := make([]uint64, m)
+	for i := range values {
+		values[i] = uint64(i) % 5
+	}
+	exact := ExactEntropy(values[m-n:])
+	sum := 0.0
+	for run := 0; run < runs; run++ {
+		est := NewEntropy(SeqWRSource(core.NewSeqWR[uint64](r.Split(), n, 1)), 1, 1)
+		for i, v := range values {
+			est.Observe(v, int64(i))
+		}
+		got, ok := est.EstimateAt(0)
+		if !ok {
+			t.Fatal("no estimate")
+		}
+		sum += got
+	}
+	avg := sum / runs
+	if math.Abs(avg-exact) > 0.08*exact+0.02 {
+		t.Fatalf("entropy estimator biased: avg %.3f, exact %.3f", avg, exact)
+	}
+}
+
+func TestEntropyConcentrates(t *testing.T) {
+	const n, m = 256, 600
+	r := xrand.New(7)
+	zipf := stream.NewZipfValues(r.Split(), 1.1, 32)
+	values := make([]uint64, m)
+	for i := range values {
+		values[i] = zipf.Next()
+	}
+	exact := ExactEntropy(values[m-n:])
+	est := NewEntropy(SeqWRSource(core.NewSeqWR[uint64](r.Split(), n, 80)), 16, 5)
+	for i, v := range values {
+		est.Observe(v, int64(i))
+	}
+	got, ok := est.EstimateAt(0)
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	if math.Abs(got-exact) > 0.25*exact {
+		t.Fatalf("entropy %.3f vs exact %.3f", got, exact)
+	}
+}
+
+// TestEntropyOverTimestampWindow drives the TSWR source with an exact size
+// oracle (the ground-truth buffer), validating the Theorem 5.1 translation
+// on timestamp windows.
+func TestEntropyOverTimestampWindow(t *testing.T) {
+	const t0 = 50
+	r := xrand.New(8)
+	buf := window.NewTSBuffer[uint64](t0)
+	sizeOracle := func(now int64) (float64, bool) {
+		buf.AdvanceTo(now)
+		if buf.Len() == 0 {
+			return 0, false
+		}
+		return float64(buf.Len()), true
+	}
+	s := core.NewTSWR[uint64](r.Split(), t0, 60)
+	est := NewEntropy(TSWRSource(s, sizeOracle), 12, 5)
+	ts := int64(0)
+	var idx uint64
+	zipf := stream.NewZipfValues(r.Split(), 1.2, 16)
+	for i := 0; i < 800; i++ {
+		if i%3 == 0 {
+			ts++
+		}
+		v := zipf.Next()
+		est.Observe(v, ts)
+		buf.Observe(stream.Element[uint64]{Value: v, Index: idx, TS: ts})
+		idx++
+	}
+	var content []uint64
+	for _, e := range buf.Contents() {
+		content = append(content, e.Value)
+	}
+	exact := ExactEntropy(content)
+	got, ok := est.EstimateAt(ts)
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	if math.Abs(got-exact) > 0.3*exact {
+		t.Fatalf("TS entropy %.3f vs exact %.3f", got, exact)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Triangles (Corollary 5.3)
+// ---------------------------------------------------------------------------
+
+func TestExactTriangles(t *testing.T) {
+	tri := []Edge{{0, 1}, {1, 2}, {0, 2}}
+	if got := ExactTriangles(tri); got != 1 {
+		t.Fatalf("one triangle counted as %d", got)
+	}
+	// K4 has 4 triangles.
+	k4 := []Edge{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	if got := ExactTriangles(k4); got != 4 {
+		t.Fatalf("K4 triangles = %d, want 4", got)
+	}
+	// Duplicates and self-loops are ignored.
+	noisy := append(append([]Edge{}, tri...), Edge{1, 0}, Edge{2, 2})
+	if got := ExactTriangles(noisy); got != 1 {
+		t.Fatalf("noisy triangle count = %d, want 1", got)
+	}
+	if got := ExactTriangles([]Edge{{0, 1}, {1, 2}}); got != 0 {
+		t.Fatalf("path has %d triangles", got)
+	}
+}
+
+// TestTrianglesUnbiased: E[estimate] = T3 over many independent runs on a
+// fixed windowed edge stream with planted triangles.
+func TestTrianglesUnbiased(t *testing.T) {
+	const V = 12
+	const n = 30
+	// Build a fixed edge stream: a chain of planted triangles plus noise,
+	// all inside the final window.
+	var es []Edge
+	for i := uint64(0); i+2 < V; i += 3 {
+		es = append(es, Edge{i, i + 1}, Edge{i + 1, i + 2}, Edge{i, i + 2})
+	}
+	es = append(es, Edge{0, 5}, Edge{3, 8}, Edge{1, 7}, Edge{4, 9})
+	if len(es) > n {
+		t.Fatal("test stream larger than window")
+	}
+	exact := float64(ExactTriangles(es))
+	const runs = 3000
+	r := xrand.New(9)
+	sum := 0.0
+	for run := 0; run < runs; run++ {
+		tr := NewTriangles(r.Split(), n, V, 1)
+		for i, e := range es {
+			tr.Observe(e, int64(i))
+		}
+		got, ok := tr.EstimateAt(0)
+		if !ok {
+			t.Fatal("no estimate")
+		}
+		sum += got
+	}
+	avg := sum / runs
+	if math.Abs(avg-exact) > 0.15*exact {
+		t.Fatalf("triangle estimator biased: avg %.2f, exact %.0f", avg, exact)
+	}
+}
+
+func TestTrianglesSlidingExpiry(t *testing.T) {
+	// A planted triangle that slides OUT of the window must stop
+	// contributing: feed the triangle, then n noise edges; the exact count
+	// of the final window is 0 and the estimator should average near 0.
+	const V = 20
+	const n = 10
+	r := xrand.New(10)
+	var es []Edge
+	es = append(es, Edge{0, 1}, Edge{1, 2}, Edge{0, 2})
+	for i := 0; i < n; i++ {
+		es = append(es, Edge{uint64(10 + i%5), uint64(16 + (i*3)%4)})
+	}
+	const runs = 600
+	sum := 0.0
+	for run := 0; run < runs; run++ {
+		tr := NewTriangles(r.Split(), n, V, 2)
+		for i, e := range es {
+			tr.Observe(e, int64(i))
+		}
+		got, _ := tr.EstimateAt(0)
+		sum += got
+	}
+	if avg := sum / runs; avg > 4 {
+		t.Fatalf("expired triangle still contributes: avg estimate %.2f", avg)
+	}
+}
+
+func TestTrianglesPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("V<3 did not panic")
+			}
+		}()
+		NewTriangles(xrand.New(1), 8, 2, 1)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("self-loop did not panic")
+			}
+		}()
+		tr := NewTriangles(xrand.New(1), 8, 5, 1)
+		tr.Observe(Edge{3, 3}, 0)
+	}()
+}
+
+// ---------------------------------------------------------------------------
+// Step-biased sampling (Section 5 closing)
+// ---------------------------------------------------------------------------
+
+func TestStepBiasedDistribution(t *testing.T) {
+	// Two steps: last 4 elements with weight 1, last 16 with weight 1.
+	// P(age < 4) = (1/2)/4 + (1/2)/16; P(4 <= age < 16) = (1/2)/16.
+	const trials = 200000
+	r := xrand.New(11)
+	counts := make([]int, 16)
+	const total = 50
+	for tr := 0; tr < trials; tr++ {
+		b := NewStepBiased[uint64](r, []uint64{4, 16}, []uint64{1, 1})
+		for i := 0; i < total; i++ {
+			b.Observe(uint64(i), int64(i))
+		}
+		e, ok := b.Sample()
+		if !ok {
+			t.Fatal("no biased sample")
+		}
+		age := uint64(total-1) - e.Index
+		if age >= 16 {
+			t.Fatalf("sampled element of age %d outside the largest window", age)
+		}
+		counts[age]++
+	}
+	b := NewStepBiased[uint64](r, []uint64{4, 16}, []uint64{1, 1})
+	for i := 0; i < total; i++ {
+		b.Observe(uint64(i), int64(i))
+	}
+	for age := uint64(0); age < 16; age++ {
+		p := b.Prob(age)
+		want := p * trials
+		sigma := math.Sqrt(trials * p * (1 - p))
+		if math.Abs(float64(counts[age])-want) > 5*sigma {
+			t.Errorf("age %d: %d draws, want about %.0f", age, counts[age], want)
+		}
+	}
+	// The bias must be a strict step: ages 0-3 strictly more likely.
+	if b.Prob(0) <= b.Prob(5) {
+		t.Fatal("step function not decreasing")
+	}
+	if b.Prob(5) != b.Prob(15) {
+		t.Fatal("within one step the probability should be flat")
+	}
+	if b.Prob(16) != 0 {
+		t.Fatal("beyond the largest window the probability must be 0")
+	}
+}
+
+func TestStepBiasedPanicsAndEdge(t *testing.T) {
+	r := xrand.New(12)
+	for _, fn := range []func(){
+		func() { NewStepBiased[uint64](r, nil, nil) },
+		func() { NewStepBiased[uint64](r, []uint64{4, 4}, []uint64{1, 1}) },
+		func() { NewStepBiased[uint64](r, []uint64{8, 4}, []uint64{1, 1}) },
+		func() { NewStepBiased[uint64](r, []uint64{4, 8}, []uint64{1, 0}) },
+		func() { NewStepBiased[uint64](r, []uint64{4}, []uint64{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("malformed StepBiased args did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+	b := NewStepBiased[uint64](r, []uint64{4, 8}, []uint64{3, 1})
+	if _, ok := b.Sample(); ok {
+		t.Fatal("sample from empty biased sampler")
+	}
+	b.Observe(1, 0)
+	if _, ok := b.Sample(); !ok {
+		t.Fatal("no sample after observation")
+	}
+	if b.Words() <= 0 || b.MaxWords() < b.Words() {
+		t.Fatal("words accounting broken")
+	}
+}

@@ -1,0 +1,120 @@
+package apps
+
+import (
+	"slidingsample/internal/core"
+	"slidingsample/internal/stream"
+	"slidingsample/internal/xrand"
+)
+
+// StepBiased implements the biased-sampling extension sketched at the end of
+// Section 5: "we can apply our methods to implement step biased functions,
+// maintaining samples over each window with different lengths and combining
+// the samples with corresponding probabilities."
+//
+// Given window lengths n_1 < n_2 < ... < n_m with weights w_1..w_m summing
+// to 1, a query picks window i with probability w_i and returns that
+// window's uniform sample. An element whose age (elements since arrival,
+// 0 = newest) is d therefore has sampling probability
+//
+//	P(d) = Σ_{i : n_i > d} w_i / n_i,
+//
+// a non-increasing step function of age — recent elements are favored, with
+// the step heights fully under the caller's control. Memory is Θ(m) words
+// (one Theorem 2.1 sampler per step, k = 1 each), deterministic.
+type StepBiased[T any] struct {
+	lens     []uint64
+	weights  []uint64 // integer weights; probability of step i = weights[i]/wsum
+	wsum     uint64
+	samplers []*core.SeqWR[T]
+	rng      *xrand.Rand
+	count    uint64
+}
+
+// NewStepBiased builds a step-biased sampler. lens must be strictly
+// increasing window lengths; weights are positive integer step weights
+// (probability of step i is weights[i] / sum(weights) — integers keep the
+// query draw exact). Panics on malformed input.
+func NewStepBiased[T any](rng *xrand.Rand, lens []uint64, weights []uint64) *StepBiased[T] {
+	if len(lens) == 0 || len(lens) != len(weights) {
+		panic("apps: NewStepBiased needs matching, non-empty lens and weights")
+	}
+	b := &StepBiased[T]{rng: rng.Split()}
+	var prev uint64
+	for i, n := range lens {
+		if n <= prev {
+			panic("apps: NewStepBiased lens must be strictly increasing")
+		}
+		if weights[i] == 0 {
+			panic("apps: NewStepBiased zero weight")
+		}
+		prev = n
+		b.lens = append(b.lens, n)
+		b.weights = append(b.weights, weights[i])
+		b.wsum += weights[i]
+		b.samplers = append(b.samplers, core.NewSeqWR[T](rng.Split(), n, 1))
+	}
+	return b
+}
+
+// Observe feeds the next element to every step sampler.
+func (b *StepBiased[T]) Observe(value T, ts int64) {
+	b.count++
+	for _, s := range b.samplers {
+		s.Observe(value, ts)
+	}
+}
+
+// Sample returns one element drawn under the step-biased distribution.
+func (b *StepBiased[T]) Sample() (stream.Element[T], bool) {
+	if b.count == 0 {
+		return stream.Element[T]{}, false
+	}
+	u := b.rng.Uint64n(b.wsum)
+	for i, w := range b.weights {
+		if u < w {
+			got, ok := b.samplers[i].Sample()
+			if !ok {
+				break
+			}
+			return got[0], true
+		}
+		u -= w
+	}
+	return stream.Element[T]{}, false
+}
+
+// Prob returns the theoretical sampling probability for an element of age d
+// (0 = the newest element), given the current arrival count (steps whose
+// window is still filling use their current fill as the denominator — the
+// uniform law of a partially filled Theorem 2.1 sampler).
+func (b *StepBiased[T]) Prob(d uint64) float64 {
+	p := 0.0
+	for i, n := range b.lens {
+		size := n
+		if b.count < n {
+			size = b.count
+		}
+		if d < size {
+			p += float64(b.weights[i]) / float64(b.wsum) / float64(size)
+		}
+	}
+	return p
+}
+
+// Words implements stream.MemoryReporter.
+func (b *StepBiased[T]) Words() int {
+	w := 2 + 2*len(b.lens)
+	for _, s := range b.samplers {
+		w += s.Words()
+	}
+	return w
+}
+
+// MaxWords implements stream.MemoryReporter.
+func (b *StepBiased[T]) MaxWords() int {
+	w := 2 + 2*len(b.lens)
+	for _, s := range b.samplers {
+		w += s.MaxWords()
+	}
+	return w
+}

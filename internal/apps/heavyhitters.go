@@ -1,0 +1,109 @@
+package apps
+
+import (
+	"sort"
+
+	"slidingsample/internal/core"
+	"slidingsample/internal/xrand"
+)
+
+// HeavyHitters reports the values that occupy at least a φ-fraction of a
+// sequence-based sliding window, from a with-replacement sample — another
+// direct Theorem 5.1 instance (sampling-based frequent-items detection à la
+// sticky sampling / sampled counts).
+//
+// With k = Θ(ε⁻² log(1/(δφ))) independent window samples, every value of
+// window frequency ≥ φn appears in the sample with relative frequency
+// ≥ φ - ε/2 w.h.p., and every value of frequency ≤ (φ-ε)n falls below the
+// same threshold w.h.p. (Chernoff); Report therefore thresholds the sample
+// histogram at φ - ε/2.
+type HeavyHitters struct {
+	sampler *core.SeqWR[uint64]
+}
+
+// NewHeavyHitters builds a windowed frequent-items detector over the last n
+// values using k sample slots.
+func NewHeavyHitters(rng *xrand.Rand, n uint64, k int) *HeavyHitters {
+	return &HeavyHitters{sampler: core.NewSeqWR[uint64](rng.Split(), n, k)}
+}
+
+// Observe feeds the next value.
+func (h *HeavyHitters) Observe(value uint64, ts int64) {
+	h.sampler.Observe(value, ts)
+}
+
+// Report returns the candidate heavy hitters for threshold φ with slack ε
+// (0 < ε < φ), sorted by descending sample frequency. ok is false while the
+// window is empty.
+func (h *HeavyHitters) Report(phi, eps float64) ([]uint64, bool) {
+	if phi <= 0 || phi > 1 || eps <= 0 || eps >= phi {
+		panic("apps: HeavyHitters.Report needs 0 < eps < phi <= 1")
+	}
+	got, ok := h.sampler.Sample()
+	if !ok {
+		return nil, false
+	}
+	counts := map[uint64]int{}
+	for _, e := range got {
+		counts[e.Value]++
+	}
+	thresh := (phi - eps/2) * float64(len(got))
+	type vc struct {
+		v uint64
+		c int
+	}
+	var cand []vc
+	for v, c := range counts {
+		if float64(c) >= thresh {
+			cand = append(cand, vc{v, c})
+		}
+	}
+	sort.Slice(cand, func(i, j int) bool {
+		if cand[i].c != cand[j].c {
+			return cand[i].c > cand[j].c
+		}
+		return cand[i].v < cand[j].v
+	})
+	out := make([]uint64, len(cand))
+	for i, x := range cand {
+		out[i] = x.v
+	}
+	return out, true
+}
+
+// Words reports the sampler footprint (Θ(k), deterministic).
+func (h *HeavyHitters) Words() int { return h.sampler.Words() }
+
+// MaxWords reports the peak footprint.
+func (h *HeavyHitters) MaxWords() int { return h.sampler.MaxWords() }
+
+// ExactHeavyHitters returns the values with frequency >= phi*len(values),
+// sorted by descending frequency (ground truth).
+func ExactHeavyHitters(values []uint64, phi float64) []uint64 {
+	counts := map[uint64]int{}
+	for _, v := range values {
+		counts[v]++
+	}
+	thresh := phi * float64(len(values))
+	type vc struct {
+		v uint64
+		c int
+	}
+	var cand []vc
+	for v, c := range counts {
+		if float64(c) >= thresh {
+			cand = append(cand, vc{v, c})
+		}
+	}
+	sort.Slice(cand, func(i, j int) bool {
+		if cand[i].c != cand[j].c {
+			return cand[i].c > cand[j].c
+		}
+		return cand[i].v < cand[j].v
+	})
+	out := make([]uint64, len(cand))
+	for i, x := range cand {
+		out[i] = x.v
+	}
+	return out
+}

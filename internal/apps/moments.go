@@ -1,0 +1,80 @@
+package apps
+
+import (
+	"math"
+
+	"slidingsample/internal/stats"
+)
+
+// Moments estimates the p-th frequency moment F_p = Σ_v x_v^p of the values
+// in a sliding window (Corollary 5.2). It is the Alon–Matias–Szegedy
+// estimator run over a window sampler: each sample slot contributes
+//
+//	X = |W| * (r^p - (r-1)^p)
+//
+// where r is the within-window suffix count of the slot's value, and the
+// final estimate is the median of s2 means of s1 copies. E[X] = F_p by the
+// AMS telescoping identity; the window sampler supplies the uniform position
+// and this package's counter layer supplies r.
+type Moments struct {
+	p      int
+	s1, s2 int
+	src    SlotSource[uint64]
+}
+
+// NewMoments builds an F_p estimator over the given slot source. The source
+// must have been constructed with k = s1*s2 sample slots. Panics if p < 1 or
+// s1, s2 < 1.
+func NewMoments(src SlotSource[uint64], p, s1, s2 int) *Moments {
+	if p < 1 {
+		panic("apps: NewMoments with p < 1")
+	}
+	if s1 < 1 || s2 < 1 {
+		panic("apps: NewMoments with s1 or s2 < 1")
+	}
+	return &Moments{p: p, s1: s1, s2: s2, src: src}
+}
+
+// Observe feeds the next value through the sampler and maintains the
+// per-slot suffix counters.
+func (m *Moments) Observe(value uint64, ts int64) {
+	m.src.Observe(value, ts)
+	bumpCounters(m.src, value)
+}
+
+// EstimateAt returns the F_p estimate for the window at time now (pass the
+// latest timestamp, or anything for sequence windows). ok is false while the
+// window is empty.
+func (m *Moments) EstimateAt(now int64) (float64, bool) {
+	slots, ok := m.src.Slots(now)
+	if !ok || len(slots) == 0 {
+		return 0, false
+	}
+	n, ok := m.src.WindowSize(now)
+	if !ok || n <= 0 {
+		return 0, false
+	}
+	xs := make([]float64, len(slots))
+	for i, st := range slots {
+		r := float64(suffixCount(st))
+		xs[i] = n * (math.Pow(r, float64(m.p)) - math.Pow(r-1, float64(m.p)))
+	}
+	return stats.MedianOfMeans(xs, m.s2), true
+}
+
+// Copies returns the number of independent estimator copies (s1*s2).
+func (m *Moments) Copies() int { return m.s1 * m.s2 }
+
+// ExactMoment computes F_p of a window content exactly (ground truth for
+// the E8 error tables; Θ(window) space, never used by the estimator).
+func ExactMoment(values []uint64, p int) float64 {
+	freq := map[uint64]uint64{}
+	for _, v := range values {
+		freq[v]++
+	}
+	sum := 0.0
+	for _, x := range freq {
+		sum += math.Pow(float64(x), float64(p))
+	}
+	return sum
+}

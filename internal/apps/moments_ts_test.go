@@ -1,0 +1,67 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"slidingsample/internal/core"
+	"slidingsample/internal/ehist"
+	"slidingsample/internal/stream"
+	"slidingsample/internal/window"
+	"slidingsample/internal/xrand"
+)
+
+// TestMomentsOverTimestampWindow drives the F2 estimator through the TSWR
+// source with the exponential-histogram size oracle — the full Corollary
+// 5.2 stack on timestamp windows (the E10 entropy test covers the same path
+// for Corollary 5.4).
+func TestMomentsOverTimestampWindow(t *testing.T) {
+	const t0 = 64
+	r := xrand.New(1)
+	eh := ehist.NewEps(t0, 0.05)
+	sampler := core.NewTSWR[uint64](r.Split(), t0, 100)
+	est := NewMoments(TSWRSource(sampler, eh.SizeOracle()), 2, 20, 5)
+	buf := window.NewTSBuffer[uint64](t0)
+	zipf := stream.NewZipfValues(r.Split(), 1.4, 16)
+	arr := stream.NewBurstyArrivals(r.Split(), 6, 2)
+	var ts int64
+	for i := 0; i < 6000; i++ {
+		v := zipf.Next()
+		ts = arr.Next()
+		est.Observe(v, ts)
+		eh.Observe(ts)
+		buf.Observe(stream.Element[uint64]{Value: v, Index: uint64(i), TS: ts})
+	}
+	var content []uint64
+	for _, e := range buf.Contents() {
+		content = append(content, e.Value)
+	}
+	exact := ExactMoment(content, 2)
+	got, ok := est.EstimateAt(ts)
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	if rel := math.Abs(got-exact) / exact; rel > 0.35 {
+		t.Fatalf("TS F2 estimate %.0f vs exact %.0f (rel %.2f)", got, exact, rel)
+	}
+}
+
+// TestMomentsTSEmptyWindow: after everything expires, the estimator
+// reports no estimate rather than a stale or zero-division result.
+func TestMomentsTSEmptyWindow(t *testing.T) {
+	const t0 = 5
+	r := xrand.New(2)
+	eh := ehist.NewEps(t0, 0.1)
+	sampler := core.NewTSWR[uint64](r.Split(), t0, 10)
+	est := NewMoments(TSWRSource(sampler, eh.SizeOracle()), 2, 2, 5)
+	for i := 0; i < 50; i++ {
+		est.Observe(uint64(i%3), 0)
+		eh.Observe(0)
+	}
+	if _, ok := est.EstimateAt(0); !ok {
+		t.Fatal("no estimate while window active")
+	}
+	if _, ok := est.EstimateAt(100); ok {
+		t.Fatal("estimate produced from an expired window")
+	}
+}

@@ -1,0 +1,220 @@
+package apps
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"slidingsample/internal/stream"
+	"slidingsample/internal/xrand"
+)
+
+func TestExactQuantile(t *testing.T) {
+	vals := []uint64{50, 10, 40, 30, 20}
+	if got := ExactQuantile(vals, 0); got != 10 {
+		t.Fatalf("q0 = %d", got)
+	}
+	if got := ExactQuantile(vals, 0.5); got != 30 {
+		t.Fatalf("q0.5 = %d", got)
+	}
+	if got := ExactQuantile(vals, 1); got != 50 {
+		t.Fatalf("q1 = %d", got)
+	}
+	if got := ExactQuantile(nil, 0.5); got != 0 {
+		t.Fatalf("empty = %d", got)
+	}
+}
+
+func TestExactRank(t *testing.T) {
+	vals := []uint64{5, 1, 9, 5, 3}
+	if got := ExactRank(vals, 5); got != 2 {
+		t.Fatalf("rank(5) = %d, want 2", got)
+	}
+	if got := ExactRank(vals, 0); got != 0 {
+		t.Fatalf("rank(0) = %d", got)
+	}
+	if got := ExactRank(vals, 100); got != 5 {
+		t.Fatalf("rank(100) = %d", got)
+	}
+}
+
+func TestQuantilesEmpty(t *testing.T) {
+	q := NewQuantiles(xrand.New(1), 100, 10)
+	if _, ok := q.Query(0.5); ok {
+		t.Fatal("quantile from empty window")
+	}
+}
+
+// TestQuantilesRankError: the estimated median's true window rank must be
+// close to n/2 — within 5 standard deviations of the binomial rank noise.
+func TestQuantilesRankError(t *testing.T) {
+	const n = 2048
+	const m = 3 * n
+	const k = 256
+	r := xrand.New(2)
+	gen := stream.NewUniformValues(r.Split(), 1_000_000)
+	values := make([]uint64, m)
+	for i := range values {
+		values[i] = gen.Next()
+	}
+	windowVals := values[m-n:]
+	const runs = 40
+	for _, qq := range []float64{0.1, 0.5, 0.9} {
+		bad := 0
+		for run := 0; run < runs; run++ {
+			q := NewQuantiles(r.Split(), n, k)
+			for i, v := range values {
+				q.Observe(v, int64(i))
+			}
+			got, ok := q.Query(qq)
+			if !ok {
+				t.Fatal("no quantile")
+			}
+			rank := float64(ExactRank(windowVals, got))
+			want := qq * n
+			// Rank of the sample q-quantile has stddev ~ n*sqrt(q(1-q)/k).
+			sigma := float64(n) * math.Sqrt(qq*(1-qq)/float64(k))
+			if math.Abs(rank-want) > 5*sigma+float64(n)/float64(k)+1 {
+				bad++
+			}
+		}
+		if bad > runs/10 {
+			t.Errorf("q=%.1f: %d/%d runs exceeded the 5-sigma rank error", qq, bad, runs)
+		}
+	}
+}
+
+func TestQuantilesSmallWindow(t *testing.T) {
+	// k >= n: the sample is the whole window, so quantiles are exact.
+	q := NewQuantiles(xrand.New(3), 8, 16)
+	vals := []uint64{80, 10, 50, 30, 70, 20, 60, 40}
+	for i, v := range vals {
+		q.Observe(v, int64(i))
+	}
+	sorted := append([]uint64(nil), vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, qq := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		got, ok := q.Query(qq)
+		if !ok {
+			t.Fatal("no quantile")
+		}
+		if want := ExactQuantile(vals, qq); got != want {
+			t.Errorf("q=%.2f: got %d want %d", qq, got, want)
+		}
+	}
+	if q.Words() <= 0 || q.MaxWords() < q.Words() {
+		t.Fatal("words accounting broken")
+	}
+}
+
+func TestQuantilesSlidingWindowTracksRegimeShift(t *testing.T) {
+	// Values jump from ~[0,1000) to ~[100000, 101000); once the window has
+	// slid fully past the shift, the median must be in the new range.
+	const n, k = 512, 64
+	q := NewQuantiles(xrand.New(4), n, k)
+	r := xrand.New(5)
+	ts := int64(0)
+	for i := 0; i < 2*n; i++ {
+		q.Observe(r.Uint64n(1000), ts)
+		ts++
+	}
+	for i := 0; i < 2*n; i++ {
+		q.Observe(100_000+r.Uint64n(1000), ts)
+		ts++
+	}
+	got, ok := q.Query(0.5)
+	if !ok || got < 100_000 {
+		t.Fatalf("median %d did not track the regime shift", got)
+	}
+}
+
+func TestHeavyHittersDetectsPlanted(t *testing.T) {
+	// One value takes 30% of the window; φ=0.2 must report it, and with
+	// ε=0.1 nothing of frequency below 10% should usually be reported.
+	const n, k = 4096, 600
+	const hot = uint64(7777)
+	r := xrand.New(6)
+	h := NewHeavyHitters(r.Split(), n, k)
+	gen := stream.NewUniformValues(r.Split(), 1000)
+	var windowVals []uint64
+	for i := 0; i < 2*n; i++ {
+		v := gen.Next() + 10_000
+		if i%10 < 3 {
+			v = hot
+		}
+		h.Observe(v, int64(i))
+		if i >= n {
+			windowVals = append(windowVals, v)
+		}
+	}
+	got, ok := h.Report(0.2, 0.1)
+	if !ok {
+		t.Fatal("no report")
+	}
+	found := false
+	for _, v := range got {
+		if v == hot {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("planted heavy hitter not reported: %v", got)
+	}
+	// The exact heavy hitters at φ=0.2 are exactly {hot}; the sampled
+	// report may contain a few spurious borderline values, but values with
+	// tiny frequency (uniform over 1000) cannot plausibly pass a 15%%
+	// sample-frequency threshold with k=600.
+	if len(got) > 2 {
+		t.Fatalf("too many spurious heavy hitters: %v", got)
+	}
+	exact := ExactHeavyHitters(windowVals, 0.2)
+	if len(exact) != 1 || exact[0] != hot {
+		t.Fatalf("ground truth wrong: %v", exact)
+	}
+}
+
+func TestHeavyHittersEmptyAndPanics(t *testing.T) {
+	h := NewHeavyHitters(xrand.New(7), 16, 8)
+	if _, ok := h.Report(0.5, 0.1); ok {
+		t.Fatal("report from empty window")
+	}
+	h.Observe(1, 0)
+	for _, bad := range [][2]float64{{0, 0.1}, {1.5, 0.1}, {0.5, 0}, {0.5, 0.5}, {0.5, 0.9}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Report(%v) did not panic", bad)
+				}
+			}()
+			h.Report(bad[0], bad[1])
+		}()
+	}
+}
+
+func TestExactHeavyHittersOrdering(t *testing.T) {
+	vals := []uint64{1, 1, 1, 1, 2, 2, 2, 3, 3, 4}
+	got := ExactHeavyHitters(vals, 0.2)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("got %v, want [1 2 3]", got)
+	}
+	if got := ExactHeavyHitters(nil, 0.5); len(got) != 0 {
+		t.Fatalf("empty input returned %v", got)
+	}
+}
+
+func TestHeavyHittersUniformWindowHasNone(t *testing.T) {
+	const n, k = 1024, 400
+	r := xrand.New(8)
+	h := NewHeavyHitters(r.Split(), n, k)
+	gen := stream.NewUniformValues(r.Split(), 10_000)
+	for i := 0; i < 2*n; i++ {
+		h.Observe(gen.Next(), int64(i))
+	}
+	got, ok := h.Report(0.1, 0.05)
+	if !ok {
+		t.Fatal("no report")
+	}
+	if len(got) != 0 {
+		t.Fatalf("uniform window reported heavy hitters: %v", got)
+	}
+}

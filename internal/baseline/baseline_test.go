@@ -1,0 +1,494 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"slidingsample/internal/window"
+	"slidingsample/internal/xrand"
+)
+
+// ---------------------------------------------------------------------------
+// Chain sampling (BDM, sequence-based, with replacement)
+// ---------------------------------------------------------------------------
+
+func TestChainSampleInWindow(t *testing.T) {
+	const n = 16
+	c := NewChain[uint64](xrand.New(1), n, 3)
+	for i := 0; i < 600; i++ {
+		c.Observe(uint64(i), int64(i))
+		got, ok := c.Sample()
+		if !ok || len(got) != 3 {
+			t.Fatalf("step %d: ok=%v len=%d", i, ok, len(got))
+		}
+		lo := uint64(0)
+		if i >= n {
+			lo = uint64(i) - n + 1
+		}
+		for _, e := range got {
+			if e.Index < lo || e.Index > uint64(i) {
+				t.Fatalf("step %d: chain sample %d outside window [%d,%d]", i, e.Index, lo, i)
+			}
+		}
+	}
+}
+
+// TestChainUniform validates the baseline itself: chain sampling is supposed
+// to be a correct uniform with-replacement sampler (its defect is memory,
+// not bias).
+func TestChainUniform(t *testing.T) {
+	const n = 8
+	const trials = 60000
+	r := xrand.New(2)
+	for _, m := range []int{5, 8, 13, 24} {
+		lo := 0
+		if m > n {
+			lo = m - n
+		}
+		size := m - lo
+		counts := make([]int, size)
+		for tr := 0; tr < trials; tr++ {
+			c := NewChain[uint64](r, n, 1)
+			for i := 0; i < m; i++ {
+				c.Observe(uint64(i), int64(i))
+			}
+			got, _ := c.Sample()
+			counts[int(got[0].Index)-lo]++
+		}
+		want := float64(trials) / float64(size)
+		for i, cnt := range counts {
+			if math.Abs(float64(cnt)-want) > 5*math.Sqrt(want) {
+				t.Errorf("m=%d pos %d: %d, want about %.0f", m, i, cnt, want)
+			}
+		}
+	}
+}
+
+// TestChainMemoryIsRandom documents the E1 point: across seeds, the peak
+// memory differs (randomized bound), and single chains can exceed the
+// constant our sampler never exceeds.
+func TestChainMemoryIsRandom(t *testing.T) {
+	peaks := map[int]bool{}
+	for seed := uint64(0); seed < 30; seed++ {
+		c := NewChain[uint64](xrand.New(seed), 64, 1)
+		for i := 0; i < 5000; i++ {
+			c.Observe(uint64(i), int64(i))
+		}
+		peaks[c.MaxWords()] = true
+	}
+	if len(peaks) < 3 {
+		t.Fatalf("chain peak memory identical across seeds (%v) — expected a random variable", peaks)
+	}
+}
+
+func TestChainLensDiagnostics(t *testing.T) {
+	c := NewChain[uint64](xrand.New(3), 32, 4)
+	for i := 0; i < 200; i++ {
+		c.Observe(uint64(i), int64(i))
+	}
+	lens := c.ChainLens()
+	if len(lens) != 4 {
+		t.Fatalf("ChainLens returned %d entries", len(lens))
+	}
+	for i, l := range lens {
+		if l < 1 {
+			t.Fatalf("chain %d has no sample", i)
+		}
+	}
+	if c.K() != 4 || c.Count() != 200 {
+		t.Fatalf("accessors: K=%d Count=%d", c.K(), c.Count())
+	}
+}
+
+func TestChainEmptyAndPanics(t *testing.T) {
+	c := NewChain[uint64](xrand.New(4), 8, 1)
+	if _, ok := c.Sample(); ok {
+		t.Fatal("empty chain returned sample")
+	}
+	for _, tc := range []struct {
+		n uint64
+		k int
+	}{{0, 1}, {8, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewChain(%d,%d) did not panic", tc.n, tc.k)
+				}
+			}()
+			NewChain[uint64](xrand.New(1), tc.n, tc.k)
+		}()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Priority sampling (BDM, timestamp-based, with replacement)
+// ---------------------------------------------------------------------------
+
+func tsPattern() []int64 {
+	var p []int64
+	add := func(ts int64, c int) {
+		for i := 0; i < c; i++ {
+			p = append(p, ts)
+		}
+	}
+	add(0, 5)
+	add(2, 9)
+	add(3, 1)
+	add(7, 6)
+	add(9, 4)
+	return p
+}
+
+func TestPriorityUniform(t *testing.T) {
+	const t0 = 8
+	const trials = 60000
+	pattern := tsPattern()
+	now := int64(9)
+	w := window.Timestamp{T0: t0}
+	var act []uint64
+	for i, ts := range pattern {
+		if w.Active(ts, now) {
+			act = append(act, uint64(i))
+		}
+	}
+	r := xrand.New(5)
+	counts := map[uint64]int{}
+	for tr := 0; tr < trials; tr++ {
+		p := NewPriority[uint64](r, t0, 1)
+		for i, ts := range pattern {
+			p.Observe(uint64(i), ts)
+		}
+		got, ok := p.SampleAt(now)
+		if !ok {
+			t.Fatal("no sample")
+		}
+		counts[got[0].Index]++
+	}
+	want := float64(trials) / float64(len(act))
+	total := 0
+	for _, idx := range act {
+		total += counts[idx]
+		if math.Abs(float64(counts[idx])-want) > 5*math.Sqrt(want) {
+			t.Errorf("idx %d: %d, want about %.0f", idx, counts[idx], want)
+		}
+	}
+	if total != trials {
+		t.Fatalf("%d of %d samples were active — inactive elements sampled", total, trials)
+	}
+}
+
+func TestPriorityExpiryAndEmpty(t *testing.T) {
+	p := NewPriority[uint64](xrand.New(6), 5, 2)
+	if _, ok := p.SampleAt(0); ok {
+		t.Fatal("empty priority sampler returned sample")
+	}
+	p.Observe(0, 0)
+	p.Observe(1, 1)
+	if got, ok := p.SampleAt(4); !ok || len(got) != 2 {
+		t.Fatal("priority sample missing while active")
+	}
+	if _, ok := p.SampleAt(10); ok {
+		t.Fatal("priority sample survived expiry")
+	}
+}
+
+func TestPriorityRetainedIsLogarithmicOnAverage(t *testing.T) {
+	// E[retained] = H_n ≈ ln n for n active elements; check it is far below
+	// n and in the right ballpark.
+	const n = 10000
+	sum := 0
+	const runs = 20
+	for seed := uint64(0); seed < runs; seed++ {
+		p := NewPriority[uint64](xrand.New(seed), 1<<40, 1)
+		for i := 0; i < n; i++ {
+			p.Observe(uint64(i), int64(i))
+		}
+		sum += p.RetainedLens()[0]
+	}
+	avg := float64(sum) / runs
+	h := math.Log(n)
+	if avg < h/3 || avg > h*3 {
+		t.Fatalf("average retained %f, want near ln(n)=%.1f", avg, h)
+	}
+}
+
+func TestPriorityPanics(t *testing.T) {
+	for _, tc := range []struct {
+		t0 int64
+		k  int
+	}{{0, 1}, {5, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewPriority(%d,%d) did not panic", tc.t0, tc.k)
+				}
+			}()
+			NewPriority[uint64](xrand.New(1), tc.t0, tc.k)
+		}()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Skyband (Gemulla–Lehner, timestamp-based, without replacement)
+// ---------------------------------------------------------------------------
+
+func TestSkybandDistinctAndActive(t *testing.T) {
+	const t0, k = 6, 3
+	s := NewSkyband[uint64](xrand.New(7), t0, k)
+	w := window.Timestamp{T0: t0}
+	ts := int64(0)
+	r := xrand.New(8)
+	for i := 0; i < 2000; i++ {
+		if r.Uint64n(4) == 0 {
+			ts += int64(r.Uint64n(3))
+		}
+		s.Observe(uint64(i), ts)
+		got, ok := s.SampleAt(ts)
+		if !ok {
+			t.Fatalf("step %d: no sample", i)
+		}
+		seen := map[uint64]bool{}
+		for _, e := range got {
+			if w.Expired(e.TS, ts) {
+				t.Fatalf("step %d: expired element in skyband sample", i)
+			}
+			if seen[e.Index] {
+				t.Fatalf("step %d: duplicate in WOR sample", i)
+			}
+			seen[e.Index] = true
+		}
+	}
+}
+
+// TestSkybandMatchesBruteForceTopK: the skyband must always contain the k
+// highest-priority active elements; we verify the sample size and, on a
+// small window, uniformity over 2-subsets.
+func TestSkybandUniformSubsets(t *testing.T) {
+	const t0, k = 8, 2
+	const trials = 90000
+	pattern := tsPattern()
+	now := int64(9)
+	w := window.Timestamp{T0: t0}
+	var act []uint64
+	for i, ts := range pattern {
+		if w.Active(ts, now) {
+			act = append(act, uint64(i))
+		}
+	}
+	n := len(act)
+	r := xrand.New(9)
+	counts := map[[2]uint64]int{}
+	for tr := 0; tr < trials; tr++ {
+		s := NewSkyband[uint64](r, t0, k)
+		for i, ts := range pattern {
+			s.Observe(uint64(i), ts)
+		}
+		got, ok := s.SampleAt(now)
+		if !ok || len(got) != k {
+			t.Fatalf("ok=%v len=%d", ok, len(got))
+		}
+		a, b := got[0].Index, got[1].Index
+		if a > b {
+			a, b = b, a
+		}
+		counts[[2]uint64{a, b}]++
+	}
+	nSub := n * (n - 1) / 2
+	if len(counts) != nSub {
+		t.Fatalf("saw %d subsets, want %d", len(counts), nSub)
+	}
+	want := float64(trials) / float64(nSub)
+	for key, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("subset %v: %d, want about %.0f", key, c, want)
+		}
+	}
+}
+
+func TestSkybandSmallWindowReturnsAll(t *testing.T) {
+	s := NewSkyband[uint64](xrand.New(10), 10, 5)
+	s.Observe(0, 0)
+	s.Observe(1, 1)
+	got, ok := s.SampleAt(1)
+	if !ok || len(got) != 2 {
+		t.Fatalf("want the 2 active elements, got ok=%v len=%d", ok, len(got))
+	}
+}
+
+func TestSkybandRetainedBoundedOnAverage(t *testing.T) {
+	const n, k = 5000, 4
+	sum := 0
+	const runs = 10
+	for seed := uint64(0); seed < runs; seed++ {
+		s := NewSkyband[uint64](xrand.New(seed), 1<<40, k)
+		for i := 0; i < n; i++ {
+			s.Observe(uint64(i), int64(i))
+		}
+		sum += s.Retained()
+	}
+	avg := float64(sum) / runs
+	bound := float64(k) * math.Log(n) * 3
+	if avg > bound {
+		t.Fatalf("average retained %f exceeds 3*k*ln(n)=%.1f", avg, bound)
+	}
+	if avg < math.Log(n) {
+		t.Fatalf("average retained %f suspiciously small", avg)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Oversampling (BDM WOR strawman)
+// ---------------------------------------------------------------------------
+
+func TestOversampleProducesDistinct(t *testing.T) {
+	o := NewOversample[uint64](xrand.New(11), 32, 4, 4)
+	for i := 0; i < 200; i++ {
+		o.Observe(uint64(i), int64(i))
+	}
+	okCount := 0
+	for q := 0; q < 100; q++ {
+		got, ok := o.Sample()
+		if !ok {
+			continue
+		}
+		okCount++
+		if len(got) != 4 {
+			t.Fatalf("sample size %d, want 4", len(got))
+		}
+		seen := map[uint64]bool{}
+		for _, e := range got {
+			if e.Index < 200-32 || seen[e.Index] {
+				t.Fatalf("bad oversample result %v", got)
+			}
+			seen[e.Index] = true
+		}
+	}
+	if okCount == 0 {
+		t.Fatal("oversampling never succeeded with factor 4 on n=32")
+	}
+	if o.Queries() != 100 {
+		t.Fatalf("Queries = %d", o.Queries())
+	}
+}
+
+// TestOversampleCanFail demonstrates disadvantage (b): with factor 1 and a
+// tiny window, collisions make some queries fail. Queries are interleaved
+// with arrivals so the underlying samples actually change.
+func TestOversampleCanFail(t *testing.T) {
+	var failures, queries uint64
+	for seed := uint64(0); seed < 20; seed++ {
+		o := NewOversample[uint64](xrand.New(seed), 4, 3, 1)
+		for i := 0; i < 200; i++ {
+			o.Observe(uint64(i), int64(i))
+			if i%10 == 9 {
+				o.Sample()
+			}
+		}
+		failures += o.Failures()
+		queries += o.Queries()
+	}
+	if failures == 0 {
+		t.Fatal("oversampling with factor 1 on k=3,n=4 never failed — statistically implausible")
+	}
+	if failures == queries {
+		t.Fatal("oversampling always failed — broken")
+	}
+}
+
+func TestOversampleAccessorsAndPanics(t *testing.T) {
+	o := NewOversample[uint64](xrand.New(13), 8, 2, 3)
+	if o.K() != 2 || o.Factor() != 3 {
+		t.Fatal("accessors wrong")
+	}
+	if o.Words() <= 0 || o.MaxWords() < o.Words() {
+		// MaxWords is tracked on the inner chain (which only grows before
+		// observations), so it is at least Words right after construction.
+		t.Fatalf("words accounting wrong: %d %d", o.Words(), o.MaxWords())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("NewOversample(k=0) did not panic")
+			}
+		}()
+		NewOversample[uint64](xrand.New(1), 8, 0, 2)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("NewOversample(factor=0) did not panic")
+			}
+		}()
+		NewOversample[uint64](xrand.New(1), 8, 2, 0)
+	}()
+}
+
+// ---------------------------------------------------------------------------
+// FullWindow (Zhang et al. strawman)
+// ---------------------------------------------------------------------------
+
+func TestFullWindowSeqExact(t *testing.T) {
+	f := NewFullWindowSeq[uint64](xrand.New(14), 8)
+	if _, ok := f.SampleWR(0, 1); ok {
+		t.Fatal("empty full window returned sample")
+	}
+	for i := 0; i < 20; i++ {
+		f.Observe(uint64(i), int64(i))
+	}
+	if f.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", f.Len())
+	}
+	got, ok := f.SampleWOR(0, 5)
+	if !ok || len(got) != 5 {
+		t.Fatalf("WOR ok=%v len=%d", ok, len(got))
+	}
+	seen := map[uint64]bool{}
+	for _, e := range got {
+		if e.Index < 12 || seen[e.Index] {
+			t.Fatalf("bad WOR sample %v", got)
+		}
+		seen[e.Index] = true
+	}
+	wr, ok := f.SampleWR(0, 100)
+	if !ok || len(wr) != 100 {
+		t.Fatal("WR sampling failed")
+	}
+	for _, e := range wr {
+		if e.Index < 12 {
+			t.Fatal("WR sampled expired element")
+		}
+	}
+}
+
+func TestFullWindowTSExact(t *testing.T) {
+	f := NewFullWindowTS[uint64](xrand.New(15), 5)
+	for i := 0; i < 10; i++ {
+		f.Observe(uint64(i), int64(i))
+	}
+	// At now=9 horizon 5: active ts in (4, 9] -> indexes 5..9.
+	got, ok := f.SampleWOR(9, 10)
+	if !ok || len(got) != 5 {
+		t.Fatalf("ok=%v len=%d, want 5 active", ok, len(got))
+	}
+	if f.Count() != 10 {
+		t.Fatalf("Count = %d", f.Count())
+	}
+	// Memory is Θ(n): words must scale with the window content.
+	if f.Words() < 5*3 {
+		t.Fatalf("Words = %d, too small for 5 stored elements", f.Words())
+	}
+	if _, ok := f.SampleWR(100, 1); ok {
+		t.Fatal("sample from fully expired window")
+	}
+}
+
+func TestFullWindowWORWholeWindowWhenKBig(t *testing.T) {
+	f := NewFullWindowSeq[uint64](xrand.New(16), 4)
+	for i := 0; i < 3; i++ {
+		f.Observe(uint64(i), 0)
+	}
+	got, ok := f.SampleWOR(0, 10)
+	if !ok || len(got) != 3 {
+		t.Fatalf("want whole window, got %d", len(got))
+	}
+}

@@ -1,0 +1,190 @@
+package baseline
+
+import (
+	"slidingsample/internal/stream"
+	"slidingsample/internal/window"
+	"slidingsample/internal/xrand"
+)
+
+// chainNode is one link of a chain sampler: a retained element plus the
+// index of its chosen successor.
+type chainNode[T any] struct {
+	st   *stream.Stored[T]
+	succ uint64 // index of the successor that will replace this node
+}
+
+// chain is a single Babcock–Datar–Motwani chain sampler over a
+// sequence-based window of size n.
+//
+// Algorithm: the t-th arrival becomes the sample with probability
+// 1/min(t, n); when an element at index i is (or becomes) the latest link,
+// a successor index is drawn uniformly from [i+1, i+n] and the element at
+// that index is stored when it arrives, itself drawing a successor, and so
+// on. When the current sample expires, the next link takes over — it is
+// guaranteed to have arrived already, because the successor of index i lies
+// within [i+1, i+n] and i only expires when index i+n arrives.
+//
+// The chain length is a random variable — the whole point of experiment E1:
+// expectation O(1) per sample, but with a heavy tail across seeds.
+type chain[T any] struct {
+	n     uint64
+	rng   *xrand.Rand
+	win   window.Sequence
+	nodes []chainNode[T] // nodes[0] is the current sample
+	count uint64
+}
+
+func newChain[T any](rng *xrand.Rand, n uint64) *chain[T] {
+	return &chain[T]{n: n, rng: rng, win: window.Sequence{N: n}}
+}
+
+func (c *chain[T]) pickSucc(i uint64) uint64 {
+	return i + 1 + c.rng.Uint64n(c.n)
+}
+
+func (c *chain[T]) observe(e stream.Element[T]) {
+	c.count++
+	if c.count == 1 {
+		c.nodes = append(c.nodes, chainNode[T]{
+			st:   &stream.Stored[T]{Elem: e},
+			succ: c.pickSucc(e.Index),
+		})
+		return
+	}
+	// 1. Successor bookkeeping: the only pending successor is the tail's.
+	if e.Index == c.nodes[len(c.nodes)-1].succ {
+		c.nodes = append(c.nodes, chainNode[T]{
+			st:   &stream.Stored[T]{Elem: e},
+			succ: c.pickSucc(e.Index),
+		})
+	}
+	// 2. Either the sample expires — its successor (uniform over the new
+	// window) takes over — or, exclusively, the new arrival grabs the sample
+	// with probability 1/min(t, n). The two paths must be mutually
+	// exclusive: the promotion path already lands uniformly on the new
+	// window (mass 1/n on the newcomer included), so adding an independent
+	// 1/n grab would overweight fresh elements; conversely, without the
+	// grab on the non-expiry path the newcomer would only ever get the
+	// 1/n² promotion mass. Combined: P(sample = newest) =
+	// (1-1/n)(1/n) + (1/n)(1/n) = 1/n and every survivor keeps exactly 1/n.
+	latest := e.Index
+	if !c.win.Active(c.nodes[0].st.Elem.Index, latest) {
+		c.nodes = c.nodes[1:]
+		if len(c.nodes) == 0 {
+			// Cannot happen: the successor of an expiring sample lies within
+			// the n indexes after it and has therefore arrived.
+			panic("baseline: chain lost its sample")
+		}
+		return
+	}
+	denom := c.count
+	if denom > c.n {
+		denom = c.n
+	}
+	if c.rng.Uint64n(denom) == 0 {
+		c.nodes = c.nodes[:0]
+		c.nodes = append(c.nodes, chainNode[T]{
+			st:   &stream.Stored[T]{Elem: e},
+			succ: c.pickSucc(e.Index),
+		})
+	}
+}
+
+func (c *chain[T]) sample() *stream.Stored[T] {
+	if len(c.nodes) == 0 {
+		return nil
+	}
+	return c.nodes[0].st
+}
+
+// words: each node stores an element (3) + successor index (1); plus the
+// arrival counter.
+func (c *chain[T]) words() int { return 1 + len(c.nodes)*(stream.StoredWords+1) }
+
+// Chain maintains k independent chain samplers — the Babcock–Datar–Motwani
+// with-replacement sampler for sequence-based windows (the E1 comparator of
+// core.SeqWR).
+type Chain[T any] struct {
+	n        uint64
+	k        int
+	chains   []*chain[T]
+	maxWords int
+}
+
+// NewChain returns k independent chain samplers over a window of size n.
+// Panics if n == 0 or k <= 0.
+func NewChain[T any](rng *xrand.Rand, n uint64, k int) *Chain[T] {
+	if n == 0 {
+		panic("baseline: NewChain with n == 0")
+	}
+	if k <= 0 {
+		panic("baseline: NewChain with k <= 0")
+	}
+	c := &Chain[T]{n: n, k: k, chains: make([]*chain[T], k)}
+	for i := range c.chains {
+		c.chains[i] = newChain[T](rng.Split(), n)
+	}
+	c.maxWords = c.Words()
+	return c
+}
+
+// Observe feeds the next element to every chain.
+func (c *Chain[T]) Observe(value T, ts int64) {
+	var idx uint64
+	if c.k > 0 {
+		idx = c.chains[0].count
+	}
+	e := stream.Element[T]{Value: value, Index: idx, TS: ts}
+	for _, ch := range c.chains {
+		ch.observe(e)
+	}
+	if w := c.Words(); w > c.maxWords {
+		c.maxWords = w
+	}
+}
+
+// Sample returns the k current samples (with replacement). ok is false
+// before the first arrival.
+func (c *Chain[T]) Sample() ([]stream.Element[T], bool) {
+	if c.chains[0].count == 0 {
+		return nil, false
+	}
+	out := make([]stream.Element[T], c.k)
+	for i, ch := range c.chains {
+		st := ch.sample()
+		if st == nil {
+			return nil, false
+		}
+		out[i] = st.Elem
+	}
+	return out, true
+}
+
+// K returns the number of sample copies.
+func (c *Chain[T]) K() int { return c.k }
+
+// Count returns the number of arrivals.
+func (c *Chain[T]) Count() uint64 { return c.chains[0].count }
+
+// ChainLens returns the current chain length of each copy (diagnostics for
+// the E1 memory distribution table).
+func (c *Chain[T]) ChainLens() []int {
+	out := make([]int, c.k)
+	for i, ch := range c.chains {
+		out[i] = len(ch.nodes)
+	}
+	return out
+}
+
+// Words implements stream.MemoryReporter.
+func (c *Chain[T]) Words() int {
+	w := 2 // n, k
+	for _, ch := range c.chains {
+		w += ch.words()
+	}
+	return w
+}
+
+// MaxWords implements stream.MemoryReporter. Unlike the core samplers this
+// peak is a RANDOM variable — the point of experiment E1.
+func (c *Chain[T]) MaxWords() int { return c.maxWords }

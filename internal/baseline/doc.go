@@ -1,0 +1,28 @@
+// Package baseline implements the prior algorithms the paper improves on,
+// so the experiments can measure (rather than assert) the paper's headline
+// contrast: deterministic versus randomized memory bounds.
+//
+//   - Chain — Babcock, Datar, Motwani (SODA 2002) chain sampling for
+//     sequence-based windows, sampling with replacement: O(k) words expected,
+//     O(k log n) with high probability, but the chain length is a random
+//     variable (the paper's disadvantage (b)).
+//   - Priority — Babcock, Datar, Motwani priority sampling for
+//     timestamp-based windows, sampling with replacement: O(k log n) words
+//     expected and w.h.p., again randomized.
+//   - Skyband — Gemulla, Lehner (SIGMOD 2008 line of work) extension of
+//     priority sampling to sampling without replacement: keep every element
+//     dominated by fewer than k later higher-priority elements (a k-skyband);
+//     expected O(k log n) words, randomized.
+//   - Oversample — the over-sampling approach Babcock, Datar and Motwani
+//     proposed for sampling without replacement: run c·k independent
+//     with-replacement samplers and hope for k distinct non-expired values;
+//     costs a multiplicative factor (disadvantage (a)) and can FAIL to
+//     produce k samples (measured as failure rate in experiment E2).
+//   - FullWindow — the store-everything strawman (Zhang et al., 2005 adapt
+//     reservoir sampling this way): exact samples, Θ(n) words.
+//
+// All baselines implement the same Words/MaxWords accounting conventions as
+// the core samplers (DESIGN.md §6: a stored priority costs 1 word, a
+// counter 1 word), so the memory tables in cmd/swbench compare like with
+// like.
+package baseline

@@ -1,0 +1,103 @@
+package baseline
+
+import (
+	"slidingsample/internal/stream"
+	"slidingsample/internal/window"
+	"slidingsample/internal/xrand"
+)
+
+// FullWindow is the store-everything strawman (the approach of Zhang, Li,
+// Yu, Wang and Jiang (2005), which adapts reservoir sampling by keeping the
+// window in memory): exact uniform samples — with or without replacement —
+// at Θ(n) words. It doubles as a correctness oracle in tests and as the
+// memory upper anchor in the E1/E3 tables.
+type FullWindow[T any] struct {
+	seq      *window.SeqBuffer[T] // non-nil for sequence windows
+	tsb      *window.TSBuffer[T]  // non-nil for timestamp windows
+	rng      *xrand.Rand
+	n        uint64 // arrivals
+	maxWords int
+}
+
+// NewFullWindowSeq returns a full-window sampler over a sequence-based
+// window of size n.
+func NewFullWindowSeq[T any](rng *xrand.Rand, n uint64) *FullWindow[T] {
+	return &FullWindow[T]{seq: window.NewSeqBuffer[T](n), rng: rng.Split()}
+}
+
+// NewFullWindowTS returns a full-window sampler over a timestamp-based
+// window of horizon t0.
+func NewFullWindowTS[T any](rng *xrand.Rand, t0 int64) *FullWindow[T] {
+	return &FullWindow[T]{tsb: window.NewTSBuffer[T](t0), rng: rng.Split()}
+}
+
+// Observe feeds the next element.
+func (f *FullWindow[T]) Observe(value T, ts int64) {
+	e := stream.Element[T]{Value: value, Index: f.n, TS: ts}
+	if f.seq != nil {
+		f.seq.Observe(e)
+	} else {
+		f.tsb.Observe(e)
+	}
+	f.n++
+	if w := f.Words(); w > f.maxWords {
+		f.maxWords = w
+	}
+}
+
+// Count returns the number of arrivals.
+func (f *FullWindow[T]) Count() uint64 { return f.n }
+
+// SampleWR returns k exact uniform with-replacement samples at time now
+// (now ignored for sequence windows).
+func (f *FullWindow[T]) SampleWR(now int64, k int) ([]stream.Element[T], bool) {
+	content := f.contents(now)
+	if len(content) == 0 {
+		return nil, false
+	}
+	out := make([]stream.Element[T], k)
+	for i := range out {
+		out[i] = content[f.rng.Intn(len(content))]
+	}
+	return out, true
+}
+
+// SampleWOR returns min(k, n) exact uniform without-replacement samples.
+func (f *FullWindow[T]) SampleWOR(now int64, k int) ([]stream.Element[T], bool) {
+	content := f.contents(now)
+	if len(content) == 0 {
+		return nil, false
+	}
+	if k > len(content) {
+		k = len(content)
+	}
+	out := make([]stream.Element[T], 0, k)
+	for _, j := range f.rng.PickK(len(content), k) {
+		out = append(out, content[j])
+	}
+	return out, true
+}
+
+func (f *FullWindow[T]) contents(now int64) []stream.Element[T] {
+	if f.seq != nil {
+		return f.seq.Contents()
+	}
+	f.tsb.AdvanceTo(now)
+	return f.tsb.Contents()
+}
+
+// Len returns the current number of active elements.
+func (f *FullWindow[T]) Len() int {
+	if f.seq != nil {
+		return f.seq.Len()
+	}
+	return f.tsb.Len()
+}
+
+// Words implements stream.MemoryReporter: the whole window.
+func (f *FullWindow[T]) Words() int {
+	return 1 + f.Len()*stream.StoredWords
+}
+
+// MaxWords implements stream.MemoryReporter.
+func (f *FullWindow[T]) MaxWords() int { return f.maxWords }

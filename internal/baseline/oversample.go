@@ -1,0 +1,99 @@
+package baseline
+
+import (
+	"slidingsample/internal/stream"
+	"slidingsample/internal/xrand"
+)
+
+// Oversample is the over-sampling approach to without-replacement sampling
+// that Babcock, Datar and Motwani proposed and that the paper's Theorem 2.2
+// renders obsolete: run factor*k independent with-replacement chain
+// samplers; at query time, collect the distinct elements among their
+// samples and return a random k-subset when at least k are distinct.
+//
+// The two documented disadvantages, both measured in experiment E2:
+//
+//	(a) cost — factor*k samplers instead of k (words and time);
+//	(b) no worst-case guarantee — with some probability fewer than k
+//	    distinct samples exist and the query FAILS (ok=false). Failures()
+//	    counts them.
+//
+// Note the returned subset is only approximately a uniform k-WOR sample
+// (deduplicating with-replacement draws slightly biases against recently
+// duplicated elements, a known defect of over-sampling at small n — one
+// more reason it is a strawman).
+type Oversample[T any] struct {
+	n        uint64
+	k        int
+	factor   int
+	rng      *xrand.Rand
+	inner    *Chain[T]
+	failures uint64
+	queries  uint64
+}
+
+// NewOversample returns an over-sampling WOR sampler over a sequence window
+// of size n with target sample size k and over-sampling factor >= 1.
+func NewOversample[T any](rng *xrand.Rand, n uint64, k, factor int) *Oversample[T] {
+	if k <= 0 || factor < 1 {
+		panic("baseline: NewOversample with k <= 0 or factor < 1")
+	}
+	return &Oversample[T]{
+		n:      n,
+		k:      k,
+		factor: factor,
+		rng:    rng.Split(),
+		inner:  NewChain[T](rng, n, k*factor),
+	}
+}
+
+// Observe feeds the next element.
+func (o *Oversample[T]) Observe(value T, ts int64) { o.inner.Observe(value, ts) }
+
+// Sample returns a k-subset of distinct window elements when the underlying
+// factor*k with-replacement samples contain at least k distinct values;
+// otherwise ok=false and the failure counter increments.
+func (o *Oversample[T]) Sample() ([]stream.Element[T], bool) {
+	o.queries++
+	raw, ok := o.inner.Sample()
+	if !ok {
+		o.failures++
+		return nil, false
+	}
+	seen := make(map[uint64]stream.Element[T], len(raw))
+	for _, e := range raw {
+		seen[e.Index] = e
+	}
+	if len(seen) < o.k {
+		o.failures++
+		return nil, false
+	}
+	distinct := make([]stream.Element[T], 0, len(seen))
+	for _, e := range seen {
+		distinct = append(distinct, e)
+	}
+	// Random k-subset of the distinct pool.
+	out := make([]stream.Element[T], 0, o.k)
+	for _, j := range o.rng.PickK(len(distinct), o.k) {
+		out = append(out, distinct[j])
+	}
+	return out, true
+}
+
+// Failures returns how many queries could not produce k distinct samples.
+func (o *Oversample[T]) Failures() uint64 { return o.failures }
+
+// Queries returns the number of Sample calls.
+func (o *Oversample[T]) Queries() uint64 { return o.queries }
+
+// K returns the target sample size.
+func (o *Oversample[T]) K() int { return o.k }
+
+// Factor returns the over-sampling factor.
+func (o *Oversample[T]) Factor() int { return o.factor }
+
+// Words implements stream.MemoryReporter.
+func (o *Oversample[T]) Words() int { return 4 + o.inner.Words() }
+
+// MaxWords implements stream.MemoryReporter.
+func (o *Oversample[T]) MaxWords() int { return 4 + o.inner.MaxWords() }

@@ -1,0 +1,133 @@
+// Package bench is the experiment harness behind cmd/swbench and the root
+// bench_test.go: it regenerates every table in EXPERIMENTS.md (the paper
+// under reproduction is pure theory, so the "tables" are the theorem-shaped
+// experiments E1–E15 catalogued in DESIGN.md §4).
+//
+// Each experiment is a named, self-contained, deterministic function from a
+// (seed, scale) configuration to a printed table. cmd/swbench runs them by
+// id; the root benchmarks reuse the same workloads for timing.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+)
+
+// Config parameterizes one experiment run.
+type Config struct {
+	// Seed drives all randomness; equal seeds give identical tables.
+	Seed uint64
+	// Quick shrinks trial counts for CI-speed runs (shapes remain visible,
+	// statistical resolution drops).
+	Quick bool
+	// Out receives the table.
+	Out io.Writer
+}
+
+// Experiment is one reproducible experiment.
+type Experiment struct {
+	// ID is the DESIGN.md §4 identifier (E1...E15).
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Claim names the paper artifact the experiment validates.
+	Claim string
+	// Run executes the experiment and writes its table to cfg.Out.
+	Run func(cfg Config)
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every experiment in id order.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool {
+		// E2 < E10 numerically: compare by numeric suffix.
+		return expNum(out[i].ID) < expNum(out[j].ID)
+	})
+	return out
+}
+
+func expNum(id string) int {
+	n := 0
+	for _, r := range id {
+		if r >= '0' && r <= '9' {
+			n = n*10 + int(r-'0')
+		}
+	}
+	return n
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// table is a small aligned-column writer on top of text/tabwriter.
+type table struct {
+	tw *tabwriter.Writer
+}
+
+func newTable(w io.Writer, headers ...string) *table {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	t := &table{tw: tw}
+	t.row(toAny(headers)...)
+	sep := make([]any, len(headers))
+	for i, h := range headers {
+		sep[i] = dashes(len(h))
+	}
+	t.row(sep...)
+	return t
+}
+
+func toAny(ss []string) []any {
+	out := make([]any, len(ss))
+	for i, s := range ss {
+		out[i] = s
+	}
+	return out
+}
+
+func dashes(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '-'
+	}
+	return string(b)
+}
+
+func (t *table) row(cells ...any) {
+	for i, c := range cells {
+		if i > 0 {
+			fmt.Fprint(t.tw, "\t")
+		}
+		switch v := c.(type) {
+		case float64:
+			fmt.Fprintf(t.tw, "%.4g", v)
+		default:
+			fmt.Fprintf(t.tw, "%v", v)
+		}
+	}
+	fmt.Fprintln(t.tw)
+}
+
+func (t *table) flush() { t.tw.Flush() }
+
+// banner prints the experiment header.
+func banner(cfg Config, e Experiment) {
+	fmt.Fprintf(cfg.Out, "\n=== %s: %s\n    claim: %s (seed=%d quick=%v)\n\n", e.ID, e.Title, e.Claim, cfg.Seed, cfg.Quick)
+}
+
+// note prints a post-table remark.
+func note(cfg Config, format string, args ...any) {
+	fmt.Fprintf(cfg.Out, "    note: "+format+"\n", args...)
+}

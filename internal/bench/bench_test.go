@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E12", "E13", "E14", "E15"}
+	if len(all) != len(want) {
+		ids := make([]string, len(all))
+		for i, e := range all {
+			ids[i] = e.ID
+		}
+		t.Fatalf("registry has %v, want %v", ids, want)
+	}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Fatalf("position %d: %s, want %s (ordering broken)", i, e.ID, want[i])
+		}
+		if e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Fatalf("%s is missing metadata", e.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, ok := ByID("E7")
+	if !ok || e.ID != "E7" {
+		t.Fatal("ByID(E7) failed")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Fatal("ByID accepted an unknown id")
+	}
+}
+
+func TestExpNum(t *testing.T) {
+	if expNum("E2") != 2 || expNum("E14") != 14 || expNum("Exyz") != 0 {
+		t.Fatal("expNum broken")
+	}
+}
+
+// TestFastExperimentsProduceTables actually runs the cheap experiments in
+// quick mode and sanity-checks their output.
+func TestFastExperimentsProduceTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical experiments skipped in -short mode")
+	}
+	cases := map[string][]string{
+		"E7":  {"chi2(indep)", "p-value"},
+		"E13": {"rank err", "words"},
+	}
+	for id, wantHeaders := range cases {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("%s missing", id)
+		}
+		var buf bytes.Buffer
+		e.Run(Config{Seed: 1, Quick: true, Out: &buf})
+		out := buf.String()
+		if len(out) == 0 {
+			t.Fatalf("%s produced no output", id)
+		}
+		for _, h := range wantHeaders {
+			if !strings.Contains(out, h) {
+				t.Errorf("%s output missing header %q:\n%s", id, h, out)
+			}
+		}
+		if !strings.Contains(out, "note:") {
+			t.Errorf("%s output has no explanatory note", id)
+		}
+	}
+}
+
+// TestDeterministicOutput: the same (seed, quick) config must print the
+// same bytes — the reproducibility contract of EXPERIMENTS.md.
+func TestDeterministicOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical experiments skipped in -short mode")
+	}
+	e, _ := ByID("E13")
+	run := func() string {
+		var buf bytes.Buffer
+		e.Run(Config{Seed: 5, Quick: true, Out: &buf})
+		return buf.String()
+	}
+	if run() != run() {
+		t.Fatal("experiment output not deterministic for a fixed seed")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	var buf bytes.Buffer
+	tb := newTable(&buf, "alpha", "beta")
+	tb.row(1, 2.5)
+	tb.row("x", "y")
+	tb.flush()
+	out := buf.String()
+	for _, want := range []string{"alpha", "beta", "-----", "2.5", "x"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4", len(lines))
+	}
+}
+
+func TestSeedsFor(t *testing.T) {
+	a := seedsFor(Config{Seed: 3}, 5)
+	b := seedsFor(Config{Seed: 3}, 5)
+	if len(a) != 5 {
+		t.Fatal("wrong count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("seedsFor not deterministic")
+		}
+	}
+	c := seedsFor(Config{Seed: 4}, 5)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == 5 {
+		t.Fatal("different master seeds gave identical trial seeds")
+	}
+}
+
+func TestSqrtf(t *testing.T) {
+	for _, x := range []float64{0, 0.25, 1, 2, 100} {
+		got := sqrtf(x)
+		if x == 0 && got != 0 {
+			t.Fatal("sqrtf(0) != 0")
+		}
+		if x > 0 {
+			if d := got*got - x; d > 1e-9 || d < -1e-9 {
+				t.Fatalf("sqrtf(%v) = %v", x, got)
+			}
+		}
+	}
+}
+
+func TestItoaAndBand(t *testing.T) {
+	if itoa(0) != "0" || itoa(42) != "42" || itoa(12345678) != "12345678" {
+		t.Fatal("itoa broken")
+	}
+	if fmtBand([2]int{3, 17}) != "[3,17)" {
+		t.Fatal("fmtBand broken")
+	}
+}

@@ -1,0 +1,136 @@
+package bench
+
+// E13/E14: extension experiments beyond the paper's explicit corollaries —
+// two more sampling-based algorithms run through the Theorem 5.1
+// translation (windowed quantiles and windowed heavy hitters). They are the
+// "any sampling-based algorithm" claim exercised on algorithms the paper
+// did not name.
+
+import (
+	"slidingsample/internal/apps"
+	"slidingsample/internal/stats"
+	"slidingsample/internal/stream"
+	"slidingsample/internal/xrand"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E13",
+		Title: "Windowed quantiles from a WOR sample (Theorem 5.1 extension)",
+		Claim: "sample-quantile rank error ~ n/sqrt(k), with Theorem 2.2's deterministic memory",
+		Run:   runE13,
+	})
+}
+
+func runE13(cfg Config) {
+	const n = 4096
+	const m = 3 * n
+	runs := 40
+	if cfg.Quick {
+		runs = 15
+	}
+	r := xrand.New(cfg.Seed)
+	gen := stream.NewUniformValues(r.Split(), 1_000_000)
+	values := make([]uint64, m)
+	for i := range values {
+		values[i] = gen.Next()
+	}
+	windowVals := values[m-n:]
+	t := newTable(cfg.Out, "k", "q", "mean |rank err|/n", "theory ~ sqrt(q(1-q)/k)", "words")
+	for _, k := range []int{64, 256, 1024} {
+		for _, q := range []float64{0.5, 0.95} {
+			var errs []float64
+			words := 0
+			for run := 0; run < runs; run++ {
+				est := apps.NewQuantiles(r.Split(), n, k)
+				for i, v := range values {
+					est.Observe(v, int64(i))
+				}
+				got, ok := est.Query(q)
+				if !ok {
+					continue
+				}
+				rank := float64(apps.ExactRank(windowVals, got))
+				errs = append(errs, stats.RelErr(rank, q*n)*q) // |rank-qn|/n
+				words = est.Words()
+			}
+			theory := sqrtf(q * (1 - q) / float64(k))
+			t.row(k, q, stats.Mean(errs), theory, words)
+		}
+	}
+	t.flush()
+	note(cfg, "window n=%d of uniform values; rank error normalized by n; memory Θ(k) words, deterministic", n)
+}
+
+func sqrtf(x float64) float64 {
+	// tiny local sqrt to keep imports minimal
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 40; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+func init() {
+	register(Experiment{
+		ID:    "E14",
+		Title: "Windowed heavy hitters from a WR sample (Theorem 5.1 extension)",
+		Claim: "values with frequency >= phi*n detected; <= (phi-eps)*n rejected",
+		Run:   runE14,
+	})
+}
+
+func runE14(cfg Config) {
+	const n = 8192
+	const m = 2 * n
+	runs := 30
+	if cfg.Quick {
+		runs = 10
+	}
+	const hot = uint64(999_999)
+	const warm = uint64(888_888)
+	r := xrand.New(cfg.Seed)
+	t := newTable(cfg.Out, "k", "phi", "eps", "recall(hot 25%)", "false_pos(warm 5%)", "words")
+	for _, k := range []int{100, 400, 1600} {
+		gen := stream.NewUniformValues(r.Split(), 100_000)
+		values := make([]uint64, m)
+		for i := range values {
+			switch {
+			case i%4 == 0:
+				values[i] = hot // 25% of the window
+			case i%20 == 1:
+				values[i] = warm // 5% of the window
+			default:
+				values[i] = gen.Next()
+			}
+		}
+		const phi, eps = 0.2, 0.1
+		hits, falsePos := 0, 0
+		words := 0
+		for run := 0; run < runs; run++ {
+			h := apps.NewHeavyHitters(r.Split(), n, k)
+			for i, v := range values {
+				h.Observe(v, int64(i))
+			}
+			got, ok := h.Report(phi, eps)
+			if !ok {
+				continue
+			}
+			for _, v := range got {
+				if v == hot {
+					hits++
+				}
+				if v == warm {
+					falsePos++
+				}
+			}
+			words = h.Words()
+		}
+		t.row(k, phi, eps, float64(hits)/float64(runs), float64(falsePos)/float64(runs), words)
+	}
+	t.flush()
+	note(cfg, "window n=%d; hot value at 25%% must be found (phi=0.2), warm value at 5%% must be rejected (phi-eps=0.1)", n)
+}

@@ -1,0 +1,194 @@
+package bench
+
+import (
+	"slidingsample/internal/core"
+	"slidingsample/internal/stats"
+	"slidingsample/internal/window"
+	"slidingsample/internal/xrand"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E6",
+		Title: "Uniformity of all four samplers (chi-square p-values)",
+		Claim: "Theorems 2.1, 2.2, 3.9, 4.4 — samples are exactly uniform over the window",
+		Run:   runE6,
+	})
+}
+
+// e6Pattern is the shared bursty arrival pattern (same as the core tests).
+func e6Pattern() []int64 {
+	var p []int64
+	add := func(ts int64, count int) {
+		for i := 0; i < count; i++ {
+			p = append(p, ts)
+		}
+	}
+	add(0, 7)
+	add(1, 1)
+	add(4, 12)
+	add(5, 2)
+	add(9, 5)
+	add(12, 3)
+	add(13, 9)
+	return p
+}
+
+func runE6(cfg Config) {
+	trials := 40000
+	if cfg.Quick {
+		trials = 10000
+	}
+	t := newTable(cfg.Out, "sampler", "config", "cells", "chi2", "p-value")
+	r := xrand.New(cfg.Seed)
+
+	// SEQ-WR at a bucket-straddling offset.
+	{
+		const n, m = 8, 21
+		counts := make([]int, n)
+		for tr := 0; tr < trials; tr++ {
+			s := core.NewSeqWR[uint64](r, n, 1)
+			for i := 0; i < m; i++ {
+				s.Observe(uint64(i), int64(i))
+			}
+			got, _ := s.Sample()
+			counts[got[0].Index-(m-n)]++
+		}
+		chi, p, _ := stats.ChiSquareUniform(counts)
+		t.row("SeqWR", "n=8, 21 arrivals (straddling)", n, chi, p)
+	}
+
+	// SEQ-WOR: subsets of size 2 out of n=6.
+	{
+		const n, k, m = 6, 2, 15
+		idx := map[[2]uint64]int{}
+		var cells [][2]uint64
+		for a := uint64(m - n); a < m; a++ {
+			for b := a + 1; b < m; b++ {
+				idx[[2]uint64{a, b}] = len(cells)
+				cells = append(cells, [2]uint64{a, b})
+			}
+		}
+		counts := make([]int, len(cells))
+		for tr := 0; tr < trials; tr++ {
+			s := core.NewSeqWOR[uint64](r, n, k)
+			for i := 0; i < m; i++ {
+				s.Observe(uint64(i), int64(i))
+			}
+			got, _ := s.Sample()
+			a, b := got[0].Index, got[1].Index
+			if a > b {
+				a, b = b, a
+			}
+			counts[idx[[2]uint64{a, b}]]++
+		}
+		chi, p, _ := stats.ChiSquareUniform(counts)
+		t.row("SeqWOR", "n=6, k=2, 15 arrivals (straddling)", len(cells), chi, p)
+	}
+
+	// TS-WR on the bursty pattern at a straddling query time.
+	{
+		const t0, now = 10, 13
+		pattern := e6Pattern()
+		var act []uint64
+		w := window.Timestamp{T0: t0}
+		for i, ts := range pattern {
+			if ts <= now && w.Active(ts, now) {
+				act = append(act, uint64(i))
+			}
+		}
+		pos := map[uint64]int{}
+		for i, v := range act {
+			pos[v] = i
+		}
+		counts := make([]int, len(act))
+		for tr := 0; tr < trials; tr++ {
+			s := core.NewTSWR[uint64](r, t0, 1)
+			for i, ts := range pattern {
+				s.Observe(uint64(i), ts)
+			}
+			got, _ := s.SampleAt(now)
+			counts[pos[got[0].Index]]++
+		}
+		chi, p, _ := stats.ChiSquareUniform(counts)
+		t.row("TSWR", "t0=10, bursty pattern, query@13", len(act), chi, p)
+	}
+
+	// TS-WOR subsets on the bursty pattern.
+	{
+		const t0, now, k = 10, 13, 2
+		pattern := e6Pattern()
+		var act []uint64
+		w := window.Timestamp{T0: t0}
+		for i, ts := range pattern {
+			if ts <= now && w.Active(ts, now) {
+				act = append(act, uint64(i))
+			}
+		}
+		idx := map[[2]uint64]int{}
+		count := 0
+		for i := 0; i < len(act); i++ {
+			for j := i + 1; j < len(act); j++ {
+				idx[[2]uint64{act[i], act[j]}] = count
+				count++
+			}
+		}
+		counts := make([]int, count)
+		for tr := 0; tr < trials; tr++ {
+			s := core.NewTSWOR[uint64](r, t0, k)
+			for i, ts := range pattern {
+				s.Observe(uint64(i), ts)
+			}
+			got, _ := s.SampleAt(now)
+			a, b := got[0].Index, got[1].Index
+			if a > b {
+				a, b = b, a
+			}
+			counts[idx[[2]uint64{a, b}]]++
+		}
+		chi, p, _ := stats.ChiSquareUniform(counts)
+		t.row("TSWOR", "t0=10, k=2, bursty pattern, query@13", count, chi, p)
+	}
+
+	t.flush()
+	note(cfg, "%d trials per row; p-values should be non-pathological (uniform over repeated runs)", trials)
+}
+
+func init() {
+	register(Experiment{
+		ID:    "E7",
+		Title: "Independence of samples over disjoint windows",
+		Claim: "Section 1.3.4 — non-overlapping windows yield independent samples",
+		Run:   runE7,
+	})
+}
+
+func runE7(cfg Config) {
+	trials := 120000
+	if cfg.Quick {
+		trials = 30000
+	}
+	const n = 4
+	r := xrand.New(cfg.Seed)
+	tableCounts := make([][]int, n)
+	for i := range tableCounts {
+		tableCounts[i] = make([]int, n)
+	}
+	for tr := 0; tr < trials; tr++ {
+		s := core.NewSeqWR[uint64](r, n, 1)
+		for i := 0; i < n; i++ {
+			s.Observe(uint64(i), int64(i))
+		}
+		a, _ := s.Sample()
+		for i := n; i < 3*n; i++ {
+			s.Observe(uint64(i), int64(i))
+		}
+		b, _ := s.Sample()
+		tableCounts[a[0].Index][b[0].Index-2*n]++
+	}
+	chi, p, _ := stats.ChiSquareIndependence(tableCounts)
+	t := newTable(cfg.Out, "windows", "trials", "chi2(indep)", "p-value")
+	t.row("[0,4) vs [8,12)", trials, chi, p)
+	t.flush()
+	note(cfg, "a small p-value would indicate the two window samples are correlated; the reservoir substrate guarantees they are not")
+}

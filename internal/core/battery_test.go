@@ -1,0 +1,201 @@
+package core
+
+// battery_test.go: a systematic uniformity battery over a grid of
+// configurations. Each cell uses a cheap first-two-moments test (mean and
+// second moment of the sampled window position) rather than a full
+// chi-square, which lets the grid cover many (n, k, offset, pattern)
+// combinations in seconds. The sharp chi-square tests live in the dedicated
+// files; the battery's job is breadth.
+
+import (
+	"math"
+	"testing"
+
+	"slidingsample/internal/xrand"
+)
+
+// momentCheck verifies that `positions` (window positions in [0, size))
+// have the mean and mean-square of the uniform distribution on {0..size-1}
+// within 5.5 sigma.
+func momentCheck(t *testing.T, label string, positions []float64, size int) {
+	t.Helper()
+	n := float64(size)
+	cnt := float64(len(positions))
+	var sum, sumSq float64
+	for _, p := range positions {
+		sum += p
+		sumSq += p * p
+	}
+	mean := sum / cnt
+	wantMean := (n - 1) / 2
+	sigmaMean := math.Sqrt((n*n - 1) / 12 / cnt)
+	if math.Abs(mean-wantMean) > 5.5*sigmaMean {
+		t.Errorf("%s: mean %.3f, want %.3f±%.3f", label, mean, wantMean, 5.5*sigmaMean)
+	}
+	meanSq := sumSq / cnt
+	wantSq := (n - 1) * (2*n - 1) / 6
+	// Var(X²) for X uniform on {0..n-1}: E[X⁴]-E[X²]² ≈ n⁴(1/5-1/9).
+	sigmaSq := math.Sqrt((math.Pow(n, 4)*(1.0/5-1.0/9) + 1) / cnt)
+	if math.Abs(meanSq-wantSq) > 5.5*sigmaSq {
+		t.Errorf("%s: mean-square %.1f, want %.1f±%.1f", label, meanSq, wantSq, 5.5*sigmaSq)
+	}
+}
+
+func TestBatterySeqWR(t *testing.T) {
+	const trials = 1200
+	r := xrand.New(1)
+	for _, n := range []int{2, 5, 8, 16} {
+		for _, k := range []int{1, 3} {
+			for _, extra := range []int{0, 1, n / 2, n - 1, n, 2*n + 3} {
+				m := n + extra
+				label := "SeqWR n=" + itoaT(n) + " k=" + itoaT(k) + " m=" + itoaT(m)
+				var positions []float64
+				for tr := 0; tr < trials; tr++ {
+					s := NewSeqWR[uint64](r, uint64(n), k)
+					for i := 0; i < m; i++ {
+						s.Observe(uint64(i), int64(i))
+					}
+					got, ok := s.Sample()
+					if !ok {
+						t.Fatalf("%s: no sample", label)
+					}
+					for _, e := range got {
+						positions = append(positions, float64(e.Index-uint64(m-n)))
+					}
+				}
+				momentCheck(t, label, positions, n)
+			}
+		}
+	}
+}
+
+func TestBatterySeqWOR(t *testing.T) {
+	const trials = 1200
+	r := xrand.New(2)
+	for _, n := range []int{4, 9, 16} {
+		for _, k := range []int{1, 2, 4} {
+			for _, extra := range []int{0, n - 1, n, 3 * n / 2} {
+				m := n + extra
+				label := "SeqWOR n=" + itoaT(n) + " k=" + itoaT(k) + " m=" + itoaT(m)
+				var positions []float64
+				for tr := 0; tr < trials; tr++ {
+					s := NewSeqWOR[uint64](r, uint64(n), k)
+					for i := 0; i < m; i++ {
+						s.Observe(uint64(i), int64(i))
+					}
+					got, _ := s.Sample()
+					for _, e := range got {
+						positions = append(positions, float64(e.Index-uint64(m-n)))
+					}
+				}
+				// Marginals of a WOR sample are uniform; moments apply.
+				momentCheck(t, label, positions, n)
+			}
+		}
+	}
+}
+
+func TestBatteryTSWR(t *testing.T) {
+	const trials = 1500
+	r := xrand.New(3)
+	// Several (pattern, t0, query) cells with straddles at different depths.
+	type cell struct {
+		name    string
+		pattern []int64
+		t0      int64
+		now     int64
+	}
+	mk := func(bursts ...[2]int64) []int64 {
+		var p []int64
+		for _, b := range bursts {
+			for i := int64(0); i < b[1]; i++ {
+				p = append(p, b[0])
+			}
+		}
+		return p
+	}
+	cells := []cell{
+		{"flat", mk([2]int64{0, 10}), 5, 3},
+		{"deep-straddle", mk([2]int64{0, 20}, [2]int64{3, 4}), 6, 8},
+		{"two-bursts", mk([2]int64{0, 6}, [2]int64{2, 6}, [2]int64{5, 6}), 7, 8},
+		{"tail-burst", mk([2]int64{0, 3}, [2]int64{9, 15}), 4, 11},
+	}
+	for _, c := range cells {
+		act := activeSet(c.pattern, c.t0, c.now)
+		if len(act) < 2 {
+			t.Fatalf("%s: degenerate active set", c.name)
+		}
+		pos := map[uint64]int{}
+		for i, idx := range act {
+			pos[idx] = i
+		}
+		var positions []float64
+		for tr := 0; tr < trials; tr++ {
+			s := NewTSWR[uint64](r, c.t0, 1)
+			for i, ts := range c.pattern {
+				if ts <= c.now {
+					s.Observe(uint64(i), ts)
+				}
+			}
+			got, ok := s.SampleAt(c.now)
+			if !ok {
+				t.Fatalf("%s: no sample", c.name)
+			}
+			p, known := pos[got[0].Index]
+			if !known {
+				t.Fatalf("%s: sampled inactive index %d", c.name, got[0].Index)
+			}
+			positions = append(positions, float64(p))
+		}
+		momentCheck(t, "TSWR "+c.name, positions, len(act))
+	}
+}
+
+func TestBatteryTSWOR(t *testing.T) {
+	const trials = 1200
+	r := xrand.New(4)
+	pattern := burstyPattern()[:28]
+	const t0, now = 10, 13
+	act := activeSet(pattern, t0, now)
+	pos := map[uint64]int{}
+	for i, idx := range act {
+		pos[idx] = i
+	}
+	for _, k := range []int{1, 2, 5} {
+		var positions []float64
+		for tr := 0; tr < trials; tr++ {
+			s := NewTSWOR[uint64](r, t0, k)
+			for i, ts := range pattern {
+				if ts <= now {
+					s.Observe(uint64(i), ts)
+				}
+			}
+			got, ok := s.SampleAt(now)
+			if !ok {
+				t.Fatalf("k=%d: no sample", k)
+			}
+			for _, e := range got {
+				p, known := pos[e.Index]
+				if !known {
+					t.Fatalf("k=%d: inactive index %d", k, e.Index)
+				}
+				positions = append(positions, float64(p))
+			}
+		}
+		momentCheck(t, "TSWOR k="+itoaT(k), positions, len(act))
+	}
+}
+
+func itoaT(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+
+	"slidingsample/internal/stream"
+	"slidingsample/internal/xrand"
+)
+
+// BS is the paper's bucket structure BS(x, y) (Section 3.1): bookkeeping for
+// the index bucket B(x, y) = {p_x, ..., p_{y-1}} together with k independent
+// PAIRS of uniform samples (R[j], Q[j]) from the bucket.
+//
+// Two independent samples per slot is the trick that makes "generating
+// implicit events" possible: at query time R is the candidate output while Q
+// is consumed to synthesize the unknown-probability coin of Lemma 3.7
+// without biasing R.
+//
+// The stored fields mirror the paper's tuple {p_x, x, y, T(p_x), R, Q, r, q}:
+// First carries p_x, its index x and timestamp T(p_x); each Stored sample
+// carries its value, its index (the paper's r/q) and its timestamp (needed
+// for the expiry tests in Lemma 3.7/3.8).
+type BS[T any] struct {
+	// X, Y delimit the covered index range [X, Y).
+	X, Y uint64
+	// First is p_X, the bucket's oldest element.
+	First stream.Element[T]
+	// R and Q are the k independent sample pairs; R[j] and Q[j] are each
+	// uniform over the bucket, independent of each other and of every other
+	// slot.
+	R, Q []*stream.Stored[T]
+}
+
+// newSingletonBS builds BS(e.Index, e.Index+1) for a just-arrived element:
+// over a one-element bucket the unique uniform distribution is the element
+// itself, so all sample slots point at (separate copies of) it.
+func newSingletonBS[T any](e stream.Element[T], k int) *BS[T] {
+	b := &BS[T]{
+		X:     e.Index,
+		Y:     e.Index + 1,
+		First: e,
+		R:     make([]*stream.Stored[T], k),
+		Q:     make([]*stream.Stored[T], k),
+	}
+	for j := 0; j < k; j++ {
+		b.R[j] = &stream.Stored[T]{Elem: e}
+		b.Q[j] = &stream.Stored[T]{Elem: e}
+	}
+	return b
+}
+
+// Width returns |B(x,y)| = y - x.
+func (b *BS[T]) Width() uint64 { return b.Y - b.X }
+
+// mergeBS unifies two ADJACENT, EQUAL-WIDTH bucket structures into
+// BS(left.X, right.Y), per Section 3.2: the merged sample R_{a,d} equals
+// R_{a,c} with probability 1/2 and R_{c,d} otherwise — exactly uniform over
+// the doubled bucket because the halves have equal width. Each slot and each
+// of R/Q flips its own independent coin, preserving mutual independence.
+//
+// The surviving Stored pointers are carried over, so application auxiliary
+// state (Theorem 5.1 layer) follows the sample across merges.
+func mergeBS[T any](rng *xrand.Rand, left, right *BS[T]) *BS[T] {
+	if left.Y != right.X {
+		panic(fmt.Sprintf("core: mergeBS of non-adjacent buckets [%d,%d) [%d,%d)", left.X, left.Y, right.X, right.Y))
+	}
+	if left.Width() != right.Width() {
+		panic(fmt.Sprintf("core: mergeBS of unequal widths %d and %d", left.Width(), right.Width()))
+	}
+	k := len(left.R)
+	m := &BS[T]{
+		X:     left.X,
+		Y:     right.Y,
+		First: left.First,
+		R:     make([]*stream.Stored[T], k),
+		Q:     make([]*stream.Stored[T], k),
+	}
+	for j := 0; j < k; j++ {
+		if rng.Coin() {
+			m.R[j] = left.R[j]
+		} else {
+			m.R[j] = right.R[j]
+		}
+		if rng.Coin() {
+			m.Q[j] = left.Q[j]
+		} else {
+			m.Q[j] = right.Q[j]
+		}
+	}
+	return m
+}
+
+// bsWords is the word cost of one bucket structure with k slots under the
+// DESIGN.md §6 model: First (value+index+timestamp = 3) + Y (1; X is
+// First.Index and not double-counted) + k*(R: 3 + Q: 3).
+func bsWords(k int) int { return 4 + 6*k }

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"slidingsample/internal/stream"
+	"slidingsample/internal/xrand"
+)
+
+// decomp maintains the paper's covering decomposition ζ(a, b) (Definition
+// 3.1): an ordered list of bucket structures partitioning the index range
+// [a, b], with bucket widths following the binary-counter pattern
+//
+//	ζ(b, b)  = ⟨BS(b, b+1)⟩
+//	ζ(a, b)  = ⟨BS(a, c), ζ(c, b)⟩,  c = a + 2^(⌊log(b+1-a)⌋ - 1)
+//
+// so |ζ(a,b)| = O(log(b-a)) and the first bucket always covers at most half
+// of the range — the invariant (α ≤ β) that Lemma 3.7's coin needs.
+//
+// Appending element p_{b+1} applies the paper's Incr operator, which
+// Lemma 3.4 proves rebuilds exactly ζ(a, b+1): walk the list front to back;
+// at each position either keep the head bucket (when ⌊log(m+1)⌋ = ⌊log m⌋
+// for the remaining range size m) or merge the first two — they provably
+// have equal width at that point — and continue; finally append the new
+// element as a fresh width-1 bucket. The covering_test.go property test
+// checks our Incr against Definition 3.1 literally.
+type decomp[T any] struct {
+	k    int
+	rng  *xrand.Rand
+	list []*BS[T]
+	// scratch is the double buffer for incr: each increment rebuilds the
+	// list, and reusing the previous backing array keeps the steady-state
+	// arrival path allocation-free for the list itself.
+	scratch []*BS[T]
+}
+
+func newDecomp[T any](rng *xrand.Rand, k int) *decomp[T] {
+	return &decomp[T]{k: k, rng: rng}
+}
+
+// floorLog2 returns ⌊log₂ x⌋ for x >= 1.
+func floorLog2(x uint64) uint {
+	if x == 0 {
+		panic("core: floorLog2(0)")
+	}
+	return uint(63 - bits.LeadingZeros64(x))
+}
+
+// Empty reports whether the decomposition covers nothing.
+func (d *decomp[T]) Empty() bool { return len(d.list) == 0 }
+
+// Start returns a, the first covered index. Panics when empty.
+func (d *decomp[T]) Start() uint64 { return d.list[0].X }
+
+// End returns b+1, one past the last covered index. Panics when empty.
+func (d *decomp[T]) End() uint64 { return d.list[len(d.list)-1].Y }
+
+// TotalWidth returns the number of covered elements.
+func (d *decomp[T]) TotalWidth() uint64 {
+	if d.Empty() {
+		return 0
+	}
+	return d.End() - d.Start()
+}
+
+// Last returns the most recent bucket structure (always width 1: the Incr
+// operator ends by appending the new element as a singleton).
+func (d *decomp[T]) Last() *BS[T] { return d.list[len(d.list)-1] }
+
+// Append adds the next element. If the decomposition is empty it starts a
+// fresh ζ(e.Index, e.Index); otherwise e.Index must equal End() and the
+// paper's Incr operator runs.
+func (d *decomp[T]) Append(e stream.Element[T]) {
+	if len(d.list) == 0 {
+		d.list = append(d.list, newSingletonBS(e, d.k))
+		return
+	}
+	if e.Index != d.End() {
+		panic(fmt.Sprintf("core: decomp.Append index %d, want %d", e.Index, d.End()))
+	}
+	d.incr(e)
+}
+
+// incr is the Incr operator of Section 3.2 in iterative form. The recursion
+//
+//	Incr(ζ(b,b))   = ⟨BS(b,b+1), BS(b+1,b+2)⟩
+//	Incr(ζ(a,b))   = ⟨BS(a,v), Incr(ζ(v,b))⟩
+//
+// is tail-shaped: each step either retains the head bucket (v = c) or
+// replaces the first two buckets by their merge (v = d), then continues on
+// the remaining suffix, which is itself a covering decomposition. The merge
+// case fires exactly when b+2-a crosses a power of two, in which case the
+// paper shows the first two buckets have equal width 2^(i-2).
+func (d *decomp[T]) incr(e stream.Element[T]) {
+	end := d.End() // b+1
+	out := d.scratch[:0]
+	i := 0
+	for {
+		if len(d.list)-i == 1 {
+			// Base case Incr(ζ(b,b)): the remaining suffix is the width-1
+			// bucket of the newest element; append the fresh singleton.
+			if d.list[i].Width() != 1 {
+				panic("core: decomp invariant violated: singleton suffix with width > 1")
+			}
+			out = append(out, d.list[i], newSingletonBS(e, d.k))
+			break
+		}
+		a := d.list[i].X
+		m := end - a // b + 1 - a
+		if floorLog2(m+1) == floorLog2(m) {
+			out = append(out, d.list[i])
+			i++
+			continue
+		}
+		out = append(out, mergeBS(d.rng, d.list[i], d.list[i+1]))
+		i += 2
+	}
+	d.list, d.scratch = out, d.list
+	// Drop stale bucket pointers from the retired buffer so merged-away
+	// structures become collectable.
+	clearPtrs(d.scratch)
+}
+
+func clearPtrs[T any](s []*BS[T]) {
+	for i := range s {
+		s[i] = nil
+	}
+}
+
+// DropPrefix discards the first j bucket structures (they represent only
+// expired elements, or have been handed off as the straddling bucket).
+func (d *decomp[T]) DropPrefix(j int) {
+	if j < 0 || j > len(d.list) {
+		panic("core: decomp.DropPrefix out of range")
+	}
+	d.list = append(d.list[:0:0], d.list[j:]...) // fresh backing array: avoid retaining dropped buckets
+}
+
+// Clear discards everything.
+func (d *decomp[T]) Clear() { d.list = nil }
+
+// Len returns the number of bucket structures.
+func (d *decomp[T]) Len() int { return len(d.list) }
+
+// At returns the i-th bucket structure.
+func (d *decomp[T]) At(i int) *BS[T] { return d.list[i] }
+
+// PickWeighted returns slot j's R sample of a bucket chosen with probability
+// proportional to its width — a uniform sample over ALL covered elements,
+// because each bucket's R is uniform within the bucket. One fresh integer
+// draw per call; exact arithmetic.
+func (d *decomp[T]) PickWeighted(slot int) *stream.Stored[T] {
+	total := d.TotalWidth()
+	if total == 0 {
+		panic("core: PickWeighted on empty decomposition")
+	}
+	u := d.rng.Uint64n(total)
+	for _, b := range d.list {
+		w := b.Width()
+		if u < w {
+			return b.R[slot]
+		}
+		u -= w
+	}
+	panic("core: PickWeighted fell off the end")
+}
+
+// Words returns the word cost of the whole decomposition.
+func (d *decomp[T]) Words() int {
+	return len(d.list) * bsWords(d.k)
+}
+
+// widths returns the bucket widths front to back (test/diagnostic helper).
+func (d *decomp[T]) widths() []uint64 {
+	out := make([]uint64, len(d.list))
+	for i, b := range d.list {
+		out[i] = b.Width()
+	}
+	return out
+}
+
+// checkInvariants panics if the structural invariants of Definition 3.1 do
+// not hold: contiguous coverage, width-1 tail, and the exact width sequence
+// of ζ(Start, End-1). Used by tests (and cheap enough for debug builds).
+func (d *decomp[T]) checkInvariants() {
+	if len(d.list) == 0 {
+		return
+	}
+	for i := 1; i < len(d.list); i++ {
+		if d.list[i].X != d.list[i-1].Y {
+			panic(fmt.Sprintf("core: decomp gap between bucket %d and %d", i-1, i))
+		}
+	}
+	want := referenceWidths(d.TotalWidth())
+	got := d.widths()
+	if len(want) != len(got) {
+		panic(fmt.Sprintf("core: decomp widths %v, want %v", got, want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			panic(fmt.Sprintf("core: decomp widths %v, want %v", got, want))
+		}
+	}
+}
+
+// referenceWidths computes the bucket widths of ζ(a, a+m-1) directly from
+// Definition 3.1 (independent of Incr): for m = 1 the single width-1 bucket;
+// otherwise the head has width 2^(⌊log m⌋ - 1) followed by the decomposition
+// of the remaining m - head elements.
+func referenceWidths(m uint64) []uint64 {
+	var out []uint64
+	for m > 1 {
+		w := uint64(1) << (floorLog2(m) - 1)
+		out = append(out, w)
+		m -= w
+	}
+	if m == 1 {
+		out = append(out, 1)
+	}
+	return out
+}

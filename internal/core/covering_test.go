@@ -1,0 +1,320 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"slidingsample/internal/stream"
+	"slidingsample/internal/xrand"
+)
+
+func tsElem(i uint64) stream.Element[uint64] {
+	return stream.Element[uint64]{Value: i, Index: i, TS: int64(i)}
+}
+
+func buildDecomp(t *testing.T, seed uint64, k int, m int) *decomp[uint64] {
+	t.Helper()
+	d := newDecomp[uint64](xrand.New(seed), k)
+	for i := 0; i < m; i++ {
+		d.Append(tsElem(uint64(i)))
+	}
+	return d
+}
+
+// TestIncrMatchesDefinition is the Lemma 3.4 check: after m Append calls the
+// bucket widths must equal ζ(0, m-1) computed directly from Definition 3.1.
+func TestIncrMatchesDefinition(t *testing.T) {
+	d := newDecomp[uint64](xrand.New(1), 1)
+	for m := 1; m <= 4096; m++ {
+		d.Append(tsElem(uint64(m - 1)))
+		d.checkInvariants() // compares widths against referenceWidths(m)
+		if got := d.TotalWidth(); got != uint64(m) {
+			t.Fatalf("after %d appends TotalWidth = %d", m, got)
+		}
+	}
+}
+
+func TestIncrMatchesDefinitionQuick(t *testing.T) {
+	f := func(mRaw uint16, seed uint64) bool {
+		m := int(mRaw%5000) + 1
+		d := newDecomp[uint64](xrand.New(seed), 2)
+		for i := 0; i < m; i++ {
+			d.Append(tsElem(uint64(i)))
+		}
+		w := d.widths()
+		want := referenceWidths(uint64(m))
+		if len(w) != len(want) {
+			return false
+		}
+		for i := range w {
+			if w[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecompSizeLogarithmic(t *testing.T) {
+	d := newDecomp[uint64](xrand.New(2), 1)
+	for m := 1; m <= 1<<16; m++ {
+		d.Append(tsElem(uint64(m - 1)))
+		bound := 2*int(floorLog2(uint64(m))) + 2
+		if d.Len() > bound {
+			t.Fatalf("m=%d: decomposition has %d buckets, bound %d (Fact 3.2)", m, d.Len(), bound)
+		}
+	}
+}
+
+func TestDecompStructure(t *testing.T) {
+	d := buildDecomp(t, 3, 2, 1000)
+	// Contiguous, ends with width-1 bucket, non-increasing... widths follow
+	// the reference; spot-check contiguity and the width-1 tail explicitly.
+	for i := 1; i < d.Len(); i++ {
+		if d.At(i).X != d.At(i-1).Y {
+			t.Fatalf("gap between buckets %d and %d", i-1, i)
+		}
+	}
+	if d.Last().Width() != 1 {
+		t.Fatalf("last bucket width = %d, want 1", d.Last().Width())
+	}
+	if d.Start() != 0 || d.End() != 1000 {
+		t.Fatalf("range [%d,%d), want [0,1000)", d.Start(), d.End())
+	}
+	// Every bucket's samples live inside the bucket and carry its metadata.
+	for i := 0; i < d.Len(); i++ {
+		b := d.At(i)
+		if b.First.Index != b.X {
+			t.Fatalf("bucket %d First.Index=%d, want %d", i, b.First.Index, b.X)
+		}
+		for j := range b.R {
+			for _, st := range []*stream.Stored[uint64]{b.R[j], b.Q[j]} {
+				if st.Elem.Index < b.X || st.Elem.Index >= b.Y {
+					t.Fatalf("bucket %d sample index %d outside [%d,%d)", i, st.Elem.Index, b.X, b.Y)
+				}
+			}
+		}
+	}
+}
+
+// TestHeadBucketSampleUniform checks that after the cascade of merges the
+// head bucket's R sample is uniform over the whole bucket — the Section 3.2
+// claim that the probability-1/2 merge rule preserves uniformity.
+func TestHeadBucketSampleUniform(t *testing.T) {
+	const m, trials = 64, 60000 // m a power of two: head bucket covers [0,32)
+	r := xrand.New(4)
+	counts := make([]int, 32)
+	for tr := 0; tr < trials; tr++ {
+		d := newDecomp[uint64](r.Split(), 1)
+		for i := 0; i < m; i++ {
+			d.Append(tsElem(uint64(i)))
+		}
+		head := d.At(0)
+		if head.Width() != 32 {
+			t.Fatalf("head bucket width = %d, want 32", head.Width())
+		}
+		counts[head.R[0].Elem.Index]++
+	}
+	want := float64(trials) / 32
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("head sample hit %d %d times, want about %.0f", i, c, want)
+		}
+	}
+}
+
+// TestHeadBucketRAndQIndependent verifies that the merge coin streams for R
+// and Q are independent: the joint distribution over a 4-wide bucket should
+// factor.
+func TestHeadBucketRAndQIndependent(t *testing.T) {
+	const m, trials = 8, 160000 // head bucket covers [0,4)
+	r := xrand.New(5)
+	joint := map[[2]uint64]int{}
+	for tr := 0; tr < trials; tr++ {
+		d := newDecomp[uint64](r.Split(), 1)
+		for i := 0; i < m; i++ {
+			d.Append(tsElem(uint64(i)))
+		}
+		head := d.At(0)
+		if head.Width() != 4 {
+			t.Fatalf("head bucket width = %d, want 4", head.Width())
+		}
+		joint[[2]uint64{head.R[0].Elem.Index, head.Q[0].Elem.Index}]++
+	}
+	want := float64(trials) / 16
+	for a := uint64(0); a < 4; a++ {
+		for b := uint64(0); b < 4; b++ {
+			c := float64(joint[[2]uint64{a, b}])
+			if math.Abs(c-want) > 5*math.Sqrt(want) {
+				t.Errorf("joint(R=%d,Q=%d) = %.0f, want about %.0f", a, b, c, want)
+			}
+		}
+	}
+}
+
+func TestPickWeightedUniform(t *testing.T) {
+	// Over any m, PickWeighted must be uniform across all covered indexes
+	// when each bucket sample is uniform within its bucket. m=48 exercises
+	// several widths.
+	const m, trials = 48, 96000
+	r := xrand.New(6)
+	counts := make([]int, m)
+	for tr := 0; tr < trials; tr++ {
+		d := newDecomp[uint64](r.Split(), 1)
+		for i := 0; i < m; i++ {
+			d.Append(tsElem(uint64(i)))
+		}
+		counts[d.PickWeighted(0).Elem.Index]++
+	}
+	want := float64(trials) / m
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("index %d picked %d times, want about %.0f", i, c, want)
+		}
+	}
+}
+
+func TestDropPrefix(t *testing.T) {
+	d := buildDecomp(t, 7, 1, 100)
+	n := d.Len()
+	first := d.At(1)
+	d.DropPrefix(1)
+	if d.Len() != n-1 {
+		t.Fatalf("Len after DropPrefix = %d, want %d", d.Len(), n-1)
+	}
+	if d.At(0) != first {
+		t.Fatal("DropPrefix removed the wrong bucket")
+	}
+	d.DropPrefix(d.Len())
+	if !d.Empty() {
+		t.Fatal("DropPrefix(all) did not empty the decomposition")
+	}
+}
+
+func TestDropPrefixPanics(t *testing.T) {
+	d := buildDecomp(t, 8, 1, 10)
+	for _, j := range []int{-1, d.Len() + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("DropPrefix(%d) did not panic", j)
+				}
+			}()
+			d.DropPrefix(j)
+		}()
+	}
+}
+
+func TestAppendNonContiguousPanics(t *testing.T) {
+	d := buildDecomp(t, 9, 1, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Append with index gap did not panic")
+		}
+	}()
+	d.Append(tsElem(99))
+}
+
+func TestMergePanics(t *testing.T) {
+	r := xrand.New(10)
+	a := newSingletonBS(tsElem(0), 1)
+	b := newSingletonBS(tsElem(2), 1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("merge of non-adjacent buckets did not panic")
+			}
+		}()
+		mergeBS(r, a, b)
+	}()
+	// Unequal widths: merge 0-1 into width 2, then try to merge with width 1.
+	c := mergeBS(r, newSingletonBS(tsElem(0), 1), newSingletonBS(tsElem(1), 1))
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("merge of unequal widths did not panic")
+			}
+		}()
+		mergeBS(r, c, newSingletonBS(tsElem(2), 1))
+	}()
+}
+
+func TestMergeCarriesAux(t *testing.T) {
+	// Application auxiliary state must survive merges on the surviving slot.
+	r := xrand.New(11)
+	left := newSingletonBS(tsElem(0), 1)
+	right := newSingletonBS(tsElem(1), 1)
+	left.R[0].Aux = "L"
+	right.R[0].Aux = "R"
+	m := mergeBS(r, left, right)
+	if m.R[0].Aux != "L" && m.R[0].Aux != "R" {
+		t.Fatalf("merged slot lost Aux: %v", m.R[0].Aux)
+	}
+	if m.First.Index != 0 || m.X != 0 || m.Y != 2 {
+		t.Fatalf("merged bucket metadata wrong: X=%d Y=%d First=%d", m.X, m.Y, m.First.Index)
+	}
+}
+
+func TestReferenceWidths(t *testing.T) {
+	cases := map[uint64][]uint64{
+		1: {1},
+		2: {1, 1},
+		3: {1, 1, 1},
+		4: {2, 1, 1},
+		5: {2, 1, 1, 1},
+		7: {2, 2, 1, 1, 1},
+		8: {4, 2, 1, 1},
+		9: {4, 2, 1, 1, 1},
+	}
+	for m, want := range cases {
+		got := referenceWidths(m)
+		if len(got) != len(want) {
+			t.Fatalf("referenceWidths(%d) = %v, want %v", m, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("referenceWidths(%d) = %v, want %v", m, got, want)
+			}
+		}
+	}
+	// Widths must always sum to m.
+	for m := uint64(1); m <= 3000; m++ {
+		var sum uint64
+		for _, w := range referenceWidths(m) {
+			sum += w
+		}
+		if sum != m {
+			t.Fatalf("referenceWidths(%d) sums to %d", m, sum)
+		}
+	}
+}
+
+func TestFloorLog2(t *testing.T) {
+	cases := map[uint64]uint{1: 0, 2: 1, 3: 1, 4: 2, 7: 2, 8: 3, 1023: 9, 1024: 10}
+	for x, want := range cases {
+		if got := floorLog2(x); got != want {
+			t.Errorf("floorLog2(%d) = %d, want %d", x, got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("floorLog2(0) did not panic")
+		}
+	}()
+	floorLog2(0)
+}
+
+func TestDecompWords(t *testing.T) {
+	d := buildDecomp(t, 12, 3, 100)
+	if got, want := d.Words(), d.Len()*bsWords(3); got != want {
+		t.Fatalf("Words = %d, want %d", got, want)
+	}
+	if bsWords(1) != 10 || bsWords(3) != 22 {
+		t.Fatalf("bsWords changed: %d %d", bsWords(1), bsWords(3))
+	}
+}

@@ -1,0 +1,33 @@
+// Package core implements the paper's contribution: optimal-memory uniform
+// random sampling from sliding windows (Braverman, Ostrovsky, Zaniolo,
+// "Optimal sampling from sliding windows", PODS 2009 / JCSS 78(1), 2012).
+//
+// Four samplers are provided, one per problem variant:
+//
+//   - SeqWR  — k samples WITH replacement, sequence-based window of size n,
+//     Θ(k) words deterministic (Theorem 2.1, equivalent-width partitions).
+//   - SeqWOR — k samples WITHOUT replacement, sequence-based window,
+//     Θ(k) words deterministic (Theorem 2.2).
+//   - TSWR   — k samples WITH replacement, timestamp-based window of horizon
+//     t0, Θ(k·log n) words deterministic (Theorem 3.9: covering
+//     decomposition + generating implicit events).
+//   - TSWOR  — k samples WITHOUT replacement, timestamp-based window,
+//     Θ(k·log n) words deterministic (Theorem 4.4: black-box reduction to k
+//     delayed with-replacement samplers).
+//
+// All samplers:
+//
+//   - are deterministic in memory — the bounds above hold at every instant
+//     of every run, not in expectation (this is the paper's headline
+//     improvement over Babcock–Datar–Motwani chain/priority sampling);
+//   - assign arrival indexes themselves (the i-th Observe call carries
+//     index i-1) and require non-decreasing timestamps where relevant;
+//   - expose Words/MaxWords under the cost model of DESIGN.md §6;
+//   - expose ForEachStored so the Section 5 application layer (Theorem 5.1
+//     translations) can attach per-slot auxiliary state;
+//   - produce samples for non-overlapping windows that are independent
+//     (Section 1.3.4), a property inherited from the reservoir substrate.
+//
+// None of the samplers is safe for concurrent use; wrap with a mutex or give
+// each goroutine its own instance.
+package core

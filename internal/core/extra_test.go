@@ -1,0 +1,357 @@
+package core
+
+// extra_test.go: broad-scan and edge-case tests complementing the focused
+// statistical suites — offset sweeps, negative clocks, exact memory-word
+// regressions, and structural invariants for TSWOR.
+
+import (
+	"math"
+	"testing"
+
+	"slidingsample/internal/stream"
+	"slidingsample/internal/window"
+	"slidingsample/internal/xrand"
+)
+
+// TestSeqWRMeanSweep scans EVERY window offset over three bucket cycles
+// with a cheap mean-position test: the sampled window position must average
+// (n-1)/2. Catches offset-dependent bias that spot checks could miss.
+func TestSeqWRMeanSweep(t *testing.T) {
+	const n = 16
+	const trials = 3000
+	r := xrand.New(1)
+	for m := n; m <= 3*n; m++ {
+		sum := 0.0
+		for tr := 0; tr < trials; tr++ {
+			s := NewSeqWR[uint64](r, n, 1)
+			for i := 0; i < m; i++ {
+				s.Observe(uint64(i), int64(i))
+			}
+			got, _ := s.Sample()
+			sum += float64(got[0].Index - uint64(m-n))
+		}
+		mean := sum / trials
+		want := float64(n-1) / 2
+		sigma := math.Sqrt(float64(n*n-1) / 12 / trials)
+		if math.Abs(mean-want) > 5*sigma {
+			t.Errorf("m=%d: mean window position %.3f, want %.3f±%.3f", m, mean, want, 5*sigma)
+		}
+	}
+}
+
+// TestSeqWORMeanSweep does the same for the WOR sampler (positions of all k
+// returned samples pooled).
+func TestSeqWORMeanSweep(t *testing.T) {
+	const n, k = 12, 3
+	const trials = 2000
+	r := xrand.New(2)
+	for m := n; m <= 3*n; m += 1 {
+		sum, cnt := 0.0, 0
+		for tr := 0; tr < trials; tr++ {
+			s := NewSeqWOR[uint64](r, n, k)
+			for i := 0; i < m; i++ {
+				s.Observe(uint64(i), int64(i))
+			}
+			got, _ := s.Sample()
+			for _, e := range got {
+				sum += float64(e.Index - uint64(m-n))
+				cnt++
+			}
+		}
+		mean := sum / float64(cnt)
+		want := float64(n-1) / 2
+		// WOR positions are negatively correlated; the variance of the
+		// pooled mean is bounded by the WR value, so 5 sigma is safe.
+		sigma := math.Sqrt(float64(n*n-1) / 12 / float64(cnt))
+		if math.Abs(mean-want) > 5*sigma {
+			t.Errorf("m=%d: mean position %.3f, want %.3f±%.3f", m, mean, want, 5*sigma)
+		}
+	}
+}
+
+// TestTSWRNegativeTimestamps: clocks may start below zero (e.g. epoch
+// offsets); all logic must be translation-invariant.
+func TestTSWRNegativeTimestamps(t *testing.T) {
+	s := NewTSWR[uint64](xrand.New(3), 10, 1)
+	base := int64(-1_000_000)
+	for i := 0; i < 100; i++ {
+		s.Observe(uint64(i), base+int64(i))
+	}
+	got, ok := s.SampleAt(base + 99)
+	if !ok {
+		t.Fatal("no sample with negative clock")
+	}
+	if got[0].Index < 90 {
+		t.Fatalf("expired element %d sampled (window is the last 10 ticks)", got[0].Index)
+	}
+	if _, ok := s.SampleAt(base + 1000); ok {
+		t.Fatal("expiry broken with negative clock")
+	}
+}
+
+func TestTSWORNegativeTimestamps(t *testing.T) {
+	s := NewTSWOR[uint64](xrand.New(4), 10, 3)
+	base := int64(-500_000)
+	for i := 0; i < 50; i++ {
+		s.Observe(uint64(i), base+int64(i))
+	}
+	got, ok := s.SampleAt(base + 49)
+	if !ok || len(got) != 3 {
+		t.Fatalf("ok=%v len=%d", ok, len(got))
+	}
+	for _, e := range got {
+		if e.Index < 40 {
+			t.Fatalf("expired element %d in WOR sample", e.Index)
+		}
+	}
+}
+
+// TestWordsExactValues pins the word accounting to exact expected values so
+// accounting drift is caught as a regression, matching DESIGN.md §6.
+func TestWordsExactValues(t *testing.T) {
+	// SeqWR k=2: params 3 + per copy (reservoir counter 1 + stored 3).
+	s := NewSeqWR[uint64](xrand.New(5), 4, 2)
+	if got := s.Words(); got != 3+2*1 {
+		t.Fatalf("empty SeqWR Words = %d, want 5", got)
+	}
+	s.Observe(0, 0)
+	if got := s.Words(); got != 3+2*(1+3) {
+		t.Fatalf("SeqWR Words after 1 = %d, want 11", got)
+	}
+	for i := 1; i < 4; i++ {
+		s.Observe(uint64(i), int64(i))
+	}
+	// Bucket completed: frozen samples (2*3) + reset partial reservoirs.
+	if got := s.Words(); got != 3+2*1+2*3 {
+		t.Fatalf("SeqWR Words at boundary = %d, want 11", got)
+	}
+
+	// SeqWOR k=3: 3 + partial (2 + slots*3) + frozen*3.
+	w := NewSeqWOR[uint64](xrand.New(6), 4, 3)
+	if got := w.Words(); got != 3+2 {
+		t.Fatalf("empty SeqWOR Words = %d, want 5", got)
+	}
+	w.Observe(0, 0)
+	w.Observe(1, 0)
+	if got := w.Words(); got != 3+2+2*3 {
+		t.Fatalf("SeqWOR Words after 2 = %d, want 11", got)
+	}
+
+	// TSWR k=1: 4 scalars + buckets*(4+6).
+	ts := NewTSWR[uint64](xrand.New(7), 10, 1)
+	ts.Observe(0, 0)
+	if got := ts.Words(); got != 4+1*bsWords(1) {
+		t.Fatalf("TSWR Words after 1 = %d, want %d", got, 4+bsWords(1))
+	}
+	ts.Observe(1, 0)
+	ts.Observe(2, 0) // widths [1,1,1] -> wait: 3 elements give widths [1,1,1]
+	if got, want := ts.Words(), 4+ts.d.Len()*bsWords(1); got != want {
+		t.Fatalf("TSWR Words = %d, want %d", got, want)
+	}
+
+	// TSWOR k=2: 4 scalars + tail*3 + instances.
+	tw := NewTSWOR[uint64](xrand.New(8), 10, 2)
+	base := tw.insts[0].Words() + tw.insts[1].Words()
+	if got := tw.Words(); got != 4+base {
+		t.Fatalf("empty TSWOR Words = %d, want %d", got, 4+base)
+	}
+	tw.Observe(0, 0)
+	inst := tw.insts[0].Words() + tw.insts[1].Words()
+	if got := tw.Words(); got != 4+1*3+inst {
+		t.Fatalf("TSWOR Words after 1 = %d, want %d", got, 4+3+inst)
+	}
+}
+
+// TestTSWORInvariantsUnderRandomRuns mirrors the TSWR invariant test at the
+// reduction level: tail-buffer consistency and per-instance coverage.
+func TestTSWORInvariantsUnderRandomRuns(t *testing.T) {
+	const t0, k = 11, 4
+	for seed := uint64(0); seed < 6; seed++ {
+		r := xrand.New(seed)
+		s := NewTSWOR[uint64](r.Split(), t0, k)
+		arr := streamBursty(r.Split(), 2000)
+		for i, ts := range arr {
+			s.Observe(uint64(i), ts)
+			// Tail holds the last min(i+1, k) arrivals in order.
+			wantLen := i + 1
+			if wantLen > k {
+				wantLen = k
+			}
+			if s.tailLen != wantLen {
+				t.Fatalf("seed %d step %d: tailLen %d, want %d", seed, i, s.tailLen, wantLen)
+			}
+			for d := 0; d < wantLen; d++ {
+				if got := s.tailFromEnd(d); got.Index != uint64(i-d) {
+					t.Fatalf("seed %d step %d: tailFromEnd(%d) = %d, want %d", seed, i, d, got.Index, i-d)
+				}
+			}
+			// Instance j must never cover an index newer than i-j.
+			for j, inst := range s.insts {
+				if !inst.d.Empty() && inst.d.End() > uint64(i-j)+1 {
+					t.Fatalf("seed %d step %d: instance %d covers up to %d, limit %d",
+						seed, i, j, inst.d.End(), i-j)
+				}
+			}
+		}
+	}
+}
+
+// TestTSWRQueryOnlyStraddleTransition exercises Lemma 3.5 case 3c driven
+// purely by queries (no arrivals): as the clock advances, the straddle must
+// be replaced by deeper buckets until full reset.
+func TestTSWRQueryOnlyStraddleTransition(t *testing.T) {
+	const t0 = 4
+	s := NewTSWR[uint64](xrand.New(9), t0, 1)
+	// Elements at ticks 0..9, one per tick.
+	for i := 0; i < 10; i++ {
+		s.Observe(uint64(i), int64(i))
+	}
+	w := window.Timestamp{T0: t0}
+	var prev *BS[uint64]
+	for now := int64(9); now <= 14; now++ {
+		got, ok := s.SampleAt(now)
+		act := 0
+		for i := 0; i < 10; i++ {
+			if int64(i) <= now && w.Active(int64(i), now) {
+				act++
+			}
+		}
+		if act == 0 {
+			if ok {
+				t.Fatalf("now=%d: sample from empty window", now)
+			}
+			if s.straddle != nil || !s.d.Empty() {
+				t.Fatalf("now=%d: state not reset", now)
+			}
+			continue
+		}
+		if !ok {
+			t.Fatalf("now=%d: no sample though %d active", now, act)
+		}
+		if w.Expired(got[0].TS, now) {
+			t.Fatalf("now=%d: sampled expired element", now)
+		}
+		if s.straddle != nil && s.straddle == prev && now > 10 {
+			// The straddle may legitimately persist; just ensure invariants.
+			if s.straddle.Width() > s.d.TotalWidth() {
+				t.Fatalf("now=%d: alpha > beta", now)
+			}
+		}
+		prev = s.straddle
+	}
+}
+
+// TestTSWRManyArrivalsOneTick: a whole stream within a single timestamp —
+// the window either contains everything or nothing.
+func TestTSWRManyArrivalsOneTick(t *testing.T) {
+	const t0 = 3
+	const m = 500
+	const trials = 4000
+	r := xrand.New(10)
+	counts := make([]int, m)
+	for tr := 0; tr < trials; tr++ {
+		s := NewTSWR[uint64](r, t0, 1)
+		for i := 0; i < m; i++ {
+			s.Observe(uint64(i), 7)
+		}
+		got, ok := s.SampleAt(9) // still active: 9-7 < 3
+		if !ok {
+			t.Fatal("single-tick burst lost")
+		}
+		counts[got[0].Index]++
+	}
+	// Mean position check (full chi-square would need many more trials).
+	sum := 0.0
+	for i, c := range counts {
+		sum += float64(i) * float64(c)
+	}
+	mean := sum / trials
+	want := float64(m-1) / 2
+	sigma := math.Sqrt(float64(m*m-1) / 12 / trials)
+	if math.Abs(mean-want) > 5*sigma {
+		t.Fatalf("mean sampled position %.1f, want %.1f±%.1f", mean, want, 5*sigma)
+	}
+	s := NewTSWR[uint64](r, t0, 1)
+	for i := 0; i < m; i++ {
+		s.Observe(uint64(i), 7)
+	}
+	if _, ok := s.SampleAt(10); ok {
+		t.Fatal("burst survived past horizon")
+	}
+}
+
+// TestForEachStoredCountsMatchWords: the slots visited and the Words
+// accounting must agree on how many elements are retained.
+func TestForEachStoredCountsMatchWords(t *testing.T) {
+	r := xrand.New(11)
+	s := NewTSWR[uint64](r, 16, 3)
+	for i := 0; i < 300; i++ {
+		s.Observe(uint64(i), int64(i/9))
+	}
+	slots := 0
+	s.ForEachStored(func(st *stream.Stored[uint64]) { slots++ })
+	// Each bucket structure holds 2k slots; Words = 4 + buckets*(4+6k).
+	buckets := s.bucketCount()
+	if slots != buckets*2*3 {
+		t.Fatalf("slots %d, want %d (buckets=%d, k=3)", slots, buckets*6, buckets)
+	}
+	if s.Words() != 4+buckets*bsWords(3) {
+		t.Fatalf("Words %d inconsistent with %d buckets", s.Words(), buckets)
+	}
+}
+
+// TestSeqSamplersKEqualsWindow: k == n edge for both sequence samplers.
+func TestSeqSamplersKEqualsWindow(t *testing.T) {
+	const n = 5
+	wor := NewSeqWOR[uint64](xrand.New(12), n, n)
+	wr := NewSeqWR[uint64](xrand.New(13), n, n)
+	for i := 0; i < 23; i++ {
+		wor.Observe(uint64(i), int64(i))
+		wr.Observe(uint64(i), int64(i))
+		got, _ := wor.Sample()
+		winSize := i + 1
+		if winSize > n {
+			winSize = n
+		}
+		if len(got) != winSize {
+			t.Fatalf("step %d: WOR k=n returned %d of %d", i, len(got), winSize)
+		}
+		gotWR, _ := wr.Sample()
+		if len(gotWR) != n {
+			t.Fatalf("step %d: WR k=n returned %d", i, len(gotWR))
+		}
+	}
+}
+
+// TestDecompAfterStraddleHandoff: the suffix decomposition must remain a
+// valid covering decomposition (Definition 3.1 shape) after DropPrefix —
+// the property Lemma 3.5's case 2c/3c relies on for the α ≤ β invariant.
+func TestDecompAfterStraddleHandoff(t *testing.T) {
+	r := xrand.New(14)
+	s := NewTSWR[uint64](r, 8, 1)
+	for i := 0; i < 200; i++ {
+		s.Observe(uint64(i), int64(i/13))
+		if s.straddle == nil {
+			continue
+		}
+		// The suffix list must be contiguous and end in a width-1 bucket.
+		d := s.d
+		if d.Empty() {
+			t.Fatalf("step %d: straddle with empty suffix", i)
+		}
+		if d.Last().Width() != 1 {
+			t.Fatalf("step %d: suffix does not end in a singleton", i)
+		}
+		for j := 1; j < d.Len(); j++ {
+			if d.At(j).X != d.At(j-1).Y {
+				t.Fatalf("step %d: suffix gap", i)
+			}
+			// Suffix widths are non-increasing from some point; the key
+			// paper invariant is head width <= total/2:
+		}
+		if d.At(0).Width() > d.TotalWidth()-d.At(0).Width()+1 {
+			// head <= rest + 1 (head covers at most half, rounded up)
+			t.Fatalf("step %d: head bucket wider than remainder: %v", i, d.widths())
+		}
+	}
+}

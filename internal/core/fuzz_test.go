@@ -1,0 +1,150 @@
+package core
+
+// Fuzz targets: byte strings decode to (arrival/gap/query) scripts that
+// drive the timestamp samplers through arbitrary interleavings. The
+// properties checked are the hard invariants — no panic, samples always
+// active, WOR samples always distinct, memory within the deterministic
+// bound. They run over the seed corpus during a normal `go test`, or
+// explore further with:
+//
+//	go test -fuzz FuzzTSWR ./internal/core/
+
+import (
+	"testing"
+
+	"slidingsample/internal/window"
+	"slidingsample/internal/xrand"
+)
+
+// script decodes bytes into a deterministic op sequence: each byte b means
+// "advance the clock by b%5 ticks, then (arrival if b%3 != 0, else query)".
+func runScript(t *testing.T, data []byte, t0 int64, k int, wor bool) {
+	t.Helper()
+	if len(data) == 0 {
+		return
+	}
+	r := xrand.New(uint64(len(data)))
+	w := window.Timestamp{T0: t0}
+	var wrS *TSWR[uint64]
+	var worS *TSWOR[uint64]
+	if wor {
+		worS = NewTSWOR[uint64](r, t0, k)
+	} else {
+		wrS = NewTSWR[uint64](r, t0, k)
+	}
+	ts := int64(0)
+	var idx uint64
+	lgBound := func(m uint64) int {
+		if m < 2 {
+			m = 2
+		}
+		return 2*int(floorLog2(m)) + 3
+	}
+	for _, b := range data {
+		ts += int64(b % 5)
+		if b%3 != 0 {
+			if wor {
+				worS.Observe(idx, ts)
+			} else {
+				wrS.Observe(idx, ts)
+			}
+			idx++
+			continue
+		}
+		if wor {
+			got, ok := worS.SampleAt(ts)
+			if !ok {
+				continue
+			}
+			seen := map[uint64]bool{}
+			for _, e := range got {
+				if w.Expired(e.TS, ts) {
+					t.Fatalf("WOR sample expired: ts=%d now=%d", e.TS, ts)
+				}
+				if seen[e.Index] {
+					t.Fatalf("WOR sample duplicated index %d", e.Index)
+				}
+				seen[e.Index] = true
+			}
+			// Memory bound: k instances, each within the TSWR k=1 bound,
+			// plus the k-element tail.
+			bound := 4 + k*3 + k*(4+lgBound(idx)*bsWords(1))
+			if worS.Words() > bound {
+				t.Fatalf("TSWOR words %d exceed bound %d after %d arrivals", worS.Words(), bound, idx)
+			}
+		} else {
+			got, ok := wrS.SampleAt(ts)
+			if !ok {
+				continue
+			}
+			for _, e := range got {
+				if w.Expired(e.TS, ts) {
+					t.Fatalf("WR sample expired: ts=%d now=%d", e.TS, ts)
+				}
+			}
+			bound := 4 + lgBound(idx)*bsWords(k)
+			if wrS.Words() > bound {
+				t.Fatalf("TSWR words %d exceed bound %d after %d arrivals", wrS.Words(), bound, idx)
+			}
+		}
+	}
+}
+
+func fuzzCorpus() [][]byte {
+	corpus := [][]byte{
+		{},
+		{0},
+		{1, 2, 3, 4, 5},
+		{255, 255, 255},
+		{0, 0, 0, 0, 0, 0, 0, 0},
+		{3, 3, 3, 3, 3, 3}, // query-heavy
+	}
+	// A few deterministic pseudo-random scripts of varying lengths.
+	r := xrand.New(42)
+	for _, n := range []int{17, 100, 500, 3000} {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(r.Uint64n(256))
+		}
+		corpus = append(corpus, b)
+	}
+	return corpus
+}
+
+func FuzzTSWR(f *testing.F) {
+	for _, b := range fuzzCorpus() {
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		runScript(t, data, 7, 2, false)
+	})
+}
+
+func FuzzTSWOR(f *testing.F) {
+	for _, b := range fuzzCorpus() {
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<15 {
+			return
+		}
+		runScript(t, data, 7, 3, true)
+	})
+}
+
+// TestScriptsDirect runs the corpus through both samplers without the fuzz
+// driver, so the invariants are exercised by plain `go test` too, with more
+// parameter combinations.
+func TestScriptsDirect(t *testing.T) {
+	for _, data := range fuzzCorpus() {
+		for _, t0 := range []int64{1, 3, 16} {
+			for _, k := range []int{1, 4} {
+				runScript(t, data, t0, k, false)
+				runScript(t, data, t0, k, true)
+			}
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"slidingsample/internal/window"
+	"slidingsample/internal/xrand"
+)
+
+// implicitEvent generates the Lemma 3.7 random variable X with
+//
+//	P(X = 1) = α / (β + γ) = α / n
+//
+// where α is the width of the straddling bucket B1 = B(a, b), β is the
+// number of elements after it (all active), and γ — the number of still
+// active elements inside B1 — is UNKNOWN to the algorithm. This is the
+// paper's "generating implicit events" technique, the step that removes the
+// need to know the window size n = β + γ.
+//
+// Construction:
+//
+//	Lemma 3.6 — from the bucket's auxiliary uniform sample Q1 build a skewed
+//	sample Y over B1 with P(Y = p_{b-i}) = β/((β+i)(β+i-1)) for 0 < i < α and
+//	P(Y = p_a) = β/(β+α-1). Writing i = b - index(Q1) ∈ [1, α], we let
+//	Y = Q1's element when i < α and the coin H_i (probability
+//	αβ/((β+i)(β+i-1))) comes up heads, and Y = p_a otherwise. The telescoping
+//	sum in the paper shows P(Y is expired) = β/(β+γ).
+//
+//	Lemma 3.7 — X = [Y is expired] ∧ S with an independent coin S of
+//	probability α/β (valid because the Lemma 3.5 case-2 invariant gives
+//	α ≤ β). Then P(X=1) = (β/(β+γ))·(α/β) = α/(β+γ).
+//
+// Exact integer arithmetic: H_i is drawn as the conjunction of two rational
+// Bernoulli events Bern(α, β+i) ∧ Bern(β, β+i-1) — both well-formed because
+// α ≤ β and i ≥ 1 — whose product is the required probability without any
+// uint64 overflow in the denominator.
+//
+// X is a function of Q1 and fresh coins only, hence independent of the
+// bucket's R sample and of every other bucket's samples, as Lemma 3.8 needs.
+func implicitEvent[T any](rng *xrand.Rand, straddle *BS[T], slot int, beta uint64, w window.Timestamp, now int64) bool {
+	alpha := straddle.Width()
+	if alpha > beta {
+		panic("core: implicitEvent invariant alpha <= beta violated")
+	}
+	q := straddle.Q[slot]
+	i := straddle.Y - q.Elem.Index // in [1, alpha]
+	if i == 0 || i > alpha {
+		panic("core: implicitEvent Q sample outside its bucket")
+	}
+
+	yExpired := true // Y = p_a, expired by the straddling-bucket invariant (y_t < l(t))
+	if i < alpha {
+		// H_i: probability αβ/((β+i)(β+i-1)), drawn as two exact factors.
+		if rng.Bernoulli(alpha, beta+i) && rng.Bernoulli(beta, beta+i-1) {
+			// Y = Q1's element; its expiry is decided by its own timestamp.
+			yExpired = w.Expired(q.Elem.TS, now)
+		}
+	}
+	if !yExpired {
+		return false
+	}
+	// S: probability α/β, independent of everything above.
+	return rng.Bernoulli(alpha, beta)
+}

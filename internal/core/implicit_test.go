@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"slidingsample/internal/stream"
+	"slidingsample/internal/window"
+	"slidingsample/internal/xrand"
+)
+
+// makeStraddle builds a straddling bucket B(a, a+alpha) in which exactly the
+// last gamma elements are active at time `now` under horizon t0, with the Q
+// sample drawn uniformly from the bucket (as the covering decomposition
+// guarantees for the real structure). Element p_{a+j} gets timestamp
+// now-t0-1 (expired) for j < alpha-gamma and now (active) otherwise.
+func makeStraddle(rng *xrand.Rand, a, alpha, gamma uint64, t0, now int64) *BS[uint64] {
+	if gamma >= alpha {
+		panic("test: gamma must be < alpha (p_a is always expired)")
+	}
+	tsOf := func(j uint64) int64 {
+		if j < alpha-gamma {
+			return now - t0 - 1
+		}
+		return now
+	}
+	b := &BS[uint64]{
+		X:     a,
+		Y:     a + alpha,
+		First: stream.Element[uint64]{Value: a, Index: a, TS: tsOf(0)},
+		R:     make([]*stream.Stored[uint64], 1),
+		Q:     make([]*stream.Stored[uint64], 1),
+	}
+	pick := func() *stream.Stored[uint64] {
+		j := rng.Uint64n(alpha)
+		return &stream.Stored[uint64]{Elem: stream.Element[uint64]{Value: a + j, Index: a + j, TS: tsOf(j)}}
+	}
+	b.R[0] = pick()
+	b.Q[0] = pick()
+	return b
+}
+
+// TestImplicitEventRate is the Lemma 3.7 check: P(X=1) must equal α/(β+γ)
+// for a sweep of (α, β, γ) configurations, with Q1 uniform per trial.
+func TestImplicitEventRate(t *testing.T) {
+	const t0, now = 100, 1000
+	w := window.Timestamp{T0: t0}
+	r := xrand.New(77)
+	const trials = 200000
+	cases := []struct{ alpha, beta, gamma uint64 }{
+		{1, 1, 0},   // minimal straddle
+		{1, 8, 0},   // α=1: Y=p_a always
+		{4, 4, 0},   // α=β boundary, empty straddle
+		{4, 4, 3},   // α=β, almost all active
+		{8, 16, 3},  // generic
+		{8, 16, 7},  // γ = α-1 (only p_a expired)
+		{16, 64, 5}, // wide suffix
+		{2, 128, 1},
+	}
+	for _, c := range cases {
+		hits := 0
+		for i := 0; i < trials; i++ {
+			b := makeStraddle(r, 1000, c.alpha, c.gamma, t0, now)
+			if implicitEvent(r, b, 0, c.beta, w, now) {
+				hits++
+			}
+		}
+		p := float64(c.alpha) / float64(c.beta+c.gamma)
+		want := p * trials
+		sigma := math.Sqrt(trials * p * (1 - p))
+		if sigma < 1 {
+			sigma = 1
+		}
+		if math.Abs(float64(hits)-want) > 5*sigma {
+			t.Errorf("alpha=%d beta=%d gamma=%d: %d hits, want about %.0f (5σ=%.0f)",
+				c.alpha, c.beta, c.gamma, hits, want, 5*sigma)
+		}
+	}
+}
+
+// TestImplicitEventUsesOnlyQ verifies independence from R: conditioning on
+// the R sample's identity must not change the X rate. We fix R to each of
+// the two extreme positions and compare rates.
+func TestImplicitEventIndependentOfR(t *testing.T) {
+	const t0, now = 100, 1000
+	w := window.Timestamp{T0: t0}
+	r := xrand.New(78)
+	const trials = 120000
+	const alpha, beta, gamma = 8, 16, 4
+	rates := make([]float64, 2)
+	for variant := 0; variant < 2; variant++ {
+		hits := 0
+		for i := 0; i < trials; i++ {
+			b := makeStraddle(r, 0, alpha, gamma, t0, now)
+			// Overwrite R deterministically; implicitEvent must not care.
+			j := uint64(0)
+			if variant == 1 {
+				j = alpha - 1
+			}
+			b.R[0] = &stream.Stored[uint64]{Elem: stream.Element[uint64]{Index: j, TS: now}}
+			if implicitEvent(r, b, 0, beta, w, now) {
+				hits++
+			}
+		}
+		rates[variant] = float64(hits) / trials
+	}
+	p := float64(alpha) / float64(beta+gamma)
+	for v, rate := range rates {
+		if math.Abs(rate-p) > 5*math.Sqrt(p*(1-p)/trials) {
+			t.Errorf("variant %d: rate %.4f, want %.4f", v, rate, p)
+		}
+	}
+}
+
+func TestImplicitEventAlphaGreaterBetaPanics(t *testing.T) {
+	r := xrand.New(79)
+	b := makeStraddle(r, 0, 8, 2, 100, 1000)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("implicitEvent with alpha > beta did not panic")
+		}
+	}()
+	implicitEvent(r, b, 0, 4, window.Timestamp{T0: 100}, 1000)
+}
+
+// TestSkewedYDistribution checks the Lemma 3.6 distribution of Y directly:
+// P(Y = p_{b-i}) = β/((β+i)(β+i-1)) for 0 < i < α and
+// P(Y = p_a) = β/(β+α-1). We reconstruct Y's identity from the generator's
+// behaviour by instrumenting the same computation implicitEvent performs.
+func TestSkewedYDistribution(t *testing.T) {
+	const alpha, beta = 8, 16
+	const trials = 400000
+	r := xrand.New(80)
+	counts := make(map[uint64]int) // i -> count, with i=alpha meaning p_a
+	for tr := 0; tr < trials; tr++ {
+		// Draw Q uniform over the bucket, then replicate the Y construction.
+		i := r.Uint64n(alpha) + 1 // i = b - index(Q1) uniform over [1, alpha]
+		y := uint64(alpha)        // default: p_a
+		if i < alpha {
+			if r.Bernoulli(alpha, beta+i) && r.Bernoulli(beta, beta+i-1) {
+				y = i
+			}
+		}
+		counts[y]++
+	}
+	check := func(label string, got int, p float64) {
+		want := p * trials
+		sigma := math.Sqrt(trials * p * (1 - p))
+		if math.Abs(float64(got)-want) > 5*sigma {
+			t.Errorf("%s: count %d, want about %.0f", label, got, want)
+		}
+	}
+	for i := uint64(1); i < alpha; i++ {
+		p := float64(beta) / (float64(beta+i) * float64(beta+i-1))
+		check("Y=p_{b-"+string(rune('0'+i))+"}", counts[i], p)
+	}
+	check("Y=p_a", counts[alpha], float64(beta)/float64(beta+alpha-1))
+}

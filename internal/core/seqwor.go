@@ -1,0 +1,167 @@
+package core
+
+import (
+	"slidingsample/internal/reservoir"
+	"slidingsample/internal/stream"
+	"slidingsample/internal/window"
+	"slidingsample/internal/xrand"
+)
+
+// SeqWOR maintains a uniform k-sample WITHOUT replacement over a
+// sequence-based sliding window of the n most recent elements, using Θ(k)
+// memory words at all times — Theorem 2.2.
+//
+// Construction (Section 2.2): one k-slot reservoir (Algorithm R) per stream
+// bucket B(in, (i+1)n). Let X_U be the frozen k-sample of the last complete
+// bucket U and X_V the running k-reservoir of the partial bucket V. At query
+// time, let i = |X_U ∩ Ue| be the number of expired elements in X_U. The
+// output is
+//
+//	Z = (X_U ∩ Ua) ∪ X_V^i
+//
+// where X_V^i is a uniformly random i-subset of X_V. The paper proves
+// P(Z = Q) = 1/C(n,k) for every k-subset Q of the window: the (s choose i)
+// ways X_U can spend i slots on the expired region cancel against the
+// uniform i-subset drawn from V's sample.
+//
+// While fewer than min(k, |window|) elements are available the sampler
+// returns the entire window content (the reservoir holds everything when
+// count < k), mirroring "either X_B = C, if |C| < k, or X_B is a k-sample".
+type SeqWOR[T any] struct {
+	n     uint64
+	k     int
+	rng   *xrand.Rand // query-time subset draws
+	win   window.Sequence
+	count uint64
+
+	partial  *reservoir.K[T]     // running k-reservoir over the partial bucket
+	complete []*stream.Stored[T] // frozen k-sample of the last complete bucket (nil before the first completes)
+
+	maxWords int
+}
+
+// NewSeqWOR returns a sampler for a k-sample without replacement over a
+// window of the n most recent elements. Panics if n == 0 or k <= 0.
+func NewSeqWOR[T any](rng *xrand.Rand, n uint64, k int) *SeqWOR[T] {
+	if n == 0 {
+		panic("core: NewSeqWOR with n == 0")
+	}
+	if k <= 0 {
+		panic("core: NewSeqWOR with k <= 0")
+	}
+	s := &SeqWOR[T]{
+		n:       n,
+		k:       k,
+		rng:     rng.Split(),
+		win:     window.Sequence{N: n},
+		partial: reservoir.NewK[T](rng.Split(), k),
+	}
+	s.maxWords = s.Words()
+	return s
+}
+
+// Observe feeds the next stream element (timestamps carried through only).
+func (s *SeqWOR[T]) Observe(value T, ts int64) {
+	e := stream.Element[T]{Value: value, Index: s.count, TS: ts}
+	s.count++
+	s.partial.Observe(e)
+	if s.count%s.n == 0 {
+		s.complete = s.partial.Sample()
+		s.partial.Reset()
+	}
+	if w := s.Words(); w > s.maxWords {
+		s.maxWords = w
+	}
+}
+
+// sampleStored returns the current without-replacement sample as live slots.
+// The result has min(k, windowSize) distinct elements. Fresh query-time
+// randomness is drawn for the i-subset of X_V, as the proof of Theorem 2.2
+// requires.
+func (s *SeqWOR[T]) sampleStored() ([]*stream.Stored[T], bool) {
+	if s.count == 0 {
+		return nil, false
+	}
+	latest := s.count - 1
+	switch {
+	case s.count%s.n == 0:
+		// Window is exactly the just-completed bucket.
+		return append([]*stream.Stored[T](nil), s.complete...), true
+	case s.complete == nil:
+		// First bucket still filling: window = everything arrived = what the
+		// partial reservoir covers.
+		return s.partial.Sample(), true
+	default:
+		xu := s.complete
+		active := make([]*stream.Stored[T], 0, len(xu))
+		expired := 0
+		for _, st := range xu {
+			if s.win.Active(st.Elem.Index, latest) {
+				active = append(active, st)
+			} else {
+				expired++
+			}
+		}
+		if expired == 0 {
+			return active, true
+		}
+		xv := s.partial.Sample()
+		// expired <= |Ue| = s and the reservoir holds min(k, s) elements, so
+		// the i-subset always exists; this is the Theorem 2.2 invariant
+		// i <= min(k, s).
+		if expired > len(xv) {
+			panic("core: SeqWOR invariant violated: more expired slots than partial sample size")
+		}
+		for _, j := range s.rng.PickK(len(xv), expired) {
+			active = append(active, xv[j])
+		}
+		return active, true
+	}
+}
+
+// Sample returns the current without-replacement sample: min(k, windowSize)
+// distinct window elements, uniform over all such subsets. ok is false while
+// the stream is empty.
+func (s *SeqWOR[T]) Sample() ([]stream.Element[T], bool) {
+	st, ok := s.sampleStored()
+	if !ok {
+		return nil, false
+	}
+	out := make([]stream.Element[T], len(st))
+	for i, p := range st {
+		out[i] = p.Elem
+	}
+	return out, true
+}
+
+// SampleSlots is Sample exposing live slots (with Aux) for the Section 5
+// application layer.
+func (s *SeqWOR[T]) SampleSlots() ([]*stream.Stored[T], bool) {
+	return s.sampleStored()
+}
+
+// K returns the sample size parameter.
+func (s *SeqWOR[T]) K() int { return s.k }
+
+// N returns the window size.
+func (s *SeqWOR[T]) N() uint64 { return s.n }
+
+// Count returns the number of elements observed so far.
+func (s *SeqWOR[T]) Count() uint64 { return s.count }
+
+// ForEachStored implements stream.SlotVisitor.
+func (s *SeqWOR[T]) ForEachStored(f func(*stream.Stored[T])) {
+	for _, st := range s.complete {
+		f(st)
+	}
+	s.partial.ForEachStored(f)
+}
+
+// Words implements stream.MemoryReporter: the partial k-reservoir plus the
+// frozen complete-bucket sample plus three scalars.
+func (s *SeqWOR[T]) Words() int {
+	return 3 + s.partial.Words() + len(s.complete)*stream.StoredWords
+}
+
+// MaxWords implements stream.MemoryReporter.
+func (s *SeqWOR[T]) MaxWords() int { return s.maxWords }

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"slidingsample/internal/stream"
+	"slidingsample/internal/xrand"
+)
+
+func feedSeqWOR(s *SeqWOR[uint64], m int) {
+	for i := 0; i < m; i++ {
+		s.Observe(uint64(i), int64(i))
+	}
+}
+
+func TestSeqWOREmpty(t *testing.T) {
+	s := NewSeqWOR[uint64](xrand.New(1), 8, 2)
+	if _, ok := s.Sample(); ok {
+		t.Fatal("empty sampler returned a sample")
+	}
+}
+
+func TestSeqWORConstructorPanics(t *testing.T) {
+	for _, tc := range []struct {
+		n uint64
+		k int
+	}{{0, 1}, {4, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewSeqWOR(n=%d,k=%d) did not panic", tc.n, tc.k)
+				}
+			}()
+			NewSeqWOR[uint64](xrand.New(1), tc.n, tc.k)
+		}()
+	}
+}
+
+// TestSeqWORDistinctAndInWindow is the without-replacement contract: at every
+// stream position, the sample holds min(k, windowSize) DISTINCT elements of
+// the current window.
+func TestSeqWORDistinctAndInWindow(t *testing.T) {
+	const n, k = 16, 5
+	s := NewSeqWOR[uint64](xrand.New(2), n, k)
+	for i := 0; i < 400; i++ {
+		s.Observe(uint64(i), int64(i))
+		got, ok := s.Sample()
+		if !ok {
+			t.Fatalf("step %d: no sample", i)
+		}
+		winSize := i + 1
+		if winSize > n {
+			winSize = n
+		}
+		wantLen := k
+		if winSize < k {
+			wantLen = winSize
+		}
+		if len(got) != wantLen {
+			t.Fatalf("step %d: sample size %d, want %d", i, len(got), wantLen)
+		}
+		lo := uint64(0)
+		if i+1 > n {
+			lo = uint64(i+1) - n
+		}
+		seen := map[uint64]bool{}
+		for _, e := range got {
+			if e.Index < lo || e.Index > uint64(i) {
+				t.Fatalf("step %d: index %d outside window [%d,%d]", i, e.Index, lo, i)
+			}
+			if seen[e.Index] {
+				t.Fatalf("step %d: duplicate index %d in WOR sample", i, e.Index)
+			}
+			seen[e.Index] = true
+		}
+	}
+}
+
+func TestSeqWORDistinctQuick(t *testing.T) {
+	f := func(seed uint64, mRaw uint16) bool {
+		m := int(mRaw%200) + 1
+		s := NewSeqWOR[uint64](xrand.New(seed), 12, 4)
+		feedSeqWOR(s, m)
+		got, ok := s.Sample()
+		if !ok {
+			return false
+		}
+		seen := map[uint64]bool{}
+		for _, e := range got {
+			if seen[e.Index] {
+				return false
+			}
+			seen[e.Index] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSeqWORUniformSubsets is the Theorem 2.2 correctness check: every
+// k-subset of the window appears with probability 1/C(n,k), at several
+// window offsets including straddling positions.
+func TestSeqWORUniformSubsets(t *testing.T) {
+	const n, k = 6, 2 // C(6,2) = 15
+	const trials = 90000
+	r := xrand.New(3)
+	for _, m := range []int{6, 9, 12, 14} {
+		lo := m - n
+		counts := map[[2]uint64]int{}
+		for tr := 0; tr < trials; tr++ {
+			s := NewSeqWOR[uint64](r, n, k)
+			feedSeqWOR(s, m)
+			got, _ := s.Sample()
+			a, b := got[0].Index, got[1].Index
+			if a > b {
+				a, b = b, a
+			}
+			counts[[2]uint64{a, b}]++
+		}
+		if len(counts) != 15 {
+			t.Fatalf("m=%d: saw %d distinct subsets, want 15", m, len(counts))
+		}
+		want := float64(trials) / 15
+		for key, c := range counts {
+			if key[0] < uint64(lo) || key[1] < uint64(lo) {
+				t.Fatalf("m=%d: subset %v contains expired index", m, key)
+			}
+			if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+				t.Errorf("m=%d: subset %v count %d, want about %.0f", m, key, c, want)
+			}
+		}
+	}
+}
+
+// TestSeqWORInclusionProbability: each active element must be in the sample
+// with probability k/n.
+func TestSeqWORInclusionProbability(t *testing.T) {
+	const n, k, m = 10, 3, 27
+	const trials = 60000
+	r := xrand.New(4)
+	counts := make(map[uint64]int)
+	for tr := 0; tr < trials; tr++ {
+		s := NewSeqWOR[uint64](r, n, k)
+		feedSeqWOR(s, m)
+		got, _ := s.Sample()
+		for _, e := range got {
+			counts[e.Index]++
+		}
+	}
+	p := float64(k) / n
+	want := p * trials
+	sigma := math.Sqrt(trials * p * (1 - p))
+	for idx := uint64(m - n); idx < m; idx++ {
+		if math.Abs(float64(counts[idx])-want) > 5*sigma {
+			t.Errorf("index %d included %d times, want about %.0f", idx, counts[idx], want)
+		}
+	}
+}
+
+func TestSeqWORWholeWindowWhenKLarge(t *testing.T) {
+	// k >= n: the sample must be exactly the window at every step.
+	const n, k = 4, 7
+	s := NewSeqWOR[uint64](xrand.New(5), n, k)
+	for i := 0; i < 100; i++ {
+		s.Observe(uint64(i), int64(i))
+		got, _ := s.Sample()
+		winSize := i + 1
+		if winSize > n {
+			winSize = n
+		}
+		if len(got) != winSize {
+			t.Fatalf("step %d: got %d elements, want the whole window (%d)", i, len(got), winSize)
+		}
+		seen := map[uint64]bool{}
+		for _, e := range got {
+			seen[e.Index] = true
+		}
+		lo := 0
+		if i+1 > n {
+			lo = i + 1 - n
+		}
+		for j := lo; j <= i; j++ {
+			if !seen[uint64(j)] {
+				t.Fatalf("step %d: window element %d missing from full sample", i, j)
+			}
+		}
+	}
+}
+
+// TestSeqWORMemoryDeterministic is the Theorem 2.2 memory claim.
+func TestSeqWORMemoryDeterministic(t *testing.T) {
+	for _, n := range []uint64{1, 3, 64, 512} {
+		for _, k := range []int{1, 4, 32} {
+			s := NewSeqWOR[uint64](xrand.New(6), n, k)
+			// params(3) + partial K reservoir (2 + k stored) + frozen sample (k stored)
+			bound := 3 + 2 + 2*k*stream.StoredWords
+			for i := 0; i < 4000; i++ {
+				s.Observe(uint64(i), int64(i))
+				if w := s.Words(); w > bound {
+					t.Fatalf("n=%d k=%d step %d: Words=%d exceeds %d", n, k, i, w, bound)
+				}
+			}
+			if s.MaxWords() > bound {
+				t.Fatalf("n=%d k=%d: MaxWords=%d exceeds %d", n, k, s.MaxWords(), bound)
+			}
+		}
+	}
+}
+
+func TestSeqWORQueryDoesNotMutate(t *testing.T) {
+	// Repeated queries without arrivals must keep returning valid samples
+	// (fresh randomness for the i-subset is allowed — distinctness and
+	// window membership must hold every time).
+	s := NewSeqWOR[uint64](xrand.New(7), 8, 3)
+	feedSeqWOR(s, 19)
+	for q := 0; q < 200; q++ {
+		got, ok := s.Sample()
+		if !ok || len(got) != 3 {
+			t.Fatalf("query %d: ok=%v len=%d", q, ok, len(got))
+		}
+		seen := map[uint64]bool{}
+		for _, e := range got {
+			if e.Index < 11 || e.Index > 18 || seen[e.Index] {
+				t.Fatalf("query %d: bad sample %v", q, got)
+			}
+			seen[e.Index] = true
+		}
+	}
+}
+
+func TestSeqWORDeterminism(t *testing.T) {
+	run := func() []uint64 {
+		s := NewSeqWOR[uint64](xrand.New(42), 16, 3)
+		var out []uint64
+		for i := 0; i < 150; i++ {
+			s.Observe(uint64(i), int64(i))
+			if got, ok := s.Sample(); ok {
+				for _, e := range got {
+					out = append(out, e.Index)
+				}
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("determinism broken: different lengths")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("determinism broken at %d", i)
+		}
+	}
+}
+
+func TestSeqWORForEachStoredAndAccessors(t *testing.T) {
+	s := NewSeqWOR[uint64](xrand.New(8), 8, 3)
+	feedSeqWOR(s, 20)
+	slots := 0
+	s.ForEachStored(func(st *stream.Stored[uint64]) { slots++ })
+	if slots == 0 || slots > 6 {
+		t.Fatalf("visited %d slots, want between 1 and 6", slots)
+	}
+	if s.N() != 8 || s.K() != 3 || s.Count() != 20 {
+		t.Fatalf("accessors wrong: %d %d %d", s.N(), s.K(), s.Count())
+	}
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"slidingsample/internal/reservoir"
+	"slidingsample/internal/stream"
+	"slidingsample/internal/window"
+	"slidingsample/internal/xrand"
+)
+
+// SeqWR maintains k independent uniform samples (sampling WITH replacement)
+// over a sequence-based sliding window of the n most recent elements, using
+// Θ(k) memory words at all times — Theorem 2.1.
+//
+// Construction (Section 2.1, "equivalent-width partitions"): the stream is
+// split into consecutive buckets B(in, (i+1)n) of exactly n elements. At any
+// moment at most one bucket is "active" (complete, with a non-expired
+// element) and at most one is "partial" (still filling). Each copy j keeps
+//
+//   - the frozen reservoir sample X_U[j] of the last completed bucket U, and
+//   - a running single-element reservoir X_V[j] over the partial bucket V.
+//
+// The window W always satisfies W = Ua ∪ Va where Ua ⊆ U is the non-expired
+// suffix of U and Va ⊆ V is the arrived prefix of V, with |Va| = |Ue| = s.
+// The output rule is the paper's: Z = X_U if X_U has not expired, else
+// Z = X_V; the probability that X_U expired is exactly s/n and X_V is
+// uniform over the s arrived elements of V, so Z is uniform over W.
+type SeqWR[T any] struct {
+	n     uint64
+	k     int
+	win   window.Sequence
+	count uint64 // total arrivals; the next element gets index count
+
+	partial  []*reservoir.Single[T] // k running reservoirs over the partial bucket
+	complete []*stream.Stored[T]    // k frozen samples of the last complete bucket (nil entries before the first bucket completes)
+
+	maxWords int
+}
+
+// NewSeqWR returns a sampler for k with-replacement samples over a window of
+// the n most recent elements. Each copy gets an independent sub-generator
+// derived from rng. Panics if n == 0 or k <= 0 (misconfiguration).
+func NewSeqWR[T any](rng *xrand.Rand, n uint64, k int) *SeqWR[T] {
+	if n == 0 {
+		panic("core: NewSeqWR with n == 0")
+	}
+	if k <= 0 {
+		panic("core: NewSeqWR with k <= 0")
+	}
+	s := &SeqWR[T]{
+		n:        n,
+		k:        k,
+		win:      window.Sequence{N: n},
+		partial:  make([]*reservoir.Single[T], k),
+		complete: make([]*stream.Stored[T], k),
+	}
+	for i := range s.partial {
+		s.partial[i] = reservoir.NewSingle[T](rng.Split())
+	}
+	s.maxWords = s.Words()
+	return s
+}
+
+// Observe feeds the next stream element. Sequence-based windows ignore
+// timestamps; ts is carried through so downstream consumers can still see
+// it in returned samples.
+func (s *SeqWR[T]) Observe(value T, ts int64) {
+	e := stream.Element[T]{Value: value, Index: s.count, TS: ts}
+	s.count++
+	for i := 0; i < s.k; i++ {
+		s.partial[i].Observe(e)
+	}
+	if s.count%s.n == 0 {
+		// The partial bucket just completed: freeze its samples as the new
+		// "last complete bucket" and recycle the reservoirs.
+		for i := 0; i < s.k; i++ {
+			st, ok := s.partial[i].Sample()
+			if !ok {
+				panic("core: SeqWR completed bucket with empty reservoir")
+			}
+			s.complete[i] = st
+			s.partial[i].Reset()
+		}
+	}
+	if w := s.Words(); w > s.maxWords {
+		s.maxWords = w
+	}
+}
+
+// sampleStored returns the k live sample slots (one per copy), each uniform
+// over the current window, or ok=false when the stream is empty. The k
+// results are mutually independent (sampling with replacement).
+func (s *SeqWR[T]) sampleStored() ([]*stream.Stored[T], bool) {
+	if s.count == 0 {
+		return nil, false
+	}
+	out := make([]*stream.Stored[T], s.k)
+	latest := s.count - 1
+	for i := 0; i < s.k; i++ {
+		switch {
+		case s.count%s.n == 0:
+			// Window coincides with the just-completed bucket.
+			out[i] = s.complete[i]
+		case s.complete[i] == nil:
+			// Still inside the first bucket: the window is everything
+			// arrived, which is exactly what the partial reservoir covers.
+			st, _ := s.partial[i].Sample()
+			out[i] = st
+		default:
+			xu := s.complete[i]
+			if s.win.Active(xu.Elem.Index, latest) {
+				out[i] = xu
+			} else {
+				st, _ := s.partial[i].Sample()
+				out[i] = st
+			}
+		}
+	}
+	return out, true
+}
+
+// Sample returns k elements, each uniformly distributed over the current
+// window, independent across calls is NOT implied (the same retained samples
+// are returned until the stream advances). ok is false while the stream is
+// empty.
+func (s *SeqWR[T]) Sample() ([]stream.Element[T], bool) {
+	st, ok := s.sampleStored()
+	if !ok {
+		return nil, false
+	}
+	out := make([]stream.Element[T], len(st))
+	for i, p := range st {
+		out[i] = p.Elem
+	}
+	return out, true
+}
+
+// SampleSlots is Sample exposing the live slots (with Aux) instead of
+// element copies; the Section 5 estimators read their per-slot auxiliary
+// state through it.
+func (s *SeqWR[T]) SampleSlots() ([]*stream.Stored[T], bool) {
+	return s.sampleStored()
+}
+
+// K returns the number of sample copies.
+func (s *SeqWR[T]) K() int { return s.k }
+
+// N returns the window size.
+func (s *SeqWR[T]) N() uint64 { return s.n }
+
+// Count returns the number of elements observed so far.
+func (s *SeqWR[T]) Count() uint64 { return s.count }
+
+// ForEachStored implements stream.SlotVisitor: visits the frozen
+// complete-bucket samples and the running partial-bucket reservoirs of all
+// k copies — every element the sampler currently retains.
+func (s *SeqWR[T]) ForEachStored(f func(*stream.Stored[T])) {
+	for i := 0; i < s.k; i++ {
+		if s.complete[i] != nil {
+			f(s.complete[i])
+		}
+		s.partial[i].ForEachStored(f)
+	}
+}
+
+// Words implements stream.MemoryReporter. Per copy: the partial reservoir
+// (counter + at most one stored element) plus at most one frozen stored
+// element; plus the arrival counter and the two parameters.
+func (s *SeqWR[T]) Words() int {
+	w := 3 // n, k, count
+	for i := 0; i < s.k; i++ {
+		w += s.partial[i].Words()
+		if s.complete[i] != nil {
+			w += stream.StoredWords
+		}
+	}
+	return w
+}
+
+// MaxWords implements stream.MemoryReporter.
+func (s *SeqWR[T]) MaxWords() int { return s.maxWords }

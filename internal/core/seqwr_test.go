@@ -1,0 +1,241 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"slidingsample/internal/stream"
+	"slidingsample/internal/xrand"
+)
+
+func feedSeqWR(s *SeqWR[uint64], m int) {
+	for i := 0; i < m; i++ {
+		s.Observe(uint64(i), int64(i))
+	}
+}
+
+func TestSeqWREmpty(t *testing.T) {
+	s := NewSeqWR[uint64](xrand.New(1), 8, 2)
+	if _, ok := s.Sample(); ok {
+		t.Fatal("empty sampler returned a sample")
+	}
+}
+
+func TestSeqWRConstructorPanics(t *testing.T) {
+	for _, tc := range []struct {
+		n uint64
+		k int
+	}{{0, 1}, {4, 0}, {4, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewSeqWR(n=%d,k=%d) did not panic", tc.n, tc.k)
+				}
+			}()
+			NewSeqWR[uint64](xrand.New(1), tc.n, tc.k)
+		}()
+	}
+}
+
+func TestSeqWRSampleInWindow(t *testing.T) {
+	// At every point of a long stream, every returned sample must lie in the
+	// current window.
+	s := NewSeqWR[uint64](xrand.New(2), 16, 3)
+	for i := 0; i < 500; i++ {
+		s.Observe(uint64(i), int64(i))
+		got, ok := s.Sample()
+		if !ok || len(got) != 3 {
+			t.Fatalf("step %d: ok=%v len=%d", i, ok, len(got))
+		}
+		lo := uint64(0)
+		if i >= 16 {
+			lo = uint64(i) - 15
+		}
+		for _, e := range got {
+			if e.Index < lo || e.Index > uint64(i) {
+				t.Fatalf("step %d: sample index %d outside window [%d,%d]", i, e.Index, lo, i)
+			}
+		}
+	}
+}
+
+// TestSeqWRUniformAtOffsets is the Theorem 2.1 correctness check: at several
+// stream positions — window inside first bucket, window == bucket, window
+// straddling two buckets at various offsets — the sample must be uniform
+// over the n active elements.
+func TestSeqWRUniformAtOffsets(t *testing.T) {
+	const n = 8
+	const trials = 60000
+	r := xrand.New(3)
+	for _, m := range []int{3, 8, 11, 16, 20, 24, 29} {
+		lo := 0
+		if m > n {
+			lo = m - n
+		}
+		size := m - lo
+		counts := make([]int, size)
+		for tr := 0; tr < trials; tr++ {
+			s := NewSeqWR[uint64](r, n, 1)
+			feedSeqWR(s, m)
+			got, ok := s.Sample()
+			if !ok {
+				t.Fatalf("m=%d: no sample", m)
+			}
+			counts[int(got[0].Index)-lo]++
+		}
+		want := float64(trials) / float64(size)
+		for i, c := range counts {
+			if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+				t.Errorf("m=%d: window position %d sampled %d times, want about %.0f", m, i, c, want)
+			}
+		}
+	}
+}
+
+// TestSeqWRCopiesIndependent checks that with k=2 the joint distribution of
+// the two samples factors into the product of uniforms (sampling WITH
+// replacement means independent copies).
+func TestSeqWRCopiesIndependent(t *testing.T) {
+	const n = 4
+	const m = 10 // window = indexes 6..9, straddling buckets [4,8) and [8,12)
+	const trials = 160000
+	r := xrand.New(4)
+	joint := map[[2]uint64]int{}
+	for tr := 0; tr < trials; tr++ {
+		s := NewSeqWR[uint64](r, n, 2)
+		feedSeqWR(s, m)
+		got, _ := s.Sample()
+		joint[[2]uint64{got[0].Index, got[1].Index}]++
+	}
+	want := float64(trials) / (n * n)
+	for a := uint64(6); a <= 9; a++ {
+		for b := uint64(6); b <= 9; b++ {
+			c := float64(joint[[2]uint64{a, b}])
+			if math.Abs(c-want) > 5*math.Sqrt(want) {
+				t.Errorf("joint(%d,%d) = %.0f, want about %.0f", a, b, c, want)
+			}
+		}
+	}
+}
+
+// TestSeqWRDisjointWindowsIndependent is the Section 1.3.4 property: samples
+// taken over non-overlapping windows are independent.
+func TestSeqWRDisjointWindowsIndependent(t *testing.T) {
+	const n = 4
+	const trials = 160000
+	r := xrand.New(5)
+	joint := map[[2]uint64]int{}
+	for tr := 0; tr < trials; tr++ {
+		s := NewSeqWR[uint64](r, n, 1)
+		feedSeqWR(s, n) // window A = 0..3
+		a, _ := s.Sample()
+		for i := n; i < 3*n; i++ { // advance 2n: window B = 8..11, disjoint from A
+			s.Observe(uint64(i), int64(i))
+		}
+		b, _ := s.Sample()
+		joint[[2]uint64{a[0].Index, b[0].Index}]++
+	}
+	want := float64(trials) / (n * n)
+	for a := uint64(0); a < n; a++ {
+		for b := uint64(2 * n); b < 3*n; b++ {
+			c := float64(joint[[2]uint64{a, b}])
+			if math.Abs(c-want) > 5*math.Sqrt(want) {
+				t.Errorf("joint(A=%d,B=%d) = %.0f, want about %.0f", a, b, c, want)
+			}
+		}
+	}
+}
+
+// TestSeqWRMemoryDeterministic is the Theorem 2.1 memory claim: Words()
+// never exceeds a fixed linear-in-k bound, regardless of stream length or
+// window size.
+func TestSeqWRMemoryDeterministic(t *testing.T) {
+	for _, n := range []uint64{1, 2, 16, 1024} {
+		for _, k := range []int{1, 4, 16} {
+			s := NewSeqWR[uint64](xrand.New(6), n, k)
+			bound := 3 + k*(1+2*stream.StoredWords) // params + per copy: reservoir counter + 2 stored elements
+			for i := 0; i < 5000; i++ {
+				s.Observe(uint64(i), int64(i))
+				if w := s.Words(); w > bound {
+					t.Fatalf("n=%d k=%d step %d: Words=%d exceeds deterministic bound %d", n, k, i, w, bound)
+				}
+			}
+			if s.MaxWords() > bound {
+				t.Fatalf("n=%d k=%d: MaxWords=%d exceeds bound %d", n, k, s.MaxWords(), bound)
+			}
+		}
+	}
+}
+
+func TestSeqWRWindowOne(t *testing.T) {
+	// n=1: the sample must always be the latest element.
+	s := NewSeqWR[uint64](xrand.New(7), 1, 2)
+	for i := 0; i < 100; i++ {
+		s.Observe(uint64(i), int64(i))
+		got, ok := s.Sample()
+		if !ok {
+			t.Fatal("no sample")
+		}
+		for _, e := range got {
+			if e.Index != uint64(i) {
+				t.Fatalf("n=1 sample at step %d has index %d", i, e.Index)
+			}
+		}
+	}
+}
+
+func TestSeqWRDeterminism(t *testing.T) {
+	run := func() []uint64 {
+		s := NewSeqWR[uint64](xrand.New(42), 16, 2)
+		var out []uint64
+		for i := 0; i < 200; i++ {
+			s.Observe(uint64(i), int64(i))
+			if got, ok := s.Sample(); ok {
+				for _, e := range got {
+					out = append(out, e.Index)
+				}
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("determinism broken: different lengths")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("determinism broken at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSeqWRForEachStored(t *testing.T) {
+	s := NewSeqWR[uint64](xrand.New(8), 4, 3)
+	feedSeqWR(s, 10)
+	slots := 0
+	s.ForEachStored(func(st *stream.Stored[uint64]) {
+		slots++
+		st.Aux = "x"
+	})
+	if slots == 0 || slots > 2*3 {
+		t.Fatalf("visited %d slots, want between 1 and 6", slots)
+	}
+	// The slots handed out by SampleSlots must be among the visited ones.
+	got, _ := s.SampleSlots()
+	for _, st := range got {
+		if st.Aux != "x" {
+			t.Fatal("sample slot was not visited by ForEachStored")
+		}
+	}
+}
+
+func TestSeqWRAccessors(t *testing.T) {
+	s := NewSeqWR[uint64](xrand.New(9), 32, 5)
+	if s.N() != 32 || s.K() != 5 || s.Count() != 0 {
+		t.Fatalf("accessors wrong: N=%d K=%d Count=%d", s.N(), s.K(), s.Count())
+	}
+	feedSeqWR(s, 7)
+	if s.Count() != 7 {
+		t.Fatalf("Count = %d, want 7", s.Count())
+	}
+}

@@ -1,0 +1,362 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"slidingsample/internal/stream"
+	"slidingsample/internal/window"
+	"slidingsample/internal/xrand"
+)
+
+func feedPatternWOR(s *TSWOR[uint64], pattern []int64) {
+	for i, ts := range pattern {
+		s.Observe(uint64(i), ts)
+	}
+}
+
+func TestTSWOREmptyAndConstructorPanics(t *testing.T) {
+	s := NewTSWOR[uint64](xrand.New(1), 10, 3)
+	if _, ok := s.Sample(); ok {
+		t.Fatal("empty sampler returned a sample")
+	}
+	for _, tc := range []struct {
+		t0 int64
+		k  int
+	}{{0, 1}, {10, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewTSWOR(t0=%d,k=%d) did not panic", tc.t0, tc.k)
+				}
+			}()
+			NewTSWOR[uint64](xrand.New(1), tc.t0, tc.k)
+		}()
+	}
+}
+
+// TestTSWORDistinctActiveRightSize: on random bursty streams, at every step
+// the sample has min(k, n) distinct active elements.
+func TestTSWORDistinctActiveRightSize(t *testing.T) {
+	const t0 = 8
+	w := window.Timestamp{T0: t0}
+	for seed := uint64(0); seed < 5; seed++ {
+		r := xrand.New(seed)
+		s := NewTSWOR[uint64](r.Split(), t0, 4)
+		arr := streamBursty(r.Split(), 1500)
+		buf := window.NewTSBuffer[uint64](t0)
+		for i, ts := range arr {
+			s.Observe(uint64(i), ts)
+			buf.Observe(stream.Element[uint64]{Value: uint64(i), Index: uint64(i), TS: ts})
+			got, ok := s.Sample()
+			n := buf.Len()
+			wantLen := 4
+			if n < 4 {
+				wantLen = n
+			}
+			if !ok || len(got) != wantLen {
+				t.Fatalf("seed %d step %d: ok=%v len=%d want %d (n=%d)", seed, i, ok, len(got), wantLen, n)
+			}
+			seen := map[uint64]bool{}
+			for _, e := range got {
+				if w.Expired(e.TS, ts) {
+					t.Fatalf("seed %d step %d: expired element in WOR sample", seed, i)
+				}
+				if seen[e.Index] {
+					t.Fatalf("seed %d step %d: duplicate %d", seed, i, e.Index)
+				}
+				seen[e.Index] = true
+			}
+		}
+	}
+}
+
+// TestTSWORUniformSubsets is the Theorem 4.4 correctness check: every
+// 2-subset of the active window is equally likely, on a pattern that forces
+// straddling buckets in the delayed instances.
+func TestTSWORUniformSubsets(t *testing.T) {
+	const t0, k = 10, 2
+	const trials = 120000
+	pattern := burstyPattern()[:28] // up to the ts=12 burst
+	now := int64(13)
+	act := activeSet(pattern, t0, now)
+	n := len(act)
+	if n < 4 {
+		t.Fatalf("test needs a few active elements, got %d", n)
+	}
+	pos := map[uint64]int{}
+	for i, idx := range act {
+		pos[idx] = i
+	}
+	r := xrand.New(3)
+	counts := map[[2]int]int{}
+	for tr := 0; tr < trials; tr++ {
+		s := NewTSWOR[uint64](r, t0, k)
+		feedPatternWOR(s, pattern)
+		got, ok := s.SampleAt(now)
+		if !ok || len(got) != k {
+			t.Fatalf("trial %d: ok=%v len=%d", tr, ok, len(got))
+		}
+		a, okA := pos[got[0].Index]
+		b, okB := pos[got[1].Index]
+		if !okA || !okB {
+			t.Fatalf("sampled inactive element: %v", got)
+		}
+		if a > b {
+			a, b = b, a
+		}
+		counts[[2]int{a, b}]++
+	}
+	nSubsets := n * (n - 1) / 2
+	if len(counts) != nSubsets {
+		t.Fatalf("saw %d distinct subsets, want %d", len(counts), nSubsets)
+	}
+	want := float64(trials) / float64(nSubsets)
+	for key, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("subset %v: %d, want about %.0f", key, c, want)
+		}
+	}
+}
+
+// TestTSWORInclusionProbability: each active element appears in the k-WOR
+// sample with probability k/n.
+func TestTSWORInclusionProbability(t *testing.T) {
+	const t0, k = 10, 3
+	const trials = 60000
+	pattern := burstyPattern()[:28]
+	now := int64(13)
+	act := activeSet(pattern, t0, now)
+	n := len(act)
+	r := xrand.New(4)
+	counts := map[uint64]int{}
+	for tr := 0; tr < trials; tr++ {
+		s := NewTSWOR[uint64](r, t0, k)
+		feedPatternWOR(s, pattern)
+		got, _ := s.SampleAt(now)
+		for _, e := range got {
+			counts[e.Index]++
+		}
+	}
+	p := float64(k) / float64(n)
+	want := p * trials
+	sigma := math.Sqrt(trials * p * (1 - p))
+	for _, idx := range act {
+		if math.Abs(float64(counts[idx])-want) > 5*sigma {
+			t.Errorf("index %d included %d times, want about %.0f", idx, counts[idx], want)
+		}
+	}
+}
+
+// TestTSWORSmallWindow: when n <= k the sample must be exactly the active
+// set.
+func TestTSWORSmallWindow(t *testing.T) {
+	const t0, k = 5, 6
+	s := NewTSWOR[uint64](xrand.New(5), t0, k)
+	// Three elements, then let time pass so they expire one... timestamps:
+	s.Observe(0, 0)
+	s.Observe(1, 2)
+	s.Observe(2, 4)
+	got, ok := s.SampleAt(4)
+	if !ok || len(got) != 3 {
+		t.Fatalf("want the 3 active elements, got ok=%v len=%d", ok, len(got))
+	}
+	got, ok = s.SampleAt(5) // element 0 (ts=0) expires at now=5
+	if !ok || len(got) != 2 {
+		t.Fatalf("want 2 active elements, got ok=%v len=%d", ok, len(got))
+	}
+	for _, e := range got {
+		if e.Index == 0 {
+			t.Fatal("expired element returned")
+		}
+	}
+	if _, ok := s.SampleAt(100); ok {
+		t.Fatal("sample from empty window")
+	}
+}
+
+// TestTSWORCrossesKBoundary: n shrinking through k and growing back must
+// keep the sample exact/valid. k=3.
+func TestTSWORCrossesKBoundary(t *testing.T) {
+	const t0, k = 6, 3
+	const trials = 30000
+	r := xrand.New(6)
+	// 10 elements at ts 0..4 (two per tick), query at 8: active = ts >= 3
+	// (elements 6..9): n=4 > k. Query at 9: ts >= 4: n=2 < k.
+	var pattern []int64
+	for i := 0; i < 10; i++ {
+		pattern = append(pattern, int64(i/2))
+	}
+	// n > k: statistical check of inclusion.
+	actAt8 := activeSet(pattern, t0, 8)
+	if len(actAt8) != 4 {
+		t.Fatalf("setup wrong: n at 8 = %d", len(actAt8))
+	}
+	counts := map[uint64]int{}
+	for tr := 0; tr < trials; tr++ {
+		s := NewTSWOR[uint64](r, t0, k)
+		feedPatternWOR(s, pattern)
+		got, _ := s.SampleAt(8)
+		if len(got) != k {
+			t.Fatalf("n=4 > k=3: got %d", len(got))
+		}
+		for _, e := range got {
+			counts[e.Index]++
+		}
+	}
+	p := 3.0 / 4
+	want := p * trials
+	sigma := math.Sqrt(trials * p * (1 - p))
+	for _, idx := range actAt8 {
+		if math.Abs(float64(counts[idx])-want) > 5*sigma {
+			t.Errorf("idx %d: %d, want about %.0f", idx, counts[idx], want)
+		}
+	}
+	// n < k at 9: exact active set.
+	s := NewTSWOR[uint64](r, t0, k)
+	feedPatternWOR(s, pattern)
+	got, ok := s.SampleAt(9)
+	if !ok || len(got) != 2 {
+		t.Fatalf("n=2 < k: ok=%v len=%d", ok, len(got))
+	}
+	// Growing back: feed two more at ts=9.
+	s2 := NewTSWOR[uint64](r, t0, k)
+	feedPatternWOR(s2, pattern)
+	s2.Observe(10, 9)
+	s2.Observe(11, 9)
+	got, ok = s2.SampleAt(9)
+	if !ok || len(got) != 3 {
+		t.Fatalf("window regrew to n=4: ok=%v len=%d", ok, len(got))
+	}
+}
+
+// TestTSWORMemoryDeterministic is the Theorem 4.4 memory claim:
+// O(k log n) words, deterministically.
+func TestTSWORMemoryDeterministic(t *testing.T) {
+	for _, k := range []int{1, 2, 8} {
+		r := xrand.New(7)
+		s := NewTSWOR[uint64](r.Split(), 40, k)
+		arr := streamBursty(r.Split(), 30000)
+		for i, ts := range arr {
+			s.Observe(uint64(i), ts)
+			m := uint64(i + 1)
+			// Each of the k single-slot instances is bounded as in TSWR
+			// (k=1 there), plus the k-element tail buffer.
+			perInst := 4 + (2*int(floorLog2(m))+3)*bsWords(1)
+			bound := 4 + k*3 + k*perInst
+			if w := s.Words(); w > bound {
+				t.Fatalf("k=%d step %d: Words=%d exceeds %d", k, i, w, bound)
+			}
+		}
+	}
+}
+
+func TestTSWORKOne(t *testing.T) {
+	// k=1 degenerates to a single uniform sample; verify against a small
+	// fixed window.
+	const t0 = 10
+	const trials = 40000
+	pattern := []int64{0, 0, 0, 1, 2}
+	r := xrand.New(8)
+	counts := map[uint64]int{}
+	for tr := 0; tr < trials; tr++ {
+		s := NewTSWOR[uint64](r, t0, 1)
+		feedPatternWOR(s, pattern)
+		got, ok := s.SampleAt(2)
+		if !ok || len(got) != 1 {
+			t.Fatalf("ok=%v len=%d", ok, len(got))
+		}
+		counts[got[0].Index]++
+	}
+	want := float64(trials) / 5
+	for i := uint64(0); i < 5; i++ {
+		if math.Abs(float64(counts[i])-want) > 5*math.Sqrt(want) {
+			t.Errorf("idx %d: %d, want about %.0f", i, counts[i], want)
+		}
+	}
+}
+
+func TestTSWORQuickValidity(t *testing.T) {
+	f := func(seed uint64, kRaw, nRaw uint8) bool {
+		k := int(kRaw%5) + 1
+		n := int(nRaw%100) + 1
+		r := xrand.New(seed)
+		s := NewTSWOR[uint64](r.Split(), 7, k)
+		arr := streamBursty(r.Split(), n)
+		w := window.Timestamp{T0: 7}
+		for i, ts := range arr {
+			s.Observe(uint64(i), ts)
+		}
+		last := arr[len(arr)-1]
+		got, ok := s.SampleAt(last)
+		if !ok {
+			return false // the newest element is always active at its own ts
+		}
+		seen := map[uint64]bool{}
+		for _, e := range got {
+			if seen[e.Index] || w.Expired(e.TS, last) {
+				return false
+			}
+			seen[e.Index] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTSWORDeterminism(t *testing.T) {
+	run := func() []uint64 {
+		r := xrand.New(42)
+		s := NewTSWOR[uint64](r.Split(), 9, 3)
+		arr := streamBursty(r.Split(), 400)
+		var out []uint64
+		for i, ts := range arr {
+			s.Observe(uint64(i), ts)
+			if got, ok := s.Sample(); ok {
+				for _, e := range got {
+					out = append(out, e.Index)
+				}
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("determinism broken: lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("determinism broken at %d", i)
+		}
+	}
+}
+
+func TestTSWORAccessors(t *testing.T) {
+	s := NewTSWOR[uint64](xrand.New(9), 11, 4)
+	if s.Horizon() != 11 || s.K() != 4 || s.Count() != 0 {
+		t.Fatalf("accessors wrong: %d %d %d", s.Horizon(), s.K(), s.Count())
+	}
+	s.Observe(0, 1)
+	if s.Count() != 1 {
+		t.Fatal("Count not advancing")
+	}
+	slots := 0
+	s.ForEachStored(func(st *stream.Stored[uint64]) { slots++ })
+	if slots == 0 {
+		t.Fatal("no slots visited")
+	}
+}
+
+func TestTSWORTimeMonotonicityPanics(t *testing.T) {
+	s := NewTSWOR[uint64](xrand.New(10), 10, 2)
+	s.Observe(0, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backwards timestamp did not panic")
+		}
+	}()
+	s.Observe(1, 4)
+}

@@ -1,0 +1,163 @@
+package ehist
+
+import (
+	"math"
+	"testing"
+
+	"slidingsample/internal/xrand"
+)
+
+// exactBitWindow is the brute-force oracle: a ring of the last n bits.
+type exactBitWindow struct {
+	n    int
+	bits []bool
+	next int
+	fill int
+}
+
+func newExactBitWindow(n int) *exactBitWindow {
+	return &exactBitWindow{n: n, bits: make([]bool, n)}
+}
+
+func (w *exactBitWindow) observe(b bool) {
+	w.bits[w.next] = b
+	w.next = (w.next + 1) % w.n
+	if w.fill < w.n {
+		w.fill++
+	}
+}
+
+func (w *exactBitWindow) count() uint64 {
+	c := uint64(0)
+	for i := 0; i < w.fill; i++ {
+		if w.bits[i] {
+			c++
+		}
+	}
+	return c
+}
+
+func TestBitCounterExactWhileSmall(t *testing.T) {
+	c := NewBitCounter(100, 4)
+	if c.Estimate() != 0 {
+		t.Fatal("empty counter nonzero")
+	}
+	pattern := []bool{true, false, true, true, false, true}
+	want := uint64(0)
+	for _, b := range pattern {
+		c.Observe(b)
+		if b {
+			want++
+		}
+		if got := c.Estimate(); got != want {
+			t.Fatalf("estimate %d, want %d", got, want)
+		}
+	}
+}
+
+func TestBitCounterRelativeError(t *testing.T) {
+	for _, r := range []int{2, 4, 8} {
+		for _, density := range []uint64{2, 5} { // a 1 every `density` positions
+			c := NewBitCounter(1000, r)
+			oracle := newExactBitWindow(1000)
+			bound := 1.0 / float64(r-1)
+			for i := uint64(0); i < 20000; i++ {
+				bit := i%density == 0
+				c.Observe(bit)
+				oracle.observe(bit)
+				truth := float64(oracle.count())
+				if truth == 0 {
+					continue
+				}
+				got := float64(c.Estimate())
+				if rel := math.Abs(got-truth) / truth; rel > bound+1e-9 {
+					t.Fatalf("r=%d density=%d step %d: %v vs %v (rel %.3f > %.3f)",
+						r, density, i, got, truth, rel, bound)
+				}
+			}
+		}
+	}
+}
+
+func TestBitCounterRandomBits(t *testing.T) {
+	rng := xrand.New(1)
+	c := NewBitCounterEps(512, 0.1)
+	oracle := newExactBitWindow(512)
+	for i := 0; i < 30000; i++ {
+		bit := rng.Uint64n(3) == 0
+		c.Observe(bit)
+		oracle.observe(bit)
+		truth := float64(oracle.count())
+		if truth == 0 {
+			continue
+		}
+		got := float64(c.Estimate())
+		if rel := math.Abs(got-truth) / truth; rel > 0.1+1e-9 {
+			t.Fatalf("step %d: %v vs %v (rel %.3f)", i, got, truth, rel)
+		}
+	}
+}
+
+func TestBitCounterAllZeros(t *testing.T) {
+	c := NewBitCounter(64, 4)
+	for i := 0; i < 1000; i++ {
+		c.Observe(false)
+	}
+	if got := c.Estimate(); got != 0 {
+		t.Fatalf("all-zero stream estimated %d", got)
+	}
+	if c.Buckets() != 0 {
+		t.Fatal("zero bits created buckets")
+	}
+}
+
+func TestBitCounterBurstExpires(t *testing.T) {
+	c := NewBitCounter(10, 4)
+	for i := 0; i < 10; i++ {
+		c.Observe(true)
+	}
+	if got := c.Estimate(); got < 8 {
+		t.Fatalf("burst undercounted: %d", got)
+	}
+	for i := 0; i < 10; i++ {
+		c.Observe(false)
+	}
+	if got := c.Estimate(); got != 0 {
+		t.Fatalf("burst did not expire: %d", got)
+	}
+}
+
+func TestBitCounterLogarithmicMemory(t *testing.T) {
+	c := NewBitCounter(1<<40, 4)
+	for i := 0; i < 100000; i++ {
+		c.Observe(true)
+	}
+	maxBuckets := (4 + 1) * (int(math.Log2(100000)) + 2)
+	if c.Buckets() > maxBuckets {
+		t.Fatalf("buckets %d exceed bound %d", c.Buckets(), maxBuckets)
+	}
+	if c.Words() != 2+3*c.Buckets() || c.MaxWords() < c.Words() {
+		t.Fatal("words accounting broken")
+	}
+	if c.Pos() != 100000 {
+		t.Fatalf("Pos = %d", c.Pos())
+	}
+}
+
+func TestBitCounterConstructorPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewBitCounter(0, 4) },
+		func() { NewBitCounter(8, 1) },
+		func() { NewBitCounterEps(8, 0) },
+		func() { NewBitCounterEps(8, 1.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad constructor args did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,182 @@
+// Package ehist implements the exponential-histogram counter of Datar,
+// Gionis, Indyk and Motwani ("Maintaining stream statistics over sliding
+// windows", SODA 2002) for timestamp-based windows.
+//
+// The paper under reproduction cites this very result ([31]) for the fact
+// that the SIZE of a timestamp window cannot be computed exactly in
+// sublinear space — the negative result that motivates "generating implicit
+// events". The exponential histogram is the matching positive result: a
+// (1 ± ε)-approximate count of the active elements in O(ε⁻¹·log²n) bits.
+//
+// In this repository the counter serves the Section 5 application layer:
+// estimators such as windowed entropy need the window size n(t) as a scale
+// factor, which is exact for sequence windows but only approximable for
+// timestamp windows. TSWRSource accepts this counter as its size oracle.
+//
+// Construction: arrivals are grouped into buckets of power-of-two sizes,
+// newest first; at most maxPerSize buckets of each size are kept, and
+// overflow merges the two OLDEST buckets of a size into one of twice the
+// size. Each bucket records the timestamps of both its oldest and newest
+// elements: the newest drives expiry (a bucket dies when its newest element
+// leaves the window), the oldest detects whether the surviving head bucket
+// straddles the window boundary. When it does not straddle, the count is
+// exact; when it does, the head contributes half its size and the absolute
+// error is at most half the head bucket, giving relative error at most
+// 1/(maxPerSize-1).
+package ehist
+
+import (
+	"slidingsample/internal/window"
+)
+
+// bucket is one exponential-histogram bucket.
+type bucket struct {
+	newTS int64  // timestamp of the bucket's most recent element (expiry)
+	oldTS int64  // timestamp of the bucket's oldest element (straddle test)
+	size  uint64 // number of elements, a power of two
+}
+
+// Counter approximately counts the stream elements whose timestamps are
+// still inside a sliding window of horizon t0.
+type Counter struct {
+	w          window.Timestamp
+	maxPerSize int
+	buckets    []bucket // oldest first
+	now        int64
+	started    bool
+	maxWords   int
+}
+
+// New returns a counter with horizon t0 and relative error at most
+// 1/(maxPerSize-1). maxPerSize must be at least 2. For a target ε use
+// NewEps.
+func New(t0 int64, maxPerSize int) *Counter {
+	if t0 <= 0 {
+		panic("ehist: New with t0 <= 0")
+	}
+	if maxPerSize < 2 {
+		panic("ehist: New with maxPerSize < 2")
+	}
+	return &Counter{w: window.Timestamp{T0: t0}, maxPerSize: maxPerSize}
+}
+
+// NewEps returns a counter with relative error at most eps.
+func NewEps(t0 int64, eps float64) *Counter {
+	if eps <= 0 || eps >= 1 {
+		panic("ehist: NewEps with eps outside (0,1)")
+	}
+	return New(t0, int(1/eps)+2)
+}
+
+// Observe records one arrival at time ts (non-decreasing).
+func (c *Counter) Observe(ts int64) {
+	if c.started && ts < c.now {
+		panic("ehist: time went backwards")
+	}
+	c.now = ts
+	c.started = true
+	c.expire()
+	c.buckets = append(c.buckets, bucket{newTS: ts, oldTS: ts, size: 1})
+	c.cascade()
+	if w := c.Words(); w > c.maxWords {
+		c.maxWords = w
+	}
+}
+
+// cascade merges the two oldest buckets of any size that exceeds
+// maxPerSize, rippling upward exactly like a carry chain.
+func (c *Counter) cascade() {
+	size := uint64(1)
+	for {
+		first, count := -1, 0
+		for i, b := range c.buckets {
+			if b.size == size {
+				if first < 0 {
+					first = i
+				}
+				count++
+			}
+		}
+		if count <= c.maxPerSize {
+			return
+		}
+		// Merge the two oldest of this size: buckets are kept oldest-first,
+		// so they sit at `first` and the next bucket of equal size.
+		second := first + 1
+		for second < len(c.buckets) && c.buckets[second].size != size {
+			second++
+		}
+		if second >= len(c.buckets) {
+			return // cannot happen: count >= 2
+		}
+		merged := bucket{
+			newTS: c.buckets[second].newTS,
+			oldTS: c.buckets[first].oldTS,
+			size:  size * 2,
+		}
+		c.buckets = append(c.buckets[:second], c.buckets[second+1:]...)
+		c.buckets[first] = merged
+		size *= 2
+	}
+}
+
+// expire drops buckets whose most recent element has left the window.
+func (c *Counter) expire() {
+	i := 0
+	for i < len(c.buckets) && c.w.Expired(c.buckets[i].newTS, c.now) {
+		i++
+	}
+	if i > 0 {
+		c.buckets = append(c.buckets[:0:0], c.buckets[i:]...)
+	}
+}
+
+// EstimateAt returns the approximate number of active elements at time now.
+// Querying advances the counter's clock. The result is exact whenever the
+// oldest bucket lies entirely inside the window (in particular while the
+// stream is younger than the window).
+func (c *Counter) EstimateAt(now int64) uint64 {
+	if !c.started {
+		return 0
+	}
+	if now > c.now {
+		c.now = now
+	}
+	c.expire()
+	if len(c.buckets) == 0 {
+		return 0
+	}
+	total := uint64(0)
+	for _, b := range c.buckets {
+		total += b.size
+	}
+	if c.w.Active(c.buckets[0].oldTS, c.now) {
+		return total // head bucket fully inside the window: exact
+	}
+	return total - c.buckets[0].size/2
+}
+
+// Estimate returns the approximate count at the latest observed time.
+func (c *Counter) Estimate() uint64 { return c.EstimateAt(c.now) }
+
+// Buckets returns the current number of buckets (diagnostics).
+func (c *Counter) Buckets() int { return len(c.buckets) }
+
+// SizeOracle adapts the counter to the apps.TSWRSource size-oracle
+// signature.
+func (c *Counter) SizeOracle() func(now int64) (float64, bool) {
+	return func(now int64) (float64, bool) {
+		n := c.EstimateAt(now)
+		if n == 0 {
+			return 0, false
+		}
+		return float64(n), true
+	}
+}
+
+// Words implements the DESIGN.md §6 cost model: each bucket stores two
+// timestamps and a size (3 words), plus two scalars.
+func (c *Counter) Words() int { return 2 + 3*len(c.buckets) }
+
+// MaxWords returns the peak footprint.
+func (c *Counter) MaxWords() int { return c.maxWords }

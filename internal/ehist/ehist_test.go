@@ -1,0 +1,151 @@
+package ehist
+
+import (
+	"math"
+	"testing"
+
+	"slidingsample/internal/window"
+	"slidingsample/internal/xrand"
+)
+
+func TestCounterExactWhileSmall(t *testing.T) {
+	c := New(100, 4)
+	if c.Estimate() != 0 {
+		t.Fatal("empty counter nonzero")
+	}
+	for i := 0; i < 4; i++ {
+		c.Observe(int64(i))
+		// While every bucket has size 1, the estimate is total - 0 = exact.
+		if got := c.Estimate(); got != uint64(i+1) {
+			t.Fatalf("after %d arrivals estimate %d", i+1, got)
+		}
+	}
+}
+
+func TestCounterRelativeError(t *testing.T) {
+	// Steady stream, window t0=1000 ticks, 1 element per tick: true count
+	// is min(i+1, 1000). Check the documented bound 1/(2(r-1)).
+	for _, r := range []int{2, 4, 8} {
+		c := New(1000, r)
+		bound := 1.0 / float64(r-1)
+		for i := 0; i < 20000; i++ {
+			c.Observe(int64(i))
+			truth := float64(i + 1)
+			if truth > 1000 {
+				truth = 1000
+			}
+			got := float64(c.Estimate())
+			if rel := math.Abs(got-truth) / truth; rel > bound+1e-9 {
+				t.Fatalf("r=%d step %d: estimate %.0f vs true %.0f (rel %.3f > bound %.3f)",
+					r, i, got, truth, rel, bound)
+			}
+		}
+	}
+}
+
+func TestCounterBursty(t *testing.T) {
+	const t0 = 64
+	rng := xrand.New(1)
+	c := NewEps(t0, 0.1)
+	truth := window.NewTSBuffer[struct{}](t0)
+	ts := int64(0)
+	for i := 0; i < 30000; i++ {
+		if rng.Uint64n(6) == 0 {
+			ts += int64(rng.Uint64n(5))
+		}
+		c.Observe(ts)
+		truth.Observe(struct {
+			Value struct{}
+			Index uint64
+			TS    int64
+		}{TS: ts, Index: uint64(i)})
+		got := float64(c.Estimate())
+		want := float64(truth.Len())
+		if want == 0 {
+			continue
+		}
+		if rel := math.Abs(got-want) / want; rel > 0.1+1e-9 {
+			t.Fatalf("step %d: estimate %.0f vs true %.0f (rel %.3f)", i, got, want, rel)
+		}
+	}
+}
+
+func TestCounterExpiresToZero(t *testing.T) {
+	c := New(10, 4)
+	for i := 0; i < 100; i++ {
+		c.Observe(0)
+	}
+	if c.EstimateAt(5) == 0 {
+		t.Fatal("active elements vanished early")
+	}
+	if got := c.EstimateAt(10); got != 0 {
+		t.Fatalf("estimate %d after full expiry", got)
+	}
+	// Still usable after expiry.
+	c.Observe(20)
+	if c.Estimate() != 1 {
+		t.Fatal("counter broken after full expiry")
+	}
+}
+
+func TestCounterLogarithmicMemory(t *testing.T) {
+	c := New(1<<40, 4)
+	for i := 0; i < 100000; i++ {
+		c.Observe(int64(i))
+	}
+	// Buckets: at most maxPerSize+1 per size, sizes up to ~n/maxPerSize.
+	maxBuckets := (4 + 1) * (int(math.Log2(100000)) + 2)
+	if c.Buckets() > maxBuckets {
+		t.Fatalf("buckets %d exceed logarithmic bound %d", c.Buckets(), maxBuckets)
+	}
+	if c.Words() != 2+3*c.Buckets() {
+		t.Fatal("words accounting inconsistent")
+	}
+	if c.MaxWords() < c.Words() {
+		t.Fatal("peak below current")
+	}
+}
+
+func TestCounterMonotonicityPanic(t *testing.T) {
+	c := New(10, 4)
+	c.Observe(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backwards time did not panic")
+		}
+	}()
+	c.Observe(4)
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New(0, 4) },
+		func() { New(10, 1) },
+		func() { NewEps(10, 0) },
+		func() { NewEps(10, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad constructor args did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSizeOracle(t *testing.T) {
+	c := New(10, 4)
+	oracle := c.SizeOracle()
+	if _, ok := oracle(0); ok {
+		t.Fatal("oracle nonzero on empty counter")
+	}
+	for i := 0; i < 5; i++ {
+		c.Observe(int64(i))
+	}
+	n, ok := oracle(4)
+	if !ok || n < 4 || n > 6 {
+		t.Fatalf("oracle = %v ok=%v, want about 5", n, ok)
+	}
+}

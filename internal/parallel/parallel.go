@@ -1,0 +1,190 @@
+// Package parallel provides a sharded, goroutine-parallel ingest wrapper
+// around the sequence-based samplers for streams too fast for one core.
+//
+// Correctness rests on a small arithmetic fact: if elements are dealt
+// round-robin to G shards and the window size n is divisible by G, then ANY
+// window of the last n elements contains exactly n/G elements of every
+// shard — and those are exactly the n/G most recent elements of that shard.
+// A shard-local Theorem 2.1/2.2 sampler over a window of n/G therefore
+// covers precisely its slice of the global window, and a uniform global
+// sample is "pick a shard by its in-window count, then ask it". During
+// warm-up (fewer than n arrivals) shard windows differ by at most one
+// element and the weighted pick stays exact.
+//
+// Ingest runs one goroutine per shard fed by buffered channels; Barrier()
+// flushes all channels so queries observe a consistent prefix. This is a
+// checkpointed model: queries between barriers would race with in-flight
+// elements, so Sample panics unless the caller holds a barrier.
+package parallel
+
+import (
+	"sync"
+
+	"slidingsample/internal/core"
+	"slidingsample/internal/stream"
+	"slidingsample/internal/xrand"
+)
+
+type msg[T any] struct {
+	value   T
+	ts      int64
+	barrier *sync.WaitGroup // non-nil: flush marker, not an element
+}
+
+// ShardedSeqWR is a G-way parallel with-replacement sampler over a
+// sequence-based window of n elements.
+type ShardedSeqWR[T any] struct {
+	g      int
+	k      int
+	per    uint64 // n / g
+	rng    *xrand.Rand
+	shards []*core.SeqWR[T]
+	chans  []chan msg[T]
+	wg     sync.WaitGroup
+	next   int
+	count  uint64
+	synced bool
+}
+
+// NewShardedSeqWR builds the sampler and starts its shard workers.
+// n must be divisible by g; k is the number of independent samples.
+func NewShardedSeqWR[T any](rng *xrand.Rand, n uint64, g, k int) *ShardedSeqWR[T] {
+	if g <= 0 {
+		panic("parallel: NewShardedSeqWR with g <= 0")
+	}
+	if n == 0 || n%uint64(g) != 0 {
+		panic("parallel: window size must be a positive multiple of the shard count")
+	}
+	if k <= 0 {
+		panic("parallel: NewShardedSeqWR with k <= 0")
+	}
+	s := &ShardedSeqWR[T]{
+		g:      g,
+		k:      k,
+		per:    n / uint64(g),
+		rng:    rng.Split(),
+		shards: make([]*core.SeqWR[T], g),
+		chans:  make([]chan msg[T], g),
+		synced: true,
+	}
+	for i := 0; i < g; i++ {
+		s.shards[i] = core.NewSeqWR[T](rng.Split(), s.per, k)
+		s.chans[i] = make(chan msg[T], 1024)
+		shard := s.shards[i]
+		ch := s.chans[i]
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for m := range ch {
+				if m.barrier != nil {
+					m.barrier.Done()
+					continue
+				}
+				shard.Observe(m.value, m.ts)
+			}
+		}()
+	}
+	return s
+}
+
+// Observe routes the next element to its shard. Safe to call from ONE
+// producer goroutine (the dispatch order defines the stream order).
+func (s *ShardedSeqWR[T]) Observe(value T, ts int64) {
+	s.chans[s.next] <- msg[T]{value: value, ts: ts}
+	s.next = (s.next + 1) % s.g
+	s.count++
+	s.synced = false
+}
+
+// Barrier flushes every shard channel; after it returns, all elements
+// observed so far are reflected in the shard samplers and Sample may be
+// called.
+func (s *ShardedSeqWR[T]) Barrier() {
+	var wg sync.WaitGroup
+	wg.Add(s.g)
+	for _, ch := range s.chans {
+		ch <- msg[T]{barrier: &wg}
+	}
+	wg.Wait()
+	s.synced = true
+}
+
+// Close shuts the workers down. The sampler remains queryable.
+func (s *ShardedSeqWR[T]) Close() {
+	s.Barrier()
+	for _, ch := range s.chans {
+		close(ch)
+	}
+	s.wg.Wait()
+}
+
+// windowSizes returns each shard's in-window element count and the total.
+func (s *ShardedSeqWR[T]) windowSizes() ([]uint64, uint64) {
+	sizes := make([]uint64, s.g)
+	var total uint64
+	for i, sh := range s.shards {
+		c := sh.Count()
+		if c > s.per {
+			c = s.per
+		}
+		sizes[i] = c
+		total += c
+	}
+	return sizes, total
+}
+
+// Sample returns k elements, each uniform over the global window of the
+// last min(count, n) elements. It panics if called without a Barrier since
+// the last Observe (the shard states would be racy and possibly skewed).
+func (s *ShardedSeqWR[T]) Sample() ([]stream.Element[T], bool) {
+	if !s.synced {
+		panic("parallel: Sample without Barrier after Observe")
+	}
+	sizes, total := s.windowSizes()
+	if total == 0 {
+		return nil, false
+	}
+	out := make([]stream.Element[T], 0, s.k)
+	for slot := 0; slot < s.k; slot++ {
+		u := s.rng.Uint64n(total)
+		shard := 0
+		for u >= sizes[shard] {
+			u -= sizes[shard]
+			shard++
+		}
+		es, ok := s.shards[shard].Sample()
+		if !ok {
+			return nil, false
+		}
+		e := es[slot]
+		// Recover the global arrival index: shard i's j-th element has
+		// global index j*g + i.
+		e.Index = e.Index*uint64(s.g) + uint64(shard)
+		out = append(out, e)
+	}
+	return out, true
+}
+
+// Count returns the number of elements dispatched.
+func (s *ShardedSeqWR[T]) Count() uint64 { return s.count }
+
+// Words implements stream.MemoryReporter (sum over shards + dispatcher
+// scalars; channel buffers are transport, not sampler state, and are not
+// counted — the checkpointed query model guarantees they are empty at
+// every measurement point).
+func (s *ShardedSeqWR[T]) Words() int {
+	w := 3
+	for _, sh := range s.shards {
+		w += sh.Words()
+	}
+	return w
+}
+
+// MaxWords implements stream.MemoryReporter.
+func (s *ShardedSeqWR[T]) MaxWords() int {
+	w := 3
+	for _, sh := range s.shards {
+		w += sh.MaxWords()
+	}
+	return w
+}

@@ -1,0 +1,177 @@
+package parallel
+
+import (
+	"math"
+	"testing"
+
+	"slidingsample/internal/xrand"
+)
+
+func TestShardedIndexRecovery(t *testing.T) {
+	// Values carry the global index; the recovered Index must match.
+	s := NewShardedSeqWR[uint64](xrand.New(1), 64, 4, 3)
+	defer s.Close()
+	for i := uint64(0); i < 1000; i++ {
+		s.Observe(i, int64(i))
+	}
+	s.Barrier()
+	got, ok := s.Sample()
+	if !ok || len(got) != 3 {
+		t.Fatalf("ok=%v len=%d", ok, len(got))
+	}
+	for _, e := range got {
+		if e.Value != e.Index {
+			t.Fatalf("index recovery broken: value %d, index %d", e.Value, e.Index)
+		}
+		if e.Index < 1000-64 {
+			t.Fatalf("sample %d outside the global window", e.Index)
+		}
+	}
+}
+
+func TestShardedUniform(t *testing.T) {
+	// The global sample must be uniform over the last n elements, at a
+	// straddling offset, matching the sequential sampler's law.
+	const n, g = 16, 4
+	const m = 42 // not divisible by g: shards are mid-cycle
+	const trials = 40000
+	r := xrand.New(2)
+	counts := make([]int, n)
+	for tr := 0; tr < trials; tr++ {
+		s := NewShardedSeqWR[uint64](r, n, g, 1)
+		for i := uint64(0); i < m; i++ {
+			s.Observe(i, int64(i))
+		}
+		s.Barrier()
+		got, ok := s.Sample()
+		if !ok {
+			t.Fatal("no sample")
+		}
+		if got[0].Index < m-n || got[0].Index >= m {
+			t.Fatalf("sample %d outside window [%d,%d)", got[0].Index, m-n, m)
+		}
+		counts[got[0].Index-(m-n)]++
+		s.Close()
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("window pos %d: %d, want about %.0f", i, c, want)
+		}
+	}
+}
+
+func TestShardedWarmup(t *testing.T) {
+	const n, g = 32, 4
+	const trials = 30000
+	r := xrand.New(3)
+	// 10 arrivals (< n): window = everything; distribution uniform over 10.
+	counts := make([]int, 10)
+	for tr := 0; tr < trials; tr++ {
+		s := NewShardedSeqWR[uint64](r, n, g, 1)
+		for i := uint64(0); i < 10; i++ {
+			s.Observe(i, int64(i))
+		}
+		s.Barrier()
+		got, ok := s.Sample()
+		if !ok {
+			t.Fatal("no sample during warm-up")
+		}
+		counts[got[0].Index]++
+		s.Close()
+	}
+	want := float64(trials) / 10
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("warm-up pos %d: %d, want about %.0f", i, c, want)
+		}
+	}
+}
+
+func TestShardedEmptyAndBarrierDiscipline(t *testing.T) {
+	s := NewShardedSeqWR[uint64](xrand.New(4), 8, 2, 1)
+	defer s.Close()
+	s.Barrier()
+	if _, ok := s.Sample(); ok {
+		t.Fatal("sample from empty sharded sampler")
+	}
+	s.Observe(1, 0)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Sample without Barrier did not panic")
+			}
+		}()
+		s.Sample()
+	}()
+	s.Barrier()
+	if _, ok := s.Sample(); !ok {
+		t.Fatal("no sample after barrier")
+	}
+}
+
+func TestShardedConstructorPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewShardedSeqWR[uint64](xrand.New(1), 8, 0, 1) },
+		func() { NewShardedSeqWR[uint64](xrand.New(1), 0, 2, 1) },
+		func() { NewShardedSeqWR[uint64](xrand.New(1), 9, 2, 1) }, // 9 % 2 != 0
+		func() { NewShardedSeqWR[uint64](xrand.New(1), 8, 2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad constructor args did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestShardedRepeatedBarriers(t *testing.T) {
+	// Observe/Barrier/Sample cycles must keep working (barriers are
+	// checkpoints, not terminators).
+	s := NewShardedSeqWR[uint64](xrand.New(5), 16, 4, 2)
+	defer s.Close()
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 7; i++ {
+			s.Observe(uint64(round*7+i), int64(round*7+i))
+		}
+		s.Barrier()
+		got, ok := s.Sample()
+		if !ok || len(got) != 2 {
+			t.Fatalf("round %d: ok=%v len=%d", round, ok, len(got))
+		}
+		latest := uint64(round*7 + 6)
+		lo := uint64(0)
+		if latest >= 16 {
+			lo = latest - 15
+		}
+		for _, e := range got {
+			if e.Index < lo || e.Index > latest {
+				t.Fatalf("round %d: sample %d outside [%d,%d]", round, e.Index, lo, latest)
+			}
+		}
+	}
+	if s.Count() != 350 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	if s.Words() <= 0 || s.MaxWords() < s.Words() {
+		t.Fatal("words accounting broken")
+	}
+}
+
+func TestShardedMemoryLinearInShards(t *testing.T) {
+	// Total memory is G * Θ(k): still independent of n.
+	for _, g := range []int{1, 4, 16} {
+		s := NewShardedSeqWR[uint64](xrand.New(6), 1<<16, g, 2)
+		for i := uint64(0); i < 1<<17; i++ {
+			s.Observe(i, 0)
+		}
+		s.Close()
+		bound := 3 + g*(3+2*(1+6)) // dispatcher + per shard: params + 2 copies * (counter + stored)
+		if s.MaxWords() > bound {
+			t.Fatalf("g=%d: MaxWords %d exceeds %d", g, s.MaxWords(), bound)
+		}
+	}
+}

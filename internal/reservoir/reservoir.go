@@ -1,0 +1,253 @@
+// Package reservoir implements Vitter's reservoir sampling, the one-pass
+// substrate the paper builds on ("for each bucket we maintain a random
+// sample using any one-pass algorithm (e.g., the reservoir sampling
+// method)", Section 1.3.1).
+//
+// Three samplers are provided:
+//
+//   - Single: Algorithm R specialised to one sample (Θ(1) words). This is
+//     the in-bucket sampler of Theorems 2.1 and 3.9.
+//   - K: Algorithm R with k slots — a uniform k-sample WITHOUT replacement
+//     of everything observed (Θ(k) words). This is the in-bucket sampler of
+//     Theorem 2.2.
+//   - FastSingle: Vitter-style skip-based variant (Algorithm L's skip
+//     computation specialised to one slot). An engineering extra for the
+//     E11 throughput table; the paper itself only needs Algorithm R.
+//
+// The property the paper's independence argument (Section 1.3.4) relies on —
+// conditioned on the sample after i arrivals, the decision to replace it
+// later depends only on later coin flips — holds for Algorithm R by
+// construction and is verified by test.
+package reservoir
+
+import (
+	"math"
+
+	"slidingsample/internal/stream"
+	"slidingsample/internal/xrand"
+)
+
+// Single maintains one uniform sample of all elements observed since the
+// last Reset, using Θ(1) words.
+type Single[T any] struct {
+	rng   *xrand.Rand
+	count uint64
+	cur   *stream.Stored[T]
+}
+
+// NewSingle returns an empty single-sample reservoir using the given
+// generator (not copied; do not share a generator across goroutines).
+func NewSingle[T any](rng *xrand.Rand) *Single[T] {
+	return &Single[T]{rng: rng}
+}
+
+// Observe feeds one element. The i-th observed element becomes the sample
+// with probability exactly 1/i.
+func (s *Single[T]) Observe(e stream.Element[T]) {
+	s.count++
+	if s.rng.Uint64n(s.count) == 0 {
+		s.cur = &stream.Stored[T]{Elem: e}
+	}
+}
+
+// Sample returns the current sample holder, or ok=false when nothing has
+// been observed. The returned pointer is the live slot: the Section 5
+// application layer attaches auxiliary state to it.
+func (s *Single[T]) Sample() (*stream.Stored[T], bool) {
+	return s.cur, s.cur != nil
+}
+
+// Count returns the number of elements observed since the last Reset.
+func (s *Single[T]) Count() uint64 { return s.count }
+
+// Reset forgets everything (used when a bucket closes and the reservoir is
+// recycled for the next bucket).
+func (s *Single[T]) Reset() {
+	s.count = 0
+	s.cur = nil
+}
+
+// ForEachStored implements stream.SlotVisitor.
+func (s *Single[T]) ForEachStored(f func(*stream.Stored[T])) {
+	if s.cur != nil {
+		f(s.cur)
+	}
+}
+
+// Words implements stream.MemoryReporter: one stored element plus the
+// arrival counter.
+func (s *Single[T]) Words() int {
+	w := 1 // count
+	if s.cur != nil {
+		w += stream.StoredWords
+	}
+	return w
+}
+
+// MaxWords implements stream.MemoryReporter. A Single's footprint is
+// constant once the first element arrives, so the peak equals
+// 1 + StoredWords after any observation.
+func (s *Single[T]) MaxWords() int {
+	if s.count == 0 && s.cur == nil {
+		return 1
+	}
+	return 1 + stream.StoredWords
+}
+
+// K maintains a uniform k-sample without replacement of all elements
+// observed since the last Reset (Algorithm R). While fewer than k elements
+// have been observed it holds all of them — exactly the behaviour
+// Theorem 2.2 needs from partial buckets ("either X_B = C, if |C| < k, or
+// X_B is a k-sample of C").
+type K[T any] struct {
+	rng   *xrand.Rand
+	k     int
+	count uint64
+	slots []*stream.Stored[T]
+}
+
+// NewK returns an empty k-slot reservoir. Panics if k <= 0.
+func NewK[T any](rng *xrand.Rand, k int) *K[T] {
+	if k <= 0 {
+		panic("reservoir: NewK with k <= 0")
+	}
+	return &K[T]{rng: rng, k: k, slots: make([]*stream.Stored[T], 0, k)}
+}
+
+// Observe feeds one element.
+func (s *K[T]) Observe(e stream.Element[T]) {
+	s.count++
+	if len(s.slots) < s.k {
+		s.slots = append(s.slots, &stream.Stored[T]{Elem: e})
+		return
+	}
+	if j := s.rng.Uint64n(s.count); j < uint64(s.k) {
+		s.slots[j] = &stream.Stored[T]{Elem: e}
+	}
+}
+
+// Sample returns the current slots (all observed elements when count < k).
+// The returned slice is freshly allocated; the pointed-to slots are live.
+func (s *K[T]) Sample() []*stream.Stored[T] {
+	out := make([]*stream.Stored[T], len(s.slots))
+	copy(out, s.slots)
+	return out
+}
+
+// Count returns the number of elements observed since the last Reset.
+func (s *K[T]) Count() uint64 { return s.count }
+
+// Cap returns k.
+func (s *K[T]) Cap() int { return s.k }
+
+// Reset forgets everything.
+func (s *K[T]) Reset() {
+	s.count = 0
+	s.slots = s.slots[:0]
+}
+
+// ForEachStored implements stream.SlotVisitor.
+func (s *K[T]) ForEachStored(f func(*stream.Stored[T])) {
+	for _, st := range s.slots {
+		f(st)
+	}
+}
+
+// Words implements stream.MemoryReporter.
+func (s *K[T]) Words() int {
+	return 2 + len(s.slots)*stream.StoredWords // count + k + slots
+}
+
+// MaxWords implements stream.MemoryReporter: the slot count is monotone
+// between resets and capped at k.
+func (s *K[T]) MaxWords() int {
+	n := len(s.slots)
+	if s.count >= uint64(s.k) {
+		n = s.k
+	}
+	return 2 + n*stream.StoredWords
+}
+
+// FastSingle is a skip-based single-sample reservoir: instead of one RNG
+// draw per element it draws the gap until the next replacement (geometric
+// over a changing success probability, computed in closed form à la
+// Vitter's Algorithm L). Statistically identical to Single; used in the E11
+// throughput comparison.
+type FastSingle[T any] struct {
+	rng   *xrand.Rand
+	count uint64
+	skip  uint64
+	w     float64
+	cur   *stream.Stored[T]
+}
+
+// NewFastSingle returns an empty skip-based single-sample reservoir.
+func NewFastSingle[T any](rng *xrand.Rand) *FastSingle[T] {
+	return &FastSingle[T]{rng: rng}
+}
+
+// Observe feeds one element.
+func (s *FastSingle[T]) Observe(e stream.Element[T]) {
+	s.count++
+	if s.count == 1 {
+		s.cur = &stream.Stored[T]{Elem: e}
+		s.w = s.nextW()
+		s.skip = s.nextSkip()
+		return
+	}
+	if s.skip > 0 {
+		s.skip--
+		return
+	}
+	s.cur = &stream.Stored[T]{Elem: e}
+	s.w = s.w * s.nextW()
+	s.skip = s.nextSkip()
+}
+
+func (s *FastSingle[T]) nextW() float64 {
+	// W ~ U^(1/k) with k=1: plain uniform in (0,1).
+	u := s.rng.Float64()
+	for u == 0 {
+		u = s.rng.Float64()
+	}
+	return u
+}
+
+func (s *FastSingle[T]) nextSkip() uint64 {
+	// Number of elements skipped before the next replacement:
+	// floor(log(U) / log(1-W)).
+	u := s.rng.Float64()
+	for u == 0 {
+		u = s.rng.Float64()
+	}
+	g := math.Log(u) / math.Log(1-s.w)
+	if g < 0 || math.IsNaN(g) || math.IsInf(g, 0) || g > float64(math.MaxInt64) {
+		return math.MaxUint32
+	}
+	return uint64(g)
+}
+
+// Sample returns the current sample holder, or ok=false when empty.
+func (s *FastSingle[T]) Sample() (*stream.Stored[T], bool) {
+	return s.cur, s.cur != nil
+}
+
+// Count returns the number of elements observed.
+func (s *FastSingle[T]) Count() uint64 { return s.count }
+
+// Words implements stream.MemoryReporter.
+func (s *FastSingle[T]) Words() int {
+	w := 3 // count, skip, w
+	if s.cur != nil {
+		w += stream.StoredWords
+	}
+	return w
+}
+
+// MaxWords implements stream.MemoryReporter.
+func (s *FastSingle[T]) MaxWords() int {
+	if s.count == 0 {
+		return 3
+	}
+	return 3 + stream.StoredWords
+}

@@ -1,0 +1,326 @@
+package reservoir
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"slidingsample/internal/stream"
+	"slidingsample/internal/xrand"
+)
+
+func elem(i uint64) stream.Element[uint64] {
+	return stream.Element[uint64]{Value: i, Index: i, TS: int64(i)}
+}
+
+func TestSingleEmpty(t *testing.T) {
+	s := NewSingle[uint64](xrand.New(1))
+	if _, ok := s.Sample(); ok {
+		t.Fatal("empty reservoir returned a sample")
+	}
+	if s.Count() != 0 {
+		t.Fatal("empty reservoir has nonzero count")
+	}
+}
+
+func TestSingleFirstElementAlwaysSampled(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		s := NewSingle[uint64](xrand.New(seed))
+		s.Observe(elem(7))
+		st, ok := s.Sample()
+		if !ok || st.Elem.Index != 7 {
+			t.Fatalf("seed %d: first element not sampled", seed)
+		}
+	}
+}
+
+func TestSingleUniform(t *testing.T) {
+	// Over m=20 elements, each should be the final sample about trials/m
+	// times.
+	const m, trials = 20, 100000
+	r := xrand.New(33)
+	counts := make([]int, m)
+	for tr := 0; tr < trials; tr++ {
+		s := NewSingle[uint64](r)
+		for i := uint64(0); i < m; i++ {
+			s.Observe(elem(i))
+		}
+		st, _ := s.Sample()
+		counts[st.Elem.Index]++
+	}
+	want := float64(trials) / m
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("element %d sampled %d times, want about %.0f", i, c, want)
+		}
+	}
+}
+
+// TestSinglePrefixSuffixIndependence verifies the property the paper's
+// Section 1.3.4 independence argument uses: the sample after the first i
+// elements and the event "the final sample lies in the suffix" are
+// independent, and conditioned on landing in the suffix the final sample is
+// uniform there.
+func TestSinglePrefixSuffixIndependence(t *testing.T) {
+	const prefix, total, trials = 4, 8, 160000
+	r := xrand.New(44)
+	joint := make(map[[2]uint64]int)
+	for tr := 0; tr < trials; tr++ {
+		s := NewSingle[uint64](r)
+		for i := uint64(0); i < prefix; i++ {
+			s.Observe(elem(i))
+		}
+		mid, _ := s.Sample()
+		midIdx := mid.Elem.Index
+		for i := uint64(prefix); i < total; i++ {
+			s.Observe(elem(i))
+		}
+		fin, _ := s.Sample()
+		if fin.Elem.Index >= prefix { // final sample in suffix
+			joint[[2]uint64{midIdx, fin.Elem.Index}]++
+		}
+	}
+	// P(mid = a, fin = b in suffix) should factor as (1/prefix) * (1/total)
+	// for every a in prefix, b in suffix.
+	want := float64(trials) / (prefix * total)
+	for a := uint64(0); a < prefix; a++ {
+		for b := uint64(prefix); b < total; b++ {
+			c := float64(joint[[2]uint64{a, b}])
+			if math.Abs(c-want) > 5*math.Sqrt(want) {
+				t.Errorf("joint(mid=%d, fin=%d) = %.0f, want about %.0f", a, b, c, want)
+			}
+		}
+	}
+}
+
+func TestSingleReset(t *testing.T) {
+	s := NewSingle[uint64](xrand.New(2))
+	s.Observe(elem(1))
+	s.Reset()
+	if _, ok := s.Sample(); ok {
+		t.Fatal("reset reservoir still has a sample")
+	}
+	if s.Count() != 0 {
+		t.Fatal("reset reservoir has nonzero count")
+	}
+	s.Observe(elem(9))
+	st, ok := s.Sample()
+	if !ok || st.Elem.Index != 9 {
+		t.Fatal("reservoir unusable after Reset")
+	}
+}
+
+func TestSingleWords(t *testing.T) {
+	s := NewSingle[uint64](xrand.New(3))
+	if s.Words() != 1 {
+		t.Fatalf("empty Words = %d, want 1", s.Words())
+	}
+	s.Observe(elem(0))
+	if s.Words() != 1+stream.StoredWords {
+		t.Fatalf("Words = %d, want %d", s.Words(), 1+stream.StoredWords)
+	}
+	if s.MaxWords() != s.Words() {
+		t.Fatalf("MaxWords = %d, want %d", s.MaxWords(), s.Words())
+	}
+}
+
+func TestSingleForEachStored(t *testing.T) {
+	s := NewSingle[uint64](xrand.New(4))
+	n := 0
+	s.ForEachStored(func(*stream.Stored[uint64]) { n++ })
+	if n != 0 {
+		t.Fatal("empty reservoir visited slots")
+	}
+	s.Observe(elem(5))
+	s.ForEachStored(func(st *stream.Stored[uint64]) {
+		n++
+		st.Aux = "tag"
+	})
+	if n != 1 {
+		t.Fatalf("visited %d slots, want 1", n)
+	}
+	st, _ := s.Sample()
+	if st.Aux != "tag" {
+		t.Fatal("Aux not preserved on the live slot")
+	}
+}
+
+func TestKHoldsAllWhenSmall(t *testing.T) {
+	s := NewK[uint64](xrand.New(5), 10)
+	for i := uint64(0); i < 6; i++ {
+		s.Observe(elem(i))
+	}
+	got := s.Sample()
+	if len(got) != 6 {
+		t.Fatalf("got %d slots, want all 6", len(got))
+	}
+	seen := map[uint64]bool{}
+	for _, st := range got {
+		seen[st.Elem.Index] = true
+	}
+	for i := uint64(0); i < 6; i++ {
+		if !seen[i] {
+			t.Fatalf("element %d missing while count < k", i)
+		}
+	}
+}
+
+func TestKDistinct(t *testing.T) {
+	r := xrand.New(6)
+	f := func(seed uint16) bool {
+		s := NewK[uint64](r, 5)
+		for i := uint64(0); i < 50; i++ {
+			s.Observe(elem(i))
+		}
+		seen := map[uint64]bool{}
+		for _, st := range s.Sample() {
+			if seen[st.Elem.Index] {
+				return false
+			}
+			seen[st.Elem.Index] = true
+		}
+		return len(seen) == 5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKUniformSubsets(t *testing.T) {
+	// k=2 over m=5 elements: all C(5,2)=10 subsets equally likely.
+	const trials = 100000
+	r := xrand.New(7)
+	counts := map[[2]uint64]int{}
+	for tr := 0; tr < trials; tr++ {
+		s := NewK[uint64](r, 2)
+		for i := uint64(0); i < 5; i++ {
+			s.Observe(elem(i))
+		}
+		got := s.Sample()
+		a, b := got[0].Elem.Index, got[1].Elem.Index
+		if a > b {
+			a, b = b, a
+		}
+		counts[[2]uint64{a, b}]++
+	}
+	if len(counts) != 10 {
+		t.Fatalf("saw %d subsets, want 10", len(counts))
+	}
+	want := float64(trials) / 10
+	for k, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("subset %v: %d, want about %.0f", k, c, want)
+		}
+	}
+}
+
+func TestKPerElementInclusion(t *testing.T) {
+	// Every element should be included with probability k/m.
+	const k, m, trials = 3, 12, 60000
+	r := xrand.New(8)
+	counts := make([]int, m)
+	for tr := 0; tr < trials; tr++ {
+		s := NewK[uint64](r, k)
+		for i := uint64(0); i < m; i++ {
+			s.Observe(elem(i))
+		}
+		for _, st := range s.Sample() {
+			counts[st.Elem.Index]++
+		}
+	}
+	p := float64(k) / m
+	want := p * trials
+	sigma := math.Sqrt(trials * p * (1 - p))
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*sigma {
+			t.Errorf("element %d included %d times, want about %.0f", i, c, want)
+		}
+	}
+}
+
+func TestKResetAndWords(t *testing.T) {
+	s := NewK[uint64](xrand.New(9), 4)
+	if s.Words() != 2 {
+		t.Fatalf("empty K Words = %d, want 2", s.Words())
+	}
+	for i := uint64(0); i < 10; i++ {
+		s.Observe(elem(i))
+	}
+	if s.Words() != 2+4*stream.StoredWords {
+		t.Fatalf("full K Words = %d, want %d", s.Words(), 2+4*stream.StoredWords)
+	}
+	if s.MaxWords() != s.Words() {
+		t.Fatalf("MaxWords = %d want %d", s.MaxWords(), s.Words())
+	}
+	s.Reset()
+	if s.Count() != 0 || len(s.Sample()) != 0 {
+		t.Fatal("K.Reset did not clear state")
+	}
+	if s.Cap() != 4 {
+		t.Fatal("K.Cap changed after reset")
+	}
+}
+
+func TestKPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewK(0) did not panic")
+		}
+	}()
+	NewK[uint64](xrand.New(1), 0)
+}
+
+func TestKForEachStoredAuxSurvivesNonReplacement(t *testing.T) {
+	s := NewK[uint64](xrand.New(10), 2)
+	s.Observe(elem(0))
+	s.Observe(elem(1))
+	s.ForEachStored(func(st *stream.Stored[uint64]) { st.Aux = st.Elem.Index })
+	s.Observe(elem(2)) // may or may not replace
+	s.ForEachStored(func(st *stream.Stored[uint64]) {
+		if st.Elem.Index <= 1 && st.Aux != st.Elem.Index {
+			t.Fatal("Aux lost on a slot that was not replaced")
+		}
+		if st.Elem.Index == 2 && st.Aux != nil {
+			t.Fatal("fresh slot carries stale Aux")
+		}
+	})
+}
+
+func TestFastSingleMatchesSingleDistribution(t *testing.T) {
+	const m, trials = 16, 80000
+	r := xrand.New(11)
+	counts := make([]int, m)
+	for tr := 0; tr < trials; tr++ {
+		s := NewFastSingle[uint64](r)
+		for i := uint64(0); i < m; i++ {
+			s.Observe(elem(i))
+		}
+		st, ok := s.Sample()
+		if !ok {
+			t.Fatal("FastSingle empty after observations")
+		}
+		counts[st.Elem.Index]++
+	}
+	want := float64(trials) / m
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("element %d sampled %d times, want about %.0f", i, c, want)
+		}
+	}
+}
+
+func TestFastSingleCountAndWords(t *testing.T) {
+	s := NewFastSingle[uint64](xrand.New(12))
+	if s.Words() != 3 || s.MaxWords() != 3 {
+		t.Fatalf("empty FastSingle words = %d/%d", s.Words(), s.MaxWords())
+	}
+	for i := uint64(0); i < 100; i++ {
+		s.Observe(elem(i))
+	}
+	if s.Count() != 100 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	if s.Words() != 3+stream.StoredWords {
+		t.Fatalf("Words = %d", s.Words())
+	}
+}

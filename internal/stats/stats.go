@@ -1,0 +1,352 @@
+// Package stats provides the statistical machinery the experiments use to
+// decide whether a sampler is uniform: chi-square goodness-of-fit and
+// independence tests with real p-values (regularized incomplete gamma
+// implemented from scratch on the stdlib), Kolmogorov–Smirnov against the
+// uniform law, and small summary-statistics helpers for the estimator-error
+// experiments (E8–E10).
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrInsufficientData is returned when a test is asked to run on data that
+// cannot support it (empty cells, too few categories).
+var ErrInsufficientData = errors.New("stats: insufficient data")
+
+// ChiSquareUniform runs a chi-square goodness-of-fit test of the observed
+// counts against the uniform distribution over len(counts) cells. It
+// returns the test statistic and the p-value (probability of a statistic at
+// least this large under uniformity). Small p-values indicate non-uniform
+// sampling; the experiment harness flags p < 1e-6.
+func ChiSquareUniform(counts []int) (stat, p float64, err error) {
+	if len(counts) < 2 {
+		return 0, 0, ErrInsufficientData
+	}
+	total := 0
+	for _, c := range counts {
+		if c < 0 {
+			return 0, 0, errors.New("stats: negative count")
+		}
+		total += c
+	}
+	if total == 0 {
+		return 0, 0, ErrInsufficientData
+	}
+	expected := float64(total) / float64(len(counts))
+	for _, c := range counts {
+		d := float64(c) - expected
+		stat += d * d / expected
+	}
+	df := float64(len(counts) - 1)
+	return stat, chiSquareSurvival(stat, df), nil
+}
+
+// ChiSquareExpected tests observed counts against arbitrary expected counts
+// (which need not be equal); expected values must be positive.
+func ChiSquareExpected(observed []int, expected []float64) (stat, p float64, err error) {
+	if len(observed) != len(expected) || len(observed) < 2 {
+		return 0, 0, ErrInsufficientData
+	}
+	for i, c := range observed {
+		if expected[i] <= 0 {
+			return 0, 0, errors.New("stats: nonpositive expected count")
+		}
+		d := float64(c) - expected[i]
+		stat += d * d / expected[i]
+	}
+	df := float64(len(observed) - 1)
+	return stat, chiSquareSurvival(stat, df), nil
+}
+
+// ChiSquareIndependence runs a chi-square test of independence on an r x c
+// contingency table (all rows must have equal length). Used by experiment
+// E7 (independence of samples over disjoint windows).
+func ChiSquareIndependence(table [][]int) (stat, p float64, err error) {
+	r := len(table)
+	if r < 2 || len(table[0]) < 2 {
+		return 0, 0, ErrInsufficientData
+	}
+	c := len(table[0])
+	rowSum := make([]float64, r)
+	colSum := make([]float64, c)
+	total := 0.0
+	for i, row := range table {
+		if len(row) != c {
+			return 0, 0, errors.New("stats: ragged contingency table")
+		}
+		for j, v := range row {
+			if v < 0 {
+				return 0, 0, errors.New("stats: negative count")
+			}
+			rowSum[i] += float64(v)
+			colSum[j] += float64(v)
+			total += float64(v)
+		}
+	}
+	if total == 0 {
+		return 0, 0, ErrInsufficientData
+	}
+	for i := range table {
+		for j, v := range table[i] {
+			e := rowSum[i] * colSum[j] / total
+			if e == 0 {
+				continue
+			}
+			d := float64(v) - e
+			stat += d * d / e
+		}
+	}
+	df := float64((r - 1) * (c - 1))
+	return stat, chiSquareSurvival(stat, df), nil
+}
+
+// chiSquareSurvival returns P(X >= stat) for X ~ chi-square with df degrees
+// of freedom: Q(df/2, stat/2), the regularized upper incomplete gamma.
+func chiSquareSurvival(stat, df float64) float64 {
+	if stat <= 0 {
+		return 1
+	}
+	return RegIncGammaUpper(df/2, stat/2)
+}
+
+// RegIncGammaUpper computes the regularized upper incomplete gamma function
+// Q(a, x) = Γ(a,x)/Γ(a) via the classic series/continued-fraction split
+// (Numerical Recipes gser/gcf): the series for the lower function converges
+// quickly for x < a+1, the Lentz continued fraction for the upper converges
+// quickly otherwise.
+func RegIncGammaUpper(a, x float64) float64 {
+	switch {
+	case a <= 0 || math.IsNaN(a) || math.IsNaN(x):
+		return math.NaN()
+	case x < 0:
+		return math.NaN()
+	case x == 0:
+		return 1
+	case x < a+1:
+		return 1 - gammaSeriesLower(a, x)
+	default:
+		return gammaContinuedUpper(a, x)
+	}
+}
+
+// gammaSeriesLower computes P(a, x) by series expansion (x < a+1).
+func gammaSeriesLower(a, x float64) float64 {
+	const itmax = 500
+	const eps = 3e-14
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1.0 / a
+	del := sum
+	for i := 0; i < itmax; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*eps {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// gammaContinuedUpper computes Q(a, x) by modified Lentz continued fraction
+// (x >= a+1).
+func gammaContinuedUpper(a, x float64) float64 {
+	const itmax = 500
+	const eps = 3e-14
+	const fpmin = 1e-300
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / fpmin
+	d := 1 / b
+	h := d
+	for i := 1; i <= itmax; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = b + an/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// KSUniform runs a one-sample Kolmogorov–Smirnov test of the samples (which
+// must lie in [0,1]) against the uniform distribution, returning the
+// statistic D and the asymptotic p-value.
+func KSUniform(samples []float64) (d, p float64, err error) {
+	n := len(samples)
+	if n < 5 {
+		return 0, 0, ErrInsufficientData
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	for i, v := range s {
+		if v < 0 || v > 1 {
+			return 0, 0, errors.New("stats: KSUniform sample outside [0,1]")
+		}
+		lo := v - float64(i)/float64(n)
+		hi := float64(i+1)/float64(n) - v
+		if lo > d {
+			d = lo
+		}
+		if hi > d {
+			d = hi
+		}
+	}
+	ne := math.Sqrt(float64(n))
+	lambda := (ne + 0.12 + 0.11/ne) * d
+	return d, ksSurvival(lambda), nil
+}
+
+// ksSurvival is the Kolmogorov distribution tail Q_KS(λ) = 2 Σ (-1)^{j-1}
+// exp(-2 j² λ²).
+func ksSurvival(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	sum := 0.0
+	sign := 1.0
+	for j := 1; j <= 100; j++ {
+		term := sign * math.Exp(-2*float64(j*j)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+		sign = -sign
+	}
+	p := 2 * sum
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (0 for fewer than 2 values).
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// RelErr returns |got-want|/|want|, or |got| when want == 0.
+func RelErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// Median returns the median (0 for empty input).
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// MedianOfMeans partitions xs into g contiguous groups, averages each, and
+// returns the median of the group means — the boosting construction used by
+// the AMS-style estimators in Section 5.
+func MedianOfMeans(xs []float64, g int) float64 {
+	if g <= 0 || len(xs) == 0 {
+		return 0
+	}
+	if g > len(xs) {
+		g = len(xs)
+	}
+	size := len(xs) / g
+	if size == 0 {
+		size = 1
+	}
+	means := make([]float64, 0, g)
+	for i := 0; i < g; i++ {
+		lo := i * size
+		hi := lo + size
+		if i == g-1 {
+			hi = len(xs)
+		}
+		if lo >= len(xs) {
+			break
+		}
+		means = append(means, Mean(xs[lo:hi]))
+	}
+	return Median(means)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) by nearest-rank on a sorted
+// copy.
+func Quantile(xs []float64, q float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[n-1]
+	}
+	idx := int(math.Ceil(q*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return s[idx]
+}
+
+// MaxInt returns the maximum of xs (0 for empty).
+func MaxInt(xs []int) int {
+	m := 0
+	for i, x := range xs {
+		if i == 0 || x > m {
+			m = x
+		}
+	}
+	return m
+}

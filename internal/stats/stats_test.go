@@ -1,0 +1,195 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"slidingsample/internal/xrand"
+)
+
+func almost(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (tol %v)", name, got, want, tol)
+	}
+}
+
+func TestRegIncGammaUpperKnownValues(t *testing.T) {
+	// Q(1, x) = exp(-x) exactly (chi-square df=2 survival at 2x).
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5, 10} {
+		almost(t, "Q(1,x)", RegIncGammaUpper(1, x), math.Exp(-x), 1e-10)
+	}
+	// Q(0.5, x) = erfc(sqrt(x)).
+	for _, x := range []float64{0.25, 1, 4} {
+		almost(t, "Q(0.5,x)", RegIncGammaUpper(0.5, x), math.Erfc(math.Sqrt(x)), 1e-10)
+	}
+	// Boundary and error cases.
+	if RegIncGammaUpper(1, 0) != 1 {
+		t.Error("Q(a,0) must be 1")
+	}
+	if !math.IsNaN(RegIncGammaUpper(0, 1)) || !math.IsNaN(RegIncGammaUpper(1, -1)) {
+		t.Error("invalid arguments must return NaN")
+	}
+}
+
+func TestChiSquareCriticalValues(t *testing.T) {
+	// Classic critical values: P(X >= 3.841) = 0.05 for df=1,
+	// P(X >= 16.92) = 0.05 for df=9.
+	p := chiSquareSurvival(3.841, 1)
+	almost(t, "chisq(3.841, df=1)", p, 0.05, 1e-3)
+	p = chiSquareSurvival(16.919, 9)
+	almost(t, "chisq(16.919, df=9)", p, 0.05, 1e-3)
+	p = chiSquareSurvival(6.635, 1)
+	almost(t, "chisq(6.635, df=1)", p, 0.01, 1e-3)
+}
+
+func TestChiSquareUniformDetects(t *testing.T) {
+	// Uniform counts: p should be large. Heavily skewed: p tiny.
+	flat := []int{100, 101, 99, 100, 98, 102}
+	_, p, err := ChiSquareUniform(flat)
+	if err != nil || p < 0.5 {
+		t.Fatalf("flat counts: p=%v err=%v", p, err)
+	}
+	skew := []int{500, 10, 10, 10, 10, 10}
+	_, p, err = ChiSquareUniform(skew)
+	if err != nil || p > 1e-10 {
+		t.Fatalf("skewed counts: p=%v err=%v", p, err)
+	}
+}
+
+func TestChiSquareUniformOnRealRNG(t *testing.T) {
+	r := xrand.New(1)
+	counts := make([]int, 20)
+	for i := 0; i < 100000; i++ {
+		counts[r.Uint64n(20)]++
+	}
+	_, p, err := ChiSquareUniform(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 1e-4 {
+		t.Fatalf("good RNG rejected: p=%v", p)
+	}
+}
+
+func TestChiSquareErrors(t *testing.T) {
+	if _, _, err := ChiSquareUniform([]int{}); err == nil {
+		t.Error("empty counts must error")
+	}
+	if _, _, err := ChiSquareUniform([]int{5}); err == nil {
+		t.Error("single cell must error")
+	}
+	if _, _, err := ChiSquareUniform([]int{0, 0}); err == nil {
+		t.Error("all-zero counts must error")
+	}
+	if _, _, err := ChiSquareUniform([]int{3, -1}); err == nil {
+		t.Error("negative count must error")
+	}
+}
+
+func TestChiSquareExpected(t *testing.T) {
+	obs := []int{90, 210}
+	exp := []float64{100, 200}
+	stat, p, err := ChiSquareExpected(obs, exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, "stat", stat, 1.0+0.5, 1e-9) // (10^2/100)+(10^2/200)
+	if p < 0.1 {
+		t.Fatalf("mild deviation rejected: p=%v", p)
+	}
+	if _, _, err := ChiSquareExpected([]int{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch must error")
+	}
+	if _, _, err := ChiSquareExpected([]int{1, 2}, []float64{0, 1}); err == nil {
+		t.Error("zero expected must error")
+	}
+}
+
+func TestChiSquareIndependence(t *testing.T) {
+	// Perfectly proportional table: independent, p ~ 1.
+	indep := [][]int{{100, 200}, {50, 100}}
+	_, p, err := ChiSquareIndependence(indep)
+	if err != nil || p < 0.9 {
+		t.Fatalf("independent table: p=%v err=%v", p, err)
+	}
+	// Strongly dependent table: tiny p.
+	dep := [][]int{{200, 10}, {10, 200}}
+	_, p, err = ChiSquareIndependence(dep)
+	if err != nil || p > 1e-10 {
+		t.Fatalf("dependent table: p=%v err=%v", p, err)
+	}
+	if _, _, err := ChiSquareIndependence([][]int{{1, 2}}); err == nil {
+		t.Error("1-row table must error")
+	}
+	if _, _, err := ChiSquareIndependence([][]int{{1, 2}, {3}}); err == nil {
+		t.Error("ragged table must error")
+	}
+}
+
+func TestKSUniform(t *testing.T) {
+	r := xrand.New(2)
+	good := make([]float64, 2000)
+	for i := range good {
+		good[i] = r.Float64()
+	}
+	d, p, err := KSUniform(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 1e-3 {
+		t.Fatalf("uniform data rejected: d=%v p=%v", d, p)
+	}
+	bad := make([]float64, 2000)
+	for i := range bad {
+		bad[i] = r.Float64() * r.Float64() // skewed toward 0
+	}
+	_, p, err = KSUniform(bad)
+	if err != nil || p > 1e-6 {
+		t.Fatalf("skewed data accepted: p=%v err=%v", p, err)
+	}
+	if _, _, err := KSUniform([]float64{0.5}); err == nil {
+		t.Error("tiny sample must error")
+	}
+	if _, _, err := KSUniform([]float64{0, 0.5, 1.5, 0.2, 0.7}); err == nil {
+		t.Error("out-of-range sample must error")
+	}
+}
+
+func TestSummaryHelpers(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	almost(t, "Mean", Mean(xs), 3, 1e-12)
+	almost(t, "Variance", Variance(xs), 2.5, 1e-12)
+	almost(t, "StdDev", StdDev(xs), math.Sqrt(2.5), 1e-12)
+	almost(t, "Median odd", Median(xs), 3, 1e-12)
+	almost(t, "Median even", Median([]float64{1, 2, 3, 4}), 2.5, 1e-12)
+	almost(t, "Mean empty", Mean(nil), 0, 0)
+	almost(t, "Variance short", Variance([]float64{1}), 0, 0)
+	almost(t, "RelErr", RelErr(110, 100), 0.1, 1e-12)
+	almost(t, "RelErr zero want", RelErr(3, 0), 3, 1e-12)
+}
+
+func TestMedianOfMeans(t *testing.T) {
+	xs := []float64{1, 1, 1, 100, 2, 2, 2, 2, 3}
+	// 3 groups of 3: means 34, 2, (2+2+3)/3 -> median is 2.333...
+	got := MedianOfMeans(xs, 3)
+	almost(t, "MedianOfMeans", got, (2.0+2.0+3.0)/3, 1e-9)
+	almost(t, "MedianOfMeans g=1", MedianOfMeans(xs, 1), Mean(xs), 1e-9)
+	almost(t, "MedianOfMeans empty", MedianOfMeans(nil, 3), 0, 0)
+	almost(t, "MedianOfMeans g>len", MedianOfMeans([]float64{5, 7}, 10), 6, 1e-9)
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	almost(t, "Q0", Quantile(xs, 0), 1, 0)
+	almost(t, "Q0.5", Quantile(xs, 0.5), 3, 0)
+	almost(t, "Q1", Quantile(xs, 1), 5, 0)
+	almost(t, "Q0.99", Quantile(xs, 0.99), 5, 0)
+	almost(t, "Q empty", Quantile(nil, 0.5), 0, 0)
+}
+
+func TestMaxInt(t *testing.T) {
+	if MaxInt([]int{3, 9, 2}) != 9 || MaxInt(nil) != 0 || MaxInt([]int{-5, -2}) != -2 {
+		t.Fatal("MaxInt broken")
+	}
+}

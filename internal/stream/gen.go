@@ -1,0 +1,300 @@
+package stream
+
+import (
+	"slidingsample/internal/xrand"
+)
+
+// ValueGen produces the payload sequence of a synthetic stream.
+type ValueGen interface {
+	// Next returns the next value.
+	Next() uint64
+}
+
+// Arrivals produces the timestamp sequence of a synthetic stream. Successive
+// calls must return non-decreasing timestamps; several consecutive elements
+// may share a timestamp (a "burst" in the paper's terminology).
+type Arrivals interface {
+	// Next returns the timestamp of the next element.
+	Next() int64
+}
+
+// ---------------------------------------------------------------------------
+// Value generators
+// ---------------------------------------------------------------------------
+
+// UniformValues draws values uniformly from [0, m).
+type UniformValues struct {
+	r *xrand.Rand
+	m uint64
+}
+
+// NewUniformValues returns a uniform value generator over [0, m).
+func NewUniformValues(r *xrand.Rand, m uint64) *UniformValues {
+	if m == 0 {
+		panic("stream: NewUniformValues with m == 0")
+	}
+	return &UniformValues{r: r, m: m}
+}
+
+// Next implements ValueGen.
+func (g *UniformValues) Next() uint64 { return g.r.Uint64n(g.m) }
+
+// ZipfValues draws values from a Zipf(s) law over [0, m) — the skewed
+// workload for the Section 5 frequency-moment and entropy experiments.
+type ZipfValues struct{ z *xrand.Zipf }
+
+// NewZipfValues returns a Zipf(s) value generator over [0, m).
+func NewZipfValues(r *xrand.Rand, s float64, m int) *ZipfValues {
+	return &ZipfValues{z: xrand.NewZipf(r, s, m)}
+}
+
+// Next implements ValueGen.
+func (g *ZipfValues) Next() uint64 { return g.z.Next() }
+
+// ConstValues always emits the same value. Useful for degenerate-distribution
+// edge cases in tests (F_k of a constant stream, entropy 0).
+type ConstValues struct{ v uint64 }
+
+// NewConstValues returns a generator that always emits v.
+func NewConstValues(v uint64) *ConstValues { return &ConstValues{v: v} }
+
+// Next implements ValueGen.
+func (g *ConstValues) Next() uint64 { return g.v }
+
+// CycleValues emits 0,1,...,m-1,0,1,... — a perfectly flat distribution with
+// a deterministic order, used to make uniformity tests independent of value
+// randomness.
+type CycleValues struct {
+	m, i uint64
+}
+
+// NewCycleValues returns a round-robin generator over [0, m).
+func NewCycleValues(m uint64) *CycleValues {
+	if m == 0 {
+		panic("stream: NewCycleValues with m == 0")
+	}
+	return &CycleValues{m: m}
+}
+
+// Next implements ValueGen.
+func (g *CycleValues) Next() uint64 {
+	v := g.i % g.m
+	g.i++
+	return v
+}
+
+// IndexValues emits 0,1,2,... so the value doubles as the arrival index.
+// Uniformity tests use it: "which window position did the sample land on"
+// becomes a direct read of the value.
+type IndexValues struct{ i uint64 }
+
+// NewIndexValues returns the identity generator.
+func NewIndexValues() *IndexValues { return &IndexValues{} }
+
+// Next implements ValueGen.
+func (g *IndexValues) Next() uint64 {
+	v := g.i
+	g.i++
+	return v
+}
+
+// ---------------------------------------------------------------------------
+// Arrival processes
+// ---------------------------------------------------------------------------
+
+// SteadyArrivals emits perTick elements at timestamp t, then perTick at t+1,
+// and so on — the fixed-rate regime where sequence-based and timestamp-based
+// windows coincide (n = perTick * t0).
+type SteadyArrivals struct {
+	perTick int
+	i       int
+	ts      int64
+}
+
+// NewSteadyArrivals returns a fixed-rate arrival process.
+func NewSteadyArrivals(perTick int) *SteadyArrivals {
+	if perTick <= 0 {
+		panic("stream: NewSteadyArrivals with perTick <= 0")
+	}
+	return &SteadyArrivals{perTick: perTick}
+}
+
+// Next implements Arrivals.
+func (a *SteadyArrivals) Next() int64 {
+	if a.i == a.perTick {
+		a.i = 0
+		a.ts++
+	}
+	a.i++
+	return a.ts
+}
+
+// BurstyArrivals models the asynchronous regime timestamp windows exist for:
+// geometric burst sizes separated by geometric gaps. The number of active
+// elements n(t) fluctuates by orders of magnitude, which is what stresses the
+// covering decomposition.
+type BurstyArrivals struct {
+	r         *xrand.Rand
+	burstP    float64 // geometric parameter: mean burst = 1/burstP
+	gapP      float64 // geometric parameter: mean gap = 1/gapP ticks
+	ts        int64
+	remaining int
+	started   bool
+}
+
+// NewBurstyArrivals returns a bursty arrival process with the given mean
+// burst size and mean gap (both >= 1).
+func NewBurstyArrivals(r *xrand.Rand, meanBurst, meanGap float64) *BurstyArrivals {
+	if meanBurst < 1 || meanGap < 1 {
+		panic("stream: NewBurstyArrivals means must be >= 1")
+	}
+	return &BurstyArrivals{r: r, burstP: 1 / meanBurst, gapP: 1 / meanGap}
+}
+
+func (a *BurstyArrivals) geometric(p float64) int {
+	// Geometric on {1,2,...} by trial; p in (0,1].
+	n := 1
+	for a.r.Float64() >= p {
+		n++
+		if n > 1<<20 { // safety valve; statistically unreachable for our p
+			break
+		}
+	}
+	return n
+}
+
+// Next implements Arrivals.
+func (a *BurstyArrivals) Next() int64 {
+	if a.remaining == 0 {
+		if a.started {
+			a.ts += int64(a.geometric(a.gapP))
+		}
+		a.started = true
+		a.remaining = a.geometric(a.burstP)
+	}
+	a.remaining--
+	return a.ts
+}
+
+// DoublingArrivals is the Lemma 3.10 adversary: for timestamp i with
+// 0 <= i <= 2*t0 it emits 2^(2*t0-i) elements, and afterwards exactly one
+// element per timestamp. Any correct sampler over a window of t0 ticks must
+// retain Ω(t0) = Ω(log n) candidate elements on this stream.
+//
+// The unscaled stream has 2^(2*t0) elements at timestamp 0 alone, so the
+// constructor takes a cap: burst sizes are truncated at maxBurst while the
+// doubling *shape* (each tick halves) is preserved, which is what the lower
+// bound argument needs.
+type DoublingArrivals struct {
+	t0       int
+	maxBurst uint64
+	ts       int64
+	emitted  uint64
+}
+
+// NewDoublingArrivals returns the adversary stream for window parameter t0,
+// with burst sizes capped at maxBurst (0 means no cap; beware 2^(2*t0)).
+func NewDoublingArrivals(t0 int, maxBurst uint64) *DoublingArrivals {
+	if t0 <= 0 {
+		panic("stream: NewDoublingArrivals with t0 <= 0")
+	}
+	if t0 > 30 && maxBurst == 0 {
+		panic("stream: NewDoublingArrivals would emit more than 2^60 elements; set maxBurst")
+	}
+	return &DoublingArrivals{t0: t0, maxBurst: maxBurst}
+}
+
+// BurstSize returns the number of elements the adversary emits at tick i.
+func (a *DoublingArrivals) BurstSize(i int64) uint64 {
+	if i > int64(2*a.t0) {
+		return 1
+	}
+	exp := uint(int64(2*a.t0) - i)
+	var size uint64
+	if exp >= 63 {
+		size = 1 << 62
+	} else {
+		size = 1 << exp
+	}
+	if a.maxBurst > 0 && size > a.maxBurst {
+		size = a.maxBurst
+	}
+	return size
+}
+
+// Next implements Arrivals.
+func (a *DoublingArrivals) Next() int64 {
+	if a.emitted >= a.BurstSize(a.ts) {
+		a.emitted = 0
+		a.ts++
+	}
+	a.emitted++
+	return a.ts
+}
+
+// PoissonArrivals emits elements with exponentially distributed gaps
+// quantized to integer ticks at the given mean rate (elements per tick).
+type PoissonArrivals struct {
+	r    *xrand.Rand
+	rate float64
+	now  float64
+}
+
+// NewPoissonArrivals returns a Poisson-like arrival process.
+func NewPoissonArrivals(r *xrand.Rand, rate float64) *PoissonArrivals {
+	if rate <= 0 {
+		panic("stream: NewPoissonArrivals with rate <= 0")
+	}
+	return &PoissonArrivals{r: r, rate: rate}
+}
+
+// Next implements Arrivals.
+func (a *PoissonArrivals) Next() int64 {
+	a.now += a.r.ExpFloat64() / a.rate
+	return int64(a.now)
+}
+
+// ---------------------------------------------------------------------------
+// Source: values x arrivals -> elements
+// ---------------------------------------------------------------------------
+
+// Source combines a value generator and an arrival process into a stream of
+// elements with consecutive indexes.
+type Source struct {
+	V   ValueGen
+	A   Arrivals
+	idx uint64
+}
+
+// NewSource pairs a value generator with an arrival process.
+func NewSource(v ValueGen, a Arrivals) *Source { return &Source{V: v, A: a} }
+
+// Next returns the next element.
+func (s *Source) Next() Element[uint64] {
+	e := Element[uint64]{Value: s.V.Next(), Index: s.idx, TS: s.A.Next()}
+	s.idx++
+	return e
+}
+
+// Take returns the next n elements as a slice (convenient for tests).
+func (s *Source) Take(n int) []Element[uint64] {
+	out := make([]Element[uint64], n)
+	for i := range out {
+		out[i] = s.Next()
+	}
+	return out
+}
+
+// Channel streams n elements through a channel and then closes it. This is
+// the idiomatic Go feed for the samplers ("share memory by communicating");
+// the examples and the CLI consume streams this way.
+func (s *Source) Channel(n int) <-chan Element[uint64] {
+	ch := make(chan Element[uint64], 256)
+	go func() {
+		defer close(ch)
+		for i := 0; i < n; i++ {
+			ch <- s.Next()
+		}
+	}()
+	return ch
+}

@@ -1,0 +1,205 @@
+package stream
+
+import (
+	"testing"
+	"testing/quick"
+
+	"slidingsample/internal/xrand"
+)
+
+func TestSourceIndexesAreConsecutive(t *testing.T) {
+	src := NewSource(NewIndexValues(), NewSteadyArrivals(1))
+	for i := uint64(0); i < 100; i++ {
+		e := src.Next()
+		if e.Index != i {
+			t.Fatalf("element %d has index %d", i, e.Index)
+		}
+		if e.Value != i {
+			t.Fatalf("IndexValues at %d produced %d", i, e.Value)
+		}
+	}
+}
+
+func TestSteadyArrivals(t *testing.T) {
+	a := NewSteadyArrivals(3)
+	want := []int64{0, 0, 0, 1, 1, 1, 2, 2, 2, 3}
+	for i, w := range want {
+		if got := a.Next(); got != w {
+			t.Fatalf("arrival %d: got ts %d want %d", i, got, w)
+		}
+	}
+}
+
+func TestSteadyArrivalsSingleRate(t *testing.T) {
+	a := NewSteadyArrivals(1)
+	for i := int64(0); i < 50; i++ {
+		if got := a.Next(); got != i {
+			t.Fatalf("perTick=1 arrival %d: got %d", i, got)
+		}
+	}
+}
+
+func TestArrivalsMonotone(t *testing.T) {
+	r := xrand.New(1)
+	procs := map[string]Arrivals{
+		"steady":   NewSteadyArrivals(4),
+		"bursty":   NewBurstyArrivals(r.Split(), 8, 5),
+		"doubling": NewDoublingArrivals(6, 0),
+		"poisson":  NewPoissonArrivals(r.Split(), 2.5),
+	}
+	for name, p := range procs {
+		prev := int64(-1 << 62)
+		for i := 0; i < 5000; i++ {
+			ts := p.Next()
+			if ts < prev {
+				t.Fatalf("%s: timestamp decreased from %d to %d at element %d", name, prev, ts, i)
+			}
+			prev = ts
+		}
+	}
+}
+
+func TestBurstyArrivalsHasBurstsAndGaps(t *testing.T) {
+	a := NewBurstyArrivals(xrand.New(7), 10, 10)
+	counts := map[int64]int{}
+	var maxTS int64
+	for i := 0; i < 20000; i++ {
+		ts := a.Next()
+		counts[ts]++
+		if ts > maxTS {
+			maxTS = ts
+		}
+	}
+	burst := false
+	for _, c := range counts {
+		if c >= 5 {
+			burst = true
+		}
+	}
+	if !burst {
+		t.Fatal("no burst of size >= 5 observed with mean burst 10")
+	}
+	if int64(len(counts)) == maxTS+1 {
+		t.Fatal("no gaps observed with mean gap 10")
+	}
+}
+
+func TestDoublingArrivalsShape(t *testing.T) {
+	const t0 = 4
+	a := NewDoublingArrivals(t0, 0)
+	counts := map[int64]uint64{}
+	// total elements through tick 2*t0: sum 2^(2t0-i) = 2^(2t0+1)-1
+	total := uint64(1)<<(2*t0+1) - 1
+	for i := uint64(0); i < total+5; i++ {
+		counts[a.Next()]++
+	}
+	for i := int64(0); i <= 2*t0; i++ {
+		want := uint64(1) << (2*t0 - i)
+		if counts[i] != want {
+			t.Fatalf("tick %d: burst %d, want %d", i, counts[i], want)
+		}
+	}
+	for i := int64(2*t0 + 1); i <= 2*t0+5; i++ {
+		if counts[i] > 1 {
+			t.Fatalf("tick %d after the doubling phase has burst %d, want <= 1", i, counts[i])
+		}
+	}
+}
+
+func TestDoublingArrivalsCap(t *testing.T) {
+	a := NewDoublingArrivals(10, 16)
+	for i := int64(0); i <= 20; i++ {
+		if got := a.BurstSize(i); got > 16 {
+			t.Fatalf("tick %d burst %d exceeds cap", i, got)
+		}
+	}
+	if a.BurstSize(14) != 16 || a.BurstSize(19) != 2 || a.BurstSize(25) != 1 {
+		t.Fatalf("cap changed the doubling shape unexpectedly: %d %d %d",
+			a.BurstSize(14), a.BurstSize(19), a.BurstSize(25))
+	}
+}
+
+func TestCycleValues(t *testing.T) {
+	g := NewCycleValues(3)
+	want := []uint64{0, 1, 2, 0, 1, 2, 0}
+	for i, w := range want {
+		if got := g.Next(); got != w {
+			t.Fatalf("cycle %d: got %d want %d", i, got, w)
+		}
+	}
+}
+
+func TestConstValues(t *testing.T) {
+	g := NewConstValues(42)
+	for i := 0; i < 10; i++ {
+		if g.Next() != 42 {
+			t.Fatal("ConstValues drifted")
+		}
+	}
+}
+
+func TestUniformValuesRange(t *testing.T) {
+	g := NewUniformValues(xrand.New(2), 17)
+	f := func(_ uint8) bool { return g.Next() < 17 }
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfValuesRange(t *testing.T) {
+	g := NewZipfValues(xrand.New(3), 1.2, 50)
+	for i := 0; i < 2000; i++ {
+		if g.Next() >= 50 {
+			t.Fatal("ZipfValues out of range")
+		}
+	}
+}
+
+func TestTake(t *testing.T) {
+	src := NewSource(NewIndexValues(), NewSteadyArrivals(2))
+	es := src.Take(10)
+	if len(es) != 10 {
+		t.Fatalf("Take(10) returned %d elements", len(es))
+	}
+	for i, e := range es {
+		if e.Index != uint64(i) {
+			t.Fatalf("Take element %d has index %d", i, e.Index)
+		}
+	}
+}
+
+func TestChannelDeliversAllAndCloses(t *testing.T) {
+	src := NewSource(NewIndexValues(), NewSteadyArrivals(1))
+	n := 0
+	for e := range src.Channel(500) {
+		if e.Index != uint64(n) {
+			t.Fatalf("channel element %d has index %d", n, e.Index)
+		}
+		n++
+	}
+	if n != 500 {
+		t.Fatalf("channel delivered %d elements, want 500", n)
+	}
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewUniformValues(xrand.New(1), 0) },
+		func() { NewCycleValues(0) },
+		func() { NewSteadyArrivals(0) },
+		func() { NewBurstyArrivals(xrand.New(1), 0.5, 2) },
+		func() { NewDoublingArrivals(0, 0) },
+		func() { NewDoublingArrivals(31, 0) },
+		func() { NewPoissonArrivals(xrand.New(1), 0) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("constructor case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,74 @@
+// Package stream defines the data-stream model shared by every sampler and
+// workload in this repository.
+//
+// The paper's model (Section 1.4): a stream D of elements p_i, i >= 0, where
+// each element carries an arrival index and — for timestamp-based windows —
+// a timestamp T(p_i) with T(p_i) <= T(p_{i+1}). Many elements may share a
+// timestamp ("bursts"); sequence-based windows ignore timestamps entirely.
+//
+// Element is generic in the carried value: none of the paper's algorithms
+// ever inspects values, only indexes and timestamps, so the machinery works
+// for any payload type.
+package stream
+
+// Element is one stream item: a value plus the two coordinates the sliding
+// window algorithms care about.
+type Element[T any] struct {
+	// Value is the application payload.
+	Value T
+	// Index is the 0-based arrival position in the stream (the paper's i in
+	// p_i). Assigned by whoever feeds the sampler; samplers in this module
+	// assign it themselves from their arrival counter.
+	Index uint64
+	// TS is the timestamp of the element's entrance (the paper's T(p)).
+	// Sequence-based samplers ignore it. Timestamps must be non-decreasing
+	// in stream order.
+	TS int64
+}
+
+// MemoryReporter is implemented by every sampler (ours and the baselines) so
+// experiments can compare memory footprints under the paper's cost model.
+//
+// The unit is the paper's "memory word": one word stores a stream element,
+// an index, or a timestamp (Section 1.4). Conventions used uniformly in this
+// repository (documented in DESIGN.md §6): stored value = 1 word, stored
+// index = 1 word, stored timestamp = 1 word, stored priority = 1 word, each
+// live counter or bookkeeping integer = 1 word. Go runtime overhead (slice
+// headers, allocator slack) is intentionally not counted — the paper's model
+// doesn't either; see the E11 benchmarks for real allocation numbers.
+type MemoryReporter interface {
+	// Words returns the current footprint in memory words.
+	Words() int
+	// MaxWords returns the peak footprint observed since creation (the
+	// worst-case bound is what Theorems 2.1-4.4 are about).
+	MaxWords() int
+}
+
+// StoredWords is the per-stored-element cost in words: value + index +
+// timestamp. Keeping it a named constant makes the Words() arithmetic in the
+// samplers auditable against DESIGN.md §6.
+const StoredWords = 3
+
+// Stored is one retained stream element inside a sampler, plus an optional
+// per-slot auxiliary payload used by the Section 5 "translation" machinery
+// (Theorem 5.1): applications attach suffix counters or watch flags to the
+// elements a sampler currently holds via ForEachStored, without the sampler
+// knowing anything about the application.
+//
+// Stored values are heap-allocated once when an element is first picked and
+// the pointer is then carried through sample hand-offs (bucket merges,
+// chain promotions), so Aux survives exactly as long as the underlying pick
+// does — which is precisely the lifetime the estimators need.
+type Stored[T any] struct {
+	Elem Element[T]
+	Aux  any
+}
+
+// SlotVisitor enumerates the elements a sampler currently retains.
+// Implemented by every sampler that supports the Section 5 application
+// layer. The visit order is unspecified; callers must not retain the
+// pointers beyond the sampler's next mutation unless they understand the
+// sampler's hand-off discipline.
+type SlotVisitor[T any] interface {
+	ForEachStored(func(*Stored[T]))
+}

@@ -1,0 +1,206 @@
+// Package xrand provides the deterministic pseudo-random substrate used by
+// every sampler in this repository.
+//
+// The paper's algorithms make three kinds of random decisions:
+//
+//  1. uniform index selection ("replace the reservoir sample with probability
+//     1/i"), which must be exact — a biased coin silently breaks the
+//     uniformity theorems;
+//  2. rational Bernoulli events with integer numerator and denominator
+//     (Lemmas 3.6 and 3.7 generate events with probabilities such as
+//     α/(β+i)); and
+//  3. workload-generation draws (Zipf values, burst sizes) where exactness is
+//     less critical.
+//
+// xrand therefore offers exact integer-based primitives (Uint64n, Bernoulli,
+// Perm, Shuffle) built on an xoshiro256** core seeded by SplitMix64, plus
+// convenience float helpers for workload generation. Everything is
+// deterministic given the seed, so every experiment in this repository is
+// reproducible bit for bit.
+//
+// Rand is NOT safe for concurrent use; give each goroutine its own instance
+// (New is cheap).
+package xrand
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Rand is a deterministic pseudo-random generator (xoshiro256** seeded via
+// SplitMix64). The zero value is not usable; construct with New.
+type Rand struct {
+	s0, s1, s2, s3 uint64
+}
+
+// New returns a generator seeded from the given seed. Two generators built
+// from the same seed produce identical streams. Distinct seeds produce
+// (for all practical purposes) independent streams because the 256-bit state
+// is filled through SplitMix64, which is a bijective scramble of the seed
+// counter.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator state as if it had been created by New(seed).
+func (r *Rand) Seed(seed uint64) {
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	r.s0, r.s1, r.s2, r.s3 = next(), next(), next(), next()
+	// xoshiro enters a fixed point at the all-zero state; SplitMix64 cannot
+	// emit four consecutive zeros, but guard anyway so Seed(x) is total.
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s3 = 1
+	}
+}
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (r *Rand) Uint64() uint64 {
+	result := bits.RotateLeft64(r.s1*5, 7) * 9
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = bits.RotateLeft64(r.s3, 45)
+	return result
+}
+
+// Uint64n returns a uniform value in [0, n). It panics if n == 0.
+//
+// The implementation is Lemire's multiply-shift method with a rejection step,
+// so the result is exactly uniform (no modulo bias). Exactness matters: the
+// reservoir replacement probability 1/i and the bucket-weighted choices in
+// Theorem 3.9 rely on it.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n called with n == 0")
+	}
+	if n&(n-1) == 0 { // power of two: mask is exact
+		return r.Uint64() & (n - 1)
+	}
+	// Lemire: hi of x*n is uniform in [0,n) provided lo clears the bias zone.
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := (-n) % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Intn returns a uniform value in [0, n) as an int. It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn called with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Bernoulli returns true with probability exactly num/den.
+// It panics if den == 0 or num > den.
+//
+// This is the primitive behind the paper's "generating implicit events":
+// Lemma 3.6's H_i variables and Lemma 3.7's S variable are rational coins
+// whose numerator and denominator are known integers (α, β, β+i, ...).
+func (r *Rand) Bernoulli(num, den uint64) bool {
+	if den == 0 {
+		panic("xrand: Bernoulli with den == 0")
+	}
+	if num > den {
+		panic("xrand: Bernoulli with num > den")
+	}
+	if num == den {
+		return true
+	}
+	if num == 0 {
+		return false
+	}
+	return r.Uint64n(den) < num
+}
+
+// Coin returns true with probability exactly 1/2. Used by the covering
+// decomposition merge rule (Section 3.2: R_{a,d} = R_{a,c} w.p. 1/2).
+func (r *Rand) Coin() bool {
+	return r.Uint64()&1 == 1
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+// Float randomness is used only by baseline algorithms that are *defined*
+// in terms of real-valued priorities (Babcock–Datar–Motwani priority
+// sampling, Gemulla–Lehner bounded priority sampling) and by workload
+// generators; the paper's own algorithms never touch floats.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// ExpFloat64 returns an exponentially distributed value with rate 1,
+// via inversion. Used by bursty arrival processes.
+func (r *Rand) ExpFloat64() float64 {
+	// Avoid log(0): Float64 returns [0,1); use 1-u in (0,1].
+	u := 1 - r.Float64()
+	return -math.Log(u)
+}
+
+// Perm returns a uniform random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle pseudo-randomly swaps elements using the provided swap function,
+// visiting i = n-1 ... 1 (Fisher–Yates). It panics if n < 0.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	if n < 0 {
+		panic("xrand: Shuffle called with n < 0")
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// PickK writes a uniformly random k-subset of [0, n) into dst and returns it.
+// The subset is chosen without replacement via partial Fisher–Yates over a
+// scratch index slice, so every k-subset has probability 1/C(n,k). The order
+// of the returned indices is random as well. Panics unless 0 <= k <= n.
+//
+// Theorem 2.2's query step needs exactly this: "we can generate an i-sample
+// of C using X_B only" — a uniform i-subset of a uniform k-sample is a
+// uniform i-sample of the underlying set.
+func (r *Rand) PickK(n, k int) []int {
+	if k < 0 || n < 0 || k > n {
+		panic("xrand: PickK called with invalid k or n")
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:k]
+}
+
+// Split returns a new generator seeded from the current stream. Use it to
+// derive independent sub-generators (one per sampler copy) from a single
+// experiment seed.
+func (r *Rand) Split() *Rand {
+	return New(r.Uint64())
+}

@@ -1,0 +1,323 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("generators with equal seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedReset(t *testing.T) {
+	a := New(7)
+	first := make([]uint64, 16)
+	for i := range first {
+		first[i] = a.Uint64()
+	}
+	a.Seed(7)
+	for i := range first {
+		if got := a.Uint64(); got != first[i] {
+			t.Fatalf("Seed did not reset stream: step %d got %d want %d", i, got, first[i])
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams from different seeds collide too often: %d/64", same)
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	r := New(3)
+	for _, n := range []uint64{1, 2, 3, 7, 8, 1000, 1 << 40, math.MaxUint64} {
+		for i := 0; i < 200; i++ {
+			if v := r.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) returned %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestIntnPanics(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Intn(%d) did not panic", n)
+				}
+			}()
+			New(1).Intn(n)
+		}()
+	}
+}
+
+// TestUint64nUniform checks exact uniformity statistically on a small range:
+// each of n=10 cells should get close to trials/n hits.
+func TestUint64nUniform(t *testing.T) {
+	r := New(99)
+	const n, trials = 10, 200000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Uint64n(n)]++
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("cell %d: count %d deviates from expectation %.0f by more than 5 sigma", i, c, want)
+		}
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0, 10) {
+			t.Fatal("Bernoulli(0, 10) returned true")
+		}
+		if !r.Bernoulli(10, 10) {
+			t.Fatal("Bernoulli(10, 10) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	r := New(6)
+	cases := []struct{ num, den uint64 }{{1, 2}, {1, 3}, {2, 7}, {99, 100}, {1, 1000}}
+	const trials = 200000
+	for _, c := range cases {
+		hits := 0
+		for i := 0; i < trials; i++ {
+			if r.Bernoulli(c.num, c.den) {
+				hits++
+			}
+		}
+		p := float64(c.num) / float64(c.den)
+		want := p * trials
+		sigma := math.Sqrt(trials * p * (1 - p))
+		if math.Abs(float64(hits)-want) > 5*sigma {
+			t.Errorf("Bernoulli(%d/%d): %d hits, want about %.0f (5 sigma = %.0f)", c.num, c.den, hits, want, 5*sigma)
+		}
+	}
+}
+
+func TestBernoulliPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Bernoulli(1,0) did not panic")
+			}
+		}()
+		New(1).Bernoulli(1, 0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Bernoulli(3,2) did not panic")
+			}
+		}()
+		New(1).Bernoulli(3, 2)
+	}()
+}
+
+func TestCoinRate(t *testing.T) {
+	r := New(8)
+	const trials = 100000
+	heads := 0
+	for i := 0; i < trials; i++ {
+		if r.Coin() {
+			heads++
+		}
+	}
+	if math.Abs(float64(heads)-trials/2) > 5*math.Sqrt(trials/4) {
+		t.Fatalf("Coin heads=%d of %d is outside 5 sigma", heads, trials)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestExpFloat64Positive(t *testing.T) {
+	r := New(10)
+	sum := 0.0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		v := r.ExpFloat64()
+		if v < 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("ExpFloat64 produced %v", v)
+		}
+		sum += v
+	}
+	mean := sum / trials
+	if mean < 0.97 || mean > 1.03 {
+		t.Fatalf("ExpFloat64 mean %v, want about 1", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(11)
+	for _, n := range []int{0, 1, 2, 5, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermUniform(t *testing.T) {
+	// All 6 permutations of 3 elements should be about equally likely.
+	r := New(12)
+	counts := map[[3]int]int{}
+	const trials = 60000
+	for i := 0; i < trials; i++ {
+		p := r.Perm(3)
+		counts[[3]int{p[0], p[1], p[2]}]++
+	}
+	if len(counts) != 6 {
+		t.Fatalf("saw %d distinct permutations, want 6", len(counts))
+	}
+	want := float64(trials) / 6
+	for k, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("perm %v: count %d deviates from %.0f", k, c, want)
+		}
+	}
+}
+
+func TestPickKProperties(t *testing.T) {
+	r := New(13)
+	f := func(nRaw, kRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		k := int(kRaw) % (n + 1)
+		pick := r.PickK(n, k)
+		if len(pick) != k {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, v := range pick {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPickKUniformSubsets(t *testing.T) {
+	// C(4,2)=6 subsets should be equally likely.
+	r := New(14)
+	counts := map[[2]int]int{}
+	const trials = 60000
+	for i := 0; i < trials; i++ {
+		p := r.PickK(4, 2)
+		a, b := p[0], p[1]
+		if a > b {
+			a, b = b, a
+		}
+		counts[[2]int{a, b}]++
+	}
+	if len(counts) != 6 {
+		t.Fatalf("saw %d distinct 2-subsets of [0,4), want 6", len(counts))
+	}
+	want := float64(trials) / 6
+	for k, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("subset %v: count %d deviates from %.0f", k, c, want)
+		}
+	}
+}
+
+func TestPickKPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PickK(2,3) did not panic")
+		}
+	}()
+	New(1).PickK(2, 3)
+}
+
+func TestShuffle(t *testing.T) {
+	r := New(15)
+	x := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	r.Shuffle(len(x), func(i, j int) { x[i], x[j] = x[j], x[i] })
+	seen := make([]bool, len(x))
+	for _, v := range x {
+		if seen[v] {
+			t.Fatalf("Shuffle lost elements: %v", x)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(16)
+	a, b := r.Split(), r.Split()
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("Split streams collide too often: %d/64", same)
+	}
+}
+
+func TestZeroStateGuard(t *testing.T) {
+	// Directly exercise the all-zero-state guard in Seed: no seed produces
+	// zero state through SplitMix64, but the guard must keep the generator
+	// usable regardless. We just check a few seeds produce nonzero output.
+	for seed := uint64(0); seed < 10; seed++ {
+		r := New(seed)
+		nonzero := false
+		for i := 0; i < 8; i++ {
+			if r.Uint64() != 0 {
+				nonzero = true
+			}
+		}
+		if !nonzero {
+			t.Fatalf("seed %d produced a stuck generator", seed)
+		}
+	}
+}

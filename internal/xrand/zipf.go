@@ -1,0 +1,60 @@
+package xrand
+
+import (
+	"math"
+	"sort"
+)
+
+// Zipf draws values in [0, N) with P(v) ∝ 1/(v+1)^s, the classic Zipfian
+// frequency law. It is used by the Section 5 application workloads
+// (frequency moments and entropy are only interesting on skewed data).
+//
+// The implementation precomputes the normalized CDF once (O(N) space,
+// O(log N) per draw via binary search). This is exact up to float64
+// rounding, deterministic, and far simpler than rejection-inversion; the
+// workloads in this repository use N ≤ ~1e6 where the table is cheap.
+type Zipf struct {
+	cdf []float64
+	r   *Rand
+}
+
+// NewZipf builds a Zipf sampler over the domain [0, n) with exponent s > 0.
+// It panics if n <= 0 or s <= 0 (programmer error in workload setup).
+func NewZipf(r *Rand, s float64, n int) *Zipf {
+	if n <= 0 {
+		panic("xrand: NewZipf with n <= 0")
+	}
+	if s <= 0 {
+		panic("xrand: NewZipf with s <= 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += math.Pow(float64(i+1), -s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	cdf[n-1] = 1.0 // guard against rounding leaving the last bin unreachable
+	return &Zipf{cdf: cdf, r: r}
+}
+
+// Next returns the next Zipf-distributed value in [0, N).
+func (z *Zipf) Next() uint64 {
+	u := z.r.Float64()
+	i := sort.SearchFloat64s(z.cdf, u)
+	if i >= len(z.cdf) {
+		i = len(z.cdf) - 1
+	}
+	// SearchFloat64s returns the first index with cdf[i] >= u only when u is
+	// present; it returns the insertion point otherwise, which is exactly the
+	// bucket we want for inverse-CDF sampling.
+	if z.cdf[i] < u { // can only happen through float rounding at the edge
+		i = len(z.cdf) - 1
+	}
+	return uint64(i)
+}
+
+// N returns the domain size.
+func (z *Zipf) N() int { return len(z.cdf) }

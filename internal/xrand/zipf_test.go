@@ -1,0 +1,87 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZipfRange(t *testing.T) {
+	r := New(20)
+	z := NewZipf(r, 1.1, 100)
+	if z.N() != 100 {
+		t.Fatalf("N() = %d, want 100", z.N())
+	}
+	for i := 0; i < 10000; i++ {
+		v := z.Next()
+		if v >= 100 {
+			t.Fatalf("Zipf value %d out of range", v)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	// With s=1.5 over 1000 values, value 0 should be drawn far more often
+	// than value 999, and the empirical head probability should match the
+	// normalized 1/(v+1)^s weights.
+	r := New(21)
+	const n, trials = 1000, 200000
+	z := NewZipf(r, 1.5, n)
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[z.Next()]++
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += math.Pow(float64(i+1), -1.5)
+	}
+	p0 := 1.0 / sum
+	want := p0 * trials
+	sigma := math.Sqrt(trials * p0 * (1 - p0))
+	if math.Abs(float64(counts[0])-want) > 5*sigma {
+		t.Fatalf("head count %d, want about %.0f", counts[0], want)
+	}
+	if counts[0] <= counts[n-1]*10 {
+		t.Fatalf("distribution not skewed: head %d tail %d", counts[0], counts[n-1])
+	}
+}
+
+func TestZipfUniformLimit(t *testing.T) {
+	// A tiny exponent approaches uniform; sanity-check no cell starves.
+	r := New(22)
+	const n, trials = 10, 100000
+	z := NewZipf(r, 0.01, n)
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[z.Next()]++
+	}
+	for i, c := range counts {
+		if c < trials/(n*2) {
+			t.Fatalf("cell %d starved with count %d", i, c)
+		}
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, tc := range []struct {
+		s float64
+		n int
+	}{{1, 0}, {1, -3}, {0, 10}, {-1, 10}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewZipf(s=%v, n=%v) did not panic", tc.s, tc.n)
+				}
+			}()
+			NewZipf(New(1), tc.s, tc.n)
+		}()
+	}
+}
+
+func TestZipfSingleton(t *testing.T) {
+	z := NewZipf(New(23), 2, 1)
+	for i := 0; i < 100; i++ {
+		if z.Next() != 0 {
+			t.Fatal("Zipf over singleton domain must always return 0")
+		}
+	}
+}

@@ -1,0 +1,396 @@
+package slidingsample
+
+import (
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"slidingsample/internal/apps"
+	"slidingsample/internal/core"
+	"slidingsample/internal/stream"
+	"slidingsample/internal/xrand"
+)
+
+// ErrTimeBackwards is returned when a timestamp-based sampler is fed an
+// element whose timestamp precedes an earlier arrival or query time.
+var ErrTimeBackwards = errors.New("slidingsample: timestamps must be non-decreasing")
+
+// Sampled is one sampled element together with its stream coordinates.
+type Sampled[T any] struct {
+	// Value is the element payload.
+	Value T
+	// Index is the element's 0-based arrival position.
+	Index uint64
+	// Timestamp is the element's arrival timestamp (0 for sequence-based
+	// samplers fed through Observe without a timestamp).
+	Timestamp int64
+}
+
+func fromElements[T any](es []stream.Element[T]) []Sampled[T] {
+	out := make([]Sampled[T], len(es))
+	for i, e := range es {
+		out[i] = Sampled[T]{Value: e.Value, Index: e.Index, Timestamp: e.TS}
+	}
+	return out
+}
+
+// Option configures a sampler at construction time.
+type Option func(*config)
+
+type config struct {
+	seed   uint64
+	seeded bool
+}
+
+// WithSeed makes the sampler's randomness reproducible: two samplers built
+// with the same seed and fed the same stream make identical choices.
+// Without it, each sampler draws a fresh seed from crypto/rand.
+func WithSeed(seed uint64) Option {
+	return func(c *config) {
+		c.seed = seed
+		c.seeded = true
+	}
+}
+
+func buildRNG(opts []Option) *xrand.Rand {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.seeded {
+		return xrand.New(c.seed)
+	}
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err == nil {
+		return xrand.New(binary.LittleEndian.Uint64(b[:]))
+	}
+	// crypto/rand failing is effectively fatal on any supported platform;
+	// fall back to a fixed seed rather than crashing a library caller.
+	return xrand.New(0x9e3779b97f4a7c15)
+}
+
+// ---------------------------------------------------------------------------
+// Sequence-based windows
+// ---------------------------------------------------------------------------
+
+// SequenceWR maintains k independent uniform samples (with replacement)
+// over the n most recent elements, in Θ(k) words (Theorem 2.1).
+type SequenceWR[T any] struct {
+	inner *core.SeqWR[T]
+}
+
+// NewSequenceWR returns a with-replacement sampler over a window of the n
+// most recent elements with k sample slots.
+func NewSequenceWR[T any](n uint64, k int, opts ...Option) (*SequenceWR[T], error) {
+	if n == 0 {
+		return nil, fmt.Errorf("slidingsample: window size n must be positive")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("slidingsample: sample count k must be positive")
+	}
+	return &SequenceWR[T]{inner: core.NewSeqWR[T](buildRNG(opts), n, k)}, nil
+}
+
+// Observe feeds the next element.
+func (s *SequenceWR[T]) Observe(value T) { s.inner.Observe(value, 0) }
+
+// Sample returns k elements, each uniform over the current window and
+// mutually independent. ok is false while the stream is empty.
+func (s *SequenceWR[T]) Sample() ([]Sampled[T], bool) {
+	es, ok := s.inner.Sample()
+	if !ok {
+		return nil, false
+	}
+	return fromElements(es), true
+}
+
+// Values returns just the sampled payloads.
+func (s *SequenceWR[T]) Values() ([]T, bool) {
+	es, ok := s.inner.Sample()
+	if !ok {
+		return nil, false
+	}
+	out := make([]T, len(es))
+	for i, e := range es {
+		out[i] = e.Value
+	}
+	return out, true
+}
+
+// N returns the window size; K the number of samples; Count the arrivals.
+func (s *SequenceWR[T]) N() uint64     { return s.inner.N() }
+func (s *SequenceWR[T]) K() int        { return s.inner.K() }
+func (s *SequenceWR[T]) Count() uint64 { return s.inner.Count() }
+
+// Words and MaxWords report memory in the paper's word model (DESIGN.md §6).
+func (s *SequenceWR[T]) Words() int    { return s.inner.Words() }
+func (s *SequenceWR[T]) MaxWords() int { return s.inner.MaxWords() }
+
+// SequenceWOR maintains a uniform k-sample without replacement over the n
+// most recent elements, in Θ(k) words (Theorem 2.2). While the window holds
+// fewer than k elements the sample is the whole window.
+type SequenceWOR[T any] struct {
+	inner *core.SeqWOR[T]
+}
+
+// NewSequenceWOR returns a without-replacement sampler over a window of the
+// n most recent elements with target sample size k.
+func NewSequenceWOR[T any](n uint64, k int, opts ...Option) (*SequenceWOR[T], error) {
+	if n == 0 {
+		return nil, fmt.Errorf("slidingsample: window size n must be positive")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("slidingsample: sample count k must be positive")
+	}
+	return &SequenceWOR[T]{inner: core.NewSeqWOR[T](buildRNG(opts), n, k)}, nil
+}
+
+// Observe feeds the next element.
+func (s *SequenceWOR[T]) Observe(value T) { s.inner.Observe(value, 0) }
+
+// Sample returns min(k, windowSize) DISTINCT window elements, uniform over
+// all such subsets. ok is false while the stream is empty.
+func (s *SequenceWOR[T]) Sample() ([]Sampled[T], bool) {
+	es, ok := s.inner.Sample()
+	if !ok {
+		return nil, false
+	}
+	return fromElements(es), true
+}
+
+// Values returns just the sampled payloads.
+func (s *SequenceWOR[T]) Values() ([]T, bool) {
+	es, ok := s.inner.Sample()
+	if !ok {
+		return nil, false
+	}
+	out := make([]T, len(es))
+	for i, e := range es {
+		out[i] = e.Value
+	}
+	return out, true
+}
+
+// N returns the window size; K the target sample size; Count the arrivals.
+func (s *SequenceWOR[T]) N() uint64     { return s.inner.N() }
+func (s *SequenceWOR[T]) K() int        { return s.inner.K() }
+func (s *SequenceWOR[T]) Count() uint64 { return s.inner.Count() }
+
+// Words and MaxWords report memory in the paper's word model.
+func (s *SequenceWOR[T]) Words() int    { return s.inner.Words() }
+func (s *SequenceWOR[T]) MaxWords() int { return s.inner.MaxWords() }
+
+// ---------------------------------------------------------------------------
+// Timestamp-based windows
+// ---------------------------------------------------------------------------
+
+// TimestampWR maintains k independent uniform samples (with replacement)
+// over the elements of the last t0 clock ticks, in Θ(k·log n) words
+// (Theorem 3.9). An element with timestamp ts is active at time now iff
+// now - ts < t0.
+type TimestampWR[T any] struct {
+	inner *core.TSWR[T]
+	last  int64
+	begun bool
+}
+
+// NewTimestampWR returns a with-replacement sampler over a timestamp window
+// of horizon t0 with k sample slots.
+func NewTimestampWR[T any](t0 int64, k int, opts ...Option) (*TimestampWR[T], error) {
+	if t0 <= 0 {
+		return nil, fmt.Errorf("slidingsample: horizon t0 must be positive")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("slidingsample: sample count k must be positive")
+	}
+	return &TimestampWR[T]{inner: core.NewTSWR[T](buildRNG(opts), t0, k)}, nil
+}
+
+// Observe feeds the next element with its arrival timestamp. Timestamps
+// must be non-decreasing across both arrivals and queries.
+func (s *TimestampWR[T]) Observe(value T, ts int64) error {
+	if s.begun && ts < s.last {
+		return ErrTimeBackwards
+	}
+	s.begun = true
+	s.last = ts
+	s.inner.Observe(value, ts)
+	return nil
+}
+
+// SampleAt returns k elements, each uniform over the elements active at
+// time now, mutually independent. Querying advances the sampler's clock;
+// ok is false when the window is empty.
+func (s *TimestampWR[T]) SampleAt(now int64) ([]Sampled[T], bool) {
+	if s.begun && now < s.last {
+		now = s.last
+	}
+	s.begun = true
+	s.last = now
+	es, ok := s.inner.SampleAt(now)
+	if !ok {
+		return nil, false
+	}
+	return fromElements(es), true
+}
+
+// Sample queries at the latest observed time. On a sampler that has seen
+// nothing it reports ok=false without pinning the clock (so a later stream
+// may still start at any timestamp, including negative ones).
+func (s *TimestampWR[T]) Sample() ([]Sampled[T], bool) {
+	if !s.begun {
+		return nil, false
+	}
+	return s.SampleAt(s.last)
+}
+
+// ValuesAt returns just the sampled payloads at time now.
+func (s *TimestampWR[T]) ValuesAt(now int64) ([]T, bool) {
+	es, ok := s.SampleAt(now)
+	if !ok {
+		return nil, false
+	}
+	out := make([]T, len(es))
+	for i, e := range es {
+		out[i] = e.Value
+	}
+	return out, true
+}
+
+// Horizon returns t0; K the number of samples; Count the arrivals.
+func (s *TimestampWR[T]) Horizon() int64 { return s.inner.Horizon() }
+func (s *TimestampWR[T]) K() int         { return s.inner.K() }
+func (s *TimestampWR[T]) Count() uint64  { return s.inner.Count() }
+
+// Words and MaxWords report memory in the paper's word model.
+func (s *TimestampWR[T]) Words() int    { return s.inner.Words() }
+func (s *TimestampWR[T]) MaxWords() int { return s.inner.MaxWords() }
+
+// TimestampWOR maintains a uniform k-sample without replacement over the
+// elements of the last t0 clock ticks, in Θ(k·log n) words (Theorem 4.4).
+// While fewer than k elements are active the sample is the whole window.
+type TimestampWOR[T any] struct {
+	inner *core.TSWOR[T]
+	last  int64
+	begun bool
+}
+
+// NewTimestampWOR returns a without-replacement sampler over a timestamp
+// window of horizon t0 with target sample size k.
+func NewTimestampWOR[T any](t0 int64, k int, opts ...Option) (*TimestampWOR[T], error) {
+	if t0 <= 0 {
+		return nil, fmt.Errorf("slidingsample: horizon t0 must be positive")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("slidingsample: sample count k must be positive")
+	}
+	return &TimestampWOR[T]{inner: core.NewTSWOR[T](buildRNG(opts), t0, k)}, nil
+}
+
+// Observe feeds the next element with its arrival timestamp.
+func (s *TimestampWOR[T]) Observe(value T, ts int64) error {
+	if s.begun && ts < s.last {
+		return ErrTimeBackwards
+	}
+	s.begun = true
+	s.last = ts
+	s.inner.Observe(value, ts)
+	return nil
+}
+
+// SampleAt returns min(k, n) distinct active elements forming a uniform
+// without-replacement sample at time now.
+func (s *TimestampWOR[T]) SampleAt(now int64) ([]Sampled[T], bool) {
+	if s.begun && now < s.last {
+		now = s.last
+	}
+	s.begun = true
+	s.last = now
+	es, ok := s.inner.SampleAt(now)
+	if !ok {
+		return nil, false
+	}
+	return fromElements(es), true
+}
+
+// Sample queries at the latest observed time. On a sampler that has seen
+// nothing it reports ok=false without pinning the clock.
+func (s *TimestampWOR[T]) Sample() ([]Sampled[T], bool) {
+	if !s.begun {
+		return nil, false
+	}
+	return s.SampleAt(s.last)
+}
+
+// ValuesAt returns just the sampled payloads at time now.
+func (s *TimestampWOR[T]) ValuesAt(now int64) ([]T, bool) {
+	es, ok := s.SampleAt(now)
+	if !ok {
+		return nil, false
+	}
+	out := make([]T, len(es))
+	for i, e := range es {
+		out[i] = e.Value
+	}
+	return out, true
+}
+
+// Horizon returns t0; K the target sample size; Count the arrivals.
+func (s *TimestampWOR[T]) Horizon() int64 { return s.inner.Horizon() }
+func (s *TimestampWOR[T]) K() int         { return s.inner.K() }
+func (s *TimestampWOR[T]) Count() uint64  { return s.inner.Count() }
+
+// Words and MaxWords report memory in the paper's word model.
+func (s *TimestampWOR[T]) Words() int    { return s.inner.Words() }
+func (s *TimestampWOR[T]) MaxWords() int { return s.inner.MaxWords() }
+
+// ---------------------------------------------------------------------------
+// Step-biased sampling (Section 5 extension)
+// ---------------------------------------------------------------------------
+
+// StepBiased draws recency-biased samples: window lengths n_1 < ... < n_m
+// with integer weights w_i define a non-increasing step function over
+// element age; an element of age d is drawn with probability
+// Σ_{i: n_i > d} (w_i / Σw) / n_i.
+type StepBiased[T any] struct {
+	inner *apps.StepBiased[T]
+}
+
+// NewStepBiased returns a step-biased sampler. lens must be strictly
+// increasing and weights positive, with len(lens) == len(weights).
+func NewStepBiased[T any](lens []uint64, weights []uint64, opts ...Option) (*StepBiased[T], error) {
+	if len(lens) == 0 || len(lens) != len(weights) {
+		return nil, fmt.Errorf("slidingsample: lens and weights must be non-empty and equal length")
+	}
+	var prev uint64
+	for i, n := range lens {
+		if n <= prev {
+			return nil, fmt.Errorf("slidingsample: lens must be strictly increasing")
+		}
+		if weights[i] == 0 {
+			return nil, fmt.Errorf("slidingsample: weights must be positive")
+		}
+		prev = n
+	}
+	return &StepBiased[T]{inner: apps.NewStepBiased[T](buildRNG(opts), lens, weights)}, nil
+}
+
+// Observe feeds the next element.
+func (s *StepBiased[T]) Observe(value T) { s.inner.Observe(value, 0) }
+
+// Sample draws one element under the step-biased distribution.
+func (s *StepBiased[T]) Sample() (Sampled[T], bool) {
+	e, ok := s.inner.Sample()
+	if !ok {
+		return Sampled[T]{}, false
+	}
+	return Sampled[T]{Value: e.Value, Index: e.Index, Timestamp: e.TS}, true
+}
+
+// Prob returns the theoretical sampling probability for age d (0 = newest).
+func (s *StepBiased[T]) Prob(d uint64) float64 { return s.inner.Prob(d) }
+
+// Words and MaxWords report memory in the paper's word model.
+func (s *StepBiased[T]) Words() int    { return s.inner.Words() }
+func (s *StepBiased[T]) MaxWords() int { return s.inner.MaxWords() }

@@ -1,0 +1,296 @@
+package slidingsample
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPublicSequenceWR(t *testing.T) {
+	s, err := NewSequenceWR[string](4, 2, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Sample(); ok {
+		t.Fatal("sample from empty sampler")
+	}
+	words := []string{"a", "b", "c", "d", "e", "f"}
+	for _, w := range words {
+		s.Observe(w)
+	}
+	got, ok := s.Sample()
+	if !ok || len(got) != 2 {
+		t.Fatalf("ok=%v len=%d", ok, len(got))
+	}
+	for _, e := range got {
+		if e.Index < 2 || e.Index > 5 {
+			t.Fatalf("sample outside window: %+v", e)
+		}
+		if e.Value != words[e.Index] {
+			t.Fatalf("value/index mismatch: %+v", e)
+		}
+	}
+	vals, ok := s.Values()
+	if !ok || len(vals) != 2 {
+		t.Fatal("Values broken")
+	}
+	if s.N() != 4 || s.K() != 2 || s.Count() != 6 {
+		t.Fatal("accessors broken")
+	}
+	if s.Words() <= 0 || s.MaxWords() < s.Words() {
+		t.Fatal("memory accounting broken")
+	}
+}
+
+func TestPublicSequenceWOR(t *testing.T) {
+	s, err := NewSequenceWOR[int](8, 3, WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		s.Observe(i)
+	}
+	got, ok := s.Sample()
+	if !ok || len(got) != 3 {
+		t.Fatalf("ok=%v len=%d", ok, len(got))
+	}
+	seen := map[uint64]bool{}
+	for _, e := range got {
+		if e.Index < 12 || seen[e.Index] {
+			t.Fatalf("bad WOR sample: %+v", got)
+		}
+		seen[e.Index] = true
+	}
+}
+
+func TestPublicTimestampWR(t *testing.T) {
+	s, err := NewTimestampWR[int](10, 2, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if err := s.Observe(i, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, ok := s.SampleAt(29)
+	if !ok || len(got) != 2 {
+		t.Fatalf("ok=%v len=%d", ok, len(got))
+	}
+	for _, e := range got {
+		if e.Timestamp < 20 {
+			t.Fatalf("expired element sampled: %+v", e)
+		}
+	}
+	if err := s.Observe(99, 5); err != ErrTimeBackwards {
+		t.Fatalf("backwards timestamp returned %v, want ErrTimeBackwards", err)
+	}
+	if _, ok := s.SampleAt(100); ok {
+		t.Fatal("sample from expired window")
+	}
+	// Clock clamping: an earlier query time must not error or resurrect.
+	if _, ok := s.SampleAt(50); ok {
+		t.Fatal("earlier query resurrected the window")
+	}
+	if s.Horizon() != 10 || s.K() != 2 || s.Count() != 30 {
+		t.Fatal("accessors broken")
+	}
+}
+
+func TestPublicTimestampWOR(t *testing.T) {
+	s, err := NewTimestampWOR[int](10, 3, WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		if err := s.Observe(i, int64(i/2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, ok := s.Sample()
+	if !ok || len(got) != 3 {
+		t.Fatalf("ok=%v len=%d", ok, len(got))
+	}
+	seen := map[uint64]bool{}
+	for _, e := range got {
+		if seen[e.Index] {
+			t.Fatal("duplicate in WOR sample")
+		}
+		seen[e.Index] = true
+	}
+	if err := s.Observe(0, 1); err != ErrTimeBackwards {
+		t.Fatalf("want ErrTimeBackwards, got %v", err)
+	}
+	if s.Words() <= 0 || s.MaxWords() < s.Words() {
+		t.Fatal("memory accounting broken")
+	}
+}
+
+func TestPublicStepBiased(t *testing.T) {
+	s, err := NewStepBiased[int]([]uint64{2, 8}, []uint64{1, 1}, WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		s.Observe(i)
+	}
+	e, ok := s.Sample()
+	if !ok || e.Index < 12 {
+		t.Fatalf("biased sample outside largest window: %+v ok=%v", e, ok)
+	}
+	if s.Prob(0) <= s.Prob(5) {
+		t.Fatal("bias not decreasing")
+	}
+	if math.Abs(s.Prob(0)-(0.5/2+0.5/8)) > 1e-12 {
+		t.Fatalf("Prob(0) = %v", s.Prob(0))
+	}
+}
+
+func TestConstructorErrors(t *testing.T) {
+	if _, err := NewSequenceWR[int](0, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := NewSequenceWR[int](4, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewSequenceWOR[int](0, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := NewSequenceWOR[int](4, -1); err == nil {
+		t.Error("k<0 accepted")
+	}
+	if _, err := NewTimestampWR[int](0, 1); err == nil {
+		t.Error("t0=0 accepted")
+	}
+	if _, err := NewTimestampWR[int](5, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewTimestampWOR[int](-1, 1); err == nil {
+		t.Error("t0<0 accepted")
+	}
+	if _, err := NewTimestampWOR[int](5, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewStepBiased[int](nil, nil); err == nil {
+		t.Error("empty steps accepted")
+	}
+	if _, err := NewStepBiased[int]([]uint64{4, 4}, []uint64{1, 1}); err == nil {
+		t.Error("non-increasing lens accepted")
+	}
+	if _, err := NewStepBiased[int]([]uint64{4, 8}, []uint64{1, 0}); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, err := NewStepBiased[int]([]uint64{4}, []uint64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestSeededDeterminismAcrossInstances(t *testing.T) {
+	run := func() []uint64 {
+		s, _ := NewSequenceWR[int](16, 2, WithSeed(42))
+		var out []uint64
+		for i := 0; i < 100; i++ {
+			s.Observe(i)
+			if got, ok := s.Sample(); ok {
+				for _, e := range got {
+					out = append(out, e.Index)
+				}
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("WithSeed not deterministic")
+		}
+	}
+}
+
+func TestUnseededInstancesDiffer(t *testing.T) {
+	// Two default-seeded samplers should (with overwhelming probability)
+	// make different choices on a long stream.
+	a, _ := NewSequenceWR[int](64, 1)
+	b, _ := NewSequenceWR[int](64, 1)
+	same := 0
+	const steps = 200
+	for i := 0; i < steps; i++ {
+		a.Observe(i)
+		b.Observe(i)
+		sa, _ := a.Sample()
+		sb, _ := b.Sample()
+		if sa[0].Index == sb[0].Index {
+			same++
+		}
+	}
+	if same == steps {
+		t.Fatal("two unseeded samplers behaved identically — crypto seeding broken")
+	}
+}
+
+// TestPublicUniformitySmoke is an end-to-end uniformity smoke test through
+// the public API (the heavy statistical validation lives in internal/core).
+func TestPublicUniformitySmoke(t *testing.T) {
+	const n, trials = 8, 40000
+	counts := make([]int, n)
+	for tr := 0; tr < trials; tr++ {
+		s, _ := NewSequenceWR[int](n, 1, WithSeed(uint64(tr)))
+		for i := 0; i < 19; i++ {
+			s.Observe(i)
+		}
+		got, _ := s.Sample()
+		counts[got[0].Index-(19-n)]++
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("window pos %d: %d, want about %.0f", i, c, want)
+		}
+	}
+}
+
+func TestEmptySampleDoesNotPinClock(t *testing.T) {
+	// Querying an empty timestamp sampler must not fix its clock at 0:
+	// a stream starting at a negative timestamp must still be accepted.
+	wr, _ := NewTimestampWR[int](10, 1, WithSeed(1))
+	if _, ok := wr.Sample(); ok {
+		t.Fatal("sample from empty sampler")
+	}
+	if err := wr.Observe(1, -100); err != nil {
+		t.Fatalf("negative start rejected after empty Sample: %v", err)
+	}
+	if got, ok := wr.Sample(); !ok || got[0].Timestamp != -100 {
+		t.Fatal("sampler broken after negative start")
+	}
+
+	wor, _ := NewTimestampWOR[int](10, 2, WithSeed(2))
+	if _, ok := wor.Sample(); ok {
+		t.Fatal("sample from empty sampler")
+	}
+	if err := wor.Observe(1, -100); err != nil {
+		t.Fatalf("negative start rejected after empty Sample: %v", err)
+	}
+	if got, ok := wor.Sample(); !ok || len(got) != 1 {
+		t.Fatal("sampler broken after negative start")
+	}
+}
+
+func TestPublicValuesHelpers(t *testing.T) {
+	wor, _ := NewSequenceWOR[string](4, 2, WithSeed(3))
+	if _, ok := wor.Values(); ok {
+		t.Fatal("Values from empty sampler")
+	}
+	wor.Observe("x")
+	if vals, ok := wor.Values(); !ok || len(vals) != 1 || vals[0] != "x" {
+		t.Fatalf("Values = %v ok=%v", vals, ok)
+	}
+	twr, _ := NewTimestampWR[string](10, 2, WithSeed(4))
+	_ = twr.Observe("a", 1)
+	if vals, ok := twr.ValuesAt(1); !ok || len(vals) != 2 || vals[0] != "a" {
+		t.Fatalf("ValuesAt = %v ok=%v", vals, ok)
+	}
+	twor, _ := NewTimestampWOR[string](10, 2, WithSeed(5))
+	_ = twor.Observe("b", 1)
+	if vals, ok := twor.ValuesAt(1); !ok || len(vals) != 1 || vals[0] != "b" {
+		t.Fatalf("ValuesAt = %v ok=%v", vals, ok)
+	}
+}
