@@ -1,0 +1,31 @@
+# Developer and CI entry points. `make ci` is what the GitHub Actions
+# workflow runs; the other targets are the common local loops.
+
+GO ?= go
+
+.PHONY: all build test vet bench-quick bench-batch swbench-quick ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fast benchmark smoke: fixed iteration counts so CI time is bounded.
+bench-quick:
+	$(GO) test -run xxx -bench . -benchtime 10000x ./...
+
+# The batched-vs-looped ingest comparison behind BENCH_1.json.
+bench-batch:
+	$(GO) test -run xxx -bench 'BenchmarkBatch_' -benchtime 300000x .
+
+# All statistical experiments at reduced trial counts.
+swbench-quick:
+	$(GO) run ./cmd/swbench -quick
+
+ci: vet build test

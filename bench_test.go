@@ -1,14 +1,14 @@
 package slidingsample
 
 // bench_test.go: the E11 systems table plus one timing benchmark per
-// experiment workload (E1–E15). Run with:
+// experiment workload (E1–E16). Run with:
 //
 //	go test -bench=. -benchmem
 //
 // The statistical content of each experiment (memory tables, uniformity
 // p-values, estimator errors) is produced by cmd/swbench; these benchmarks
 // measure the per-element and per-query costs of exactly the same
-// configurations, so EXPERIMENTS.md can report both axes.
+// configurations, so DESIGN.md §4 can report both axes.
 
 import (
 	"testing"
@@ -17,6 +17,7 @@ import (
 	"slidingsample/internal/baseline"
 	"slidingsample/internal/core"
 	"slidingsample/internal/ehist"
+	"slidingsample/internal/parallel"
 	"slidingsample/internal/reservoir"
 	"slidingsample/internal/stream"
 	"slidingsample/internal/xrand"
@@ -394,4 +395,120 @@ func BenchmarkAblation_TSWR_IndependentInstances_k16(b *testing.B) {
 			s.Observe(uint64(i), tsAt(i))
 		}
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Batched ingest: ObserveBatch vs looped Observe on all four core samplers
+// (the PR-1 tentpole hot path; BENCH_1.json records a baseline run).
+// ---------------------------------------------------------------------------
+
+const batchSize = 256
+
+// feedLoop and feedBatch push b.N elements through a sampler per element and
+// in batchSize chunks respectively; the chunk assembly is timed as part of
+// the batched path (it is what a real caller pays).
+func feedLoop(b *testing.B, s stream.Sampler[uint64], ts func(int) int64) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Observe(uint64(i), ts(i))
+	}
+}
+
+func feedBatch(b *testing.B, s stream.Sampler[uint64], ts func(int) int64) {
+	buf := make([]stream.Element[uint64], 0, batchSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; {
+		buf = buf[:0]
+		for j := 0; j < batchSize && i < b.N; j++ {
+			buf = append(buf, stream.Element[uint64]{Value: uint64(i), TS: ts(i)})
+			i++
+		}
+		s.ObserveBatch(buf)
+	}
+}
+
+func seqTS(int) int64 { return 0 }
+
+func BenchmarkBatch_SeqWR_Loop(b *testing.B) {
+	for _, k := range []int{1, 16, 64} {
+		b.Run(benchName("k", k), func(b *testing.B) {
+			feedLoop(b, core.NewSeqWR[uint64](xrand.New(1), 10_000, k), seqTS)
+		})
+	}
+}
+
+func BenchmarkBatch_SeqWR_Batch(b *testing.B) {
+	for _, k := range []int{1, 16, 64} {
+		b.Run(benchName("k", k), func(b *testing.B) {
+			feedBatch(b, core.NewSeqWR[uint64](xrand.New(1), 10_000, k), seqTS)
+		})
+	}
+}
+
+func BenchmarkBatch_SeqWOR_Loop(b *testing.B) {
+	for _, k := range []int{4, 64} {
+		b.Run(benchName("k", k), func(b *testing.B) {
+			feedLoop(b, core.NewSeqWOR[uint64](xrand.New(1), 10_000, k), seqTS)
+		})
+	}
+}
+
+func BenchmarkBatch_SeqWOR_Batch(b *testing.B) {
+	for _, k := range []int{4, 64} {
+		b.Run(benchName("k", k), func(b *testing.B) {
+			feedBatch(b, core.NewSeqWOR[uint64](xrand.New(1), 10_000, k), seqTS)
+		})
+	}
+}
+
+func BenchmarkBatch_TSWR_Loop(b *testing.B) {
+	for _, k := range []int{1, 16} {
+		b.Run(benchName("k", k), func(b *testing.B) {
+			feedLoop(b, core.NewTSWR[uint64](xrand.New(1), 512, k), tsAt)
+		})
+	}
+}
+
+func BenchmarkBatch_TSWR_Batch(b *testing.B) {
+	for _, k := range []int{1, 16} {
+		b.Run(benchName("k", k), func(b *testing.B) {
+			feedBatch(b, core.NewTSWR[uint64](xrand.New(1), 512, k), tsAt)
+		})
+	}
+}
+
+func BenchmarkBatch_TSWOR_Loop(b *testing.B) {
+	for _, k := range []int{4, 16} {
+		b.Run(benchName("k", k), func(b *testing.B) {
+			feedLoop(b, core.NewTSWOR[uint64](xrand.New(1), 512, k), tsAt)
+		})
+	}
+}
+
+func BenchmarkBatch_TSWOR_Batch(b *testing.B) {
+	for _, k := range []int{4, 16} {
+		b.Run(benchName("k", k), func(b *testing.B) {
+			feedBatch(b, core.NewTSWOR[uint64](xrand.New(1), 512, k), tsAt)
+		})
+	}
+}
+
+// Sharded ingest: batched dealing amortizes the channel send (one message
+// per shard per chunk instead of one per element).
+func BenchmarkBatch_ShardedSeqWR_Loop(b *testing.B) {
+	s := parallel.NewShardedSeqWR[uint64](xrand.New(1), 1<<16, 4, 16)
+	defer s.Close()
+	feedLoop(b, s, seqTS)
+	b.StopTimer()
+	s.Barrier()
+}
+
+func BenchmarkBatch_ShardedSeqWR_Batch(b *testing.B) {
+	s := parallel.NewShardedSeqWR[uint64](xrand.New(1), 1<<16, 4, 16)
+	defer s.Close()
+	feedBatch(b, s, seqTS)
+	b.StopTimer()
+	s.Barrier()
 }

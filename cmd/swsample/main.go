@@ -1,11 +1,15 @@
 // Command swsample maintains a live uniform sample over a sliding window of
 // lines read from stdin — a direct demonstration of the library on real
-// input.
+// input. Since every sampler in the repository satisfies the unified
+// stream.Sampler interface, the tool can run ANY substrate — the paper's
+// deterministic-memory algorithms, the randomized baselines, or the sharded
+// parallel wrappers — over the same input.
 //
 // Usage:
 //
 //	tail -f app.log | swsample -mode seq -n 1000 -k 5 -every 100
 //	cat events.tsv  | swsample -mode ts  -t0 60 -k 3 -field 1
+//	cat app.log     | swsample -mode seq -sampler chain -batch 256
 //
 // Modes:
 //
@@ -15,88 +19,143 @@
 //	     (first whitespace-separated field by default, -field to choose);
 //	     the last -t0 ticks are active.
 //
-// Every -every lines the current sample (without replacement) is printed to
-// stderr together with the sampler's memory footprint in the paper's word
-// model.
+// Samplers (-sampler):
+//
+//	seq mode:  wor (default, Theorem 2.2) | wr (Theorem 2.1) | chain |
+//	           oversample | fullwindow | sharded-wr
+//	ts mode:   wor (default, Theorem 4.4) | wr (Theorem 3.9) | priority |
+//	           skyband | fullwindow | sharded-wr | sharded-wor
+//
+// -batch > 1 feeds the sampler through its batched ObserveBatch hot path in
+// chunks of that many lines (identical samples, amortized bookkeeping).
+//
+// Every -every lines the current sample is printed to stderr together with
+// the sampler's memory footprint in the paper's word model (DESIGN.md §6).
 package main
 
 import (
 	"bufio"
+	cryptorand "crypto/rand"
+	"encoding/binary"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
-	"slidingsample"
+	"slidingsample/internal/baseline"
+	"slidingsample/internal/core"
+	"slidingsample/internal/parallel"
+	"slidingsample/internal/stream"
+	"slidingsample/internal/xrand"
 )
+
+// randomSeed returns seed unless it is 0, in which case a fresh one is drawn
+// from crypto/rand (matching the public WithSeed convention).
+func randomSeed(seed uint64) uint64 {
+	if seed != 0 {
+		return seed
+	}
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err == nil {
+		return binary.LittleEndian.Uint64(b[:])
+	}
+	return 0x9e3779b97f4a7c15
+}
 
 func main() {
 	var (
-		mode  = flag.String("mode", "seq", "window mode: seq or ts")
-		n     = flag.Uint64("n", 1000, "sequence window size (mode=seq)")
-		t0    = flag.Int64("t0", 60, "timestamp horizon in ticks (mode=ts)")
-		k     = flag.Int("k", 5, "sample size (without replacement)")
-		every = flag.Int("every", 1000, "print the sample every this many lines")
-		field = flag.Int("field", 0, "0-based whitespace field holding the timestamp (mode=ts)")
-		seed  = flag.Uint64("seed", 0, "seed for reproducible sampling (0: random)")
+		mode    = flag.String("mode", "seq", "window mode: seq or ts")
+		sampler = flag.String("sampler", "wor", "substrate (see doc comment)")
+		n       = flag.Uint64("n", 1000, "sequence window size (mode=seq)")
+		t0      = flag.Int64("t0", 60, "timestamp horizon in ticks (mode=ts)")
+		k       = flag.Int("k", 5, "sample size")
+		g       = flag.Int("g", 4, "shard count (sharded-* samplers)")
+		batch   = flag.Int("batch", 1, "feed in batches of this many lines (1: per element)")
+		every   = flag.Int("every", 1000, "print the sample every this many lines")
+		field   = flag.Int("field", 0, "0-based whitespace field holding the timestamp (mode=ts)")
+		seed    = flag.Uint64("seed", 0, "seed for reproducible sampling (0: random)")
 	)
 	flag.Parse()
+	// Validate up front: the internal constructors treat bad parameters as
+	// programmer error and panic, so the CLI turns them into clean errors.
+	switch {
+	case *batch < 1:
+		fatal(fmt.Errorf("-batch must be at least 1"))
+	case *k < 1:
+		fatal(fmt.Errorf("-k must be at least 1"))
+	case *g < 1:
+		fatal(fmt.Errorf("-g must be at least 1"))
+	case *n < 1:
+		fatal(fmt.Errorf("-n must be at least 1"))
+	case *t0 < 1:
+		fatal(fmt.Errorf("-t0 must be at least 1"))
+	case *every < 1:
+		fatal(fmt.Errorf("-every must be at least 1"))
+	case *field < 0:
+		fatal(fmt.Errorf("-field must be non-negative"))
+	}
 
-	var opts []slidingsample.Option
-	if *seed != 0 {
-		opts = append(opts, slidingsample.WithSeed(*seed))
+	rng := xrand.New(randomSeed(*seed))
+
+	s, err := build(*mode, *sampler, rng, *n, *t0, *k, *g)
+	if err != nil {
+		fatal(err)
 	}
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	lines := 0
+	var lastTS int64
+	pending := make([]stream.Element[string], 0, *batch)
 
-	switch *mode {
-	case "seq":
-		s, err := slidingsample.NewSequenceWOR[string](*n, *k, opts...)
-		if err != nil {
-			fatal(err)
+	flush := func() {
+		if len(pending) == 0 {
+			return
 		}
-		for sc.Scan() {
-			s.Observe(sc.Text())
-			lines++
-			if lines%*every == 0 {
-				report(lines, s.Words(), s.MaxWords(), sampleLines(s))
-			}
-		}
-		report(lines, s.Words(), s.MaxWords(), sampleLines(s))
-	case "ts":
-		s, err := slidingsample.NewTimestampWOR[string](*t0, *k, opts...)
-		if err != nil {
-			fatal(err)
-		}
-		for sc.Scan() {
-			line := sc.Text()
+		s.ObserveBatch(pending)
+		pending = pending[:0]
+	}
+
+	for sc.Scan() {
+		line := sc.Text()
+		var ts int64
+		if *mode == "ts" {
 			fields := strings.Fields(line)
 			if *field >= len(fields) {
 				fmt.Fprintf(os.Stderr, "swsample: line %d has no field %d, skipped\n", lines+1, *field)
 				continue
 			}
-			ts, err := strconv.ParseInt(fields[*field], 10, 64)
+			v, err := strconv.ParseInt(fields[*field], 10, 64)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "swsample: line %d: bad timestamp %q, skipped\n", lines+1, fields[*field])
 				continue
 			}
-			if err := s.Observe(line, ts); err != nil {
-				fmt.Fprintf(os.Stderr, "swsample: line %d: %v, skipped\n", lines+1, err)
+			if lines > 0 && v < lastTS {
+				fmt.Fprintf(os.Stderr, "swsample: line %d: timestamp went backwards, skipped\n", lines+1)
 				continue
 			}
-			lines++
-			if lines%*every == 0 {
-				got, _ := s.Sample()
-				report(lines, s.Words(), s.MaxWords(), values(got))
+			ts = v
+		}
+		lastTS = ts
+		lines++
+		if *batch == 1 {
+			s.Observe(line, ts)
+		} else {
+			pending = append(pending, stream.Element[string]{Value: line, TS: ts})
+			if len(pending) >= *batch {
+				flush()
 			}
 		}
-		got, _ := s.Sample()
-		report(lines, s.Words(), s.MaxWords(), values(got))
-	default:
-		fatal(fmt.Errorf("unknown mode %q (want seq or ts)", *mode))
+		if lines%*every == 0 {
+			flush()
+			report(lines, s)
+		}
+	}
+	flush()
+	report(lines, s)
+	if c, ok := s.(interface{ Close() }); ok {
+		c.Close()
 	}
 
 	if err := sc.Err(); err != nil {
@@ -104,26 +163,63 @@ func main() {
 	}
 }
 
-func sampleLines(s *slidingsample.SequenceWOR[string]) []string {
-	got, _ := s.Sample()
-	return values(got)
-}
-
-func values(got []slidingsample.Sampled[string]) []string {
-	out := make([]string, len(got))
-	for i, e := range got {
-		out[i] = e.Value
-	}
-	return out
-}
-
-func report(lines, words, peak int, sample []string) {
-	fmt.Fprintf(os.Stderr, "--- after %d lines (memory %d words, peak %d)\n", lines, words, peak)
-	for _, s := range sample {
-		if len(s) > 120 {
-			s = s[:117] + "..."
+// build constructs the requested substrate behind the unified interface.
+func build(mode, sampler string, rng *xrand.Rand, n uint64, t0 int64, k, g int) (stream.Sampler[string], error) {
+	switch mode {
+	case "seq":
+		switch sampler {
+		case "wor":
+			return core.NewSeqWOR[string](rng, n, k), nil
+		case "wr":
+			return core.NewSeqWR[string](rng, n, k), nil
+		case "chain":
+			return baseline.NewChain[string](rng, n, k), nil
+		case "oversample":
+			return baseline.NewOversample[string](rng, n, k, 4), nil
+		case "fullwindow":
+			return baseline.NewFullWindowSeq[string](rng, n).Bind(k, true), nil
+		case "sharded-wr":
+			if n%uint64(g) != 0 {
+				return nil, fmt.Errorf("-n must be divisible by -g for sharded-wr")
+			}
+			return parallel.NewShardedSeqWR[string](rng, n, g, k), nil
 		}
-		fmt.Fprintf(os.Stderr, "    %s\n", s)
+		return nil, fmt.Errorf("unknown seq sampler %q (see -help)", sampler)
+	case "ts":
+		switch sampler {
+		case "wor":
+			return core.NewTSWOR[string](rng, t0, k), nil
+		case "wr":
+			return core.NewTSWR[string](rng, t0, k), nil
+		case "priority":
+			return baseline.NewPriority[string](rng, t0, k), nil
+		case "skyband":
+			return baseline.NewSkyband[string](rng, t0, k), nil
+		case "fullwindow":
+			return baseline.NewFullWindowTS[string](rng, t0).Bind(k, true), nil
+		case "sharded-wr":
+			return parallel.NewShardedTSWR[string](rng, t0, g, k, 0.05), nil
+		case "sharded-wor":
+			return parallel.NewShardedTSWOR[string](rng, t0, g, k, 0.05), nil
+		}
+		return nil, fmt.Errorf("unknown ts sampler %q (see -help)", sampler)
+	}
+	return nil, fmt.Errorf("unknown mode %q (want seq or ts)", mode)
+}
+
+func report(lines int, s stream.Sampler[string]) {
+	// Sharded samplers need a flushed checkpoint before querying.
+	if b, ok := s.(interface{ Barrier() }); ok {
+		b.Barrier()
+	}
+	got, _ := s.Sample()
+	fmt.Fprintf(os.Stderr, "--- after %d lines (memory %d words, peak %d)\n", lines, s.Words(), s.MaxWords())
+	for _, e := range got {
+		v := e.Value
+		if len(v) > 120 {
+			v = v[:117] + "..."
+		}
+		fmt.Fprintf(os.Stderr, "    %s\n", v)
 	}
 }
 

@@ -72,7 +72,7 @@ func main() {
 	// Phase 2: community burst — triads among a 64-vertex community. (The
 	// community must not be too small: a sampled-edge estimator assumes few
 	// duplicate edges in the window, so the community's edge universe has
-	// to dwarf the burst volume — see the E9 notes in EXPERIMENTS.md.)
+	// to dwarf the burst volume — see the E9 notes in DESIGN.md §4.)
 	const community = 64
 	for i := 0; i < win; i++ {
 		if i%2 == 0 {

@@ -4,8 +4,11 @@
 //
 //	go run ./examples/quickstart
 //
-// It feeds a synthetic integer stream through all four samplers and prints
-// samples and memory footprints along the way.
+// It feeds a synthetic integer stream through all four samplers — per
+// element and through the batched ObserveBatch hot path — and prints
+// samples and memory footprints along the way. Every sampler answers the
+// same unified interface (Observe/ObserveBatch/Sample/K/Count/Words), so
+// swapping substrates is a one-line change.
 package main
 
 import (
@@ -25,7 +28,11 @@ func main() {
 		panic(err)
 	}
 
-	// Feed the samplers from a channel — the idiomatic streaming shape.
+	// Feed the samplers from a channel — the idiomatic streaming shape. The
+	// WR sampler is fed per element, the WOR sampler through the batched
+	// hot path: the two ingest styles are interchangeable (identical
+	// samples under the same seed), batching just amortizes the per-element
+	// bookkeeping for high-throughput feeds.
 	input := make(chan int, 64)
 	go func() {
 		defer close(input)
@@ -33,10 +40,16 @@ func main() {
 			input <- i
 		}
 	}()
+	chunk := make([]int, 0, 256)
 	for v := range input {
 		seqWR.Observe(v)
-		seqWOR.Observe(v)
+		chunk = append(chunk, v)
+		if len(chunk) == cap(chunk) {
+			seqWOR.ObserveBatch(chunk)
+			chunk = chunk[:0]
+		}
 	}
+	seqWOR.ObserveBatch(chunk)
 
 	fmt.Println("Sequence window (last 100 of 10000 elements):")
 	if vals, ok := seqWR.Values(); ok {

@@ -1,0 +1,3 @@
+module slidingsample
+
+go 1.24

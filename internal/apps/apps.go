@@ -33,6 +33,10 @@ import (
 	"slidingsample/internal/stream"
 )
 
+// StepBiased participates in the unified sampler interface like every other
+// substrate (K() == 1: one step-law draw per query).
+var _ stream.Sampler[int] = (*StepBiased[int])(nil)
+
 // SlotSource adapts a window sampler for the estimator layer: feeding
 // elements, visiting retained slots, and producing the chosen sample slots
 // at query time together with the (known or estimated) window size the
@@ -48,23 +52,47 @@ type SlotSource[T any] struct {
 	WindowSize func(now int64) (float64, bool)
 }
 
+// SlotBackend is what the estimator layer needs from a sampler: the unified
+// ingest/query contract plus live-slot access for the Theorem 5.1 counter
+// attachment. Any substrate satisfying both interfaces — core samplers
+// today, future backends tomorrow — plugs into every estimator.
+type SlotBackend[T any] interface {
+	stream.Sampler[T]
+	stream.SlotSampler[T]
+}
+
+// Source adapts any slot-exposing sampler to the estimator layer. size is
+// the window-size oracle the estimators scale by: exact for sequence
+// windows (see SeqSizeOracle), exact-from-ground-truth or approximate (the
+// internal/ehist counter) for timestamp windows.
+func Source[T any](s SlotBackend[T], size func(now int64) (float64, bool)) SlotSource[T] {
+	return SlotSource[T]{
+		Observe:    s.Observe,
+		ForEach:    s.ForEachStored,
+		Slots:      s.SlotsAt,
+		WindowSize: size,
+	}
+}
+
+// SeqSizeOracle returns the exact size oracle of a sequence-based window:
+// min(count, n), where count is read through the sampler interface.
+func SeqSizeOracle[T any](s stream.Sampler[T], n uint64) func(now int64) (float64, bool) {
+	return func(int64) (float64, bool) {
+		c := s.Count()
+		if c == 0 {
+			return 0, false
+		}
+		if c < n {
+			return float64(c), true
+		}
+		return float64(n), true
+	}
+}
+
 // SeqWRSource adapts a sequence-based with-replacement sampler: the window
 // size is min(count, n), known exactly.
 func SeqWRSource[T any](s *core.SeqWR[T]) SlotSource[T] {
-	return SlotSource[T]{
-		Observe: s.Observe,
-		ForEach: s.ForEachStored,
-		Slots:   func(int64) ([]*stream.Stored[T], bool) { return s.SampleSlots() },
-		WindowSize: func(int64) (float64, bool) {
-			if s.Count() == 0 {
-				return 0, false
-			}
-			if s.Count() < s.N() {
-				return float64(s.Count()), true
-			}
-			return float64(s.N()), true
-		},
-	}
+	return Source[T](s, SeqSizeOracle[T](s, s.N()))
 }
 
 // TSWRSource adapts a timestamp-based with-replacement sampler. The window
@@ -73,12 +101,7 @@ func SeqWRSource[T any](s *core.SeqWR[T]) SlotSource[T] {
 // exact (from test ground truth) or approximate (the exponential-histogram
 // counter in internal/ehist, the classic (1±ε) sliding-window counter).
 func TSWRSource[T any](s *core.TSWR[T], size func(now int64) (float64, bool)) SlotSource[T] {
-	return SlotSource[T]{
-		Observe:    s.Observe,
-		ForEach:    s.ForEachStored,
-		Slots:      s.SampleSlots,
-		WindowSize: size,
-	}
+	return Source[T](s, size)
 }
 
 // suffixCounter is the per-slot auxiliary state: occurrences of the slot's

@@ -379,11 +379,11 @@ func TestStepBiasedDistribution(t *testing.T) {
 		for i := 0; i < total; i++ {
 			b.Observe(uint64(i), int64(i))
 		}
-		e, ok := b.Sample()
+		got, ok := b.Sample()
 		if !ok {
 			t.Fatal("no biased sample")
 		}
-		age := uint64(total-1) - e.Index
+		age := uint64(total-1) - got[0].Index
 		if age >= 16 {
 			t.Fatalf("sampled element of age %d outside the largest window", age)
 		}

@@ -64,10 +64,22 @@ func (b *StepBiased[T]) Observe(value T, ts int64) {
 	}
 }
 
-// Sample returns one element drawn under the step-biased distribution.
-func (b *StepBiased[T]) Sample() (stream.Element[T], bool) {
+// ObserveBatch feeds a run of elements to every step sampler through their
+// batched hot paths (indexes are assigned per step sampler, which keeps each
+// one sample-path identical to its per-element feed).
+func (b *StepBiased[T]) ObserveBatch(batch []stream.Element[T]) {
+	b.count += uint64(len(batch))
+	for _, s := range b.samplers {
+		s.ObserveBatch(batch)
+	}
+}
+
+// Sample returns one element drawn under the step-biased distribution, as a
+// one-element slice (K() == 1) so step-biased sampling answers the same
+// stream.Sampler queries as every other substrate.
+func (b *StepBiased[T]) Sample() ([]stream.Element[T], bool) {
 	if b.count == 0 {
-		return stream.Element[T]{}, false
+		return nil, false
 	}
 	u := b.rng.Uint64n(b.wsum)
 	for i, w := range b.weights {
@@ -76,12 +88,18 @@ func (b *StepBiased[T]) Sample() (stream.Element[T], bool) {
 			if !ok {
 				break
 			}
-			return got[0], true
+			return got[:1], true
 		}
 		u -= w
 	}
-	return stream.Element[T]{}, false
+	return nil, false
 }
+
+// K returns 1: each query draws a single element under the step law.
+func (b *StepBiased[T]) K() int { return 1 }
+
+// Count returns the number of arrivals.
+func (b *StepBiased[T]) Count() uint64 { return b.count }
 
 // Prob returns the theoretical sampling probability for an element of age d
 // (0 = the newest element), given the current arrival count (steps whose

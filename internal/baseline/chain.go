@@ -143,6 +143,11 @@ func (c *Chain[T]) Observe(value T, ts int64) {
 	}
 }
 
+// ObserveBatch implements stream.Sampler via the reference loop: the chain
+// baseline has no amortizable bookkeeping (every element must walk every
+// chain), so there is no dedicated hot path.
+func (c *Chain[T]) ObserveBatch(batch []stream.Element[T]) { stream.ObserveAll[T](c, batch) }
+
 // Sample returns the k current samples (with replacement). ok is false
 // before the first arrival.
 func (c *Chain[T]) Sample() ([]stream.Element[T], bool) {

@@ -1,0 +1,16 @@
+package baseline
+
+import "slidingsample/internal/stream"
+
+// Compile-time conformance to the unified sampler interfaces: every baseline
+// runs behind the same stream.Sampler contract as the core samplers, which is
+// what lets the experiment harness and cmd/swsample sweep substrates
+// generically. The timestamp-window baselines additionally answer explicit
+// "as of" queries.
+var (
+	_ stream.Sampler[int]      = (*Chain[int])(nil)
+	_ stream.Sampler[int]      = (*Oversample[int])(nil)
+	_ stream.TimedSampler[int] = (*Priority[int])(nil)
+	_ stream.TimedSampler[int] = (*Skyband[int])(nil)
+	_ stream.TimedSampler[int] = (*FullWindow[int])(nil)
+)

@@ -16,6 +16,9 @@ type FullWindow[T any] struct {
 	tsb      *window.TSBuffer[T]  // non-nil for timestamp windows
 	rng      *xrand.Rand
 	n        uint64 // arrivals
+	lastTS   int64  // latest observed timestamp (for clockless Sample)
+	k        int    // default sample size for Sample/SampleAt (see Bind)
+	wor      bool   // default mode: without replacement
 	maxWords int
 }
 
@@ -31,6 +34,18 @@ func NewFullWindowTS[T any](rng *xrand.Rand, t0 int64) *FullWindow[T] {
 	return &FullWindow[T]{tsb: window.NewTSBuffer[T](t0), rng: rng.Split()}
 }
 
+// Bind fixes the default sample size and mode used by the interface-shaped
+// Sample/SampleAt queries (stream.Sampler has no per-query parameters; the
+// explicit SampleWR/SampleWOR remain available). Returns f for chaining.
+func (f *FullWindow[T]) Bind(k int, withoutReplacement bool) *FullWindow[T] {
+	if k <= 0 {
+		panic("baseline: FullWindow.Bind with k <= 0")
+	}
+	f.k = k
+	f.wor = withoutReplacement
+	return f
+}
+
 // Observe feeds the next element.
 func (f *FullWindow[T]) Observe(value T, ts int64) {
 	e := stream.Element[T]{Value: value, Index: f.n, TS: ts}
@@ -40,13 +55,35 @@ func (f *FullWindow[T]) Observe(value T, ts int64) {
 		f.tsb.Observe(e)
 	}
 	f.n++
+	f.lastTS = ts
 	if w := f.Words(); w > f.maxWords {
 		f.maxWords = w
 	}
 }
 
+// ObserveBatch implements stream.Sampler via the reference loop.
+func (f *FullWindow[T]) ObserveBatch(batch []stream.Element[T]) { stream.ObserveAll[T](f, batch) }
+
 // Count returns the number of arrivals.
 func (f *FullWindow[T]) Count() uint64 { return f.n }
+
+// K returns the Bind-configured default sample size (0 before Bind).
+func (f *FullWindow[T]) K() int { return f.k }
+
+// Sample draws the Bind-configured sample at the latest observed timestamp.
+func (f *FullWindow[T]) Sample() ([]stream.Element[T], bool) { return f.SampleAt(f.lastTS) }
+
+// SampleAt draws the Bind-configured sample at time now. Panics if Bind was
+// never called (the defaults would be meaningless).
+func (f *FullWindow[T]) SampleAt(now int64) ([]stream.Element[T], bool) {
+	if f.k <= 0 {
+		panic("baseline: FullWindow.Sample before Bind")
+	}
+	if f.wor {
+		return f.SampleWOR(now, f.k)
+	}
+	return f.SampleWR(now, f.k)
+}
 
 // SampleWR returns k exact uniform with-replacement samples at time now
 // (now ignored for sequence windows).
@@ -94,9 +131,11 @@ func (f *FullWindow[T]) Len() int {
 	return f.tsb.Len()
 }
 
-// Words implements stream.MemoryReporter: the whole window.
+// Words implements stream.MemoryReporter: the whole window plus the four
+// scalars (arrival counter, clock, and the Bind configuration) — the same
+// per-scalar accounting the other baselines use.
 func (f *FullWindow[T]) Words() int {
-	return 1 + f.Len()*stream.StoredWords
+	return 4 + f.Len()*stream.StoredWords
 }
 
 // MaxWords implements stream.MemoryReporter.

@@ -2,7 +2,7 @@ package baseline
 
 // invariant_test.go: structural invariants of the baseline implementations,
 // checked against brute-force recomputation — the memory comparisons in
-// EXPERIMENTS.md are only meaningful if the baselines are implemented
+// DESIGN.md §4 are only meaningful if the baselines are implemented
 // correctly.
 
 import (

@@ -1,6 +1,8 @@
 package baseline
 
 import (
+	"sort"
+
 	"slidingsample/internal/stream"
 	"slidingsample/internal/xrand"
 )
@@ -50,6 +52,12 @@ func NewOversample[T any](rng *xrand.Rand, n uint64, k, factor int) *Oversample[
 // Observe feeds the next element.
 func (o *Oversample[T]) Observe(value T, ts int64) { o.inner.Observe(value, ts) }
 
+// ObserveBatch implements stream.Sampler via the inner chain sampler.
+func (o *Oversample[T]) ObserveBatch(batch []stream.Element[T]) { o.inner.ObserveBatch(batch) }
+
+// Count returns the number of arrivals.
+func (o *Oversample[T]) Count() uint64 { return o.inner.Count() }
+
 // Sample returns a k-subset of distinct window elements when the underlying
 // factor*k with-replacement samples contain at least k distinct values;
 // otherwise ok=false and the failure counter increments.
@@ -72,6 +80,10 @@ func (o *Oversample[T]) Sample() ([]stream.Element[T], bool) {
 	for _, e := range seen {
 		distinct = append(distinct, e)
 	}
+	// Map iteration order is randomized; put the pool in arrival order so
+	// equally seeded samplers make identical draws (reproducibility under
+	// WithSeed, and the E16 batch/loop equivalence check).
+	sort.Slice(distinct, func(i, j int) bool { return distinct[i].Index < distinct[j].Index })
 	// Random k-subset of the distinct pool.
 	out := make([]stream.Element[T], 0, o.k)
 	for _, j := range o.rng.PickK(len(distinct), o.k) {

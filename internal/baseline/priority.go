@@ -68,6 +68,7 @@ type Priority[T any] struct {
 	t0       int64
 	k        int
 	count    uint64
+	now      int64 // latest observed timestamp (for clockless Sample)
 	copies   []*prio[T]
 	maxWords int
 }
@@ -93,12 +94,25 @@ func NewPriority[T any](rng *xrand.Rand, t0 int64, k int) *Priority[T] {
 func (p *Priority[T]) Observe(value T, ts int64) {
 	e := stream.Element[T]{Value: value, Index: p.count, TS: ts}
 	p.count++
+	p.now = ts
 	for _, c := range p.copies {
 		c.observe(e)
 	}
 	if w := p.Words(); w > p.maxWords {
 		p.maxWords = w
 	}
+}
+
+// ObserveBatch implements stream.Sampler via the reference loop (priority
+// sampling has no batch-amortizable work).
+func (p *Priority[T]) ObserveBatch(batch []stream.Element[T]) { stream.ObserveAll[T](p, batch) }
+
+// Sample returns the k samples at the latest observed timestamp.
+func (p *Priority[T]) Sample() ([]stream.Element[T], bool) {
+	if p.count == 0 {
+		return nil, false
+	}
+	return p.SampleAt(p.now)
 }
 
 // SampleAt returns the k samples at time now. ok is false when the window
@@ -133,7 +147,7 @@ func (p *Priority[T]) RetainedLens() []int {
 
 // Words implements stream.MemoryReporter.
 func (p *Priority[T]) Words() int {
-	w := 3 // t0, k, count
+	w := 4 // t0, k, count, now
 	for _, c := range p.copies {
 		w += c.words()
 	}

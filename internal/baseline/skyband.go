@@ -29,6 +29,7 @@ type Skyband[T any] struct {
 	w        window.Timestamp
 	rng      *xrand.Rand
 	count    uint64
+	now      int64        // latest observed timestamp (for clockless Sample)
 	nodes    []skyNode[T] // arrival order
 	maxWords int
 }
@@ -51,6 +52,7 @@ func NewSkyband[T any](rng *xrand.Rand, t0 int64, k int) *Skyband[T] {
 func (s *Skyband[T]) Observe(value T, ts int64) {
 	e := stream.Element[T]{Value: value, Index: s.count, TS: ts}
 	s.count++
+	s.now = ts
 	pr := s.rng.Uint64()
 	// Dominate older, lower-priority elements; drop the ones that are now
 	// dominated k times (they can never again be among the k highest
@@ -80,6 +82,18 @@ func (s *Skyband[T]) expire(now int64) {
 	if i > 0 {
 		s.nodes = append(s.nodes[:0:0], s.nodes[i:]...)
 	}
+}
+
+// ObserveBatch implements stream.Sampler via the reference loop (the skyband
+// has no batch-amortizable work).
+func (s *Skyband[T]) ObserveBatch(batch []stream.Element[T]) { stream.ObserveAll[T](s, batch) }
+
+// Sample returns the sample at the latest observed timestamp.
+func (s *Skyband[T]) Sample() ([]stream.Element[T], bool) {
+	if s.count == 0 {
+		return nil, false
+	}
+	return s.SampleAt(s.now)
 }
 
 // SampleAt returns the min(k, n) active elements with the highest
@@ -116,9 +130,9 @@ func (s *Skyband[T]) Count() uint64 { return s.count }
 func (s *Skyband[T]) Retained() int { return len(s.nodes) }
 
 // Words implements stream.MemoryReporter: element (3) + priority (1) +
-// domination counter (1) per node, plus three scalars.
+// domination counter (1) per node, plus four scalars (t0, k, count, now).
 func (s *Skyband[T]) Words() int {
-	return 3 + len(s.nodes)*(stream.StoredWords+2)
+	return 4 + len(s.nodes)*(stream.StoredWords+2)
 }
 
 // MaxWords implements stream.MemoryReporter (randomized — the E5 contrast).

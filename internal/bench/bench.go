@@ -1,7 +1,7 @@
 // Package bench is the experiment harness behind cmd/swbench and the root
-// bench_test.go: it regenerates every table in EXPERIMENTS.md (the paper
-// under reproduction is pure theory, so the "tables" are the theorem-shaped
-// experiments E1–E15 catalogued in DESIGN.md §4).
+// bench_test.go: the paper under reproduction is pure theory, so the
+// "tables" are the theorem-shaped experiments E1–E16 catalogued in
+// DESIGN.md §4.
 //
 // Each experiment is a named, self-contained, deterministic function from a
 // (seed, scale) configuration to a printed table. cmd/swbench runs them by
@@ -28,7 +28,7 @@ type Config struct {
 
 // Experiment is one reproducible experiment.
 type Experiment struct {
-	// ID is the DESIGN.md §4 identifier (E1...E15).
+	// ID is the DESIGN.md §4 identifier (E1...E16).
 	ID string
 	// Title is a one-line description.
 	Title string

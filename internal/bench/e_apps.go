@@ -261,11 +261,11 @@ func runE12(cfg Config) {
 		for i := 0; i < total; i++ {
 			b.Observe(uint64(i), int64(i))
 		}
-		e, ok := b.Sample()
+		got, ok := b.Sample()
 		if !ok {
 			continue
 		}
-		counts[uint64(total-1)-e.Index]++
+		counts[uint64(total-1)-got[0].Index]++
 	}
 	ref := apps.NewStepBiased[uint64](r, lens, weights)
 	for i := 0; i < total; i++ {

@@ -1,0 +1,143 @@
+package bench
+
+// E16: the unified sampler interface (the tentpole refactor). Every
+// substrate in the repository — the four core samplers, the five baselines,
+// the step-biased extension and the three sharded wrappers — runs behind
+// stream.Sampler, and the batched ObserveBatch ingest is sample-path
+// identical to looped Observe: two identically seeded instances, one fed
+// per element and one fed in irregular batches, finish with identical
+// samples, counts and footprints. Not a claim of the paper; it is the
+// contract every scaling PR builds on, so it is regenerated with the tables.
+
+import (
+	"slidingsample/internal/apps"
+	"slidingsample/internal/baseline"
+	"slidingsample/internal/core"
+	"slidingsample/internal/parallel"
+	"slidingsample/internal/stream"
+	"slidingsample/internal/xrand"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E16",
+		Title: "Unified Sampler interface: substrate sweep + batch/loop equivalence",
+		Claim: "refactor invariant — ObserveBatch(batch) ≡ for e in batch { Observe(e) } on every substrate",
+		Run:   runE16,
+	})
+}
+
+// e16Substrate builds one sampler per call so the looped and batched
+// instances are identically seeded.
+type e16Substrate struct {
+	name string
+	mk   func(r *xrand.Rand) stream.Sampler[uint64]
+}
+
+func e16Substrates() []e16Substrate {
+	const (
+		n  = 512
+		t0 = 64
+		k  = 8
+		g  = 4
+	)
+	return []e16Substrate{
+		{"core/SeqWR", func(r *xrand.Rand) stream.Sampler[uint64] { return core.NewSeqWR[uint64](r, n, k) }},
+		{"core/SeqWOR", func(r *xrand.Rand) stream.Sampler[uint64] { return core.NewSeqWOR[uint64](r, n, k) }},
+		{"core/TSWR", func(r *xrand.Rand) stream.Sampler[uint64] { return core.NewTSWR[uint64](r, t0, k) }},
+		{"core/TSWOR", func(r *xrand.Rand) stream.Sampler[uint64] { return core.NewTSWOR[uint64](r, t0, k) }},
+		{"baseline/Chain", func(r *xrand.Rand) stream.Sampler[uint64] { return baseline.NewChain[uint64](r, n, k) }},
+		{"baseline/Oversample", func(r *xrand.Rand) stream.Sampler[uint64] { return baseline.NewOversample[uint64](r, n, k, 2) }},
+		{"baseline/Priority", func(r *xrand.Rand) stream.Sampler[uint64] { return baseline.NewPriority[uint64](r, t0, k) }},
+		{"baseline/Skyband", func(r *xrand.Rand) stream.Sampler[uint64] { return baseline.NewSkyband[uint64](r, t0, k) }},
+		{"baseline/FullWindow(seq)", func(r *xrand.Rand) stream.Sampler[uint64] {
+			return baseline.NewFullWindowSeq[uint64](r, n).Bind(k, true)
+		}},
+		{"baseline/FullWindow(ts)", func(r *xrand.Rand) stream.Sampler[uint64] {
+			return baseline.NewFullWindowTS[uint64](r, t0).Bind(k, true)
+		}},
+		{"apps/StepBiased", func(r *xrand.Rand) stream.Sampler[uint64] {
+			return apps.NewStepBiased[uint64](r, []uint64{64, 512}, []uint64{3, 1})
+		}},
+		{"parallel/ShardedSeqWR", func(r *xrand.Rand) stream.Sampler[uint64] {
+			return parallel.NewShardedSeqWR[uint64](r, n, g, k)
+		}},
+		{"parallel/ShardedTSWR", func(r *xrand.Rand) stream.Sampler[uint64] {
+			return parallel.NewShardedTSWR[uint64](r, t0, g, k, 0.05)
+		}},
+		{"parallel/ShardedTSWOR", func(r *xrand.Rand) stream.Sampler[uint64] {
+			return parallel.NewShardedTSWOR[uint64](r, t0, g, k, 0.05)
+		}},
+	}
+}
+
+// e16Sync flushes sharded samplers before a query; every other substrate is
+// already consistent.
+func e16Sync(s stream.Sampler[uint64]) {
+	if b, ok := s.(interface{ Barrier() }); ok {
+		b.Barrier()
+	}
+}
+
+func e16Close(s stream.Sampler[uint64]) {
+	if c, ok := s.(interface{ Close() }); ok {
+		c.Close()
+	}
+}
+
+func runE16(cfg Config) {
+	streamLen := 30_000
+	if cfg.Quick {
+		streamLen = 8_000
+	}
+	// A bursty timestamped stream shared by every substrate (sequence-based
+	// samplers carry the timestamps through without interpreting them).
+	arrivals := burstyTimestamps(cfg.Seed+16, streamLen)
+
+	t := newTable(cfg.Out, "sampler", "k", "count", "words", "peak words", "batch==loop")
+	for _, sub := range e16Substrates() {
+		loop := sub.mk(xrand.New(cfg.Seed))
+		batch := sub.mk(xrand.New(cfg.Seed))
+
+		for i, ts := range arrivals {
+			loop.Observe(uint64(i), ts)
+		}
+		// Irregular batch sizes, including size-1 and bucket-straddling runs.
+		buf := make([]stream.Element[uint64], 0, 512)
+		sizes := []int{1, 7, 64, 3, 256, 1, 129}
+		for i := 0; i < streamLen; {
+			sz := sizes[i%len(sizes)]
+			if i+sz > streamLen {
+				sz = streamLen - i
+			}
+			buf = buf[:0]
+			for j := 0; j < sz; j++ {
+				buf = append(buf, stream.Element[uint64]{Value: uint64(i + j), TS: arrivals[i+j]})
+			}
+			batch.ObserveBatch(buf)
+			i += sz
+		}
+
+		e16Sync(loop)
+		e16Sync(batch)
+		la, lok := loop.Sample()
+		ba, bok := batch.Sample()
+		equal := lok == bok && len(la) == len(ba) &&
+			loop.Count() == batch.Count() && loop.Words() == batch.Words() &&
+			loop.MaxWords() == batch.MaxWords()
+		if equal {
+			for i := range la {
+				if la[i] != ba[i] {
+					equal = false
+					break
+				}
+			}
+		}
+		t.row(sub.name, loop.K(), loop.Count(), loop.Words(), loop.MaxWords(), equal)
+		e16Close(loop)
+		e16Close(batch)
+	}
+	t.flush()
+	note(cfg, "each row: two identically seeded instances, one fed per element, one in irregular batches")
+	note(cfg, "(sizes 1..256, straddling bucket boundaries); equal seeds must give identical samples")
+}

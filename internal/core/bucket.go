@@ -35,18 +35,29 @@ type BS[T any] struct {
 // over a one-element bucket the unique uniform distribution is the element
 // itself, so all sample slots point at (separate copies of) it.
 func newSingletonBS[T any](e stream.Element[T], k int) *BS[T] {
+	p := make([]*stream.Stored[T], 2*k)
 	b := &BS[T]{
 		X:     e.Index,
 		Y:     e.Index + 1,
 		First: e,
-		R:     make([]*stream.Stored[T], k),
-		Q:     make([]*stream.Stored[T], k),
+		R:     p[:k:k],
+		Q:     p[k : 2*k : 2*k],
 	}
-	for j := 0; j < k; j++ {
-		b.R[j] = &stream.Stored[T]{Elem: e}
-		b.Q[j] = &stream.Stored[T]{Elem: e}
-	}
+	fillSingletonSlots(b, e, k)
 	return b
+}
+
+// fillSingletonSlots points every R/Q slot at fresh copies of e. The R and Q
+// twins of one slot share a two-element allocation: they are born together,
+// and because merges keep or drop each independently, a surviving twin pins
+// at most one dead sibling — a bounded 2× slack that halves the dominant
+// allocation count of the arrival hot path.
+func fillSingletonSlots[T any](b *BS[T], e stream.Element[T], k int) {
+	for j := 0; j < k; j++ {
+		pair := &[2]stream.Stored[T]{{Elem: e}, {Elem: e}}
+		b.R[j] = &pair[0]
+		b.Q[j] = &pair[1]
+	}
 }
 
 // Width returns |B(x,y)| = y - x.
@@ -61,6 +72,16 @@ func (b *BS[T]) Width() uint64 { return b.Y - b.X }
 // The surviving Stored pointers are carried over, so application auxiliary
 // state (Theorem 5.1 layer) follows the sample across merges.
 func mergeBS[T any](rng *xrand.Rand, left, right *BS[T]) *BS[T] {
+	k := len(left.R)
+	p := make([]*stream.Stored[T], 2*k)
+	m := &BS[T]{R: p[:k:k], Q: p[k : 2*k : 2*k]}
+	return mergeBSInto(rng, left, right, m)
+}
+
+// mergeBSInto is mergeBS writing into a pre-allocated shell (the batched
+// ingest path reuses arena shells; the coins and the survivor hand-off are
+// identical).
+func mergeBSInto[T any](rng *xrand.Rand, left, right, m *BS[T]) *BS[T] {
 	if left.Y != right.X {
 		panic(fmt.Sprintf("core: mergeBS of non-adjacent buckets [%d,%d) [%d,%d)", left.X, left.Y, right.X, right.Y))
 	}
@@ -68,13 +89,9 @@ func mergeBS[T any](rng *xrand.Rand, left, right *BS[T]) *BS[T] {
 		panic(fmt.Sprintf("core: mergeBS of unequal widths %d and %d", left.Width(), right.Width()))
 	}
 	k := len(left.R)
-	m := &BS[T]{
-		X:     left.X,
-		Y:     right.Y,
-		First: left.First,
-		R:     make([]*stream.Stored[T], k),
-		Q:     make([]*stream.Stored[T], k),
-	}
+	m.X = left.X
+	m.Y = right.Y
+	m.First = left.First
 	for j := 0; j < k; j++ {
 		if rng.Coin() {
 			m.R[j] = left.R[j]

@@ -33,6 +33,95 @@ type decomp[T any] struct {
 	// list, and reusing the previous backing array keeps the steady-state
 	// arrival path allocation-free for the list itself.
 	scratch []*BS[T]
+	// batch mode (set by the samplers' ObserveBatch around their append
+	// loops): bucket structures come from the chunked arenas and the
+	// GC-hygiene clears of the retired double buffer are deferred to
+	// endBatch. Neither changes any random draw or any live state.
+	batch    bool
+	useArena bool
+	// arena serves singletons (short-lived: merged away within a few
+	// arrivals or at most one survives as the straddle, so big chunks are
+	// safe); mergeArena serves merged buckets, which can live as long as
+	// their width — its chunks are kept small so a long-lived bucket pins
+	// at most ~1KiB of slab, bounding the total pinned slack at
+	// O(log n · mergeChunk) per sampler.
+	arena      bsArena[T]
+	mergeArena bsArena[T]
+}
+
+// arenaMaxK bounds the slot count up to which the batch path draws bucket
+// shells from the arena. Beyond it the per-element cost is dominated by the
+// 2k slot fills themselves and the slab turnover raises GC-assist pressure
+// past what the two saved allocations buy back (measured in
+// BenchmarkBatch_TSWR: k=1 gains ~25%, k=16 loses ~8% with the arena on).
+const arenaMaxK = 8
+
+// bsArena hands out bucket structures and their R/Q pointer blocks from
+// chunked slabs, replacing two allocations per bucket with two per chunk.
+// A live bucket pins its whole chunk, so the chunk size must match the
+// bucket lifetime (see the decomp field comments). The long-lived Stored
+// slots are still allocated individually (in twin pairs) — a batch-wide
+// Stored slab would let one surviving sample pin the whole batch's slots.
+type bsArena[T any] struct {
+	chunk int
+	bss   []BS[T]
+	ptrs  []*stream.Stored[T]
+}
+
+const (
+	arenaChunk = 64 // singleton arena: short-lived buckets, big chunks
+	mergeChunk = 8  // merge arena: long-lived buckets, small chunks
+)
+
+// shell returns an empty bucket structure with its R/Q pointer block wired
+// up, taken from the chunked slabs.
+func (a *bsArena[T]) shell(k int) *BS[T] {
+	if len(a.bss) == 0 {
+		a.bss = make([]BS[T], a.chunk)
+	}
+	b := &a.bss[0]
+	a.bss = a.bss[1:]
+	if len(a.ptrs) < 2*k {
+		// Cap the pointer chunk around 2KiB: bigger slabs raise GC-assist
+		// pressure past what the saved allocations buy back.
+		per := a.chunk
+		if lim := 256 / k; per > lim {
+			per = lim
+		}
+		if per < 4 {
+			per = 4
+		}
+		a.ptrs = make([]*stream.Stored[T], per*2*k)
+	}
+	p := a.ptrs[: 2*k : 2*k]
+	a.ptrs = a.ptrs[2*k:]
+	b.R, b.Q = p[:k:k], p[k:2*k:2*k]
+	return b
+}
+
+func (a *bsArena[T]) singleton(e stream.Element[T], k int) *BS[T] {
+	b := a.shell(k)
+	b.X, b.Y = e.Index, e.Index+1
+	b.First = e
+	fillSingletonSlots(b, e, k)
+	return b
+}
+
+// beginBatch/endBatch bracket a batched append run. endBatch restores the
+// per-element GC hygiene: both double-buffer backings are scrubbed of stale
+// bucket pointers beyond the live prefix.
+func (d *decomp[T]) beginBatch() {
+	d.batch = true
+	d.useArena = d.k <= arenaMaxK
+	d.arena.chunk = arenaChunk
+	d.mergeArena.chunk = mergeChunk
+}
+
+func (d *decomp[T]) endBatch() {
+	d.batch = false
+	d.useArena = false
+	clearPtrs(d.scratch[:cap(d.scratch)])
+	clearPtrs(d.list[len(d.list):cap(d.list)])
 }
 
 func newDecomp[T any](rng *xrand.Rand, k int) *decomp[T] {
@@ -72,14 +161,20 @@ func (d *decomp[T]) Last() *BS[T] { return d.list[len(d.list)-1] }
 // fresh ζ(e.Index, e.Index); otherwise e.Index must equal End() and the
 // paper's Incr operator runs.
 func (d *decomp[T]) Append(e stream.Element[T]) {
+	var fresh *BS[T]
+	if d.useArena {
+		fresh = d.arena.singleton(e, d.k)
+	} else {
+		fresh = newSingletonBS(e, d.k)
+	}
 	if len(d.list) == 0 {
-		d.list = append(d.list, newSingletonBS(e, d.k))
+		d.list = append(d.list, fresh)
 		return
 	}
 	if e.Index != d.End() {
 		panic(fmt.Sprintf("core: decomp.Append index %d, want %d", e.Index, d.End()))
 	}
-	d.incr(e)
+	d.incr(e, fresh)
 }
 
 // incr is the Incr operator of Section 3.2 in iterative form. The recursion
@@ -92,7 +187,7 @@ func (d *decomp[T]) Append(e stream.Element[T]) {
 // the remaining suffix, which is itself a covering decomposition. The merge
 // case fires exactly when b+2-a crosses a power of two, in which case the
 // paper shows the first two buckets have equal width 2^(i-2).
-func (d *decomp[T]) incr(e stream.Element[T]) {
+func (d *decomp[T]) incr(e stream.Element[T], fresh *BS[T]) {
 	end := d.End() // b+1
 	out := d.scratch[:0]
 	i := 0
@@ -103,7 +198,7 @@ func (d *decomp[T]) incr(e stream.Element[T]) {
 			if d.list[i].Width() != 1 {
 				panic("core: decomp invariant violated: singleton suffix with width > 1")
 			}
-			out = append(out, d.list[i], newSingletonBS(e, d.k))
+			out = append(out, d.list[i], fresh)
 			break
 		}
 		a := d.list[i].X
@@ -113,13 +208,20 @@ func (d *decomp[T]) incr(e stream.Element[T]) {
 			i++
 			continue
 		}
-		out = append(out, mergeBS(d.rng, d.list[i], d.list[i+1]))
+		if d.useArena {
+			out = append(out, mergeBSInto(d.rng, d.list[i], d.list[i+1], d.mergeArena.shell(d.k)))
+		} else {
+			out = append(out, mergeBS(d.rng, d.list[i], d.list[i+1]))
+		}
 		i += 2
 	}
 	d.list, d.scratch = out, d.list
 	// Drop stale bucket pointers from the retired buffer so merged-away
-	// structures become collectable.
-	clearPtrs(d.scratch)
+	// structures become collectable (deferred to endBatch in batch mode —
+	// the buffers ping-pong within the batch anyway).
+	if !d.batch {
+		clearPtrs(d.scratch)
+	}
 }
 
 func clearPtrs[T any](s []*BS[T]) {

@@ -30,4 +30,21 @@
 //
 // None of the samplers is safe for concurrent use; wrap with a mutex or give
 // each goroutine its own instance.
+//
+// All four satisfy stream.Sampler (the sequence pair) or stream.TimedSampler
+// (the timestamp pair), including the batched ObserveBatch ingest path, which
+// is sample-path identical to looped Observe under equal seeds.
 package core
+
+import "slidingsample/internal/stream"
+
+// Compile-time conformance to the unified sampler interfaces.
+var (
+	_ stream.Sampler[int]      = (*SeqWR[int])(nil)
+	_ stream.Sampler[int]      = (*SeqWOR[int])(nil)
+	_ stream.TimedSampler[int] = (*TSWR[int])(nil)
+	_ stream.TimedSampler[int] = (*TSWOR[int])(nil)
+	_ stream.SlotSampler[int]  = (*SeqWR[int])(nil)
+	_ stream.SlotSampler[int]  = (*SeqWOR[int])(nil)
+	_ stream.SlotSampler[int]  = (*TSWR[int])(nil)
+)

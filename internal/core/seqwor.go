@@ -74,6 +74,53 @@ func (s *SeqWOR[T]) Observe(value T, ts int64) {
 	}
 }
 
+// ObserveBatch feeds a run of elements (Index assigned here; state and
+// randomness identical to looping Observe). The amortization: the
+// bucket-boundary modulus runs once per segment, and the footprint scan runs
+// at bucket completions and batch end — the reservoir's slot count is
+// monotone between resets, so those checkpoints see exactly the peaks the
+// per-element path sees.
+func (s *SeqWOR[T]) ObserveBatch(batch []stream.Element[T]) {
+	for len(batch) > 0 {
+		room := s.n - s.count%s.n
+		seg := batch
+		if uint64(len(seg)) > room {
+			seg = seg[:room]
+		}
+		batch = batch[len(seg):]
+		boundary := uint64(len(seg)) == room
+		m := len(seg)
+		if boundary {
+			m--
+		}
+		for _, e := range seg[:m] {
+			e.Index = s.count
+			s.count++
+			s.partial.Observe(e)
+		}
+		if m > 0 {
+			// The reservoir's slot count is monotone between resets, so one
+			// check captures every per-element checkpoint of the prefix.
+			if w := s.Words(); w > s.maxWords {
+				s.maxWords = w
+			}
+		}
+		if boundary {
+			// Replay the boundary element exactly like Observe so the freeze
+			// and its footprint checkpoint land on the same states.
+			e := seg[m]
+			e.Index = s.count
+			s.count++
+			s.partial.Observe(e)
+			s.complete = s.partial.Sample()
+			s.partial.Reset()
+			if w := s.Words(); w > s.maxWords {
+				s.maxWords = w
+			}
+		}
+	}
+}
+
 // sampleStored returns the current without-replacement sample as live slots.
 // The result has min(k, windowSize) distinct elements. Fresh query-time
 // randomness is drawn for the i-subset of X_V, as the proof of Theorem 2.2
@@ -137,6 +184,11 @@ func (s *SeqWOR[T]) Sample() ([]stream.Element[T], bool) {
 // SampleSlots is Sample exposing live slots (with Aux) for the Section 5
 // application layer.
 func (s *SeqWOR[T]) SampleSlots() ([]*stream.Stored[T], bool) {
+	return s.sampleStored()
+}
+
+// SlotsAt implements stream.SlotSampler (sequence windows ignore now).
+func (s *SeqWOR[T]) SlotsAt(int64) ([]*stream.Stored[T], bool) {
 	return s.sampleStored()
 }
 

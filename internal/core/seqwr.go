@@ -33,6 +33,11 @@ type SeqWR[T any] struct {
 	partial  []*reservoir.Single[T] // k running reservoirs over the partial bucket
 	complete []*stream.Stored[T]    // k frozen samples of the last complete bucket (nil entries before the first bucket completes)
 
+	// scratch holds the index-assigned elements of the batch segment being
+	// ingested. Transport, not sampler state: it is empty between calls and
+	// not counted by Words (same convention as the parallel channel buffers).
+	scratch []stream.Element[T]
+
 	maxWords int
 }
 
@@ -83,6 +88,73 @@ func (s *SeqWR[T]) Observe(value T, ts int64) {
 	}
 	if w := s.Words(); w > s.maxWords {
 		s.maxWords = w
+	}
+}
+
+// ObserveBatch feeds a run of elements (Value and TS of each entry; Index is
+// assigned here). State and randomness are identical to looping Observe —
+// each copy owns an independent generator, so iterating copy-major over a
+// segment preserves every per-copy draw sequence — but the per-element
+// bookkeeping is amortized: the bucket-boundary check runs once per segment
+// instead of once per element, each copy's reservoir counter stays in a
+// register for the whole run, and the Θ(k) footprint scan runs at bucket
+// completions and batch end, the only points where the cycle's peak (full
+// partial reservoirs alongside the frozen bucket) is reachable.
+func (s *SeqWR[T]) ObserveBatch(batch []stream.Element[T]) {
+	for len(batch) > 0 {
+		// Segment: everything up to (and including) the next bucket boundary.
+		room := s.n - s.count%s.n
+		seg := batch
+		if uint64(len(seg)) > room {
+			seg = seg[:room]
+		}
+		batch = batch[len(seg):]
+		// Bucket-internal prefix first; the boundary element (if the segment
+		// reaches it) is replayed exactly like Observe so the footprint is
+		// checkpointed at the same states the per-element path sees.
+		boundary := uint64(len(seg)) == room
+		m := len(seg)
+		if boundary {
+			m--
+		}
+		if m > 0 {
+			// Materialize arrival indexes once; all k copies read the run.
+			s.scratch = s.scratch[:0]
+			for _, e := range seg[:m] {
+				e.Index = s.count
+				s.count++
+				s.scratch = append(s.scratch, e)
+			}
+			for i := 0; i < s.k; i++ {
+				s.partial[i].ObserveRun(s.scratch)
+			}
+			clear(s.scratch)
+			s.scratch = s.scratch[:0]
+			// The footprint is monotone within a bucket, so this one check
+			// captures every per-element checkpoint of the prefix.
+			if w := s.Words(); w > s.maxWords {
+				s.maxWords = w
+			}
+		}
+		if boundary {
+			e := seg[m]
+			e.Index = s.count
+			s.count++
+			for i := 0; i < s.k; i++ {
+				s.partial[i].Observe(e)
+			}
+			for i := 0; i < s.k; i++ {
+				st, ok := s.partial[i].Sample()
+				if !ok {
+					panic("core: SeqWR completed bucket with empty reservoir")
+				}
+				s.complete[i] = st
+				s.partial[i].Reset()
+			}
+			if w := s.Words(); w > s.maxWords {
+				s.maxWords = w
+			}
+		}
 	}
 }
 
@@ -138,6 +210,11 @@ func (s *SeqWR[T]) Sample() ([]stream.Element[T], bool) {
 // element copies; the Section 5 estimators read their per-slot auxiliary
 // state through it.
 func (s *SeqWR[T]) SampleSlots() ([]*stream.Stored[T], bool) {
+	return s.sampleStored()
+}
+
+// SlotsAt implements stream.SlotSampler (sequence windows ignore now).
+func (s *SeqWR[T]) SlotsAt(int64) ([]*stream.Stored[T], bool) {
 	return s.sampleStored()
 }
 

@@ -44,6 +44,11 @@ type TSWOR[T any] struct {
 	tailPos int                 // next write position
 	tailLen int
 
+	// scratch holds the index-assigned elements of the batch being ingested,
+	// so delayed feeds within the batch read a flat slice instead of the
+	// ring. Transport, not sampler state; not counted by Words.
+	scratch []stream.Element[T]
+
 	count    uint64
 	now      int64
 	started  bool
@@ -116,6 +121,80 @@ func (s *TSWOR[T]) Observe(value T, ts int64) {
 	if w := s.Words(); w > s.maxWords {
 		s.maxWords = w
 	}
+}
+
+// ObserveBatch feeds a run of elements (non-decreasing timestamps; Index is
+// assigned here). State and randomness are identical to looping Observe —
+// every delayed instance sees the same elements under the same clock in the
+// same order — but the batch bookkeeping is amortized: delayed feeds for
+// in-batch history index a flat slice instead of doing ring-buffer modular
+// arithmetic, and the ring itself is rewritten once at batch end (only the
+// final k arrivals can survive a batch) rather than once per element.
+func (s *TSWOR[T]) ObserveBatch(batch []stream.Element[T]) {
+	if len(batch) == 0 {
+		return
+	}
+	s.scratch = s.scratch[:0]
+	for _, e := range batch {
+		e.Index = s.count
+		s.count++
+		s.scratch = append(s.scratch, e)
+	}
+	for _, inst := range s.insts {
+		inst.d.beginBatch()
+	}
+	defer func() {
+		for _, inst := range s.insts {
+			inst.d.endBatch()
+		}
+	}()
+	preTail := s.tailLen
+	for j := range s.scratch {
+		e := s.scratch[j]
+		if s.started && e.TS < s.now {
+			panic(fmt.Sprintf("core: TSWOR time went backwards: %d after %d", e.TS, s.now))
+		}
+		s.now = e.TS
+		s.started = true
+		s.insts[0].observeAt(e, e.TS)
+		for i := 1; i < s.k; i++ {
+			// The element that arrived i steps before e: inside the batch for
+			// i <= j, otherwise from the pre-batch ring buffer.
+			switch {
+			case i <= j:
+				s.insts[i].observeAt(s.scratch[j-i], e.TS)
+			case i-j <= preTail:
+				s.insts[i].observeAt(s.tailFromEnd(i-j-1), e.TS)
+			default:
+				s.insts[i].advance(e.TS)
+			}
+		}
+		// Footprint checkpoint after every element, exactly like Observe; the
+		// ring write is deferred, so account for its would-be length.
+		effTail := preTail + j + 1
+		if effTail > s.k {
+			effTail = s.k
+		}
+		if w := s.wordsWithTail(effTail); w > s.maxWords {
+			s.maxWords = w
+		}
+	}
+	// Rewrite the ring: only the last min(k, batch) arrivals survive, landing
+	// at the same positions per-element writes would have left them.
+	skip := 0
+	if len(s.scratch) > s.k {
+		skip = len(s.scratch) - s.k
+	}
+	s.tailPos = (s.tailPos + skip) % s.k
+	for _, e := range s.scratch[skip:] {
+		s.tail[s.tailPos] = e
+		s.tailPos = (s.tailPos + 1) % s.k
+		if s.tailLen < s.k {
+			s.tailLen++
+		}
+	}
+	clear(s.scratch)
+	s.scratch = s.scratch[:0]
 }
 
 // activeTail returns the active elements currently in the ring buffer,
@@ -203,8 +282,12 @@ func (s *TSWOR[T]) ForEachStored(f func(*stream.Stored[T])) {
 
 // Words implements stream.MemoryReporter: the k delayed instances plus the
 // k-element ring buffer plus four scalars.
-func (s *TSWOR[T]) Words() int {
-	w := 4 + s.tailLen*stream.StoredWords
+func (s *TSWOR[T]) Words() int { return s.wordsWithTail(s.tailLen) }
+
+// wordsWithTail is Words with an explicit ring-buffer length (the batched
+// ingest path defers ring writes and accounts for them here).
+func (s *TSWOR[T]) wordsWithTail(tailLen int) int {
+	w := 4 + tailLen*stream.StoredWords
 	for _, inst := range s.insts {
 		w += inst.Words()
 	}

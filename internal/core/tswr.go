@@ -104,6 +104,35 @@ func (s *TSWR[T]) observeAt(e stream.Element[T], now int64) {
 	}
 }
 
+// ObserveBatch feeds a run of elements (non-decreasing timestamps; Index is
+// assigned here). State and randomness are identical to looping Observe —
+// appends and merge coins happen element by element — but the expiry path is
+// amortized: the Lemma 3.5 case analysis only changes state when the clock
+// moves, so a burst of equal timestamps pays for one expiry scan instead of
+// one per element, and the future-timestamp/already-expired guards of the
+// delayed-feed path (never reachable when now == e.TS) are skipped.
+func (s *TSWR[T]) ObserveBatch(batch []stream.Element[T]) {
+	s.d.beginBatch()
+	defer s.d.endBatch()
+	for i := range batch {
+		e := batch[i]
+		e.Index = s.count
+		s.count++
+		if s.started && e.TS < s.now {
+			panic(fmt.Sprintf("core: TSWR time went backwards: %d after %d", e.TS, s.now))
+		}
+		if !s.started || e.TS > s.now {
+			s.now = e.TS
+			s.started = true
+			s.expire()
+		}
+		s.d.Append(e)
+		if w := s.Words(); w > s.maxWords {
+			s.maxWords = w
+		}
+	}
+}
+
 // advance moves the clock to max(now, current) and processes expiry per the
 // Lemma 3.5 case analysis.
 func (s *TSWR[T]) advance(now int64) {
@@ -186,6 +215,11 @@ func (s *TSWR[T]) SampleAt(now int64) ([]stream.Element[T], bool) {
 // SampleSlots is SampleAt exposing live slots (with Aux) for the Section 5
 // application layer.
 func (s *TSWR[T]) SampleSlots(now int64) ([]*stream.Stored[T], bool) {
+	return s.sampleStored(now)
+}
+
+// SlotsAt implements stream.SlotSampler.
+func (s *TSWR[T]) SlotsAt(now int64) ([]*stream.Stored[T], bool) {
 	return s.sampleStored(now)
 }
 

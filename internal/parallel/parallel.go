@@ -1,26 +1,44 @@
-// Package parallel provides a sharded, goroutine-parallel ingest wrapper
-// around the sequence-based samplers for streams too fast for one core.
+// Package parallel provides sharded, goroutine-parallel ingest wrappers
+// around the window samplers for streams too fast for one core.
 //
 // Correctness rests on a small arithmetic fact: if elements are dealt
-// round-robin to G shards and the window size n is divisible by G, then ANY
-// window of the last n elements contains exactly n/G elements of every
-// shard — and those are exactly the n/G most recent elements of that shard.
-// A shard-local Theorem 2.1/2.2 sampler over a window of n/G therefore
-// covers precisely its slice of the global window, and a uniform global
-// sample is "pick a shard by its in-window count, then ask it". During
-// warm-up (fewer than n arrivals) shard windows differ by at most one
-// element and the weighted pick stays exact.
+// round-robin to G shards, then the active window always splits across the
+// shards into exactly each shard's MOST RECENT elements — so a shard-local
+// sampler over its slice composes into a global sample by first picking a
+// shard with probability proportional to its in-window count, then asking
+// the shard.
 //
-// Ingest runs one goroutine per shard fed by buffered channels; Barrier()
-// flushes all channels so queries observe a consistent prefix. This is a
-// checkpointed model: queries between barriers would race with in-flight
-// elements, so Sample panics unless the caller holds a barrier.
+//   - Sequence windows (window size n divisible by G): every window of the
+//     last n elements holds exactly n/G elements per shard, and those are
+//     the n/G most recent elements of that shard. Shard-local Theorem
+//     2.1/2.2 samplers over n/G cover precisely their slices and the
+//     weighted pick is EXACT (during warm-up shard windows differ by at
+//     most one element and the weights remain exact).
+//   - Timestamp windows (horizon t0): a shard's active elements are its
+//     elements with timestamps in the window — again exactly its slice of
+//     the global window. Shard-local Theorem 3.9/4.4 samplers with the same
+//     horizon cover their slices exactly, but the per-shard ACTIVE COUNTS
+//     cannot be tracked exactly in sublinear memory (the Datar–Gionis–
+//     Indyk–Motwani lower bound the paper cites), so the dispatcher keeps
+//     one exponential-histogram counter: the window is a contiguous global
+//     index range [a, b], â = count - n̂ estimates a within (1±ε), and the
+//     per-shard counts follow arithmetically. Within-shard sampling stays
+//     exact; only the cross-shard allocation carries the ε error.
+//
+// Ingest runs one goroutine per shard fed by buffered channels, dealing
+// either single elements or pre-split batches (ObserveBatch splits a batch
+// round-robin and forwards each slice to its shard's batched hot path, so
+// the per-element channel overhead is amortized too). Barrier() flushes all
+// channels so queries observe a consistent prefix. This is a checkpointed
+// model: queries between barriers would race with in-flight elements, so
+// Sample panics unless the caller holds a barrier.
 package parallel
 
 import (
 	"sync"
 
 	"slidingsample/internal/core"
+	"slidingsample/internal/ehist"
 	"slidingsample/internal/stream"
 	"slidingsample/internal/xrand"
 )
@@ -28,22 +46,146 @@ import (
 type msg[T any] struct {
 	value   T
 	ts      int64
-	barrier *sync.WaitGroup // non-nil: flush marker, not an element
+	batch   []stream.Element[T] // non-nil: a pre-split shard batch
+	barrier *sync.WaitGroup     // non-nil: flush marker, not an element
 }
 
-// ShardedSeqWR is a G-way parallel with-replacement sampler over a
-// sequence-based window of n elements.
-type ShardedSeqWR[T any] struct {
+// dispatcher is the shared round-robin ingest machinery: G worker
+// goroutines, one buffered channel each, dealing, barriers and shutdown.
+// The shards are held behind the unified stream.Sampler interface; the
+// concrete sharded samplers keep their own typed views for querying.
+type dispatcher[T any] struct {
 	g      int
-	k      int
-	per    uint64 // n / g
-	rng    *xrand.Rand
-	shards []*core.SeqWR[T]
+	shards []stream.Sampler[T]
 	chans  []chan msg[T]
 	wg     sync.WaitGroup
 	next   int
 	count  uint64
 	synced bool
+}
+
+func newDispatcher[T any](shards []stream.Sampler[T]) *dispatcher[T] {
+	d := &dispatcher[T]{
+		g:      len(shards),
+		shards: shards,
+		chans:  make([]chan msg[T], len(shards)),
+		synced: true,
+	}
+	for i := range shards {
+		d.chans[i] = make(chan msg[T], 1024)
+		shard := shards[i]
+		ch := d.chans[i]
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			for m := range ch {
+				switch {
+				case m.barrier != nil:
+					m.barrier.Done()
+				case m.batch != nil:
+					shard.ObserveBatch(m.batch)
+				default:
+					shard.Observe(m.value, m.ts)
+				}
+			}
+		}()
+	}
+	return d
+}
+
+// observe routes the next element to its shard. Safe to call from ONE
+// producer goroutine (the dispatch order defines the stream order).
+func (d *dispatcher[T]) observe(value T, ts int64) {
+	d.chans[d.next] <- msg[T]{value: value, ts: ts}
+	d.next = (d.next + 1) % d.g
+	d.count++
+	d.synced = false
+}
+
+// observeBatch deals a batch round-robin: element i goes to shard
+// (next+i) mod G, preserving exactly the order single-element dispatch
+// would use, but each shard receives one message carrying its whole slice.
+func (d *dispatcher[T]) observeBatch(batch []stream.Element[T]) {
+	if len(batch) == 0 {
+		return
+	}
+	per := len(batch) / d.g
+	split := make([][]stream.Element[T], d.g)
+	for i := range split {
+		split[i] = make([]stream.Element[T], 0, per+1)
+	}
+	shard := d.next
+	for _, e := range batch {
+		split[shard] = append(split[shard], e)
+		shard = (shard + 1) % d.g
+	}
+	for i, sub := range split {
+		if len(sub) > 0 {
+			d.chans[i] <- msg[T]{batch: sub}
+		}
+	}
+	d.next = shard
+	d.count += uint64(len(batch))
+	d.synced = false
+}
+
+// barrier flushes every shard channel; after it returns, all elements
+// dispatched so far are reflected in the shard samplers.
+func (d *dispatcher[T]) barrier() {
+	var wg sync.WaitGroup
+	wg.Add(d.g)
+	for _, ch := range d.chans {
+		ch <- msg[T]{barrier: &wg}
+	}
+	wg.Wait()
+	d.synced = true
+}
+
+// close shuts the workers down (after a flush). Shards remain queryable.
+func (d *dispatcher[T]) close() {
+	d.barrier()
+	for _, ch := range d.chans {
+		close(ch)
+	}
+	d.wg.Wait()
+}
+
+func (d *dispatcher[T]) requireSynced() {
+	if !d.synced {
+		panic("parallel: Sample without Barrier after Observe")
+	}
+}
+
+// shardWords sums a footprint accessor over the shards plus the dispatcher
+// scalars (g, next, count — channel buffers are transport, not sampler
+// state, and the checkpointed query model guarantees they are empty at
+// every measurement point).
+func (d *dispatcher[T]) shardWords(peak bool) int {
+	w := 3
+	for _, sh := range d.shards {
+		if peak {
+			w += sh.MaxWords()
+		} else {
+			w += sh.Words()
+		}
+	}
+	return w
+}
+
+// ---------------------------------------------------------------------------
+// Sequence-based windows
+// ---------------------------------------------------------------------------
+
+// ShardedSeqWR is a G-way parallel with-replacement sampler over a
+// sequence-based window of n elements. The global sample law is EXACTLY the
+// sequential Theorem 2.1 law.
+type ShardedSeqWR[T any] struct {
+	d   *dispatcher[T]
+	g   int
+	k   int
+	per uint64 // n / g
+	rng *xrand.Rand
+	seq []*core.SeqWR[T] // typed view of d.shards
 }
 
 // NewShardedSeqWR builds the sampler and starts its shard workers.
@@ -59,70 +201,41 @@ func NewShardedSeqWR[T any](rng *xrand.Rand, n uint64, g, k int) *ShardedSeqWR[T
 		panic("parallel: NewShardedSeqWR with k <= 0")
 	}
 	s := &ShardedSeqWR[T]{
-		g:      g,
-		k:      k,
-		per:    n / uint64(g),
-		rng:    rng.Split(),
-		shards: make([]*core.SeqWR[T], g),
-		chans:  make([]chan msg[T], g),
-		synced: true,
+		g:   g,
+		k:   k,
+		per: n / uint64(g),
+		rng: rng.Split(),
+		seq: make([]*core.SeqWR[T], g),
 	}
+	shards := make([]stream.Sampler[T], g)
 	for i := 0; i < g; i++ {
-		s.shards[i] = core.NewSeqWR[T](rng.Split(), s.per, k)
-		s.chans[i] = make(chan msg[T], 1024)
-		shard := s.shards[i]
-		ch := s.chans[i]
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			for m := range ch {
-				if m.barrier != nil {
-					m.barrier.Done()
-					continue
-				}
-				shard.Observe(m.value, m.ts)
-			}
-		}()
+		s.seq[i] = core.NewSeqWR[T](rng.Split(), s.per, k)
+		shards[i] = s.seq[i]
 	}
+	s.d = newDispatcher(shards)
 	return s
 }
 
-// Observe routes the next element to its shard. Safe to call from ONE
-// producer goroutine (the dispatch order defines the stream order).
-func (s *ShardedSeqWR[T]) Observe(value T, ts int64) {
-	s.chans[s.next] <- msg[T]{value: value, ts: ts}
-	s.next = (s.next + 1) % s.g
-	s.count++
-	s.synced = false
-}
+// Observe routes the next element to its shard.
+func (s *ShardedSeqWR[T]) Observe(value T, ts int64) { s.d.observe(value, ts) }
+
+// ObserveBatch deals a batch across the shards, one channel message and one
+// batched-ingest call per shard.
+func (s *ShardedSeqWR[T]) ObserveBatch(batch []stream.Element[T]) { s.d.observeBatch(batch) }
 
 // Barrier flushes every shard channel; after it returns, all elements
 // observed so far are reflected in the shard samplers and Sample may be
 // called.
-func (s *ShardedSeqWR[T]) Barrier() {
-	var wg sync.WaitGroup
-	wg.Add(s.g)
-	for _, ch := range s.chans {
-		ch <- msg[T]{barrier: &wg}
-	}
-	wg.Wait()
-	s.synced = true
-}
+func (s *ShardedSeqWR[T]) Barrier() { s.d.barrier() }
 
 // Close shuts the workers down. The sampler remains queryable.
-func (s *ShardedSeqWR[T]) Close() {
-	s.Barrier()
-	for _, ch := range s.chans {
-		close(ch)
-	}
-	s.wg.Wait()
-}
+func (s *ShardedSeqWR[T]) Close() { s.d.close() }
 
 // windowSizes returns each shard's in-window element count and the total.
 func (s *ShardedSeqWR[T]) windowSizes() ([]uint64, uint64) {
 	sizes := make([]uint64, s.g)
 	var total uint64
-	for i, sh := range s.shards {
+	for i, sh := range s.seq {
 		c := sh.Count()
 		if c > s.per {
 			c = s.per
@@ -137,9 +250,7 @@ func (s *ShardedSeqWR[T]) windowSizes() ([]uint64, uint64) {
 // last min(count, n) elements. It panics if called without a Barrier since
 // the last Observe (the shard states would be racy and possibly skewed).
 func (s *ShardedSeqWR[T]) Sample() ([]stream.Element[T], bool) {
-	if !s.synced {
-		panic("parallel: Sample without Barrier after Observe")
-	}
+	s.d.requireSynced()
 	sizes, total := s.windowSizes()
 	if total == 0 {
 		return nil, false
@@ -152,39 +263,425 @@ func (s *ShardedSeqWR[T]) Sample() ([]stream.Element[T], bool) {
 			u -= sizes[shard]
 			shard++
 		}
-		es, ok := s.shards[shard].Sample()
+		es, ok := s.seq[shard].Sample()
 		if !ok {
 			return nil, false
 		}
-		e := es[slot]
-		// Recover the global arrival index: shard i's j-th element has
-		// global index j*g + i.
-		e.Index = e.Index*uint64(s.g) + uint64(shard)
-		out = append(out, e)
+		out = append(out, recoverIndex(es[slot], shard, s.g))
 	}
 	return out, true
 }
 
-// Count returns the number of elements dispatched.
-func (s *ShardedSeqWR[T]) Count() uint64 { return s.count }
+// K returns the number of sample copies.
+func (s *ShardedSeqWR[T]) K() int { return s.k }
 
-// Words implements stream.MemoryReporter (sum over shards + dispatcher
-// scalars; channel buffers are transport, not sampler state, and are not
-// counted — the checkpointed query model guarantees they are empty at
-// every measurement point).
-func (s *ShardedSeqWR[T]) Words() int {
-	w := 3
-	for _, sh := range s.shards {
-		w += sh.Words()
-	}
-	return w
-}
+// Count returns the number of elements dispatched.
+func (s *ShardedSeqWR[T]) Count() uint64 { return s.d.count }
+
+// Words implements stream.MemoryReporter.
+func (s *ShardedSeqWR[T]) Words() int { return s.d.shardWords(false) }
 
 // MaxWords implements stream.MemoryReporter.
-func (s *ShardedSeqWR[T]) MaxWords() int {
-	w := 3
-	for _, sh := range s.shards {
-		w += sh.MaxWords()
+func (s *ShardedSeqWR[T]) MaxWords() int { return s.d.shardWords(true) }
+
+// ---------------------------------------------------------------------------
+// Timestamp-based windows
+// ---------------------------------------------------------------------------
+
+// tsDispatch is the shared state of the timestamp-window sharded samplers:
+// the dispatcher plus the exponential-histogram estimate of the global
+// active count that drives the cross-shard weighting.
+type tsDispatch[T any] struct {
+	d     *dispatcher[T]
+	g     int
+	k     int
+	t0    int64
+	rng   *xrand.Rand
+	est   *ehist.Counter
+	now   int64
+	begun bool
+}
+
+func newTSDispatch[T any](rng *xrand.Rand, t0 int64, g, k int, eps float64, shards []stream.Sampler[T]) *tsDispatch[T] {
+	return &tsDispatch[T]{
+		d:   newDispatcher(shards),
+		g:   g,
+		k:   k,
+		t0:  t0,
+		rng: rng.Split(),
+		est: ehist.NewEps(t0, eps),
+	}
+}
+
+func validateTSShardParams(t0 int64, g, k int, eps float64) {
+	if t0 <= 0 {
+		panic("parallel: timestamp shard with t0 <= 0")
+	}
+	if g <= 0 {
+		panic("parallel: timestamp shard with g <= 0")
+	}
+	if k <= 0 {
+		panic("parallel: timestamp shard with k <= 0")
+	}
+	if eps <= 0 || eps >= 1 {
+		panic("parallel: timestamp shard with eps outside (0,1)")
+	}
+}
+
+// observe feeds the estimator (dispatcher-side, O(log n) amortized — tiny
+// next to the per-shard work it parallelizes) and deals the element.
+func (t *tsDispatch[T]) observe(value T, ts int64) {
+	t.est.Observe(ts)
+	t.now = ts
+	t.begun = true
+	t.d.observe(value, ts)
+}
+
+func (t *tsDispatch[T]) observeBatch(batch []stream.Element[T]) {
+	for _, e := range batch {
+		t.est.Observe(e.TS)
+	}
+	if len(batch) > 0 {
+		t.now = batch[len(batch)-1].TS
+		t.begun = true
+	}
+	t.d.observeBatch(batch)
+}
+
+// weights returns the estimated per-shard active counts at time now and
+// their total. Exact up to the (1±ε) estimate of the window's oldest index:
+// the active window is the contiguous global index range [â, count), and
+// round-robin dealing puts ⌈·⌉/⌊·⌋ of it on each shard deterministically.
+func (t *tsDispatch[T]) weights(now int64) ([]uint64, uint64) {
+	nHat := t.est.EstimateAt(now)
+	if nHat > t.d.count {
+		nHat = t.d.count
+	}
+	if nHat == 0 {
+		return nil, 0
+	}
+	aHat := t.d.count - nHat
+	sizes := make([]uint64, t.g)
+	base := nHat / uint64(t.g)
+	rem := nHat % uint64(t.g)
+	for i := range sizes {
+		sizes[i] = base
+		// The rem extra elements land on shards â mod g, â+1 mod g, ...
+		if (uint64(i)+uint64(t.g)-aHat%uint64(t.g))%uint64(t.g) < rem {
+			sizes[i]++
+		}
+	}
+	return sizes, nHat
+}
+
+// clockFor clamps a query time to the monotone dispatcher clock.
+func (t *tsDispatch[T]) clockFor(now int64) int64 {
+	if t.begun && now < t.now {
+		return t.now
+	}
+	return now
+}
+
+func (t *tsDispatch[T]) words(peak bool) int {
+	// Dispatcher + shards + the estimator + the clock scalar.
+	w := t.d.shardWords(peak) + 1
+	if peak {
+		w += t.est.MaxWords()
+	} else {
+		w += t.est.Words()
 	}
 	return w
 }
+
+// ShardedTSWR is a G-way parallel with-replacement sampler over a
+// timestamp-based window of horizon t0. Within-shard sampling is the exact
+// Theorem 3.9 law; the cross-shard pick is weighted by a (1±eps) estimate
+// of the shard active counts (exactness is impossible in sublinear space —
+// the DGIM lower bound), so each active element is returned with
+// probability (1±eps)/n.
+type ShardedTSWR[T any] struct {
+	ts     *tsDispatch[T]
+	shards []*core.TSWR[T]
+}
+
+// NewShardedTSWR builds the sampler and starts its shard workers. eps is
+// the cross-shard weighting error (memory Θ(1/eps · log n) extra words in
+// the dispatcher).
+func NewShardedTSWR[T any](rng *xrand.Rand, t0 int64, g, k int, eps float64) *ShardedTSWR[T] {
+	validateTSShardParams(t0, g, k, eps)
+	s := &ShardedTSWR[T]{shards: make([]*core.TSWR[T], g)}
+	shards := make([]stream.Sampler[T], g)
+	for i := 0; i < g; i++ {
+		s.shards[i] = core.NewTSWR[T](rng.Split(), t0, k)
+		shards[i] = s.shards[i]
+	}
+	s.ts = newTSDispatch(rng, t0, g, k, eps, shards)
+	return s
+}
+
+// Observe routes the next element to its shard (timestamps must be
+// non-decreasing; the dispatch order defines the stream order).
+func (s *ShardedTSWR[T]) Observe(value T, ts int64) { s.ts.observe(value, ts) }
+
+// ObserveBatch deals a batch across the shards.
+func (s *ShardedTSWR[T]) ObserveBatch(batch []stream.Element[T]) { s.ts.observeBatch(batch) }
+
+// Barrier flushes the shard channels; required before sampling.
+func (s *ShardedTSWR[T]) Barrier() { s.ts.d.barrier() }
+
+// Close shuts the workers down. The sampler remains queryable.
+func (s *ShardedTSWR[T]) Close() { s.ts.d.close() }
+
+// SampleAt returns k elements, each active at time now and sampled with
+// probability (1±eps)/n, mutually independent. Panics without a Barrier.
+//
+// Each shard is queried at most once: a shard's SampleAt yields a full
+// k-vector of mutually independent slot samples, so global slot j reads
+// entry j of its chosen shard's vector (one Θ(k log n) shard query serves
+// every slot that picked the shard, keeping the whole query Θ(k log n)
+// rather than Θ(k² log n)). When the estimate points at a shard whose
+// elements have all expired (only possible within the eps error band), the
+// shard's weight is dropped and the slot redrawn, so a non-empty window
+// never fails.
+func (s *ShardedTSWR[T]) SampleAt(now int64) ([]stream.Element[T], bool) {
+	s.ts.d.requireSynced()
+	now = s.ts.clockFor(now)
+	sizes, total := s.ts.weights(now)
+	if total == 0 {
+		return nil, false
+	}
+	cache := make([][]stream.Element[T], s.ts.g)
+	// fetch queries a shard once, memoizes the vector, and zeroes the
+	// weight of shards that turn out empty. nil means "empty shard".
+	fetch := func(shard int) []stream.Element[T] {
+		if cache[shard] == nil {
+			if es, ok := s.shards[shard].SampleAt(now); ok {
+				cache[shard] = es
+			} else {
+				total -= sizes[shard]
+				sizes[shard] = 0
+				cache[shard] = []stream.Element[T]{}
+			}
+		}
+		if len(cache[shard]) == 0 {
+			return nil
+		}
+		return cache[shard]
+	}
+	out := make([]stream.Element[T], 0, s.ts.k)
+	for slot := 0; slot < s.ts.k; slot++ {
+		var es []stream.Element[T]
+		shard := 0
+		for es == nil && total > 0 {
+			u := s.ts.rng.Uint64n(total)
+			shard = 0
+			for u >= sizes[shard] {
+				u -= sizes[shard]
+				shard++
+			}
+			es = fetch(shard)
+		}
+		if es == nil {
+			// Every weighted shard was empty; scan for any live one.
+			for shard = 0; shard < s.ts.g; shard++ {
+				if es = fetch(shard); es != nil {
+					break
+				}
+			}
+			if es == nil {
+				return nil, false
+			}
+		}
+		out = append(out, recoverIndex(es[slot], shard, s.ts.g))
+	}
+	return out, true
+}
+
+// Sample queries at the latest dispatched timestamp.
+func (s *ShardedTSWR[T]) Sample() ([]stream.Element[T], bool) {
+	if !s.ts.begun {
+		return nil, false
+	}
+	return s.SampleAt(s.ts.now)
+}
+
+// K returns the number of sample copies; Horizon returns t0; Count the
+// number of elements dispatched.
+func (s *ShardedTSWR[T]) K() int         { return s.ts.k }
+func (s *ShardedTSWR[T]) Horizon() int64 { return s.ts.t0 }
+func (s *ShardedTSWR[T]) Count() uint64  { return s.ts.d.count }
+
+// Words and MaxWords implement stream.MemoryReporter.
+func (s *ShardedTSWR[T]) Words() int    { return s.ts.words(false) }
+func (s *ShardedTSWR[T]) MaxWords() int { return s.ts.words(true) }
+
+// ShardedTSWOR is a G-way parallel without-replacement sampler over a
+// timestamp-based window of horizon t0: the cross-shard slot allocation is
+// drawn without replacement from the estimated shard counts, and each shard
+// contributes a uniform sub-sample of its exact Theorem 4.4 k-sample.
+type ShardedTSWOR[T any] struct {
+	ts     *tsDispatch[T]
+	shards []*core.TSWOR[T]
+}
+
+// NewShardedTSWOR builds the sampler and starts its shard workers.
+func NewShardedTSWOR[T any](rng *xrand.Rand, t0 int64, g, k int, eps float64) *ShardedTSWOR[T] {
+	validateTSShardParams(t0, g, k, eps)
+	s := &ShardedTSWOR[T]{shards: make([]*core.TSWOR[T], g)}
+	shards := make([]stream.Sampler[T], g)
+	for i := 0; i < g; i++ {
+		s.shards[i] = core.NewTSWOR[T](rng.Split(), t0, k)
+		shards[i] = s.shards[i]
+	}
+	s.ts = newTSDispatch(rng, t0, g, k, eps, shards)
+	return s
+}
+
+// Observe routes the next element to its shard.
+func (s *ShardedTSWOR[T]) Observe(value T, ts int64) { s.ts.observe(value, ts) }
+
+// ObserveBatch deals a batch across the shards.
+func (s *ShardedTSWOR[T]) ObserveBatch(batch []stream.Element[T]) { s.ts.observeBatch(batch) }
+
+// Barrier flushes the shard channels; required before sampling.
+func (s *ShardedTSWOR[T]) Barrier() { s.ts.d.barrier() }
+
+// Close shuts the workers down. The sampler remains queryable.
+func (s *ShardedTSWOR[T]) Close() { s.ts.d.close() }
+
+// SampleAt returns up to min(k, n) distinct active elements forming a
+// without-replacement sample at time now (uniform up to the eps cross-shard
+// weighting error). Panics without a Barrier.
+func (s *ShardedTSWOR[T]) SampleAt(now int64) ([]stream.Element[T], bool) {
+	s.ts.d.requireSynced()
+	now = s.ts.clockFor(now)
+	sizes, total := s.ts.weights(now)
+	if total == 0 {
+		return nil, false
+	}
+	// Allocate the k slots across shards without replacement: draw m
+	// distinct positions out of the (estimated) n active ones and count how
+	// many land on each shard. total can be as large as the window, so the
+	// subset is drawn sparsely in O(m) (Floyd) rather than by materializing
+	// an O(n) permutation.
+	m := s.ts.k
+	if uint64(m) > total {
+		m = int(total)
+	}
+	want := make([]int, s.ts.g)
+	for pos := range pickPositions(s.ts.rng, total, m) {
+		u := pos
+		shard := 0
+		for u >= sizes[shard] {
+			u -= sizes[shard]
+			shard++
+		}
+		want[shard]++
+	}
+	// Fetch each wanted shard's sample once, cap the wants at what is
+	// actually there (within the eps error band the estimate can overshoot
+	// a shard whose elements all expired), and redistribute the shortfall
+	// to shards with spare distinct elements — so a non-empty window never
+	// comes up short when the elements exist.
+	cache := make([][]stream.Element[T], s.ts.g)
+	fetched := make([]bool, s.ts.g)
+	fetch := func(shard int) int {
+		if !fetched[shard] {
+			fetched[shard] = true
+			if es, ok := s.shards[shard].SampleAt(now); ok {
+				cache[shard] = es
+			}
+		}
+		return len(cache[shard])
+	}
+	shortfall := 0
+	for shard, w := range want {
+		if w == 0 {
+			continue
+		}
+		if avail := fetch(shard); w > avail {
+			shortfall += w - avail
+			want[shard] = avail
+		}
+	}
+	for shard := 0; shard < s.ts.g && shortfall > 0; shard++ {
+		if spare := fetch(shard) - want[shard]; spare > 0 {
+			t := spare
+			if t > shortfall {
+				t = shortfall
+			}
+			want[shard] += t
+			shortfall -= t
+		}
+	}
+	out := make([]stream.Element[T], 0, m)
+	for shard, w := range want {
+		if w == 0 {
+			continue
+		}
+		es := cache[shard]
+		if w >= len(es) {
+			for _, e := range es {
+				out = append(out, recoverIndex(e, shard, s.ts.g))
+			}
+			continue
+		}
+		// A uniform w-subset of a uniform WOR sample is a uniform
+		// w-sample without replacement.
+		for _, j := range s.ts.rng.PickK(len(es), w) {
+			out = append(out, recoverIndex(es[j], shard, s.ts.g))
+		}
+	}
+	return out, len(out) > 0
+}
+
+// Sample queries at the latest dispatched timestamp.
+func (s *ShardedTSWOR[T]) Sample() ([]stream.Element[T], bool) {
+	if !s.ts.begun {
+		return nil, false
+	}
+	return s.SampleAt(s.ts.now)
+}
+
+// K returns the target sample size; Horizon returns t0; Count the number of
+// elements dispatched.
+func (s *ShardedTSWOR[T]) K() int         { return s.ts.k }
+func (s *ShardedTSWOR[T]) Horizon() int64 { return s.ts.t0 }
+func (s *ShardedTSWOR[T]) Count() uint64  { return s.ts.d.count }
+
+// Words and MaxWords implement stream.MemoryReporter.
+func (s *ShardedTSWOR[T]) Words() int    { return s.ts.words(false) }
+func (s *ShardedTSWOR[T]) MaxWords() int { return s.ts.words(true) }
+
+// pickPositions draws m distinct positions uniformly from [0, total) in
+// O(m) time and space (Floyd's subset-sampling algorithm): position total-m+i
+// round draws j ~ U[0, total-m+i]; j joins the set unless already present,
+// in which case total-m+i does. Only the resulting SET is used (counting
+// positions per shard), so the map's iteration order is irrelevant.
+func pickPositions(rng *xrand.Rand, total uint64, m int) map[uint64]struct{} {
+	chosen := make(map[uint64]struct{}, m)
+	for i := total - uint64(m); i < total; i++ {
+		j := rng.Uint64n(i + 1)
+		if _, dup := chosen[j]; dup {
+			chosen[i] = struct{}{}
+		} else {
+			chosen[j] = struct{}{}
+		}
+	}
+	return chosen
+}
+
+// recoverIndex maps a shard-local arrival index back to the global one:
+// shard i's j-th element has global index j*g + i.
+func recoverIndex[T any](e stream.Element[T], shard, g int) stream.Element[T] {
+	e.Index = e.Index*uint64(g) + uint64(shard)
+	return e
+}
+
+// Compile-time conformance: the sharded wrappers speak the same unified
+// interface as the samplers they parallelize.
+var (
+	_ stream.Sampler[int]      = (*ShardedSeqWR[int])(nil)
+	_ stream.TimedSampler[int] = (*ShardedTSWR[int])(nil)
+	_ stream.TimedSampler[int] = (*ShardedTSWOR[int])(nil)
+)

@@ -50,6 +50,26 @@ func (s *Single[T]) Observe(e stream.Element[T]) {
 	}
 }
 
+// ObserveRun feeds a run of elements (indexes already assigned by the
+// caller). It is the batched-ingest hot path: state and randomness are
+// identical to calling Observe per element — the same count sequence drives
+// the same draws — but the counter and generator stay in locals and the
+// current-sample store happens at most once per run position, so the
+// per-element bookkeeping cost is amortized across the run.
+func (s *Single[T]) ObserveRun(es []stream.Element[T]) {
+	cnt := s.count
+	rng := s.rng
+	cur := s.cur
+	for i := range es {
+		cnt++
+		if rng.Uint64n(cnt) == 0 {
+			cur = &stream.Stored[T]{Elem: es[i]}
+		}
+	}
+	s.count = cnt
+	s.cur = cur
+}
+
 // Sample returns the current sample holder, or ok=false when nothing has
 // been observed. The returned pointer is the live slot: the Section 5
 // application layer attaches auxiliary state to it.

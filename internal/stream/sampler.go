@@ -1,0 +1,71 @@
+package stream
+
+// Sampler is the unified interface every sliding-window sampler in this
+// repository satisfies: the four core samplers (Theorems 2.1, 2.2, 3.9, 4.4),
+// the five baselines, the sharded parallel wrappers and the step-biased
+// extension. It is what lets the application layer, the experiment harness
+// and the command-line tools run against any substrate without N× code
+// duplication.
+//
+// The contract, shared by every implementation:
+//
+//   - Observe feeds one element. The sampler assigns the element's arrival
+//     index itself (from its arrival counter); ts is the element's timestamp,
+//     which sequence-based samplers carry through without interpreting.
+//     Timestamps must be non-decreasing in stream order.
+//   - ObserveBatch feeds a run of elements at once. Only Value and TS of each
+//     entry are used — Index is assigned by the sampler exactly as Observe
+//     would. ObserveBatch(batch) leaves the sampler in the same state as
+//     calling Observe for each entry in order (the batched hot paths in
+//     internal/core amortize bookkeeping, not randomness: given equal seeds,
+//     the batched and looped paths make identical random choices and return
+//     identical samples).
+//   - Sample returns the current sample at the latest observed time:
+//     K elements for with-replacement samplers, min(K, |window|) distinct
+//     elements for without-replacement samplers. ok is false while the
+//     window is empty.
+//   - K returns the sample-size parameter; Count the number of elements
+//     observed since creation.
+//   - Words/MaxWords report the footprint under the DESIGN.md §6 word model.
+//
+// Samplers are not safe for concurrent use unless documented otherwise (the
+// internal/parallel wrappers run their own ingest goroutines behind this
+// same interface).
+type Sampler[T any] interface {
+	Observe(value T, ts int64)
+	ObserveBatch(batch []Element[T])
+	Sample() ([]Element[T], bool)
+	K() int
+	Count() uint64
+	MemoryReporter
+}
+
+// TimedSampler is a Sampler over a timestamp-based window, answering queries
+// "as of" an explicit time. SampleAt(now) returns the sample over the
+// elements active at time now (an element with timestamp ts is active iff
+// now - ts < t0); querying advances the sampler's clock and never rewinds it.
+type TimedSampler[T any] interface {
+	Sampler[T]
+	SampleAt(now int64) ([]Element[T], bool)
+}
+
+// SlotSampler is the optional extension the Section 5 application layer
+// needs: access to the live sample slots (with their Aux payload) rather
+// than element copies, plus enumeration of every retained slot. The core
+// samplers implement it; baselines need not.
+type SlotSampler[T any] interface {
+	SlotVisitor[T]
+	// SlotsAt returns the sampler's current output slots at time now
+	// (sequence-based samplers ignore now).
+	SlotsAt(now int64) ([]*Stored[T], bool)
+}
+
+// ObserveAll is the reference (looped) batch ingest: it feeds each entry
+// through Observe. Implementations without a dedicated hot path use it as
+// their ObserveBatch; the conformance battery compares optimized batch paths
+// against it.
+func ObserveAll[T any](s interface{ Observe(T, int64) }, batch []Element[T]) {
+	for _, e := range batch {
+		s.Observe(e.Value, e.TS)
+	}
+}

@@ -16,6 +16,10 @@ import (
 // element whose timestamp precedes an earlier arrival or query time.
 var ErrTimeBackwards = errors.New("slidingsample: timestamps must be non-decreasing")
 
+// ErrBatchShape is returned when ObserveBatch on a timestamp-based sampler
+// is given value and timestamp slices of different lengths.
+var ErrBatchShape = errors.New("slidingsample: ObserveBatch needs equally long value and timestamp slices")
+
 // Sampled is one sampled element together with its stream coordinates.
 type Sampled[T any] struct {
 	// Value is the element payload.
@@ -71,115 +75,251 @@ func buildRNG(opts []Option) *xrand.Rand {
 }
 
 // ---------------------------------------------------------------------------
+// The generic adapters
+//
+// Every internal sampler — the four core algorithms, the baselines, the
+// sharded wrappers, the step-biased extension — satisfies the unified
+// stream.Sampler interface, so the public API needs exactly one adapter for
+// sequence-shaped ingest and one for timestamp-shaped ingest instead of one
+// hand-written wrapper per algorithm.
+// ---------------------------------------------------------------------------
+
+// sampler lifts the internal interface's queries to public Sampled results.
+type sampler[T any] struct {
+	inner stream.Sampler[T]
+}
+
+// Sample returns the current sample: K() elements for with-replacement
+// samplers, min(K(), windowSize) distinct elements without replacement.
+// ok is false while the window is empty.
+func (s *sampler[T]) Sample() ([]Sampled[T], bool) {
+	es, ok := s.inner.Sample()
+	if !ok {
+		return nil, false
+	}
+	return fromElements(es), true
+}
+
+// Values returns just the sampled payloads.
+func (s *sampler[T]) Values() ([]T, bool) {
+	es, ok := s.inner.Sample()
+	if !ok {
+		return nil, false
+	}
+	out := make([]T, len(es))
+	for i, e := range es {
+		out[i] = e.Value
+	}
+	return out, true
+}
+
+// K returns the sample-size parameter; Count the number of arrivals.
+func (s *sampler[T]) K() int        { return s.inner.K() }
+func (s *sampler[T]) Count() uint64 { return s.inner.Count() }
+
+// Words and MaxWords report memory in the paper's word model (DESIGN.md §6).
+func (s *sampler[T]) Words() int    { return s.inner.Words() }
+func (s *sampler[T]) MaxWords() int { return s.inner.MaxWords() }
+
+// seqSampler adds sequence-shaped ingest (no timestamps).
+type seqSampler[T any] struct {
+	sampler[T]
+	scratch []stream.Element[T]
+}
+
+// Observe feeds the next element.
+func (s *seqSampler[T]) Observe(value T) { s.inner.Observe(value, 0) }
+
+// ObserveBatch feeds a run of elements through the sampler's batched hot
+// path. The result is identical to calling Observe per value — under
+// WithSeed the two make the same random choices — but per-element
+// bookkeeping is amortized across the run.
+func (s *seqSampler[T]) ObserveBatch(values []T) {
+	if len(values) == 0 {
+		return
+	}
+	s.scratch = s.scratch[:0]
+	for _, v := range values {
+		s.scratch = append(s.scratch, stream.Element[T]{Value: v})
+	}
+	s.inner.ObserveBatch(s.scratch)
+	clear(s.scratch)
+	s.scratch = s.scratch[:0]
+}
+
+// tsSampler adds timestamped ingest with the monotone-clock guard (the
+// internal samplers panic on time regressions; the public API returns
+// ErrTimeBackwards instead).
+type tsSampler[T any] struct {
+	sampler[T]
+	timed   stream.TimedSampler[T]
+	scratch []stream.Element[T]
+	last    int64
+	begun   bool
+}
+
+// Observe feeds the next element with its arrival timestamp. Timestamps
+// must be non-decreasing across both arrivals and queries.
+func (s *tsSampler[T]) Observe(value T, ts int64) error {
+	if s.begun && ts < s.last {
+		return ErrTimeBackwards
+	}
+	s.begun = true
+	s.last = ts
+	s.timed.Observe(value, ts)
+	return nil
+}
+
+// ObserveBatch feeds a run of timestamped elements through the sampler's
+// batched hot path; values[i] arrives at timestamps[i]. The whole batch is
+// validated before any element is fed, so a rejected batch leaves the
+// sampler untouched. The result is identical to calling Observe per element.
+func (s *tsSampler[T]) ObserveBatch(values []T, timestamps []int64) error {
+	if len(values) != len(timestamps) {
+		return ErrBatchShape
+	}
+	if len(values) == 0 {
+		return nil
+	}
+	last, begun := s.last, s.begun
+	for _, ts := range timestamps {
+		if begun && ts < last {
+			return ErrTimeBackwards
+		}
+		begun, last = true, ts
+	}
+	s.scratch = s.scratch[:0]
+	for i, v := range values {
+		s.scratch = append(s.scratch, stream.Element[T]{Value: v, TS: timestamps[i]})
+	}
+	s.timed.ObserveBatch(s.scratch)
+	clear(s.scratch)
+	s.scratch = s.scratch[:0]
+	s.begun, s.last = true, last
+	return nil
+}
+
+// SampleAt returns the sample over the elements active at time now.
+// Querying advances the sampler's clock (it never rewinds); ok is false
+// when the window is empty.
+func (s *tsSampler[T]) SampleAt(now int64) ([]Sampled[T], bool) {
+	if s.begun && now < s.last {
+		now = s.last
+	}
+	s.begun = true
+	s.last = now
+	es, ok := s.timed.SampleAt(now)
+	if !ok {
+		return nil, false
+	}
+	return fromElements(es), true
+}
+
+// Sample queries at the latest observed time. On a sampler that has seen
+// nothing it reports ok=false without pinning the clock (so a later stream
+// may still start at any timestamp, including negative ones).
+func (s *tsSampler[T]) Sample() ([]Sampled[T], bool) {
+	if !s.begun {
+		return nil, false
+	}
+	return s.SampleAt(s.last)
+}
+
+// Values returns just the sampled payloads at the latest observed time,
+// with the same fresh-sampler clock behavior as Sample (the embedded
+// generic Values would query the inner sampler directly and pin its clock
+// at 0 before the stream begins).
+func (s *tsSampler[T]) Values() ([]T, bool) {
+	es, ok := s.Sample()
+	if !ok {
+		return nil, false
+	}
+	out := make([]T, len(es))
+	for i, e := range es {
+		out[i] = e.Value
+	}
+	return out, true
+}
+
+// ValuesAt returns just the sampled payloads at time now.
+func (s *tsSampler[T]) ValuesAt(now int64) ([]T, bool) {
+	es, ok := s.SampleAt(now)
+	if !ok {
+		return nil, false
+	}
+	out := make([]T, len(es))
+	for i, e := range es {
+		out[i] = e.Value
+	}
+	return out, true
+}
+
+func validateSeqParams(n uint64, k int) error {
+	if n == 0 {
+		return fmt.Errorf("slidingsample: window size n must be positive")
+	}
+	if k <= 0 {
+		return fmt.Errorf("slidingsample: sample count k must be positive")
+	}
+	return nil
+}
+
+func validateTSParams(t0 int64, k int) error {
+	if t0 <= 0 {
+		return fmt.Errorf("slidingsample: horizon t0 must be positive")
+	}
+	if k <= 0 {
+		return fmt.Errorf("slidingsample: sample count k must be positive")
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
 // Sequence-based windows
 // ---------------------------------------------------------------------------
 
 // SequenceWR maintains k independent uniform samples (with replacement)
 // over the n most recent elements, in Θ(k) words (Theorem 2.1).
 type SequenceWR[T any] struct {
-	inner *core.SeqWR[T]
+	seqSampler[T]
+	n uint64
 }
 
 // NewSequenceWR returns a with-replacement sampler over a window of the n
 // most recent elements with k sample slots.
 func NewSequenceWR[T any](n uint64, k int, opts ...Option) (*SequenceWR[T], error) {
-	if n == 0 {
-		return nil, fmt.Errorf("slidingsample: window size n must be positive")
+	if err := validateSeqParams(n, k); err != nil {
+		return nil, err
 	}
-	if k <= 0 {
-		return nil, fmt.Errorf("slidingsample: sample count k must be positive")
-	}
-	return &SequenceWR[T]{inner: core.NewSeqWR[T](buildRNG(opts), n, k)}, nil
+	s := &SequenceWR[T]{n: n}
+	s.inner = core.NewSeqWR[T](buildRNG(opts), n, k)
+	return s, nil
 }
 
-// Observe feeds the next element.
-func (s *SequenceWR[T]) Observe(value T) { s.inner.Observe(value, 0) }
-
-// Sample returns k elements, each uniform over the current window and
-// mutually independent. ok is false while the stream is empty.
-func (s *SequenceWR[T]) Sample() ([]Sampled[T], bool) {
-	es, ok := s.inner.Sample()
-	if !ok {
-		return nil, false
-	}
-	return fromElements(es), true
-}
-
-// Values returns just the sampled payloads.
-func (s *SequenceWR[T]) Values() ([]T, bool) {
-	es, ok := s.inner.Sample()
-	if !ok {
-		return nil, false
-	}
-	out := make([]T, len(es))
-	for i, e := range es {
-		out[i] = e.Value
-	}
-	return out, true
-}
-
-// N returns the window size; K the number of samples; Count the arrivals.
-func (s *SequenceWR[T]) N() uint64     { return s.inner.N() }
-func (s *SequenceWR[T]) K() int        { return s.inner.K() }
-func (s *SequenceWR[T]) Count() uint64 { return s.inner.Count() }
-
-// Words and MaxWords report memory in the paper's word model (DESIGN.md §6).
-func (s *SequenceWR[T]) Words() int    { return s.inner.Words() }
-func (s *SequenceWR[T]) MaxWords() int { return s.inner.MaxWords() }
+// N returns the window size.
+func (s *SequenceWR[T]) N() uint64 { return s.n }
 
 // SequenceWOR maintains a uniform k-sample without replacement over the n
 // most recent elements, in Θ(k) words (Theorem 2.2). While the window holds
 // fewer than k elements the sample is the whole window.
 type SequenceWOR[T any] struct {
-	inner *core.SeqWOR[T]
+	seqSampler[T]
+	n uint64
 }
 
 // NewSequenceWOR returns a without-replacement sampler over a window of the
 // n most recent elements with target sample size k.
 func NewSequenceWOR[T any](n uint64, k int, opts ...Option) (*SequenceWOR[T], error) {
-	if n == 0 {
-		return nil, fmt.Errorf("slidingsample: window size n must be positive")
+	if err := validateSeqParams(n, k); err != nil {
+		return nil, err
 	}
-	if k <= 0 {
-		return nil, fmt.Errorf("slidingsample: sample count k must be positive")
-	}
-	return &SequenceWOR[T]{inner: core.NewSeqWOR[T](buildRNG(opts), n, k)}, nil
+	s := &SequenceWOR[T]{n: n}
+	s.inner = core.NewSeqWOR[T](buildRNG(opts), n, k)
+	return s, nil
 }
 
-// Observe feeds the next element.
-func (s *SequenceWOR[T]) Observe(value T) { s.inner.Observe(value, 0) }
-
-// Sample returns min(k, windowSize) DISTINCT window elements, uniform over
-// all such subsets. ok is false while the stream is empty.
-func (s *SequenceWOR[T]) Sample() ([]Sampled[T], bool) {
-	es, ok := s.inner.Sample()
-	if !ok {
-		return nil, false
-	}
-	return fromElements(es), true
-}
-
-// Values returns just the sampled payloads.
-func (s *SequenceWOR[T]) Values() ([]T, bool) {
-	es, ok := s.inner.Sample()
-	if !ok {
-		return nil, false
-	}
-	out := make([]T, len(es))
-	for i, e := range es {
-		out[i] = e.Value
-	}
-	return out, true
-}
-
-// N returns the window size; K the target sample size; Count the arrivals.
-func (s *SequenceWOR[T]) N() uint64     { return s.inner.N() }
-func (s *SequenceWOR[T]) K() int        { return s.inner.K() }
-func (s *SequenceWOR[T]) Count() uint64 { return s.inner.Count() }
-
-// Words and MaxWords report memory in the paper's word model.
-func (s *SequenceWOR[T]) Words() int    { return s.inner.Words() }
-func (s *SequenceWOR[T]) MaxWords() int { return s.inner.MaxWords() }
+// N returns the window size.
+func (s *SequenceWOR[T]) N() uint64 { return s.n }
 
 // ---------------------------------------------------------------------------
 // Timestamp-based windows
@@ -190,160 +330,47 @@ func (s *SequenceWOR[T]) MaxWords() int { return s.inner.MaxWords() }
 // (Theorem 3.9). An element with timestamp ts is active at time now iff
 // now - ts < t0.
 type TimestampWR[T any] struct {
-	inner *core.TSWR[T]
-	last  int64
-	begun bool
+	tsSampler[T]
+	t0 int64
 }
 
 // NewTimestampWR returns a with-replacement sampler over a timestamp window
 // of horizon t0 with k sample slots.
 func NewTimestampWR[T any](t0 int64, k int, opts ...Option) (*TimestampWR[T], error) {
-	if t0 <= 0 {
-		return nil, fmt.Errorf("slidingsample: horizon t0 must be positive")
+	if err := validateTSParams(t0, k); err != nil {
+		return nil, err
 	}
-	if k <= 0 {
-		return nil, fmt.Errorf("slidingsample: sample count k must be positive")
-	}
-	return &TimestampWR[T]{inner: core.NewTSWR[T](buildRNG(opts), t0, k)}, nil
+	s := &TimestampWR[T]{t0: t0}
+	s.timed = core.NewTSWR[T](buildRNG(opts), t0, k)
+	s.inner = s.timed
+	return s, nil
 }
 
-// Observe feeds the next element with its arrival timestamp. Timestamps
-// must be non-decreasing across both arrivals and queries.
-func (s *TimestampWR[T]) Observe(value T, ts int64) error {
-	if s.begun && ts < s.last {
-		return ErrTimeBackwards
-	}
-	s.begun = true
-	s.last = ts
-	s.inner.Observe(value, ts)
-	return nil
-}
-
-// SampleAt returns k elements, each uniform over the elements active at
-// time now, mutually independent. Querying advances the sampler's clock;
-// ok is false when the window is empty.
-func (s *TimestampWR[T]) SampleAt(now int64) ([]Sampled[T], bool) {
-	if s.begun && now < s.last {
-		now = s.last
-	}
-	s.begun = true
-	s.last = now
-	es, ok := s.inner.SampleAt(now)
-	if !ok {
-		return nil, false
-	}
-	return fromElements(es), true
-}
-
-// Sample queries at the latest observed time. On a sampler that has seen
-// nothing it reports ok=false without pinning the clock (so a later stream
-// may still start at any timestamp, including negative ones).
-func (s *TimestampWR[T]) Sample() ([]Sampled[T], bool) {
-	if !s.begun {
-		return nil, false
-	}
-	return s.SampleAt(s.last)
-}
-
-// ValuesAt returns just the sampled payloads at time now.
-func (s *TimestampWR[T]) ValuesAt(now int64) ([]T, bool) {
-	es, ok := s.SampleAt(now)
-	if !ok {
-		return nil, false
-	}
-	out := make([]T, len(es))
-	for i, e := range es {
-		out[i] = e.Value
-	}
-	return out, true
-}
-
-// Horizon returns t0; K the number of samples; Count the arrivals.
-func (s *TimestampWR[T]) Horizon() int64 { return s.inner.Horizon() }
-func (s *TimestampWR[T]) K() int         { return s.inner.K() }
-func (s *TimestampWR[T]) Count() uint64  { return s.inner.Count() }
-
-// Words and MaxWords report memory in the paper's word model.
-func (s *TimestampWR[T]) Words() int    { return s.inner.Words() }
-func (s *TimestampWR[T]) MaxWords() int { return s.inner.MaxWords() }
+// Horizon returns t0.
+func (s *TimestampWR[T]) Horizon() int64 { return s.t0 }
 
 // TimestampWOR maintains a uniform k-sample without replacement over the
 // elements of the last t0 clock ticks, in Θ(k·log n) words (Theorem 4.4).
 // While fewer than k elements are active the sample is the whole window.
 type TimestampWOR[T any] struct {
-	inner *core.TSWOR[T]
-	last  int64
-	begun bool
+	tsSampler[T]
+	t0 int64
 }
 
 // NewTimestampWOR returns a without-replacement sampler over a timestamp
 // window of horizon t0 with target sample size k.
 func NewTimestampWOR[T any](t0 int64, k int, opts ...Option) (*TimestampWOR[T], error) {
-	if t0 <= 0 {
-		return nil, fmt.Errorf("slidingsample: horizon t0 must be positive")
+	if err := validateTSParams(t0, k); err != nil {
+		return nil, err
 	}
-	if k <= 0 {
-		return nil, fmt.Errorf("slidingsample: sample count k must be positive")
-	}
-	return &TimestampWOR[T]{inner: core.NewTSWOR[T](buildRNG(opts), t0, k)}, nil
+	s := &TimestampWOR[T]{t0: t0}
+	s.timed = core.NewTSWOR[T](buildRNG(opts), t0, k)
+	s.inner = s.timed
+	return s, nil
 }
 
-// Observe feeds the next element with its arrival timestamp.
-func (s *TimestampWOR[T]) Observe(value T, ts int64) error {
-	if s.begun && ts < s.last {
-		return ErrTimeBackwards
-	}
-	s.begun = true
-	s.last = ts
-	s.inner.Observe(value, ts)
-	return nil
-}
-
-// SampleAt returns min(k, n) distinct active elements forming a uniform
-// without-replacement sample at time now.
-func (s *TimestampWOR[T]) SampleAt(now int64) ([]Sampled[T], bool) {
-	if s.begun && now < s.last {
-		now = s.last
-	}
-	s.begun = true
-	s.last = now
-	es, ok := s.inner.SampleAt(now)
-	if !ok {
-		return nil, false
-	}
-	return fromElements(es), true
-}
-
-// Sample queries at the latest observed time. On a sampler that has seen
-// nothing it reports ok=false without pinning the clock.
-func (s *TimestampWOR[T]) Sample() ([]Sampled[T], bool) {
-	if !s.begun {
-		return nil, false
-	}
-	return s.SampleAt(s.last)
-}
-
-// ValuesAt returns just the sampled payloads at time now.
-func (s *TimestampWOR[T]) ValuesAt(now int64) ([]T, bool) {
-	es, ok := s.SampleAt(now)
-	if !ok {
-		return nil, false
-	}
-	out := make([]T, len(es))
-	for i, e := range es {
-		out[i] = e.Value
-	}
-	return out, true
-}
-
-// Horizon returns t0; K the target sample size; Count the arrivals.
-func (s *TimestampWOR[T]) Horizon() int64 { return s.inner.Horizon() }
-func (s *TimestampWOR[T]) K() int         { return s.inner.K() }
-func (s *TimestampWOR[T]) Count() uint64  { return s.inner.Count() }
-
-// Words and MaxWords report memory in the paper's word model.
-func (s *TimestampWOR[T]) Words() int    { return s.inner.Words() }
-func (s *TimestampWOR[T]) MaxWords() int { return s.inner.MaxWords() }
+// Horizon returns t0.
+func (s *TimestampWOR[T]) Horizon() int64 { return s.t0 }
 
 // ---------------------------------------------------------------------------
 // Step-biased sampling (Section 5 extension)
@@ -354,7 +381,8 @@ func (s *TimestampWOR[T]) MaxWords() int { return s.inner.MaxWords() }
 // element age; an element of age d is drawn with probability
 // Σ_{i: n_i > d} (w_i / Σw) / n_i.
 type StepBiased[T any] struct {
-	inner *apps.StepBiased[T]
+	seqSampler[T]
+	biased *apps.StepBiased[T]
 }
 
 // NewStepBiased returns a step-biased sampler. lens must be strictly
@@ -373,24 +401,19 @@ func NewStepBiased[T any](lens []uint64, weights []uint64, opts ...Option) (*Ste
 		}
 		prev = n
 	}
-	return &StepBiased[T]{inner: apps.NewStepBiased[T](buildRNG(opts), lens, weights)}, nil
+	s := &StepBiased[T]{biased: apps.NewStepBiased[T](buildRNG(opts), lens, weights)}
+	s.inner = s.biased
+	return s, nil
 }
-
-// Observe feeds the next element.
-func (s *StepBiased[T]) Observe(value T) { s.inner.Observe(value, 0) }
 
 // Sample draws one element under the step-biased distribution.
 func (s *StepBiased[T]) Sample() (Sampled[T], bool) {
-	e, ok := s.inner.Sample()
+	es, ok := s.biased.Sample()
 	if !ok {
 		return Sampled[T]{}, false
 	}
-	return Sampled[T]{Value: e.Value, Index: e.Index, Timestamp: e.TS}, true
+	return Sampled[T]{Value: es[0].Value, Index: es[0].Index, Timestamp: es[0].TS}, true
 }
 
 // Prob returns the theoretical sampling probability for age d (0 = newest).
-func (s *StepBiased[T]) Prob(d uint64) float64 { return s.inner.Prob(d) }
-
-// Words and MaxWords report memory in the paper's word model.
-func (s *StepBiased[T]) Words() int    { return s.inner.Words() }
-func (s *StepBiased[T]) MaxWords() int { return s.inner.MaxWords() }
+func (s *StepBiased[T]) Prob(d uint64) float64 { return s.biased.Prob(d) }
