@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench-quick bench-batch swbench-quick ci
+.PHONY: all build test test-race vet bench-quick bench-batch swbench-quick ci
 
 all: build
 
@@ -12,6 +12,10 @@ build:
 
 test:
 	$(GO) test ./...
+
+# Race-detector pass over the goroutine-parallel ingest machinery.
+test-race:
+	$(GO) test -race ./internal/parallel/...
 
 vet:
 	$(GO) vet ./...
@@ -28,4 +32,4 @@ bench-batch:
 swbench-quick:
 	$(GO) run ./cmd/swbench -quick
 
-ci: vet build test
+ci: vet build test test-race

@@ -20,6 +20,7 @@ import (
 	"slidingsample/internal/parallel"
 	"slidingsample/internal/reservoir"
 	"slidingsample/internal/stream"
+	"slidingsample/internal/weighted"
 	"slidingsample/internal/xrand"
 )
 
@@ -495,6 +496,42 @@ func BenchmarkBatch_TSWOR_Batch(b *testing.B) {
 	}
 }
 
+// Weighted substrates (PR-2 tentpole): the skyband walk is inherently per
+// element, so Batch vs Loop measures what the locals convention buys.
+func benchWeightFn(v uint64) float64 { return float64(v%16) + 1 }
+
+func BenchmarkBatch_WeightedWOR_Loop(b *testing.B) {
+	for _, k := range []int{4, 16} {
+		b.Run(benchName("k", k), func(b *testing.B) {
+			feedLoop(b, weighted.NewWOR[uint64](xrand.New(1), 10_000, k, benchWeightFn), seqTS)
+		})
+	}
+}
+
+func BenchmarkBatch_WeightedWOR_Batch(b *testing.B) {
+	for _, k := range []int{4, 16} {
+		b.Run(benchName("k", k), func(b *testing.B) {
+			feedBatch(b, weighted.NewWOR[uint64](xrand.New(1), 10_000, k, benchWeightFn), seqTS)
+		})
+	}
+}
+
+func BenchmarkBatch_WeightedWR_Loop(b *testing.B) {
+	for _, k := range []int{1, 16} {
+		b.Run(benchName("k", k), func(b *testing.B) {
+			feedLoop(b, weighted.NewWR[uint64](xrand.New(1), 10_000, k, benchWeightFn), seqTS)
+		})
+	}
+}
+
+func BenchmarkBatch_WeightedWR_Batch(b *testing.B) {
+	for _, k := range []int{1, 16} {
+		b.Run(benchName("k", k), func(b *testing.B) {
+			feedBatch(b, weighted.NewWR[uint64](xrand.New(1), 10_000, k, benchWeightFn), seqTS)
+		})
+	}
+}
+
 // Sharded ingest: batched dealing amortizes the channel send (one message
 // per shard per chunk instead of one per element).
 func BenchmarkBatch_ShardedSeqWR_Loop(b *testing.B) {
@@ -511,4 +548,28 @@ func BenchmarkBatch_ShardedSeqWR_Batch(b *testing.B) {
 	feedBatch(b, s, seqTS)
 	b.StopTimer()
 	s.Barrier()
+}
+
+// The checkpointed query cadence: one Barrier + Sample per batch. This is
+// what real consumers of the sharded samplers run (queries require a
+// barrier), and it is the cadence the dispatcher's double-buffered batch
+// slices make allocation-free.
+func BenchmarkBatch_ShardedSeqWR_BatchQuery(b *testing.B) {
+	s := parallel.NewShardedSeqWR[uint64](xrand.New(1), 1<<16, 4, 16)
+	defer s.Close()
+	buf := make([]stream.Element[uint64], 0, batchSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; {
+		buf = buf[:0]
+		for j := 0; j < batchSize && i < b.N; j++ {
+			buf = append(buf, stream.Element[uint64]{Value: uint64(i)})
+			i++
+		}
+		s.ObserveBatch(buf)
+		s.Barrier()
+		if _, ok := s.Sample(); !ok {
+			b.Fatal("no sample")
+		}
+	}
 }

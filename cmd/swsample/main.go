@@ -22,9 +22,15 @@
 // Samplers (-sampler):
 //
 //	seq mode:  wor (default, Theorem 2.2) | wr (Theorem 2.1) | chain |
-//	           oversample | fullwindow | sharded-wr
+//	           oversample | fullwindow | sharded-wr |
+//	           weighted-wor | weighted-wr (Efraimidis–Spirakis, line weights)
 //	ts mode:   wor (default, Theorem 4.4) | wr (Theorem 3.9) | priority |
 //	           skyband | fullwindow | sharded-wr | sharded-wor
+//
+// The weighted samplers favor heavy lines: each line's weight is its byte
+// length by default, or the float value of the 0-based field named by
+// -wfield (lines whose field is missing or non-positive fall back to
+// weight 1).
 //
 // -batch > 1 feeds the sampler through its batched ObserveBatch hot path in
 // chunks of that many lines (identical samples, amortized bookkeeping).
@@ -39,6 +45,7 @@ import (
 	"encoding/binary"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -47,6 +54,7 @@ import (
 	"slidingsample/internal/core"
 	"slidingsample/internal/parallel"
 	"slidingsample/internal/stream"
+	"slidingsample/internal/weighted"
 	"slidingsample/internal/xrand"
 )
 
@@ -74,6 +82,7 @@ func main() {
 		batch   = flag.Int("batch", 1, "feed in batches of this many lines (1: per element)")
 		every   = flag.Int("every", 1000, "print the sample every this many lines")
 		field   = flag.Int("field", 0, "0-based whitespace field holding the timestamp (mode=ts)")
+		wfield  = flag.Int("wfield", -1, "0-based whitespace field holding the weight (weighted-* samplers; -1: line byte length)")
 		seed    = flag.Uint64("seed", 0, "seed for reproducible sampling (0: random)")
 	)
 	flag.Parse()
@@ -98,7 +107,7 @@ func main() {
 
 	rng := xrand.New(randomSeed(*seed))
 
-	s, err := build(*mode, *sampler, rng, *n, *t0, *k, *g)
+	s, err := build(*mode, *sampler, rng, *n, *t0, *k, *g, lineWeight(*wfield))
 	if err != nil {
 		fatal(err)
 	}
@@ -163,8 +172,34 @@ func main() {
 	}
 }
 
+// lineWeight returns the weight function of the weighted substrates: the
+// line's byte length, or the float value of the wfield-th whitespace field
+// when wfield >= 0 (falling back to 1 on missing/bad/non-positive fields —
+// the stream must keep flowing on dirty input).
+func lineWeight(wfield int) func(string) float64 {
+	if wfield < 0 {
+		return func(line string) float64 {
+			if len(line) == 0 {
+				return 1
+			}
+			return float64(len(line))
+		}
+	}
+	return func(line string) float64 {
+		fields := strings.Fields(line)
+		if wfield >= len(fields) {
+			return 1
+		}
+		w, err := strconv.ParseFloat(fields[wfield], 64)
+		if err != nil || !(w > 0) || math.IsInf(w, 1) {
+			return 1
+		}
+		return w
+	}
+}
+
 // build constructs the requested substrate behind the unified interface.
-func build(mode, sampler string, rng *xrand.Rand, n uint64, t0 int64, k, g int) (stream.Sampler[string], error) {
+func build(mode, sampler string, rng *xrand.Rand, n uint64, t0 int64, k, g int, weight func(string) float64) (stream.Sampler[string], error) {
 	switch mode {
 	case "seq":
 		switch sampler {
@@ -183,6 +218,10 @@ func build(mode, sampler string, rng *xrand.Rand, n uint64, t0 int64, k, g int) 
 				return nil, fmt.Errorf("-n must be divisible by -g for sharded-wr")
 			}
 			return parallel.NewShardedSeqWR[string](rng, n, g, k), nil
+		case "weighted-wor":
+			return weighted.NewWOR[string](rng, n, k, weight), nil
+		case "weighted-wr":
+			return weighted.NewWR[string](rng, n, k, weight), nil
 		}
 		return nil, fmt.Errorf("unknown seq sampler %q (see -help)", sampler)
 	case "ts":

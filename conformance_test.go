@@ -22,6 +22,7 @@ import (
 	"slidingsample/internal/core"
 	"slidingsample/internal/parallel"
 	"slidingsample/internal/stream"
+	"slidingsample/internal/weighted"
 	"slidingsample/internal/xrand"
 )
 
@@ -77,6 +78,14 @@ func confSubstrates() []confSubstrate {
 			mk: func(r *xrand.Rand) stream.Sampler[uint64] {
 				return apps.NewStepBiased[uint64](r, []uint64{16, confN}, []uint64{3, 1})
 			}},
+		{name: "weighted/WOR", seq: true, wor: true, k: confK,
+			mk: func(r *xrand.Rand) stream.Sampler[uint64] {
+				return weighted.NewWOR[uint64](r, confN, confK, confWeight)
+			}},
+		{name: "weighted/WR", seq: true, k: confK,
+			mk: func(r *xrand.Rand) stream.Sampler[uint64] {
+				return weighted.NewWR[uint64](r, confN, confK, confWeight)
+			}},
 		{name: "parallel/ShardedSeqWR", seq: true, k: confK,
 			mk: func(r *xrand.Rand) stream.Sampler[uint64] {
 				return parallel.NewShardedSeqWR[uint64](r, confN, confG, confK)
@@ -106,6 +115,9 @@ func confClose(s stream.Sampler[uint64]) {
 
 // confTS yields the bursty timestamp of arrival i (three arrivals per tick).
 func confTS(i int) int64 { return int64(i / 3) }
+
+// confWeight is the deterministic weight law of the weighted substrates.
+func confWeight(v uint64) float64 { return float64(v%7) + 1 }
 
 func TestConformanceBattery(t *testing.T) {
 	const m = 1500

@@ -1,19 +1,22 @@
-// Netflow: monitoring a bursty packet stream with a timestamp-based window.
+// Netflow: monitoring a bursty packet stream — byte-weighted sampling plus
+// windowed entropy.
 //
-// The scenario the paper's timestamp windows were designed for: packets
-// arrive asynchronously (bursts, gaps), and the analyst wants, at any
-// moment, statistics over "the last minute" — not the last N packets.
+// Two windows run side by side:
 //
-// This example maintains:
+//   - a BYTE-WEIGHTED k-sample without replacement over the last 4096
+//     packets (Efraimidis–Spirakis law: a packet is sampled in proportion
+//     to its byte count — the right substrate for traffic inspection, where
+//     a 1.5 kB flood packet matters ~20x more than a 64 B keep-alive), with
+//     a Horvitz–Thompson subset-sum sketch estimating each source's share
+//     of the window's bytes; and
+//   - a windowed source-address ENTROPY estimate over the last 60 ticks
+//     (Corollary 5.4 machinery): entropy collapse is a classic signature of
+//     a scanning attack or a single-source flood.
 //
-//   - a k-sample WITHOUT replacement of the packets of the last 60 ticks
-//     (e.g. for flagging suspicious source addresses by inspection), and
-//   - a windowed source-address ENTROPY estimate (Corollary 5.4 machinery):
-//     entropy collapse is a classic signature of a scanning attack or a
-//     single-source flood.
-//
-// An attack is injected mid-stream; watch the entropy estimate drop and the
-// sample fill up with the attacker.
+// An attack is injected mid-stream: one source floods with large packets.
+// Watch the entropy estimate drop, the byte-share estimate of the attacker
+// spike, and the weighted sample fill up with the attacker — while the
+// uniform packet count barely moves.
 //
 // Run with:
 //
@@ -33,19 +36,32 @@ import (
 )
 
 const (
-	horizon  = 60  // ticks: "the last minute"
-	sources  = 256 // address space of benign traffic
-	attacker = uint64(666)
+	horizon   = 60   // ticks: "the last minute" (entropy window)
+	packetWin = 4096 // packets: the byte-weighted inspection window
+	sources   = 256  // address space of benign traffic
+	attacker  = uint64(666)
 )
+
+// packet is one observed flow record: source address and byte count.
+type packet struct {
+	Src   uint64
+	Bytes uint64
+}
 
 func main() {
 	rng := xrand.New(1)
 
-	// Public API: the WOR packet sample for inspection.
-	sample, err := slidingsample.NewTimestampWOR[uint64](horizon, 8, slidingsample.WithSeed(7))
+	// Public API: the byte-weighted WOR packet sample for inspection.
+	sample, err := slidingsample.NewWeightedSequenceWOR[packet](packetWin, 8, slidingsample.WithSeed(7))
 	if err != nil {
 		panic(err)
 	}
+
+	// Estimator layer: per-source byte shares over the same packet window,
+	// from an O(k log n)-word bottom-k sketch (any source can be queried
+	// after the fact — the sketch never looks at values on ingest).
+	bytesBySrc := apps.NewSubsetSum[packet](rng.Split(), packetWin, 64,
+		func(p packet) float64 { return float64(p.Bytes) })
 
 	// Estimator layer: windowed entropy of source addresses. The window
 	// size of a timestamp window is not exactly computable in small space
@@ -57,27 +73,30 @@ func main() {
 
 	benign := stream.NewZipfValues(rng.Split(), 1.05, sources)
 	arrivals := stream.NewBurstyArrivals(rng.Split(), 12, 2)
+	sizes := rng.Split()
 
-	fmt.Println("tick   packets/window   H(source) bits   note")
+	fmt.Println("tick   packets/window   H(source) bits   attacker byte share   note")
 	var clock int64
 	packets := 0
-	peakWindow := uint64(0)
 	lastReport := int64(-10)
+	isAttacker := func(p packet) bool { return p.Src == attacker }
 	for packets < 60_000 {
 		clock = arrivals.Next()
-		src := benign.Next()
+		p := packet{Src: benign.Next(), Bytes: 64 + sizes.Uint64n(1200)}
 
 		// Attack phase: between ticks 400 and 500 the attacker floods —
-		// 3 of 4 packets come from one address.
+		// 3 of 4 packets come from one address, and they are big.
 		attack := clock >= 400 && clock < 500
 		if attack && packets%4 != 0 {
-			src = attacker
+			p.Src = attacker
+			p.Bytes = 1400
 		}
 
-		if err := sample.Observe(src, clock); err != nil {
+		if err := sample.Observe(p, float64(p.Bytes)); err != nil {
 			panic(err)
 		}
-		entropy.Observe(src, clock)
+		bytesBySrc.Observe(p, clock)
+		entropy.Observe(p.Src, clock)
 		counter.Observe(clock)
 		packets++
 
@@ -88,28 +107,31 @@ func main() {
 				continue
 			}
 			nEst := counter.EstimateAt(clock)
-			if nEst > peakWindow {
-				peakWindow = nEst
+			share := 0.0
+			if attackBytes, ok := bytesBySrc.Estimate(isAttacker); ok {
+				if total, ok := bytesBySrc.Total(); ok && total > 0 {
+					share = attackBytes / total
+				}
 			}
 			tag := ""
 			if attack {
 				tag = "  <-- flood in progress"
 			}
-			fmt.Printf("%5d  %7d          %6.2f%s\n", clock, nEst, h, tag)
+			fmt.Printf("%5d  %7d          %6.2f           %5.1f%%%s\n", clock, nEst, h, 100*share, tag)
 		}
 	}
 
-	// Inspect the final window sample.
-	fmt.Println("\nfinal 8-packet sample of the last minute (distinct packets):")
-	if got, ok := sample.SampleAt(clock); ok {
+	// Inspect the final weighted sample: heavy packets dominate.
+	fmt.Printf("\nfinal byte-weighted 8-packet sample of the last %d packets (distinct):\n", packetWin)
+	if got, ok := sample.Sample(); ok {
 		for _, e := range got {
 			marker := ""
-			if e.Value == attacker {
+			if e.Value.Src == attacker {
 				marker = "  (attacker)"
 			}
-			fmt.Printf("  src=%4d  t=%d%s\n", e.Value, e.Timestamp, marker)
+			fmt.Printf("  src=%4d  bytes=%4d%s\n", e.Value.Src, e.Value.Bytes, marker)
 		}
 	}
-	fmt.Printf("\nsampler memory: %d words (peak %d) — Θ(k·log n), deterministic; the\n", sample.Words(), sample.MaxWords())
-	fmt.Printf("window itself held up to ~%d packets.\n", peakWindow)
+	fmt.Printf("\nweighted sampler memory: %d words (peak %d) — expected O(k·log n); the\n", sample.Words(), sample.MaxWords())
+	fmt.Printf("window itself holds %d packets. Entropy sampler: %d words (peak %d).\n", packetWin, sampler.Words(), sampler.MaxWords())
 }

@@ -76,7 +76,10 @@ func (b *StepBiased[T]) ObserveBatch(batch []stream.Element[T]) {
 
 // Sample returns one element drawn under the step-biased distribution, as a
 // one-element slice (K() == 1) so step-biased sampling answers the same
-// stream.Sampler queries as every other substrate.
+// stream.Sampler queries as every other substrate. If the drawn step's
+// sampler reports empty, the draw falls back to the non-empty steps
+// (renormalized over their weights) instead of failing on a non-empty
+// window; the returned slice never aliases an inner sampler's sample.
 func (b *StepBiased[T]) Sample() ([]stream.Element[T], bool) {
 	if b.count == 0 {
 		return nil, false
@@ -84,13 +87,39 @@ func (b *StepBiased[T]) Sample() ([]stream.Element[T], bool) {
 	u := b.rng.Uint64n(b.wsum)
 	for i, w := range b.weights {
 		if u < w {
-			got, ok := b.samplers[i].Sample()
-			if !ok {
-				break
+			if got, ok := b.samplers[i].Sample(); ok {
+				return []stream.Element[T]{got[0]}, true
 			}
-			return got[:1], true
+			return b.sampleNonEmpty()
 		}
 		u -= w
+	}
+	return nil, false
+}
+
+// sampleNonEmpty redraws the step over the steps whose samplers currently
+// hold a sample, with probabilities renormalized over their weights.
+func (b *StepBiased[T]) sampleNonEmpty() ([]stream.Element[T], bool) {
+	samples := make([][]stream.Element[T], len(b.samplers))
+	var total uint64
+	for i, s := range b.samplers {
+		if got, ok := s.Sample(); ok && len(got) > 0 {
+			samples[i] = got
+			total += b.weights[i]
+		}
+	}
+	if total == 0 {
+		return nil, false
+	}
+	u := b.rng.Uint64n(total)
+	for i, got := range samples {
+		if got == nil {
+			continue
+		}
+		if u < b.weights[i] {
+			return []stream.Element[T]{got[0]}, true
+		}
+		u -= b.weights[i]
 	}
 	return nil, false
 }

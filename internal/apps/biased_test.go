@@ -1,0 +1,64 @@
+package apps
+
+import (
+	"testing"
+
+	"slidingsample/internal/core"
+	"slidingsample/internal/stream"
+	"slidingsample/internal/xrand"
+)
+
+// TestStepBiasedEmptyStepFallback: when the weighted step draw lands on a
+// step whose sampler reports empty, Sample must fall back to the non-empty
+// steps (renormalizing over their weights) instead of consuming the draw
+// and reporting ok=false on a non-empty window. Regression test for the
+// pre-fix behavior, which failed ~w_i/Σw of the queries in that state.
+func TestStepBiasedEmptyStepFallback(t *testing.T) {
+	b := NewStepBiased[uint64](xrand.New(5), []uint64{4, 16}, []uint64{1, 1})
+	for i := uint64(0); i < 10; i++ {
+		b.Observe(i, 0)
+	}
+	// Force the "drawn step is empty" state the fallback exists for: swap in
+	// a fresh (never-fed) sampler for step 1. Real samplers only reach this
+	// through defensive inner failures, which is why the white-box swap is
+	// the regression trigger.
+	b.samplers[1] = core.NewSeqWR[uint64](xrand.New(99), 16, 1)
+	for q := 0; q < 400; q++ {
+		got, ok := b.Sample()
+		if !ok {
+			t.Fatalf("query %d: ok=false on a non-empty window (empty-step draw not redirected)", q)
+		}
+		if len(got) != 1 {
+			t.Fatalf("query %d: %d elements, want 1", q, len(got))
+		}
+		// The only live step is the n=4 window: last 4 arrivals.
+		if got[0].Index < 6 || got[0].Index > 9 {
+			t.Fatalf("query %d: index %d outside the live step's window [6,9]", q, got[0].Index)
+		}
+	}
+}
+
+// TestStepBiasedSampleIsACopy: mutating a returned sample must not corrupt
+// a later query's result (the pre-fix code returned got[:1], aliasing the
+// inner sampler's returned slice).
+func TestStepBiasedSampleIsACopy(t *testing.T) {
+	b := NewStepBiased[uint64](xrand.New(6), []uint64{4, 16}, []uint64{1, 1})
+	for i := uint64(0); i < 32; i++ {
+		b.Observe(i, 0)
+	}
+	first, ok := b.Sample()
+	if !ok {
+		t.Fatal("no sample")
+	}
+	first[0] = stream.Element[uint64]{Value: 12345, Index: 99999}
+	got, ok := b.Sample()
+	if !ok {
+		t.Fatal("no sample after mutation")
+	}
+	if got[0].Index == 99999 {
+		t.Fatal("returned sample aliases mutable storage")
+	}
+	if got[0].Value != got[0].Index {
+		t.Fatalf("sample corrupted: value %d, index %d", got[0].Value, got[0].Index)
+	}
+}

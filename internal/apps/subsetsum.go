@@ -1,0 +1,99 @@
+package apps
+
+import (
+	"math"
+
+	"slidingsample/internal/stream"
+	"slidingsample/internal/weighted"
+	"slidingsample/internal/xrand"
+)
+
+// SubsetSum estimates windowed subset sums Σ_{p ∈ W, pred(p)} w(p) from a
+// weighted sample — the estimation problem the weighted substrate exists
+// for (Cohen–Duffield–Kaplan–Lund–Thorup, "Stream sampling for
+// variance-optimal estimation of subset sums"; see PAPERS.md).
+//
+// Machinery: a weighted.WOR sampler with k+1 slots is a bottom-k sketch.
+// Let tau be the (k+1)-th largest log-key. Conditioned on tau, each of the
+// top-k elements was included with probability
+//
+//	P(ln U_i / w_i > tau) = 1 - e^(w_i·tau),
+//
+// so the conditional Horvitz–Thompson estimator
+//
+//	Ŝ = Σ_{i in top-k, pred(i)} w_i / (1 - e^(w_i·tau))
+//
+// is unbiased for the subset sum over the window (Cohen–Kaplan bottom-k
+// estimation framework; priority sampling is the w_i/u_i special case).
+// While the window holds at most k elements the sketch is exhaustive and
+// the estimate is the exact subset sum.
+//
+// Memory is the sampler's expected O(k·log n) words; any predicate can be
+// queried after the fact — the estimator never looks at values on the
+// ingest path.
+type SubsetSum[T any] struct {
+	k int
+	s *weighted.WOR[T]
+}
+
+// NewSubsetSum builds a windowed subset-sum estimator over the n most
+// recent elements with sketch size k (the underlying sampler keeps k+1
+// slots: k estimation slots plus the threshold). weight maps a value to its
+// positive, finite weight. Panics on bad parameters.
+func NewSubsetSum[T any](rng *xrand.Rand, n uint64, k int, weight func(T) float64) *SubsetSum[T] {
+	if k < 1 {
+		panic("apps: NewSubsetSum with k < 1")
+	}
+	return &SubsetSum[T]{k: k, s: weighted.NewWOR[T](rng, n, k+1, weight)}
+}
+
+// Observe feeds the next element.
+func (e *SubsetSum[T]) Observe(value T, ts int64) { e.s.Observe(value, ts) }
+
+// ObserveBatch feeds a run of elements through the sampler's batched hot
+// path (sample-path identical to looped Observe).
+func (e *SubsetSum[T]) ObserveBatch(batch []stream.Element[T]) { e.s.ObserveBatch(batch) }
+
+// Estimate returns the unbiased estimate of Σ w(p) over the active window
+// elements satisfying pred. ok is false while the window is empty.
+func (e *SubsetSum[T]) Estimate(pred func(T) bool) (float64, bool) {
+	items, ok := e.s.Items()
+	if !ok {
+		return 0, false
+	}
+	if len(items) <= e.k {
+		// Exhaustive sketch: the window has at most k elements.
+		sum := 0.0
+		for _, it := range items {
+			if pred(it.Elem.Value) {
+				sum += it.Weight
+			}
+		}
+		return sum, true
+	}
+	tau := items[e.k].LogKey // (k+1)-th largest log-key: the threshold
+	sum := 0.0
+	for _, it := range items[:e.k] {
+		if pred(it.Elem.Value) {
+			// Inclusion probability 1 - e^(w·tau), computed via Expm1 so
+			// near-certain inclusions (w·tau ≈ 0⁻) keep full precision.
+			sum += it.Weight / -math.Expm1(it.Weight*tau)
+		}
+	}
+	return sum, true
+}
+
+// Total estimates the total window weight W (the pred ≡ true subset).
+func (e *SubsetSum[T]) Total() (float64, bool) {
+	return e.Estimate(func(T) bool { return true })
+}
+
+// K returns the sketch size (estimation slots, excluding the threshold).
+func (e *SubsetSum[T]) K() int { return e.k }
+
+// Count returns the number of arrivals.
+func (e *SubsetSum[T]) Count() uint64 { return e.s.Count() }
+
+// Words and MaxWords implement stream.MemoryReporter.
+func (e *SubsetSum[T]) Words() int    { return 1 + e.s.Words() }
+func (e *SubsetSum[T]) MaxWords() int { return 1 + e.s.MaxWords() }

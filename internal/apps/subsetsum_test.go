@@ -1,0 +1,122 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"slidingsample/internal/stream"
+	"slidingsample/internal/window"
+	"slidingsample/internal/xrand"
+)
+
+func ssWeight(v uint64) float64 { return float64(v%10) + 1 }
+
+// TestSubsetSumUnbiased: the mean of the HT estimate over many seeded runs
+// must converge to the exact windowed subset sum from SeqBuffer ground
+// truth, for both a sparse and a dense predicate plus the window total.
+func TestSubsetSumUnbiased(t *testing.T) {
+	const (
+		n      = 64
+		k      = 16
+		m      = 300
+		trials = 1500
+	)
+	buf := window.NewSeqBuffer[uint64](n)
+	for i := 0; i < m; i++ {
+		buf.Observe(stream.Element[uint64]{Value: uint64(i), Index: uint64(i)})
+	}
+	preds := map[string]func(uint64) bool{
+		"mod3":  func(v uint64) bool { return v%3 == 0 },
+		"mod7":  func(v uint64) bool { return v%7 == 0 },
+		"total": func(uint64) bool { return true },
+	}
+	exact := map[string]float64{}
+	for name, pred := range preds {
+		s := 0.0
+		for _, e := range buf.Contents() {
+			if pred(e.Value) {
+				s += ssWeight(e.Value)
+			}
+		}
+		exact[name] = s
+	}
+
+	sums := map[string]float64{}
+	for tr := 0; tr < trials; tr++ {
+		est := NewSubsetSum[uint64](xrand.New(uint64(tr)+1), n, k, ssWeight)
+		for i := 0; i < m; i++ {
+			est.Observe(uint64(i), 0)
+		}
+		for name, pred := range preds {
+			got, ok := est.Estimate(pred)
+			if !ok {
+				t.Fatalf("trial %d: no estimate", tr)
+			}
+			sums[name] += got
+		}
+	}
+	for name := range preds {
+		mean := sums[name] / trials
+		if rel := math.Abs(mean/exact[name] - 1); rel > 0.03 {
+			t.Errorf("%s: mean estimate %.2f vs exact %.2f (rel err %.4f > 0.03)", name, mean, exact[name], rel)
+		}
+	}
+}
+
+// TestSubsetSumExhaustive: with the window no larger than k the sketch
+// holds everything and the estimate is exactly the subset sum.
+func TestSubsetSumExhaustive(t *testing.T) {
+	const n, k = 32, 40
+	est := NewSubsetSum[uint64](xrand.New(3), n, k, ssWeight)
+	if _, ok := est.Estimate(func(uint64) bool { return true }); ok {
+		t.Fatal("estimate from empty window")
+	}
+	exact := 0.0
+	for i := 0; i < 200; i++ {
+		est.Observe(uint64(i), 0)
+		if i >= 200-int(n) {
+			exact += ssWeight(uint64(i))
+		}
+	}
+	got, ok := est.Total()
+	if !ok || got != exact {
+		t.Fatalf("exhaustive total = %v (ok=%v), want exactly %v", got, ok, exact)
+	}
+	sub, _ := est.Estimate(func(v uint64) bool { return v%2 == 0 })
+	exactSub := 0.0
+	for i := 200 - int(n); i < 200; i++ {
+		if i%2 == 0 {
+			exactSub += ssWeight(uint64(i))
+		}
+	}
+	if sub != exactSub {
+		t.Fatalf("exhaustive subset = %v, want exactly %v", sub, exactSub)
+	}
+}
+
+// TestSubsetSumBatchEquivalence: ObserveBatch must leave the estimator in
+// the same state as looped Observe under equal seeds.
+func TestSubsetSumBatchEquivalence(t *testing.T) {
+	const n, k, m = 64, 8, 500
+	loop := NewSubsetSum[uint64](xrand.New(11), n, k, ssWeight)
+	batch := NewSubsetSum[uint64](xrand.New(11), n, k, ssWeight)
+	var buf []stream.Element[uint64]
+	for i := 0; i < m; i++ {
+		loop.Observe(uint64(i), 0)
+		buf = append(buf, stream.Element[uint64]{Value: uint64(i)})
+		if len(buf) == 37 {
+			batch.ObserveBatch(buf)
+			buf = buf[:0]
+		}
+	}
+	batch.ObserveBatch(buf)
+	pred := func(v uint64) bool { return v%3 == 0 }
+	a, aok := loop.Estimate(pred)
+	b, bok := batch.Estimate(pred)
+	if aok != bok || a != b {
+		t.Fatalf("estimates diverged: %v/%v vs %v/%v", a, aok, b, bok)
+	}
+	if loop.Words() != batch.Words() || loop.MaxWords() != batch.MaxWords() {
+		t.Fatal("memory accounting diverged")
+	}
+}

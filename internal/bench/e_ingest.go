@@ -15,6 +15,7 @@ import (
 	"slidingsample/internal/core"
 	"slidingsample/internal/parallel"
 	"slidingsample/internal/stream"
+	"slidingsample/internal/weighted"
 	"slidingsample/internal/xrand"
 )
 
@@ -59,6 +60,12 @@ func e16Substrates() []e16Substrate {
 		{"apps/StepBiased", func(r *xrand.Rand) stream.Sampler[uint64] {
 			return apps.NewStepBiased[uint64](r, []uint64{64, 512}, []uint64{3, 1})
 		}},
+		{"weighted/WOR", func(r *xrand.Rand) stream.Sampler[uint64] {
+			return weighted.NewWOR[uint64](r, n, k, e16Weight)
+		}},
+		{"weighted/WR", func(r *xrand.Rand) stream.Sampler[uint64] {
+			return weighted.NewWR[uint64](r, n, k, e16Weight)
+		}},
 		{"parallel/ShardedSeqWR", func(r *xrand.Rand) stream.Sampler[uint64] {
 			return parallel.NewShardedSeqWR[uint64](r, n, g, k)
 		}},
@@ -70,6 +77,9 @@ func e16Substrates() []e16Substrate {
 		}},
 	}
 }
+
+// e16Weight is the weighted substrates' deterministic weight law.
+func e16Weight(v uint64) float64 { return float64(v%9) + 1 }
 
 // e16Sync flushes sharded samplers before a query; every other substrate is
 // already consistent.

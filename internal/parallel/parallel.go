@@ -50,6 +50,12 @@ type msg[T any] struct {
 	barrier *sync.WaitGroup     // non-nil: flush marker, not an element
 }
 
+// maxRecycledCap bounds the shard-batch buffers the dispatcher keeps for
+// reuse: a one-off huge batch must not pin 2G oversized backing arrays for
+// the dispatcher's lifetime (the same discipline as the public adapters'
+// scratch cap).
+const maxRecycledCap = 4096
+
 // dispatcher is the shared round-robin ingest machinery: G worker
 // goroutines, one buffered channel each, dealing, barriers and shutdown.
 // The shards are held behind the unified stream.Sampler interface; the
@@ -58,6 +64,17 @@ type dispatcher[T any] struct {
 	g      int
 	shards []stream.Sampler[T]
 	chans  []chan msg[T]
+	// bufs double-buffers the per-shard batch slices: two generations of G
+	// buffers each. A generation is refilled ONLY when every slice cut from
+	// it has been flushed by a Barrier — workers never see a reused slice
+	// before the next Barrier, which is the whole safety argument (no
+	// per-message handshake needed, so the hot path stays channel-free).
+	// Between barriers the two clean generations cover two batches and
+	// further ones fall back to fresh right-sized allocations; under the
+	// checkpointed query cadence (Sample requires a Barrier) batched ingest
+	// is allocation-free in steady state.
+	bufs   [2][][]stream.Element[T]
+	dirty  [2]bool
 	wg     sync.WaitGroup
 	next   int
 	count  uint64
@@ -70,6 +87,9 @@ func newDispatcher[T any](shards []stream.Sampler[T]) *dispatcher[T] {
 		shards: shards,
 		chans:  make([]chan msg[T], len(shards)),
 		synced: true,
+	}
+	for j := range d.bufs {
+		d.bufs[j] = make([][]stream.Element[T], len(shards))
 	}
 	for i := range shards {
 		d.chans[i] = make(chan msg[T], 1024)
@@ -105,14 +125,40 @@ func (d *dispatcher[T]) observe(value T, ts int64) {
 // observeBatch deals a batch round-robin: element i goes to shard
 // (next+i) mod G, preserving exactly the order single-element dispatch
 // would use, but each shard receives one message carrying its whole slice.
+// Shard slices come from a clean (barrier-flushed) buffer generation when
+// one is available and are allocated right-sized otherwise, so ingest
+// interleaved with queries reuses the same 2G buffers forever.
 func (d *dispatcher[T]) observeBatch(batch []stream.Element[T]) {
 	if len(batch) == 0 {
 		return
 	}
-	per := len(batch) / d.g
-	split := make([][]stream.Element[T], d.g)
-	for i := range split {
-		split[i] = make([]stream.Element[T], 0, per+1)
+	per := len(batch)/d.g + 1
+	gen := -1
+	var split [][]stream.Element[T]
+	switch {
+	case !d.dirty[0]:
+		gen = 0
+	case !d.dirty[1]:
+		gen = 1
+	}
+	if gen >= 0 {
+		d.dirty[gen] = true
+		split = d.bufs[gen]
+		for i := range split {
+			if cap(split[i]) == 0 {
+				split[i] = make([]stream.Element[T], 0, per)
+			} else {
+				split[i] = split[i][:0]
+			}
+		}
+	} else {
+		// Both generations have un-barriered batches in flight: fall back to
+		// fresh one-off slices (never retained), exactly like unrecycled
+		// dealing — reuse here could hand a worker a slice it is reading.
+		split = make([][]stream.Element[T], d.g)
+		for i := range split {
+			split[i] = make([]stream.Element[T], 0, per)
+		}
 	}
 	shard := d.next
 	for _, e := range batch {
@@ -124,13 +170,27 @@ func (d *dispatcher[T]) observeBatch(batch []stream.Element[T]) {
 			d.chans[i] <- msg[T]{batch: sub}
 		}
 	}
+	if gen >= 0 {
+		// Keep the (possibly grown) headers for reuse after the next
+		// barrier; the slices keep their dispatched length so the barrier
+		// can clear exactly the elements the workers consumed. Oversized
+		// backing arrays are dropped rather than pinned.
+		for i := range split {
+			if cap(split[i]) > maxRecycledCap {
+				split[i] = nil
+			}
+		}
+		d.bufs[gen] = split
+	}
 	d.next = shard
 	d.count += uint64(len(batch))
 	d.synced = false
 }
 
 // barrier flushes every shard channel; after it returns, all elements
-// dispatched so far are reflected in the shard samplers.
+// dispatched so far are reflected in the shard samplers and the dispatched
+// batch buffers are safe to reuse (cleared here, off the hot path, so
+// recycled buffers do not retain references to processed payloads).
 func (d *dispatcher[T]) barrier() {
 	var wg sync.WaitGroup
 	wg.Add(d.g)
@@ -138,6 +198,15 @@ func (d *dispatcher[T]) barrier() {
 		ch <- msg[T]{barrier: &wg}
 	}
 	wg.Wait()
+	for j := range d.bufs {
+		if !d.dirty[j] {
+			continue
+		}
+		for i := range d.bufs[j] {
+			clear(d.bufs[j][i])
+		}
+		d.dirty[j] = false
+	}
 	d.synced = true
 }
 

@@ -1,0 +1,394 @@
+// Package weighted implements weighted sampling from sequence-based sliding
+// windows: each element carries a positive weight, and heavy elements are
+// sampled proportionally more often than light ones.
+//
+// The substrate is the Efraimidis–Spirakis key construction: element p_i with
+// weight w_i draws an independent uniform U_i and gets key U_i^(1/w_i). The
+// k elements with the largest keys among a set form a weighted k-sample
+// WITHOUT replacement of that set — distributed exactly like successive
+// weighted draws (pick i with probability w_i/W, remove it, renormalize,
+// repeat k times). Keys are kept in log space (ln U_i / w_i, an
+// order-preserving transform) so tiny weights cannot underflow.
+//
+// To slide the window, WOR generalizes the paper's Theorem 2.2 machinery the
+// same way Gemulla–Lehner's skyband generalizes priority sampling: retain
+// exactly the elements that are in the key-top-k of SOME suffix of the
+// arrival order — equivalently, the elements beaten by fewer than k newer
+// arrivals. Because a sequence window is always a suffix, the top-k of the
+// active window is a subset of the retained set at all times, and an element
+// beaten k times can never re-enter any future window's top-k, so dropping
+// it is safe. Elements expire by arrival index. The retained set has
+// expected size O(k·log(n/k)) (the harmonic argument of bounded priority
+// sampling), so the structure costs O(k·log n) words in expectation —
+// randomized, unlike the deterministic uniform samplers in internal/core;
+// the weighted law is what buys the slack.
+//
+// WR maintains k independent single-draw instances (k = 1 skybands): each
+// query slot returns an element with probability w_i / W(window),
+// independently across slots — sampling with replacement.
+//
+// Both samplers satisfy stream.Sampler[T]; the element weight is derived
+// from the value by the weight function fixed at construction, so weighted
+// substrates drop into every layer that speaks the unified interface.
+package weighted
+
+import (
+	"math"
+	"sort"
+
+	"slidingsample/internal/stream"
+	"slidingsample/internal/window"
+	"slidingsample/internal/xrand"
+)
+
+// NodeWords is the per-retained-node cost in the DESIGN.md §6 word model:
+// the stored element (value + index + timestamp) plus the weight, the
+// log-key, and the domination counter.
+const NodeWords = stream.StoredWords + 3
+
+// node is one retained element: its log-key plus the number of newer
+// arrivals with larger keys observed so far.
+type node[T any] struct {
+	elem stream.Element[T]
+	w    float64
+	lk   float64 // ln(U)/w; order-isomorphic to the ES key U^(1/w)
+	beat int     // newer arrivals with larger log-key
+}
+
+// skyband is the suffix-top-k retained set over a sequence window: nodes in
+// arrival order, each beaten by fewer than k newer arrivals. It is the
+// shared core of WOR (one skyband with parameter k) and WR (k independent
+// skybands with parameter 1).
+type skyband[T any] struct {
+	win   window.Sequence
+	k     int
+	rng   *xrand.Rand
+	nodes []node[T]
+}
+
+// logKey draws ln(U)/w for a fresh uniform U in (0, 1).
+func (s *skyband[T]) logKey(w float64) float64 {
+	u := s.rng.Float64()
+	for u == 0 {
+		u = s.rng.Float64()
+	}
+	return math.Log(u) / w
+}
+
+// observe inserts the next element: bump the domination count of every
+// retained node the new key beats, drop nodes beaten k times (they can
+// never again be in the top-k of a suffix), append the arrival, and expire
+// the front by arrival index. Arrivals newer than a node expire after it,
+// so a domination count never includes expired elements while the node is
+// active — which is exactly why beat >= k is a safe drop.
+func (s *skyband[T]) observe(e stream.Element[T], w float64) {
+	lk := s.logKey(w)
+	keep := s.nodes[:0]
+	for _, nd := range s.nodes {
+		if nd.lk < lk {
+			nd.beat++
+		}
+		if nd.beat < s.k {
+			keep = append(keep, nd)
+		}
+	}
+	s.nodes = append(keep, node[T]{elem: e, w: w, lk: lk})
+	i := 0
+	for i < len(s.nodes) && !s.win.Active(s.nodes[i].elem.Index, e.Index) {
+		i++
+	}
+	if i > 0 {
+		// Shift in place: the capacity is bounded by the retained peak, which
+		// the word model already charges for.
+		s.nodes = s.nodes[:copy(s.nodes, s.nodes[i:])]
+	}
+}
+
+// checkWeight validates a weight function result (programmer error to
+// return anything else, matching the internal panic convention).
+func checkWeight(w float64) float64 {
+	if !(w > 0) || math.IsInf(w, 1) {
+		panic("weighted: element weight must be positive and finite")
+	}
+	return w
+}
+
+// Item is one sampled element together with its weight and log-key. The
+// log-key is what subset-sum estimation needs: conditioned on a threshold
+// tau, P(ln U/w > tau) = 1 - e^(w·tau) is the element's inclusion
+// probability (see apps.SubsetSum).
+type Item[T any] struct {
+	Elem   stream.Element[T]
+	Weight float64
+	LogKey float64
+}
+
+// ---------------------------------------------------------------------------
+// WOR: weighted k-sample without replacement
+// ---------------------------------------------------------------------------
+
+// WOR maintains a weighted k-sample without replacement over the n most
+// recent elements under the Efraimidis–Spirakis law, in expected O(k·log n)
+// words. While the window holds fewer than k elements the sample is the
+// whole window.
+type WOR[T any] struct {
+	n        uint64
+	k        int
+	weight   func(T) float64
+	count    uint64
+	sky      skyband[T]
+	maxWords int
+}
+
+// NewWOR returns a weighted without-replacement sampler over a window of
+// the n most recent elements with target sample size k. weight maps an
+// element value to its positive, finite weight. Panics on bad parameters.
+func NewWOR[T any](rng *xrand.Rand, n uint64, k int, weight func(T) float64) *WOR[T] {
+	if n == 0 {
+		panic("weighted: NewWOR with n == 0")
+	}
+	if k <= 0 {
+		panic("weighted: NewWOR with k <= 0")
+	}
+	if weight == nil {
+		panic("weighted: NewWOR with nil weight function")
+	}
+	s := &WOR[T]{
+		n:      n,
+		k:      k,
+		weight: weight,
+		sky:    skyband[T]{win: window.Sequence{N: n}, k: k, rng: rng.Split()},
+	}
+	s.maxWords = s.Words()
+	return s
+}
+
+// Observe feeds the next stream element (timestamps carried through only).
+func (s *WOR[T]) Observe(value T, ts int64) {
+	e := stream.Element[T]{Value: value, Index: s.count, TS: ts}
+	s.count++
+	s.sky.observe(e, checkWeight(s.weight(value)))
+	if w := s.Words(); w > s.maxWords {
+		s.maxWords = w
+	}
+}
+
+// ObserveBatch feeds a run of elements (Index assigned here; draws and
+// state identical to looping Observe). The amortization is the PR-1 locals
+// convention: the arrival counter and peak tracker stay in registers for
+// the whole run and the footprint checkpoint is inlined arithmetic — the
+// skyband walk itself is inherently per element.
+func (s *WOR[T]) ObserveBatch(batch []stream.Element[T]) {
+	cnt := s.count
+	peak := s.maxWords
+	for _, e := range batch {
+		e.Index = cnt
+		cnt++
+		s.sky.observe(e, checkWeight(s.weight(e.Value)))
+		if w := s.Words(); w > peak {
+			peak = w
+		}
+	}
+	s.count = cnt
+	s.maxWords = peak
+}
+
+// Items returns the current sample — the min(k, windowSize) active elements
+// with the largest keys, in decreasing key order (the successive-sampling
+// order: the first item is distributed like a single weighted draw over the
+// window). ok is false while the stream is empty.
+func (s *WOR[T]) Items() ([]Item[T], bool) {
+	if s.count == 0 {
+		return nil, false
+	}
+	// Every retained node is active (expiry runs at each observe and the
+	// sequence clock is the arrival index), and the window's top-k is always
+	// retained, so the top-k of the retained set IS the window's top-k.
+	nodes := s.sky.nodes
+	idx := make([]int, len(nodes))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return nodes[idx[a]].lk > nodes[idx[b]].lk })
+	m := s.k
+	if len(idx) < m {
+		m = len(idx)
+	}
+	out := make([]Item[T], m)
+	for i := 0; i < m; i++ {
+		nd := nodes[idx[i]]
+		out[i] = Item[T]{Elem: nd.elem, Weight: nd.w, LogKey: nd.lk}
+	}
+	return out, true
+}
+
+// Sample implements stream.Sampler: the Items sample as bare elements.
+func (s *WOR[T]) Sample() ([]stream.Element[T], bool) {
+	items, ok := s.Items()
+	if !ok {
+		return nil, false
+	}
+	out := make([]stream.Element[T], len(items))
+	for i, it := range items {
+		out[i] = it.Elem
+	}
+	return out, true
+}
+
+// K returns the target sample size.
+func (s *WOR[T]) K() int { return s.k }
+
+// N returns the window size.
+func (s *WOR[T]) N() uint64 { return s.n }
+
+// Count returns the number of elements observed.
+func (s *WOR[T]) Count() uint64 { return s.count }
+
+// Retained returns the current retained-set size (diagnostics).
+func (s *WOR[T]) Retained() int { return len(s.sky.nodes) }
+
+// Words implements stream.MemoryReporter: the retained nodes plus three
+// scalars (n, k, count).
+func (s *WOR[T]) Words() int { return 3 + len(s.sky.nodes)*NodeWords }
+
+// MaxWords implements stream.MemoryReporter (randomized — the weighted
+// substrates trade the paper's deterministic bound for the weighted law).
+func (s *WOR[T]) MaxWords() int { return s.maxWords }
+
+// ---------------------------------------------------------------------------
+// WR: k independent weighted draws (with replacement)
+// ---------------------------------------------------------------------------
+
+// WR maintains k independent weighted single draws over the n most recent
+// elements: slot j returns element i with probability w_i / W(window),
+// independently across slots. Implemented as k independent k=1 skybands
+// (each a monotone deque of suffix key maxima, expected O(log n) nodes).
+type WR[T any] struct {
+	n        uint64
+	k        int
+	weight   func(T) float64
+	count    uint64
+	insts    []skyband[T]
+	maxWords int
+}
+
+// NewWR returns a weighted with-replacement sampler over a window of the n
+// most recent elements with k sample slots. Panics on bad parameters.
+func NewWR[T any](rng *xrand.Rand, n uint64, k int, weight func(T) float64) *WR[T] {
+	if n == 0 {
+		panic("weighted: NewWR with n == 0")
+	}
+	if k <= 0 {
+		panic("weighted: NewWR with k <= 0")
+	}
+	if weight == nil {
+		panic("weighted: NewWR with nil weight function")
+	}
+	s := &WR[T]{n: n, k: k, weight: weight, insts: make([]skyband[T], k)}
+	for i := range s.insts {
+		s.insts[i] = skyband[T]{win: window.Sequence{N: n}, k: 1, rng: rng.Split()}
+	}
+	s.maxWords = s.Words()
+	return s
+}
+
+// Observe feeds the next stream element to every slot instance.
+func (s *WR[T]) Observe(value T, ts int64) {
+	e := stream.Element[T]{Value: value, Index: s.count, TS: ts}
+	s.count++
+	w := checkWeight(s.weight(value))
+	for i := range s.insts {
+		s.insts[i].observe(e, w)
+	}
+	if wd := s.Words(); wd > s.maxWords {
+		s.maxWords = wd
+	}
+}
+
+// ObserveBatch feeds a run of elements. Element-major like Observe (each
+// instance owns its generator, so the per-element slot order is what keeps
+// the draw sequences — and the footprint checkpoints — identical to the
+// looped path); the counter and peak tracking are hoisted into locals.
+func (s *WR[T]) ObserveBatch(batch []stream.Element[T]) {
+	cnt := s.count
+	peak := s.maxWords
+	for _, e := range batch {
+		e.Index = cnt
+		cnt++
+		w := checkWeight(s.weight(e.Value))
+		for i := range s.insts {
+			s.insts[i].observe(e, w)
+		}
+		if wd := s.Words(); wd > peak {
+			peak = wd
+		}
+	}
+	s.count = cnt
+	s.maxWords = peak
+}
+
+// Items returns the k slot draws with their weights and log-keys.
+func (s *WR[T]) Items() ([]Item[T], bool) {
+	if s.count == 0 {
+		return nil, false
+	}
+	out := make([]Item[T], s.k)
+	for i := range s.insts {
+		// A k=1 skyband's nodes have strictly decreasing keys in arrival
+		// order (a newer, higher-keyed arrival evicts), so the front node is
+		// the active key maximum — the slot's weighted draw.
+		nd := s.insts[i].nodes[0]
+		out[i] = Item[T]{Elem: nd.elem, Weight: nd.w, LogKey: nd.lk}
+	}
+	return out, true
+}
+
+// Sample implements stream.Sampler: k weighted draws with replacement.
+func (s *WR[T]) Sample() ([]stream.Element[T], bool) {
+	items, ok := s.Items()
+	if !ok {
+		return nil, false
+	}
+	out := make([]stream.Element[T], len(items))
+	for i, it := range items {
+		out[i] = it.Elem
+	}
+	return out, true
+}
+
+// K returns the number of sample slots.
+func (s *WR[T]) K() int { return s.k }
+
+// N returns the window size.
+func (s *WR[T]) N() uint64 { return s.n }
+
+// Count returns the number of elements observed.
+func (s *WR[T]) Count() uint64 { return s.count }
+
+// Retained returns the total retained-node count (diagnostics).
+func (s *WR[T]) Retained() int {
+	t := 0
+	for i := range s.insts {
+		t += len(s.insts[i].nodes)
+	}
+	return t
+}
+
+// Words implements stream.MemoryReporter: every instance's nodes plus three
+// scalars (n, k, count).
+func (s *WR[T]) Words() int {
+	w := 3
+	for i := range s.insts {
+		w += len(s.insts[i].nodes) * NodeWords
+	}
+	return w
+}
+
+// MaxWords implements stream.MemoryReporter.
+func (s *WR[T]) MaxWords() int { return s.maxWords }
+
+// Compile-time conformance with the unified sampler interface.
+var (
+	_ stream.Sampler[int] = (*WOR[int])(nil)
+	_ stream.Sampler[int] = (*WR[int])(nil)
+)

@@ -1,0 +1,297 @@
+package weighted
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"slidingsample/internal/stream"
+	"slidingsample/internal/window"
+	"slidingsample/internal/xrand"
+)
+
+// testWeight is the deterministic weight law used across the tests: values
+// map to small distinct-ish positive weights.
+func testWeight(v uint64) float64 { return float64(v%5) + 1 }
+
+// feed pushes m arrivals (value i at a bursty timestamp) into s.
+func feed(s stream.Sampler[uint64], m int) {
+	for i := 0; i < m; i++ {
+		s.Observe(uint64(i), int64(i/3))
+	}
+}
+
+// windowContents materializes the exact window (ground truth) for m
+// arrivals of the canonical test stream over a window of size n.
+func windowContents(n uint64, m int) []stream.Element[uint64] {
+	buf := window.NewSeqBuffer[uint64](n)
+	for i := 0; i < m; i++ {
+		buf.Observe(stream.Element[uint64]{Value: uint64(i), Index: uint64(i), TS: int64(i / 3)})
+	}
+	return buf.Contents()
+}
+
+// TestWORMatchesBruteForceLaw is the distribution-correctness conformance
+// test the substrate is admitted on: the WOR sampler's ORDERED k-sample over
+// the window must match (in total-variation distance) both
+//
+//   - a brute-force Efraimidis–Spirakis sampler over the exact window
+//     contents from window.SeqBuffer (draw a fresh key per active element,
+//     take the top-k), and
+//   - the closed-form successive-sampling law
+//     P(i1, i2) = w1/W · w2/(W - w1).
+//
+// Everything is seeded, so the observed TV distances are reproducible.
+func TestWORMatchesBruteForceLaw(t *testing.T) {
+	const (
+		n      = 8
+		k      = 2
+		m      = 19 // window = arrivals 11..18: crosses several expiries
+		trials = 60000
+	)
+	win := windowContents(n, m)
+	if len(win) != n {
+		t.Fatalf("ground-truth window has %d elements, want %d", len(win), n)
+	}
+
+	// Closed-form ordered-pair law over the window.
+	W := 0.0
+	for _, e := range win {
+		W += testWeight(e.Value)
+	}
+	exact := map[[2]uint64]float64{}
+	for _, a := range win {
+		wa := testWeight(a.Value)
+		for _, b := range win {
+			if a.Index == b.Index {
+				continue
+			}
+			exact[[2]uint64{a.Index, b.Index}] = wa / W * testWeight(b.Value) / (W - wa)
+		}
+	}
+
+	// Empirical law of the sliding sampler.
+	sampler := map[[2]uint64]int{}
+	for tr := 0; tr < trials; tr++ {
+		s := NewWOR[uint64](xrand.New(uint64(tr)+1), n, k, testWeight)
+		feed(s, m)
+		got, ok := s.Sample()
+		if !ok || len(got) != k {
+			t.Fatalf("trial %d: ok=%v len=%d", tr, ok, len(got))
+		}
+		sampler[[2]uint64{got[0].Index, got[1].Index}]++
+	}
+
+	// Empirical law of the brute-force ES sampler over the same window.
+	brute := map[[2]uint64]int{}
+	br := xrand.New(987654321)
+	keys := make([]float64, len(win))
+	order := make([]int, len(win))
+	for tr := 0; tr < trials; tr++ {
+		for i, e := range win {
+			u := br.Float64()
+			for u == 0 {
+				u = br.Float64()
+			}
+			keys[i] = math.Log(u) / testWeight(e.Value)
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return keys[order[a]] > keys[order[b]] })
+		brute[[2]uint64{win[order[0]].Index, win[order[1]].Index}]++
+	}
+
+	tv := func(emp map[[2]uint64]int) float64 {
+		d := 0.0
+		for pair, p := range exact {
+			d += math.Abs(p - float64(emp[pair])/trials)
+		}
+		for pair, c := range emp {
+			if _, known := exact[pair]; !known {
+				t.Fatalf("sampled pair %v outside the window law support", pair)
+			}
+			_ = c
+		}
+		return d / 2
+	}
+	if d := tv(sampler); d > 0.05 {
+		t.Errorf("sampler vs closed-form law: TV = %.4f > 0.05", d)
+	}
+	if d := tv(brute); d > 0.05 {
+		t.Errorf("brute force vs closed-form law: TV = %.4f > 0.05 (test harness broken)", d)
+	}
+	// Sampler vs brute force directly (two empiricals of the same law).
+	d := 0.0
+	seen := map[[2]uint64]bool{}
+	for pair := range exact {
+		seen[pair] = true
+		d += math.Abs(float64(sampler[pair])-float64(brute[pair])) / trials
+	}
+	if d /= 2; d > 0.06 {
+		t.Errorf("sampler vs brute force: TV = %.4f > 0.06", d)
+	}
+}
+
+// TestWRInclusionLaw checks the with-replacement law: each slot returns
+// element i with probability w_i / W(window), independently per slot.
+func TestWRInclusionLaw(t *testing.T) {
+	const (
+		n      = 8
+		k      = 3
+		m      = 19
+		trials = 40000
+	)
+	win := windowContents(n, m)
+	W := 0.0
+	for _, e := range win {
+		W += testWeight(e.Value)
+	}
+	counts := map[uint64]int{}
+	for tr := 0; tr < trials; tr++ {
+		s := NewWR[uint64](xrand.New(uint64(tr)+1), n, k, testWeight)
+		feed(s, m)
+		got, ok := s.Sample()
+		if !ok || len(got) != k {
+			t.Fatalf("trial %d: ok=%v len=%d", tr, ok, len(got))
+		}
+		for _, e := range got {
+			counts[e.Index]++
+		}
+	}
+	draws := float64(trials * k)
+	for _, e := range win {
+		p := testWeight(e.Value) / W
+		got := float64(counts[e.Index]) / draws
+		// 5 sigma on a binomial proportion.
+		tol := 5 * math.Sqrt(p*(1-p)/draws)
+		if math.Abs(got-p) > tol {
+			t.Errorf("index %d: inclusion %.4f, want %.4f ± %.4f", e.Index, got, p, tol)
+		}
+	}
+	for idx := range counts {
+		found := false
+		for _, e := range win {
+			if e.Index == idx {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("sampled expired index %d", idx)
+		}
+	}
+}
+
+// TestBatchLoopIdentical: the batched hot paths must be sample-path
+// identical to looped Observe under equal seeds, including the memory
+// accounting (the repository-wide PR-1 contract; the root conformance
+// battery re-checks this through the unified interface).
+func TestBatchLoopIdentical(t *testing.T) {
+	const m = 3000
+	sizes := []int{1, 9, 128, 3, 301, 1, 64}
+	mk := map[string]func(r *xrand.Rand) stream.Sampler[uint64]{
+		"WOR": func(r *xrand.Rand) stream.Sampler[uint64] { return NewWOR[uint64](r, 256, 7, testWeight) },
+		"WR":  func(r *xrand.Rand) stream.Sampler[uint64] { return NewWR[uint64](r, 256, 7, testWeight) },
+	}
+	for name, make := range mk {
+		t.Run(name, func(t *testing.T) {
+			loop := make(xrand.New(42))
+			batch := make(xrand.New(42))
+			for i := 0; i < m; i++ {
+				loop.Observe(uint64(i), int64(i/3))
+			}
+			var buf []stream.Element[uint64]
+			for i, si := 0, 0; i < m; si++ {
+				sz := sizes[si%len(sizes)]
+				if i+sz > m {
+					sz = m - i
+				}
+				buf = buf[:0]
+				for j := 0; j < sz; j++ {
+					buf = append(buf, stream.Element[uint64]{Value: uint64(i + j), TS: int64((i + j) / 3)})
+				}
+				batch.ObserveBatch(buf)
+				i += sz
+			}
+			if loop.Count() != batch.Count() || loop.Words() != batch.Words() || loop.MaxWords() != batch.MaxWords() {
+				t.Fatalf("state diverged: count %d/%d words %d/%d max %d/%d",
+					loop.Count(), batch.Count(), loop.Words(), batch.Words(), loop.MaxWords(), batch.MaxWords())
+			}
+			la, lok := loop.Sample()
+			ba, bok := batch.Sample()
+			if lok != bok || len(la) != len(ba) {
+				t.Fatalf("sample shape diverged")
+			}
+			for i := range la {
+				if la[i] != ba[i] {
+					t.Fatalf("slot %d diverged: %+v vs %+v", i, la[i], ba[i])
+				}
+			}
+		})
+	}
+}
+
+// TestWORInvariants: window membership, distinctness, warm-up shape, and the
+// expected O(k log n) retained-set size staying within a loose bound.
+func TestWORInvariants(t *testing.T) {
+	const n, k, m = 512, 8, 40000
+	s := NewWOR[uint64](xrand.New(7), n, k, testWeight)
+	for i := 0; i < m; i++ {
+		s.Observe(uint64(i), int64(i))
+		if i == 3 {
+			got, ok := s.Sample()
+			if !ok || len(got) != 4 {
+				t.Fatalf("warm-up sample: ok=%v len=%d, want whole window of 4", ok, len(got))
+			}
+		}
+	}
+	got, ok := s.Sample()
+	if !ok || len(got) != k {
+		t.Fatalf("sample: ok=%v len=%d", ok, len(got))
+	}
+	seen := map[uint64]bool{}
+	for _, e := range got {
+		if e.Index < m-n || e.Index >= m {
+			t.Errorf("index %d outside window [%d, %d)", e.Index, m-n, m)
+		}
+		if seen[e.Index] {
+			t.Errorf("duplicate index %d in WOR sample", e.Index)
+		}
+		seen[e.Index] = true
+	}
+	// Items are in decreasing key order with sane weights.
+	items, _ := s.Items()
+	for i := 1; i < len(items); i++ {
+		if items[i].LogKey > items[i-1].LogKey {
+			t.Fatalf("items out of key order at %d", i)
+		}
+	}
+	for _, it := range items {
+		if it.Weight != testWeight(it.Elem.Value) {
+			t.Errorf("item weight %v, want %v", it.Weight, testWeight(it.Elem.Value))
+		}
+	}
+	// Retained set: expected ~ k(1 + ln(n/k)) ≈ 41; 8x slack keeps this a
+	// structural bound, not a flake.
+	bound := 8 * k * (1 + int(math.Log(float64(n))))
+	if r := s.Retained(); r > bound {
+		t.Errorf("retained %d nodes, loose bound %d", r, bound)
+	}
+	if s.MaxWords() > 3+bound*NodeWords {
+		t.Errorf("peak %d words above loose bound", s.MaxWords())
+	}
+}
+
+// TestWeightPanics: a non-positive or infinite weight is programmer error.
+func TestWeightPanics(t *testing.T) {
+	for name, bad := range map[string]float64{"zero": 0, "negative": -1, "inf": math.Inf(1), "nan": math.NaN()} {
+		t.Run(name, func(t *testing.T) {
+			w := bad
+			s := NewWOR[uint64](xrand.New(1), 8, 2, func(uint64) float64 { return w })
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad weight did not panic")
+				}
+			}()
+			s.Observe(1, 0)
+		})
+	}
+}

@@ -43,8 +43,18 @@ type Timestamp struct {
 }
 
 // Active reports whether an element with timestamp ts is active at time now.
+//
+// The comparison is overflow-safe: streams may start at any timestamp,
+// including ones near math.MinInt64, where the naive now-ts wraps around and
+// silently flips active/expired. For ts <= now the true difference now-ts
+// lies in [0, 2^64) and is computed exactly in uint64 arithmetic (two's
+// complement subtraction yields the value mod 2^64, which is the value
+// itself in that range); a timestamp from the future is trivially active.
 func (w Timestamp) Active(ts, now int64) bool {
-	return now-ts < w.T0
+	if ts > now {
+		return true
+	}
+	return uint64(now)-uint64(ts) < uint64(w.T0)
 }
 
 // Expired reports the complement of Active (reads better at call sites that

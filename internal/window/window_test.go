@@ -1,6 +1,7 @@
 package window
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -214,4 +215,43 @@ func TestConstructorPanics(t *testing.T) {
 		}()
 		NewTSBuffer[uint64](0)
 	}()
+}
+
+func TestTimestampActiveOverflowSafe(t *testing.T) {
+	// Streams may start at any timestamp, including near math.MinInt64
+	// (slidingsample's public contract). The naive now-ts comparison
+	// overflows int64 for hugely negative ts and silently reports an
+	// ancient element as active; the horizon test must not.
+	w := Timestamp{T0: 60}
+	cases := []struct {
+		ts, now int64
+		active  bool
+	}{
+		{math.MinInt64, 10, false},           // pre-fix: now-ts wraps negative => "active"
+		{math.MinInt64 + 1, 0, false},        // same overflow region
+		{math.MinInt64, math.MinInt64, true}, // fresh element at the floor
+		{math.MinInt64, math.MinInt64 + 59, true},
+		{math.MinInt64, math.MinInt64 + 60, false},
+		{-30, 29, true}, // plain negative-to-positive span
+		{-30, 30, false},
+		{0, math.MaxInt64, false}, // huge forward span, no wrap
+		{math.MaxInt64 - 1, math.MaxInt64, true},
+		{5, 3, true}, // future timestamp: trivially active
+	}
+	for _, c := range cases {
+		if got := w.Active(c.ts, c.now); got != c.active {
+			t.Errorf("Active(ts=%d, now=%d) = %v, want %v", c.ts, c.now, got, c.active)
+		}
+		if got := w.Expired(c.ts, c.now); got == c.active {
+			t.Errorf("Expired(ts=%d, now=%d) = %v, want %v", c.ts, c.now, got, !c.active)
+		}
+	}
+	// The full representable span must also be exact for large horizons.
+	wide := Timestamp{T0: math.MaxInt64}
+	if wide.Active(math.MinInt64, math.MaxInt64) {
+		t.Error("span of 2^64-1 ticks reported inside a 2^63-1 horizon")
+	}
+	if !wide.Active(-1, math.MaxInt64-2) {
+		t.Error("span of MaxInt64-1 ticks reported outside a MaxInt64 horizon")
+	}
 }

@@ -5,10 +5,12 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 
 	"slidingsample/internal/apps"
 	"slidingsample/internal/core"
 	"slidingsample/internal/stream"
+	"slidingsample/internal/weighted"
 	"slidingsample/internal/xrand"
 )
 
@@ -16,9 +18,14 @@ import (
 // element whose timestamp precedes an earlier arrival or query time.
 var ErrTimeBackwards = errors.New("slidingsample: timestamps must be non-decreasing")
 
-// ErrBatchShape is returned when ObserveBatch on a timestamp-based sampler
-// is given value and timestamp slices of different lengths.
-var ErrBatchShape = errors.New("slidingsample: ObserveBatch needs equally long value and timestamp slices")
+// ErrBatchShape is returned when ObserveBatch on a timestamp-based or
+// weighted sampler is given value and timestamp/weight slices of different
+// lengths.
+var ErrBatchShape = errors.New("slidingsample: ObserveBatch needs equally long value and timestamp/weight slices")
+
+// ErrBadWeight is returned when a weighted sampler is fed a weight that is
+// not positive and finite.
+var ErrBadWeight = errors.New("slidingsample: weights must be positive and finite")
 
 // Sampled is one sampled element together with its stream coordinates.
 type Sampled[T any] struct {
@@ -121,6 +128,23 @@ func (s *sampler[T]) Count() uint64 { return s.inner.Count() }
 func (s *sampler[T]) Words() int    { return s.inner.Words() }
 func (s *sampler[T]) MaxWords() int { return s.inner.MaxWords() }
 
+// maxRetainedScratch caps the batch scratch an adapter keeps between
+// ObserveBatch calls: reusing the buffer keeps the steady state
+// allocation-free, but one huge batch must not pin its backing array for
+// the sampler's whole lifetime.
+const maxRetainedScratch = 4096
+
+// releaseScratch clears the batch scratch for reuse, dropping the backing
+// array entirely when it grew beyond maxRetainedScratch entries.
+func releaseScratch[E any](scratch *[]E) {
+	if cap(*scratch) > maxRetainedScratch {
+		*scratch = nil
+		return
+	}
+	clear(*scratch)
+	*scratch = (*scratch)[:0]
+}
+
 // seqSampler adds sequence-shaped ingest (no timestamps).
 type seqSampler[T any] struct {
 	sampler[T]
@@ -143,8 +167,7 @@ func (s *seqSampler[T]) ObserveBatch(values []T) {
 		s.scratch = append(s.scratch, stream.Element[T]{Value: v})
 	}
 	s.inner.ObserveBatch(s.scratch)
-	clear(s.scratch)
-	s.scratch = s.scratch[:0]
+	releaseScratch(&s.scratch)
 }
 
 // tsSampler adds timestamped ingest with the monotone-clock guard (the
@@ -193,8 +216,7 @@ func (s *tsSampler[T]) ObserveBatch(values []T, timestamps []int64) error {
 		s.scratch = append(s.scratch, stream.Element[T]{Value: v, TS: timestamps[i]})
 	}
 	s.timed.ObserveBatch(s.scratch)
-	clear(s.scratch)
-	s.scratch = s.scratch[:0]
+	releaseScratch(&s.scratch)
 	s.begun, s.last = true, last
 	return nil
 }
@@ -417,3 +439,154 @@ func (s *StepBiased[T]) Sample() (Sampled[T], bool) {
 
 // Prob returns the theoretical sampling probability for age d (0 = newest).
 func (s *StepBiased[T]) Prob(d uint64) float64 { return s.biased.Prob(d) }
+
+// ---------------------------------------------------------------------------
+// Weighted sequence-based windows (Efraimidis–Spirakis substrate)
+// ---------------------------------------------------------------------------
+
+// SampledWeight is one weighted sampled element: stream coordinates plus
+// the weight it was ingested with.
+type SampledWeight[T any] struct {
+	Sampled[T]
+	// Weight is the element's ingest weight.
+	Weight float64
+}
+
+// weightedItem carries the per-element weight through the internal sampler,
+// whose weight function just reads it back.
+type weightedItem[T any] struct {
+	value  T
+	weight float64
+}
+
+func itemWeight[T any](it weightedItem[T]) float64 { return it.weight }
+
+func validWeight(w float64) bool { return w > 0 && !math.IsInf(w, 1) }
+
+// weightedSeqSampler is the shared weighted ingest/query adapter: weighted
+// elements in, weighted samples out, with the standard scratch discipline.
+type weightedSeqSampler[T any] struct {
+	inner   stream.Sampler[weightedItem[T]]
+	scratch []stream.Element[weightedItem[T]]
+	n       uint64
+}
+
+// Observe feeds the next element with its weight. Weights must be positive
+// and finite; a rejected element leaves the sampler untouched.
+func (s *weightedSeqSampler[T]) Observe(value T, weight float64) error {
+	if !validWeight(weight) {
+		return ErrBadWeight
+	}
+	s.inner.Observe(weightedItem[T]{value: value, weight: weight}, 0)
+	return nil
+}
+
+// ObserveBatch feeds a run of weighted elements through the sampler's
+// batched hot path; values[i] carries weights[i]. The whole batch is
+// validated before any element is fed, so a rejected batch leaves the
+// sampler untouched. The result is identical to calling Observe per element.
+func (s *weightedSeqSampler[T]) ObserveBatch(values []T, weights []float64) error {
+	if len(values) != len(weights) {
+		return ErrBatchShape
+	}
+	if len(values) == 0 {
+		return nil
+	}
+	for _, w := range weights {
+		if !validWeight(w) {
+			return ErrBadWeight
+		}
+	}
+	s.scratch = s.scratch[:0]
+	for i, v := range values {
+		s.scratch = append(s.scratch, stream.Element[weightedItem[T]]{Value: weightedItem[T]{value: v, weight: weights[i]}})
+	}
+	s.inner.ObserveBatch(s.scratch)
+	releaseScratch(&s.scratch)
+	return nil
+}
+
+// Sample returns the current weighted sample: K() independent weighted
+// draws for the with-replacement sampler, min(K(), windowSize) distinct
+// elements under the Efraimidis–Spirakis successive-sampling law without
+// replacement. ok is false while the window is empty.
+func (s *weightedSeqSampler[T]) Sample() ([]SampledWeight[T], bool) {
+	es, ok := s.inner.Sample()
+	if !ok {
+		return nil, false
+	}
+	out := make([]SampledWeight[T], len(es))
+	for i, e := range es {
+		out[i] = SampledWeight[T]{
+			Sampled: Sampled[T]{Value: e.Value.value, Index: e.Index, Timestamp: e.TS},
+			Weight:  e.Value.weight,
+		}
+	}
+	return out, true
+}
+
+// Values returns just the sampled payloads.
+func (s *weightedSeqSampler[T]) Values() ([]T, bool) {
+	es, ok := s.inner.Sample()
+	if !ok {
+		return nil, false
+	}
+	out := make([]T, len(es))
+	for i, e := range es {
+		out[i] = e.Value.value
+	}
+	return out, true
+}
+
+// K returns the sample-size parameter; N the window size; Count the number
+// of arrivals.
+func (s *weightedSeqSampler[T]) K() int        { return s.inner.K() }
+func (s *weightedSeqSampler[T]) N() uint64     { return s.n }
+func (s *weightedSeqSampler[T]) Count() uint64 { return s.inner.Count() }
+
+// Words and MaxWords report memory in the paper's word model (DESIGN.md §6).
+// Unlike the uniform core samplers, the weighted substrates' footprint is a
+// random variable with expectation O(k·log n).
+func (s *weightedSeqSampler[T]) Words() int    { return s.inner.Words() }
+func (s *weightedSeqSampler[T]) MaxWords() int { return s.inner.MaxWords() }
+
+// WeightedSequenceWOR maintains a weighted k-sample without replacement
+// over the n most recent elements: the sample is distributed like k
+// successive weighted draws from the window (pick i with probability
+// w_i/W, remove, renormalize, repeat — the Efraimidis–Spirakis law), in
+// expected O(k·log n) words. While the window holds fewer than k elements
+// the sample is the whole window.
+type WeightedSequenceWOR[T any] struct {
+	weightedSeqSampler[T]
+}
+
+// NewWeightedSequenceWOR returns a weighted without-replacement sampler
+// over a window of the n most recent elements with target sample size k.
+func NewWeightedSequenceWOR[T any](n uint64, k int, opts ...Option) (*WeightedSequenceWOR[T], error) {
+	if err := validateSeqParams(n, k); err != nil {
+		return nil, err
+	}
+	s := &WeightedSequenceWOR[T]{}
+	s.n = n
+	s.inner = weighted.NewWOR(buildRNG(opts), n, k, itemWeight[T])
+	return s, nil
+}
+
+// WeightedSequenceWR maintains k independent weighted draws (sampling with
+// replacement) over the n most recent elements: each sample slot returns
+// element i with probability w_i / W(window), in expected O(k·log n) words.
+type WeightedSequenceWR[T any] struct {
+	weightedSeqSampler[T]
+}
+
+// NewWeightedSequenceWR returns a weighted with-replacement sampler over a
+// window of the n most recent elements with k sample slots.
+func NewWeightedSequenceWR[T any](n uint64, k int, opts ...Option) (*WeightedSequenceWR[T], error) {
+	if err := validateSeqParams(n, k); err != nil {
+		return nil, err
+	}
+	s := &WeightedSequenceWR[T]{}
+	s.n = n
+	s.inner = weighted.NewWR(buildRNG(opts), n, k, itemWeight[T])
+	return s, nil
+}

@@ -294,3 +294,257 @@ func TestPublicValuesHelpers(t *testing.T) {
 		t.Fatalf("ValuesAt = %v ok=%v", vals, ok)
 	}
 }
+
+func TestBatchScratchCapacityReleased(t *testing.T) {
+	// One huge batch must not pin its backing array for the sampler's
+	// lifetime: the adapters cap the scratch they retain between calls.
+	// Regression test for the unbounded high-water retention.
+	big := make([]int, 100_000)
+	for i := range big {
+		big[i] = i
+	}
+	t.Run("sequence", func(t *testing.T) {
+		s, err := NewSequenceWOR[int](64, 4, WithSeed(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.ObserveBatch(big)
+		if c := cap(s.scratch); c > maxRetainedScratch {
+			t.Fatalf("retained scratch capacity %d > %d after a huge batch", c, maxRetainedScratch)
+		}
+		s.ObserveBatch([]int{1, 2, 3}) // small batches keep working
+		if s.Count() != uint64(len(big))+3 {
+			t.Fatalf("Count = %d", s.Count())
+		}
+	})
+	t.Run("timestamp", func(t *testing.T) {
+		tss := make([]int64, len(big))
+		for i := range tss {
+			tss[i] = int64(i / 100)
+		}
+		s, err := NewTimestampWOR[int](60, 4, WithSeed(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.ObserveBatch(big, tss); err != nil {
+			t.Fatal(err)
+		}
+		if c := cap(s.scratch); c > maxRetainedScratch {
+			t.Fatalf("retained scratch capacity %d > %d after a huge batch", c, maxRetainedScratch)
+		}
+	})
+	t.Run("weighted", func(t *testing.T) {
+		ws := make([]float64, len(big))
+		for i := range ws {
+			ws[i] = float64(i%9) + 1
+		}
+		s, err := NewWeightedSequenceWOR[int](64, 4, WithSeed(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.ObserveBatch(big, ws); err != nil {
+			t.Fatal(err)
+		}
+		if c := cap(s.scratch); c > maxRetainedScratch {
+			t.Fatalf("retained scratch capacity %d > %d after a huge batch", c, maxRetainedScratch)
+		}
+	})
+}
+
+func TestTimestampWindowNearMinInt64(t *testing.T) {
+	// The public API allows streams to start at any timestamp, including
+	// hugely negative ones. An element observed near math.MinInt64 must be
+	// expired by the time the clock reaches small timestamps — the naive
+	// now-ts horizon test overflows and reports it active forever.
+	// Regression test for the overflow.
+	for name, mk := range map[string]func() (interface {
+		Observe(int, int64) error
+		SampleAt(int64) ([]Sampled[int], bool)
+	}, error){
+		"WOR": func() (interface {
+			Observe(int, int64) error
+			SampleAt(int64) ([]Sampled[int], bool)
+		}, error) {
+			return NewTimestampWOR[int](60, 4, WithSeed(2))
+		},
+		"WR": func() (interface {
+			Observe(int, int64) error
+			SampleAt(int64) ([]Sampled[int], bool)
+		}, error) {
+			return NewTimestampWR[int](60, 4, WithSeed(2))
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			s, err := mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			const ancient = math.MinInt64 + 5
+			for i := 0; i < 10; i++ {
+				if err := s.Observe(i, ancient); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// now - ancient exceeds MaxInt64 here, so the naive comparison
+			// wraps negative and calls the ancient elements active.
+			if err := s.Observe(100, 100); err != nil {
+				t.Fatal(err)
+			}
+			got, ok := s.SampleAt(100)
+			if !ok {
+				t.Fatal("no sample at now=100 with one active element")
+			}
+			for _, e := range got {
+				if e.Timestamp == ancient {
+					t.Fatalf("sample contains the ancient element (ts=%d) at now=100: horizon test overflowed", e.Timestamp)
+				}
+				if e.Value != 100 {
+					t.Fatalf("sampled value %d, want the only active element 100", e.Value)
+				}
+			}
+		})
+	}
+}
+
+func TestPublicWeightedWOR(t *testing.T) {
+	s, err := NewWeightedSequenceWOR[string](8, 3, WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Sample(); ok {
+		t.Fatal("sample from empty sampler")
+	}
+	if s.K() != 3 || s.N() != 8 {
+		t.Fatalf("K=%d N=%d", s.K(), s.N())
+	}
+	if err := s.Observe("x", 0); err != ErrBadWeight {
+		t.Fatalf("zero weight: got %v", err)
+	}
+	if err := s.Observe("x", math.Inf(1)); err != ErrBadWeight {
+		t.Fatalf("infinite weight: got %v", err)
+	}
+	if err := s.Observe("x", math.NaN()); err != ErrBadWeight {
+		t.Fatalf("NaN weight: got %v", err)
+	}
+	if s.Count() != 0 {
+		t.Fatal("rejected weights mutated the sampler")
+	}
+	names := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "l"}
+	for i, v := range names {
+		if err := s.Observe(v, float64(i%4)+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, ok := s.Sample()
+	if !ok || len(got) != 3 {
+		t.Fatalf("ok=%v len=%d", ok, len(got))
+	}
+	seen := map[uint64]bool{}
+	for _, e := range got {
+		if e.Index < uint64(len(names))-8 || e.Index >= uint64(len(names)) {
+			t.Fatalf("index %d outside window", e.Index)
+		}
+		if seen[e.Index] {
+			t.Fatalf("duplicate index %d in WOR sample", e.Index)
+		}
+		seen[e.Index] = true
+		if want := float64(e.Index%4) + 1; e.Weight != want {
+			t.Fatalf("weight %v, want %v", e.Weight, want)
+		}
+		if e.Value != names[e.Index] {
+			t.Fatalf("value %q at index %d", e.Value, e.Index)
+		}
+	}
+	if s.Words() <= 0 || s.MaxWords() < s.Words() {
+		t.Fatalf("memory accounting: words=%d max=%d", s.Words(), s.MaxWords())
+	}
+}
+
+func TestPublicWeightedBatchEquivalence(t *testing.T) {
+	for name, mk := range map[string]func() (interface {
+		Observe(int, float64) error
+		ObserveBatch([]int, []float64) error
+		Sample() ([]SampledWeight[int], bool)
+	}, error){
+		"WOR": func() (interface {
+			Observe(int, float64) error
+			ObserveBatch([]int, []float64) error
+			Sample() ([]SampledWeight[int], bool)
+		}, error) {
+			return NewWeightedSequenceWOR[int](100, 5, WithSeed(3))
+		},
+		"WR": func() (interface {
+			Observe(int, float64) error
+			ObserveBatch([]int, []float64) error
+			Sample() ([]SampledWeight[int], bool)
+		}, error) {
+			return NewWeightedSequenceWR[int](100, 5, WithSeed(3))
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			a, err := mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var vals []int
+			var ws []float64
+			wAt := func(i int) float64 { return float64(i%7) + 0.5 }
+			for i := 0; i < 950; i++ {
+				if err := a.Observe(i, wAt(i)); err != nil {
+					t.Fatal(err)
+				}
+				vals = append(vals, i)
+				ws = append(ws, wAt(i))
+				if len(vals) == 37 {
+					if err := b.ObserveBatch(vals, ws); err != nil {
+						t.Fatal(err)
+					}
+					vals, ws = vals[:0], ws[:0]
+				}
+			}
+			if err := b.ObserveBatch(vals, ws); err != nil {
+				t.Fatal(err)
+			}
+			av, aok := a.Sample()
+			bv, bok := b.Sample()
+			if aok != bok || len(av) != len(bv) {
+				t.Fatalf("shape diverged")
+			}
+			for i := range av {
+				if av[i] != bv[i] {
+					t.Fatalf("slot %d diverged: %+v vs %+v", i, av[i], bv[i])
+				}
+			}
+		})
+	}
+}
+
+func TestPublicWeightedBatchErrors(t *testing.T) {
+	s, err := NewWeightedSequenceWR[string](10, 2, WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ObserveBatch([]string{"a"}, []float64{1, 2}); err != ErrBatchShape {
+		t.Fatalf("length mismatch: got %v", err)
+	}
+	if err := s.ObserveBatch([]string{"a", "b"}, []float64{1, -3}); err != ErrBadWeight {
+		t.Fatalf("bad weight: got %v", err)
+	}
+	if s.Count() != 0 {
+		t.Fatal("rejected batch mutated the sampler")
+	}
+	if err := s.ObserveBatch([]string{"a", "b"}, []float64{1, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != 2 {
+		t.Fatalf("Count = %d after one accepted batch of 2", s.Count())
+	}
+	vs, ok := s.Values()
+	if !ok || len(vs) != 2 {
+		t.Fatalf("Values: ok=%v len=%d", ok, len(vs))
+	}
+}
