@@ -1,9 +1,10 @@
-# Developer and CI entry points. `make ci` is what the GitHub Actions
-# workflow runs; the other targets are the common local loops.
+# Developer and CI entry points. `make check` is the full local gate and
+# what the GitHub Actions workflow mirrors; the other targets are the
+# common local loops.
 
 GO ?= go
 
-.PHONY: all build test test-race vet bench-quick bench-batch swbench-quick ci
+.PHONY: all build test test-race vet bench-quick bench-batch swbench-quick smoke-e18 check ci
 
 all: build
 
@@ -13,12 +14,18 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-detector pass over the goroutine-parallel ingest machinery.
+# Race-detector pass over the goroutine-parallel ingest machinery and the
+# read-only ehist query path (concurrent EstimateAt under a read lock).
 test-race:
-	$(GO) test -race ./internal/parallel/...
+	$(GO) test -race ./internal/parallel/... ./internal/ehist/...
 
 vet:
 	$(GO) vet ./...
+
+# The weighted timestamp-window experiment at CI scale: exercises the
+# tentpole end to end (skyband + embedded ehist + query-time expiry).
+smoke-e18:
+	$(GO) run ./cmd/swbench -quick -e E18
 
 # Fast benchmark smoke: fixed iteration counts so CI time is bounded.
 bench-quick:
@@ -32,4 +39,6 @@ bench-batch:
 swbench-quick:
 	$(GO) run ./cmd/swbench -quick
 
-ci: vet build test test-race
+check: vet build test test-race smoke-e18
+
+ci: check

@@ -532,6 +532,40 @@ func BenchmarkBatch_WeightedWR_Batch(b *testing.B) {
 	}
 }
 
+// Weighted timestamp substrates (PR-3 tentpole): the per-element cost adds
+// the embedded ehist counter's amortized O(log n) to the skyband walk.
+func BenchmarkBatch_WeightedTSWOR_Loop(b *testing.B) {
+	for _, k := range []int{4, 16} {
+		b.Run(benchName("k", k), func(b *testing.B) {
+			feedLoop(b, weighted.NewTSWOR[uint64](xrand.New(1), 512, k, 0.05, benchWeightFn), tsAt)
+		})
+	}
+}
+
+func BenchmarkBatch_WeightedTSWOR_Batch(b *testing.B) {
+	for _, k := range []int{4, 16} {
+		b.Run(benchName("k", k), func(b *testing.B) {
+			feedBatch(b, weighted.NewTSWOR[uint64](xrand.New(1), 512, k, 0.05, benchWeightFn), tsAt)
+		})
+	}
+}
+
+func BenchmarkBatch_WeightedTSWR_Loop(b *testing.B) {
+	for _, k := range []int{1, 16} {
+		b.Run(benchName("k", k), func(b *testing.B) {
+			feedLoop(b, weighted.NewTSWR[uint64](xrand.New(1), 512, k, 0.05, benchWeightFn), tsAt)
+		})
+	}
+}
+
+func BenchmarkBatch_WeightedTSWR_Batch(b *testing.B) {
+	for _, k := range []int{1, 16} {
+		b.Run(benchName("k", k), func(b *testing.B) {
+			feedBatch(b, weighted.NewTSWR[uint64](xrand.New(1), 512, k, 0.05, benchWeightFn), tsAt)
+		})
+	}
+}
+
 // Sharded ingest: batched dealing amortizes the channel send (one message
 // per shard per chunk instead of one per element).
 func BenchmarkBatch_ShardedSeqWR_Loop(b *testing.B) {

@@ -1,4 +1,4 @@
-// Command swbench regenerates the reproduction experiments E1–E16 (see
+// Command swbench regenerates the reproduction experiments E1–E18 (see
 // DESIGN.md §4): memory tables contrasting the paper's deterministic
 // bounds with the randomized baselines, uniformity and independence test
 // tables, the Section 5 application-error tables, and the unified-interface
@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		exps  = flag.String("e", "all", "comma-separated experiment ids (E1..E16) or 'all'")
+		exps  = flag.String("e", "all", "comma-separated experiment ids (E1..E18) or 'all'")
 		seed  = flag.Uint64("seed", 2009, "master seed (2009: the paper's PODS year)")
 		quick = flag.Bool("quick", false, "reduced trial counts")
 		list  = flag.Bool("list", false, "list available experiments and exit")

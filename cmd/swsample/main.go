@@ -25,12 +25,16 @@
 //	           oversample | fullwindow | sharded-wr |
 //	           weighted-wor | weighted-wr (Efraimidis–Spirakis, line weights)
 //	ts mode:   wor (default, Theorem 4.4) | wr (Theorem 3.9) | priority |
-//	           skyband | fullwindow | sharded-wr | sharded-wor
+//	           skyband | fullwindow | sharded-wr | sharded-wor |
+//	           weighted-ts-wor | weighted-ts-wr (Efraimidis–Spirakis over
+//	           the last -t0 ticks, line weights)
 //
 // The weighted samplers favor heavy lines: each line's weight is its byte
 // length by default, or the float value of the 0-based field named by
 // -wfield (lines whose field is missing or non-positive fall back to
-// weight 1).
+// weight 1). "swsample -mode ts -sampler weighted-ts-wor -t0 60" over a
+// log with epoch-second timestamps is "the heaviest lines of the last
+// minute".
 //
 // -batch > 1 feeds the sampler through its batched ObserveBatch hot path in
 // chunks of that many lines (identical samples, amortized bookkeeping).
@@ -240,6 +244,10 @@ func build(mode, sampler string, rng *xrand.Rand, n uint64, t0 int64, k, g int, 
 			return parallel.NewShardedTSWR[string](rng, t0, g, k, 0.05), nil
 		case "sharded-wor":
 			return parallel.NewShardedTSWOR[string](rng, t0, g, k, 0.05), nil
+		case "weighted-ts-wor":
+			return weighted.NewTSWOR[string](rng, t0, k, weighted.DefaultSizeEps, weight), nil
+		case "weighted-ts-wr":
+			return weighted.NewTSWR[string](rng, t0, k, weighted.DefaultSizeEps, weight), nil
 		}
 		return nil, fmt.Errorf("unknown ts sampler %q (see -help)", sampler)
 	}

@@ -86,6 +86,14 @@ func confSubstrates() []confSubstrate {
 			mk: func(r *xrand.Rand) stream.Sampler[uint64] {
 				return weighted.NewWR[uint64](r, confN, confK, confWeight)
 			}},
+		{name: "weighted/TSWOR", wor: true, k: confK,
+			mk: func(r *xrand.Rand) stream.Sampler[uint64] {
+				return weighted.NewTSWOR[uint64](r, confT0, confK, 0.05, confWeight)
+			}},
+		{name: "weighted/TSWR", k: confK,
+			mk: func(r *xrand.Rand) stream.Sampler[uint64] {
+				return weighted.NewTSWR[uint64](r, confT0, confK, 0.05, confWeight)
+			}},
 		{name: "parallel/ShardedSeqWR", seq: true, k: confK,
 			mk: func(r *xrand.Rand) stream.Sampler[uint64] {
 				return parallel.NewShardedSeqWR[uint64](r, confN, confG, confK)

@@ -1,21 +1,26 @@
-// Netflow: monitoring a bursty packet stream — byte-weighted sampling plus
-// windowed entropy.
+// Netflow: monitoring a bursty packet stream — byte-weighted sampling over
+// both window models plus windowed entropy.
 //
-// Two windows run side by side:
+// Three windows run side by side:
 //
+//   - a BYTE-WEIGHTED k-sample without replacement over the last MINUTE
+//     (60 ticks): the timestamp-window Efraimidis–Spirakis sampler finally
+//     answers the question a packet-count window cannot — "the heaviest
+//     flows by bytes in the last minute" — because under a flood the
+//     packet RATE explodes, so a fixed packet budget covers an
+//     ever-shrinking slice of time. The sampler's embedded
+//     exponential-histogram counter reports how many packets the minute
+//     actually holds (n(t) is data-dependent and only approximable);
 //   - a BYTE-WEIGHTED k-sample without replacement over the last 4096
-//     packets (Efraimidis–Spirakis law: a packet is sampled in proportion
-//     to its byte count — the right substrate for traffic inspection, where
-//     a 1.5 kB flood packet matters ~20x more than a 64 B keep-alive), with
-//     a Horvitz–Thompson subset-sum sketch estimating each source's share
-//     of the window's bytes; and
+//     packets, with a Horvitz–Thompson subset-sum sketch estimating each
+//     source's share of the window's bytes; and
 //   - a windowed source-address ENTROPY estimate over the last 60 ticks
 //     (Corollary 5.4 machinery): entropy collapse is a classic signature of
 //     a scanning attack or a single-source flood.
 //
 // An attack is injected mid-stream: one source floods with large packets.
 // Watch the entropy estimate drop, the byte-share estimate of the attacker
-// spike, and the weighted sample fill up with the attacker — while the
+// spike, and both weighted samples fill up with the attacker — while the
 // uniform packet count barely moves.
 //
 // Run with:
@@ -53,6 +58,15 @@ func main() {
 
 	// Public API: the byte-weighted WOR packet sample for inspection.
 	sample, err := slidingsample.NewWeightedSequenceWOR[packet](packetWin, 8, slidingsample.WithSeed(7))
+	if err != nil {
+		panic(err)
+	}
+
+	// Public API: "heaviest flows by bytes in the last minute" — the same
+	// byte-weighted law over a TIMESTAMP window, expiring by the clock
+	// rather than by packet count (during the flood the packet window
+	// shrinks to a fraction of a minute; this one does not).
+	lastMinute, err := slidingsample.NewWeightedTimestampWOR[packet](horizon, 8, slidingsample.WithSeed(8))
 	if err != nil {
 		panic(err)
 	}
@@ -95,6 +109,9 @@ func main() {
 		if err := sample.Observe(p, float64(p.Bytes)); err != nil {
 			panic(err)
 		}
+		if err := lastMinute.Observe(p, float64(p.Bytes), clock); err != nil {
+			panic(err)
+		}
 		bytesBySrc.Observe(p, clock)
 		entropy.Observe(p.Src, clock)
 		counter.Observe(clock)
@@ -121,6 +138,22 @@ func main() {
 		}
 	}
 
+	// The question the tentpole exists for: heaviest flows by bytes in the
+	// last minute, queried at wall-clock time — the sampler expires by the
+	// clock even though no packet arrives at the query instant, and its
+	// embedded counter reports how many packets "the last minute" held.
+	fmt.Printf("\nheaviest flows by bytes in the last minute (t=%d, ~%d packets in window):\n",
+		clock, lastMinute.SizeAt(clock))
+	if got, ok := lastMinute.SampleAt(clock); ok {
+		for _, e := range got {
+			marker := ""
+			if e.Value.Src == attacker {
+				marker = "  (attacker)"
+			}
+			fmt.Printf("  src=%4d  bytes=%4d  age=%2d ticks%s\n", e.Value.Src, e.Value.Bytes, clock-e.Timestamp, marker)
+		}
+	}
+
 	// Inspect the final weighted sample: heavy packets dominate.
 	fmt.Printf("\nfinal byte-weighted 8-packet sample of the last %d packets (distinct):\n", packetWin)
 	if got, ok := sample.Sample(); ok {
@@ -133,5 +166,6 @@ func main() {
 		}
 	}
 	fmt.Printf("\nweighted sampler memory: %d words (peak %d) — expected O(k·log n); the\n", sample.Words(), sample.MaxWords())
-	fmt.Printf("window itself holds %d packets. Entropy sampler: %d words (peak %d).\n", packetWin, sampler.Words(), sampler.MaxWords())
+	fmt.Printf("window itself holds %d packets. Last-minute sampler: %d words (peak %d,\n", packetWin, lastMinute.Words(), lastMinute.MaxWords())
+	fmt.Printf("embedded size counter included). Entropy sampler: %d words (peak %d).\n", sampler.Words(), sampler.MaxWords())
 }

@@ -94,6 +94,142 @@ func TestSubsetSumExhaustive(t *testing.T) {
 	}
 }
 
+// TestSubsetSumTSUnbiased: over a bursty timestamp window, the mean of the
+// HT estimate across seeded runs must converge to the exact subset sum of
+// the active elements — both at the last arrival and at a query time past
+// it, where part of the window has expired by clock advancement alone.
+func TestSubsetSumTSUnbiased(t *testing.T) {
+	const (
+		t0     = 40
+		k      = 16
+		m      = 600
+		trials = 1500
+	)
+	ts := func(i int) int64 { return int64(i / 5) } // bursty: 5 arrivals per tick
+	lastTS := ts(m - 1)
+	probe := lastTS + t0/4 // expires the oldest quarter with no arrival
+	pred := func(v uint64) bool { return v%3 == 0 }
+
+	exactAt := func(now int64) float64 {
+		buf := window.NewTSBuffer[uint64](t0)
+		for i := 0; i < m; i++ {
+			buf.Observe(stream.Element[uint64]{Value: uint64(i), Index: uint64(i), TS: ts(i)})
+		}
+		buf.AdvanceTo(now)
+		sum := 0.0
+		for _, e := range buf.Contents() {
+			if pred(e.Value) {
+				sum += ssWeight(e.Value)
+			}
+		}
+		return sum
+	}
+	exactLast, exactProbe := exactAt(lastTS), exactAt(probe)
+	if exactProbe >= exactLast {
+		t.Fatalf("probe time expired nothing: %v >= %v (test harness broken)", exactProbe, exactLast)
+	}
+
+	sumLast, sumProbe := 0.0, 0.0
+	for tr := 0; tr < trials; tr++ {
+		est := NewSubsetSumTS[uint64](xrand.New(uint64(tr)+1), t0, k, 0.05, ssWeight)
+		for i := 0; i < m; i++ {
+			est.Observe(uint64(i), ts(i))
+		}
+		got, ok := est.Estimate(pred)
+		if !ok {
+			t.Fatalf("trial %d: no estimate at the last arrival", tr)
+		}
+		sumLast += got
+		got, ok = est.EstimateAt(probe, pred)
+		if !ok {
+			t.Fatalf("trial %d: no estimate at the probe time", tr)
+		}
+		sumProbe += got
+	}
+	if rel := math.Abs(sumLast/trials/exactLast - 1); rel > 0.03 {
+		t.Errorf("at last arrival: mean %.2f vs exact %.2f (rel %.4f > 0.03)", sumLast/trials, exactLast, rel)
+	}
+	if rel := math.Abs(sumProbe/trials/exactProbe - 1); rel > 0.03 {
+		t.Errorf("at probe: mean %.2f vs exact %.2f (rel %.4f > 0.03)", sumProbe/trials, exactProbe, rel)
+	}
+}
+
+// TestSubsetSumTSDrainsExact: as queries alone drain the window below k
+// elements the sketch turns exhaustive and the estimate becomes exact,
+// ending at ok=false on the empty window.
+func TestSubsetSumTSDrainsExact(t *testing.T) {
+	const t0, k = 30, 10
+	est := NewSubsetSumTS[uint64](xrand.New(7), t0, k, 0.05, ssWeight)
+	if _, ok := est.Total(); ok {
+		t.Fatal("estimate from empty estimator")
+	}
+	for i := 0; i < 90; i++ {
+		est.Observe(uint64(i), int64(i)) // one element per tick
+	}
+	// At now = 89+t0-1 only the last arrival survives; walk the drain.
+	for now := int64(89 + t0 - k); now < 89+t0; now++ {
+		active := 89 + t0 - now // elements with ts > now-t0, i.e. ts in (now-30, 89]
+		exact := 0.0
+		for i := 90 - int(active); i < 90; i++ {
+			exact += ssWeight(uint64(i))
+		}
+		got, ok := est.TotalAt(now)
+		if !ok || got != exact {
+			t.Fatalf("now=%d (%d active): total %v ok=%v, want exactly %v", now, active, got, ok, exact)
+		}
+	}
+	if _, ok := est.TotalAt(89 + t0); ok {
+		t.Fatal("estimate from a fully drained window")
+	}
+	// Still usable after the drain.
+	est.Observe(1000, 89+t0+1)
+	if got, ok := est.Total(); !ok || got != ssWeight(1000) {
+		t.Fatalf("post-drain arrival: total %v ok=%v", got, ok)
+	}
+}
+
+// TestSubsetSumTSFreshQueryDoesNotPinClock: an Estimate/Total on a fresh
+// estimator reports ok=false without pinning the clock, so the stream may
+// still start at any timestamp, including negative ones.
+func TestSubsetSumTSFreshQueryDoesNotPinClock(t *testing.T) {
+	est := NewSubsetSumTS[uint64](xrand.New(1), 100, 4, 0.05, ssWeight)
+	if _, ok := est.Total(); ok {
+		t.Fatal("estimate from empty estimator")
+	}
+	est.Observe(7, -10) // must not panic "time went backwards"
+	if got, ok := est.Total(); !ok || got != ssWeight(7) {
+		t.Fatalf("negative-start stream after a fresh query: total %v ok=%v", got, ok)
+	}
+}
+
+// TestSubsetSumTSBatchEquivalence: the batched path must match looped
+// ingest exactly, estimates included.
+func TestSubsetSumTSBatchEquivalence(t *testing.T) {
+	const t0, k, m = 64, 8, 500
+	loop := NewSubsetSumTS[uint64](xrand.New(11), t0, k, 0.05, ssWeight)
+	batch := NewSubsetSumTS[uint64](xrand.New(11), t0, k, 0.05, ssWeight)
+	var buf []stream.Element[uint64]
+	for i := 0; i < m; i++ {
+		ts := int64(i / 3)
+		loop.Observe(uint64(i), ts)
+		buf = append(buf, stream.Element[uint64]{Value: uint64(i), TS: ts})
+		if len(buf) == 37 {
+			batch.ObserveBatch(buf)
+			buf = buf[:0]
+		}
+	}
+	batch.ObserveBatch(buf)
+	pred := func(v uint64) bool { return v%3 == 0 }
+	a, aok := loop.Estimate(pred)
+	b, bok := batch.Estimate(pred)
+	if aok != bok || a != b {
+		t.Fatalf("estimates diverged: %v/%v vs %v/%v", a, aok, b, bok)
+	}
+	if loop.Words() != batch.Words() || loop.MaxWords() != batch.MaxWords() {
+		t.Fatal("memory accounting diverged")
+	}
+}
+
 // TestSubsetSumBatchEquivalence: ObserveBatch must leave the estimator in
 // the same state as looped Observe under equal seeds.
 func TestSubsetSumBatchEquivalence(t *testing.T) {

@@ -66,6 +66,12 @@ func e16Substrates() []e16Substrate {
 		{"weighted/WR", func(r *xrand.Rand) stream.Sampler[uint64] {
 			return weighted.NewWR[uint64](r, n, k, e16Weight)
 		}},
+		{"weighted/TSWOR", func(r *xrand.Rand) stream.Sampler[uint64] {
+			return weighted.NewTSWOR[uint64](r, t0, k, 0.05, e16Weight)
+		}},
+		{"weighted/TSWR", func(r *xrand.Rand) stream.Sampler[uint64] {
+			return weighted.NewTSWR[uint64](r, t0, k, 0.05, e16Weight)
+		}},
 		{"parallel/ShardedSeqWR", func(r *xrand.Rand) stream.Sampler[uint64] {
 			return parallel.NewShardedSeqWR[uint64](r, n, g, k)
 		}},

@@ -7,7 +7,8 @@ package bench
 // paper's window machinery, so its two engineering claims are regenerated
 // with the tables: (a) the windowed subset-sum estimate is unbiased with
 // error shrinking in k, and (b) the retained set stays O(k·log n) words in
-// expectation, far below the Θ(n) full-window cost.
+// expectation, far below the Θ(n) full-window cost. E18 (e_weighted_ts.go)
+// is this experiment's timestamp-window counterpart.
 
 import (
 	"math"

@@ -99,13 +99,18 @@ func (c *BitCounter) active(p uint64) bool {
 	return p+c.n >= c.pos
 }
 
+// expire drops buckets whose newest 1 left the window, shifting the
+// survivors in place with a zeroed tail (same discipline as Counter.expire:
+// no per-expiry reallocation, no stale bucket copies in the slack).
 func (c *BitCounter) expire() {
 	i := 0
 	for i < len(c.buckets) && !c.active(c.buckets[i].newPos) {
 		i++
 	}
 	if i > 0 {
-		c.buckets = append(c.buckets[:0:0], c.buckets[i:]...)
+		m := copy(c.buckets, c.buckets[i:])
+		clear(c.buckets[m:])
+		c.buckets = c.buckets[:m]
 	}
 }
 

@@ -23,6 +23,14 @@
 // exact; when it does, the head contributes half its size and the absolute
 // error is at most half the head bucket, giving relative error at most
 // 1/(maxPerSize-1).
+//
+// Queries are READ-ONLY: EstimateAt computes expiry against the query time
+// without persisting it, so a wall-clock query may be followed by an
+// arrival with a slightly older (but still non-decreasing) timestamp — the
+// serving-style read path. Only Observe advances the counter's clock. A
+// Counter may therefore serve concurrent EstimateAt callers under a read
+// lock; Observe needs exclusive access, like every other mutation in this
+// repository.
 package ehist
 
 import (
@@ -120,40 +128,55 @@ func (c *Counter) cascade() {
 	}
 }
 
-// expire drops buckets whose most recent element has left the window.
+// expire drops buckets whose most recent element has left the window. The
+// survivors are shifted in place — the slice's capacity is bounded by the
+// logarithmic bucket peak, which the word model already charges for — and
+// the vacated tail is zeroed so stale bucket copies never linger.
 func (c *Counter) expire() {
 	i := 0
 	for i < len(c.buckets) && c.w.Expired(c.buckets[i].newTS, c.now) {
 		i++
 	}
 	if i > 0 {
-		c.buckets = append(c.buckets[:0:0], c.buckets[i:]...)
+		m := copy(c.buckets, c.buckets[i:])
+		clear(c.buckets[m:])
+		c.buckets = c.buckets[:m]
 	}
 }
 
 // EstimateAt returns the approximate number of active elements at time now.
-// Querying advances the counter's clock. The result is exact whenever the
-// oldest bucket lies entirely inside the window (in particular while the
-// stream is younger than the window).
+// The query is read-only: expiry is computed against the query time without
+// persisting it, so the counter's clock — which only Observe advances — is
+// never moved by a query, and an arrival with ts < now remains legal
+// afterwards. A query older than the latest arrival is answered at the
+// arrival clock (time never rewinds). The result is exact whenever the
+// oldest surviving bucket lies entirely inside the window (in particular
+// while the stream is younger than the window).
 func (c *Counter) EstimateAt(now int64) uint64 {
 	if !c.started {
 		return 0
 	}
-	if now > c.now {
-		c.now = now
+	if now < c.now {
+		now = c.now
 	}
-	c.expire()
-	if len(c.buckets) == 0 {
+	// Buckets are oldest first with non-decreasing newTS, so the dead
+	// prefix at query time is found by the same scan expire uses — just
+	// without committing it.
+	i := 0
+	for i < len(c.buckets) && c.w.Expired(c.buckets[i].newTS, now) {
+		i++
+	}
+	if i == len(c.buckets) {
 		return 0
 	}
 	total := uint64(0)
-	for _, b := range c.buckets {
+	for _, b := range c.buckets[i:] {
 		total += b.size
 	}
-	if c.w.Active(c.buckets[0].oldTS, c.now) {
+	if c.w.Active(c.buckets[i].oldTS, now) {
 		return total // head bucket fully inside the window: exact
 	}
-	return total - c.buckets[0].size/2
+	return total - c.buckets[i].size/2
 }
 
 // Estimate returns the approximate count at the latest observed time.

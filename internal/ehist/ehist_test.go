@@ -2,6 +2,7 @@ package ehist
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"slidingsample/internal/window"
@@ -67,6 +68,143 @@ func TestCounterBursty(t *testing.T) {
 		if rel := math.Abs(got-want) / want; rel > 0.1+1e-9 {
 			t.Fatalf("step %d: estimate %.0f vs true %.0f (rel %.3f)", i, got, want, rel)
 		}
+	}
+}
+
+// TestQueryReadOnly is the regression test for the serving-path bug: a
+// query at a wall-clock time far past the last arrival must NOT advance the
+// counter's clock or destroy its buckets, so a later legitimate arrival
+// with a slightly older timestamp still works and still counts everything.
+// Pre-fix, EstimateAt persisted the query time and the follow-up Observe
+// panicked "time went backwards".
+func TestQueryReadOnly(t *testing.T) {
+	c := New(100, 4)
+	c.Observe(0)
+	if got := c.EstimateAt(1 << 40); got != 0 {
+		t.Fatalf("estimate %d far past the horizon, want 0", got)
+	}
+	c.Observe(1) // must not panic: only arrivals advance the clock
+	if got := c.Estimate(); got != 2 {
+		t.Fatalf("estimate %d after the post-query arrival, want 2", got)
+	}
+	// The pre-query state survived intact: a query inside the window still
+	// sees both arrivals, and repeated far-future queries stay harmless.
+	if got := c.EstimateAt(50); got != 2 {
+		t.Fatalf("estimate %d at t=50, want 2", got)
+	}
+	c.EstimateAt(1 << 40)
+	c.EstimateAt(1 << 41)
+	c.Observe(2)
+	if got := c.Estimate(); got != 3 {
+		t.Fatalf("estimate %d after repeated future queries, want 3", got)
+	}
+	// Queries older than the arrival clock answer at the arrival clock.
+	if got := c.EstimateAt(-5); got != 3 {
+		t.Fatalf("estimate %d for a pre-clock query, want 3", got)
+	}
+}
+
+// TestFutureQueriesAccurateAndHarmless interleaves wall-clock queries ahead
+// of the arrival stream with further arrivals: every query must stay within
+// the counter's error bound against TSBuffer ground truth advanced to the
+// same probe time, and — queries being read-only — the arrival-time
+// estimates afterwards must be exactly as accurate as ever.
+func TestFutureQueriesAccurateAndHarmless(t *testing.T) {
+	const t0 = 64
+	rng := xrand.New(5)
+	c := NewEps(t0, 0.1)
+	truth := window.NewTSBuffer[struct{}](t0)
+	ts := int64(0)
+	for i := 0; i < 20000; i++ {
+		if rng.Uint64n(4) == 0 {
+			ts += int64(rng.Uint64n(9))
+		}
+		c.Observe(ts)
+		truth.Observe(struct {
+			Value struct{}
+			Index uint64
+			TS    int64
+		}{TS: ts, Index: uint64(i)})
+		if i%13 != 0 {
+			continue
+		}
+		probe := ts + int64(rng.Uint64n(2*t0)) // may expire part or all of the window
+		probeTruth := window.NewTSBuffer[struct{}](t0)
+		for _, e := range truth.Contents() {
+			probeTruth.Observe(e)
+		}
+		probeTruth.AdvanceTo(probe)
+		got, want := float64(c.EstimateAt(probe)), float64(probeTruth.Len())
+		if want == 0 {
+			if got != 0 {
+				t.Fatalf("step %d: estimate %.0f at probe %d, want 0", i, got, probe)
+			}
+			continue
+		}
+		if rel := math.Abs(got-want) / want; rel > 0.1+1e-9 {
+			t.Fatalf("step %d: probe estimate %.0f vs true %.0f (rel %.3f)", i, got, want, rel)
+		}
+	}
+}
+
+// TestConcurrentQueries exercises the read path under the race detector:
+// with queries read-only, a Counter behind a RWMutex serves concurrent
+// EstimateAt callers holding only the read lock while a writer Observes
+// under the write lock. Pre-fix this races (and fails under -race): two
+// RLock holders both mutated the bucket slice and the clock.
+func TestConcurrentQueries(t *testing.T) {
+	c := NewEps(256, 0.1)
+	var mu sync.RWMutex
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			probe := int64(r * 100)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				mu.RLock()
+				c.EstimateAt(probe)
+				c.Estimate()
+				mu.RUnlock()
+				probe += 37
+			}
+		}(r)
+	}
+	for ts := int64(0); ts < 20000; ts++ {
+		mu.Lock()
+		c.Observe(ts)
+		mu.Unlock()
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestObserveSteadyStateAllocFree is the regression test for the expire
+// reallocation: in steady state (arrivals continually expiring old buckets)
+// Observe must not allocate per call — the bucket slice is shifted in
+// place. Pre-fix, every expiry-advancing Observe reallocated the slice.
+// BENCH_3.json records the benchmark-level before/after.
+func TestObserveSteadyStateAllocFree(t *testing.T) {
+	c := NewEps(64, 0.1)
+	ts := int64(0)
+	for i := 0; i < 10000; i++ { // warm up: let the slice capacity peak
+		c.Observe(ts)
+		ts++
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		for i := 0; i < 100; i++ {
+			c.Observe(ts)
+			ts++
+		}
+	})
+	if avg > 0.5 {
+		t.Fatalf("steady-state Observe allocates: %.2f allocs per 100 arrivals", avg)
 	}
 }
 

@@ -1,0 +1,474 @@
+package weighted
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"slidingsample/internal/stream"
+	"slidingsample/internal/window"
+	"slidingsample/internal/xrand"
+)
+
+// tsPattern is one timestamp-stream shape the distribution battery runs
+// over: the arrival timestamps, the horizon, and the query time (which may
+// lie past the last arrival — query-time expiry is part of the law).
+type tsPattern struct {
+	name string
+	t0   int64
+	ts   []int64
+	now  int64
+}
+
+// tsPatterns returns the three adversarial shapes the tentpole is admitted
+// on: bursty (many arrivals per tick), gapped (idle stretches plus a query
+// past the last arrival), and a stream starting next to MinInt64 (the
+// overflow-safe Timestamp comparison must carry the law unchanged).
+func tsPatterns() []tsPattern {
+	bursty := make([]int64, 30)
+	for i := range bursty {
+		bursty[i] = int64(i / 3)
+	}
+	gapped := []int64{0, 0, 10, 10, 11, 13, 20, 21, 21, 22, 25}
+	const min = math.MinInt64
+	nearMin := make([]int64, 12)
+	for i := range nearMin {
+		nearMin[i] = min + int64(i)
+	}
+	return []tsPattern{
+		{name: "bursty", t0: 3, ts: bursty, now: 9},
+		{name: "gapped", t0: 10, ts: gapped, now: 28}, // 3 ticks past the last arrival
+		{name: "minint64", t0: 8, ts: nearMin, now: min + 11},
+	}
+}
+
+// tsWindow materializes the exact active window of a pattern (ground truth
+// from window.TSBuffer, advanced to the query time).
+func tsWindow(p tsPattern) []stream.Element[uint64] {
+	buf := window.NewTSBuffer[uint64](p.t0)
+	for i, ts := range p.ts {
+		buf.Observe(stream.Element[uint64]{Value: uint64(i), Index: uint64(i), TS: ts})
+	}
+	buf.AdvanceTo(p.now)
+	return buf.Contents()
+}
+
+// TestTSWORMatchesBruteForceLaw is the distribution-correctness conformance
+// test the timestamp substrate is admitted on: over each timestamp pattern,
+// the TSWOR sampler's ORDERED 2-sample at the query time must match (in
+// total-variation distance) both a brute-force Efraimidis–Spirakis sampler
+// over the exact TSBuffer window contents and the closed-form
+// successive-sampling law P(i1, i2) = w1/W · w2/(W - w1).
+func TestTSWORMatchesBruteForceLaw(t *testing.T) {
+	const (
+		k      = 2
+		trials = 40000
+	)
+	for _, p := range tsPatterns() {
+		t.Run(p.name, func(t *testing.T) {
+			win := tsWindow(p)
+			if len(win) < 4 {
+				t.Fatalf("pattern too small: window has %d elements", len(win))
+			}
+			W := 0.0
+			for _, e := range win {
+				W += testWeight(e.Value)
+			}
+			exact := map[[2]uint64]float64{}
+			for _, a := range win {
+				wa := testWeight(a.Value)
+				for _, b := range win {
+					if a.Index == b.Index {
+						continue
+					}
+					exact[[2]uint64{a.Index, b.Index}] = wa / W * testWeight(b.Value) / (W - wa)
+				}
+			}
+
+			// Empirical law of the sliding sampler, queried at p.now.
+			sampler := map[[2]uint64]int{}
+			for tr := 0; tr < trials; tr++ {
+				s := NewTSWOR[uint64](xrand.New(uint64(tr)+1), p.t0, k, 0.05, testWeight)
+				for i, ts := range p.ts {
+					s.Observe(uint64(i), ts)
+				}
+				got, ok := s.SampleAt(p.now)
+				if !ok || len(got) != k {
+					t.Fatalf("trial %d: ok=%v len=%d", tr, ok, len(got))
+				}
+				sampler[[2]uint64{got[0].Index, got[1].Index}]++
+			}
+
+			// Empirical law of brute-force ES over the same window.
+			brute := map[[2]uint64]int{}
+			br := xrand.New(192837465)
+			keys := make([]float64, len(win))
+			order := make([]int, len(win))
+			for tr := 0; tr < trials; tr++ {
+				for i, e := range win {
+					keys[i] = drawLogKey(br, testWeight(e.Value))
+					order[i] = i
+				}
+				sort.Slice(order, func(a, b int) bool { return keys[order[a]] > keys[order[b]] })
+				brute[[2]uint64{win[order[0]].Index, win[order[1]].Index}]++
+			}
+
+			tv := func(emp map[[2]uint64]int) float64 {
+				d := 0.0
+				for pair, pr := range exact {
+					d += math.Abs(pr - float64(emp[pair])/trials)
+				}
+				for pair := range emp {
+					if _, known := exact[pair]; !known {
+						t.Fatalf("sampled pair %v outside the window law support", pair)
+					}
+				}
+				return d / 2
+			}
+			if d := tv(sampler); d > 0.05 {
+				t.Errorf("sampler vs closed-form law: TV = %.4f > 0.05", d)
+			}
+			if d := tv(brute); d > 0.05 {
+				t.Errorf("brute force vs closed-form law: TV = %.4f > 0.05 (test harness broken)", d)
+			}
+			d := 0.0
+			for pair := range exact {
+				d += math.Abs(float64(sampler[pair])-float64(brute[pair])) / trials
+			}
+			if d /= 2; d > 0.06 {
+				t.Errorf("sampler vs brute force: TV = %.4f > 0.06", d)
+			}
+		})
+	}
+}
+
+// TestTSWRInclusionLaw checks the with-replacement law on the gapped
+// pattern: each slot returns active element i with probability w_i / W at
+// the query time, and never an expired element.
+func TestTSWRInclusionLaw(t *testing.T) {
+	const (
+		k      = 3
+		trials = 30000
+	)
+	p := tsPatterns()[1] // gapped: includes query-time expiry past the last arrival
+	win := tsWindow(p)
+	W := 0.0
+	active := map[uint64]bool{}
+	for _, e := range win {
+		W += testWeight(e.Value)
+		active[e.Index] = true
+	}
+	counts := map[uint64]int{}
+	for tr := 0; tr < trials; tr++ {
+		s := NewTSWR[uint64](xrand.New(uint64(tr)+1), p.t0, k, 0.05, testWeight)
+		for i, ts := range p.ts {
+			s.Observe(uint64(i), ts)
+		}
+		got, ok := s.SampleAt(p.now)
+		if !ok || len(got) != k {
+			t.Fatalf("trial %d: ok=%v len=%d", tr, ok, len(got))
+		}
+		for _, e := range got {
+			if !active[e.Index] {
+				t.Fatalf("trial %d: sampled expired index %d", tr, e.Index)
+			}
+			counts[e.Index]++
+		}
+	}
+	draws := float64(trials * k)
+	for _, e := range win {
+		pr := testWeight(e.Value) / W
+		got := float64(counts[e.Index]) / draws
+		tol := 5 * math.Sqrt(pr*(1-pr)/draws) // 5 sigma on a binomial proportion
+		if math.Abs(got-pr) > tol {
+			t.Errorf("index %d: inclusion %.4f, want %.4f ± %.4f", e.Index, got, pr, tol)
+		}
+	}
+}
+
+// TestTSQueryTimeExpiryMatchesBuffer: after the last arrival the clock
+// keeps moving by queries alone, and Items must track TSBuffer ground truth
+// exactly — |sample| = min(k, n(t)), every sampled element active, the
+// sample EQUAL to the window once n(t) <= k, and ok=false once the window
+// drains. This is the "arrivals no longer bound the clock" half of the
+// tentpole, for both samplers.
+func TestTSQueryTimeExpiryMatchesBuffer(t *testing.T) {
+	const (
+		t0 = 50
+		k  = 6
+		m  = 200
+	)
+	wor := NewTSWOR[uint64](xrand.New(9), t0, k, 0.05, testWeight)
+	wr := NewTSWR[uint64](xrand.New(10), t0, k, 0.05, testWeight)
+	truth := window.NewTSBuffer[uint64](t0)
+	rng := xrand.New(11)
+	ts := int64(0)
+	for i := 0; i < m; i++ {
+		if rng.Uint64n(3) == 0 {
+			ts += int64(rng.Uint64n(4))
+		}
+		wor.Observe(uint64(i), ts)
+		wr.Observe(uint64(i), ts)
+		truth.Observe(stream.Element[uint64]{Value: uint64(i), Index: uint64(i), TS: ts})
+	}
+	// Pure clock advancement: tick past the last arrival until everything
+	// has expired, checking against ground truth at every step.
+	for now := ts; now <= ts+t0+2; now++ {
+		truth.AdvanceTo(now)
+		active := map[uint64]stream.Element[uint64]{}
+		for _, e := range truth.Contents() {
+			active[e.Index] = e
+		}
+		n := len(active)
+
+		items, ok := wor.ItemsAt(now)
+		if ok != (n > 0) {
+			t.Fatalf("now=%d: WOR ok=%v with n(t)=%d", now, ok, n)
+		}
+		wantLen := k
+		if n < k {
+			wantLen = n
+		}
+		if len(items) != wantLen {
+			t.Fatalf("now=%d: WOR |sample|=%d, want min(k,n)=%d", now, len(items), wantLen)
+		}
+		for _, it := range items {
+			if _, live := active[it.Elem.Index]; !live {
+				t.Fatalf("now=%d: WOR sampled expired index %d", now, it.Elem.Index)
+			}
+		}
+		if n <= k {
+			// Exhaustive regime: the sample IS the window.
+			got := map[uint64]bool{}
+			for _, it := range items {
+				got[it.Elem.Index] = true
+			}
+			for idx := range active {
+				if !got[idx] {
+					t.Fatalf("now=%d: WOR missing active index %d in exhaustive regime", now, idx)
+				}
+			}
+		}
+
+		draws, ok := wr.ItemsAt(now)
+		if ok != (n > 0) {
+			t.Fatalf("now=%d: WR ok=%v with n(t)=%d", now, ok, n)
+		}
+		if ok {
+			if len(draws) != k {
+				t.Fatalf("now=%d: WR |sample|=%d, want k=%d", now, len(draws), k)
+			}
+			for _, it := range draws {
+				if _, live := active[it.Elem.Index]; !live {
+					t.Fatalf("now=%d: WR sampled expired index %d", now, it.Elem.Index)
+				}
+			}
+		}
+	}
+}
+
+// TestTSWORRetainedBound is the property test for the tentpole's memory
+// claim: under adversarial timestamp bursts (B arrivals per tick, so n(t)
+// jumps by B at once, followed by total-expiry gaps) the retained-set size
+// stays O(k·log n) in expectation. The bound is checked on the mean across
+// seeded runs — the retained size is a random variable; the expectation is
+// what the harmonic argument bounds — with the same 8x slack the sequence
+// substrate uses.
+func TestTSWORRetainedBound(t *testing.T) {
+	const (
+		t0    = 16
+		k     = 8
+		burst = 512
+		runs  = 20
+	)
+	n := float64(t0 * burst) // peak active count
+	expect := float64(k) * (1 + math.Log(n/float64(k)))
+	bound := 8 * expect
+	sum, checks := 0.0, 0
+	for run := 0; run < runs; run++ {
+		s := NewTSWOR[uint64](xrand.New(uint64(run)+1), t0, k, 0.05, testWeight)
+		v := uint64(0)
+		for cycle := 0; cycle < 3; cycle++ {
+			base := int64(cycle) * (t0 * 4)
+			for tick := int64(0); tick < t0*2; tick++ { // fill, then slide at full width
+				for b := 0; b < burst; b++ {
+					s.Observe(v, base+tick)
+					v++
+				}
+				sum += float64(s.Retained())
+				checks++
+			}
+			// Gap: everything expires before the next cycle begins.
+		}
+	}
+	mean := sum / float64(checks)
+	if mean > bound {
+		t.Errorf("mean retained %.1f nodes above 8x expectation bound %.1f (E ≈ %.1f)", mean, bound, expect)
+	}
+}
+
+// TestTSBatchLoopIdentical: the batched hot paths must be sample-path
+// identical to looped Observe under equal seeds, including memory
+// accounting and the embedded counter.
+func TestTSBatchLoopIdentical(t *testing.T) {
+	const m = 3000
+	sizes := []int{1, 9, 128, 3, 301, 1, 64}
+	mk := map[string]func(r *xrand.Rand) stream.Sampler[uint64]{
+		"TSWOR": func(r *xrand.Rand) stream.Sampler[uint64] { return NewTSWOR[uint64](r, 40, 7, 0.05, testWeight) },
+		"TSWR":  func(r *xrand.Rand) stream.Sampler[uint64] { return NewTSWR[uint64](r, 40, 7, 0.05, testWeight) },
+	}
+	for name, make := range mk {
+		t.Run(name, func(t *testing.T) {
+			loop := make(xrand.New(42))
+			batch := make(xrand.New(42))
+			for i := 0; i < m; i++ {
+				loop.Observe(uint64(i), int64(i/3))
+			}
+			var buf []stream.Element[uint64]
+			for i, si := 0, 0; i < m; si++ {
+				sz := sizes[si%len(sizes)]
+				if i+sz > m {
+					sz = m - i
+				}
+				buf = buf[:0]
+				for j := 0; j < sz; j++ {
+					buf = append(buf, stream.Element[uint64]{Value: uint64(i + j), TS: int64((i + j) / 3)})
+				}
+				batch.ObserveBatch(buf)
+				i += sz
+			}
+			if loop.Count() != batch.Count() || loop.Words() != batch.Words() || loop.MaxWords() != batch.MaxWords() {
+				t.Fatalf("state diverged: count %d/%d words %d/%d max %d/%d",
+					loop.Count(), batch.Count(), loop.Words(), batch.Words(), loop.MaxWords(), batch.MaxWords())
+			}
+			la, lok := loop.Sample()
+			ba, bok := batch.Sample()
+			if lok != bok || len(la) != len(ba) {
+				t.Fatalf("sample shape diverged")
+			}
+			for i := range la {
+				if la[i] != ba[i] {
+					t.Fatalf("slot %d diverged: %+v vs %+v", i, la[i], ba[i])
+				}
+			}
+		})
+	}
+}
+
+// TestTSSizeAt: the embedded counter reports n(t) within its (1±eps) bound
+// against TSBuffer ground truth, including at query times past the last
+// arrival, and never above the arrival count.
+func TestTSSizeAt(t *testing.T) {
+	const (
+		t0  = 64
+		k   = 4
+		m   = 5000
+		eps = 0.1
+	)
+	s := NewTSWOR[uint64](xrand.New(3), t0, k, eps, testWeight)
+	truth := window.NewTSBuffer[uint64](t0)
+	rng := xrand.New(4)
+	ts := int64(0)
+	for i := 0; i < m; i++ {
+		if rng.Uint64n(4) == 0 {
+			ts += int64(rng.Uint64n(7))
+		}
+		s.Observe(uint64(i), ts)
+		truth.Observe(stream.Element[uint64]{Value: uint64(i), Index: uint64(i), TS: ts})
+		if i%17 != 0 {
+			continue
+		}
+		probe := ts + int64(rng.Uint64n(t0/2))
+		probeTruth := window.NewTSBuffer[uint64](t0)
+		for _, e := range truth.Contents() {
+			probeTruth.Observe(e)
+		}
+		probeTruth.AdvanceTo(probe)
+		got, want := float64(s.SizeAt(probe)), float64(probeTruth.Len())
+		if want == 0 {
+			if got != 0 {
+				t.Fatalf("step %d: SizeAt=%.0f on an empty window", i, got)
+			}
+			continue
+		}
+		if rel := math.Abs(got-want) / want; rel > eps+1e-9 {
+			t.Fatalf("step %d: SizeAt=%.0f vs n(t)=%.0f (rel %.3f > %.2f)", i, got, want, rel, eps)
+		}
+	}
+}
+
+// TestTSFreshQueryDoesNotPinClock: Items/Sample on a sampler that has seen
+// no arrival must report ok=false WITHOUT committing a clock, so the
+// stream may still start at any timestamp — including negative ones
+// (estimator layers like apps.SubsetSumTS query through Items directly,
+// with no public wrapper guarding them).
+func TestTSFreshQueryDoesNotPinClock(t *testing.T) {
+	wor := NewTSWOR[uint64](xrand.New(1), 100, 4, 0.05, testWeight)
+	if _, ok := wor.Items(); ok {
+		t.Fatal("items from empty sampler")
+	}
+	if _, ok := wor.SampleAt(50); ok {
+		t.Fatal("sample from empty sampler")
+	}
+	wor.Observe(1, -10) // must not panic "time went backwards"
+	if got, ok := wor.Sample(); !ok || len(got) != 1 || got[0].TS != -10 {
+		t.Fatalf("negative-start stream after fresh queries: ok=%v %+v", ok, got)
+	}
+	wr := NewTSWR[uint64](xrand.New(2), 100, 4, 0.05, testWeight)
+	if _, ok := wr.Sample(); ok {
+		t.Fatal("sample from empty sampler")
+	}
+	wr.Observe(1, -10)
+	if _, ok := wr.Sample(); !ok {
+		t.Fatal("no sample after negative start")
+	}
+}
+
+// TestTSWeightAndParamPanics: constructor and weight validation match the
+// internal panic convention.
+func TestTSWeightAndParamPanics(t *testing.T) {
+	ok1 := func(uint64) float64 { return 1 }
+	for name, fn := range map[string]func(){
+		"t0":       func() { NewTSWOR[uint64](xrand.New(1), 0, 2, 0.05, ok1) },
+		"k":        func() { NewTSWOR[uint64](xrand.New(1), 8, 0, 0.05, ok1) },
+		"eps":      func() { NewTSWOR[uint64](xrand.New(1), 8, 2, 1.5, ok1) },
+		"weight":   func() { NewTSWOR[uint64](xrand.New(1), 8, 2, 0.05, nil) },
+		"wr-eps":   func() { NewTSWR[uint64](xrand.New(1), 8, 2, 0, ok1) },
+		"badw":     func() { NewTSWOR[uint64](xrand.New(1), 8, 2, 0.05, func(uint64) float64 { return 0 }).Observe(1, 0) },
+		"backward": func() { s := NewTSWOR[uint64](xrand.New(1), 8, 2, 0.05, ok1); s.Observe(1, 5); s.Observe(2, 4) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+// TestTSSkybandExpiryReleasesPayloads is the timestamp half of the leak
+// regression: nodes expired by a pure clock-advancing query must leave no
+// live payload pointers in the node slice's spare capacity.
+func TestTSSkybandExpiryReleasesPayloads(t *testing.T) {
+	const t0 = 10
+	s := NewTSWOR[*[]byte](xrand.New(5), t0, 2, 0.05, func(*[]byte) float64 { return 1 })
+	for i := 0; i < 64; i++ {
+		p := make([]byte, 1<<10)
+		s.Observe(&p, int64(i))
+	}
+	// Expire everything by query alone.
+	if _, ok := s.ItemsAt(int64(64 + t0)); ok {
+		t.Fatal("window should be empty")
+	}
+	if got := len(s.sky.nodes); got != 0 {
+		t.Fatalf("%d nodes retained after full expiry", got)
+	}
+	full := s.sky.nodes[:cap(s.sky.nodes)]
+	for i, nd := range full {
+		if nd.elem.Value != nil {
+			t.Fatalf("slack slot %d still pins an expired payload", i)
+		}
+	}
+}

@@ -1,5 +1,6 @@
-// Package weighted implements weighted sampling from sequence-based sliding
-// windows: each element carries a positive weight, and heavy elements are
+// Package weighted implements weighted sampling from sliding windows —
+// sequence-based (WOR/WR, this file) and timestamp-based (TSWOR/TSWR,
+// ts.go): each element carries a positive weight, and heavy elements are
 // sampled proportionally more often than light ones.
 //
 // The substrate is the Efraimidis–Spirakis key construction: element p_i with
@@ -27,9 +28,10 @@
 // query slot returns an element with probability w_i / W(window),
 // independently across slots — sampling with replacement.
 //
-// Both samplers satisfy stream.Sampler[T]; the element weight is derived
-// from the value by the weight function fixed at construction, so weighted
-// substrates drop into every layer that speaks the unified interface.
+// All four samplers satisfy stream.Sampler[T] (the timestamp pair also
+// stream.TimedSampler[T]); the element weight is derived from the value by
+// the weight function fixed at construction, so weighted substrates drop
+// into every layer that speaks the unified interface.
 package weighted
 
 import (
@@ -66,11 +68,11 @@ type skyband[T any] struct {
 	nodes []node[T]
 }
 
-// logKey draws ln(U)/w for a fresh uniform U in (0, 1).
-func (s *skyband[T]) logKey(w float64) float64 {
-	u := s.rng.Float64()
+// drawLogKey draws ln(U)/w for a fresh uniform U in (0, 1).
+func drawLogKey(rng *xrand.Rand, w float64) float64 {
+	u := rng.Float64()
 	for u == 0 {
-		u = s.rng.Float64()
+		u = rng.Float64()
 	}
 	return math.Log(u) / w
 }
@@ -82,26 +84,51 @@ func (s *skyband[T]) logKey(w float64) float64 {
 // so a domination count never includes expired elements while the node is
 // active — which is exactly why beat >= k is a safe drop.
 func (s *skyband[T]) observe(e stream.Element[T], w float64) {
-	lk := s.logKey(w)
-	keep := s.nodes[:0]
-	for _, nd := range s.nodes {
-		if nd.lk < lk {
-			nd.beat++
-		}
-		if nd.beat < s.k {
-			keep = append(keep, nd)
-		}
-	}
-	s.nodes = append(keep, node[T]{elem: e, w: w, lk: lk})
+	s.nodes = insertNode(s.nodes, s.k, e, w, drawLogKey(s.rng, w))
 	i := 0
 	for i < len(s.nodes) && !s.win.Active(s.nodes[i].elem.Index, e.Index) {
 		i++
 	}
-	if i > 0 {
-		// Shift in place: the capacity is bounded by the retained peak, which
-		// the word model already charges for.
-		s.nodes = s.nodes[:copy(s.nodes, s.nodes[i:])]
+	dropFront(&s.nodes, i)
+}
+
+// insertNode is the shared skyband walk of the sequence- and
+// timestamp-window samplers: bump the domination count of every retained
+// node the new key beats, drop nodes beaten k times, append the arrival,
+// and zero any slots the drops vacated — the evicted elements' payloads
+// (strings, slices, pointers) must not stay live in the slice's slack for
+// the sampler's lifetime.
+func insertNode[T any](nodes []node[T], k int, e stream.Element[T], w, lk float64) []node[T] {
+	old := len(nodes)
+	keep := nodes[:0]
+	for _, nd := range nodes {
+		if nd.lk < lk {
+			nd.beat++
+		}
+		if nd.beat < k {
+			keep = append(keep, nd)
+		}
 	}
+	nodes = append(keep, node[T]{elem: e, w: w, lk: lk})
+	if len(nodes) < old {
+		// Drops guarantee append reused the backing array (reallocation only
+		// happens when nothing was dropped and the slice was full).
+		clear(nodes[len(nodes):old])
+	}
+	return nodes
+}
+
+// dropFront removes the first i nodes by shifting the survivors in place
+// (the capacity is bounded by the retained peak, which the word model
+// already charges for) and zeroes the vacated tail — expired payloads must
+// not be pinned by the slice's slack.
+func dropFront[T any](nodes *[]node[T], i int) {
+	if i <= 0 {
+		return
+	}
+	m := copy(*nodes, (*nodes)[i:])
+	clear((*nodes)[m:])
+	*nodes = (*nodes)[:m]
 }
 
 // checkWeight validates a weight function result (programmer error to
@@ -204,13 +231,18 @@ func (s *WOR[T]) Items() ([]Item[T], bool) {
 	// Every retained node is active (expiry runs at each observe and the
 	// sequence clock is the arrival index), and the window's top-k is always
 	// retained, so the top-k of the retained set IS the window's top-k.
-	nodes := s.sky.nodes
+	return topItems(s.sky.nodes, s.k), true
+}
+
+// topItems returns the min(k, len(nodes)) retained nodes with the largest
+// keys as Items, in decreasing key order (the successive-sampling order).
+func topItems[T any](nodes []node[T], k int) []Item[T] {
 	idx := make([]int, len(nodes))
 	for i := range idx {
 		idx[i] = i
 	}
 	sort.Slice(idx, func(a, b int) bool { return nodes[idx[a]].lk > nodes[idx[b]].lk })
-	m := s.k
+	m := k
 	if len(idx) < m {
 		m = len(idx)
 	}
@@ -219,7 +251,7 @@ func (s *WOR[T]) Items() ([]Item[T], bool) {
 		nd := nodes[idx[i]]
 		out[i] = Item[T]{Elem: nd.elem, Weight: nd.w, LogKey: nd.lk}
 	}
-	return out, true
+	return out
 }
 
 // Sample implements stream.Sampler: the Items sample as bare elements.

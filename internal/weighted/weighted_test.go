@@ -280,6 +280,48 @@ func TestWORInvariants(t *testing.T) {
 	}
 }
 
+// TestSkybandEvictionReleasesPayloads is the leak regression for the
+// skyband's in-place maintenance: both eviction paths — domination drops
+// during the walk and front expiry's shift — previously left the evicted
+// nodes' values live in the slice's spare capacity, pinning expired element
+// payloads (large strings, slices) for the sampler's lifetime. After
+// feeding far more than a window of pointer payloads, every slot beyond
+// len(nodes) up to the retained capacity must be zero.
+func TestSkybandEvictionReleasesPayloads(t *testing.T) {
+	const n, k, m = 32, 3, 4096
+	s := NewWOR[*[]byte](xrand.New(2), n, k, func(*[]byte) float64 { return 1 })
+	for i := 0; i < m; i++ {
+		p := make([]byte, 1<<10)
+		s.Observe(&p, int64(i))
+	}
+	live := map[*[]byte]bool{}
+	for _, nd := range s.sky.nodes {
+		live[nd.elem.Value] = true
+	}
+	full := s.sky.nodes[:cap(s.sky.nodes)]
+	for i := len(s.sky.nodes); i < len(full); i++ {
+		if v := full[i].elem.Value; v != nil && !live[v] {
+			t.Fatalf("slack slot %d still pins an evicted payload (retained %d, cap %d)",
+				i, len(s.sky.nodes), cap(s.sky.nodes))
+		}
+	}
+	// The same discipline holds inside every WR instance.
+	wr := NewWR[*[]byte](xrand.New(3), n, k, func(*[]byte) float64 { return 1 })
+	for i := 0; i < m; i++ {
+		p := make([]byte, 1<<10)
+		wr.Observe(&p, int64(i))
+	}
+	for j := range wr.insts {
+		nodes := wr.insts[j].nodes
+		full := nodes[:cap(nodes)]
+		for i := len(nodes); i < len(full); i++ {
+			if full[i].elem.Value != nil {
+				t.Fatalf("instance %d slack slot %d still pins an evicted payload", j, i)
+			}
+		}
+	}
+}
+
 // TestWeightPanics: a non-positive or infinite weight is programmer error.
 func TestWeightPanics(t *testing.T) {
 	for name, bad := range map[string]float64{"zero": 0, "negative": -1, "inf": math.Inf(1), "nan": math.NaN()} {

@@ -161,7 +161,12 @@ func (b *TSBuffer[T]) expire() {
 		i++
 	}
 	if i > 0 {
-		b.buf = append(b.buf[:0], b.buf[i:]...)
+		// Shift in place and zero the vacated tail: the tail capacity would
+		// otherwise keep the expired elements' payloads (strings, slices,
+		// pointers) live for the buffer's whole lifetime.
+		m := copy(b.buf, b.buf[i:])
+		clear(b.buf[m:])
+		b.buf = b.buf[:m]
 	}
 }
 

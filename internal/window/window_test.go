@@ -255,3 +255,39 @@ func TestTimestampActiveOverflowSafe(t *testing.T) {
 		t.Error("span of MaxInt64-1 ticks reported outside a MaxInt64 horizon")
 	}
 }
+
+// TestTSBufferExpiryReleasesPayloads is the leak regression for the exact
+// materializer: expire's in-place shift must zero the vacated tail, or the
+// expired elements' payloads (pointers, big slices) stay live in the
+// buffer's spare capacity for its whole lifetime.
+func TestTSBufferExpiryReleasesPayloads(t *testing.T) {
+	const t0 = 8
+	b := NewTSBuffer[*[]byte](t0)
+	for i := 0; i < 256; i++ {
+		p := make([]byte, 1<<10)
+		b.Observe(stream.Element[*[]byte]{Value: &p, Index: uint64(i), TS: int64(i)})
+	}
+	b.AdvanceTo(1 << 20) // everything expires
+	if b.Len() != 0 {
+		t.Fatalf("%d elements active after full expiry", b.Len())
+	}
+	full := b.buf[:cap(b.buf)]
+	for i, e := range full {
+		if e.Value != nil {
+			t.Fatalf("slack slot %d still pins an expired payload (cap %d)", i, cap(b.buf))
+		}
+	}
+	// And mid-stream: live elements stay, only the slack is scrubbed.
+	p := make([]byte, 16)
+	b.Observe(stream.Element[*[]byte]{Value: &p, Index: 256, TS: 1 << 20})
+	live := map[*[]byte]bool{}
+	for _, e := range b.Contents() {
+		live[e.Value] = true
+	}
+	full = b.buf[:cap(b.buf)]
+	for i := b.Len(); i < len(full); i++ {
+		if v := full[i].Value; v != nil && !live[v] {
+			t.Fatalf("slack slot %d pins a non-live payload", i)
+		}
+	}
+}

@@ -590,3 +590,200 @@ func NewWeightedSequenceWR[T any](n uint64, k int, opts ...Option) (*WeightedSeq
 	s.inner = weighted.NewWR(buildRNG(opts), n, k, itemWeight[T])
 	return s, nil
 }
+
+// ---------------------------------------------------------------------------
+// Weighted timestamp-based windows ("heaviest flows by bytes, last minute")
+// ---------------------------------------------------------------------------
+
+// weightedTSSampler is the shared weighted timestamped adapter: weighted
+// elements in (with the monotone-clock guard — the internal samplers panic
+// on time regressions; the public API returns ErrTimeBackwards), weighted
+// "as of now" samples out.
+type weightedTSSampler[T any] struct {
+	timed   stream.TimedSampler[weightedItem[T]]
+	sized   interface{ SizeAt(int64) uint64 }
+	scratch []stream.Element[weightedItem[T]]
+	t0      int64
+	last    int64
+	begun   bool
+}
+
+// Observe feeds the next element with its weight and arrival timestamp.
+// Weights must be positive and finite; timestamps must be non-decreasing
+// across both arrivals and queries. A rejected element leaves the sampler
+// untouched.
+func (s *weightedTSSampler[T]) Observe(value T, weight float64, ts int64) error {
+	if !validWeight(weight) {
+		return ErrBadWeight
+	}
+	if s.begun && ts < s.last {
+		return ErrTimeBackwards
+	}
+	s.begun = true
+	s.last = ts
+	s.timed.Observe(weightedItem[T]{value: value, weight: weight}, ts)
+	return nil
+}
+
+// ObserveBatch feeds a run of weighted timestamped elements through the
+// sampler's batched hot path; values[i] carries weights[i] and arrives at
+// timestamps[i]. The whole batch is validated before any element is fed,
+// so a rejected batch leaves the sampler untouched. The result is
+// identical to calling Observe per element.
+func (s *weightedTSSampler[T]) ObserveBatch(values []T, weights []float64, timestamps []int64) error {
+	if len(values) != len(weights) || len(values) != len(timestamps) {
+		return ErrBatchShape
+	}
+	if len(values) == 0 {
+		return nil
+	}
+	for _, w := range weights {
+		if !validWeight(w) {
+			return ErrBadWeight
+		}
+	}
+	last, begun := s.last, s.begun
+	for _, ts := range timestamps {
+		if begun && ts < last {
+			return ErrTimeBackwards
+		}
+		begun, last = true, ts
+	}
+	s.scratch = s.scratch[:0]
+	for i, v := range values {
+		s.scratch = append(s.scratch, stream.Element[weightedItem[T]]{
+			Value: weightedItem[T]{value: v, weight: weights[i]},
+			TS:    timestamps[i],
+		})
+	}
+	s.timed.ObserveBatch(s.scratch)
+	releaseScratch(&s.scratch)
+	s.begun, s.last = true, last
+	return nil
+}
+
+// SampleAt returns the weighted sample over the elements active at time
+// now: min(K, n(now)) distinct elements for the without-replacement
+// sampler, K independent draws with replacement. Querying advances the
+// sampler's clock (it never rewinds); ok is false when the window is empty
+// at now — which, unlike sequence windows, can happen by clock advancement
+// alone.
+func (s *weightedTSSampler[T]) SampleAt(now int64) ([]SampledWeight[T], bool) {
+	if s.begun && now < s.last {
+		now = s.last
+	}
+	s.begun = true
+	s.last = now
+	es, ok := s.timed.SampleAt(now)
+	if !ok {
+		return nil, false
+	}
+	out := make([]SampledWeight[T], len(es))
+	for i, e := range es {
+		out[i] = SampledWeight[T]{
+			Sampled: Sampled[T]{Value: e.Value.value, Index: e.Index, Timestamp: e.TS},
+			Weight:  e.Value.weight,
+		}
+	}
+	return out, true
+}
+
+// Sample queries at the latest observed time. On a sampler that has seen
+// nothing it reports ok=false without pinning the clock (so a later stream
+// may still start at any timestamp, including negative ones).
+func (s *weightedTSSampler[T]) Sample() ([]SampledWeight[T], bool) {
+	if !s.begun {
+		return nil, false
+	}
+	return s.SampleAt(s.last)
+}
+
+// ValuesAt returns just the sampled payloads at time now.
+func (s *weightedTSSampler[T]) ValuesAt(now int64) ([]T, bool) {
+	es, ok := s.SampleAt(now)
+	if !ok {
+		return nil, false
+	}
+	out := make([]T, len(es))
+	for i, e := range es {
+		out[i] = e.Value
+	}
+	return out, true
+}
+
+// Values returns just the sampled payloads at the latest observed time.
+func (s *weightedTSSampler[T]) Values() ([]T, bool) {
+	es, ok := s.Sample()
+	if !ok {
+		return nil, false
+	}
+	out := make([]T, len(es))
+	for i, e := range es {
+		out[i] = e.Value
+	}
+	return out, true
+}
+
+// SizeAt returns a (1±5%) estimate of n(now), the number of elements
+// active at time now, from the sampler's embedded exponential-histogram
+// counter — the exact count is not computable in sublinear space (the
+// paper's Section 3 negative result). Unlike SampleAt, this is a read-only
+// query: it never advances the sampler's clock.
+func (s *weightedTSSampler[T]) SizeAt(now int64) uint64 { return s.sized.SizeAt(now) }
+
+// K returns the sample-size parameter; Horizon t0; Count the number of
+// arrivals.
+func (s *weightedTSSampler[T]) K() int         { return s.timed.K() }
+func (s *weightedTSSampler[T]) Horizon() int64 { return s.t0 }
+func (s *weightedTSSampler[T]) Count() uint64  { return s.timed.Count() }
+
+// Words and MaxWords report memory in the paper's word model (DESIGN.md
+// §6), including the embedded window-size counter. The weighted
+// substrates' footprint is a random variable with expectation O(k·log n).
+func (s *weightedTSSampler[T]) Words() int    { return s.timed.Words() }
+func (s *weightedTSSampler[T]) MaxWords() int { return s.timed.MaxWords() }
+
+// WeightedTimestampWOR maintains a weighted k-sample without replacement
+// over the elements of the last t0 clock ticks under the
+// Efraimidis–Spirakis law, in expected O(k·log n) words plus an embedded
+// (1±5%) window-size counter. While fewer than k elements are active the
+// sample is the whole window; expiry — including at query time, with no
+// arrival — uses the overflow-safe timestamp comparison.
+type WeightedTimestampWOR[T any] struct {
+	weightedTSSampler[T]
+}
+
+// NewWeightedTimestampWOR returns a weighted without-replacement sampler
+// over a timestamp window of horizon t0 with target sample size k.
+func NewWeightedTimestampWOR[T any](t0 int64, k int, opts ...Option) (*WeightedTimestampWOR[T], error) {
+	if err := validateTSParams(t0, k); err != nil {
+		return nil, err
+	}
+	s := &WeightedTimestampWOR[T]{}
+	s.t0 = t0
+	inner := weighted.NewTSWOR(buildRNG(opts), t0, k, weighted.DefaultSizeEps, itemWeight[T])
+	s.timed, s.sized = inner, inner
+	return s, nil
+}
+
+// WeightedTimestampWR maintains k independent weighted draws (sampling
+// with replacement) over the elements of the last t0 clock ticks: each
+// sample slot returns element i with probability w_i / W(active window),
+// in expected O(k·log n) words plus an embedded (1±5%) window-size
+// counter.
+type WeightedTimestampWR[T any] struct {
+	weightedTSSampler[T]
+}
+
+// NewWeightedTimestampWR returns a weighted with-replacement sampler over
+// a timestamp window of horizon t0 with k sample slots.
+func NewWeightedTimestampWR[T any](t0 int64, k int, opts ...Option) (*WeightedTimestampWR[T], error) {
+	if err := validateTSParams(t0, k); err != nil {
+		return nil, err
+	}
+	s := &WeightedTimestampWR[T]{}
+	s.t0 = t0
+	inner := weighted.NewTSWR(buildRNG(opts), t0, k, weighted.DefaultSizeEps, itemWeight[T])
+	s.timed, s.sized = inner, inner
+	return s, nil
+}

@@ -548,3 +548,196 @@ func TestPublicWeightedBatchErrors(t *testing.T) {
 		t.Fatalf("Values: ok=%v len=%d", ok, len(vs))
 	}
 }
+
+func TestPublicWeightedTimestampWOR(t *testing.T) {
+	s, err := NewWeightedTimestampWOR[string](10, 3, WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Sample(); ok {
+		t.Fatal("sample from empty sampler")
+	}
+	if s.K() != 3 || s.Horizon() != 10 {
+		t.Fatalf("K=%d Horizon=%d", s.K(), s.Horizon())
+	}
+	if err := s.Observe("x", 0, 0); err != ErrBadWeight {
+		t.Fatalf("zero weight: got %v", err)
+	}
+	if s.Count() != 0 {
+		t.Fatal("rejected weight mutated the sampler")
+	}
+	names := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for i, v := range names {
+		if err := s.Observe(v, float64(i%4)+1, int64(i*3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Clock regression across arrivals and after a query.
+	if err := s.Observe("late", 1, 5); err != ErrTimeBackwards {
+		t.Fatalf("backwards arrival: got %v", err)
+	}
+	now := int64(7 * 3) // window (11, 21]: indexes 4..7 active
+	got, ok := s.SampleAt(now)
+	if !ok || len(got) != 3 {
+		t.Fatalf("ok=%v len=%d", ok, len(got))
+	}
+	seen := map[uint64]bool{}
+	for _, e := range got {
+		if e.Index < 4 || e.Index > 7 {
+			t.Fatalf("index %d outside the active window", e.Index)
+		}
+		if seen[e.Index] {
+			t.Fatalf("duplicate index %d in WOR sample", e.Index)
+		}
+		seen[e.Index] = true
+		if want := float64(e.Index%4) + 1; e.Weight != want {
+			t.Fatalf("weight %v, want %v", e.Weight, want)
+		}
+		if e.Value != names[e.Index] || e.Timestamp != int64(e.Index*3) {
+			t.Fatalf("coordinates corrupted: %+v", e)
+		}
+	}
+	// Query-time expiry with no arrival: advance until n(t) < k, then empty.
+	got, ok = s.SampleAt(now + 7) // window (18, 28]: only index 7 active
+	if !ok || len(got) != 1 || got[0].Index != 7 {
+		t.Fatalf("drained sample: ok=%v %+v", ok, got)
+	}
+	if sz := s.SizeAt(now + 7); sz != 1 {
+		t.Fatalf("SizeAt = %d with one active element", sz)
+	}
+	if _, ok := s.SampleAt(now + 100); ok {
+		t.Fatal("sample from a fully expired window")
+	}
+	// The query advanced the clock: older arrivals are now rejected...
+	if err := s.Observe("old", 1, now); err != ErrTimeBackwards {
+		t.Fatalf("post-query backwards arrival: got %v", err)
+	}
+	// ...but the stream continues at or past the query time.
+	if err := s.Observe("fresh", 2, now+100); err != nil {
+		t.Fatal(err)
+	}
+	if vs, ok := s.Values(); !ok || len(vs) != 1 || vs[0] != "fresh" {
+		t.Fatalf("post-drain values: ok=%v %v", ok, vs)
+	}
+	if s.Words() <= 0 || s.MaxWords() < s.Words() {
+		t.Fatalf("memory accounting: words=%d max=%d", s.Words(), s.MaxWords())
+	}
+}
+
+func TestPublicWeightedTimestampWR(t *testing.T) {
+	s, err := NewWeightedTimestampWR[int](60, 4, WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if err := s.Observe(i, float64(i%5)+1, int64(i/5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, ok := s.Sample()
+	if !ok || len(got) != 4 {
+		t.Fatalf("ok=%v len=%d", ok, len(got))
+	}
+	now := int64(499 / 5)
+	for _, e := range got {
+		if now-e.Timestamp >= 60 {
+			t.Fatalf("expired element: ts %d at now %d", e.Timestamp, now)
+		}
+	}
+	if sz := s.SizeAt(now); sz == 0 || sz > 500 {
+		t.Fatalf("SizeAt = %d", sz)
+	}
+	// SizeAt is read-only: an arrival at the current clock still works
+	// after probing far in the future.
+	s.SizeAt(now + 1000)
+	if err := s.Observe(1000, 1, now); err != nil {
+		t.Fatalf("SizeAt pinned the clock: %v", err)
+	}
+}
+
+func TestPublicWeightedTimestampBatch(t *testing.T) {
+	mk := func() *WeightedTimestampWOR[int] {
+		s, err := NewWeightedTimestampWOR[int](40, 5, WithSeed(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := mk(), mk()
+	var vals []int
+	var ws []float64
+	var tss []int64
+	wAt := func(i int) float64 { return float64(i%7) + 0.5 }
+	for i := 0; i < 800; i++ {
+		if err := a.Observe(i, wAt(i), int64(i/4)); err != nil {
+			t.Fatal(err)
+		}
+		vals, ws, tss = append(vals, i), append(ws, wAt(i)), append(tss, int64(i/4))
+		if len(vals) == 53 {
+			if err := b.ObserveBatch(vals, ws, tss); err != nil {
+				t.Fatal(err)
+			}
+			vals, ws, tss = vals[:0], ws[:0], tss[:0]
+		}
+	}
+	if err := b.ObserveBatch(vals, ws, tss); err != nil {
+		t.Fatal(err)
+	}
+	av, aok := a.Sample()
+	bv, bok := b.Sample()
+	if aok != bok || len(av) != len(bv) {
+		t.Fatalf("shape diverged")
+	}
+	for i := range av {
+		if av[i] != bv[i] {
+			t.Fatalf("slot %d diverged: %+v vs %+v", i, av[i], bv[i])
+		}
+	}
+	if a.Words() != b.Words() || a.MaxWords() != b.MaxWords() {
+		t.Fatal("memory accounting diverged")
+	}
+
+	// Error paths: shape, weight, and time are all validated atomically.
+	s := mk()
+	if err := s.ObserveBatch([]int{1}, []float64{1, 2}, []int64{0}); err != ErrBatchShape {
+		t.Fatalf("length mismatch: got %v", err)
+	}
+	if err := s.ObserveBatch([]int{1, 2}, []float64{1, 2}, []int64{0}); err != ErrBatchShape {
+		t.Fatalf("timestamp length mismatch: got %v", err)
+	}
+	if err := s.ObserveBatch([]int{1, 2}, []float64{1, -1}, []int64{0, 1}); err != ErrBadWeight {
+		t.Fatalf("bad weight: got %v", err)
+	}
+	if err := s.ObserveBatch([]int{1, 2}, []float64{1, 1}, []int64{5, 3}); err != ErrTimeBackwards {
+		t.Fatalf("in-batch regression: got %v", err)
+	}
+	if s.Count() != 0 {
+		t.Fatal("rejected batches mutated the sampler")
+	}
+	if err := s.ObserveBatch([]int{1, 2}, []float64{1, 1}, []int64{3, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ObserveBatch([]int{3}, []float64{1}, []int64{4}); err != ErrTimeBackwards {
+		t.Fatalf("cross-batch regression: got %v", err)
+	}
+	if s.Count() != 2 {
+		t.Fatalf("Count = %d after one accepted batch of 2", s.Count())
+	}
+}
+
+func TestPublicWeightedTimestampFreshValuesDoesNotPinClock(t *testing.T) {
+	s, _ := NewWeightedTimestampWOR[int](10, 2, WithSeed(6))
+	if _, ok := s.Values(); ok {
+		t.Fatal("values from empty sampler")
+	}
+	if err := s.Observe(1, 1, -5); err != nil {
+		t.Fatalf("negative start after fresh Values: %v", err)
+	}
+	w, _ := NewWeightedTimestampWR[int](10, 2, WithSeed(6))
+	if _, ok := w.Sample(); ok {
+		t.Fatal("sample from empty sampler")
+	}
+	if err := w.Observe(1, 1, -5); err != nil {
+		t.Fatalf("negative start after fresh Sample (WR): %v", err)
+	}
+}
