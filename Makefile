@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet bench-quick bench-batch swbench-quick smoke-e18 check ci
+.PHONY: all build test test-race vet bench-quick bench-batch swbench-quick smoke-e18 smoke-e19 check ci
 
 all: build
 
@@ -27,6 +27,11 @@ vet:
 smoke-e18:
 	$(GO) run ./cmd/swbench -quick -e E18
 
+# The sharded weighted experiment at CI scale: weight-aware dispatch,
+# exact cross-shard WOR merge, per-shard ehist-over-weights oracles.
+smoke-e19:
+	$(GO) run ./cmd/swbench -quick -e E19
+
 # Fast benchmark smoke: fixed iteration counts so CI time is bounded.
 bench-quick:
 	$(GO) test -run xxx -bench . -benchtime 10000x ./...
@@ -39,6 +44,6 @@ bench-batch:
 swbench-quick:
 	$(GO) run ./cmd/swbench -quick
 
-check: vet build test test-race smoke-e18
+check: vet build test test-race smoke-e18 smoke-e19
 
 ci: check

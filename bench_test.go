@@ -584,6 +584,46 @@ func BenchmarkBatch_ShardedSeqWR_Batch(b *testing.B) {
 	s.Barrier()
 }
 
+// The cross-shard weighting read path: repeated SampleAt at one checkpoint
+// (ingest, one Barrier, many queries — the serving cadence). Before the
+// PR-4 cache every query re-ran EstimateAt over the ehist buckets and
+// allocated a fresh per-shard sizes slice; now the (count, query-time) key
+// makes repeat queries hit the cached weights. BENCH_4.json records the
+// before/after.
+func BenchmarkShardedTSWR_SampleAt(b *testing.B) {
+	s := parallel.NewShardedTSWR[uint64](xrand.New(1), 512, 4, 16, 0.05)
+	defer s.Close()
+	for i := 0; i < 100_000; i++ {
+		s.Observe(uint64(i), tsAt(i))
+	}
+	s.Barrier()
+	now := tsAt(99_999)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.SampleAt(now); !ok {
+			b.Fatal("no sample")
+		}
+	}
+}
+
+func BenchmarkShardedTSWOR_SampleAt(b *testing.B) {
+	s := parallel.NewShardedTSWOR[uint64](xrand.New(1), 512, 4, 16, 0.05)
+	defer s.Close()
+	for i := 0; i < 100_000; i++ {
+		s.Observe(uint64(i), tsAt(i))
+	}
+	s.Barrier()
+	now := tsAt(99_999)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.SampleAt(now); !ok {
+			b.Fatal("no sample")
+		}
+	}
+}
+
 // The checkpointed query cadence: one Barrier + Sample per batch. This is
 // what real consumers of the sharded samplers run (queries require a
 // barrier), and it is the cadence the dispatcher's double-buffered batch
@@ -598,6 +638,66 @@ func BenchmarkBatch_ShardedSeqWR_BatchQuery(b *testing.B) {
 		buf = buf[:0]
 		for j := 0; j < batchSize && i < b.N; j++ {
 			buf = append(buf, stream.Element[uint64]{Value: uint64(i)})
+			i++
+		}
+		s.ObserveBatch(buf)
+		s.Barrier()
+		if _, ok := s.Sample(); !ok {
+			b.Fatal("no sample")
+		}
+	}
+}
+
+// Sharded WEIGHTED ingest (PR-4 tentpole): the weight-aware dealing
+// computes each element's weight once producer-side — feeding the
+// per-shard weight histograms — and ships batch and weights through the
+// same double-buffered recycling (BENCH_4.json records the baselines).
+func BenchmarkBatch_ShardedWeightedTSWOR_Loop(b *testing.B) {
+	s := parallel.NewShardedWeightedTSWOR[uint64](xrand.New(1), 512, 4, 8, 0.05, benchWeightFn)
+	defer s.Close()
+	feedLoop(b, s, tsAt)
+	b.StopTimer()
+	s.Barrier()
+}
+
+func BenchmarkBatch_ShardedWeightedTSWOR_Batch(b *testing.B) {
+	s := parallel.NewShardedWeightedTSWOR[uint64](xrand.New(1), 512, 4, 8, 0.05, benchWeightFn)
+	defer s.Close()
+	feedBatch(b, s, tsAt)
+	b.StopTimer()
+	s.Barrier()
+}
+
+func BenchmarkBatch_ShardedWeightedTSWR_Loop(b *testing.B) {
+	s := parallel.NewShardedWeightedTSWR[uint64](xrand.New(1), 512, 4, 8, 0.05, benchWeightFn)
+	defer s.Close()
+	feedLoop(b, s, tsAt)
+	b.StopTimer()
+	s.Barrier()
+}
+
+func BenchmarkBatch_ShardedWeightedTSWR_Batch(b *testing.B) {
+	s := parallel.NewShardedWeightedTSWR[uint64](xrand.New(1), 512, 4, 8, 0.05, benchWeightFn)
+	defer s.Close()
+	feedBatch(b, s, tsAt)
+	b.StopTimer()
+	s.Barrier()
+}
+
+// The sharded weighted checkpointed cadence: batch, barrier, merged-WOR
+// query. The query-side weight cache keys on (count, query time), so the
+// weights recompute once per checkpoint here — the ingest path is what
+// this benchmark prices.
+func BenchmarkBatch_ShardedWeightedTSWOR_BatchQuery(b *testing.B) {
+	s := parallel.NewShardedWeightedTSWOR[uint64](xrand.New(1), 512, 4, 8, 0.05, benchWeightFn)
+	defer s.Close()
+	buf := make([]stream.Element[uint64], 0, batchSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; {
+		buf = buf[:0]
+		for j := 0; j < batchSize && i < b.N; j++ {
+			buf = append(buf, stream.Element[uint64]{Value: uint64(i), TS: tsAt(i)})
 			i++
 		}
 		s.ObserveBatch(buf)

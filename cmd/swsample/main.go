@@ -23,11 +23,16 @@
 //
 //	seq mode:  wor (default, Theorem 2.2) | wr (Theorem 2.1) | chain |
 //	           oversample | fullwindow | sharded-wr |
-//	           weighted-wor | weighted-wr (Efraimidis–Spirakis, line weights)
+//	           weighted-wor | weighted-wr (Efraimidis–Spirakis, line weights) |
+//	           sharded-weighted-wor | sharded-weighted-wr (G-way parallel
+//	           weighted ingest; -n divisible by -g)
 //	ts mode:   wor (default, Theorem 4.4) | wr (Theorem 3.9) | priority |
 //	           skyband | fullwindow | sharded-wr | sharded-wor |
 //	           weighted-ts-wor | weighted-ts-wr (Efraimidis–Spirakis over
-//	           the last -t0 ticks, line weights)
+//	           the last -t0 ticks, line weights) |
+//	           sharded-weighted-ts-wor | sharded-weighted-ts-wr (G-way
+//	           parallel weighted ingest; WOR merges per-shard log-keys
+//	           exactly, WR picks shards by their (1±5%) weight totals)
 //
 // The weighted samplers favor heavy lines: each line's weight is its byte
 // length by default, or the float value of the 0-based field named by
@@ -226,6 +231,16 @@ func build(mode, sampler string, rng *xrand.Rand, n uint64, t0 int64, k, g int, 
 			return weighted.NewWOR[string](rng, n, k, weight), nil
 		case "weighted-wr":
 			return weighted.NewWR[string](rng, n, k, weight), nil
+		case "sharded-weighted-wor":
+			if n%uint64(g) != 0 {
+				return nil, fmt.Errorf("-n must be divisible by -g for sharded-weighted-wor")
+			}
+			return parallel.NewShardedWeightedSeqWOR[string](rng, n, g, k, 0.05, weight), nil
+		case "sharded-weighted-wr":
+			if n%uint64(g) != 0 {
+				return nil, fmt.Errorf("-n must be divisible by -g for sharded-weighted-wr")
+			}
+			return parallel.NewShardedWeightedSeqWR[string](rng, n, g, k, 0.05, weight), nil
 		}
 		return nil, fmt.Errorf("unknown seq sampler %q (see -help)", sampler)
 	case "ts":
@@ -248,6 +263,10 @@ func build(mode, sampler string, rng *xrand.Rand, n uint64, t0 int64, k, g int, 
 			return weighted.NewTSWOR[string](rng, t0, k, weighted.DefaultSizeEps, weight), nil
 		case "weighted-ts-wr":
 			return weighted.NewTSWR[string](rng, t0, k, weighted.DefaultSizeEps, weight), nil
+		case "sharded-weighted-ts-wor":
+			return parallel.NewShardedWeightedTSWOR[string](rng, t0, g, k, weighted.DefaultSizeEps, weight), nil
+		case "sharded-weighted-ts-wr":
+			return parallel.NewShardedWeightedTSWR[string](rng, t0, g, k, weighted.DefaultSizeEps, weight), nil
 		}
 		return nil, fmt.Errorf("unknown ts sampler %q (see -help)", sampler)
 	}

@@ -106,6 +106,22 @@ func confSubstrates() []confSubstrate {
 			mk: func(r *xrand.Rand) stream.Sampler[uint64] {
 				return parallel.NewShardedTSWOR[uint64](r, confT0, confG, confK, 0.05)
 			}},
+		{name: "parallel/ShardedWeightedSeqWOR", seq: true, wor: true, k: confK,
+			mk: func(r *xrand.Rand) stream.Sampler[uint64] {
+				return parallel.NewShardedWeightedSeqWOR[uint64](r, confN, confG, confK, 0.05, confWeight)
+			}},
+		{name: "parallel/ShardedWeightedSeqWR", seq: true, k: confK,
+			mk: func(r *xrand.Rand) stream.Sampler[uint64] {
+				return parallel.NewShardedWeightedSeqWR[uint64](r, confN, confG, confK, 0.05, confWeight)
+			}},
+		{name: "parallel/ShardedWeightedTSWOR", wor: true, k: confK,
+			mk: func(r *xrand.Rand) stream.Sampler[uint64] {
+				return parallel.NewShardedWeightedTSWOR[uint64](r, confT0, confG, confK, 0.05, confWeight)
+			}},
+		{name: "parallel/ShardedWeightedTSWR", k: confK,
+			mk: func(r *xrand.Rand) stream.Sampler[uint64] {
+				return parallel.NewShardedWeightedTSWR[uint64](r, confT0, confG, confK, 0.05, confWeight)
+			}},
 	}
 }
 

@@ -59,6 +59,31 @@
 // layer builds Horvitz–Thompson windowed subset-sum sketches on top
 // (internal/apps, experiments E17/E18).
 //
+// # Sharded weighted sampling
+//
+// For streams too fast for one core, the weighted timestamp samplers come
+// in a G-way parallel flavor:
+//
+//	NewShardedWeightedTimestampWOR  g-way ingest, exact weighted k-sample without replacement
+//	NewShardedWeightedTimestampWR   g-way ingest, k weighted draws, (1±5%) cross-shard picks
+//
+// Elements are dealt round-robin to G shard goroutines. The
+// without-replacement law stays EXACT — Efraimidis–Spirakis keys are
+// globally comparable, so the merged per-shard top-k is the window's
+// top-k — while with-replacement draws pick a shard by its estimated
+// active weight, tracked per shard by an exponential histogram over
+// weights; the same oracle backs TotalWeightAt, a (1±5%) estimate of the
+// window's total weight. Drive each sharded sampler — ingest and queries,
+// oracles included — from one goroutine (the shard parallelism is
+// internal); queries flush in-flight ingest automatically (SampleAt holds
+// a barrier), and Close stops the shard goroutines:
+//
+//	s, _ := slidingsample.NewShardedWeightedTimestampWOR[Flow](60_000, 4, 10) // last minute, 4 shards
+//	defer s.Close()
+//	s.Observe(flow, float64(flow.Bytes), flow.ArrivalMillis)
+//	heavy, ok := s.SampleAt(nowMillis)     // flushes, then samples
+//	bytes := s.TotalWeightAt(nowMillis)    // (1±5%) active bytes, no flush needed
+//
 // # One interface, many substrates
 //
 // All public samplers are thin generic adapters over the unified internal

@@ -13,10 +13,16 @@
 //     actually holds (n(t) is data-dependent and only approximable);
 //   - a BYTE-WEIGHTED k-sample without replacement over the last 4096
 //     packets, with a Horvitz–Thompson subset-sum sketch estimating each
-//     source's share of the window's bytes; and
+//     source's share of the window's bytes;
 //   - a windowed source-address ENTROPY estimate over the last 60 ticks
 //     (Corollary 5.4 machinery): entropy collapse is a classic signature of
-//     a scanning attack or a single-source flood.
+//     a scanning attack or a single-source flood; and
+//   - a SHARDED twin of the last-minute sampler (4-way parallel ingest,
+//     the deployment shape for line-rate capture): the per-shard
+//     Efraimidis–Spirakis log-keys merge into the exact same weighted law,
+//     and the dispatcher's per-shard weight histograms report the minute's
+//     total bytes within ±5% — compare its report against the unsharded
+//     sampler's at the end.
 //
 // An attack is injected mid-stream: one source floods with large packets.
 // Watch the entropy estimate drop, the byte-share estimate of the attacker
@@ -71,6 +77,15 @@ func main() {
 		panic(err)
 	}
 
+	// Public API, sharded mode: the same last-minute byte-weighted WOR law
+	// behind 4-way parallel ingest. Queries hold their own barrier, so the
+	// loop below only feeds it; Close stops the shard goroutines at exit.
+	lastMinuteSharded, err := slidingsample.NewShardedWeightedTimestampWOR[packet](horizon, 4, 8, slidingsample.WithSeed(9))
+	if err != nil {
+		panic(err)
+	}
+	defer lastMinuteSharded.Close()
+
 	// Estimator layer: per-source byte shares over the same packet window,
 	// from an O(k log n)-word bottom-k sketch (any source can be queried
 	// after the fact — the sketch never looks at values on ingest).
@@ -112,6 +127,9 @@ func main() {
 		if err := lastMinute.Observe(p, float64(p.Bytes), clock); err != nil {
 			panic(err)
 		}
+		if err := lastMinuteSharded.Observe(p, float64(p.Bytes), clock); err != nil {
+			panic(err)
+		}
 		bytesBySrc.Observe(p, clock)
 		entropy.Observe(p.Src, clock)
 		counter.Observe(clock)
@@ -145,6 +163,21 @@ func main() {
 	fmt.Printf("\nheaviest flows by bytes in the last minute (t=%d, ~%d packets in window):\n",
 		clock, lastMinute.SizeAt(clock))
 	if got, ok := lastMinute.SampleAt(clock); ok {
+		for _, e := range got {
+			marker := ""
+			if e.Value.Src == attacker {
+				marker = "  (attacker)"
+			}
+			fmt.Printf("  src=%4d  bytes=%4d  age=%2d ticks%s\n", e.Value.Src, e.Value.Bytes, clock-e.Timestamp, marker)
+		}
+	}
+
+	// The sharded twin answers the same question from 4-way parallel
+	// ingest: the merged per-shard log-keys follow the exact same weighted
+	// law, and the per-shard weight histograms price the minute's bytes.
+	fmt.Printf("\nsharded (g=%d) heaviest flows in the last minute (~%d packets, ~%.0f bytes in window):\n",
+		lastMinuteSharded.G(), lastMinuteSharded.SizeAt(clock), lastMinuteSharded.TotalWeightAt(clock))
+	if got, ok := lastMinuteSharded.SampleAt(clock); ok {
 		for _, e := range got {
 			marker := ""
 			if e.Value.Src == attacker {

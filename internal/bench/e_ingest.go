@@ -81,6 +81,18 @@ func e16Substrates() []e16Substrate {
 		{"parallel/ShardedTSWOR", func(r *xrand.Rand) stream.Sampler[uint64] {
 			return parallel.NewShardedTSWOR[uint64](r, t0, g, k, 0.05)
 		}},
+		{"parallel/ShardedWeightedSeqWOR", func(r *xrand.Rand) stream.Sampler[uint64] {
+			return parallel.NewShardedWeightedSeqWOR[uint64](r, n, g, k, 0.05, e16Weight)
+		}},
+		{"parallel/ShardedWeightedSeqWR", func(r *xrand.Rand) stream.Sampler[uint64] {
+			return parallel.NewShardedWeightedSeqWR[uint64](r, n, g, k, 0.05, e16Weight)
+		}},
+		{"parallel/ShardedWeightedTSWOR", func(r *xrand.Rand) stream.Sampler[uint64] {
+			return parallel.NewShardedWeightedTSWOR[uint64](r, t0, g, k, 0.05, e16Weight)
+		}},
+		{"parallel/ShardedWeightedTSWR", func(r *xrand.Rand) stream.Sampler[uint64] {
+			return parallel.NewShardedWeightedTSWR[uint64](r, t0, g, k, 0.05, e16Weight)
+		}},
 	}
 }
 

@@ -1,0 +1,199 @@
+package ehist
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"slidingsample/internal/xrand"
+)
+
+// wtruth is an exact sliding-weight materializer (O(window), test only).
+type wtruth struct {
+	t0  int64
+	ts  []int64
+	wts []float64
+}
+
+func (g *wtruth) observe(ts int64, w float64) {
+	g.ts = append(g.ts, ts)
+	g.wts = append(g.wts, w)
+}
+
+func (g *wtruth) sumAt(now int64) float64 {
+	total := 0.0
+	for i, ts := range g.ts {
+		if now-ts < g.t0 { // test streams stay far from the int64 edges
+			total += g.wts[i]
+		}
+	}
+	return total
+}
+
+// TestWeightedAccuracy: the (1±eps) bound against ground truth under a
+// heavy-tailed weight law — occasional elements carry 10^4x the typical
+// weight, which is exactly the shape that breaks a count-based cascade (a
+// head bucket of ε·n ELEMENTS can hold most of the window's WEIGHT). Probes
+// run at arrival times and at query times past the last arrival.
+func TestWeightedAccuracy(t *testing.T) {
+	const (
+		t0  = 256
+		m   = 30000
+		eps = 0.1
+	)
+	c := NewWeighted(t0, eps)
+	truth := &wtruth{t0: t0}
+	rng := xrand.New(7)
+	ts := int64(0)
+	for i := 0; i < m; i++ {
+		if rng.Uint64n(3) == 0 {
+			ts += int64(rng.Uint64n(5))
+		}
+		w := float64(rng.Uint64n(9) + 1)
+		if rng.Uint64n(97) == 0 {
+			w *= 1e4 // heavy tail
+		}
+		c.Observe(ts, w)
+		truth.observe(ts, w)
+		if i%23 != 0 {
+			continue
+		}
+		probe := ts + int64(rng.Uint64n(t0/2))
+		got, want := c.SumAt(probe), truth.sumAt(probe)
+		if want == 0 {
+			if got != 0 {
+				t.Fatalf("step %d: SumAt=%g on an empty window", i, got)
+			}
+			continue
+		}
+		if rel := math.Abs(got-want) / want; rel > eps+1e-9 {
+			t.Fatalf("step %d: SumAt=%g vs W(t)=%g (rel %.4f > %.2f)", i, got, want, rel, eps)
+		}
+	}
+}
+
+// TestWeightedReadOnlyQueries: SumAt never advances the clock, so a
+// wall-clock query may be followed by an older (still non-decreasing)
+// arrival, and repeated queries are idempotent.
+func TestWeightedReadOnlyQueries(t *testing.T) {
+	c := NewWeighted(100, 0.1)
+	c.Observe(10, 2)
+	c.Observe(12, 3)
+	future := c.SumAt(90)
+	if future != 5 {
+		t.Fatalf("SumAt(90) = %g, want 5", future)
+	}
+	if again := c.SumAt(90); again != future {
+		t.Fatalf("repeated query diverged: %g vs %g", again, future)
+	}
+	c.Observe(15, 7) // older than the query time: must not panic
+	if got := c.Sum(); got != 12 {
+		t.Fatalf("Sum = %g after post-query arrival, want 12", got)
+	}
+	// A query older than the arrival clock answers at the clock.
+	if got := c.SumAt(0); got != 12 {
+		t.Fatalf("SumAt(0) = %g, want the at-clock answer 12", got)
+	}
+}
+
+// TestWeightedExactWhileHeadInside: while no surviving bucket straddles the
+// window boundary — in particular while the stream is younger than the
+// window — the sum is exact.
+func TestWeightedExactWhileYoung(t *testing.T) {
+	c := NewWeighted(1 << 20, 0.05)
+	total := 0.0
+	rng := xrand.New(3)
+	for i := 0; i < 5000; i++ {
+		w := float64(rng.Uint64n(100) + 1)
+		total += w
+		c.Observe(int64(i), w)
+	}
+	if got := c.Sum(); math.Abs(got-total) > 1e-6*total {
+		t.Fatalf("young-stream sum %g, want exact %g", got, total)
+	}
+}
+
+// TestWeightedBucketBound: the bucket count stays O(eps^-1 · log(W/wmin)).
+func TestWeightedBucketBound(t *testing.T) {
+	const (
+		t0  = 1 << 30
+		m   = 200000
+		eps = 0.1
+	)
+	c := NewWeighted(t0, eps)
+	rng := xrand.New(5)
+	peak := 0
+	for i := 0; i < m; i++ {
+		c.Observe(int64(i), float64(rng.Uint64n(16)+1))
+		if c.Buckets() > peak {
+			peak = c.Buckets()
+		}
+	}
+	// W <= 16m, wmin = 1: 2·log_{1+eps}(W) + slack.
+	bound := int(2*math.Log(16*float64(m))/math.Log1p(eps)) + 8
+	if peak > bound {
+		t.Fatalf("peak buckets %d above the O(eps^-1 log(W/wmin)) bound %d", peak, bound)
+	}
+	if c.MaxWords() < c.Words() || c.Words() != 3+3*c.Buckets() {
+		t.Fatal("words accounting broken")
+	}
+}
+
+// TestWeightedPanics: constructor and input validation.
+func TestWeightedPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"t0":       func() { NewWeighted(0, 0.1) },
+		"eps-lo":   func() { NewWeighted(10, 0) },
+		"eps-hi":   func() { NewWeighted(10, 1) },
+		"badw":     func() { NewWeighted(10, 0.1).Observe(0, 0) },
+		"infw":     func() { NewWeighted(10, 0.1).Observe(0, math.Inf(1)) },
+		"nanw":     func() { NewWeighted(10, 0.1).Observe(0, math.NaN()) },
+		"backward": func() { c := NewWeighted(10, 0.1); c.Observe(5, 1); c.Observe(4, 1) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+// TestWeightedConcurrentQueries mirrors the Counter read-path race test:
+// with SumAt read-only, a Weighted behind an RWMutex serves concurrent
+// readers holding only the read lock while a writer Observes under the
+// write lock. Run under -race (a CI step for this package).
+func TestWeightedConcurrentQueries(t *testing.T) {
+	c := NewWeighted(256, 0.1)
+	var mu sync.RWMutex
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			probe := int64(r * 100)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				mu.RLock()
+				c.SumAt(probe)
+				c.Sum()
+				mu.RUnlock()
+				probe += 37
+			}
+		}(r)
+	}
+	for ts := int64(0); ts < 20000; ts++ {
+		mu.Lock()
+		c.Observe(ts, float64(ts%13)+1)
+		mu.Unlock()
+	}
+	close(stop)
+	wg.Wait()
+}

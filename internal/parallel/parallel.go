@@ -43,27 +43,38 @@ import (
 	"slidingsample/internal/xrand"
 )
 
+// msg is one channel message. The weight fields cost unweighted
+// dispatchers ~32 idle bytes per buffered slot — accepted so weighted and
+// unweighted dispatch share one channel type and one worker loop. There
+// is no "weighted single element" flag: on a weighted dispatcher EVERY
+// bare element arrives through observeWeighted (wdispatch never uses the
+// plain observe path), so wshards being set is the discriminator.
 type msg[T any] struct {
 	value   T
 	ts      int64
+	weight  float64             // weighted dispatch: the element's precomputed weight
 	batch   []stream.Element[T] // non-nil: a pre-split shard batch
+	weights []float64           // non-nil with batch: the batch's precomputed weights
 	barrier *sync.WaitGroup     // non-nil: flush marker, not an element
 }
-
-// maxRecycledCap bounds the shard-batch buffers the dispatcher keeps for
-// reuse: a one-off huge batch must not pin 2G oversized backing arrays for
-// the dispatcher's lifetime (the same discipline as the public adapters'
-// scratch cap).
-const maxRecycledCap = 4096
 
 // dispatcher is the shared round-robin ingest machinery: G worker
 // goroutines, one buffered channel each, dealing, barriers and shutdown.
 // The shards are held behind the unified stream.Sampler interface; the
 // concrete sharded samplers keep their own typed views for querying.
+//
+// The same machinery carries WEIGHTED dispatch: when built over
+// stream.WeightedSampler shards, elements and batches travel with
+// precomputed weights (the weighted sharded samplers compute each weight
+// once for their dispatcher-side per-shard weight oracles and forward it),
+// dealt through the identical round-robin split and double-buffered
+// recycling — the weight slices are just a parallel half of each buffer
+// generation.
 type dispatcher[T any] struct {
-	g      int
-	shards []stream.Sampler[T]
-	chans  []chan msg[T]
+	g       int
+	shards  []stream.Sampler[T]
+	wshards []stream.WeightedSampler[T] // non-nil: weighted dispatch enabled
+	chans   []chan msg[T]
 	// bufs double-buffers the per-shard batch slices: two generations of G
 	// buffers each. A generation is refilled ONLY when every slice cut from
 	// it has been flushed by a Barrier — workers never see a reused slice
@@ -72,51 +83,99 @@ type dispatcher[T any] struct {
 	// Between barriers the two clean generations cover two batches and
 	// further ones fall back to fresh right-sized allocations; under the
 	// checkpointed query cadence (Sample requires a Barrier) batched ingest
-	// is allocation-free in steady state.
+	// is allocation-free in steady state. wbufs is the weight half of each
+	// generation (weighted dispatch only), recycled under the same
+	// dirty/clean flags since element and weight slices are cut together.
 	bufs   [2][][]stream.Element[T]
+	wbufs  [2][][]float64
 	dirty  [2]bool
 	wg     sync.WaitGroup
 	next   int
 	count  uint64
 	synced bool
+	closed bool
 }
 
 func newDispatcher[T any](shards []stream.Sampler[T]) *dispatcher[T] {
+	return startDispatcher(shards, nil)
+}
+
+// newWeightedDispatcher builds a dispatcher whose shards also accept
+// precomputed weights; the unweighted paths keep working unchanged.
+func newWeightedDispatcher[T any](wshards []stream.WeightedSampler[T]) *dispatcher[T] {
+	shards := make([]stream.Sampler[T], len(wshards))
+	for i, sh := range wshards {
+		shards[i] = sh
+	}
+	return startDispatcher(shards, wshards)
+}
+
+// startDispatcher is the shared construction: buffer generations, channel
+// sizing and worker spawning are identical for weighted and unweighted
+// dispatch (wshards non-nil is the only difference).
+func startDispatcher[T any](shards []stream.Sampler[T], wshards []stream.WeightedSampler[T]) *dispatcher[T] {
 	d := &dispatcher[T]{
-		g:      len(shards),
-		shards: shards,
-		chans:  make([]chan msg[T], len(shards)),
-		synced: true,
+		g:       len(shards),
+		shards:  shards,
+		wshards: wshards,
+		chans:   make([]chan msg[T], len(shards)),
+		synced:  true,
 	}
 	for j := range d.bufs {
 		d.bufs[j] = make([][]stream.Element[T], len(shards))
+		if wshards != nil {
+			d.wbufs[j] = make([][]float64, len(shards))
+		}
 	}
 	for i := range shards {
 		d.chans[i] = make(chan msg[T], 1024)
-		shard := shards[i]
-		ch := d.chans[i]
 		d.wg.Add(1)
-		go func() {
-			defer d.wg.Done()
-			for m := range ch {
-				switch {
-				case m.barrier != nil:
-					m.barrier.Done()
-				case m.batch != nil:
-					shard.ObserveBatch(m.batch)
-				default:
-					shard.Observe(m.value, m.ts)
-				}
-			}
-		}()
+		go d.work(i)
 	}
 	return d
+}
+
+// work is shard i's ingest goroutine: it drains the shard's channel,
+// applying each message through the matching ingest path.
+func (d *dispatcher[T]) work(i int) {
+	defer d.wg.Done()
+	shard := d.shards[i]
+	var wshard stream.WeightedSampler[T]
+	if d.wshards != nil {
+		wshard = d.wshards[i]
+	}
+	for m := range d.chans[i] {
+		switch {
+		case m.barrier != nil:
+			m.barrier.Done()
+		case m.weights != nil:
+			wshard.ObserveWeightedBatch(m.batch, m.weights)
+		case m.batch != nil:
+			shard.ObserveBatch(m.batch)
+		case wshard != nil:
+			// Weighted dispatchers route every bare element through
+			// observeWeighted, so this case IS the weighted single element.
+			wshard.ObserveWeighted(m.value, m.weight, m.ts)
+		default:
+			shard.Observe(m.value, m.ts)
+		}
+	}
 }
 
 // observe routes the next element to its shard. Safe to call from ONE
 // producer goroutine (the dispatch order defines the stream order).
 func (d *dispatcher[T]) observe(value T, ts int64) {
 	d.chans[d.next] <- msg[T]{value: value, ts: ts}
+	d.next = (d.next + 1) % d.g
+	d.count++
+	d.synced = false
+}
+
+// observeWeighted routes the next element and its precomputed weight to its
+// shard. Weighted dispatchers must use this for EVERY bare element — the
+// worker loop relies on it (see msg).
+func (d *dispatcher[T]) observeWeighted(value T, w float64, ts int64) {
+	d.chans[d.next] <- msg[T]{value: value, ts: ts, weight: w}
 	d.next = (d.next + 1) % d.g
 	d.count++
 	d.synced = false
@@ -129,12 +188,29 @@ func (d *dispatcher[T]) observe(value T, ts int64) {
 // one is available and are allocated right-sized otherwise, so ingest
 // interleaved with queries reuses the same 2G buffers forever.
 func (d *dispatcher[T]) observeBatch(batch []stream.Element[T]) {
+	d.dealBatch(batch, nil)
+}
+
+// observeWeightedBatch deals a batch together with its precomputed
+// weights; weights[i] belongs to batch[i] and travels to the same shard
+// (weighted dispatchers only).
+func (d *dispatcher[T]) observeWeightedBatch(batch []stream.Element[T], weights []float64) {
+	d.dealBatch(batch, weights)
+}
+
+// dealBatch is the shared round-robin batch dealing. With weights non-nil
+// the weight slices are split alongside the element slices, drawn from the
+// same buffer generation — the element and weight halves of a generation
+// are always cut and flushed together, so one set of dirty flags covers
+// both.
+func (d *dispatcher[T]) dealBatch(batch []stream.Element[T], weights []float64) {
 	if len(batch) == 0 {
 		return
 	}
 	per := len(batch)/d.g + 1
 	gen := -1
 	var split [][]stream.Element[T]
+	var wsplit [][]float64
 	switch {
 	case !d.dirty[0]:
 		gen = 0
@@ -151,6 +227,16 @@ func (d *dispatcher[T]) observeBatch(batch []stream.Element[T]) {
 				split[i] = split[i][:0]
 			}
 		}
+		if weights != nil {
+			wsplit = d.wbufs[gen]
+			for i := range wsplit {
+				if cap(wsplit[i]) == 0 {
+					wsplit[i] = make([]float64, 0, per)
+				} else {
+					wsplit[i] = wsplit[i][:0]
+				}
+			}
+		}
 	} else {
 		// Both generations have un-barriered batches in flight: fall back to
 		// fresh one-off slices (never retained), exactly like unrecycled
@@ -159,28 +245,55 @@ func (d *dispatcher[T]) observeBatch(batch []stream.Element[T]) {
 		for i := range split {
 			split[i] = make([]stream.Element[T], 0, per)
 		}
+		if weights != nil {
+			wsplit = make([][]float64, d.g)
+			for i := range wsplit {
+				wsplit[i] = make([]float64, 0, per)
+			}
+		}
 	}
 	shard := d.next
-	for _, e := range batch {
-		split[shard] = append(split[shard], e)
-		shard = (shard + 1) % d.g
+	if weights == nil {
+		for _, e := range batch {
+			split[shard] = append(split[shard], e)
+			shard = (shard + 1) % d.g
+		}
+	} else {
+		for i, e := range batch {
+			split[shard] = append(split[shard], e)
+			wsplit[shard] = append(wsplit[shard], weights[i])
+			shard = (shard + 1) % d.g
+		}
 	}
 	for i, sub := range split {
 		if len(sub) > 0 {
-			d.chans[i] <- msg[T]{batch: sub}
+			m := msg[T]{batch: sub}
+			if weights != nil {
+				m.weights = wsplit[i]
+			}
+			d.chans[i] <- m
 		}
 	}
 	if gen >= 0 {
 		// Keep the (possibly grown) headers for reuse after the next
 		// barrier; the slices keep their dispatched length so the barrier
 		// can clear exactly the elements the workers consumed. Oversized
-		// backing arrays are dropped rather than pinned.
+		// backing arrays are dropped rather than pinned (the shared
+		// stream.MaxRecycledCap discipline).
 		for i := range split {
-			if cap(split[i]) > maxRecycledCap {
+			if cap(split[i]) > stream.MaxRecycledCap {
 				split[i] = nil
 			}
 		}
 		d.bufs[gen] = split
+		if weights != nil {
+			for i := range wsplit {
+				if cap(wsplit[i]) > stream.MaxRecycledCap {
+					wsplit[i] = nil
+				}
+			}
+			d.wbufs[gen] = wsplit
+		}
 	}
 	d.next = shard
 	d.count += uint64(len(batch))
@@ -190,8 +303,14 @@ func (d *dispatcher[T]) observeBatch(batch []stream.Element[T]) {
 // barrier flushes every shard channel; after it returns, all elements
 // dispatched so far are reflected in the shard samplers and the dispatched
 // batch buffers are safe to reuse (cleared here, off the hot path, so
-// recycled buffers do not retain references to processed payloads).
+// recycled buffers do not retain references to processed payloads). After
+// close it is a no-op: the final flush already ran, and the public
+// wrappers barrier on every query — a closed, fully-flushed sampler must
+// stay queryable.
 func (d *dispatcher[T]) barrier() {
+	if d.closed {
+		return
+	}
 	var wg sync.WaitGroup
 	wg.Add(d.g)
 	for _, ch := range d.chans {
@@ -205,14 +324,21 @@ func (d *dispatcher[T]) barrier() {
 		for i := range d.bufs[j] {
 			clear(d.bufs[j][i])
 		}
+		// The weight halves (wbufs) hold no pointers, so they need no
+		// clearing to release payloads; reuse truncates them to length 0.
 		d.dirty[j] = false
 	}
 	d.synced = true
 }
 
-// close shuts the workers down (after a flush). Shards remain queryable.
+// close shuts the workers down (after a flush). Shards remain queryable;
+// repeated close is a no-op.
 func (d *dispatcher[T]) close() {
+	if d.closed {
+		return
+	}
 	d.barrier()
+	d.closed = true
 	for _, ch := range d.chans {
 		close(ch)
 	}
@@ -369,6 +495,18 @@ type tsDispatch[T any] struct {
 	est   *ehist.Counter
 	now   int64
 	begun bool
+	// The cross-shard weight cache: between a (dispatch count, query time)
+	// change, every SampleAt re-derived the same per-shard counts — a fresh
+	// sizes allocation plus an EstimateAt bucket scan per query, pure waste
+	// under the serving cadence of many queries per checkpoint. sizes is a
+	// scratch slice reused across queries; the cache key is (count, now).
+	// Uncounted in Words() like the dealing buffers: query-side scratch,
+	// not sampler state (DESIGN.md §6). BENCH_4.json has the before/after.
+	sizes      []uint64
+	cacheCount uint64
+	cacheNow   int64
+	cacheTotal uint64
+	cacheOK    bool
 }
 
 func newTSDispatch[T any](rng *xrand.Rand, t0 int64, g, k int, eps float64, shards []stream.Sampler[T]) *tsDispatch[T] {
@@ -421,26 +559,44 @@ func (t *tsDispatch[T]) observeBatch(batch []stream.Element[T]) {
 // their total. Exact up to the (1±ε) estimate of the window's oldest index:
 // the active window is the contiguous global index range [â, count), and
 // round-robin dealing puts ⌈·⌉/⌊·⌋ of it on each shard deterministically.
+// The result is cached per (dispatch count, query time) in a reused scratch
+// slice: repeated queries at one checkpoint — the serving cadence — skip
+// both the allocation and the estimator scan. Callers must treat the slice
+// as owned by the dispatch (mutate it only through dropShard).
 func (t *tsDispatch[T]) weights(now int64) ([]uint64, uint64) {
+	if t.cacheOK && t.cacheCount == t.d.count && t.cacheNow == now {
+		return t.sizes, t.cacheTotal
+	}
 	nHat := t.est.EstimateAt(now)
 	if nHat > t.d.count {
 		nHat = t.d.count
 	}
-	if nHat == 0 {
-		return nil, 0
+	if t.sizes == nil {
+		t.sizes = make([]uint64, t.g)
 	}
 	aHat := t.d.count - nHat
-	sizes := make([]uint64, t.g)
 	base := nHat / uint64(t.g)
 	rem := nHat % uint64(t.g)
-	for i := range sizes {
-		sizes[i] = base
+	for i := range t.sizes {
+		t.sizes[i] = base
 		// The rem extra elements land on shards â mod g, â+1 mod g, ...
 		if (uint64(i)+uint64(t.g)-aHat%uint64(t.g))%uint64(t.g) < rem {
-			sizes[i]++
+			t.sizes[i]++
 		}
 	}
-	return sizes, nHat
+	t.cacheCount, t.cacheNow, t.cacheTotal, t.cacheOK = t.d.count, now, nHat, true
+	return t.sizes, nHat
+}
+
+// dropShard zeroes a shard's cached weight after a query discovered the
+// shard empty at the cached (count, query time) — possible only within the
+// estimate's eps error band — and returns the updated total. The
+// refinement is written through to the cache, so repeated queries at the
+// same checkpoint skip the rediscovery.
+func (t *tsDispatch[T]) dropShard(shard int) uint64 {
+	t.cacheTotal -= t.sizes[shard]
+	t.sizes[shard] = 0
+	return t.cacheTotal
 }
 
 // clockFor clamps a query time to the monotone dispatcher clock.
@@ -527,8 +683,7 @@ func (s *ShardedTSWR[T]) SampleAt(now int64) ([]stream.Element[T], bool) {
 			if es, ok := s.shards[shard].SampleAt(now); ok {
 				cache[shard] = es
 			} else {
-				total -= sizes[shard]
-				sizes[shard] = 0
+				total = s.ts.dropShard(shard)
 				cache[shard] = []stream.Element[T]{}
 			}
 		}

@@ -17,6 +17,7 @@ func raceSubstrates() map[string]func(r *xrand.Rand) stream.Sampler[uint64] {
 		k   = 5
 		eps = 0.05
 	)
+	weight := func(v uint64) float64 { return float64(v%9) + 1 }
 	return map[string]func(r *xrand.Rand) stream.Sampler[uint64]{
 		"ShardedSeqWR": func(r *xrand.Rand) stream.Sampler[uint64] {
 			return NewShardedSeqWR[uint64](r, n, g, k)
@@ -26,6 +27,21 @@ func raceSubstrates() map[string]func(r *xrand.Rand) stream.Sampler[uint64] {
 		},
 		"ShardedTSWOR": func(r *xrand.Rand) stream.Sampler[uint64] {
 			return NewShardedTSWOR[uint64](r, t0, g, k, eps)
+		},
+		// The weighted substrates exercise the weight-aware dispatch: the
+		// weight halves of the double-buffered dealing generations cross
+		// goroutines exactly like the element halves.
+		"ShardedWeightedSeqWOR": func(r *xrand.Rand) stream.Sampler[uint64] {
+			return NewShardedWeightedSeqWOR[uint64](r, n, g, k, eps, weight)
+		},
+		"ShardedWeightedSeqWR": func(r *xrand.Rand) stream.Sampler[uint64] {
+			return NewShardedWeightedSeqWR[uint64](r, n, g, k, eps, weight)
+		},
+		"ShardedWeightedTSWOR": func(r *xrand.Rand) stream.Sampler[uint64] {
+			return NewShardedWeightedTSWOR[uint64](r, t0, g, k, eps, weight)
+		},
+		"ShardedWeightedTSWR": func(r *xrand.Rand) stream.Sampler[uint64] {
+			return NewShardedWeightedTSWR[uint64](r, t0, g, k, eps, weight)
 		},
 	}
 }

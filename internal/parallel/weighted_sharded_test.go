@@ -1,0 +1,433 @@
+package parallel
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"slidingsample/internal/stream"
+	"slidingsample/internal/window"
+	"slidingsample/internal/xrand"
+)
+
+// shardWeight is the deterministic weight law of the sharded weighted
+// battery.
+func shardWeight(v uint64) float64 { return float64(v%5) + 1 }
+
+// wtsPattern is one timestamp-stream shape of the cross-shard battery:
+// arrival timestamps, horizon, query time (possibly past the last arrival)
+// and shard count. Warm-up remainder dealing — a stream length NOT
+// divisible by g, so the shards are mid-cycle — is part of every pattern.
+type wtsPattern struct {
+	name string
+	t0   int64
+	g    int
+	ts   []int64
+	now  int64
+}
+
+func wtsPatterns() []wtsPattern {
+	bursty := make([]int64, 30) // 30 % 4 = 2: mid-cycle dealing
+	for i := range bursty {
+		bursty[i] = int64(i / 3)
+	}
+	gapped := []int64{0, 0, 10, 10, 11, 13, 20, 21, 21, 22, 25} // 11 % 3 = 2
+	warmup := []int64{0, 0, 1, 1, 2, 2, 3}                      // younger than the window, 7 % 4 = 3
+	return []wtsPattern{
+		{name: "bursty", t0: 3, g: 4, ts: bursty, now: 9},
+		{name: "gapped", t0: 10, g: 3, ts: gapped, now: 28}, // 3 ticks past the last arrival
+		{name: "warmup", t0: 100, g: 4, ts: warmup, now: 3},
+	}
+}
+
+func wtsWindow(p wtsPattern) []stream.Element[uint64] {
+	buf := window.NewTSBuffer[uint64](p.t0)
+	for i, ts := range p.ts {
+		buf.Observe(stream.Element[uint64]{Value: uint64(i), Index: uint64(i), TS: ts})
+	}
+	buf.AdvanceTo(p.now)
+	return buf.Contents()
+}
+
+// logKey draws ln(U)/w, the brute-force Efraimidis–Spirakis key (the
+// independent re-implementation the sharded sampler is checked against).
+func logKey(rng *xrand.Rand, w float64) float64 {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return math.Log(u) / w
+}
+
+// TestShardedWeightedTSWORMatchesBruteForceLaw is the cross-shard
+// distribution-correctness test the tentpole is admitted on: over each
+// timestamp pattern — bursty, gapped with a query past the last arrival,
+// and warm-up with remainder dealing — the merged ORDERED 2-sample must
+// match, in total-variation distance, both brute-force Efraimidis–Spirakis
+// over the exact window contents and the closed-form successive-sampling
+// law. The composition claims to be EXACT (globally comparable log-keys),
+// so the thresholds are the same as the unsharded battery's.
+func TestShardedWeightedTSWORMatchesBruteForceLaw(t *testing.T) {
+	const (
+		k      = 2
+		trials = 40000
+	)
+	for _, p := range wtsPatterns() {
+		t.Run(p.name, func(t *testing.T) {
+			win := wtsWindow(p)
+			if len(win) < 4 {
+				t.Fatalf("pattern too small: window has %d elements", len(win))
+			}
+			W := 0.0
+			for _, e := range win {
+				W += shardWeight(e.Value)
+			}
+			exact := map[[2]uint64]float64{}
+			for _, a := range win {
+				wa := shardWeight(a.Value)
+				for _, b := range win {
+					if a.Index == b.Index {
+						continue
+					}
+					exact[[2]uint64{a.Index, b.Index}] = wa / W * shardWeight(b.Value) / (W - wa)
+				}
+			}
+
+			// Empirical law of the sharded sampler, queried at p.now.
+			sampler := map[[2]uint64]int{}
+			for tr := 0; tr < trials; tr++ {
+				s := NewShardedWeightedTSWOR[uint64](xrand.New(uint64(tr)+1), p.t0, p.g, k, 0.05, shardWeight)
+				for i, ts := range p.ts {
+					s.Observe(uint64(i), ts)
+				}
+				s.Barrier()
+				got, ok := s.SampleAt(p.now)
+				s.Close()
+				if !ok || len(got) != k {
+					t.Fatalf("trial %d: ok=%v len=%d", tr, ok, len(got))
+				}
+				for _, e := range got {
+					if e.Value != e.Index {
+						t.Fatalf("trial %d: index recovery broken: value %d index %d", tr, e.Value, e.Index)
+					}
+				}
+				sampler[[2]uint64{got[0].Index, got[1].Index}]++
+			}
+
+			// Empirical law of brute-force ES over the same window.
+			brute := map[[2]uint64]int{}
+			br := xrand.New(192837465)
+			keys := make([]float64, len(win))
+			order := make([]int, len(win))
+			for tr := 0; tr < trials; tr++ {
+				for i, e := range win {
+					keys[i] = logKey(br, shardWeight(e.Value))
+					order[i] = i
+				}
+				sort.Slice(order, func(a, b int) bool { return keys[order[a]] > keys[order[b]] })
+				brute[[2]uint64{win[order[0]].Index, win[order[1]].Index}]++
+			}
+
+			tv := func(emp map[[2]uint64]int) float64 {
+				d := 0.0
+				for pair, pr := range exact {
+					d += math.Abs(pr - float64(emp[pair])/trials)
+				}
+				for pair := range emp {
+					if _, known := exact[pair]; !known {
+						t.Fatalf("sampled pair %v outside the window law support", pair)
+					}
+				}
+				return d / 2
+			}
+			if d := tv(sampler); d > 0.05 {
+				t.Errorf("sharded sampler vs closed-form law: TV = %.4f > 0.05", d)
+			}
+			if d := tv(brute); d > 0.05 {
+				t.Errorf("brute force vs closed-form law: TV = %.4f > 0.05 (test harness broken)", d)
+			}
+			d := 0.0
+			for pair := range exact {
+				d += math.Abs(float64(sampler[pair])-float64(brute[pair])) / trials
+			}
+			if d /= 2; d > 0.06 {
+				t.Errorf("sharded sampler vs brute force: TV = %.4f > 0.06", d)
+			}
+		})
+	}
+}
+
+// TestShardedWeightedSeqWORMatchesBruteForceLaw: the sequence-window
+// merged composition is exact too, checked mid-cycle (m not divisible by
+// g, so warm-up remainder dealing left the shards staggered).
+func TestShardedWeightedSeqWORMatchesBruteForceLaw(t *testing.T) {
+	const (
+		n      = 16
+		g      = 4
+		m      = 42 // mid-cycle: shards hold unequal arrival counts
+		k      = 2
+		trials = 40000
+	)
+	win := make([]stream.Element[uint64], 0, n)
+	for i := m - n; i < m; i++ {
+		win = append(win, stream.Element[uint64]{Value: uint64(i), Index: uint64(i)})
+	}
+	W := 0.0
+	for _, e := range win {
+		W += shardWeight(e.Value)
+	}
+	exact := map[[2]uint64]float64{}
+	for _, a := range win {
+		wa := shardWeight(a.Value)
+		for _, b := range win {
+			if a.Index == b.Index {
+				continue
+			}
+			exact[[2]uint64{a.Index, b.Index}] = wa / W * shardWeight(b.Value) / (W - wa)
+		}
+	}
+	sampler := map[[2]uint64]int{}
+	for tr := 0; tr < trials; tr++ {
+		s := NewShardedWeightedSeqWOR[uint64](xrand.New(uint64(tr)+1), n, g, k, 0.05, shardWeight)
+		for i := 0; i < m; i++ {
+			s.Observe(uint64(i), 0)
+		}
+		s.Barrier()
+		got, ok := s.Sample()
+		s.Close()
+		if !ok || len(got) != k {
+			t.Fatalf("trial %d: ok=%v len=%d", tr, ok, len(got))
+		}
+		sampler[[2]uint64{got[0].Index, got[1].Index}]++
+	}
+	d := 0.0
+	for pair, pr := range exact {
+		d += math.Abs(pr - float64(sampler[pair])/trials)
+	}
+	for pair := range sampler {
+		if _, known := exact[pair]; !known {
+			t.Fatalf("sampled pair %v outside the window", pair)
+		}
+	}
+	if d /= 2; d > 0.05 {
+		t.Errorf("sharded seq WOR vs closed-form law: TV = %.4f > 0.05", d)
+	}
+}
+
+// TestShardedWeightedTSWRInclusionLaw checks the with-replacement law on
+// the gapped pattern (including query-time expiry past the last arrival):
+// each slot returns active element i with probability w_i/W up to the
+// cross-shard eps, and never an expired element.
+func TestShardedWeightedTSWRInclusionLaw(t *testing.T) {
+	const (
+		k      = 3
+		trials = 30000
+	)
+	p := wtsPatterns()[1] // gapped
+	win := wtsWindow(p)
+	W := 0.0
+	active := map[uint64]bool{}
+	for _, e := range win {
+		W += shardWeight(e.Value)
+		active[e.Index] = true
+	}
+	counts := map[uint64]int{}
+	for tr := 0; tr < trials; tr++ {
+		s := NewShardedWeightedTSWR[uint64](xrand.New(uint64(tr)+1), p.t0, p.g, k, 0.05, shardWeight)
+		for i, ts := range p.ts {
+			s.Observe(uint64(i), ts)
+		}
+		s.Barrier()
+		got, ok := s.SampleAt(p.now)
+		s.Close()
+		if !ok || len(got) != k {
+			t.Fatalf("trial %d: ok=%v len=%d", tr, ok, len(got))
+		}
+		for _, e := range got {
+			if !active[e.Index] {
+				t.Fatalf("trial %d: sampled expired index %d", tr, e.Index)
+			}
+			if e.Value != e.Index {
+				t.Fatalf("trial %d: index recovery broken: value %d index %d", tr, e.Value, e.Index)
+			}
+			counts[e.Index]++
+		}
+	}
+	draws := float64(trials * k)
+	for _, e := range win {
+		pr := shardWeight(e.Value) / W
+		got := float64(counts[e.Index]) / draws
+		// 5 sigma on a binomial proportion plus the documented cross-shard
+		// eps slack on the shard-pick weights.
+		tol := 5*math.Sqrt(pr*(1-pr)/draws) + 0.05*pr
+		if math.Abs(got-pr) > tol {
+			t.Errorf("index %d: inclusion %.4f, want %.4f ± %.4f", e.Index, got, pr, tol)
+		}
+	}
+}
+
+// TestShardedWeightedSeqWRInclusionLaw: sequence-window slot draws follow
+// w_i/W over the last n elements, mid-cycle.
+func TestShardedWeightedSeqWRInclusionLaw(t *testing.T) {
+	const (
+		n      = 16
+		g      = 4
+		m      = 42
+		k      = 2
+		trials = 30000
+	)
+	W := 0.0
+	for i := m - n; i < m; i++ {
+		W += shardWeight(uint64(i))
+	}
+	counts := map[uint64]int{}
+	for tr := 0; tr < trials; tr++ {
+		s := NewShardedWeightedSeqWR[uint64](xrand.New(uint64(tr)+1), n, g, k, 0.05, shardWeight)
+		for i := 0; i < m; i++ {
+			s.Observe(uint64(i), 0)
+		}
+		s.Barrier()
+		got, ok := s.Sample()
+		s.Close()
+		if !ok || len(got) != k {
+			t.Fatalf("trial %d: ok=%v len=%d", tr, ok, len(got))
+		}
+		for _, e := range got {
+			if e.Index < m-n || e.Index >= m {
+				t.Fatalf("trial %d: sampled index %d outside window [%d,%d)", tr, e.Index, m-n, m)
+			}
+			counts[e.Index]++
+		}
+	}
+	draws := float64(trials * k)
+	for i := uint64(m - n); i < m; i++ {
+		pr := shardWeight(i) / W
+		got := float64(counts[i]) / draws
+		tol := 5*math.Sqrt(pr*(1-pr)/draws) + 0.05*pr
+		if math.Abs(got-pr) > tol {
+			t.Errorf("index %d: inclusion %.4f, want %.4f ± %.4f", i, got, pr, tol)
+		}
+	}
+}
+
+// TestShardedWeightedOracleAccuracy pins the E19 acceptance claim at unit
+// scale: each per-shard weight oracle — and their TotalWeightAt sum — is
+// within (1±eps) of the ground-truth active weight of the shard's slice,
+// under a heavy-tailed weight law and at query times past the last
+// arrival.
+func TestShardedWeightedOracleAccuracy(t *testing.T) {
+	const (
+		t0  = 128
+		g   = 4
+		k   = 4
+		m   = 20000
+		eps = 0.05
+	)
+	heavy := func(v uint64) float64 {
+		w := float64(v%9) + 1
+		if v%101 == 0 {
+			w *= 1e4
+		}
+		return w
+	}
+	s := NewShardedWeightedTSWOR[uint64](xrand.New(11), t0, g, k, eps, heavy)
+	defer s.Close()
+	truth := window.NewTSBuffer[uint64](t0)
+	rng := xrand.New(12)
+	ts := int64(0)
+	for i := 0; i < m; i++ {
+		if rng.Uint64n(3) == 0 {
+			ts += int64(rng.Uint64n(5))
+		}
+		s.Observe(uint64(i), ts)
+		truth.Observe(stream.Element[uint64]{Value: uint64(i), Index: uint64(i), TS: ts})
+		if i%97 != 0 {
+			continue
+		}
+		probe := ts + int64(rng.Uint64n(t0/2))
+		probeTruth := window.NewTSBuffer[uint64](t0)
+		for _, e := range truth.Contents() {
+			probeTruth.Observe(e)
+		}
+		probeTruth.AdvanceTo(probe)
+		perShard := make([]float64, g)
+		total := 0.0
+		for _, e := range probeTruth.Contents() {
+			w := heavy(e.Value)
+			perShard[e.Index%g] += w
+			total += w
+		}
+		s.Barrier()
+		if total == 0 {
+			continue
+		}
+		if got := s.TotalWeightAt(probe); math.Abs(got-total)/total > eps+1e-9 {
+			t.Fatalf("step %d: TotalWeightAt=%g vs W(t)=%g (rel %.4f > %.2f)",
+				i, got, total, math.Abs(got-total)/total, eps)
+		}
+		for shard, want := range perShard {
+			got := s.w.wests[shard].SumAt(probe)
+			if want == 0 {
+				continue
+			}
+			if rel := math.Abs(got-want) / want; rel > eps+1e-9 {
+				t.Fatalf("step %d shard %d: oracle %g vs ground truth %g (rel %.4f > %.2f)",
+					i, shard, got, want, rel, eps)
+			}
+		}
+	}
+}
+
+// TestShardedWeightedExhaustiveAndDrain: |sample| = min(k, n(t)) for the
+// merged WOR as the window drains past the last arrival, tracking TSBuffer
+// ground truth exactly, and ok=false once it empties.
+func TestShardedWeightedDrain(t *testing.T) {
+	const (
+		t0 = 50
+		g  = 4
+		k  = 6
+		m  = 200
+	)
+	s := NewShardedWeightedTSWOR[uint64](xrand.New(9), t0, g, k, 0.05, shardWeight)
+	defer s.Close()
+	truth := window.NewTSBuffer[uint64](t0)
+	rng := xrand.New(10)
+	ts := int64(0)
+	for i := 0; i < m; i++ {
+		if rng.Uint64n(3) == 0 {
+			ts += int64(rng.Uint64n(4))
+		}
+		s.Observe(uint64(i), ts)
+		truth.Observe(stream.Element[uint64]{Value: uint64(i), Index: uint64(i), TS: ts})
+	}
+	s.Barrier()
+	for now := ts; now <= ts+t0+2; now++ {
+		truth.AdvanceTo(now)
+		active := map[uint64]bool{}
+		for _, e := range truth.Contents() {
+			active[e.Index] = true
+		}
+		n := len(active)
+		got, ok := s.SampleAt(now)
+		if ok != (n > 0) {
+			t.Fatalf("now=%d: ok=%v with n(t)=%d", now, ok, n)
+		}
+		wantLen := k
+		if n < k {
+			wantLen = n
+		}
+		if len(got) != wantLen {
+			t.Fatalf("now=%d: |sample|=%d, want min(k,n)=%d", now, len(got), wantLen)
+		}
+		seen := map[uint64]bool{}
+		for _, e := range got {
+			if !active[e.Index] {
+				t.Fatalf("now=%d: sampled expired index %d", now, e.Index)
+			}
+			if seen[e.Index] {
+				t.Fatalf("now=%d: duplicate index %d in WOR sample", now, e.Index)
+			}
+			seen[e.Index] = true
+		}
+	}
+}

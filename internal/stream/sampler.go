@@ -49,6 +49,27 @@ type TimedSampler[T any] interface {
 	SampleAt(now int64) ([]Element[T], bool)
 }
 
+// WeightedSampler is a Sampler that can ingest elements with PRECOMPUTED
+// weights. Every weighted sampler derives its weights from a weight
+// function fixed at construction (which is what lets it speak the plain
+// Sampler interface), but layers that already computed the weight — the
+// sharded dispatcher needs each element's weight for its per-shard weight
+// oracles before dealing — can hand it over instead of paying the weight
+// function twice. The contract mirrors Observe/ObserveBatch exactly:
+// supplying weights[i] == weight(batch[i].Value) leaves the sampler in the
+// same state, including identical random draws, as the unweighted path.
+type WeightedSampler[T any] interface {
+	Sampler[T]
+	// ObserveWeighted feeds one element whose weight was already computed.
+	// The weight must be positive and finite (panics otherwise, matching
+	// the internal convention).
+	ObserveWeighted(value T, weight float64, ts int64)
+	// ObserveWeightedBatch feeds a run of elements with precomputed
+	// weights; weights[i] belongs to batch[i]. Panics when the slices have
+	// different lengths.
+	ObserveWeightedBatch(batch []Element[T], weights []float64)
+}
+
 // SlotSampler is the optional extension the Section 5 application layer
 // needs: access to the live sample slots (with their Aux payload) rather
 // than element copies, plus enumeration of every retained slot. The core

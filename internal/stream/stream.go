@@ -49,6 +49,15 @@ type MemoryReporter interface {
 // samplers auditable against DESIGN.md §6.
 const StoredWords = 3
 
+// MaxRecycledCap bounds every scratch or recycled buffer retained between
+// batches anywhere in the repository — the public adapters' batch scratch,
+// the sharded dispatcher's per-shard dealing buffers and their weight
+// halves. Reuse keeps the steady-state batch cadence allocation-free, but a
+// one-off huge batch must not pin its oversized backing array for the
+// holder's whole lifetime: buffers that grew past this many entries are
+// dropped instead of retained.
+const MaxRecycledCap = 4096
+
 // Stored is one retained stream element inside a sampler, plus an optional
 // per-slot auxiliary payload used by the Section 5 "translation" machinery
 // (Theorem 5.1): applications attach suffix counters or watch flags to the

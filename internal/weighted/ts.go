@@ -132,6 +132,13 @@ func NewTSWOR[T any](rng *xrand.Rand, t0 int64, k int, eps float64, weight func(
 // counter's queries are read-only), so a wall-clock query may be followed
 // by an older — but still non-decreasing — arrival.
 func (s *TSWOR[T]) Observe(value T, ts int64) {
+	s.ObserveWeighted(value, s.weight(value), ts)
+}
+
+// ObserveWeighted feeds the next element with a precomputed weight (see
+// WOR.ObserveWeighted; with w == weight(value) the state and draws are
+// identical to Observe).
+func (s *TSWOR[T]) ObserveWeighted(value T, w float64, ts int64) {
 	if s.started && ts < s.now {
 		panic(fmt.Sprintf("weighted: TSWOR time went backwards: %d after %d", ts, s.now))
 	}
@@ -140,9 +147,9 @@ func (s *TSWOR[T]) Observe(value T, ts int64) {
 	e := stream.Element[T]{Value: value, Index: s.count, TS: ts}
 	s.count++
 	s.est.Observe(ts)
-	s.sky.observe(e, checkWeight(s.weight(value)))
-	if w := s.Words(); w > s.maxWords {
-		s.maxWords = w
+	s.sky.observe(e, checkWeight(w))
+	if wd := s.Words(); wd > s.maxWords {
+		s.maxWords = wd
 	}
 }
 
@@ -164,6 +171,31 @@ func (s *TSWOR[T]) ObserveBatch(batch []stream.Element[T]) {
 		cnt++
 		s.est.Observe(e.TS)
 		s.sky.observe(e, checkWeight(s.weight(e.Value)))
+		if w := s.Words(); w > peak {
+			peak = w
+		}
+	}
+	s.count = cnt
+	s.maxWords = peak
+}
+
+// ObserveWeightedBatch is ObserveBatch with precomputed weights.
+func (s *TSWOR[T]) ObserveWeightedBatch(batch []stream.Element[T], weights []float64) {
+	if len(batch) != len(weights) {
+		panic("weighted: ObserveWeightedBatch with mismatched slice lengths")
+	}
+	cnt := s.count
+	peak := s.maxWords
+	for i, e := range batch {
+		if s.started && e.TS < s.now {
+			panic(fmt.Sprintf("weighted: TSWOR time went backwards: %d after %d", e.TS, s.now))
+		}
+		s.now = e.TS
+		s.started = true
+		e.Index = cnt
+		cnt++
+		s.est.Observe(e.TS)
+		s.sky.observe(e, checkWeight(weights[i]))
 		if w := s.Words(); w > peak {
 			peak = w
 		}
@@ -287,6 +319,12 @@ func NewTSWR[T any](rng *xrand.Rand, t0 int64, k int, eps float64, weight func(T
 
 // Observe feeds the next stream element to every slot instance.
 func (s *TSWR[T]) Observe(value T, ts int64) {
+	s.ObserveWeighted(value, s.weight(value), ts)
+}
+
+// ObserveWeighted feeds the next element with a precomputed weight (see
+// WOR.ObserveWeighted).
+func (s *TSWR[T]) ObserveWeighted(value T, w float64, ts int64) {
 	if s.started && ts < s.now {
 		panic(fmt.Sprintf("weighted: TSWR time went backwards: %d after %d", ts, s.now))
 	}
@@ -295,7 +333,7 @@ func (s *TSWR[T]) Observe(value T, ts int64) {
 	e := stream.Element[T]{Value: value, Index: s.count, TS: ts}
 	s.count++
 	s.est.Observe(ts)
-	w := checkWeight(s.weight(value))
+	w = checkWeight(w)
 	for i := range s.insts {
 		s.insts[i].observe(e, w)
 	}
@@ -323,6 +361,34 @@ func (s *TSWR[T]) ObserveBatch(batch []stream.Element[T]) {
 		w := checkWeight(s.weight(e.Value))
 		for i := range s.insts {
 			s.insts[i].observe(e, w)
+		}
+		if wd := s.Words(); wd > peak {
+			peak = wd
+		}
+	}
+	s.count = cnt
+	s.maxWords = peak
+}
+
+// ObserveWeightedBatch is ObserveBatch with precomputed weights.
+func (s *TSWR[T]) ObserveWeightedBatch(batch []stream.Element[T], weights []float64) {
+	if len(batch) != len(weights) {
+		panic("weighted: ObserveWeightedBatch with mismatched slice lengths")
+	}
+	cnt := s.count
+	peak := s.maxWords
+	for i, e := range batch {
+		if s.started && e.TS < s.now {
+			panic(fmt.Sprintf("weighted: TSWR time went backwards: %d after %d", e.TS, s.now))
+		}
+		s.now = e.TS
+		s.started = true
+		e.Index = cnt
+		cnt++
+		s.est.Observe(e.TS)
+		w := checkWeight(weights[i])
+		for j := range s.insts {
+			s.insts[j].observe(e, w)
 		}
 		if wd := s.Words(); wd > peak {
 			peak = wd
@@ -428,8 +494,11 @@ func itemElements[T any](items []Item[T], ok bool) ([]stream.Element[T], bool) {
 	return out, true
 }
 
-// Compile-time conformance with the unified sampler interface.
+// Compile-time conformance with the unified sampler interface (including
+// the precomputed-weight ingest extension the sharded dispatcher uses).
 var (
-	_ stream.TimedSampler[int] = (*TSWOR[int])(nil)
-	_ stream.TimedSampler[int] = (*TSWR[int])(nil)
+	_ stream.TimedSampler[int]    = (*TSWOR[int])(nil)
+	_ stream.TimedSampler[int]    = (*TSWR[int])(nil)
+	_ stream.WeightedSampler[int] = (*TSWOR[int])(nil)
+	_ stream.WeightedSampler[int] = (*TSWR[int])(nil)
 )

@@ -192,11 +192,20 @@ func NewWOR[T any](rng *xrand.Rand, n uint64, k int, weight func(T) float64) *WO
 
 // Observe feeds the next stream element (timestamps carried through only).
 func (s *WOR[T]) Observe(value T, ts int64) {
+	s.ObserveWeighted(value, s.weight(value), ts)
+}
+
+// ObserveWeighted feeds the next element with a precomputed weight —
+// layers that already paid the weight function (the sharded dispatcher
+// computes each element's weight for its per-shard weight oracles before
+// dealing) hand it over instead of paying twice. With w == weight(value)
+// the state and draws are identical to Observe.
+func (s *WOR[T]) ObserveWeighted(value T, w float64, ts int64) {
 	e := stream.Element[T]{Value: value, Index: s.count, TS: ts}
 	s.count++
-	s.sky.observe(e, checkWeight(s.weight(value)))
-	if w := s.Words(); w > s.maxWords {
-		s.maxWords = w
+	s.sky.observe(e, checkWeight(w))
+	if wd := s.Words(); wd > s.maxWords {
+		s.maxWords = wd
 	}
 }
 
@@ -212,6 +221,27 @@ func (s *WOR[T]) ObserveBatch(batch []stream.Element[T]) {
 		e.Index = cnt
 		cnt++
 		s.sky.observe(e, checkWeight(s.weight(e.Value)))
+		if w := s.Words(); w > peak {
+			peak = w
+		}
+	}
+	s.count = cnt
+	s.maxWords = peak
+}
+
+// ObserveWeightedBatch is ObserveBatch with precomputed weights;
+// weights[i] belongs to batch[i] (panics on a length mismatch, matching
+// the internal convention).
+func (s *WOR[T]) ObserveWeightedBatch(batch []stream.Element[T], weights []float64) {
+	if len(batch) != len(weights) {
+		panic("weighted: ObserveWeightedBatch with mismatched slice lengths")
+	}
+	cnt := s.count
+	peak := s.maxWords
+	for i, e := range batch {
+		e.Index = cnt
+		cnt++
+		s.sky.observe(e, checkWeight(weights[i]))
 		if w := s.Words(); w > peak {
 			peak = w
 		}
@@ -326,9 +356,15 @@ func NewWR[T any](rng *xrand.Rand, n uint64, k int, weight func(T) float64) *WR[
 
 // Observe feeds the next stream element to every slot instance.
 func (s *WR[T]) Observe(value T, ts int64) {
+	s.ObserveWeighted(value, s.weight(value), ts)
+}
+
+// ObserveWeighted feeds the next element with a precomputed weight (see
+// WOR.ObserveWeighted).
+func (s *WR[T]) ObserveWeighted(value T, w float64, ts int64) {
 	e := stream.Element[T]{Value: value, Index: s.count, TS: ts}
 	s.count++
-	w := checkWeight(s.weight(value))
+	w = checkWeight(w)
 	for i := range s.insts {
 		s.insts[i].observe(e, w)
 	}
@@ -350,6 +386,28 @@ func (s *WR[T]) ObserveBatch(batch []stream.Element[T]) {
 		w := checkWeight(s.weight(e.Value))
 		for i := range s.insts {
 			s.insts[i].observe(e, w)
+		}
+		if wd := s.Words(); wd > peak {
+			peak = wd
+		}
+	}
+	s.count = cnt
+	s.maxWords = peak
+}
+
+// ObserveWeightedBatch is ObserveBatch with precomputed weights.
+func (s *WR[T]) ObserveWeightedBatch(batch []stream.Element[T], weights []float64) {
+	if len(batch) != len(weights) {
+		panic("weighted: ObserveWeightedBatch with mismatched slice lengths")
+	}
+	cnt := s.count
+	peak := s.maxWords
+	for i, e := range batch {
+		e.Index = cnt
+		cnt++
+		w := checkWeight(weights[i])
+		for j := range s.insts {
+			s.insts[j].observe(e, w)
 		}
 		if wd := s.Words(); wd > peak {
 			peak = wd
@@ -419,8 +477,9 @@ func (s *WR[T]) Words() int {
 // MaxWords implements stream.MemoryReporter.
 func (s *WR[T]) MaxWords() int { return s.maxWords }
 
-// Compile-time conformance with the unified sampler interface.
+// Compile-time conformance with the unified sampler interface (including
+// the precomputed-weight ingest extension the sharded dispatcher uses).
 var (
-	_ stream.Sampler[int] = (*WOR[int])(nil)
-	_ stream.Sampler[int] = (*WR[int])(nil)
+	_ stream.WeightedSampler[int] = (*WOR[int])(nil)
+	_ stream.WeightedSampler[int] = (*WR[int])(nil)
 )

@@ -1,0 +1,165 @@
+package slidingsample
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPublicShardedWeightedTimestampWOR drives the public sharded weighted
+// sampler end to end: async ingest, auto-barrier queries, weighted-order
+// WOR samples, read-only scale oracles, determinism under WithSeed, and
+// queryability after Close.
+func TestPublicShardedWeightedTimestampWOR(t *testing.T) {
+	const (
+		t0 = 64
+		g  = 4
+		k  = 5
+		m  = 2000
+	)
+	mk := func() *ShardedWeightedTimestampWOR[int] {
+		s, err := NewShardedWeightedTimestampWOR[int](t0, g, k, WithSeed(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := mk(), mk()
+	defer a.Close()
+	defer b.Close()
+	if _, ok := a.Sample(); ok {
+		t.Fatal("sample from empty sampler")
+	}
+	for i := 0; i < m; i++ {
+		w := float64(i%13) + 1
+		ts := int64(i / 5)
+		if err := a.Observe(i, w, ts); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Observe(i, w, ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	now := int64((m - 1) / 5)
+	// No explicit Barrier: the query flushes in-flight ingest itself.
+	got, ok := a.SampleAt(now)
+	if !ok || len(got) != k {
+		t.Fatalf("ok=%v len=%d, want k=%d", ok, len(got), k)
+	}
+	seen := map[uint64]bool{}
+	for _, e := range got {
+		if seen[e.Index] {
+			t.Fatalf("duplicate index %d in WOR sample", e.Index)
+		}
+		seen[e.Index] = true
+		if now-e.Timestamp >= t0 {
+			t.Fatalf("expired element: ts %d at now %d", e.Timestamp, now)
+		}
+		if want := float64(e.Value%13) + 1; e.Weight != want {
+			t.Fatalf("weight round-trip broken: got %g want %g", e.Weight, want)
+		}
+	}
+	// Determinism: an identically seeded twin returns the identical sample.
+	got2, ok2 := b.SampleAt(now)
+	if !ok2 || len(got2) != len(got) {
+		t.Fatal("seeded twin diverged in shape")
+	}
+	for i := range got {
+		if got[i] != got2[i] {
+			t.Fatalf("seeded twin diverged at slot %d: %+v vs %+v", i, got[i], got2[i])
+		}
+	}
+	// Scale oracles: exact ground truth from the last t0 ticks.
+	wantW, wantN := 0.0, 0.0
+	for i := 0; i < m; i++ {
+		if now-int64(i/5) < t0 {
+			wantW += float64(i%13) + 1
+			wantN++
+		}
+	}
+	if gotW := a.TotalWeightAt(now); math.Abs(gotW-wantW)/wantW > 0.05+1e-9 {
+		t.Fatalf("TotalWeightAt=%g vs ground truth %g", gotW, wantW)
+	}
+	if gotN := float64(a.SizeAt(now)); math.Abs(gotN-wantN)/wantN > 0.05+1e-9 {
+		t.Fatalf("SizeAt=%.0f vs ground truth %.0f", gotN, wantN)
+	}
+	if a.G() != g || a.K() != k || a.Count() != m {
+		t.Fatalf("accessors broken: G=%d K=%d Count=%d", a.G(), a.K(), a.Count())
+	}
+	if a.Words() <= 0 || a.MaxWords() < a.Words() {
+		t.Fatal("words accounting broken")
+	}
+	// Time regression is an error, not a panic, at the public layer.
+	if err := a.Observe(1, 1, now-t0); err != ErrTimeBackwards {
+		t.Fatalf("regression: got %v", err)
+	}
+	// Close stops the workers but keeps queries working.
+	a.Close()
+	if _, ok := a.SampleAt(now); !ok {
+		t.Fatal("no sample after Close")
+	}
+}
+
+// TestPublicShardedWeightedTimestampWR: the with-replacement public
+// wrapper returns k draws with auto-barrier, batched ingest matches
+// looped ingest under equal seeds, and bad weights are rejected.
+func TestPublicShardedWeightedTimestampWR(t *testing.T) {
+	const (
+		t0 = 60
+		g  = 3
+		k  = 4
+		m  = 900
+	)
+	loop, err := NewShardedWeightedTimestampWR[int](t0, g, k, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loop.Close()
+	batch, err := NewShardedWeightedTimestampWR[int](t0, g, k, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer batch.Close()
+
+	if err := loop.Observe(0, 0, 0); err != ErrBadWeight {
+		t.Fatalf("bad weight: got %v", err)
+	}
+	vals := make([]int, 0, 64)
+	ws := make([]float64, 0, 64)
+	tss := make([]int64, 0, 64)
+	for i := 0; i < m; i++ {
+		w := float64(i%7) + 1
+		ts := int64(i / 4)
+		if err := loop.Observe(i, w, ts); err != nil {
+			t.Fatal(err)
+		}
+		vals = append(vals, i)
+		ws = append(ws, w)
+		tss = append(tss, ts)
+		if len(vals) == 53 || i == m-1 {
+			if err := batch.ObserveBatch(vals, ws, tss); err != nil {
+				t.Fatal(err)
+			}
+			vals, ws, tss = vals[:0], ws[:0], tss[:0]
+		}
+	}
+	now := int64((m - 1) / 4)
+	la, lok := loop.SampleAt(now)
+	ba, bok := batch.SampleAt(now)
+	if !lok || !bok || len(la) != k || len(ba) != k {
+		t.Fatalf("shape: %v/%v %d/%d", lok, bok, len(la), len(ba))
+	}
+	for i := range la {
+		if la[i] != ba[i] {
+			t.Fatalf("slot %d diverged between loop and batch: %+v vs %+v", i, la[i], ba[i])
+		}
+		if now-la[i].Timestamp >= t0 {
+			t.Fatalf("expired element in WR sample: ts %d", la[i].Timestamp)
+		}
+	}
+	if loop.Count() != batch.Count() || loop.Count() != m {
+		t.Fatalf("Count: %d vs %d", loop.Count(), batch.Count())
+	}
+	if loop.TotalWeightAt(now) <= 0 {
+		t.Fatal("TotalWeightAt not positive on a non-empty window")
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"slidingsample/internal/apps"
 	"slidingsample/internal/core"
+	"slidingsample/internal/parallel"
 	"slidingsample/internal/stream"
 	"slidingsample/internal/weighted"
 	"slidingsample/internal/xrand"
@@ -128,16 +129,12 @@ func (s *sampler[T]) Count() uint64 { return s.inner.Count() }
 func (s *sampler[T]) Words() int    { return s.inner.Words() }
 func (s *sampler[T]) MaxWords() int { return s.inner.MaxWords() }
 
-// maxRetainedScratch caps the batch scratch an adapter keeps between
-// ObserveBatch calls: reusing the buffer keeps the steady state
-// allocation-free, but one huge batch must not pin its backing array for
-// the sampler's whole lifetime.
-const maxRetainedScratch = 4096
-
 // releaseScratch clears the batch scratch for reuse, dropping the backing
-// array entirely when it grew beyond maxRetainedScratch entries.
+// array entirely when it grew beyond stream.MaxRecycledCap entries — the
+// one shared retention cap every recycled buffer in the repository obeys
+// (the sharded dispatcher's dealing buffers use the same constant).
 func releaseScratch[E any](scratch *[]E) {
-	if cap(*scratch) > maxRetainedScratch {
+	if cap(*scratch) > stream.MaxRecycledCap {
 		*scratch = nil
 		return
 	}
@@ -603,9 +600,13 @@ type weightedTSSampler[T any] struct {
 	timed   stream.TimedSampler[weightedItem[T]]
 	sized   interface{ SizeAt(int64) uint64 }
 	scratch []stream.Element[weightedItem[T]]
-	t0      int64
-	last    int64
-	begun   bool
+	// sync, when set, flushes pending sharded ingest before a query: the
+	// sharded substrates require a barrier between ingest and sampling, and
+	// the public wrappers hold it automatically so queries are always safe.
+	sync  func()
+	t0    int64
+	last  int64
+	begun bool
 }
 
 // Observe feeds the next element with its weight and arrival timestamp.
@@ -674,6 +675,9 @@ func (s *weightedTSSampler[T]) SampleAt(now int64) ([]SampledWeight[T], bool) {
 	}
 	s.begun = true
 	s.last = now
+	if s.sync != nil {
+		s.sync()
+	}
 	es, ok := s.timed.SampleAt(now)
 	if !ok {
 		return nil, false
@@ -786,4 +790,113 @@ func NewWeightedTimestampWR[T any](t0 int64, k int, opts ...Option) (*WeightedTi
 	inner := weighted.NewTSWR(buildRNG(opts), t0, k, weighted.DefaultSizeEps, itemWeight[T])
 	s.timed, s.sized = inner, inner
 	return s, nil
+}
+
+// ---------------------------------------------------------------------------
+// Sharded weighted timestamp windows (G-way parallel ingest)
+// ---------------------------------------------------------------------------
+
+// ShardedWeightedTimestampWOR is the G-way parallel WeightedTimestampWOR:
+// ingest is dealt round-robin across G shard goroutines (multi-core
+// throughput for streams too fast for one core) while the sample law stays
+// the EXACT Efraimidis–Spirakis weighted k-sample without replacement —
+// per-shard log-keys are globally comparable, so the merged top-k at query
+// time is the window's top-k with no cross-shard approximation. Only the
+// scale oracles (SizeAt, TotalWeightAt) carry a (1±5%) error.
+//
+// Drive the sampler — ingest AND queries, including the SizeAt /
+// TotalWeightAt oracles — from ONE goroutine (the dispatch order defines
+// the stream order, and like every sampler in this package it is not safe
+// for concurrent use; the shard goroutines are internal). Queries flush
+// in-flight ingest automatically — each Sample/SampleAt holds a barrier —
+// so they are always consistent; Barrier may also be called explicitly to
+// checkpoint without sampling. Call Close to stop the shard goroutines;
+// the sampler remains queryable after.
+type ShardedWeightedTimestampWOR[T any] struct {
+	weightedTSSampler[T]
+	inner *parallel.ShardedWeightedTSWOR[weightedItem[T]]
+}
+
+// NewShardedWeightedTimestampWOR returns a g-way sharded weighted
+// without-replacement sampler over a timestamp window of horizon t0 with
+// target sample size k.
+func NewShardedWeightedTimestampWOR[T any](t0 int64, g, k int, opts ...Option) (*ShardedWeightedTimestampWOR[T], error) {
+	if err := validateTSParams(t0, k); err != nil {
+		return nil, err
+	}
+	if g < 1 {
+		return nil, fmt.Errorf("slidingsample: shard count g must be positive")
+	}
+	s := &ShardedWeightedTimestampWOR[T]{}
+	s.t0 = t0
+	s.inner = parallel.NewShardedWeightedTSWOR(buildRNG(opts), t0, g, k, weighted.DefaultSizeEps, itemWeight[T])
+	s.timed, s.sized = s.inner, s.inner
+	s.sync = s.inner.Barrier
+	return s, nil
+}
+
+// Barrier flushes all in-flight ingest so dispatched elements are
+// reflected in the shards (queries do this automatically).
+func (s *ShardedWeightedTimestampWOR[T]) Barrier() { s.inner.Barrier() }
+
+// Close stops the shard goroutines. The sampler remains queryable.
+func (s *ShardedWeightedTimestampWOR[T]) Close() { s.inner.Close() }
+
+// G returns the shard count.
+func (s *ShardedWeightedTimestampWOR[T]) G() int { return s.inner.G() }
+
+// TotalWeightAt returns a (1±5%) estimate of the total weight of the
+// elements active at time now, from the dispatcher's per-shard
+// exponential histograms over weights. Like SizeAt it is read-only in the
+// clock sense — it never advances the sampler's clock and needs no
+// barrier — but it must be called from the same goroutine that ingests,
+// like every other method.
+func (s *ShardedWeightedTimestampWOR[T]) TotalWeightAt(now int64) float64 {
+	return s.inner.TotalWeightAt(now)
+}
+
+// ShardedWeightedTimestampWR is the G-way parallel WeightedTimestampWR: k
+// independent weighted draws with replacement over the last t0 ticks,
+// ingested across G shard goroutines. Each draw picks a shard
+// proportionally to its (1±5%) active-weight total — the per-shard
+// exponential histograms over weights — and takes the shard's exact slot
+// draw, so each active element is returned with probability
+// (1±O(5%))·w/W. Concurrency contract as ShardedWeightedTimestampWOR.
+type ShardedWeightedTimestampWR[T any] struct {
+	weightedTSSampler[T]
+	inner *parallel.ShardedWeightedTSWR[weightedItem[T]]
+}
+
+// NewShardedWeightedTimestampWR returns a g-way sharded weighted
+// with-replacement sampler over a timestamp window of horizon t0 with k
+// sample slots.
+func NewShardedWeightedTimestampWR[T any](t0 int64, g, k int, opts ...Option) (*ShardedWeightedTimestampWR[T], error) {
+	if err := validateTSParams(t0, k); err != nil {
+		return nil, err
+	}
+	if g < 1 {
+		return nil, fmt.Errorf("slidingsample: shard count g must be positive")
+	}
+	s := &ShardedWeightedTimestampWR[T]{}
+	s.t0 = t0
+	s.inner = parallel.NewShardedWeightedTSWR(buildRNG(opts), t0, g, k, weighted.DefaultSizeEps, itemWeight[T])
+	s.timed, s.sized = s.inner, s.inner
+	s.sync = s.inner.Barrier
+	return s, nil
+}
+
+// Barrier flushes all in-flight ingest (queries do this automatically).
+func (s *ShardedWeightedTimestampWR[T]) Barrier() { s.inner.Barrier() }
+
+// Close stops the shard goroutines. The sampler remains queryable.
+func (s *ShardedWeightedTimestampWR[T]) Close() { s.inner.Close() }
+
+// G returns the shard count.
+func (s *ShardedWeightedTimestampWR[T]) G() int { return s.inner.G() }
+
+// TotalWeightAt returns a (1±5%) estimate of the total active weight at
+// time now (read-only in the clock sense — no barrier needed — but
+// producer-goroutine only, like every method).
+func (s *ShardedWeightedTimestampWR[T]) TotalWeightAt(now int64) float64 {
+	return s.inner.TotalWeightAt(now)
 }

@@ -3,6 +3,8 @@ package slidingsample
 import (
 	"math"
 	"testing"
+
+	"slidingsample/internal/stream"
 )
 
 func TestPublicSequenceWR(t *testing.T) {
@@ -309,8 +311,8 @@ func TestBatchScratchCapacityReleased(t *testing.T) {
 			t.Fatal(err)
 		}
 		s.ObserveBatch(big)
-		if c := cap(s.scratch); c > maxRetainedScratch {
-			t.Fatalf("retained scratch capacity %d > %d after a huge batch", c, maxRetainedScratch)
+		if c := cap(s.scratch); c > stream.MaxRecycledCap {
+			t.Fatalf("retained scratch capacity %d > %d after a huge batch", c, stream.MaxRecycledCap)
 		}
 		s.ObserveBatch([]int{1, 2, 3}) // small batches keep working
 		if s.Count() != uint64(len(big))+3 {
@@ -329,8 +331,8 @@ func TestBatchScratchCapacityReleased(t *testing.T) {
 		if err := s.ObserveBatch(big, tss); err != nil {
 			t.Fatal(err)
 		}
-		if c := cap(s.scratch); c > maxRetainedScratch {
-			t.Fatalf("retained scratch capacity %d > %d after a huge batch", c, maxRetainedScratch)
+		if c := cap(s.scratch); c > stream.MaxRecycledCap {
+			t.Fatalf("retained scratch capacity %d > %d after a huge batch", c, stream.MaxRecycledCap)
 		}
 	})
 	t.Run("weighted", func(t *testing.T) {
@@ -345,8 +347,8 @@ func TestBatchScratchCapacityReleased(t *testing.T) {
 		if err := s.ObserveBatch(big, ws); err != nil {
 			t.Fatal(err)
 		}
-		if c := cap(s.scratch); c > maxRetainedScratch {
-			t.Fatalf("retained scratch capacity %d > %d after a huge batch", c, maxRetainedScratch)
+		if c := cap(s.scratch); c > stream.MaxRecycledCap {
+			t.Fatalf("retained scratch capacity %d > %d after a huge batch", c, stream.MaxRecycledCap)
 		}
 	})
 }
