@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet bench-quick bench-batch swbench-quick smoke-e18 smoke-e19 check ci
+.PHONY: all build test test-race vet bench-quick bench-batch swbench-quick smoke-e18 smoke-e19 serve-smoke check ci
 
 all: build
 
@@ -14,10 +14,12 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-detector pass over the goroutine-parallel ingest machinery and the
-# read-only ehist query path (concurrent EstimateAt under a read lock).
+# Race-detector pass over the goroutine-parallel ingest machinery, the
+# read-only ehist query path (concurrent EstimateAt under a read lock),
+# the HTTP serving layer's concurrent ingest+query hammer, and the public
+# sharded wrappers (auto-flush queries, incl. the footprint accessors).
 test-race:
-	$(GO) test -race ./internal/parallel/... ./internal/ehist/...
+	$(GO) test -race . ./internal/parallel/... ./internal/ehist/... ./internal/serve/...
 
 vet:
 	$(GO) vet ./...
@@ -32,6 +34,14 @@ smoke-e18:
 smoke-e19:
 	$(GO) run ./cmd/swbench -quick -e E19
 
+# The serving layer end to end: start swserve in-process, ingest over HTTP
+# (JSON + NDJSON), query every endpoint including the error surface, and
+# diff the full transcript against the golden (hermetic — no curl/ports).
+# Regenerate after intended changes with:
+#   $(GO) run ./cmd/swserve -smoke > cmd/swserve/testdata/smoke.golden
+serve-smoke:
+	$(GO) run ./cmd/swserve -smoke -golden cmd/swserve/testdata/smoke.golden
+
 # Fast benchmark smoke: fixed iteration counts so CI time is bounded.
 bench-quick:
 	$(GO) test -run xxx -bench . -benchtime 10000x ./...
@@ -44,6 +54,6 @@ bench-batch:
 swbench-quick:
 	$(GO) run ./cmd/swbench -quick
 
-check: vet build test test-race smoke-e18 smoke-e19
+check: vet build test test-race smoke-e18 smoke-e19 serve-smoke
 
 ci: check

@@ -19,7 +19,9 @@
 //	     (first whitespace-separated field by default, -field to choose);
 //	     the last -t0 ticks are active.
 //
-// Samplers (-sampler):
+// Samplers (-sampler; the same substrate vocabulary the swserve registry
+// speaks — both resolve through internal/substrate, so the CLI and HTTP
+// surfaces cannot drift):
 //
 //	seq mode:  wor (default, Theorem 2.2) | wr (Theorem 2.1) | chain |
 //	           oversample | fullwindow | sharded-wr |
@@ -50,35 +52,15 @@ package main
 
 import (
 	"bufio"
-	cryptorand "crypto/rand"
-	"encoding/binary"
 	"flag"
 	"fmt"
-	"math"
 	"os"
 	"strconv"
 	"strings"
 
-	"slidingsample/internal/baseline"
-	"slidingsample/internal/core"
-	"slidingsample/internal/parallel"
 	"slidingsample/internal/stream"
-	"slidingsample/internal/weighted"
-	"slidingsample/internal/xrand"
+	"slidingsample/internal/substrate"
 )
-
-// randomSeed returns seed unless it is 0, in which case a fresh one is drawn
-// from crypto/rand (matching the public WithSeed convention).
-func randomSeed(seed uint64) uint64 {
-	if seed != 0 {
-		return seed
-	}
-	var b [8]byte
-	if _, err := cryptorand.Read(b[:]); err == nil {
-		return binary.LittleEndian.Uint64(b[:])
-	}
-	return 0x9e3779b97f4a7c15
-}
 
 func main() {
 	var (
@@ -114,11 +96,19 @@ func main() {
 		fatal(fmt.Errorf("-field must be non-negative"))
 	}
 
-	rng := xrand.New(randomSeed(*seed))
-
-	s, err := build(*mode, *sampler, rng, *n, *t0, *k, *g, lineWeight(*wfield))
+	// The substrate vocabulary is shared with the swserve registry
+	// (internal/substrate), so the CLI and HTTP surfaces cannot drift.
+	built, _, err := substrate.New(substrate.Spec{
+		Mode: *mode, Sampler: *sampler,
+		N: *n, T0: *t0, K: *k, G: *g,
+		Seed: *seed, Weight: substrate.WeightSelector(*wfield),
+	})
 	if err != nil {
 		fatal(err)
+	}
+	s, ok := built.(stream.Sampler[string])
+	if !ok {
+		fatal(fmt.Errorf("substrate %q answers estimates, not samples — serve it with swserve instead", *sampler))
 	}
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -179,98 +169,6 @@ func main() {
 	if err := sc.Err(); err != nil {
 		fatal(err)
 	}
-}
-
-// lineWeight returns the weight function of the weighted substrates: the
-// line's byte length, or the float value of the wfield-th whitespace field
-// when wfield >= 0 (falling back to 1 on missing/bad/non-positive fields —
-// the stream must keep flowing on dirty input).
-func lineWeight(wfield int) func(string) float64 {
-	if wfield < 0 {
-		return func(line string) float64 {
-			if len(line) == 0 {
-				return 1
-			}
-			return float64(len(line))
-		}
-	}
-	return func(line string) float64 {
-		fields := strings.Fields(line)
-		if wfield >= len(fields) {
-			return 1
-		}
-		w, err := strconv.ParseFloat(fields[wfield], 64)
-		if err != nil || !(w > 0) || math.IsInf(w, 1) {
-			return 1
-		}
-		return w
-	}
-}
-
-// build constructs the requested substrate behind the unified interface.
-func build(mode, sampler string, rng *xrand.Rand, n uint64, t0 int64, k, g int, weight func(string) float64) (stream.Sampler[string], error) {
-	switch mode {
-	case "seq":
-		switch sampler {
-		case "wor":
-			return core.NewSeqWOR[string](rng, n, k), nil
-		case "wr":
-			return core.NewSeqWR[string](rng, n, k), nil
-		case "chain":
-			return baseline.NewChain[string](rng, n, k), nil
-		case "oversample":
-			return baseline.NewOversample[string](rng, n, k, 4), nil
-		case "fullwindow":
-			return baseline.NewFullWindowSeq[string](rng, n).Bind(k, true), nil
-		case "sharded-wr":
-			if n%uint64(g) != 0 {
-				return nil, fmt.Errorf("-n must be divisible by -g for sharded-wr")
-			}
-			return parallel.NewShardedSeqWR[string](rng, n, g, k), nil
-		case "weighted-wor":
-			return weighted.NewWOR[string](rng, n, k, weight), nil
-		case "weighted-wr":
-			return weighted.NewWR[string](rng, n, k, weight), nil
-		case "sharded-weighted-wor":
-			if n%uint64(g) != 0 {
-				return nil, fmt.Errorf("-n must be divisible by -g for sharded-weighted-wor")
-			}
-			return parallel.NewShardedWeightedSeqWOR[string](rng, n, g, k, 0.05, weight), nil
-		case "sharded-weighted-wr":
-			if n%uint64(g) != 0 {
-				return nil, fmt.Errorf("-n must be divisible by -g for sharded-weighted-wr")
-			}
-			return parallel.NewShardedWeightedSeqWR[string](rng, n, g, k, 0.05, weight), nil
-		}
-		return nil, fmt.Errorf("unknown seq sampler %q (see -help)", sampler)
-	case "ts":
-		switch sampler {
-		case "wor":
-			return core.NewTSWOR[string](rng, t0, k), nil
-		case "wr":
-			return core.NewTSWR[string](rng, t0, k), nil
-		case "priority":
-			return baseline.NewPriority[string](rng, t0, k), nil
-		case "skyband":
-			return baseline.NewSkyband[string](rng, t0, k), nil
-		case "fullwindow":
-			return baseline.NewFullWindowTS[string](rng, t0).Bind(k, true), nil
-		case "sharded-wr":
-			return parallel.NewShardedTSWR[string](rng, t0, g, k, 0.05), nil
-		case "sharded-wor":
-			return parallel.NewShardedTSWOR[string](rng, t0, g, k, 0.05), nil
-		case "weighted-ts-wor":
-			return weighted.NewTSWOR[string](rng, t0, k, weighted.DefaultSizeEps, weight), nil
-		case "weighted-ts-wr":
-			return weighted.NewTSWR[string](rng, t0, k, weighted.DefaultSizeEps, weight), nil
-		case "sharded-weighted-ts-wor":
-			return parallel.NewShardedWeightedTSWOR[string](rng, t0, g, k, weighted.DefaultSizeEps, weight), nil
-		case "sharded-weighted-ts-wr":
-			return parallel.NewShardedWeightedTSWR[string](rng, t0, g, k, weighted.DefaultSizeEps, weight), nil
-		}
-		return nil, fmt.Errorf("unknown ts sampler %q (see -help)", sampler)
-	}
-	return nil, fmt.Errorf("unknown mode %q (want seq or ts)", mode)
 }
 
 func report(lines int, s stream.Sampler[string]) {

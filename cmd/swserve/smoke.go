@@ -1,0 +1,176 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+
+	"slidingsample/internal/serve"
+)
+
+// runSmoke drives a fixed, fully seeded ingest/query scenario against an
+// in-process listener and renders every exchange as
+//
+//	### METHOD /path
+//	<status> <body>
+//
+// With a golden path the rendered transcript is compared against the file
+// (the `make serve-smoke` CI gate); without one it is printed, which is
+// how the golden is (re)generated:
+//
+//	go run ./cmd/swserve -smoke > cmd/swserve/testdata/smoke.golden
+//
+// Everything the scenario touches is deterministic — seeded samplers,
+// fixed batches, struct-encoded JSON — so any drift is a real behavior
+// change in the serving layer or the substrates beneath it.
+func runSmoke(goldenPath string) error {
+	registry := serve.NewServer()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: registry}
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+
+	var out strings.Builder
+	call := func(method, path, contentType, body string) error {
+		var rd io.Reader
+		if body != "" {
+			rd = strings.NewReader(body)
+		}
+		req, err := http.NewRequest(method, base+path, rd)
+		if err != nil {
+			return err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&out, "### %s %s\n%d %s\n", method, path, resp.StatusCode, strings.TrimSpace(string(b)))
+		return nil
+	}
+	post := func(path, body string) error { return call(http.MethodPost, path, "application/json", body) }
+	get := func(path string) error { return call(http.MethodGet, path, "", "") }
+
+	// The scenario: a sharded weighted timestamp sampler and a sharded
+	// subset-sum estimator, a JSON burst, an NDJSON burst, reads at and
+	// past the last arrival, and the error surface (404/400/409).
+	steps := []func() error{
+		func() error { return get("/healthz") },
+		func() error {
+			return post("/samplers",
+				`{"name":"flows","spec":{"mode":"ts","sampler":"sharded-weighted-ts-wor","t0":60,"k":5,"g":4,"seed":7}}`)
+		},
+		func() error {
+			return post("/samplers",
+				`{"name":"est","spec":{"mode":"ts","sampler":"sharded-subsetsum-ts","t0":60,"k":6,"g":2,"seed":11}}`)
+		},
+		func() error {
+			var vals, tss, ws []string
+			for i := 0; i < 120; i++ {
+				vals = append(vals, fmt.Sprintf("%q", fmt.Sprintf("flow-%03d", i)))
+				tss = append(tss, fmt.Sprintf("%d", i/4))
+				ws = append(ws, fmt.Sprintf("%d", i%9+1))
+			}
+			return post("/ingest/flows", fmt.Sprintf(`{"values":[%s],"timestamps":[%s],"weights":[%s]}`,
+				strings.Join(vals, ","), strings.Join(tss, ","), strings.Join(ws, ",")))
+		},
+		func() error {
+			var b strings.Builder
+			for i := 120; i < 160; i++ {
+				fmt.Fprintf(&b, "{\"value\":\"flow-%03d\",\"ts\":%d,\"weight\":%d}\n", i, i/4, i%9+1)
+			}
+			return call(http.MethodPost, "/ingest/flows", "application/x-ndjson", b.String())
+		},
+		func() error {
+			var vals, tss []string
+			for i := 0; i < 200; i++ {
+				kind := "get"
+				if i%3 == 0 {
+					kind = "put"
+				}
+				vals = append(vals, fmt.Sprintf("%q", fmt.Sprintf("%s-%03d", kind, i)))
+				tss = append(tss, fmt.Sprintf("%d", i/5))
+			}
+			return post("/ingest/est", fmt.Sprintf(`{"values":[%s],"timestamps":[%s]}`,
+				strings.Join(vals, ","), strings.Join(tss, ",")))
+		},
+		func() error { return get("/samplers") },
+		func() error { return get("/sample/flows?at=39") },
+		func() error { return get("/size/flows?at=39") },
+		func() error { return get("/weight/flows?at=39") },
+		// Past the last arrival: the window drains at query time.
+		func() error { return get("/sample/flows?at=70") },
+		func() error { return get("/size/flows?at=70") },
+		func() error { return get("/subsetsum/est?at=39") },
+		func() error { return get("/subsetsum/est?at=39&prefix=put") },
+		func() error { return get("/subsetsum/est?at=39&prefix=get") },
+		func() error { return get("/subsetsum/est?at=39&contains=9") },
+		func() error { return get("/weight/est?at=39") },
+		// The error surface.
+		func() error { return get("/sample/missing") },
+		func() error { return post("/ingest/flows", `{"values":["x"],"timestamps":[1,2]}`) },
+		func() error { return post("/ingest/flows", `{"values":["x"],"timestamps":[10]}`) },
+		func() error { return get("/sample/flows?at=50") },
+	}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			return err
+		}
+	}
+
+	// Graceful shutdown: samplers drain and stay queryable; ingest refuses.
+	registry.Close()
+	if err := get("/sample/flows?at=70"); err != nil {
+		return err
+	}
+	if err := post("/ingest/flows", `{"values":["late"],"timestamps":[99]}`); err != nil {
+		return err
+	}
+
+	transcript := out.String()
+	if goldenPath == "" {
+		fmt.Print(transcript)
+		return nil
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		return err
+	}
+	if transcript != string(want) {
+		return fmt.Errorf("smoke output drifted from %s:\n%s", goldenPath, firstDiff(transcript, string(want)))
+	}
+	fmt.Println("serve smoke: OK")
+	return nil
+}
+
+// firstDiff renders the first differing line pair for a readable failure.
+func firstDiff(got, want string) string {
+	gl, wl := strings.Split(got, "\n"), strings.Split(want, "\n")
+	for i := 0; i < len(gl) || i < len(wl); i++ {
+		var g, w string
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if g != w {
+			return fmt.Sprintf("line %d:\n  got:  %s\n  want: %s", i+1, g, w)
+		}
+	}
+	return "(lengths differ only)"
+}

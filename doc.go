@@ -61,28 +61,46 @@
 //
 // # Sharded weighted sampling
 //
-// For streams too fast for one core, the weighted timestamp samplers come
-// in a G-way parallel flavor:
+// For streams too fast for one core, the weighted samplers come in G-way
+// parallel flavors over both window models:
 //
 //	NewShardedWeightedTimestampWOR  g-way ingest, exact weighted k-sample without replacement
 //	NewShardedWeightedTimestampWR   g-way ingest, k weighted draws, (1±5%) cross-shard picks
+//	NewShardedWeightedSequenceWOR   the same exact WOR law over the last n elements (n % g == 0)
+//	NewShardedWeightedSequenceWR    k weighted draws over the last n elements, (1±5%) picks
 //
 // Elements are dealt round-robin to G shard goroutines. The
 // without-replacement law stays EXACT — Efraimidis–Spirakis keys are
 // globally comparable, so the merged per-shard top-k is the window's
 // top-k — while with-replacement draws pick a shard by its estimated
 // active weight, tracked per shard by an exponential histogram over
-// weights; the same oracle backs TotalWeightAt, a (1±5%) estimate of the
-// window's total weight. Drive each sharded sampler — ingest and queries,
-// oracles included — from one goroutine (the shard parallelism is
-// internal); queries flush in-flight ingest automatically (SampleAt holds
-// a barrier), and Close stops the shard goroutines:
+// weights; the same oracle backs TotalWeightAt (timestamp windows) and
+// TotalWeight (sequence windows, clocked on the arrival index), a (1±5%)
+// estimate of the window's total weight. Drive each sharded sampler —
+// ingest and queries, oracles included — from one goroutine (the shard
+// parallelism is internal); queries flush in-flight ingest automatically
+// (every Sample/SampleAt holds a barrier, so the internal
+// query-needs-Barrier panic is unreachable from the public API; Barrier
+// stays exported to checkpoint once before a read-heavy query burst), and
+// Close stops the shard goroutines:
 //
 //	s, _ := slidingsample.NewShardedWeightedTimestampWOR[Flow](60_000, 4, 10) // last minute, 4 shards
 //	defer s.Close()
 //	s.Observe(flow, float64(flow.Bytes), flow.ArrivalMillis)
 //	heavy, ok := s.SampleAt(nowMillis)     // flushes, then samples
 //	bytes := s.TotalWeightAt(nowMillis)    // (1±5%) active bytes, no flush needed
+//
+// # Serving over HTTP
+//
+// The repository also ships the serving-system shape these samplers were
+// built for: cmd/swserve exposes a named-sampler registry over HTTP — any
+// substrate above (plus the internal baselines and subset-sum estimator
+// substrates) behind a batched JSON/NDJSON ingest endpoint and concurrent
+// query endpoints (/sample, /size, /weight, /subsetsum). Responses are
+// deterministic per seed, timestamp monotonicity is enforced as 4xx
+// statuses instead of the library's errors/panics, and shutdown drains
+// every sampler's dispatcher barrier before stopping its shards. See
+// DESIGN.md §7 and `go doc ./cmd/swserve`.
 //
 // # One interface, many substrates
 //

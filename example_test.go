@@ -114,6 +114,43 @@ func ExampleNewStepBiased() {
 	// P(age 200) = 0.000
 }
 
+// ExampleNewShardedWeightedTimestampWOR samples the heaviest flows of the
+// last minute while ingest is dealt across 4 shard goroutines. The sample
+// law stays the exact Efraimidis–Spirakis weighted k-sample without
+// replacement — per-shard keys are globally comparable — and queries flush
+// in-flight ingest automatically, so no explicit Barrier appears anywhere.
+func ExampleNewShardedWeightedTimestampWOR() {
+	s, err := slidingsample.NewShardedWeightedTimestampWOR[string](60, 4, 3, slidingsample.WithSeed(11))
+	if err != nil {
+		panic(err)
+	}
+	defer s.Close() // stops the shard goroutines; the sampler stays queryable
+	for i := 0; i < 600; i++ {
+		flow := fmt.Sprintf("flow-%03d", i)
+		bytes := float64(i%50) + 1 // the element's weight
+		if err := s.Observe(flow, bytes, int64(i/10)); err != nil {
+			panic(err)
+		}
+	}
+	sample, ok := s.SampleAt(59) // auto-barrier, then the merged top-k
+	fmt.Println("ok:", ok, "distinct:", len(sample))
+	for _, e := range sample {
+		fmt.Println(59-e.Timestamp < 60, e.Weight >= 1, e.Value[:5])
+	}
+	// The scale oracles are (1±5%) estimates: all 600 arrivals are active
+	// (weights cycle 1..50, so the true total is 12 · 1275 = 15300).
+	n, w := s.SizeAt(59), s.TotalWeightAt(59)
+	fmt.Println("size in range:", n >= 570 && n <= 630)
+	fmt.Println("weight in range:", w >= 14535 && w <= 16065)
+	// Output:
+	// ok: true distinct: 3
+	// true true flow-
+	// true true flow-
+	// true true flow-
+	// size in range: true
+	// weight in range: true
+}
+
 // ExampleSequenceWOR_Sample shows warm-up behaviour: before the window
 // holds k elements, the sample is the entire window.
 func ExampleSequenceWOR_Sample() {

@@ -1,0 +1,140 @@
+// Serving: the repository as a queryable service — the internal/serve
+// registry run in-process, driven entirely over HTTP, the way a deployment
+// of cmd/swserve would be driven from another machine.
+//
+// The scenario is the netflow example's question ("heaviest flows by
+// bytes, last minute") moved behind a network boundary:
+//
+//   - a sharded weighted timestamp WOR sampler is registered over HTTP
+//     (POST /samplers), with a seed so every run of this example prints
+//     the same report;
+//   - a bursty flow stream is POSTed in NDJSON batches, each carrying the
+//     flow's byte count as its explicit ingest weight — the serving edge
+//     hands weights straight into the weight-aware sharded dispatch, so
+//     the server never re-derives them;
+//   - a subset-sum estimator substrate ingests the same weighted stream
+//     and answers "how many bytes did source-7 move in the last minute?"
+//     (GET /subsetsum?prefix=...) — the predicate is chosen AFTER ingest,
+//     which is the point of the bottom-k sketch;
+//   - reads mix clock-advancing samples (/sample, write lock,
+//     auto-barrier) with read-only oracles (/size rides the read-only
+//     ehist path under a read lock) — see DESIGN.md §7;
+//   - shutdown drains the dispatcher barrier before the shard goroutines
+//     stop.
+//
+// Run it:
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+
+	"slidingsample/internal/serve"
+)
+
+const (
+	horizon = 60 // "the last minute", in ticks
+	shards  = 4
+	k       = 5
+)
+
+func main() {
+	// A cmd/swserve deployment in miniature: real registry, real listener.
+	registry := serve.NewServer()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{Handler: registry}
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+
+	// Register the two substrates over the wire, seeded for this report.
+	post(base+"/samplers", "application/json",
+		`{"name":"flows","spec":{"mode":"ts","sampler":"sharded-weighted-ts-wor","t0":60,"k":5,"g":4,"seed":1}}`)
+	post(base+"/samplers", "application/json",
+		`{"name":"bytes","spec":{"mode":"ts","sampler":"sharded-subsetsum-ts","t0":60,"k":48,"g":2,"seed":2}}`)
+
+	// A bursty stream: 8 sources, packets in bursts of 6 per tick, one
+	// heavy source (src-7) sending 10× larger flows. NDJSON batches of 96.
+	const packets = 960
+	var batch strings.Builder
+	flush := func() {
+		if batch.Len() == 0 {
+			return
+		}
+		// Both substrates take the same weighted batch: explicit ingest
+		// weights ride the precomputed-weight path into the sampler AND
+		// the estimator's sketch, so their numbers are directly comparable.
+		body := batch.String()
+		post(base+"/ingest/flows", "application/x-ndjson", body)
+		post(base+"/ingest/bytes", "application/x-ndjson", body)
+		batch.Reset()
+	}
+	for i := 0; i < packets; i++ {
+		src := i % 8
+		bytes := 40 + (i*37)%1460
+		if src == 7 {
+			bytes *= 10
+		}
+		fmt.Fprintf(&batch, "{\"value\":\"src-%d pkt-%04d\",\"ts\":%d,\"weight\":%d}\n", src, i, i/6, bytes)
+		if (i+1)%96 == 0 {
+			flush()
+		}
+	}
+	flush()
+
+	now := (packets - 1) / 6
+	fmt.Printf("after %d packets, window = last %d ticks, queried at t=%d over HTTP:\n\n", packets, horizon, now)
+
+	fmt.Printf("heaviest flows (%d-way sharded exact weighted WOR, k=%d):\n", shards, k)
+	fmt.Printf("  %s\n", get(fmt.Sprintf("%s/sample/flows?at=%d", base, now)))
+	fmt.Printf("packets in window, (1±5%%) read-only oracle:\n  %s\n", get(fmt.Sprintf("%s/size/flows?at=%d", base, now)))
+	fmt.Printf("bytes in window, (1±5%%) oracle:\n  %s\n", get(fmt.Sprintf("%s/weight/flows?at=%d", base, now)))
+	fmt.Println("\nper-source byte estimates from the bottom-k sketch (predicates chosen post hoc):")
+	for _, src := range []string{"src-7", "src-3"} {
+		fmt.Printf("  %-6s %s\n", src, get(fmt.Sprintf("%s/subsetsum/bytes?at=%d&prefix=%s", base, now, src)))
+	}
+
+	// Graceful shutdown: drain the dispatcher barriers, stop the shards.
+	registry.Close()
+	fmt.Println("\nafter shutdown the drained samplers stay queryable:")
+	fmt.Printf("  %s\n", get(fmt.Sprintf("%s/size/flows?at=%d", base, now)))
+}
+
+func post(url, contentType, body string) {
+	resp, err := http.Post(url, contentType, strings.NewReader(body))
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode >= 300 {
+		fatal(fmt.Errorf("POST %s: %d %s", url, resp.StatusCode, strings.TrimSpace(string(b))))
+	}
+}
+
+func get(url string) string {
+	resp, err := http.Get(url)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode >= 300 {
+		fatal(fmt.Errorf("GET %s: %d %s", url, resp.StatusCode, strings.TrimSpace(string(b))))
+	}
+	return strings.TrimSpace(string(b))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "serving example:", err)
+	os.Exit(1)
+}

@@ -54,6 +54,19 @@ func (e *SubsetSum[T]) Observe(value T, ts int64) { e.s.Observe(value, ts) }
 // path (sample-path identical to looped Observe).
 func (e *SubsetSum[T]) ObserveBatch(batch []stream.Element[T]) { e.s.ObserveBatch(batch) }
 
+// ObserveWeighted implements stream.WeightedSampler's ingest half: the
+// precomputed weight flows into the sketch (and the HT estimate reads the
+// weight recorded at ingest), so estimator consumers that already hold
+// weights — the serving layer — skip the weight function.
+func (e *SubsetSum[T]) ObserveWeighted(value T, w float64, ts int64) {
+	e.s.ObserveWeighted(value, w, ts)
+}
+
+// ObserveWeightedBatch feeds a run of elements with precomputed weights.
+func (e *SubsetSum[T]) ObserveWeightedBatch(batch []stream.Element[T], weights []float64) {
+	e.s.ObserveWeightedBatch(batch, weights)
+}
+
 // Estimate returns the unbiased estimate of Σ w(p) over the active window
 // elements satisfying pred. ok is false while the window is empty.
 func (e *SubsetSum[T]) Estimate(pred func(T) bool) (float64, bool) {
@@ -128,6 +141,17 @@ func (e *SubsetSumTS[T]) Observe(value T, ts int64) { e.s.Observe(value, ts) }
 // ObserveBatch feeds a run of elements through the sampler's batched hot
 // path (sample-path identical to looped Observe).
 func (e *SubsetSumTS[T]) ObserveBatch(batch []stream.Element[T]) { e.s.ObserveBatch(batch) }
+
+// ObserveWeighted feeds one element with a precomputed weight (see
+// SubsetSum.ObserveWeighted).
+func (e *SubsetSumTS[T]) ObserveWeighted(value T, w float64, ts int64) {
+	e.s.ObserveWeighted(value, w, ts)
+}
+
+// ObserveWeightedBatch feeds a run of elements with precomputed weights.
+func (e *SubsetSumTS[T]) ObserveWeightedBatch(batch []stream.Element[T], weights []float64) {
+	e.s.ObserveWeightedBatch(batch, weights)
+}
 
 // EstimateAt returns the unbiased estimate of Σ w(p) over the elements
 // active at time now that satisfy pred. Querying advances the estimator's

@@ -51,6 +51,18 @@ func (e *ShardedSubsetSumTS[T]) Observe(value T, ts int64) { e.s.Observe(value, 
 // dealing.
 func (e *ShardedSubsetSumTS[T]) ObserveBatch(batch []stream.Element[T]) { e.s.ObserveBatch(batch) }
 
+// ObserveWeighted feeds one element with a precomputed weight: the weight
+// rides the dispatch into the sketch and the dispatcher-side oracles, and
+// the weight function is never called (see SubsetSum.ObserveWeighted).
+func (e *ShardedSubsetSumTS[T]) ObserveWeighted(value T, w float64, ts int64) {
+	e.s.ObserveWeighted(value, w, ts)
+}
+
+// ObserveWeightedBatch feeds a run of elements with precomputed weights.
+func (e *ShardedSubsetSumTS[T]) ObserveWeightedBatch(batch []stream.Element[T], weights []float64) {
+	e.s.ObserveWeightedBatch(batch, weights)
+}
+
 // Barrier flushes the shard channels; required before EstimateAt/TotalAt.
 func (e *ShardedSubsetSumTS[T]) Barrier() { e.s.Barrier() }
 

@@ -31,7 +31,12 @@
 // the per-element channel overhead is amortized too). Barrier() flushes all
 // channels so queries observe a consistent prefix. This is a checkpointed
 // model: queries between barriers would race with in-flight elements, so
-// Sample panics unless the caller holds a barrier.
+// Sample panics unless the caller holds a barrier. The exported
+// Barrier/Close hooks are what the layers above build their safety on —
+// the public wrappers and the HTTP serving layer barrier automatically
+// before every query, and shutdown drains a final barrier before Close
+// stops the workers (DESIGN.md §7); note that ANY read of shard sampler
+// state, including Words(), needs the same discipline.
 package parallel
 
 import (
@@ -162,9 +167,19 @@ func (d *dispatcher[T]) work(i int) {
 	}
 }
 
+// requireOpen turns ingest-after-Close from a bare runtime "send on
+// closed channel" crash into a named programmer error, BEFORE any state
+// (dispatcher or caller-side oracles) is touched.
+func (d *dispatcher[T]) requireOpen() {
+	if d.closed {
+		panic("parallel: Observe after Close")
+	}
+}
+
 // observe routes the next element to its shard. Safe to call from ONE
 // producer goroutine (the dispatch order defines the stream order).
 func (d *dispatcher[T]) observe(value T, ts int64) {
+	d.requireOpen()
 	d.chans[d.next] <- msg[T]{value: value, ts: ts}
 	d.next = (d.next + 1) % d.g
 	d.count++
@@ -175,6 +190,7 @@ func (d *dispatcher[T]) observe(value T, ts int64) {
 // shard. Weighted dispatchers must use this for EVERY bare element — the
 // worker loop relies on it (see msg).
 func (d *dispatcher[T]) observeWeighted(value T, w float64, ts int64) {
+	d.requireOpen()
 	d.chans[d.next] <- msg[T]{value: value, ts: ts, weight: w}
 	d.next = (d.next + 1) % d.g
 	d.count++
@@ -207,6 +223,7 @@ func (d *dispatcher[T]) dealBatch(batch []stream.Element[T], weights []float64) 
 	if len(batch) == 0 {
 		return
 	}
+	d.requireOpen()
 	per := len(batch)/d.g + 1
 	gen := -1
 	var split [][]stream.Element[T]

@@ -118,7 +118,17 @@ func validateWeightedShardParams(name string, horizon int64, g, k int, eps float
 // oracles of the shard the element is about to land on, and deals it with
 // the weight attached (the shard sampler reuses it instead of re-deriving).
 func (w *wdispatch[T]) observe(value T, ts int64) {
-	wt := w.weight(value)
+	w.observeWeighted(value, w.weight(value), ts)
+}
+
+// observeWeighted is the precomputed-weight ingest core: callers that
+// already hold the element's weight — the serving layer's HTTP ingest, an
+// upstream pipeline stage — skip the weight function entirely; the oracles
+// and the dealing see exactly what the derived path would have produced.
+func (w *wdispatch[T]) observeWeighted(value T, wt float64, ts int64) {
+	// Check BEFORE the oracle updates: a closed-dispatcher panic must not
+	// leave the weight histograms counting an element that was never dealt.
+	w.d.requireOpen()
 	if w.seq {
 		w.wests[w.d.next].Observe(int64(w.d.count), wt)
 	} else {
@@ -130,9 +140,8 @@ func (w *wdispatch[T]) observe(value T, ts int64) {
 	w.d.observeWeighted(value, wt, ts)
 }
 
-// observeBatch computes the batch's weights into the reused scratch,
-// updates the per-shard oracles in dealing order, and forwards elements
-// and weights through the weight-aware batch dealing.
+// observeBatch computes the batch's weights into the reused scratch and
+// forwards through the precomputed-weight batch path.
 func (w *wdispatch[T]) observeBatch(batch []stream.Element[T]) {
 	if len(batch) == 0 {
 		return
@@ -141,11 +150,37 @@ func (w *wdispatch[T]) observeBatch(batch []stream.Element[T]) {
 	if cap(ws) < len(batch) {
 		ws = make([]float64, 0, len(batch))
 	}
+	for _, e := range batch {
+		ws = append(ws, w.weight(e.Value))
+	}
+	w.observeWeightedBatch(batch, ws)
+	// The dealing copied the weights into per-shard slices synchronously,
+	// so the scratch is immediately reusable; oversized growth is dropped.
+	if cap(ws) > stream.MaxRecycledCap {
+		w.wscratch = nil
+	} else {
+		w.wscratch = ws[:0]
+	}
+}
+
+// observeWeightedBatch updates the per-shard oracles in dealing order and
+// forwards elements and precomputed weights through the weight-aware batch
+// dealing; weights[i] belongs to batch[i]. The dealing copies both halves
+// into per-shard slices synchronously, so the caller's slices are reusable
+// on return.
+func (w *wdispatch[T]) observeWeightedBatch(batch []stream.Element[T], weights []float64) {
+	if len(batch) != len(weights) {
+		panic("parallel: ObserveWeightedBatch with mismatched batch and weight lengths")
+	}
+	if len(batch) == 0 {
+		return
+	}
+	// As in observeWeighted: refuse before the oracles see the batch.
+	w.d.requireOpen()
 	shard := w.d.next
 	clock := int64(w.d.count)
-	for _, e := range batch {
-		wt := w.weight(e.Value)
-		ws = append(ws, wt)
+	for i, e := range batch {
+		wt := weights[i]
 		if w.seq {
 			w.wests[shard].Observe(clock, wt)
 			clock++
@@ -159,14 +194,7 @@ func (w *wdispatch[T]) observeBatch(batch []stream.Element[T]) {
 		w.now = batch[len(batch)-1].TS
 		w.begun = true
 	}
-	w.d.observeWeightedBatch(batch, ws)
-	// The dealing copied the weights into per-shard slices synchronously,
-	// so the scratch is immediately reusable; oversized growth is dropped.
-	if cap(ws) > stream.MaxRecycledCap {
-		w.wscratch = nil
-	} else {
-		w.wscratch = ws[:0]
-	}
+	w.d.observeWeightedBatch(batch, weights)
 }
 
 // clock returns the oracle clock for a query: the query time clamped to
@@ -372,6 +400,19 @@ func (s *ShardedWeightedTSWOR[T]) Observe(value T, ts int64) { s.w.observe(value
 // ObserveBatch deals a batch across the shards, weights attached.
 func (s *ShardedWeightedTSWOR[T]) ObserveBatch(batch []stream.Element[T]) { s.w.observeBatch(batch) }
 
+// ObserveWeighted implements stream.WeightedSampler: feeds one element
+// whose weight was already computed upstream (the serving layer's ingest),
+// skipping the weight function while leaving oracles and dealing identical.
+func (s *ShardedWeightedTSWOR[T]) ObserveWeighted(value T, wt float64, ts int64) {
+	s.w.observeWeighted(value, wt, ts)
+}
+
+// ObserveWeightedBatch deals a batch with precomputed weights; weights[i]
+// belongs to batch[i]. Panics when the slices have different lengths.
+func (s *ShardedWeightedTSWOR[T]) ObserveWeightedBatch(batch []stream.Element[T], weights []float64) {
+	s.w.observeWeightedBatch(batch, weights)
+}
+
 // Barrier flushes the shard channels; required before sampling.
 func (s *ShardedWeightedTSWOR[T]) Barrier() { s.w.d.barrier() }
 
@@ -487,6 +528,16 @@ func (s *ShardedWeightedTSWR[T]) Observe(value T, ts int64) { s.w.observe(value,
 // ObserveBatch deals a batch across the shards, weights attached.
 func (s *ShardedWeightedTSWR[T]) ObserveBatch(batch []stream.Element[T]) { s.w.observeBatch(batch) }
 
+// ObserveWeighted implements stream.WeightedSampler (precomputed weight).
+func (s *ShardedWeightedTSWR[T]) ObserveWeighted(value T, wt float64, ts int64) {
+	s.w.observeWeighted(value, wt, ts)
+}
+
+// ObserveWeightedBatch deals a batch with precomputed weights.
+func (s *ShardedWeightedTSWR[T]) ObserveWeightedBatch(batch []stream.Element[T], weights []float64) {
+	s.w.observeWeightedBatch(batch, weights)
+}
+
 // Barrier flushes the shard channels; required before sampling.
 func (s *ShardedWeightedTSWR[T]) Barrier() { s.w.d.barrier() }
 
@@ -585,6 +636,16 @@ func (s *ShardedWeightedSeqWOR[T]) Observe(value T, ts int64) { s.w.observe(valu
 // ObserveBatch deals a batch across the shards, weights attached.
 func (s *ShardedWeightedSeqWOR[T]) ObserveBatch(batch []stream.Element[T]) { s.w.observeBatch(batch) }
 
+// ObserveWeighted implements stream.WeightedSampler (precomputed weight).
+func (s *ShardedWeightedSeqWOR[T]) ObserveWeighted(value T, wt float64, ts int64) {
+	s.w.observeWeighted(value, wt, ts)
+}
+
+// ObserveWeightedBatch deals a batch with precomputed weights.
+func (s *ShardedWeightedSeqWOR[T]) ObserveWeightedBatch(batch []stream.Element[T], weights []float64) {
+	s.w.observeWeightedBatch(batch, weights)
+}
+
 // Barrier flushes the shard channels; required before sampling.
 func (s *ShardedWeightedSeqWOR[T]) Barrier() { s.w.d.barrier() }
 
@@ -668,6 +729,16 @@ func (s *ShardedWeightedSeqWR[T]) Observe(value T, ts int64) { s.w.observe(value
 // ObserveBatch deals a batch across the shards, weights attached.
 func (s *ShardedWeightedSeqWR[T]) ObserveBatch(batch []stream.Element[T]) { s.w.observeBatch(batch) }
 
+// ObserveWeighted implements stream.WeightedSampler (precomputed weight).
+func (s *ShardedWeightedSeqWR[T]) ObserveWeighted(value T, wt float64, ts int64) {
+	s.w.observeWeighted(value, wt, ts)
+}
+
+// ObserveWeightedBatch deals a batch with precomputed weights.
+func (s *ShardedWeightedSeqWR[T]) ObserveWeightedBatch(batch []stream.Element[T], weights []float64) {
+	s.w.observeWeightedBatch(batch, weights)
+}
+
 // Barrier flushes the shard channels; required before sampling.
 func (s *ShardedWeightedSeqWR[T]) Barrier() { s.w.d.barrier() }
 
@@ -708,10 +779,13 @@ func (s *ShardedWeightedSeqWR[T]) Words() int    { return s.w.words(false) }
 func (s *ShardedWeightedSeqWR[T]) MaxWords() int { return s.w.words(true) }
 
 // Compile-time conformance: the sharded weighted wrappers speak the same
-// unified interface as every other substrate.
+// unified interface as every other substrate — including the
+// precomputed-weight ingest the serving layer feeds.
 var (
-	_ stream.Sampler[int]      = (*ShardedWeightedSeqWOR[int])(nil)
-	_ stream.Sampler[int]      = (*ShardedWeightedSeqWR[int])(nil)
-	_ stream.TimedSampler[int] = (*ShardedWeightedTSWOR[int])(nil)
-	_ stream.TimedSampler[int] = (*ShardedWeightedTSWR[int])(nil)
+	_ stream.WeightedSampler[int] = (*ShardedWeightedSeqWOR[int])(nil)
+	_ stream.WeightedSampler[int] = (*ShardedWeightedSeqWR[int])(nil)
+	_ stream.WeightedSampler[int] = (*ShardedWeightedTSWOR[int])(nil)
+	_ stream.WeightedSampler[int] = (*ShardedWeightedTSWR[int])(nil)
+	_ stream.TimedSampler[int]    = (*ShardedWeightedTSWOR[int])(nil)
+	_ stream.TimedSampler[int]    = (*ShardedWeightedTSWR[int])(nil)
 )

@@ -431,3 +431,105 @@ func TestShardedWeightedDrain(t *testing.T) {
 		}
 	}
 }
+
+// TestShardedWeightedPrecomputedPathEquivalence: ObserveWeighted /
+// ObserveWeightedBatch with weights[i] == weight(value_i) leave every
+// sharded weighted sampler in the same state — identical samples under
+// equal seeds — as the derived Observe / ObserveBatch path. This is the
+// stream.WeightedSampler contract the serving layer's HTTP ingest relies
+// on: the edge computes (or receives) each weight once and the dispatch
+// never re-derives it.
+func TestShardedWeightedPrecomputedPathEquivalence(t *testing.T) {
+	const (
+		m  = 500
+		g  = 4
+		k  = 5
+		t0 = 40
+		n  = 64
+	)
+	mkBatch := func(lo, hi int) ([]stream.Element[uint64], []float64) {
+		var es []stream.Element[uint64]
+		var ws []float64
+		for i := lo; i < hi; i++ {
+			es = append(es, stream.Element[uint64]{Value: uint64(i), TS: int64(i / 7)})
+			ws = append(ws, shardWeight(uint64(i)))
+		}
+		return es, ws
+	}
+	type pair struct {
+		name    string
+		derived stream.WeightedSampler[uint64]
+		pre     stream.WeightedSampler[uint64]
+		closers []interface{ Close() }
+		barrier func()
+	}
+	mk := func(name string, build func(seed uint64) stream.WeightedSampler[uint64]) pair {
+		a, b := build(77), build(77)
+		p := pair{name: name, derived: a, pre: b}
+		for _, s := range []stream.WeightedSampler[uint64]{a, b} {
+			if c, ok := s.(interface{ Close() }); ok {
+				p.closers = append(p.closers, c)
+			}
+		}
+		p.barrier = func() {
+			for _, s := range []stream.WeightedSampler[uint64]{a, b} {
+				if c, ok := s.(interface{ Barrier() }); ok {
+					c.Barrier()
+				}
+			}
+		}
+		return p
+	}
+	pairs := []pair{
+		mk("ts-wor", func(seed uint64) stream.WeightedSampler[uint64] {
+			return NewShardedWeightedTSWOR[uint64](xrand.New(seed), t0, g, k, 0.05, shardWeight)
+		}),
+		mk("ts-wr", func(seed uint64) stream.WeightedSampler[uint64] {
+			return NewShardedWeightedTSWR[uint64](xrand.New(seed), t0, g, k, 0.05, shardWeight)
+		}),
+		mk("seq-wor", func(seed uint64) stream.WeightedSampler[uint64] {
+			return NewShardedWeightedSeqWOR[uint64](xrand.New(seed), n, g, k, 0.05, shardWeight)
+		}),
+		mk("seq-wr", func(seed uint64) stream.WeightedSampler[uint64] {
+			return NewShardedWeightedSeqWR[uint64](xrand.New(seed), n, g, k, 0.05, shardWeight)
+		}),
+	}
+	for _, p := range pairs {
+		t.Run(p.name, func(t *testing.T) {
+			// First half element-wise, second half in batches, mixing both
+			// ingest shapes on both sides.
+			for i := 0; i < m/2; i++ {
+				v := uint64(i)
+				p.derived.Observe(v, int64(i/7))
+				p.pre.ObserveWeighted(v, shardWeight(v), int64(i/7))
+			}
+			for lo := m / 2; lo < m; lo += 64 {
+				hi := lo + 64
+				if hi > m {
+					hi = m
+				}
+				es, ws := mkBatch(lo, hi)
+				p.derived.ObserveBatch(es)
+				p.pre.ObserveWeightedBatch(es, ws)
+			}
+			p.barrier()
+			ga, oka := p.derived.Sample()
+			gb, okb := p.pre.Sample()
+			if oka != okb || len(ga) != len(gb) {
+				t.Fatalf("shape mismatch: ok %v/%v len %d/%d", oka, okb, len(ga), len(gb))
+			}
+			for i := range ga {
+				if ga[i] != gb[i] {
+					t.Fatalf("slot %d: derived %+v vs precomputed %+v", i, ga[i], gb[i])
+				}
+			}
+			if p.derived.Count() != p.pre.Count() || p.derived.Words() != p.pre.Words() {
+				t.Fatalf("count/words drifted: %d/%d words %d/%d",
+					p.derived.Count(), p.pre.Count(), p.derived.Words(), p.pre.Words())
+			}
+			for _, c := range p.closers {
+				c.Close()
+			}
+		})
+	}
+}

@@ -1,0 +1,351 @@
+package serve
+
+import (
+	"sync"
+
+	"slidingsample/internal/stream"
+)
+
+// weightedIngester is the ingest half of stream.WeightedSampler: what the
+// explicit-weight HTTP path needs. It is asserted separately so the
+// subset-sum estimators — which forward precomputed weights into their
+// sketches but answer estimates rather than samples — qualify too.
+type weightedIngester interface {
+	ObserveWeighted(value string, weight float64, ts int64)
+	ObserveWeightedBatch(batch []stream.Element[string], weights []float64)
+}
+
+// Instance is one registered sampler: the substrate behind its capability
+// views, the monotone stream clock the HTTP surface enforces (the internal
+// samplers treat clock regressions as programmer error and panic; the
+// serving edge validates and returns 4xx instead), and the RWMutex that
+// maps the package's concurrency model onto the single-goroutine sampler
+// contract.
+type Instance struct {
+	mu   sync.RWMutex
+	spec Spec
+
+	ing ingester // always non-nil
+
+	// Optional capability views (nil when the substrate lacks them).
+	plain    stream.Sampler[string]      // Sample()
+	timed    stream.TimedSampler[string] // SampleAt(now)
+	weighted weightedIngester            // explicit ingest weights
+	sizer    interface{ SizeAt(int64) uint64 }
+	weigher  func(int64) float64                                  // (1±ε) active-weight oracle
+	estAt    func(int64, func(string) bool) (float64, bool)       // subset sum at a query time
+	est      func(pred func(string) bool) (float64, bool)         // subset sum, sequence windows
+	barrier  func()
+	closer   func()
+
+	// scratch is the reused ingest batch buffer (guarded by mu; every
+	// substrate consumes its batch synchronously — the sharded dispatcher
+	// copies into per-shard slices before returning — so steady-state HTTP
+	// ingest is allocation-free under the stream.MaxRecycledCap
+	// discipline, like every other retained buffer in the repository).
+	scratch []stream.Element[string]
+
+	last   int64 // stream clock: max ingest/query time seen (ts mode)
+	begun  bool
+	closed bool
+}
+
+// newInstance wires the substrate's capabilities by type assertion — the
+// registry never needs to know concrete sampler types, only what each one
+// can answer.
+func newInstance(spec Spec, built any) *Instance {
+	inst := &Instance{spec: spec, ing: built.(ingester)}
+	if s, ok := built.(stream.Sampler[string]); ok {
+		inst.plain = s
+	}
+	if s, ok := built.(stream.TimedSampler[string]); ok {
+		inst.timed = s
+	}
+	if s, ok := built.(weightedIngester); ok {
+		inst.weighted = s
+	}
+	if s, ok := built.(interface{ SizeAt(int64) uint64 }); ok {
+		inst.sizer = s
+	}
+	if s, ok := built.(interface{ TotalWeightAt(int64) float64 }); ok {
+		inst.weigher = s.TotalWeightAt
+	} else if s, ok := built.(interface{ WeightAt(int64) float64 }); ok {
+		// The sharded subset-sum estimator names its dispatcher-side
+		// weight oracle WeightAt (TotalAt is the HT estimate).
+		inst.weigher = s.WeightAt
+	} else if s, ok := built.(interface{ TotalWeight() float64 }); ok {
+		// Sequence-window sharded weighted samplers: the oracle is clocked
+		// on the arrival index, so the query takes no time argument (and
+		// readClock already rejects at= in seq mode).
+		inst.weigher = func(int64) float64 { return s.TotalWeight() }
+	}
+	if s, ok := built.(interface {
+		EstimateAt(int64, func(string) bool) (float64, bool)
+	}); ok {
+		inst.estAt = s.EstimateAt
+	}
+	if s, ok := built.(interface {
+		Estimate(func(string) bool) (float64, bool)
+	}); ok {
+		inst.est = s.Estimate
+	}
+	if s, ok := built.(interface{ Barrier() }); ok {
+		inst.barrier = s.Barrier
+	}
+	if s, ok := built.(interface{ Close() }); ok {
+		inst.closer = s.Close
+	}
+	return inst
+}
+
+// Spec returns the instance's spec with the resolved seed.
+func (in *Instance) Spec() Spec { return in.spec }
+
+// seqMode reports whether the instance samples a sequence window.
+func (in *Instance) seqMode() bool { return in.spec.Mode == "seq" }
+
+// Ingest validates and feeds one batch. values is required; timestamps is
+// required in ts mode and must be absent in seq mode; weights is optional
+// and only accepted on substrates with a precomputed-weight ingest path.
+// The whole batch is validated before any element is fed, so a rejected
+// batch leaves the sampler untouched.
+func (in *Instance) Ingest(values []string, timestamps []int64, weights []float64) (uint64, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.closed {
+		return 0, ErrClosed
+	}
+	if in.seqMode() {
+		if timestamps != nil {
+			return 0, ErrBatchShape
+		}
+	} else {
+		if len(timestamps) != len(values) {
+			return 0, ErrBatchShape
+		}
+	}
+	if weights != nil {
+		if in.weighted == nil {
+			return 0, ErrWeightsUnsupported
+		}
+		if len(weights) != len(values) {
+			return 0, ErrBatchShape
+		}
+		for _, w := range weights {
+			if !(w > 0) || w > maxFinite {
+				return 0, ErrBadWeight
+			}
+		}
+	}
+	if len(values) == 0 {
+		return in.ing.Count(), nil
+	}
+	last, begun := in.last, in.begun
+	for _, ts := range timestamps {
+		if begun && ts < last {
+			return 0, ErrTimeBackwards
+		}
+		begun, last = true, ts
+	}
+	batch := in.scratch[:0]
+	if cap(batch) < len(values) {
+		batch = make([]stream.Element[string], 0, len(values))
+	}
+	for i, v := range values {
+		e := stream.Element[string]{Value: v}
+		if timestamps != nil {
+			e.TS = timestamps[i]
+		}
+		batch = append(batch, e)
+	}
+	if weights != nil {
+		in.weighted.ObserveWeightedBatch(batch, weights)
+	} else {
+		in.ing.ObserveBatch(batch)
+	}
+	if cap(batch) > stream.MaxRecycledCap {
+		in.scratch = nil
+	} else {
+		clear(batch) // release the payload strings
+		in.scratch = batch[:0]
+	}
+	if !in.seqMode() {
+		in.last, in.begun = last, begun
+	}
+	return in.ing.Count(), nil
+}
+
+// maxFinite rejects +Inf (and, via the w > 0 guard, NaN) without pulling
+// math into the hot validation loop.
+const maxFinite = 1.7976931348623157e308
+
+// queryClock resolves an "as of" query time for a CLOCK-ADVANCING query:
+// nil means "at the latest observed time"; an explicit time must not
+// regress (the repository-wide monotone query clock contract, surfaced as
+// a 409 instead of the internal panic). Querying a timestamp window that
+// has seen nothing is an error — answering would pin the stream clock
+// before the stream begins.
+func (in *Instance) queryClock(at *int64) (int64, error) {
+	if in.seqMode() {
+		if at != nil {
+			return 0, ErrNoClock
+		}
+		return 0, nil
+	}
+	if !in.begun {
+		return 0, ErrNoArrivals
+	}
+	if at == nil {
+		return in.last, nil
+	}
+	if *at < in.last {
+		return 0, ErrClockBackwards
+	}
+	return *at, nil
+}
+
+// readClock resolves an "as of" time for a READ-ONLY oracle query: older
+// times are clamped to the stream clock (matching the substrates' own
+// clamping) rather than rejected, since the query moves no state.
+func (in *Instance) readClock(at *int64) (int64, error) {
+	if in.seqMode() {
+		if at != nil {
+			return 0, ErrNoClock
+		}
+		return 0, nil
+	}
+	if !in.begun {
+		return 0, ErrNoArrivals
+	}
+	if at == nil || *at < in.last {
+		return in.last, nil
+	}
+	return *at, nil
+}
+
+// Sample answers the /sample query: the current sample at the resolved
+// query clock. Holds the write lock — sampling advances the clock, and on
+// sharded substrates flushes in-flight ingest (auto-barrier).
+func (in *Instance) Sample(at *int64) ([]stream.Element[string], bool, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.plain == nil {
+		return nil, false, ErrUnsupported
+	}
+	now, err := in.queryClock(at)
+	if err != nil {
+		return nil, false, err
+	}
+	if in.barrier != nil {
+		in.barrier()
+	}
+	if in.seqMode() {
+		es, ok := in.plain.Sample()
+		return es, ok, nil
+	}
+	if in.timed == nil {
+		// A ts-mode substrate without SampleAt could only answer at its
+		// last-arrival clock, silently mislabeling the response's time
+		// (unreachable for the registrable substrates today — every
+		// ts-mode sampler is a TimedSampler — but refuse rather than lie).
+		return nil, false, ErrUnsupported
+	}
+	in.last = now
+	es, ok := in.timed.SampleAt(now)
+	return es, ok, nil
+}
+
+// Size answers the /size query: the (1±ε) effective window size n(t) from
+// the substrate's embedded exponential-histogram counter. Holds only the
+// READ lock — the whole path is read-only (DESIGN.md §7).
+func (in *Instance) Size(at *int64) (uint64, error) {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	if in.sizer == nil {
+		return 0, ErrUnsupported
+	}
+	now, err := in.readClock(at)
+	if err != nil {
+		return 0, err
+	}
+	return in.sizer.SizeAt(now), nil
+}
+
+// Weight answers the /weight query: the (1±ε) active-weight total from the
+// sharded substrates' per-shard weight oracles. Write lock: the oracle
+// sums are memoized in a per-instance scratch cache.
+func (in *Instance) Weight(at *int64) (float64, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.weigher == nil {
+		return 0, ErrUnsupported
+	}
+	now, err := in.readClock(at)
+	if err != nil {
+		return 0, err
+	}
+	return in.weigher(now), nil
+}
+
+// SubsetSum answers the /subsetsum query: the unbiased Horvitz–Thompson
+// estimate of Σ w(p) over active elements satisfying pred. Write lock:
+// estimator queries advance the clock and flush sharded ingest.
+func (in *Instance) SubsetSum(at *int64, pred func(string) bool) (float64, bool, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.estAt == nil && in.est == nil {
+		return 0, false, ErrUnsupported
+	}
+	now, err := in.queryClock(at)
+	if err != nil {
+		return 0, false, err
+	}
+	if in.barrier != nil {
+		in.barrier()
+	}
+	if in.seqMode() || in.estAt == nil {
+		if in.est == nil {
+			// Unreachable for today's registrable substrates (every seq
+			// estimator has Estimate), but refuse rather than panic if a
+			// future substrate exposes only the other half.
+			return 0, false, ErrUnsupported
+		}
+		v, ok := in.est(pred)
+		return v, ok, nil
+	}
+	in.last = now
+	v, ok := in.estAt(now, pred)
+	return v, ok, nil
+}
+
+// Stats answers the /samplers listing. It holds the WRITE lock and flushes
+// sharded ingest first: Words/MaxWords walk per-shard sampler state, which
+// in-flight dealt elements would otherwise race with (the dispatcher is
+// asynchronous past the channel send).
+func (in *Instance) Stats() (count uint64, k, words, maxWords int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.barrier != nil {
+		in.barrier()
+	}
+	return in.ing.Count(), in.ing.K(), in.ing.Words(), in.ing.MaxWords()
+}
+
+// Close drains and stops the instance: a final barrier flushes any
+// in-flight sharded ingest, then the shard goroutines are stopped. The
+// substrate stays queryable afterwards (sharded Close is made for this);
+// only further ingest is refused.
+func (in *Instance) Close() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.closed {
+		return
+	}
+	in.closed = true
+	if in.barrier != nil {
+		in.barrier()
+	}
+	if in.closer != nil {
+		in.closer()
+	}
+}

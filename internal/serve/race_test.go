@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestConcurrentIngestAndQueries hammers one instance with a single
+// ingesting producer and many concurrent readers — run under -race this is
+// the serving layer's core safety claim: the RWMutex discipline maps HTTP
+// concurrency onto the single-goroutine sampler contract, with /size
+// readers sharing the read lock over the read-only ehist path while
+// ingest, /sample (auto-barrier) and /weight (oracle cache) serialize on
+// the write lock.
+func TestConcurrentIngestAndQueries(t *testing.T) {
+	const (
+		rounds    = 60
+		batchSize = 50
+		readers   = 4
+	)
+	s := NewServer()
+	defer s.Close()
+	if _, err := s.Register("hot", Spec{Mode: "ts", Sampler: "sharded-weighted-ts-wor", T0: 50, K: 8, G: 4, Seed: 99}); err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s)
+	defer hs.Close()
+
+	// Seed the window so readers never hit ErrNoArrivals.
+	code, body := post(t, hs.URL+"/ingest/hot", `{"values":["seed"],"timestamps":[0],"weights":[1]}`)
+	wantStatus(t, code, http.StatusOK, body)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	// One producer: the HTTP analogue of the single-goroutine ingest
+	// contract (concurrent producers would interleave non-monotone
+	// timestamp batches and be 409ed, correctly).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer stop.Store(true)
+		for r := 0; r < rounds; r++ {
+			req := IngestRequest{}
+			for i := 0; i < batchSize; i++ {
+				n := r*batchSize + i
+				req.Values = append(req.Values, fmt.Sprintf("ev-%05d", n))
+				req.Timestamps = append(req.Timestamps, int64(n/20))
+				req.Weights = append(req.Weights, float64(n%7)+1)
+			}
+			b, err := json.Marshal(req)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			code, body := post(t, hs.URL+"/ingest/hot", string(b))
+			if code != http.StatusOK {
+				t.Errorf("ingest round %d: %d %s", r, code, body)
+				return
+			}
+		}
+	}()
+
+	// Readers mix the read-lock path (/size) with write-lock queries
+	// (/sample with no explicit clock, /weight) and the registry listing.
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for !stop.Load() {
+				for _, q := range []string{"/size/hot", "/sample/hot", "/weight/hot", "/samplers"} {
+					code, body := get(t, hs.URL+q)
+					if code != http.StatusOK {
+						t.Errorf("reader %d %s: %d %s", id, q, code, body)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Shutdown drains cleanly while the samplers stay queryable.
+	s.Close()
+	code, body = get(t, hs.URL+"/sample/hot")
+	wantStatus(t, code, http.StatusOK, body)
+	var sr SampleResponse
+	if err := json.Unmarshal([]byte(body), &sr); err != nil || !sr.OK {
+		t.Fatalf("post-shutdown sample: %s", body)
+	}
+}

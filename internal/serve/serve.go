@@ -1,0 +1,136 @@
+// Package serve is the HTTP serving layer over the unified sampler
+// interfaces: a named-sampler registry, a batched JSON/NDJSON ingest
+// endpoint feeding ObserveBatch/ObserveWeightedBatch, and concurrent read
+// endpoints (/sample, /size, /weight, /subsetsum) — the deployment shape
+// the paper's worst-case memory bounds were designed for (a sampler is
+// long-lived in-memory state; traffic is many small writes and reads
+// against it). See DESIGN.md §7 for the architecture.
+//
+// Concurrency model (per registered instance, enforced with an RWMutex):
+//
+//   - Ingest and clock-advancing queries (/sample, /subsetsum) hold the
+//     WRITE lock: every sampler in the repository is single-goroutine by
+//     contract, SampleAt advances the query clock, and the sharded
+//     substrates' auto-barrier flush mutates dispatcher state.
+//   - /size holds the READ lock: SizeAt is a read-only query end to end —
+//     ehist.Counter.EstimateAt neither advances the clock nor expires
+//     buckets (made so in PR 3 precisely for this path), so any number of
+//     /size requests run concurrently with each other, serialized only
+//     against writes.
+//   - /weight holds the WRITE lock even though TotalWeightAt is read-only
+//     in the clock sense: the sharded weight oracles memoize per
+//     (dispatch count, query time) in a shared scratch cache, which is a
+//     write under concurrency.
+//
+// Every response is deterministic under a fixed Spec.Seed: two servers
+// given the same registrations and the same request sequence return
+// byte-identical bodies, which is how the end-to-end tests cross-check the
+// HTTP surface against directly-driven samplers.
+package serve
+
+import (
+	"errors"
+	"fmt"
+
+	"slidingsample/internal/stream"
+	"slidingsample/internal/substrate"
+)
+
+// Errors returned by the serving layer, mapped onto HTTP status codes by
+// the handlers (statusFor): unknown names are 404, malformed requests 400,
+// and stream-state conflicts — non-monotone clocks, queries before the
+// first arrival — 409.
+var (
+	// ErrUnknownSampler: no registry entry under the requested name.
+	ErrUnknownSampler = errors.New("serve: unknown sampler name")
+	// ErrDuplicateName: Register with a name already in the registry.
+	ErrDuplicateName = errors.New("serve: sampler name already registered")
+	// ErrBatchShape: ingest slices of unequal lengths, or timestamps
+	// missing/present against the window mode.
+	ErrBatchShape = errors.New("serve: batch needs equally long values and timestamps/weights, with timestamps exactly on timestamp-window samplers")
+	// ErrBadWeight: an ingest weight that is not positive and finite.
+	ErrBadWeight = errors.New("serve: weights must be positive and finite")
+	// ErrWeightsUnsupported: explicit weights for a substrate that derives
+	// weights from its construction-time weight function.
+	ErrWeightsUnsupported = errors.New("serve: substrate derives weights from its weight function and takes no explicit weights")
+	// ErrTimeBackwards: ingest timestamps that regress against the
+	// instance's monotone stream clock.
+	ErrTimeBackwards = errors.New("serve: ingest timestamps must be non-decreasing")
+	// ErrClockBackwards: a clock-advancing query (sample, subsetsum) at a
+	// time before the instance's stream clock.
+	ErrClockBackwards = errors.New("serve: query clock must be non-decreasing")
+	// ErrNoArrivals: an "as of" query on a timestamp window that has seen
+	// no elements (answering would pin the stream clock arbitrarily).
+	ErrNoArrivals = errors.New("serve: timestamp window has no arrivals yet")
+	// ErrNoClock: an at= parameter on a sequence-window sampler.
+	ErrNoClock = errors.New("serve: sequence windows have no query clock")
+	// ErrUnsupported: the substrate lacks the queried capability (e.g.
+	// /weight on a uniform sampler, /subsetsum on a non-estimator).
+	ErrUnsupported = errors.New("serve: substrate does not support this endpoint")
+	// ErrClosed: ingest after the server began its graceful shutdown.
+	ErrClosed = errors.New("serve: server is shutting down")
+)
+
+// Spec names a substrate the registry can serve — the shared
+// name→constructor vocabulary of internal/substrate, which cmd/swsample's
+// flags resolve through too, so the CLI and HTTP surfaces cannot drift.
+type Spec = substrate.Spec
+
+// Serving-grade caps on the spec parameters that drive EAGER allocation
+// at construction: registration is a network-reachable endpoint, so a
+// single unauthenticated POST must not be able to allocate the process to
+// death. K sizes per-slot state in every substrate, G spawns goroutines
+// and buffered channels, and the fullwindow baseline allocates its Θ(n)
+// ring up front (window.SeqBuffer is documented test/bench-grade). The
+// CLIs resolve specs through internal/substrate directly and are not
+// capped — a local operator's own machine is their own business.
+const (
+	// MaxK bounds the sample/sketch size of a registered sampler.
+	MaxK = 1 << 16
+	// MaxG bounds the shard count of a registered sampler.
+	MaxG = 256
+	// MaxFullWindowN bounds the eagerly allocated fullwindow baseline ring.
+	MaxFullWindowN = 1 << 22
+)
+
+func validateServable(spec Spec) error {
+	if spec.K > MaxK {
+		return fmt.Errorf("serve: k %d exceeds the serving cap %d", spec.K, MaxK)
+	}
+	if spec.G > MaxG {
+		return fmt.Errorf("serve: g %d exceeds the serving cap %d", spec.G, MaxG)
+	}
+	if spec.Sampler == "fullwindow" && spec.Mode == "seq" && spec.N > MaxFullWindowN {
+		return fmt.Errorf("serve: fullwindow allocates its Θ(n) ring eagerly; n capped at %d for serving", MaxFullWindowN)
+	}
+	return nil
+}
+
+// Build constructs the spec's substrate, seeds it, and wires up its
+// capability views. Served values are strings (the HTTP surface is
+// line-shaped, like cmd/swsample); the weight function comes from
+// Spec.Weight.
+func Build(spec Spec) (*Instance, error) {
+	if err := validateServable(spec); err != nil {
+		return nil, err
+	}
+	built, seed, err := substrate.New(spec)
+	if err != nil {
+		return nil, err
+	}
+	resolved := spec
+	resolved.Seed = seed
+	return newInstance(resolved, built), nil
+}
+
+// ingester is the capability every registrable substrate has: batched
+// ingest plus the unified metadata surface. It is stream.Sampler minus
+// Sample — the subset-sum estimators ingest and report like samplers but
+// answer estimates, not samples.
+type ingester interface {
+	Observe(value string, ts int64)
+	ObserveBatch(batch []stream.Element[string])
+	K() int
+	Count() uint64
+	stream.MemoryReporter
+}

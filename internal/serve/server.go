@@ -1,0 +1,449 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"slidingsample/internal/stream"
+)
+
+// Server is the registry plus its HTTP surface. Routes:
+//
+//	GET  /healthz            liveness
+//	GET  /samplers           list registered samplers (name, spec, stats)
+//	POST /samplers           register a sampler from a JSON {name, spec}
+//	POST /ingest/{name}      batched ingest: JSON arrays or NDJSON records
+//	GET  /sample/{name}      current sample            [?at=<ts>]
+//	GET  /size/{name}        (1±ε) window size oracle  [?at=<ts>]
+//	GET  /weight/{name}      (1±ε) weight total oracle [?at=<ts>]
+//	GET  /subsetsum/{name}   HT subset-sum estimate    [?at=<ts>&prefix=&contains=]
+//
+// Close drains every instance (barrier, then shard shutdown) — call it
+// after the enclosing http.Server has finished its graceful Shutdown so no
+// handler is mid-flight.
+type Server struct {
+	mu     sync.RWMutex
+	inst   map[string]*Instance
+	mux    *http.ServeMux
+	closed bool
+}
+
+// NewServer returns an empty registry serving the routes above.
+func NewServer() *Server {
+	s := &Server{inst: make(map[string]*Instance), mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	s.mux.HandleFunc("GET /samplers", s.handleList)
+	s.mux.HandleFunc("POST /samplers", s.handleRegister)
+	s.mux.HandleFunc("POST /ingest/{name}", s.handleIngest)
+	s.mux.HandleFunc("GET /sample/{name}", s.handleSample)
+	s.mux.HandleFunc("GET /size/{name}", s.handleSize)
+	s.mux.HandleFunc("GET /weight/{name}", s.handleWeight)
+	s.mux.HandleFunc("GET /subsetsum/{name}", s.handleSubsetSum)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Register builds the spec's substrate and adds it under name.
+func (s *Server) Register(name string, spec Spec) (*Instance, error) {
+	if name == "" || strings.ContainsAny(name, "/ \t\n") {
+		return nil, fmt.Errorf("serve: sampler name must be non-empty without slashes or whitespace")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if _, dup := s.inst[name]; dup {
+		return nil, ErrDuplicateName
+	}
+	inst, err := Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	s.inst[name] = inst
+	return inst, nil
+}
+
+// Get returns the named instance.
+func (s *Server) Get(name string) (*Instance, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	inst, ok := s.inst[name]
+	return inst, ok
+}
+
+// Close drains every registered instance: each takes a final barrier (so
+// all dispatched elements are reflected in the shards) and then stops its
+// shard goroutines. Instances stay queryable; ingest is refused afterwards.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	insts := make([]*Instance, 0, len(s.inst))
+	for _, in := range s.inst {
+		insts = append(insts, in)
+	}
+	s.mu.Unlock()
+	for _, in := range insts {
+		in.Close()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Wire types
+// ---------------------------------------------------------------------------
+
+// IngestRequest is the JSON batch body of POST /ingest/{name}. Timestamps
+// are required in ts mode and must be omitted in seq mode; weights are
+// optional and only accepted on substrates with a precomputed-weight path.
+type IngestRequest struct {
+	Values     []string  `json:"values"`
+	Timestamps []int64   `json:"timestamps,omitempty"`
+	Weights    []float64 `json:"weights,omitempty"`
+}
+
+// Record is one NDJSON ingest record (Content-Type: application/x-ndjson).
+type Record struct {
+	Value  string   `json:"value"`
+	TS     *int64   `json:"ts,omitempty"`
+	Weight *float64 `json:"weight,omitempty"`
+}
+
+// IngestResponse reports a successful batch.
+type IngestResponse struct {
+	Ingested int    `json:"ingested"`
+	Count    uint64 `json:"count"`
+}
+
+// SampledElement is one sample entry on the wire.
+type SampledElement struct {
+	Value string `json:"value"`
+	Index uint64 `json:"index"`
+	TS    int64  `json:"ts"`
+}
+
+// SampleResponse answers GET /sample; OK is false while the window is
+// empty (Sample is then absent).
+type SampleResponse struct {
+	OK     bool             `json:"ok"`
+	Sample []SampledElement `json:"sample,omitempty"`
+}
+
+// SamplerInfo is one GET /samplers listing entry.
+type SamplerInfo struct {
+	Name     string `json:"name"`
+	Spec     Spec   `json:"spec"`
+	Count    uint64 `json:"count"`
+	K        int    `json:"k"`
+	Words    int    `json:"words"`
+	MaxWords int    `json:"maxWords"`
+}
+
+// RegisterRequest is the POST /samplers body.
+type RegisterRequest struct {
+	Name string `json:"name"`
+	Spec Spec   `json:"spec"`
+}
+
+type errResponse struct {
+	Error string `json:"error"`
+}
+
+// statusFor maps serving-layer errors onto HTTP statuses: requests that
+// can never succeed are 400, missing names 404, and requests that conflict
+// with the instance's current stream state (clocks, shutdown) 409.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownSampler):
+		return http.StatusNotFound
+	case errors.Is(err, ErrDuplicateName),
+		errors.Is(err, ErrTimeBackwards),
+		errors.Is(err, ErrClockBackwards),
+		errors.Is(err, ErrNoArrivals),
+		errors.Is(err, ErrClosed):
+		return http.StatusConflict
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	writeJSON(w, statusFor(err), errResponse{Error: err.Error()})
+}
+
+// ---------------------------------------------------------------------------
+// Handlers
+// ---------------------------------------------------------------------------
+
+func (s *Server) instanceFor(w http.ResponseWriter, r *http.Request) (*Instance, bool) {
+	inst, ok := s.Get(r.PathValue("name"))
+	if !ok {
+		writeErr(w, fmt.Errorf("%w: %q", ErrUnknownSampler, r.PathValue("name")))
+		return nil, false
+	}
+	return inst, true
+}
+
+// atParam parses the optional ?at= query time.
+func atParam(r *http.Request) (*int64, error) {
+	raw := r.URL.Query().Get("at")
+	if raw == "" {
+		return nil, nil
+	}
+	v, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("serve: bad at=%q: want an integer timestamp", raw)
+	}
+	return &v, nil
+}
+
+// handleList renders the registry sorted by name (map order is random;
+// listings must be deterministic).
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.inst))
+	for name := range s.inst {
+		names = append(names, name)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	out := make([]SamplerInfo, 0, len(names))
+	for _, name := range names {
+		inst, ok := s.Get(name)
+		if !ok {
+			continue
+		}
+		count, k, words, maxWords := inst.Stats()
+		out = append(out, SamplerInfo{
+			Name: name, Spec: inst.Spec(),
+			Count: count, K: k, Words: words, MaxWords: maxWords,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := decodeJSONBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	inst, err := s.Register(req.Name, req.Spec)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	// The same payload GET /samplers serves: Stats reports the fresh
+	// instance's real construction footprint, not zeroes.
+	count, k, words, maxWords := inst.Stats()
+	writeJSON(w, http.StatusCreated, SamplerInfo{
+		Name: req.Name, Spec: inst.Spec(),
+		Count: count, K: k, Words: words, MaxWords: maxWords,
+	})
+}
+
+// maxBodyBytes bounds ingest bodies; a serving deployment would tune this.
+const maxBodyBytes = 32 << 20
+
+func decodeJSONBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("serve: bad request body: %w", err)
+	}
+	// A trailing second JSON value is a malformed batch, not a stream.
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return fmt.Errorf("serve: bad request body: trailing data after the JSON object")
+	}
+	return nil
+}
+
+// handleIngest accepts one batch per request: a JSON IngestRequest by
+// default, or NDJSON Records under Content-Type application/x-ndjson. The
+// batch feeds the substrate's batched hot path (ObserveBatch, or
+// ObserveWeightedBatch when explicit weights ride along) in one call.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	inst, ok := s.instanceFor(w, r)
+	if !ok {
+		return
+	}
+	var req IngestRequest
+	ct := r.Header.Get("Content-Type")
+	if strings.HasPrefix(ct, "application/x-ndjson") {
+		parsed, err := parseNDJSON(r)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		req = parsed
+	} else {
+		if err := decodeJSONBody(r, &req); err != nil {
+			writeErr(w, err)
+			return
+		}
+	}
+	count, err := inst.Ingest(req.Values, req.Timestamps, req.Weights)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, IngestResponse{Ingested: len(req.Values), Count: count})
+}
+
+// parseNDJSON folds a stream of Records into one batch. Records must be
+// uniform: either every record carries ts or none, and either every record
+// carries weight or none (a ragged stream is a malformed batch).
+func parseNDJSON(r *http.Request) (IngestRequest, error) {
+	var req IngestRequest
+	sc := bufio.NewScanner(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		raw := strings.TrimSpace(sc.Text())
+		line++
+		if raw == "" {
+			continue
+		}
+		var rec Record
+		dec := json.NewDecoder(strings.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&rec); err != nil {
+			return req, fmt.Errorf("serve: bad NDJSON record on line %d: %w", line, err)
+		}
+		if (rec.TS != nil) != (req.Timestamps != nil) && len(req.Values) > 0 {
+			return req, fmt.Errorf("serve: ragged NDJSON batch: line %d switches ts presence", line)
+		}
+		if (rec.Weight != nil) != (req.Weights != nil) && len(req.Values) > 0 {
+			return req, fmt.Errorf("serve: ragged NDJSON batch: line %d switches weight presence", line)
+		}
+		req.Values = append(req.Values, rec.Value)
+		if rec.TS != nil {
+			req.Timestamps = append(req.Timestamps, *rec.TS)
+		}
+		if rec.Weight != nil {
+			req.Weights = append(req.Weights, *rec.Weight)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return req, fmt.Errorf("serve: bad NDJSON body: %w", err)
+	}
+	return req, nil
+}
+
+func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
+	inst, ok := s.instanceFor(w, r)
+	if !ok {
+		return
+	}
+	at, err := atParam(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	es, sampled, err := inst.Sample(at)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	resp := SampleResponse{OK: sampled}
+	for _, e := range es {
+		resp.Sample = append(resp.Sample, SampledElement{Value: e.Value, Index: e.Index, TS: e.TS})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSize(w http.ResponseWriter, r *http.Request) {
+	inst, ok := s.instanceFor(w, r)
+	if !ok {
+		return
+	}
+	at, err := atParam(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	n, err := inst.Size(at)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]uint64{"size": n})
+}
+
+func (s *Server) handleWeight(w http.ResponseWriter, r *http.Request) {
+	inst, ok := s.instanceFor(w, r)
+	if !ok {
+		return
+	}
+	at, err := atParam(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	wt, err := inst.Weight(at)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]float64{"weight": wt})
+}
+
+// SubsetSumResponse answers GET /subsetsum.
+type SubsetSumResponse struct {
+	OK       bool    `json:"ok"`
+	Estimate float64 `json:"estimate"`
+}
+
+// handleSubsetSum estimates Σ w(p) over the active elements whose value
+// matches the ?prefix= and ?contains= filters (both optional, conjunctive
+// — the predicate is evaluated post hoc over the sketch, so any filter
+// can be asked after ingest).
+func (s *Server) handleSubsetSum(w http.ResponseWriter, r *http.Request) {
+	inst, ok := s.instanceFor(w, r)
+	if !ok {
+		return
+	}
+	at, err := atParam(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	q := r.URL.Query()
+	prefix, contains := q.Get("prefix"), q.Get("contains")
+	pred := func(v string) bool {
+		return strings.HasPrefix(v, prefix) && strings.Contains(v, contains)
+	}
+	est, sampled, err := inst.SubsetSum(at, pred)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SubsetSumResponse{OK: sampled, Estimate: est})
+}
+
+// Compile-time check: the wire sample shape matches the stream element.
+var _ = func(e stream.Element[string]) SampledElement {
+	return SampledElement{Value: e.Value, Index: e.Index, TS: e.TS}
+}

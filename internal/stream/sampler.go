@@ -52,10 +52,13 @@ type TimedSampler[T any] interface {
 // WeightedSampler is a Sampler that can ingest elements with PRECOMPUTED
 // weights. Every weighted sampler derives its weights from a weight
 // function fixed at construction (which is what lets it speak the plain
-// Sampler interface), but layers that already computed the weight — the
-// sharded dispatcher needs each element's weight for its per-shard weight
-// oracles before dealing — can hand it over instead of paying the weight
-// function twice. The contract mirrors Observe/ObserveBatch exactly:
+// Sampler interface), but layers that already computed — or were handed —
+// the weight can supply it instead of paying the weight function twice:
+// the sharded dispatcher needs each element's weight for its per-shard
+// weight oracles before dealing (and the sharded weighted samplers
+// themselves satisfy this interface, so the chain composes), and the
+// serving layer's HTTP ingest carries explicit per-element weights from
+// the client. The contract mirrors Observe/ObserveBatch exactly:
 // supplying weights[i] == weight(batch[i].Value) leaves the sampler in the
 // same state, including identical random draws, as the unweighted path.
 type WeightedSampler[T any] interface {

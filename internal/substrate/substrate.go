@@ -1,0 +1,241 @@
+// Package substrate is the single name→constructor vocabulary for every
+// servable sampler in the repository: cmd/swsample's flags and the
+// serving layer's registry specs (internal/serve) both resolve through
+// Spec/New, so the two surfaces cannot drift apart — a substrate added
+// here is immediately selectable from the CLI and registrable over HTTP.
+//
+// Served values are strings (both surfaces are line-shaped); New returns
+// the concrete sampler as `any` and callers wire the capabilities they
+// need by type assertion against the unified interfaces (stream.Sampler,
+// stream.TimedSampler, stream.WeightedSampler, the oracle and estimator
+// methods) — see internal/serve's Instance for the full capability set.
+package substrate
+
+import (
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"slidingsample/internal/apps"
+	"slidingsample/internal/baseline"
+	"slidingsample/internal/core"
+	"slidingsample/internal/parallel"
+	"slidingsample/internal/weighted"
+	"slidingsample/internal/xrand"
+)
+
+// Spec names a substrate and its parameters. The JSON tags are the wire
+// shape of the serving layer's registration endpoint.
+type Spec struct {
+	// Mode selects the window model: "seq" (last N elements) or "ts"
+	// (last T0 clock ticks).
+	Mode string `json:"mode"`
+	// Sampler is the substrate name:
+	//
+	//	seq: wor | wr | chain | oversample | fullwindow | sharded-wr |
+	//	     weighted-wor | weighted-wr | sharded-weighted-wor |
+	//	     sharded-weighted-wr | subsetsum
+	//	ts:  wor | wr | priority | skyband | fullwindow | sharded-wr |
+	//	     sharded-wor | weighted-ts-wor | weighted-ts-wr |
+	//	     sharded-weighted-ts-wor | sharded-weighted-ts-wr |
+	//	     subsetsum-ts | sharded-subsetsum-ts
+	Sampler string `json:"sampler"`
+	// N is the sequence window size (mode "seq").
+	N uint64 `json:"n,omitempty"`
+	// T0 is the timestamp horizon in clock ticks (mode "ts").
+	T0 int64 `json:"t0,omitempty"`
+	// K is the sample size (sketch size for the estimator substrates).
+	K int `json:"k"`
+	// G is the shard count of the sharded-* substrates.
+	G int `json:"g,omitempty"`
+	// Seed makes the instance reproducible; 0 draws a crypto/rand seed.
+	Seed uint64 `json:"seed,omitempty"`
+	// Weight selects the weight function of the weighted substrates:
+	// "" or "bytes" weighs a value by its byte length (empty values weigh
+	// 1); "field:<i>" parses the i-th whitespace-separated field as a
+	// float, falling back to 1 on missing/bad/non-positive fields.
+	// Explicit per-element ingest weights override the function on
+	// substrates that accept them.
+	Weight string `json:"weight,omitempty"`
+}
+
+// OracleEps is the relative error of the sharded substrates' cross-shard
+// count/weight oracles (and matches weighted.DefaultSizeEps).
+const OracleEps = 0.05
+
+// Validate checks the spec without building anything.
+func (sp Spec) Validate() error {
+	switch sp.Mode {
+	case "seq":
+		if sp.N == 0 {
+			return fmt.Errorf("substrate: spec needs n >= 1 in seq mode")
+		}
+	case "ts":
+		if sp.T0 <= 0 {
+			return fmt.Errorf("substrate: spec needs t0 >= 1 in ts mode")
+		}
+	default:
+		return fmt.Errorf("substrate: unknown mode %q (want seq or ts)", sp.Mode)
+	}
+	if sp.K < 1 {
+		return fmt.Errorf("substrate: spec needs k >= 1")
+	}
+	if strings.HasPrefix(sp.Sampler, "sharded-") && sp.G < 1 {
+		return fmt.Errorf("substrate: sharded substrates need g >= 1")
+	}
+	if _, err := WeightFunc(sp.Weight); err != nil {
+		return err
+	}
+	return nil
+}
+
+// WeightFunc resolves a Spec.Weight selector into the weight function of
+// the weighted substrates (the fallbacks keep a stream flowing on dirty
+// input).
+func WeightFunc(sel string) (func(string) float64, error) {
+	switch {
+	case sel == "" || sel == "bytes":
+		return func(v string) float64 {
+			if len(v) == 0 {
+				return 1
+			}
+			return float64(len(v))
+		}, nil
+	case strings.HasPrefix(sel, "field:"):
+		idx, err := strconv.Atoi(strings.TrimPrefix(sel, "field:"))
+		if err != nil || idx < 0 {
+			return nil, fmt.Errorf("substrate: bad weight selector %q (want field:<non-negative i>)", sel)
+		}
+		return func(v string) float64 {
+			fields := strings.Fields(v)
+			if idx >= len(fields) {
+				return 1
+			}
+			w, err := strconv.ParseFloat(fields[idx], 64)
+			if err != nil || !(w > 0) || math.IsInf(w, 1) {
+				return 1
+			}
+			return w
+		}, nil
+	default:
+		return nil, fmt.Errorf("substrate: bad weight selector %q (want \"bytes\" or \"field:<i>\")", sel)
+	}
+}
+
+// WeightSelector translates the CLIs' -wfield flag convention into a
+// Spec.Weight selector: a negative field means byte-length weights.
+func WeightSelector(wfield int) string {
+	if wfield < 0 {
+		return "bytes"
+	}
+	return fmt.Sprintf("field:%d", wfield)
+}
+
+// ResolveSeed matches the public WithSeed convention: 0 draws a fresh
+// seed from crypto/rand.
+func ResolveSeed(seed uint64) uint64 {
+	if seed != 0 {
+		return seed
+	}
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err == nil {
+		return binary.LittleEndian.Uint64(b[:])
+	}
+	return 0x9e3779b97f4a7c15
+}
+
+// New validates the spec, seeds an RNG, and constructs the named
+// substrate over string values. It returns the concrete sampler and the
+// resolved seed (== spec.Seed unless that was 0).
+func New(spec Spec) (any, uint64, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, 0, err
+	}
+	weight, err := WeightFunc(spec.Weight)
+	if err != nil {
+		return nil, 0, err
+	}
+	seed := ResolveSeed(spec.Seed)
+	rng := xrand.New(seed)
+	n, t0, k, g := spec.N, spec.T0, spec.K, spec.G
+	needDivisible := func(name string) error {
+		if n%uint64(g) != 0 {
+			return fmt.Errorf("substrate: n must be divisible by g for %s", name)
+		}
+		return nil
+	}
+	var built any
+	switch spec.Mode {
+	case "seq":
+		switch spec.Sampler {
+		case "wor":
+			built = core.NewSeqWOR[string](rng, n, k)
+		case "wr":
+			built = core.NewSeqWR[string](rng, n, k)
+		case "chain":
+			built = baseline.NewChain[string](rng, n, k)
+		case "oversample":
+			built = baseline.NewOversample[string](rng, n, k, 4)
+		case "fullwindow":
+			built = baseline.NewFullWindowSeq[string](rng, n).Bind(k, true)
+		case "sharded-wr":
+			if err := needDivisible("sharded-wr"); err != nil {
+				return nil, 0, err
+			}
+			built = parallel.NewShardedSeqWR[string](rng, n, g, k)
+		case "weighted-wor":
+			built = weighted.NewWOR[string](rng, n, k, weight)
+		case "weighted-wr":
+			built = weighted.NewWR[string](rng, n, k, weight)
+		case "sharded-weighted-wor":
+			if err := needDivisible("sharded-weighted-wor"); err != nil {
+				return nil, 0, err
+			}
+			built = parallel.NewShardedWeightedSeqWOR[string](rng, n, g, k, OracleEps, weight)
+		case "sharded-weighted-wr":
+			if err := needDivisible("sharded-weighted-wr"); err != nil {
+				return nil, 0, err
+			}
+			built = parallel.NewShardedWeightedSeqWR[string](rng, n, g, k, OracleEps, weight)
+		case "subsetsum":
+			built = apps.NewSubsetSum[string](rng, n, k, weight)
+		default:
+			return nil, 0, fmt.Errorf("substrate: unknown seq sampler %q", spec.Sampler)
+		}
+	case "ts":
+		switch spec.Sampler {
+		case "wor":
+			built = core.NewTSWOR[string](rng, t0, k)
+		case "wr":
+			built = core.NewTSWR[string](rng, t0, k)
+		case "priority":
+			built = baseline.NewPriority[string](rng, t0, k)
+		case "skyband":
+			built = baseline.NewSkyband[string](rng, t0, k)
+		case "fullwindow":
+			built = baseline.NewFullWindowTS[string](rng, t0).Bind(k, true)
+		case "sharded-wr":
+			built = parallel.NewShardedTSWR[string](rng, t0, g, k, OracleEps)
+		case "sharded-wor":
+			built = parallel.NewShardedTSWOR[string](rng, t0, g, k, OracleEps)
+		case "weighted-ts-wor":
+			built = weighted.NewTSWOR[string](rng, t0, k, weighted.DefaultSizeEps, weight)
+		case "weighted-ts-wr":
+			built = weighted.NewTSWR[string](rng, t0, k, weighted.DefaultSizeEps, weight)
+		case "sharded-weighted-ts-wor":
+			built = parallel.NewShardedWeightedTSWOR[string](rng, t0, g, k, weighted.DefaultSizeEps, weight)
+		case "sharded-weighted-ts-wr":
+			built = parallel.NewShardedWeightedTSWR[string](rng, t0, g, k, weighted.DefaultSizeEps, weight)
+		case "subsetsum-ts":
+			built = apps.NewSubsetSumTS[string](rng, t0, k, weighted.DefaultSizeEps, weight)
+		case "sharded-subsetsum-ts":
+			built = apps.NewShardedSubsetSumTS[string](rng, t0, g, k, weighted.DefaultSizeEps, weight)
+		default:
+			return nil, 0, fmt.Errorf("substrate: unknown ts sampler %q", spec.Sampler)
+		}
+	}
+	return built, seed, nil
+}

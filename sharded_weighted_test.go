@@ -163,3 +163,219 @@ func TestPublicShardedWeightedTimestampWR(t *testing.T) {
 		t.Fatal("TotalWeightAt not positive on a non-empty window")
 	}
 }
+
+// TestPublicShardedWeightedSequenceWOR drives the public sequence-window
+// sharded weighted WOR end to end: async ingest, auto-flush queries (no
+// explicit Barrier anywhere), window confinement, weight round-trip,
+// determinism under WithSeed, the TotalWeight oracle, parameter
+// validation, and queryability after Close.
+func TestPublicShardedWeightedSequenceWOR(t *testing.T) {
+	const (
+		n = 64
+		g = 4
+		k = 5
+		m = 2000
+	)
+	mk := func() *ShardedWeightedSequenceWOR[int] {
+		s, err := NewShardedWeightedSequenceWOR[int](n, g, k, WithSeed(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := mk(), mk()
+	defer a.Close()
+	defer b.Close()
+	if _, ok := a.Sample(); ok {
+		t.Fatal("sample from empty sampler")
+	}
+	for i := 0; i < m; i++ {
+		w := float64(i%13) + 1
+		if err := a.Observe(i, w); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Observe(i, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No explicit Barrier: the query flushes in-flight ingest itself.
+	got, ok := a.Sample()
+	if !ok || len(got) != k {
+		t.Fatalf("ok=%v len=%d, want k=%d", ok, len(got), k)
+	}
+	seen := map[uint64]bool{}
+	for _, e := range got {
+		if seen[e.Index] {
+			t.Fatalf("duplicate index %d in WOR sample", e.Index)
+		}
+		seen[e.Index] = true
+		if e.Index < m-n {
+			t.Fatalf("expired element: index %d with window [%d,%d)", e.Index, m-n, m)
+		}
+		if want := float64(e.Value%13) + 1; e.Weight != want {
+			t.Fatalf("weight round-trip broken: got %g want %g", e.Weight, want)
+		}
+	}
+	// Determinism: an identically seeded twin returns the identical sample.
+	got2, ok2 := b.Sample()
+	if !ok2 || len(got2) != len(got) {
+		t.Fatal("seeded twin diverged in shape")
+	}
+	for i := range got {
+		if got[i] != got2[i] {
+			t.Fatalf("seeded twin diverged at slot %d: %+v vs %+v", i, got[i], got2[i])
+		}
+	}
+	// The weight oracle tracks the last-n ground truth within (1±5%).
+	wantW := 0.0
+	for i := m - n; i < m; i++ {
+		wantW += float64(i%13) + 1
+	}
+	if gotW := a.TotalWeight(); math.Abs(gotW-wantW)/wantW > 0.05+1e-9 {
+		t.Fatalf("TotalWeight=%g vs ground truth %g", gotW, wantW)
+	}
+	if a.G() != g || a.K() != k || a.N() != n || a.Count() != m {
+		t.Fatalf("accessors broken: G=%d K=%d N=%d Count=%d", a.G(), a.K(), a.N(), a.Count())
+	}
+	if a.Words() <= 0 || a.MaxWords() < a.Words() {
+		t.Fatal("words accounting broken")
+	}
+	// Bad weights are errors, not panics, at the public layer.
+	if err := a.Observe(1, 0); err != ErrBadWeight {
+		t.Fatalf("bad weight: got %v", err)
+	}
+	// Close stops the workers but keeps queries working.
+	a.Close()
+	if _, ok := a.Sample(); !ok {
+		t.Fatal("no sample after Close")
+	}
+}
+
+// TestPublicShardedWeightedSequenceWR: the with-replacement sequence pair
+// returns k auto-flushed draws, batched ingest matches looped ingest under
+// equal seeds, and construction validates n % g == 0.
+func TestPublicShardedWeightedSequenceWR(t *testing.T) {
+	const (
+		n = 60
+		g = 3
+		k = 4
+		m = 900
+	)
+	loop, err := NewShardedWeightedSequenceWR[int](n, g, k, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loop.Close()
+	batch, err := NewShardedWeightedSequenceWR[int](n, g, k, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer batch.Close()
+
+	vals := make([]int, 0, 64)
+	ws := make([]float64, 0, 64)
+	for i := 0; i < m; i++ {
+		w := float64(i%7) + 1
+		if err := loop.Observe(i, w); err != nil {
+			t.Fatal(err)
+		}
+		vals = append(vals, i)
+		ws = append(ws, w)
+		if len(vals) == 53 || i == m-1 {
+			if err := batch.ObserveBatch(vals, ws); err != nil {
+				t.Fatal(err)
+			}
+			vals, ws = vals[:0], ws[:0]
+		}
+	}
+	gl, okl := loop.Sample()
+	gb, okb := batch.Sample()
+	if !okl || !okb || len(gl) != k || len(gb) != k {
+		t.Fatalf("ok=%v/%v len=%d/%d, want k=%d", okl, okb, len(gl), len(gb), k)
+	}
+	for i := range gl {
+		if gl[i] != gb[i] {
+			t.Fatalf("batched ingest diverged at slot %d: %+v vs %+v", i, gl[i], gb[i])
+		}
+		if gl[i].Index < m-n {
+			t.Fatalf("expired element: index %d", gl[i].Index)
+		}
+	}
+	if gotW := loop.TotalWeight(); !(gotW > 0) {
+		t.Fatalf("TotalWeight=%g", gotW)
+	}
+	// Construction validates shape: n not divisible by g, bad g.
+	if _, err := NewShardedWeightedSequenceWR[int](10, 4, 2); err == nil {
+		t.Fatal("n % g != 0 accepted")
+	}
+	if _, err := NewShardedWeightedSequenceWOR[int](8, 0, 2); err == nil {
+		t.Fatal("g = 0 accepted")
+	}
+}
+
+// TestPublicShardedWordsDuringIngest: the footprint accessors are queries
+// too — they must flush in-flight sharded ingest before walking per-shard
+// sampler state (under -race this is the regression test for the
+// un-barriered Words()/MaxWords() read racing the shard goroutines).
+func TestPublicShardedWordsDuringIngest(t *testing.T) {
+	tsw, err := NewShardedWeightedTimestampWOR[int](100, 4, 8, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tsw.Close()
+	sq, err := NewShardedWeightedSequenceWR[int](400, 4, 8, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sq.Close()
+	for i := 0; i < 5000; i++ {
+		if err := tsw.Observe(i, float64(i%9)+1, int64(i/50)); err != nil {
+			t.Fatal(err)
+		}
+		if err := sq.Observe(i, float64(i%9)+1); err != nil {
+			t.Fatal(err)
+		}
+		if i%97 == 7 {
+			if tsw.Words() <= 0 || sq.Words() <= 0 {
+				t.Fatal("non-positive footprint mid-stream")
+			}
+			if tsw.MaxWords() < tsw.Words() || sq.MaxWords() < sq.Words() {
+				t.Fatal("peak below current footprint")
+			}
+		}
+	}
+}
+
+// TestPublicShardedIngestAfterClose: Close keeps samplers queryable but
+// ingest returns ErrClosed (not a channel panic), on all four wrappers.
+func TestPublicShardedIngestAfterClose(t *testing.T) {
+	tsw, _ := NewShardedWeightedTimestampWOR[int](10, 2, 2, WithSeed(1))
+	if err := tsw.Observe(1, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	tsw.Close()
+	if err := tsw.Observe(2, 1, 1); err != ErrClosed {
+		t.Fatalf("Observe after Close: got %v, want ErrClosed", err)
+	}
+	if err := tsw.ObserveBatch([]int{3}, []float64{1}, []int64{1}); err != ErrClosed {
+		t.Fatalf("ObserveBatch after Close: got %v, want ErrClosed", err)
+	}
+	if _, ok := tsw.Sample(); !ok {
+		t.Fatal("closed sampler should stay queryable")
+	}
+
+	sq, _ := NewShardedWeightedSequenceWR[int](4, 2, 2, WithSeed(1))
+	if err := sq.Observe(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	sq.Close()
+	if err := sq.Observe(2, 1); err != ErrClosed {
+		t.Fatalf("seq Observe after Close: got %v, want ErrClosed", err)
+	}
+	if err := sq.ObserveBatch([]int{3}, []float64{1}); err != ErrClosed {
+		t.Fatalf("seq ObserveBatch after Close: got %v, want ErrClosed", err)
+	}
+	if _, ok := sq.Sample(); !ok {
+		t.Fatal("closed seq sampler should stay queryable")
+	}
+}
