@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet bench-quick bench-batch swbench-quick smoke-e18 smoke-e19 serve-smoke check ci
+.PHONY: all build test test-race vet bench-quick bench-batch bench-smoke swbench-quick smoke-e18 smoke-e19 serve-smoke check ci
 
 all: build
 
@@ -54,6 +54,14 @@ bench-batch:
 swbench-quick:
 	$(GO) run ./cmd/swbench -quick
 
-check: vet build test test-race smoke-e18 smoke-e19 serve-smoke
+# Serving-path load smoke: a tiny hermetic swload run (the BENCH_5 harness
+# end to end — in-process HTTP server, concurrent ingest, mixed read/write
+# wave) plus the key batched-ingest and shard-query benchmarks at one
+# iteration each. Verifies the perf machinery runs, not that it is fast.
+bench-smoke:
+	$(GO) run ./cmd/swload -clients 2 -batches 4 -batch-size 25 -queries 10 > /dev/null
+	$(GO) test -run xxx -bench 'BenchmarkHTTP|BenchmarkBatch_|SampleAt' -benchtime 1x ./internal/serve/ .
+
+check: vet build test test-race smoke-e18 smoke-e19 serve-smoke bench-smoke
 
 ci: check

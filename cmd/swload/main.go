@@ -1,0 +1,392 @@
+// Command swload is the end-to-end load harness for the serving layer: it
+// drives concurrent ingest and query traffic through the real HTTP stack
+// and reports ingest throughput and query latency percentiles as a JSON
+// summary on stdout.
+//
+// By default the run is hermetic: swload starts an in-process server
+// (internal/serve registry behind serve.NewHTTPServer on a loopback
+// listener), registers one seq-mode sharded weighted sampler, and measures
+// against it — no external process, no ports to coordinate, reproducible in
+// CI. With -url it targets a running swserve instead, registering its
+// sampler via POST /samplers.
+//
+// The workload has three phases:
+//
+//   - ingest: -clients goroutines each POST -batches batches of -batch-size
+//     weighted values to /ingest/{name}; 503 (staging queue full) is retried.
+//     Reported as events/sec plus request latency percentiles.
+//   - query: the same client count issues -queries GET /sample/{name} each;
+//     reported as query latency percentiles.
+//   - mixed: producers run a second ingest wave while an equal number of
+//     query clients alternate GET /sample and GET /weight until the wave
+//     ends. This is the phase the lock split exists for — query latency
+//     while ingest is hot measures how long reads stall behind writes.
+//
+// The sampler is seq-mode (sequence window) so concurrent producers cannot
+// violate timestamp monotonicity against each other — arrival order IS the
+// admission order, whatever interleaving the scheduler picks.
+//
+// -legacy measures the pre-pipeline baseline: whole-request ingest locking
+// and sequential shard queries (serve.SetPipelinedIngest(false),
+// parallel.SetQueryFanout(1)). BENCH_5.json pairs -legacy rows with default
+// rows at equal workloads.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"slidingsample/internal/parallel"
+	"slidingsample/internal/serve"
+)
+
+type phaseSummary struct {
+	Requests     int     `json:"requests"`
+	Events       int     `json:"events,omitempty"`
+	Seconds      float64 `json:"seconds"`
+	EventsPerSec float64 `json:"eventsPerSec,omitempty"`
+	ReqPerSec    float64 `json:"reqPerSec"`
+	P50Ms        float64 `json:"p50Ms"`
+	P99Ms        float64 `json:"p99Ms"`
+	Retried      int     `json:"retried503,omitempty"`
+}
+
+type summary struct {
+	Label     string       `json:"label,omitempty"`
+	Pipelined bool         `json:"pipelined"`
+	Fanout    int          `json:"fanout"`
+	Clients   int          `json:"clients"`
+	Batches   int          `json:"batchesPerClient"`
+	BatchSize int          `json:"batchSize"`
+	Queries   int          `json:"queriesPerClient"`
+	Sampler   string       `json:"sampler"`
+	Ingest    phaseSummary `json:"ingest"`
+	Query     phaseSummary `json:"query"`
+	// Mixed reruns ingest with concurrent readers: MixedIngest is the wave's
+	// ingest view, MixedSample/MixedWeight the readers' latency split by
+	// endpoint (/sample takes the application lock, /weight rides the read
+	// lock and only waits for the applier to catch up).
+	MixedIngest phaseSummary `json:"mixedIngest"`
+	MixedSample phaseSummary `json:"mixedSample"`
+	MixedWeight phaseSummary `json:"mixedWeight"`
+}
+
+func main() {
+	var (
+		urlFlag   = flag.String("url", "", "base URL of a running swserve; empty: hermetic in-process server")
+		name      = flag.String("name", "load", "sampler name to register and drive")
+		sampler   = flag.String("sampler", "sharded-weighted-wor", "seq-mode substrate to load")
+		clients   = flag.Int("clients", 4, "concurrent client goroutines")
+		batches   = flag.Int("batches", 50, "ingest batches per client")
+		batchSize = flag.Int("batch-size", 100, "values per ingest batch")
+		queries   = flag.Int("queries", 200, "sample queries per client")
+		n         = flag.Uint64("n", 4096, "sequence window size")
+		k         = flag.Int("k", 16, "sample size")
+		g         = flag.Int("g", 4, "shard count")
+		seed      = flag.Uint64("seed", 5, "sampler seed")
+		legacy    = flag.Bool("legacy", false, "baseline: pre-pipeline ingest and sequential shard queries")
+		fanout    = flag.Int("fanout", 0, "shard-query worker bound (0: min(GOMAXPROCS, 8); ignored with -legacy)")
+		label     = flag.String("label", "", "free-form label copied into the JSON summary")
+	)
+	flag.Parse()
+
+	if *legacy {
+		serve.SetPipelinedIngest(false)
+		parallel.SetQueryFanout(1)
+	} else if *fanout > 0 {
+		parallel.SetQueryFanout(*fanout)
+	}
+
+	spec := serve.Spec{Mode: "seq", Sampler: *sampler, N: *n, K: *k, G: *g, Seed: *seed}
+	base := *urlFlag
+	if base == "" {
+		registry := serve.NewServer()
+		if _, err := registry.Register(*name, spec); err != nil {
+			fatal(err)
+		}
+		defer registry.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		srv := serve.NewHTTPServer("", registry, serve.DefaultHTTPTimeouts())
+		go srv.Serve(ln)
+		defer srv.Close()
+		base = "http://" + ln.Addr().String()
+	} else {
+		base = strings.TrimRight(base, "/")
+		if err := registerRemote(base, *name, spec); err != nil {
+			fatal(err)
+		}
+	}
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        *clients * 2,
+		MaxIdleConnsPerHost: *clients * 2,
+	}}
+
+	out := summary{
+		Label:     *label,
+		Pipelined: !*legacy,
+		Fanout:    parallel.QueryFanout(),
+		Clients:   *clients,
+		Batches:   *batches,
+		BatchSize: *batchSize,
+		Queries:   *queries,
+		Sampler:   *sampler,
+	}
+	out.Ingest = runIngest(client, base, *name, *clients, *batches, *batchSize, 0)
+	out.Query = runQueries(client, base, *name, *clients, *queries)
+	out.MixedIngest, out.MixedSample, out.MixedWeight =
+		runMixed(client, base, *name, *clients, *batches, *batchSize)
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "swload:", err)
+	os.Exit(1)
+}
+
+// registerRemote creates the load sampler on an external server, tolerating
+// "already exists" so repeated runs can share one instance.
+func registerRemote(base, name string, spec serve.Spec) error {
+	body, err := json.Marshal(struct {
+		Name string     `json:"name"`
+		Spec serve.Spec `json:"spec"`
+	}{name, spec})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(base+"/samplers", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusConflict {
+		return fmt.Errorf("register %q on %s: status %d", name, base, resp.StatusCode)
+	}
+	return nil
+}
+
+// ingestBody builds one deterministic batch payload: weights cycle over a
+// small set, values encode (client, batch, index) so every element is
+// distinct.
+func ingestBody(c, b, size int) string {
+	var sb strings.Builder
+	sb.WriteString(`{"values":[`)
+	for i := 0; i < size; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `"c%d-b%d-i%d"`, c, b, i)
+	}
+	sb.WriteString(`],"weights":[`)
+	for i := 0; i < size; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d.5", (c+b+i)%9+1)
+	}
+	sb.WriteString(`]}`)
+	return sb.String()
+}
+
+// runIngest drives one concurrent ingest wave; batchOffset keeps a second
+// wave's values distinct from the first.
+func runIngest(client *http.Client, base, name string, clients, batches, size, batchOffset int) phaseSummary {
+	durs := make([][]time.Duration, clients)
+	retries := make([]int, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				body := ingestBody(c, b+batchOffset, size)
+				for {
+					t0 := time.Now()
+					code, err := doPost(client, base+"/ingest/"+name, body)
+					durs[c] = append(durs[c], time.Since(t0))
+					if err != nil {
+						fatal(err)
+					}
+					if code == http.StatusServiceUnavailable {
+						retries[c]++
+						continue // staging queue full: back off by retrying
+					}
+					if code != http.StatusOK {
+						fatal(fmt.Errorf("ingest status %d", code))
+					}
+					break
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	all := merge(durs)
+	events := clients * batches * size
+	retried := 0
+	for _, r := range retries {
+		retried += r
+	}
+	return phaseSummary{
+		Requests:     len(all),
+		Events:       events,
+		Seconds:      elapsed.Seconds(),
+		EventsPerSec: float64(events) / elapsed.Seconds(),
+		ReqPerSec:    float64(len(all)) / elapsed.Seconds(),
+		P50Ms:        percentileMs(all, 50),
+		P99Ms:        percentileMs(all, 99),
+		Retried:      retried,
+	}
+}
+
+func runQueries(client *http.Client, base, name string, clients, queries int) phaseSummary {
+	durs := make([][]time.Duration, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for q := 0; q < queries; q++ {
+				t0 := time.Now()
+				code, err := doGet(client, base+"/sample/"+name)
+				durs[c] = append(durs[c], time.Since(t0))
+				if err != nil {
+					fatal(err)
+				}
+				if code != http.StatusOK {
+					fatal(fmt.Errorf("sample status %d", code))
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	all := merge(durs)
+	return phaseSummary{
+		Requests:  len(all),
+		Seconds:   elapsed.Seconds(),
+		ReqPerSec: float64(len(all)) / elapsed.Seconds(),
+		P50Ms:     percentileMs(all, 50),
+		P99Ms:     percentileMs(all, 99),
+	}
+}
+
+// runMixed reruns the ingest wave while an equal number of readers
+// alternate /sample and /weight, measuring read latency with writes hot.
+func runMixed(client *http.Client, base, name string, clients, batches, size int) (ingest, sample, weight phaseSummary) {
+	sampleDurs := make([][]time.Duration, clients)
+	weightDurs := make([][]time.Duration, clients)
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		readers.Add(1)
+		go func(c int) {
+			defer readers.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				url, durs := base+"/sample/"+name, &sampleDurs[c]
+				if i%2 == 1 {
+					url, durs = base+"/weight/"+name, &weightDurs[c]
+				}
+				t0 := time.Now()
+				code, err := doGet(client, url)
+				*durs = append(*durs, time.Since(t0))
+				if err != nil {
+					fatal(err)
+				}
+				if code != http.StatusOK {
+					fatal(fmt.Errorf("mixed query status %d", code))
+				}
+			}
+		}(c)
+	}
+	ingest = runIngest(client, base, name, clients, batches, size, batches)
+	close(stop)
+	readers.Wait()
+
+	sAll, wAll := merge(sampleDurs), merge(weightDurs)
+	sample = phaseSummary{
+		Requests:  len(sAll),
+		Seconds:   ingest.Seconds,
+		ReqPerSec: float64(len(sAll)) / ingest.Seconds,
+		P50Ms:     percentileMs(sAll, 50),
+		P99Ms:     percentileMs(sAll, 99),
+	}
+	weight = phaseSummary{
+		Requests:  len(wAll),
+		Seconds:   ingest.Seconds,
+		ReqPerSec: float64(len(wAll)) / ingest.Seconds,
+		P50Ms:     percentileMs(wAll, 50),
+		P99Ms:     percentileMs(wAll, 99),
+	}
+	return ingest, sample, weight
+}
+
+func doPost(client *http.Client, url, body string) (int, error) {
+	resp, err := client.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+func doGet(client *http.Client, url string) (int, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+func merge(durs [][]time.Duration) []time.Duration {
+	var all []time.Duration
+	for _, d := range durs {
+		all = append(all, d...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return all
+}
+
+// percentileMs returns the p-th percentile of a sorted latency slice in
+// milliseconds (nearest-rank).
+func percentileMs(sorted []time.Duration, p int) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := len(sorted) * p / 100
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}

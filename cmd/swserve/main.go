@@ -61,6 +61,12 @@ func main() {
 		wfield  = flag.Int("wfield", -1, "0-based whitespace field holding the weight (weighted-* samplers; -1: value byte length)")
 		smoke   = flag.Bool("smoke", false, "run the fixed smoke scenario against an in-process server and exit")
 		golden  = flag.String("golden", "", "with -smoke: compare output against this golden file instead of printing")
+
+		defaults          = serve.DefaultHTTPTimeouts()
+		readHeaderTimeout = flag.Duration("read-header-timeout", defaults.ReadHeaderTimeout, "bound on reading a request's headers (slowloris protection)")
+		readTimeout       = flag.Duration("read-timeout", defaults.ReadTimeout, "bound on reading a whole request, body included")
+		idleTimeout       = flag.Duration("idle-timeout", defaults.IdleTimeout, "bound on an idle keep-alive connection")
+		maxHeaderBytes    = flag.Int("max-header-bytes", defaults.MaxHeaderBytes, "bound on a request's header size")
 	)
 	flag.Parse()
 
@@ -86,7 +92,12 @@ func main() {
 	fmt.Fprintf(os.Stderr, "swserve: serving %q (%s/%s, seed %d) on %s\n",
 		*name, spec.Mode, spec.Sampler, inst.Spec().Seed, *addr)
 
-	httpSrv := &http.Server{Addr: *addr, Handler: registry}
+	httpSrv := serve.NewHTTPServer(*addr, registry, serve.HTTPTimeouts{
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		IdleTimeout:       *idleTimeout,
+		MaxHeaderBytes:    *maxHeaderBytes,
+	})
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)

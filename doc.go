@@ -96,11 +96,18 @@
 // built for: cmd/swserve exposes a named-sampler registry over HTTP — any
 // substrate above (plus the internal baselines and subset-sum estimator
 // substrates) behind a batched JSON/NDJSON ingest endpoint and concurrent
-// query endpoints (/sample, /size, /weight, /subsetsum). Responses are
+// query endpoints (/sample, /size, /weight, /subsetsum). The hot path is
+// pipelined: ingest handlers stage batches on a small admission mutex (a
+// full staging queue answers 503 — bounded memory, explicit overload)
+// while a per-instance applier feeds the substrate in admission order;
+// read-only oracle queries ride a read lock, and sharded sample queries
+// fan per-shard work across a bounded worker pool — all byte-for-byte
+// seed-deterministic against the sequential path. Responses are
 // deterministic per seed, timestamp monotonicity is enforced as 4xx
 // statuses instead of the library's errors/panics, and shutdown drains
 // every sampler's dispatcher barrier before stopping its shards. See
-// DESIGN.md §7 and `go doc ./cmd/swserve`.
+// DESIGN.md §7, BENCH_5.json (cmd/swload before/after rows) and
+// `go doc ./cmd/swserve`.
 //
 // # One interface, many substrates
 //

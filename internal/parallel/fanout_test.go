@@ -1,0 +1,181 @@
+package parallel
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"slidingsample/internal/stream"
+	"slidingsample/internal/xrand"
+)
+
+// setFanout overrides the query fan-out for one test and restores the
+// default afterwards. The package-global knob means these tests must not
+// run in parallel with each other (none of them calls t.Parallel).
+func setFanout(t *testing.T, n int) {
+	t.Helper()
+	SetQueryFanout(n)
+	t.Cleanup(func() { SetQueryFanout(0) })
+}
+
+func TestForShardsCoversEveryShardOnce(t *testing.T) {
+	for _, fan := range []int{1, 2, 3, 8, 64} {
+		SetQueryFanout(fan)
+		for _, g := range []int{1, 2, 7, 32} {
+			hits := make([]int, g)
+			var mu sync.Mutex
+			forShards(g, func(shard int) {
+				mu.Lock()
+				hits[shard]++
+				mu.Unlock()
+			})
+			for shard, h := range hits {
+				if h != 1 {
+					t.Fatalf("fanout %d, g %d: shard %d visited %d times", fan, g, shard, h)
+				}
+			}
+		}
+	}
+	SetQueryFanout(0)
+	if QueryFanout() < 1 {
+		t.Fatalf("default fanout %d < 1", QueryFanout())
+	}
+	SetQueryFanout(-5)
+	if QueryFanout() != 1 {
+		t.Fatalf("negative fanout resolved to %d, want 1", QueryFanout())
+	}
+	SetQueryFanout(0)
+}
+
+// fanWorkload drives one sharded substrate through a fixed mixed workload
+// — single observes, batches, barriers, queries at every checkpoint — and
+// returns a printable transcript of every query result. Two runs with the
+// same seed must produce byte-identical transcripts whatever the fan-out.
+//
+// weightOf must match what the test feeds ObserveWeighted so the oracle
+// and sampler views agree.
+func weightOf(v int) float64 { return float64(v%7) + 0.5 }
+
+type fanSampler interface {
+	ObserveBatch(batch []stream.Element[int])
+	Barrier()
+	Close()
+}
+
+func fanWorkload(s fanSampler, query func(now int64) string) string {
+	var out string
+	var idx uint64
+	ts := int64(0)
+	for round := 0; round < 12; round++ {
+		batch := make([]stream.Element[int], 0, 41)
+		for i := 0; i < 41; i++ {
+			if i%5 != 4 {
+				ts++ // runs of duplicate timestamps exercise the estimators
+			}
+			batch = append(batch, stream.Element[int]{Value: int(idx)*3 + 1, TS: ts, Index: idx})
+			idx++
+		}
+		s.ObserveBatch(batch)
+		s.Barrier()
+		out += query(ts)
+	}
+	s.Close()
+	out += query(ts) // closed samplers stay queryable
+	return out
+}
+
+// fanTranscript builds every sharded substrate from one seed and returns
+// the concatenated query transcripts.
+func fanTranscript(t *testing.T, seed uint64) string {
+	t.Helper()
+	const (
+		n   = 64
+		t0  = 50
+		g   = 8
+		k   = 6
+		eps = 0.1
+	)
+	var out string
+
+	uSeq := NewShardedSeqWR[int](xrand.New(seed), n, g, k)
+	out += "seqwr:" + fanWorkload(uSeq, func(int64) string {
+		es, ok := uSeq.Sample()
+		return fmt.Sprintf("%v %v;", es, ok)
+	})
+
+	uTSWR := NewShardedTSWR[int](xrand.New(seed), t0, g, k, eps)
+	out += "tswr:" + fanWorkload(uTSWR, func(now int64) string {
+		es, ok := uTSWR.SampleAt(now)
+		return fmt.Sprintf("%v %v %d;", es, ok, uTSWR.Count())
+	})
+
+	uTSWOR := NewShardedTSWOR[int](xrand.New(seed), t0, g, k, eps)
+	out += "tswor:" + fanWorkload(uTSWOR, func(now int64) string {
+		es, ok := uTSWOR.SampleAt(now)
+		return fmt.Sprintf("%v %v;", es, ok)
+	})
+
+	wTSWOR := NewShardedWeightedTSWOR[int](xrand.New(seed), t0, g, k, eps, weightOf)
+	out += "wtswor:" + fanWorkload(wTSWOR, func(now int64) string {
+		items, ok := wTSWOR.ItemsAt(now)
+		return fmt.Sprintf("%+v %v %d %.17g;", items, ok, wTSWOR.SizeAt(now), wTSWOR.TotalWeightAt(now))
+	})
+
+	wTSWR := NewShardedWeightedTSWR[int](xrand.New(seed), t0, g, k, eps, weightOf)
+	out += "wtswr:" + fanWorkload(wTSWR, func(now int64) string {
+		items, ok := wTSWR.ItemsAt(now)
+		return fmt.Sprintf("%+v %v %.17g;", items, ok, wTSWR.TotalWeightAt(now))
+	})
+
+	wSeqWOR := NewShardedWeightedSeqWOR[int](xrand.New(seed), n, g, k, eps, weightOf)
+	out += "wseqwor:" + fanWorkload(wSeqWOR, func(int64) string {
+		items, ok := wSeqWOR.Items()
+		return fmt.Sprintf("%+v %v %.17g;", items, ok, wSeqWOR.TotalWeight())
+	})
+
+	wSeqWR := NewShardedWeightedSeqWR[int](xrand.New(seed), n, g, k, eps, weightOf)
+	out += "wseqwr:" + fanWorkload(wSeqWR, func(int64) string {
+		items, ok := wSeqWR.Items()
+		return fmt.Sprintf("%+v %v %.17g;", items, ok, wSeqWR.TotalWeight())
+	})
+
+	return out
+}
+
+// TestFanoutDeterminism pins the core contract of the parallel read path:
+// the same seed and ingest order produce byte-identical query transcripts
+// whether sub-queries run inline (fanout 1) or across a worker pool, for
+// every sharded substrate — the four sharded weighted ones and the three
+// uniform ones.
+func TestFanoutDeterminism(t *testing.T) {
+	for _, seed := range []uint64{7, 0x5eed} {
+		SetQueryFanout(1)
+		sequential := fanTranscript(t, seed)
+		for _, fan := range []int{3, 8} {
+			SetQueryFanout(fan)
+			if got := fanTranscript(t, seed); got != sequential {
+				t.Fatalf("seed %d: fanout %d transcript diverges from sequential\nfanout %d: %.300s\nsequential: %.300s",
+					seed, fan, fan, got, sequential)
+			}
+		}
+	}
+	SetQueryFanout(0)
+}
+
+// TestFanoutQueryRace hammers the parallel read path under the race
+// detector: several substrates run their full ingest/barrier/query cycles
+// concurrently, so forShards worker pools overlap with each other and with
+// every substrate's shard ingest goroutines. Any missing happens-before
+// edge between the barrier and the fanned sub-queries trips -race.
+func TestFanoutQueryRace(t *testing.T) {
+	setFanout(t, 8)
+	var wg sync.WaitGroup
+	for copyID := 0; copyID < 3; copyID++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			fanTranscript(t, seed)
+		}(uint64(100 + copyID))
+	}
+	wg.Wait()
+}

@@ -461,12 +461,25 @@ func (s *ShardedSeqWR[T]) windowSizes() ([]uint64, uint64) {
 // Sample returns k elements, each uniform over the global window of the
 // last min(count, n) elements. It panics if called without a Barrier since
 // the last Observe (the shard states would be racy and possibly skewed).
+//
+// Every shard's slot vector is fetched exactly once, fanned across the
+// forShards pool (SeqWR queries are read-only and draw-free, so the fetch
+// order cannot matter); the slot picks then run sequentially on the
+// dispatcher rng, global slot j reading entry j of its chosen shard's
+// vector — entries are mutually independent, so the global law is
+// unchanged.
 func (s *ShardedSeqWR[T]) Sample() ([]stream.Element[T], bool) {
 	s.d.requireSynced()
 	sizes, total := s.windowSizes()
 	if total == 0 {
 		return nil, false
 	}
+	vecs := make([][]stream.Element[T], s.g)
+	forShards(s.g, func(shard int) {
+		if es, ok := s.seq[shard].Sample(); ok {
+			vecs[shard] = es
+		}
+	})
 	out := make([]stream.Element[T], 0, s.k)
 	for slot := 0; slot < s.k; slot++ {
 		u := s.rng.Uint64n(total)
@@ -475,11 +488,12 @@ func (s *ShardedSeqWR[T]) Sample() ([]stream.Element[T], bool) {
 			u -= sizes[shard]
 			shard++
 		}
-		es, ok := s.seq[shard].Sample()
-		if !ok {
+		if vecs[shard] == nil {
+			// Unreachable: sizes[shard] > 0 comes from the shard's exact
+			// Count, which guarantees its Sample succeeds.
 			return nil, false
 		}
-		out = append(out, recoverIndex(es[slot], shard, s.g))
+		out = append(out, recoverIndex(vecs[shard][slot], shard, s.g))
 	}
 	return out, true
 }
@@ -677,14 +691,18 @@ func (s *ShardedTSWR[T]) Close() { s.ts.d.close() }
 // SampleAt returns k elements, each active at time now and sampled with
 // probability (1±eps)/n, mutually independent. Panics without a Barrier.
 //
-// Each shard is queried at most once: a shard's SampleAt yields a full
-// k-vector of mutually independent slot samples, so global slot j reads
-// entry j of its chosen shard's vector (one Θ(k log n) shard query serves
-// every slot that picked the shard, keeping the whole query Θ(k log n)
-// rather than Θ(k² log n)). When the estimate points at a shard whose
-// elements have all expired (only possible within the eps error band), the
-// shard's weight is dropped and the slot redrawn, so a non-empty window
-// never fails.
+// Every shard is queried exactly once, fanned across the forShards pool: a
+// shard's SampleAt yields a full k-vector of mutually independent slot
+// samples, so global slot j reads entry j of its chosen shard's vector
+// (one Θ(k log n) shard query serves every slot that picked the shard,
+// keeping the whole query Θ(k log n) rather than Θ(k² log n)). The
+// fetch-all schedule is also what keeps the query DETERMINISTIC: shard
+// queries draw from their shard-local rngs, so the set of shards queried —
+// not just the dispatcher's own draws — feeds future outputs; querying all
+// of them makes that set independent of the estimate and of the fan-out.
+// Shards whose elements all expired (possible only within the eps error
+// band) have their weights dropped in shard order before any slot pick, so
+// a non-empty window never fails.
 func (s *ShardedTSWR[T]) SampleAt(now int64) ([]stream.Element[T], bool) {
 	s.ts.d.requireSynced()
 	now = s.ts.clockFor(now)
@@ -692,48 +710,40 @@ func (s *ShardedTSWR[T]) SampleAt(now int64) ([]stream.Element[T], bool) {
 	if total == 0 {
 		return nil, false
 	}
-	cache := make([][]stream.Element[T], s.ts.g)
-	// fetch queries a shard once, memoizes the vector, and zeroes the
-	// weight of shards that turn out empty. nil means "empty shard".
-	fetch := func(shard int) []stream.Element[T] {
-		if cache[shard] == nil {
-			if es, ok := s.shards[shard].SampleAt(now); ok {
-				cache[shard] = es
-			} else {
-				total = s.ts.dropShard(shard)
-				cache[shard] = []stream.Element[T]{}
+	vecs := make([][]stream.Element[T], s.ts.g)
+	forShards(s.ts.g, func(shard int) {
+		if es, ok := s.shards[shard].SampleAt(now); ok {
+			vecs[shard] = es
+		}
+	})
+	for shard := range vecs {
+		if vecs[shard] == nil && sizes[shard] > 0 {
+			total = s.ts.dropShard(shard)
+		}
+	}
+	if total == 0 {
+		// The estimate put all weight on expired shards; fall back to any
+		// live one (its k-vector is a valid slot sample of the window).
+		for shard := 0; shard < s.ts.g; shard++ {
+			if es := vecs[shard]; es != nil {
+				out := make([]stream.Element[T], 0, s.ts.k)
+				for slot := 0; slot < s.ts.k; slot++ {
+					out = append(out, recoverIndex(es[slot], shard, s.ts.g))
+				}
+				return out, true
 			}
 		}
-		if len(cache[shard]) == 0 {
-			return nil
-		}
-		return cache[shard]
+		return nil, false
 	}
 	out := make([]stream.Element[T], 0, s.ts.k)
 	for slot := 0; slot < s.ts.k; slot++ {
-		var es []stream.Element[T]
+		u := s.ts.rng.Uint64n(total)
 		shard := 0
-		for es == nil && total > 0 {
-			u := s.ts.rng.Uint64n(total)
-			shard = 0
-			for u >= sizes[shard] {
-				u -= sizes[shard]
-				shard++
-			}
-			es = fetch(shard)
+		for u >= sizes[shard] {
+			u -= sizes[shard]
+			shard++
 		}
-		if es == nil {
-			// Every weighted shard was empty; scan for any live one.
-			for shard = 0; shard < s.ts.g; shard++ {
-				if es = fetch(shard); es != nil {
-					break
-				}
-			}
-			if es == nil {
-				return nil, false
-			}
-		}
-		out = append(out, recoverIndex(es[slot], shard, s.ts.g))
+		out = append(out, recoverIndex(vecs[shard][slot], shard, s.ts.g))
 	}
 	return out, true
 }
@@ -793,6 +803,12 @@ func (s *ShardedTSWOR[T]) Close() { s.ts.d.close() }
 // SampleAt returns up to min(k, n) distinct active elements forming a
 // without-replacement sample at time now (uniform up to the eps cross-shard
 // weighting error). Panics without a Barrier.
+//
+// Every shard's WOR sample is fetched exactly once, fanned across the
+// forShards pool; as with ShardedTSWR, the fetch-all schedule keeps the
+// shard-local rng streams independent of the estimate and the fan-out.
+// All dispatcher-side draws (the Floyd subset, the within-shard PickK
+// sub-sampling) run sequentially on the calling goroutine.
 func (s *ShardedTSWOR[T]) SampleAt(now int64) ([]stream.Element[T], bool) {
 	s.ts.d.requireSynced()
 	now = s.ts.clockFor(now)
@@ -800,6 +816,12 @@ func (s *ShardedTSWOR[T]) SampleAt(now int64) ([]stream.Element[T], bool) {
 	if total == 0 {
 		return nil, false
 	}
+	cache := make([][]stream.Element[T], s.ts.g)
+	forShards(s.ts.g, func(shard int) {
+		if es, ok := s.shards[shard].SampleAt(now); ok {
+			cache[shard] = es
+		}
+	})
 	// Allocate the k slots across shards without replacement: draw m
 	// distinct positions out of the (estimated) n active ones and count how
 	// many land on each shard. total can be as large as the window, so the
@@ -819,34 +841,22 @@ func (s *ShardedTSWOR[T]) SampleAt(now int64) ([]stream.Element[T], bool) {
 		}
 		want[shard]++
 	}
-	// Fetch each wanted shard's sample once, cap the wants at what is
-	// actually there (within the eps error band the estimate can overshoot
-	// a shard whose elements all expired), and redistribute the shortfall
-	// to shards with spare distinct elements — so a non-empty window never
-	// comes up short when the elements exist.
-	cache := make([][]stream.Element[T], s.ts.g)
-	fetched := make([]bool, s.ts.g)
-	fetch := func(shard int) int {
-		if !fetched[shard] {
-			fetched[shard] = true
-			if es, ok := s.shards[shard].SampleAt(now); ok {
-				cache[shard] = es
-			}
-		}
-		return len(cache[shard])
-	}
+	// Cap the wants at what is actually there (within the eps error band
+	// the estimate can overshoot a shard whose elements all expired), and
+	// redistribute the shortfall to shards with spare distinct elements —
+	// so a non-empty window never comes up short when the elements exist.
 	shortfall := 0
 	for shard, w := range want {
 		if w == 0 {
 			continue
 		}
-		if avail := fetch(shard); w > avail {
+		if avail := len(cache[shard]); w > avail {
 			shortfall += w - avail
 			want[shard] = avail
 		}
 	}
 	for shard := 0; shard < s.ts.g && shortfall > 0; shard++ {
-		if spare := fetch(shard) - want[shard]; spare > 0 {
+		if spare := len(cache[shard]) - want[shard]; spare > 0 {
 			t := spare
 			if t > shortfall {
 				t = shortfall

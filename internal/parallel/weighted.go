@@ -214,6 +214,12 @@ func (w *wdispatch[T]) clock(now int64) int64 {
 // oracle clock `now` and their total, cached per (dispatch count, query
 // time) in a reused scratch slice — the weight analogue of
 // tsDispatch.weights. Callers mutate the slice only through dropShard.
+//
+// The per-shard SumAt scans fan across the forShards pool — each histogram
+// is shard-local and its queries are read-only (PR 3), so the scans are
+// independent — while the total is summed sequentially in shard index
+// order, keeping the float accumulation order (hence the cached total, and
+// every WR pick derived from it) independent of the fan-out schedule.
 func (w *wdispatch[T]) shardWeights(now int64) ([]float64, float64) {
 	if w.wcacheOK && w.wcacheCount == w.d.count && w.wcacheNow == now {
 		return w.wcache, w.wcacheTotal
@@ -221,10 +227,11 @@ func (w *wdispatch[T]) shardWeights(now int64) ([]float64, float64) {
 	if w.wcache == nil {
 		w.wcache = make([]float64, w.g)
 	}
+	forShards(w.g, func(i int) {
+		w.wcache[i] = w.wests[i].SumAt(now)
+	})
 	total := 0.0
-	for i, est := range w.wests {
-		s := est.SumAt(now)
-		w.wcache[i] = s
+	for _, s := range w.wcache {
 		total += s
 	}
 	w.wcacheCount, w.wcacheNow, w.wcacheTotal, w.wcacheOK = w.d.count, now, total, true
@@ -268,52 +275,45 @@ func (w *wdispatch[T]) words(peak bool) int {
 }
 
 // drawSlots is the shared with-replacement query core: k slot picks over
-// the cached shard weights at the oracle clock `now`. fetchShard queries a
-// shard's full slot vector; it is called at most once per shard (memoized)
-// and global slot j reads entry j of its chosen shard's vector. A shard
-// whose weight estimate is positive but which turns out empty (possible
-// only within the eps error band) has its weight dropped and the slot
-// redrawn; when every weighted shard is empty a linear scan finds any live
-// one, so a non-empty window never fails.
+// the cached shard weights at the oracle clock `now`. Every shard's full
+// slot vector is fetched exactly once, fanned across the forShards pool
+// (the weighted samplers draw only at observe time, so shard queries are
+// draw-free and fetch order cannot matter); global slot j reads entry j of
+// its chosen shard's vector. Shards whose weight estimate is positive but
+// which turn out empty (possible only within the eps error band) have
+// their weights dropped in shard index order before any slot pick — the
+// float subtraction order is fixed, so the refined total is independent of
+// the fan-out schedule. When every weighted shard is empty a linear scan
+// finds any live one, so a non-empty window never fails.
 func (w *wdispatch[T]) drawSlots(now int64, fetchShard func(shard int) ([]weighted.Item[T], bool)) ([]weighted.Item[T], bool) {
 	ws, total := w.shardWeights(now)
 	cache := make([][]weighted.Item[T], w.g)
-	fetch := func(shard int) []weighted.Item[T] {
-		if cache[shard] == nil {
-			if items, ok := fetchShard(shard); ok {
-				cache[shard] = items
-			} else {
-				total = w.dropShard(shard)
-				cache[shard] = []weighted.Item[T]{}
-			}
+	forShards(w.g, func(shard int) {
+		if items, ok := fetchShard(shard); ok {
+			cache[shard] = items
 		}
-		if len(cache[shard]) == 0 {
-			return nil
+	})
+	for shard := range cache {
+		if len(cache[shard]) == 0 && ws[shard] > 0 {
+			total = w.dropShard(shard)
 		}
-		return cache[shard]
 	}
 	out := make([]weighted.Item[T], 0, w.k)
 	for slot := 0; slot < w.k; slot++ {
-		var items []weighted.Item[T]
-		shard := -1
-		for items == nil {
-			shard = pickShard(w.rng, ws, total)
-			if shard < 0 {
-				break
-			}
-			items = fetch(shard)
-		}
-		if items == nil {
+		shard := pickShard(w.rng, ws, total)
+		if shard < 0 {
+			// The estimate put all weight on empty shards; fall back to any
+			// live one.
 			for shard = 0; shard < w.g; shard++ {
-				if items = fetch(shard); items != nil {
+				if len(cache[shard]) > 0 {
 					break
 				}
 			}
-			if items == nil {
+			if shard == w.g {
 				return nil, false
 			}
 		}
-		it := items[slot]
+		it := cache[shard][slot]
 		it.Elem = recoverIndex(it.Elem, shard, w.g)
 		out = append(out, it)
 	}
@@ -341,6 +341,28 @@ func pickShard(rng *xrand.Rand, weights []float64, total float64) int {
 		last = j
 	}
 	return last
+}
+
+// mergeShardItems fans fetchShard across the forShards pool — one
+// shard-local, draw-free skyband query per shard, each writing its own
+// result slot — and concatenates the results in shard index order with
+// global indices recovered. The concatenation order fixes the mergeTopK
+// sort input, so the merged sample is byte-identical whatever the fan-out.
+func mergeShardItems[T any](w *wdispatch[T], fetchShard func(shard int) ([]weighted.Item[T], bool)) []weighted.Item[T] {
+	perShard := make([][]weighted.Item[T], w.g)
+	forShards(w.g, func(shard int) {
+		if items, ok := fetchShard(shard); ok {
+			perShard[shard] = items
+		}
+	})
+	var all []weighted.Item[T]
+	for shard, items := range perShard {
+		for _, it := range items {
+			it.Elem = recoverIndex(it.Elem, shard, w.g)
+			all = append(all, it)
+		}
+	}
+	return all
 }
 
 // mergeTopK sorts merged per-shard items by decreasing log-key — the
@@ -424,20 +446,17 @@ func (s *ShardedWeightedTSWOR[T]) Close() { s.w.d.close() }
 // shards, in decreasing key order, following the exact weighted WOR law
 // (each shard retains its slice's suffix-top-k, so the union's top-k is
 // the window's). Panics without a Barrier.
+//
+// The per-shard skyband queries fan across the forShards pool into
+// per-shard result slots; the merge input is then concatenated in shard
+// index order on the calling goroutine, so the sort sees the same sequence
+// regardless of the fan-out schedule (ties included).
 func (s *ShardedWeightedTSWOR[T]) ItemsAt(now int64) ([]weighted.Item[T], bool) {
 	s.w.d.requireSynced()
 	now = s.w.clock(now)
-	var all []weighted.Item[T]
-	for shard, sh := range s.shards {
-		items, ok := sh.ItemsAt(now)
-		if !ok {
-			continue
-		}
-		for _, it := range items {
-			it.Elem = recoverIndex(it.Elem, shard, s.w.g)
-			all = append(all, it)
-		}
-	}
+	all := mergeShardItems(s.w, func(shard int) ([]weighted.Item[T], bool) {
+		return s.shards[shard].ItemsAt(now)
+	})
 	if len(all) == 0 {
 		return nil, false
 	}
@@ -653,21 +672,15 @@ func (s *ShardedWeightedSeqWOR[T]) Barrier() { s.w.d.barrier() }
 func (s *ShardedWeightedSeqWOR[T]) Close() { s.w.d.close() }
 
 // Items returns the weighted sample over the last min(count, n) elements —
-// the exact merged top-k in decreasing key order. Panics without a
-// Barrier.
+// the exact merged top-k in decreasing key order. The per-shard skyband
+// queries fan across the forShards pool; the merge input is concatenated
+// in shard index order (see ShardedWeightedTSWOR.ItemsAt). Panics without
+// a Barrier.
 func (s *ShardedWeightedSeqWOR[T]) Items() ([]weighted.Item[T], bool) {
 	s.w.d.requireSynced()
-	var all []weighted.Item[T]
-	for shard, sh := range s.shards {
-		items, ok := sh.Items()
-		if !ok {
-			continue
-		}
-		for _, it := range items {
-			it.Elem = recoverIndex(it.Elem, shard, s.w.g)
-			all = append(all, it)
-		}
-	}
+	all := mergeShardItems(s.w, func(shard int) ([]weighted.Item[T], bool) {
+		return s.shards[shard].Items()
+	})
 	if len(all) == 0 {
 		return nil, false
 	}

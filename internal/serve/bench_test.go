@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"slidingsample/internal/parallel"
+)
+
+// benchSpec is the workload substrate for the HTTP load benchmarks:
+// seq-mode so concurrent producers cannot race the timestamp clock.
+var benchSpec = Spec{Mode: "seq", Sampler: "sharded-weighted-wor", N: 4096, K: 16, G: 4, Seed: 5}
+
+const benchBatch = 100
+
+func benchBody(i int) string {
+	var sb strings.Builder
+	sb.WriteString(`{"values":[`)
+	for j := 0; j < benchBatch; j++ {
+		if j > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `"b%d-i%d"`, i, j)
+	}
+	sb.WriteString(`],"weights":[`)
+	for j := 0; j < benchBatch; j++ {
+		if j > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d.5", (i+j)%9+1)
+	}
+	sb.WriteString(`]}`)
+	return sb.String()
+}
+
+// benchServer builds a fresh registry + HTTP server under the requested
+// ingest mode and restores the pipelined default on cleanup.
+func benchServer(b *testing.B, pipelined bool) (*httptest.Server, *http.Client) {
+	b.Helper()
+	SetPipelinedIngest(pipelined)
+	if !pipelined {
+		parallel.SetQueryFanout(1)
+	}
+	b.Cleanup(func() {
+		SetPipelinedIngest(true)
+		parallel.SetQueryFanout(0)
+	})
+	s := NewServer()
+	if _, err := s.Register("bench", benchSpec); err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	b.Cleanup(func() { ts.Close(); s.Close() })
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}}
+	return ts, client
+}
+
+// benchModes runs fn once per ingest mode and client count — the grid the
+// BENCH_5 before/after rows are drawn from.
+func benchModes(b *testing.B, fn func(b *testing.B, pipelined bool, clients int)) {
+	for _, mode := range []struct {
+		name      string
+		pipelined bool
+	}{{"legacy", false}, {"pipelined", true}} {
+		for _, clients := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("%s/clients=%d", mode.name, clients), func(b *testing.B) {
+				fn(b, mode.pipelined, clients)
+			})
+		}
+	}
+}
+
+// BenchmarkHTTPIngest measures concurrent batched ingest through the real
+// HTTP stack: b.N batches of benchBatch weighted values split across the
+// client goroutines. 503 responses are retried (they are part of the
+// pipelined path's contract, not an error).
+func BenchmarkHTTPIngest(b *testing.B) {
+	benchModes(b, func(b *testing.B, pipelined bool, clients int) {
+		ts, client := benchServer(b, pipelined)
+		var next atomic.Int64
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= b.N {
+						return
+					}
+					body := benchBody(i)
+					for {
+						resp, err := client.Post(ts.URL+"/ingest/bench", "application/json", strings.NewReader(body))
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						code := resp.StatusCode
+						resp.Body.Close()
+						if code == http.StatusServiceUnavailable {
+							continue
+						}
+						if code != http.StatusOK {
+							b.Errorf("ingest status %d", code)
+							return
+						}
+						break
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		b.StopTimer()
+		b.ReportMetric(float64(b.N*benchBatch)/b.Elapsed().Seconds(), "events/s")
+	})
+}
+
+// BenchmarkHTTPQuery measures /sample latency at several client counts over
+// a prefilled instance, with one background producer keeping ingest hot —
+// the serving mix the lock split targets.
+func BenchmarkHTTPQuery(b *testing.B) {
+	benchModes(b, func(b *testing.B, pipelined bool, clients int) {
+		ts, client := benchServer(b, pipelined)
+		for i := 0; i < 8; i++ {
+			resp, err := client.Post(ts.URL+"/ingest/bench", "application/json", strings.NewReader(benchBody(i)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+		}
+		stop := make(chan struct{})
+		var producer sync.WaitGroup
+		producer.Add(1)
+		go func() {
+			defer producer.Done()
+			for i := 8; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := client.Post(ts.URL+"/ingest/bench", "application/json", strings.NewReader(benchBody(i)))
+				if err != nil {
+					return
+				}
+				resp.Body.Close()
+			}
+		}()
+		var next atomic.Int64
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					if int(next.Add(1))-1 >= b.N {
+						return
+					}
+					resp, err := client.Get(ts.URL + "/sample/bench")
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if resp.StatusCode != http.StatusOK {
+						b.Errorf("sample status %d", resp.StatusCode)
+					}
+					resp.Body.Close()
+				}
+			}()
+		}
+		wg.Wait()
+		b.StopTimer()
+		close(stop)
+		producer.Wait()
+	})
+}

@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"net/http"
+	"time"
+)
+
+// HTTPTimeouts are the slow-client protections for the serving listener.
+// A zero-valued http.Server never times a connection out: one slowloris
+// client trickling header bytes (or a body at one byte per minute) pins a
+// handler goroutine and its connection forever, and enough of them exhaust
+// the process. Every production listener in front of the registry should
+// set all four knobs; NewHTTPServer applies them.
+type HTTPTimeouts struct {
+	// ReadHeaderTimeout bounds reading the request headers.
+	ReadHeaderTimeout time.Duration
+	// ReadTimeout bounds reading the whole request, body included — ingest
+	// bodies are capped at maxBodyBytes, so a healthy client finishes fast.
+	ReadTimeout time.Duration
+	// IdleTimeout bounds how long a keep-alive connection may sit between
+	// requests.
+	IdleTimeout time.Duration
+	// MaxHeaderBytes bounds the request header size.
+	MaxHeaderBytes int
+}
+
+// DefaultHTTPTimeouts returns the serving defaults: generous enough for a
+// 32 MiB ingest body over a slow link, tight enough that an idle or
+// malicious connection is reclaimed in seconds.
+func DefaultHTTPTimeouts() HTTPTimeouts {
+	return HTTPTimeouts{
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+		MaxHeaderBytes:    1 << 20,
+	}
+}
+
+// withDefaults fills zero fields from DefaultHTTPTimeouts, so callers may
+// override only the knobs they care about. (A zero knob is never a valid
+// operator intent here — it would mean "no protection", which is exactly
+// the misconfiguration this constructor exists to prevent.)
+func (t HTTPTimeouts) withDefaults() HTTPTimeouts {
+	d := DefaultHTTPTimeouts()
+	if t.ReadHeaderTimeout <= 0 {
+		t.ReadHeaderTimeout = d.ReadHeaderTimeout
+	}
+	if t.ReadTimeout <= 0 {
+		t.ReadTimeout = d.ReadTimeout
+	}
+	if t.IdleTimeout <= 0 {
+		t.IdleTimeout = d.IdleTimeout
+	}
+	if t.MaxHeaderBytes <= 0 {
+		t.MaxHeaderBytes = d.MaxHeaderBytes
+	}
+	return t
+}
+
+// NewHTTPServer returns an http.Server for the handler with the slow-client
+// protections applied: ReadHeaderTimeout, ReadTimeout, IdleTimeout and
+// MaxHeaderBytes are always set (zero fields in timeouts fall back to
+// DefaultHTTPTimeouts). There is deliberately no WriteTimeout: responses
+// are small JSON bodies the handlers produce promptly, and a write deadline
+// would also cut off legitimately slow readers of large /sample responses.
+func NewHTTPServer(addr string, handler http.Handler, timeouts HTTPTimeouts) *http.Server {
+	t := timeouts.withDefaults()
+	return &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: t.ReadHeaderTimeout,
+		ReadTimeout:       t.ReadTimeout,
+		IdleTimeout:       t.IdleTimeout,
+		MaxHeaderBytes:    t.MaxHeaderBytes,
+	}
+}

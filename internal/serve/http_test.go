@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestNewHTTPServerAppliesTimeouts(t *testing.T) {
+	h := http.NewServeMux()
+
+	// Zero timeouts resolve to the documented defaults — the constructor
+	// must never hand back a server with a disabled protection.
+	srv := NewHTTPServer(":0", h, HTTPTimeouts{})
+	d := DefaultHTTPTimeouts()
+	if srv.Addr != ":0" {
+		t.Fatalf("addr %q, want %q", srv.Addr, ":0")
+	}
+	if srv.Handler == nil {
+		t.Fatal("handler not wired")
+	}
+	if srv.ReadHeaderTimeout != d.ReadHeaderTimeout {
+		t.Fatalf("ReadHeaderTimeout %v, want default %v", srv.ReadHeaderTimeout, d.ReadHeaderTimeout)
+	}
+	if srv.ReadTimeout != d.ReadTimeout {
+		t.Fatalf("ReadTimeout %v, want default %v", srv.ReadTimeout, d.ReadTimeout)
+	}
+	if srv.IdleTimeout != d.IdleTimeout {
+		t.Fatalf("IdleTimeout %v, want default %v", srv.IdleTimeout, d.IdleTimeout)
+	}
+	if srv.MaxHeaderBytes != d.MaxHeaderBytes {
+		t.Fatalf("MaxHeaderBytes %d, want default %d", srv.MaxHeaderBytes, d.MaxHeaderBytes)
+	}
+	for _, knob := range []time.Duration{srv.ReadHeaderTimeout, srv.ReadTimeout, srv.IdleTimeout} {
+		if knob <= 0 {
+			t.Fatalf("a default timeout is disabled: %+v", srv)
+		}
+	}
+	if srv.MaxHeaderBytes <= 0 {
+		t.Fatalf("default MaxHeaderBytes disabled: %d", srv.MaxHeaderBytes)
+	}
+
+	// Explicit overrides are applied verbatim; unset knobs still default.
+	srv = NewHTTPServer(":8081", h, HTTPTimeouts{
+		ReadHeaderTimeout: 250 * time.Millisecond,
+		MaxHeaderBytes:    4096,
+	})
+	if srv.ReadHeaderTimeout != 250*time.Millisecond {
+		t.Fatalf("ReadHeaderTimeout %v, want 250ms", srv.ReadHeaderTimeout)
+	}
+	if srv.MaxHeaderBytes != 4096 {
+		t.Fatalf("MaxHeaderBytes %d, want 4096", srv.MaxHeaderBytes)
+	}
+	if srv.ReadTimeout != d.ReadTimeout || srv.IdleTimeout != d.IdleTimeout {
+		t.Fatalf("unset knobs did not default: %+v", srv)
+	}
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"slidingsample/internal/stream"
 )
@@ -15,12 +16,64 @@ type weightedIngester interface {
 	ObserveWeightedBatch(batch []stream.Element[string], weights []float64)
 }
 
+// Ingest staging bounds: admission is refused with ErrOverloaded once a
+// single instance holds this many staged-but-unapplied elements (or this
+// many staged batches), so a stalled applier translates into backpressure
+// on the clients instead of unbounded queue memory.
+const (
+	// MaxQueuedIngestEvents bounds the staged elements per instance.
+	MaxQueuedIngestEvents = 1 << 20
+	// maxQueuedBatches bounds the staged batch headers per instance.
+	maxQueuedBatches = 4096
+)
+
+// legacyIngest switches instances built afterwards to the pre-pipeline
+// ingest path (the whole validate+apply under the write lock). It exists
+// for benchmarking the pipeline against its predecessor — BENCH_5.json's
+// "before" rows — and as an operational escape hatch; see
+// SetPipelinedIngest.
+var legacyIngest atomic.Bool
+
+// SetPipelinedIngest selects the ingest path for instances built AFTER the
+// call: pipelined (the default — lock-free admission into a staging queue,
+// one applier goroutine) or legacy (validate and apply while holding the
+// instance write lock). Existing instances keep the path they were built
+// with.
+func SetPipelinedIngest(on bool) { legacyIngest.Store(!on) }
+
+// stagedBatch is one admitted-but-unapplied ingest batch: the element
+// slice ready for ObserveBatch, plus the explicit weights when the request
+// carried them.
+type stagedBatch struct {
+	elems   []stream.Element[string]
+	weights []float64
+}
+
 // Instance is one registered sampler: the substrate behind its capability
-// views, the monotone stream clock the HTTP surface enforces (the internal
-// samplers treat clock regressions as programmer error and panic; the
-// serving edge validates and returns 4xx instead), and the RWMutex that
-// maps the package's concurrency model onto the single-goroutine sampler
-// contract.
+// views, plus the concurrency machinery that maps HTTP concurrency onto
+// the single-goroutine sampler contract.
+//
+// Two locks split the hot path:
+//
+//   - qmu is the ADMISSION lock: a small mutex guarding the staging queue,
+//     the monotone stream clock, and the admitted/applied sequence
+//     counters. Ingest handlers validate outside any lock, then hold qmu
+//     just long enough to check the clock and bounds and append the batch
+//     — they never wait for sampler work, so concurrent producers admit
+//     back to back.
+//   - mu is the APPLICATION lock: whoever holds it may touch the substrate.
+//     The per-instance applier goroutine takes it to drain the staging
+//     queue in admission order; clock-advancing queries take it, drain the
+//     queue themselves up to their admission snapshot, and then query;
+//     read-only oracle queries (/size, /weight) take it SHARED after
+//     waiting for the applier to catch up to their snapshot.
+//
+// Lock order is mu before qmu: mu holders may take qmu (to snapshot or
+// drain), never the reverse. Determinism survives the pipeline because
+// admission order is a total order (qmu), batches are applied in exactly
+// that order by whichever goroutine drains them, and every query's
+// serialization point — its clock and its visible prefix — is fixed under
+// qmu in that same order.
 type Instance struct {
 	mu   sync.RWMutex
 	spec Spec
@@ -32,27 +85,52 @@ type Instance struct {
 	timed    stream.TimedSampler[string] // SampleAt(now)
 	weighted weightedIngester            // explicit ingest weights
 	sizer    interface{ SizeAt(int64) uint64 }
-	weigher  func(int64) float64                                  // (1±ε) active-weight oracle
-	estAt    func(int64, func(string) bool) (float64, bool)       // subset sum at a query time
-	est      func(pred func(string) bool) (float64, bool)         // subset sum, sequence windows
+	weigher  func(int64) float64                            // (1±ε) active-weight oracle
+	estAt    func(int64, func(string) bool) (float64, bool) // subset sum at a query time
+	est      func(pred func(string) bool) (float64, bool)   // subset sum, sequence windows
 	barrier  func()
 	closer   func()
 
-	// scratch is the reused ingest batch buffer (guarded by mu; every
-	// substrate consumes its batch synchronously — the sharded dispatcher
-	// copies into per-shard slices before returning — so steady-state HTTP
-	// ingest is allocation-free under the stream.MaxRecycledCap
-	// discipline, like every other retained buffer in the repository).
-	scratch []stream.Element[string]
+	// Admission state, guarded by qmu. workCond wakes the applier when the
+	// queue goes non-empty (or shutdown begins); appliedCond wakes oracle
+	// readers waiting for the applier to reach their admission snapshot.
+	qmu          sync.Mutex
+	workCond     *sync.Cond
+	appliedCond  *sync.Cond
+	queue        []stagedBatch
+	queuedEvents int
+	admittedSeq  uint64 // batches admitted
+	appliedSeq   uint64 // batches applied to the substrate
+	events       uint64 // elements admitted (the Count the surface reports)
+	last         int64  // stream clock: max ingest/query time admitted (ts mode)
+	begun        bool
+	closed       bool
+	stopping     bool // applier shutdown flag
 
-	last   int64 // stream clock: max ingest/query time seen (ts mode)
-	begun  bool
-	closed bool
+	queueCap int  // staged-element bound (MaxQueuedIngestEvents; tests shrink it)
+	legacy   bool // pre-pipeline ingest path (SetPipelinedIngest(false))
+
+	// statsClean is true while the substrate's footprint walk is safe under
+	// the read lock: no staged batches, and a barrier has flushed every
+	// applied batch into the shards since the last apply. The applier and
+	// the drain paths clear it; Stats' slow path sets it after its barrier.
+	statsClean atomic.Bool
+
+	// oracleMu serializes the weight-oracle scratch cache (the sharded
+	// substrates memoize per-shard oracle sums per (count, time)) so
+	// /weight rides the SHARED lock: concurrent scrapes serialize only
+	// against each other on this small mutex, not against ingest.
+	oracleMu sync.Mutex
+
+	// scratch is the legacy ingest path's reused batch buffer (guarded by
+	// mu; the substrates consume batches synchronously, so it is reusable
+	// as soon as the observe call returns).
+	scratch []stream.Element[string]
 }
 
 // newInstance wires the substrate's capabilities by type assertion — the
 // registry never needs to know concrete sampler types, only what each one
-// can answer.
+// can answer — and starts the instance's applier goroutine.
 func newInstance(spec Spec, built any) *Instance {
 	inst := &Instance{spec: spec, ing: built.(ingester)}
 	if s, ok := built.(stream.Sampler[string]); ok {
@@ -95,6 +173,11 @@ func newInstance(spec Spec, built any) *Instance {
 	if s, ok := built.(interface{ Close() }); ok {
 		inst.closer = s.Close
 	}
+	inst.workCond = sync.NewCond(&inst.qmu)
+	inst.appliedCond = sync.NewCond(&inst.qmu)
+	inst.queueCap = MaxQueuedIngestEvents
+	inst.legacy = legacyIngest.Load()
+	go inst.runApplier()
 	return inst
 }
 
@@ -104,25 +187,78 @@ func (in *Instance) Spec() Spec { return in.spec }
 // seqMode reports whether the instance samples a sequence window.
 func (in *Instance) seqMode() bool { return in.spec.Mode == "seq" }
 
-// Ingest validates and feeds one batch. values is required; timestamps is
+// runApplier is the instance's single applier goroutine: it sleeps until
+// admission signals work, then takes the application lock and drains the
+// staging queue in admission order. Queries that drained first simply
+// leave it nothing to do.
+func (in *Instance) runApplier() {
+	for {
+		in.qmu.Lock()
+		for len(in.queue) == 0 && !in.stopping {
+			in.workCond.Wait()
+		}
+		if len(in.queue) == 0 && in.stopping {
+			in.qmu.Unlock()
+			return
+		}
+		in.qmu.Unlock()
+		in.mu.Lock()
+		in.drainLocked()
+		in.mu.Unlock()
+	}
+}
+
+// drainLocked (mu held) dequeues everything admitted so far and applies it
+// in admission order.
+func (in *Instance) drainLocked() {
+	in.qmu.Lock()
+	batches := in.queue
+	in.queue = nil
+	in.queuedEvents = 0
+	in.qmu.Unlock()
+	in.applyLocked(batches)
+}
+
+// applyLocked (mu held) feeds dequeued batches to the substrate in order
+// and publishes the new applied sequence to waiting oracle readers.
+func (in *Instance) applyLocked(batches []stagedBatch) {
+	if len(batches) == 0 {
+		return
+	}
+	for i := range batches {
+		b := &batches[i]
+		if b.weights != nil {
+			in.weighted.ObserveWeightedBatch(b.elems, b.weights)
+		} else {
+			in.ing.ObserveBatch(b.elems)
+		}
+	}
+	in.statsClean.Store(false)
+	in.qmu.Lock()
+	in.appliedSeq += uint64(len(batches))
+	in.appliedCond.Broadcast()
+	in.qmu.Unlock()
+}
+
+// Ingest validates and admits one batch. values is required; timestamps is
 // required in ts mode and must be absent in seq mode; weights is optional
 // and only accepted on substrates with a precomputed-weight ingest path.
-// The whole batch is validated before any element is fed, so a rejected
-// batch leaves the sampler untouched.
+// The whole batch is validated before anything is committed, so a rejected
+// batch leaves the instance untouched.
+//
+// On the pipelined path the handler returns as soon as the batch is
+// ADMITTED — sequence-numbered and staged under qmu — without waiting for
+// the substrate; the applier (or the next draining query) applies staged
+// batches in admission order, which is what keeps the draws byte-identical
+// to a sequential run over the same admission order. A full staging queue
+// is an explicit ErrOverloaded (HTTP 503), never unbounded memory.
 func (in *Instance) Ingest(values []string, timestamps []int64, weights []float64) (uint64, error) {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	if in.closed {
-		return 0, ErrClosed
-	}
 	if in.seqMode() {
 		if timestamps != nil {
 			return 0, ErrBatchShape
 		}
-	} else {
-		if len(timestamps) != len(values) {
-			return 0, ErrBatchShape
-		}
+	} else if len(timestamps) != len(values) {
+		return 0, ErrBatchShape
 	}
 	if weights != nil {
 		if in.weighted == nil {
@@ -137,10 +273,79 @@ func (in *Instance) Ingest(values []string, timestamps []int64, weights []float6
 			}
 		}
 	}
+	if in.legacy {
+		return in.ingestLegacy(values, timestamps, weights)
+	}
+	// Within-batch timestamp monotonicity needs no instance state; check it
+	// outside the locks so qmu holds only the clock handoff.
+	var first, lastTS int64
+	if len(timestamps) > 0 {
+		first = timestamps[0]
+		prev := first
+		for _, ts := range timestamps[1:] {
+			if ts < prev {
+				return 0, ErrTimeBackwards
+			}
+			prev = ts
+		}
+		lastTS = prev
+	}
+	if len(values) == 0 {
+		in.qmu.Lock()
+		defer in.qmu.Unlock()
+		if in.closed {
+			return 0, ErrClosed
+		}
+		return in.events, nil
+	}
+	elems := make([]stream.Element[string], len(values))
+	for i, v := range values {
+		elems[i] = stream.Element[string]{Value: v}
+		if timestamps != nil {
+			elems[i].TS = timestamps[i]
+		}
+	}
+	in.qmu.Lock()
+	if in.closed {
+		in.qmu.Unlock()
+		return 0, ErrClosed
+	}
+	if in.queuedEvents+len(values) > in.queueCap || len(in.queue) >= maxQueuedBatches {
+		in.qmu.Unlock()
+		return 0, ErrOverloaded
+	}
+	if !in.seqMode() {
+		if in.begun && first < in.last {
+			in.qmu.Unlock()
+			return 0, ErrTimeBackwards
+		}
+		in.last, in.begun = lastTS, true
+	}
+	in.queue = append(in.queue, stagedBatch{elems: elems, weights: weights})
+	in.queuedEvents += len(values)
+	in.admittedSeq++
+	in.events += uint64(len(values))
+	total := in.events
+	in.workCond.Signal()
+	in.qmu.Unlock()
+	return total, nil
+}
+
+// ingestLegacy is the pre-pipeline ingest path: the whole validate+apply
+// under the write lock, kept selectable (SetPipelinedIngest) for
+// benchmarking the pipeline against it.
+func (in *Instance) ingestLegacy(values []string, timestamps []int64, weights []float64) (uint64, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.qmu.Lock()
+	closed, last, begun := in.closed, in.last, in.begun
+	in.qmu.Unlock()
+	if closed {
+		return 0, ErrClosed
+	}
 	if len(values) == 0 {
 		return in.ing.Count(), nil
 	}
-	last, begun := in.last, in.begun
 	for _, ts := range timestamps {
 		if begun && ts < last {
 			return 0, ErrTimeBackwards
@@ -169,70 +374,100 @@ func (in *Instance) Ingest(values []string, timestamps []int64, weights []float6
 		clear(batch) // release the payload strings
 		in.scratch = batch[:0]
 	}
+	in.statsClean.Store(false)
+	in.qmu.Lock()
 	if !in.seqMode() {
 		in.last, in.begun = last, begun
 	}
-	return in.ing.Count(), nil
+	in.events = in.ing.Count()
+	total := in.events
+	in.qmu.Unlock()
+	return total, nil
 }
 
 // maxFinite rejects +Inf (and, via the w > 0 guard, NaN) without pulling
 // math into the hot validation loop.
 const maxFinite = 1.7976931348623157e308
 
-// queryClock resolves an "as of" query time for a CLOCK-ADVANCING query:
-// nil means "at the latest observed time"; an explicit time must not
-// regress (the repository-wide monotone query clock contract, surfaced as
-// a 409 instead of the internal panic). Querying a timestamp window that
-// has seen nothing is an error — answering would pin the stream clock
-// before the stream begins.
-func (in *Instance) queryClock(at *int64) (int64, error) {
-	if in.seqMode() {
+// advanceClockAndDrain (mu held) fixes a clock-advancing query's
+// serialization point: in ONE qmu section it snapshots the staged prefix,
+// resolves the query clock against the admitted stream clock (nil means
+// "at the latest admitted time"; an explicit time must not regress — the
+// repository-wide monotone query clock contract, surfaced as a 409 instead
+// of the internal panic), and pushes an explicit query time into the
+// admission clock so no later batch can be admitted below it. It then
+// applies the snapshotted prefix, making the query's visible state exactly
+// the admitted prefix at its serialization point. Querying a timestamp
+// window that has seen nothing is an error — answering would pin the
+// stream clock before the stream begins.
+func (in *Instance) advanceClockAndDrain(at *int64) (int64, error) {
+	in.qmu.Lock()
+	batches := in.queue
+	in.queue = nil
+	in.queuedEvents = 0
+	var now int64
+	var err error
+	switch {
+	case in.seqMode():
 		if at != nil {
-			return 0, ErrNoClock
+			err = ErrNoClock
 		}
-		return 0, nil
+	case !in.begun:
+		err = ErrNoArrivals
+	case at == nil:
+		now = in.last
+	case *at < in.last:
+		err = ErrClockBackwards
+	default:
+		now = *at
+		in.last = now
 	}
-	if !in.begun {
-		return 0, ErrNoArrivals
-	}
-	if at == nil {
-		return in.last, nil
-	}
-	if *at < in.last {
-		return 0, ErrClockBackwards
-	}
-	return *at, nil
+	in.qmu.Unlock()
+	// Apply even when the clock was rejected: the batches are admitted and
+	// already dequeued; their application is unconditional, only ordered.
+	in.applyLocked(batches)
+	return now, err
 }
 
-// readClock resolves an "as of" time for a READ-ONLY oracle query: older
-// times are clamped to the stream clock (matching the substrates' own
-// clamping) rather than rejected, since the query moves no state.
-func (in *Instance) readClock(at *int64) (int64, error) {
-	if in.seqMode() {
+// awaitReadClock resolves an "as of" time for a READ-ONLY oracle query and
+// waits — holding no instance lock other than qmu, which the wait releases
+// — until the applier has caught up to the query's admission snapshot.
+// Older times are clamped to the stream clock (matching the substrates'
+// own clamping) rather than rejected, since the query moves no state.
+func (in *Instance) awaitReadClock(at *int64) (int64, error) {
+	in.qmu.Lock()
+	defer in.qmu.Unlock()
+	var now int64
+	switch {
+	case in.seqMode():
 		if at != nil {
 			return 0, ErrNoClock
 		}
-		return 0, nil
-	}
-	if !in.begun {
+	case !in.begun:
 		return 0, ErrNoArrivals
+	case at == nil || *at < in.last:
+		now = in.last
+	default:
+		now = *at
 	}
-	if at == nil || *at < in.last {
-		return in.last, nil
+	target := in.admittedSeq
+	for in.appliedSeq < target {
+		in.appliedCond.Wait()
 	}
-	return *at, nil
+	return now, nil
 }
 
 // Sample answers the /sample query: the current sample at the resolved
-// query clock. Holds the write lock — sampling advances the clock, and on
-// sharded substrates flushes in-flight ingest (auto-barrier).
+// query clock. Holds the write lock — sampling advances the clock, drains
+// the staged prefix, and on sharded substrates flushes in-flight ingest
+// (auto-barrier) before the shard queries fan out.
 func (in *Instance) Sample(at *int64) ([]stream.Element[string], bool, error) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	if in.plain == nil {
 		return nil, false, ErrUnsupported
 	}
-	now, err := in.queryClock(at)
+	now, err := in.advanceClockAndDrain(at)
 	if err != nil {
 		return nil, false, err
 	}
@@ -250,53 +485,58 @@ func (in *Instance) Sample(at *int64) ([]stream.Element[string], bool, error) {
 		// ts-mode sampler is a TimedSampler — but refuse rather than lie).
 		return nil, false, ErrUnsupported
 	}
-	in.last = now
 	es, ok := in.timed.SampleAt(now)
 	return es, ok, nil
 }
 
 // Size answers the /size query: the (1±ε) effective window size n(t) from
 // the substrate's embedded exponential-histogram counter. Holds only the
-// READ lock — the whole path is read-only (DESIGN.md §7).
+// READ lock — the whole oracle path is read-only (DESIGN.md §7) — after
+// waiting for the applier to reach the query's admission snapshot, so a
+// sequential client always sees its own ingest reflected.
 func (in *Instance) Size(at *int64) (uint64, error) {
-	in.mu.RLock()
-	defer in.mu.RUnlock()
 	if in.sizer == nil {
 		return 0, ErrUnsupported
 	}
-	now, err := in.readClock(at)
+	now, err := in.awaitReadClock(at)
 	if err != nil {
 		return 0, err
 	}
+	in.mu.RLock()
+	defer in.mu.RUnlock()
 	return in.sizer.SizeAt(now), nil
 }
 
 // Weight answers the /weight query: the (1±ε) active-weight total from the
-// sharded substrates' per-shard weight oracles. Write lock: the oracle
-// sums are memoized in a per-instance scratch cache.
+// sharded substrates' per-shard weight oracles. Holds the READ lock — the
+// oracle sums are memoized in a scratch cache, so concurrent scrapes
+// serialize on oracleMu (a small mutex) rather than on ingest.
 func (in *Instance) Weight(at *int64) (float64, error) {
-	in.mu.Lock()
-	defer in.mu.Unlock()
 	if in.weigher == nil {
 		return 0, ErrUnsupported
 	}
-	now, err := in.readClock(at)
+	now, err := in.awaitReadClock(at)
 	if err != nil {
 		return 0, err
 	}
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	in.oracleMu.Lock()
+	defer in.oracleMu.Unlock()
 	return in.weigher(now), nil
 }
 
 // SubsetSum answers the /subsetsum query: the unbiased Horvitz–Thompson
 // estimate of Σ w(p) over active elements satisfying pred. Write lock:
-// estimator queries advance the clock and flush sharded ingest.
+// estimator queries advance the clock, drain the staged prefix, and flush
+// sharded ingest.
 func (in *Instance) SubsetSum(at *int64, pred func(string) bool) (float64, bool, error) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	if in.estAt == nil && in.est == nil {
 		return 0, false, ErrUnsupported
 	}
-	now, err := in.queryClock(at)
+	now, err := in.advanceClockAndDrain(at)
 	if err != nil {
 		return 0, false, err
 	}
@@ -313,35 +553,61 @@ func (in *Instance) SubsetSum(at *int64, pred func(string) bool) (float64, bool,
 		v, ok := in.est(pred)
 		return v, ok, nil
 	}
-	in.last = now
 	v, ok := in.estAt(now, pred)
 	return v, ok, nil
 }
 
-// Stats answers the /samplers listing. It holds the WRITE lock and flushes
-// sharded ingest first: Words/MaxWords walk per-shard sampler state, which
-// in-flight dealt elements would otherwise race with (the dispatcher is
-// asynchronous past the channel send).
+// Stats answers the /samplers listing. The fast path — nothing staged,
+// nothing unapplied, and a barrier has flushed the shards since the last
+// apply — reads the footprint under the READ lock, so concurrent /stats
+// scrapes neither serialize ingest nor each other. Otherwise it takes the
+// write lock once to drain, barrier, and mark the state clean; follow-up
+// scrapes ride the fast path again.
 func (in *Instance) Stats() (count uint64, k, words, maxWords int) {
+	in.qmu.Lock()
+	pending := len(in.queue) > 0 || in.appliedSeq != in.admittedSeq
+	count = in.events
+	in.qmu.Unlock()
+	if !pending && in.statsClean.Load() {
+		in.mu.RLock()
+		// Re-check under the lock: an applier that slipped in between the
+		// probe and the RLock would have cleared the flag before releasing
+		// mu, and it cannot run while we hold the read side.
+		if in.statsClean.Load() {
+			k, words, maxWords = in.ing.K(), in.ing.Words(), in.ing.MaxWords()
+			in.mu.RUnlock()
+			return count, k, words, maxWords
+		}
+		in.mu.RUnlock()
+	}
 	in.mu.Lock()
 	defer in.mu.Unlock()
+	in.drainLocked()
 	if in.barrier != nil {
 		in.barrier()
 	}
-	return in.ing.Count(), in.ing.K(), in.ing.Words(), in.ing.MaxWords()
+	in.statsClean.Store(true)
+	return count, in.ing.K(), in.ing.Words(), in.ing.MaxWords()
 }
 
-// Close drains and stops the instance: a final barrier flushes any
-// in-flight sharded ingest, then the shard goroutines are stopped. The
-// substrate stays queryable afterwards (sharded Close is made for this);
-// only further ingest is refused.
+// Close drains and stops the instance: admission is sealed, the staged
+// queue is applied in order, a final barrier flushes any in-flight sharded
+// ingest, the shard goroutines are stopped, and the applier goroutine
+// exits. The substrate stays queryable afterwards (sharded Close is made
+// for this); only further ingest is refused.
 func (in *Instance) Close() {
 	in.mu.Lock()
 	defer in.mu.Unlock()
+	in.qmu.Lock()
 	if in.closed {
+		in.qmu.Unlock()
 		return
 	}
 	in.closed = true
+	in.stopping = true
+	in.workCond.Broadcast()
+	in.qmu.Unlock()
+	in.drainLocked()
 	if in.barrier != nil {
 		in.barrier()
 	}

@@ -6,25 +6,43 @@
 // long-lived in-memory state; traffic is many small writes and reads
 // against it). See DESIGN.md §7 for the architecture.
 //
-// Concurrency model (per registered instance, enforced with an RWMutex):
+// Concurrency model (per registered instance; DESIGN.md §7 has the full
+// argument):
 //
-//   - Ingest and clock-advancing queries (/sample, /subsetsum) hold the
-//     WRITE lock: every sampler in the repository is single-goroutine by
-//     contract, SampleAt advances the query clock, and the sharded
-//     substrates' auto-barrier flush mutates dispatcher state.
+//   - Ingest is PIPELINED: handlers validate outside any lock, then hold a
+//     small admission mutex just long enough to check the monotone stream
+//     clock and the staging bounds and append the batch to a per-instance
+//     staging queue — concurrent producers admit back to back without
+//     waiting for sampler work. A single per-instance applier goroutine
+//     drains the queue in admission order into ObserveBatch /
+//     ObserveWeightedBatch under the write lock. The queue is bounded
+//     (MaxQueuedIngestEvents); admission past the bound is an explicit
+//     ErrOverloaded (HTTP 503), never unbounded memory.
+//   - Clock-advancing queries (/sample, /subsetsum) hold the WRITE lock:
+//     they fix their serialization point under the admission mutex
+//     (snapshotting the staged prefix and the clock atomically), drain
+//     that prefix themselves, barrier, and query — so every response is a
+//     deterministic function of the admission order, applier timing be
+//     damned. On sharded substrates the per-shard sub-queries then fan out
+//     across internal/parallel's bounded worker pool.
 //   - /size holds the READ lock: SizeAt is a read-only query end to end —
 //     ehist.Counter.EstimateAt neither advances the clock nor expires
-//     buckets (made so in PR 3 precisely for this path), so any number of
-//     /size requests run concurrently with each other, serialized only
-//     against writes.
-//   - /weight holds the WRITE lock even though TotalWeightAt is read-only
-//     in the clock sense: the sharded weight oracles memoize per
-//     (dispatch count, query time) in a shared scratch cache, which is a
-//     write under concurrency.
+//     buckets (made so in PR 3 precisely for this path). It first waits
+//     for the applier to reach its admission snapshot, so a sequential
+//     client always sees its own ingest reflected.
+//   - /weight rides the READ lock too: the sharded weight oracles memoize
+//     per (dispatch count, query time) in a shared scratch cache, which a
+//     small dedicated mutex (oracleMu) serializes — concurrent scrapes
+//     contend with each other, not with ingest.
+//   - /samplers (Stats) reads the footprint under the READ lock whenever
+//     nothing is staged and a barrier has flushed the shards since the
+//     last apply; only the first scrape after ingest pays the write lock.
 //
 // Every response is deterministic under a fixed Spec.Seed: two servers
-// given the same registrations and the same request sequence return
-// byte-identical bodies, which is how the end-to-end tests cross-check the
+// given the same registrations and the same ADMISSION order return
+// byte-identical bodies — the staging queue preserves admission order, and
+// each query's visible prefix and clock are fixed atomically at its
+// serialization point — which is how the end-to-end tests cross-check the
 // HTTP surface against directly-driven samplers.
 package serve
 
@@ -69,6 +87,10 @@ var (
 	ErrUnsupported = errors.New("serve: substrate does not support this endpoint")
 	// ErrClosed: ingest after the server began its graceful shutdown.
 	ErrClosed = errors.New("serve: server is shutting down")
+	// ErrOverloaded: the instance's ingest staging queue is full — the
+	// applier is not keeping up with admission. Surfaced as 503 so clients
+	// back off and retry instead of the queue growing without bound.
+	ErrOverloaded = errors.New("serve: ingest staging queue is full, retry later")
 )
 
 // Spec names a substrate the registry can serve — the shared

@@ -165,12 +165,15 @@ type errResponse struct {
 }
 
 // statusFor maps serving-layer errors onto HTTP statuses: requests that
-// can never succeed are 400, missing names 404, and requests that conflict
-// with the instance's current stream state (clocks, shutdown) 409.
+// can never succeed are 400, missing names 404, requests that conflict
+// with the instance's current stream state (clocks, shutdown) 409, and
+// transient overload — a full ingest staging queue — 503 (retryable).
 func statusFor(err error) int {
 	switch {
 	case errors.Is(err, ErrUnknownSampler):
 		return http.StatusNotFound
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrDuplicateName),
 		errors.Is(err, ErrTimeBackwards),
 		errors.Is(err, ErrClockBackwards),

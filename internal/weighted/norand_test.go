@@ -1,0 +1,72 @@
+package weighted
+
+import (
+	"fmt"
+	"testing"
+
+	"slidingsample/internal/stream"
+	"slidingsample/internal/xrand"
+)
+
+// norandSampler is the slice of the sampler surface the no-randomness-at-
+// query regression needs: ingest, query, and a transcript of the retained
+// draws.
+type norandSampler interface {
+	ObserveWeighted(value string, w float64, ts int64)
+	Items() ([]Item[string], bool)
+	Sample() ([]stream.Element[string], bool)
+}
+
+// norandBuilders constructs every sampler in the package from one seed.
+func norandBuilders() map[string]func(seed uint64) norandSampler {
+	weight := func(v string) float64 { return float64(len(v)) }
+	return map[string]func(seed uint64) norandSampler{
+		"wor":   func(seed uint64) norandSampler { return NewWOR(xrand.New(seed), 48, 6, weight) },
+		"wr":    func(seed uint64) norandSampler { return NewWR(xrand.New(seed), 48, 6, weight) },
+		"tswor": func(seed uint64) norandSampler { return NewTSWOR(xrand.New(seed), 40, 6, 0.1, weight) },
+		"tswr":  func(seed uint64) norandSampler { return NewTSWR(xrand.New(seed), 40, 6, 0.1, weight) },
+	}
+}
+
+func norandIngest(s norandSampler, from, to int, ts *int64) {
+	for i := from; i < to; i++ {
+		if i%3 != 2 {
+			*ts++
+		}
+		s.ObserveWeighted(fmt.Sprintf("value-%d", i), float64(i%11)+0.5, *ts)
+	}
+}
+
+func norandDraws(t *testing.T, s norandSampler) string {
+	t.Helper()
+	items, iok := s.Items()
+	sample, sok := s.Sample()
+	return fmt.Sprintf("%v %v %v %v", iok, items, sok, sample)
+}
+
+// TestQueriesDrawNoRandomness pins the package doc's invariant: querying a
+// sampler consumes no randomness. Two same-seed samplers see the same
+// stream; one is queried heavily mid-stream, the other not at all. If any
+// query advanced the generator, the subsequent ES key draws would diverge
+// and the final retained sets with them.
+func TestQueriesDrawNoRandomness(t *testing.T) {
+	for name, build := range norandBuilders() {
+		t.Run(name, func(t *testing.T) {
+			quiet, noisy := build(3), build(3)
+			var tsQ, tsN int64
+			norandIngest(quiet, 0, 60, &tsQ)
+			norandIngest(noisy, 0, 60, &tsN)
+			for i := 0; i < 200; i++ {
+				noisy.Items()
+				noisy.Sample()
+			}
+			// The draws that matter are the ones AFTER the query storm: they
+			// consume whatever generator state the storm left behind.
+			norandIngest(quiet, 60, 140, &tsQ)
+			norandIngest(noisy, 60, 140, &tsN)
+			if q, n := norandDraws(t, quiet), norandDraws(t, noisy); q != n {
+				t.Fatalf("querying perturbed the rng stream\nquiet: %.300s\nnoisy: %.300s", q, n)
+			}
+		})
+	}
+}

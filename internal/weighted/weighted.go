@@ -32,6 +32,19 @@
 // stream.TimedSampler[T]); the element weight is derived from the value by
 // the weight function fixed at construction, so weighted substrates drop
 // into every layer that speaks the unified interface.
+//
+// # Queries draw no randomness
+//
+// Every rng consumption in this package happens at OBSERVE time: the ES key
+// is drawn once when an element arrives, and expiry (whether triggered by an
+// arrival or by a timestamped query) only discards retained nodes. Items /
+// Sample / ItemsAt / SampleAt never advance a generator — a query is a pure
+// function of the retained state and the query clock. This is a
+// load-bearing invariant: internal/parallel fans per-shard queries across
+// worker goroutines in nondeterministic order, and internal/serve interleaves
+// concurrent readers between ingest batches; both stay seed-deterministic
+// only because querying cannot perturb the rng stream that future observes
+// will consume. TestQueriesDrawNoRandomness pins it.
 package weighted
 
 import (
