@@ -1,0 +1,25 @@
+// Command swlint is the repository's invariant checker: a go/analysis
+// vettool enforcing, at build-gate time, the determinism and concurrency
+// contracts every correctness argument in this reproduction rests on.
+//
+// It is built as a unitchecker, so it runs under the standard go vet
+// driver (which handles package loading, type checking, caching, and
+// cross-package fact propagation):
+//
+//	go build -o bin/swlint ./cmd/swlint
+//	go vet -vettool=$(pwd)/bin/swlint ./...
+//
+// or just `make lint`. The analyzers, what theorem or PR each invariant
+// protects, and the //swlint:allow escape hatch are documented in
+// internal/lint and DESIGN.md §8.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"slidingsample/internal/lint"
+)
+
+func main() {
+	unitchecker.Main(lint.Analyzers()...)
+}

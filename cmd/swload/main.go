@@ -213,7 +213,7 @@ func runIngest(client *http.Client, base, name string, clients, batches, size, b
 	durs := make([][]time.Duration, clients)
 	retries := make([]int, clients)
 	var wg sync.WaitGroup
-	start := time.Now()
+	start := time.Now() //swlint:allow detrand timing harness: wall-clock throughput measurement only; never feeds sampler state or seeds
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
 		go func(c int) {
@@ -221,9 +221,9 @@ func runIngest(client *http.Client, base, name string, clients, batches, size, b
 			for b := 0; b < batches; b++ {
 				body := ingestBody(c, b+batchOffset, size)
 				for {
-					t0 := time.Now()
+					t0 := time.Now() //swlint:allow detrand timing harness: wall-clock throughput measurement only; never feeds sampler state or seeds
 					code, err := doPost(client, base+"/ingest/"+name, body)
-					durs[c] = append(durs[c], time.Since(t0))
+					durs[c] = append(durs[c], time.Since(t0)) //swlint:allow detrand timing harness: wall-clock throughput measurement only; never feeds sampler state or seeds
 					if err != nil {
 						fatal(err)
 					}
@@ -240,7 +240,7 @@ func runIngest(client *http.Client, base, name string, clients, batches, size, b
 		}(c)
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //swlint:allow detrand timing harness: wall-clock throughput measurement only; never feeds sampler state or seeds
 
 	all := merge(durs)
 	events := clients * batches * size
@@ -263,15 +263,15 @@ func runIngest(client *http.Client, base, name string, clients, batches, size, b
 func runQueries(client *http.Client, base, name string, clients, queries int) phaseSummary {
 	durs := make([][]time.Duration, clients)
 	var wg sync.WaitGroup
-	start := time.Now()
+	start := time.Now() //swlint:allow detrand timing harness: wall-clock throughput measurement only; never feeds sampler state or seeds
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
 			for q := 0; q < queries; q++ {
-				t0 := time.Now()
+				t0 := time.Now() //swlint:allow detrand timing harness: wall-clock throughput measurement only; never feeds sampler state or seeds
 				code, err := doGet(client, base+"/sample/"+name)
-				durs[c] = append(durs[c], time.Since(t0))
+				durs[c] = append(durs[c], time.Since(t0)) //swlint:allow detrand timing harness: wall-clock throughput measurement only; never feeds sampler state or seeds
 				if err != nil {
 					fatal(err)
 				}
@@ -282,7 +282,7 @@ func runQueries(client *http.Client, base, name string, clients, queries int) ph
 		}(c)
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //swlint:allow detrand timing harness: wall-clock throughput measurement only; never feeds sampler state or seeds
 
 	all := merge(durs)
 	return phaseSummary{
@@ -315,9 +315,9 @@ func runMixed(client *http.Client, base, name string, clients, batches, size int
 				if i%2 == 1 {
 					url, durs = base+"/weight/"+name, &weightDurs[c]
 				}
-				t0 := time.Now()
+				t0 := time.Now() //swlint:allow detrand timing harness: wall-clock throughput measurement only; never feeds sampler state or seeds
 				code, err := doGet(client, url)
-				*durs = append(*durs, time.Since(t0))
+				*durs = append(*durs, time.Since(t0)) //swlint:allow detrand timing harness: wall-clock throughput measurement only; never feeds sampler state or seeds
 				if err != nil {
 					fatal(err)
 				}

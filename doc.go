@@ -159,4 +159,9 @@
 // Samplers are not safe for concurrent use; feed each from a single
 // goroutine (e.g. a channel consumer). For multi-core ingest see
 // internal/parallel's sharded wrappers, reachable through cmd/swsample.
+//
+// The package's behavioral contracts — queries are rng-free reads, no
+// ambient time or stray rng sources, the serving layer's lock ordering,
+// named panics on the exported error surface — are machine-checked by
+// cmd/swlint (run as `make lint`); see internal/lint and DESIGN.md §8.
 package slidingsample

@@ -1,3 +1,12 @@
 module slidingsample
 
 go 1.24
+
+// The repository's first (and only) external dependency: the go/analysis
+// framework behind cmd/swlint. The require pins the exact version the Go
+// 1.24.0 toolchain itself vendors for cmd/vet; the replace points at the
+// local third_party copy of that same tree, so builds never touch the
+// network. See README.md "Dependency policy".
+require golang.org/x/tools v0.28.1-0.20250131145412-98746475647e
+
+replace golang.org/x/tools => ./third_party/golang.org/x/tools

@@ -100,7 +100,7 @@ func TestWeightedReadOnlyQueries(t *testing.T) {
 // window boundary — in particular while the stream is younger than the
 // window — the sum is exact.
 func TestWeightedExactWhileYoung(t *testing.T) {
-	c := NewWeighted(1 << 20, 0.05)
+	c := NewWeighted(1<<20, 0.05)
 	total := 0.0
 	rng := xrand.New(3)
 	for i := 0; i < 5000; i++ {

@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// directivePrefix introduces a suppression comment. Full grammar:
+//
+//	//swlint:allow <analyzer> <reason...>
+//
+// Trailing on a code line it covers that line; standalone on its own line
+// it covers exactly the next line. The reason is mandatory and free-form
+// but may not contain "//" (so a trailing "// want" marker in fixtures is
+// not swallowed into the reason).
+const directivePrefix = "//swlint:allow"
+
+// analyzerNames lists every analyzer swlint ships. Directives naming
+// anything else are themselves violations, reported by the directive
+// owner (norandquery) so each bad directive is reported exactly once
+// rather than once per analyzer.
+var analyzerNames = map[string]bool{
+	"norandquery": true,
+	"detrand":     true,
+	"lockorder":   true,
+	"errsurface":  true,
+}
+
+// directiveOwner is the analyzer that reports malformed directives which
+// no single analyzer can claim (missing or unknown analyzer name).
+const directiveOwner = "norandquery"
+
+type posKey struct {
+	file string
+	line int
+}
+
+// allows is one analyzer's per-pass view of the //swlint:allow directives:
+// the set of (file, line) positions where this analyzer's reports are
+// suppressed. Diagnostics must go through report so suppression applies.
+type allows struct {
+	pass  *analysis.Pass
+	lines map[posKey]bool
+}
+
+// collectAllows scans the pass's non-test files for //swlint:allow
+// directives and returns the suppression set for the analyzer called
+// name. Malformed directives are diagnosed here: a directive naming this
+// analyzer without a reason is reported (and suppresses nothing); a
+// directive with a missing or unknown analyzer name is reported iff name
+// is the directive owner.
+func collectAllows(pass *analysis.Pass, name string) *allows {
+	a := &allows{pass: pass, lines: make(map[posKey]bool)}
+	owner := name == directiveOwner
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		code := codeLines(f, pass.Fset)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				rest := text[len(directivePrefix):]
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //swlint:allowance — not a directive
+				}
+				// Cut at an interior "//" so fixture want-markers sharing
+				// the comment are not parsed as part of the reason.
+				if i := strings.Index(rest, "//"); i >= 0 {
+					rest = rest[:i]
+				}
+				fields := strings.Fields(rest)
+				p := pass.Fset.Position(c.Pos())
+				switch {
+				case len(fields) == 0:
+					if owner {
+						pass.Reportf(c.Pos(), "swlint:allow directive is missing an analyzer name")
+					}
+				case !analyzerNames[fields[0]]:
+					if owner {
+						pass.Reportf(c.Pos(), "swlint:allow names unknown analyzer %q (have norandquery, detrand, lockorder, errsurface)", fields[0])
+					}
+				case len(fields) == 1:
+					// Named but reasonless: the named analyzer owns the
+					// report, and the directive suppresses nothing.
+					if fields[0] == name {
+						pass.Reportf(c.Pos(), "swlint:allow %s is missing a reason; reasonless allows are not honored", name)
+					}
+				default:
+					if fields[0] == name {
+						target := p.Line
+						if !code[p.Line] {
+							// Standalone directive line: covers the next
+							// line only (strictly line-scoped; it does
+							// not cascade further).
+							target = p.Line + 1
+						}
+						a.lines[posKey{p.Filename, target}] = true
+					}
+				}
+			}
+		}
+	}
+	return a
+}
+
+// report emits a diagnostic unless an allow directive covers its line.
+func (a *allows) report(pos token.Pos, format string, args ...any) {
+	p := a.pass.Fset.Position(pos)
+	if a.lines[posKey{p.Filename, p.Line}] {
+		return
+	}
+	a.pass.Reportf(pos, format, args...)
+}
+
+// codeLines reports which lines of f hold code tokens (declarations and
+// their bodies, plus the package clause). A directive on such a line is
+// trailing; on any other line it is standalone and covers the next line.
+func codeLines(f *ast.File, fset *token.FileSet) map[int]bool {
+	lines := map[int]bool{
+		fset.Position(f.Package).Line: true,
+	}
+	for _, d := range f.Decls {
+		ast.Inspect(d, func(n ast.Node) bool {
+			switch n.(type) {
+			case nil, *ast.Comment, *ast.CommentGroup:
+				// Comments hang off declarations in the AST but are not
+				// code: a directive inside a doc comment is standalone.
+				return false
+			}
+			lines[fset.Position(n.Pos()).Line] = true
+			if end := n.End(); end.IsValid() {
+				lines[fset.Position(end-1).Line] = true
+			}
+			return true
+		})
+	}
+	return lines
+}
+
+// isTestFile reports whether f is a _test.go file. swlint's invariants
+// are library contracts; tests deliberately reach into internals (and the
+// deterministic-clock harnesses fake time), so test files are out of
+// scope for every analyzer.
+func isTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
+}

@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// The reachability machinery shared by norandquery and errsurface: a
+// per-package static call graph plus a taint fixed point. "Static" means
+// direct calls to declared functions and concrete methods — calls through
+// interface values or function-typed variables are not followed (see the
+// package doc's Analysis boundary note). Calls made inside function
+// literals are attributed to the enclosing declaration, which matches how
+// the serving layer uses closures (spawned from, and on behalf of, the
+// method that declares them).
+
+// funcNode is one function declared in the package under analysis.
+type funcNode struct {
+	fn    *types.Func
+	decl  *ast.FuncDecl
+	edges []edge // every call expression in body order
+	via   string // taint chain ("" when the function reaches no taint)
+}
+
+// edge is a single call site. callee is nil when the call is not a
+// static call to a declared function (builtins, interface dispatch,
+// function values); seeds may still classify it from the CallExpr.
+type edge struct {
+	call   *ast.CallExpr
+	callee *types.Func
+}
+
+// buildGraph collects a node per function declared in the pass's non-test
+// files, with call edges in source order.
+func buildGraph(pass *analysis.Pass) []*funcNode {
+	var nodes []*funcNode
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[decl.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			n := &funcNode{fn: fn, decl: decl}
+			ast.Inspect(decl.Body, func(x ast.Node) bool {
+				if call, ok := x.(*ast.CallExpr); ok {
+					n.edges = append(n.edges, edge{call: call, callee: staticCallee(pass.TypesInfo, call)})
+				}
+				return true
+			})
+			nodes = append(nodes, n)
+		}
+	}
+	return nodes
+}
+
+// propagate runs the taint fixed point over nodes. seed classifies a call
+// site as directly tainted (returning the terminal description for the
+// chain); imported looks up a taint fact on a callee from another
+// package. Same-package taint flows through the node map. Chains are
+// deterministic: the first qualifying edge in source order wins and a
+// node's chain never changes once set.
+func propagate(pass *analysis.Pass, nodes []*funcNode,
+	seed func(*ast.CallExpr, *types.Func) (string, bool),
+	imported func(*types.Func) (string, bool)) {
+
+	byFn := make(map[*types.Func]*funcNode, len(nodes))
+	for _, n := range nodes {
+		byFn[n.fn] = n
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range nodes {
+			if n.via != "" {
+				continue
+			}
+			for _, e := range n.edges {
+				if desc, ok := seed(e.call, e.callee); ok {
+					n.via = funcDisplay(pass, n.fn) + " -> " + desc
+					changed = true
+					break
+				}
+				if e.callee == nil {
+					continue
+				}
+				if e.callee.Pkg() == pass.Pkg {
+					if m := byFn[e.callee]; m != nil && m.via != "" {
+						n.via = funcDisplay(pass, n.fn) + " -> " + m.via
+						changed = true
+						break
+					}
+				} else if via, ok := imported(e.callee); ok {
+					n.via = funcDisplay(pass, n.fn) + " -> " + via
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// staticCallee resolves call to the declared function or concrete method
+// it invokes, or nil for builtins, interface dispatch, and calls through
+// function values. Instantiated generics are normalized to their origin
+// object — declarations define origins, so graph edges and facts must
+// key on them.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	fn, _ := typeutil.Callee(info, call).(*types.Func)
+	if fn != nil {
+		fn = fn.Origin()
+	}
+	return fn
+}
+
+// funcDisplay renders fn for taint chains: "(*WOR[T]).SampleAt" for
+// methods, "pkg.New" for cross-package functions, "new" locally.
+func funcDisplay(pass *analysis.Pass, fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		return "(" + types.TypeString(sig.Recv().Type(), types.RelativeTo(pass.Pkg)) + ")." + fn.Name()
+	}
+	if fn.Pkg() != nil && fn.Pkg() != pass.Pkg {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// interestingPkg gates fact computation to this repository's packages
+// (and the fixture modules, whose paths embed "slidingsample" for this
+// purpose). The vet driver runs swlint over every dependency, including
+// the standard library; without the gate errsurface would chase panics
+// through encoding/json and friends, drowning the repo-specific contract
+// in unfixable noise.
+func interestingPkg(path string) bool {
+	return strings.Contains(path, "slidingsample")
+}
+
+// pkgPathHasSuffix reports whether path is exactly suffix or ends with
+// "/"+suffix — path-segment-aware matching so fixture module paths mirror
+// real package scoping.
+func pkgPathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}

@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// DetRand enforces the determinism substrate: the only source of
+// randomness is seeded internal/xrand, and library code never consults
+// the wall clock. A math/rand draw (unseeded, global state) or a
+// time.Now-derived timestamp silently voids the uniformity guarantees
+// (paper Theorems 2.1/2.2) and the replayability every conformance test
+// depends on. crypto/rand is banned too: entropy is allowed only at the
+// explicitly annotated default-seed bootstrap, never on a sampling path.
+var DetRand = &analysis.Analyzer{
+	Name: "detrand",
+	Doc: "forbid math/rand, math/rand/v2, crypto/rand imports and time.Now/Since/Until calls " +
+		"in non-test code; randomness must come from seeded internal/xrand and time from " +
+		"caller-supplied timestamps",
+	Run: runDetRand,
+}
+
+// bannedImports maps import path to the reason it is banned.
+var bannedImports = map[string]string{
+	"math/rand":    "global, wall-clock-seeded generator",
+	"math/rand/v2": "global generator outside the seeded substrate",
+	"crypto/rand":  "nondeterministic entropy",
+}
+
+// bannedTimeFuncs are the wall-clock reads; timestamps must flow in from
+// the caller (or the harness's annotated timing sections).
+var bannedTimeFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func runDetRand(pass *analysis.Pass) (any, error) {
+	al := collectAllows(pass, "detrand")
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, banned := bannedImports[path]; banned {
+				al.report(imp.Pos(), "detrand: import of %s (%s); draw from seeded internal/xrand instead", path, why)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := staticCallee(pass.TypesInfo, call)
+			if callee == nil || callee.Pkg() == nil {
+				return true
+			}
+			if callee.Pkg().Path() == "time" && bannedTimeFuncs[callee.Name()] {
+				al.report(call.Pos(), "detrand: call to time.%s in library code; timestamps must be caller-supplied (deterministic replay)", callee.Name())
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

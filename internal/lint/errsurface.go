@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// ErrSurface enforces the PR 5 rule that the public surface speaks
+// errors (ErrBadWeight, ErrClosed, ErrOverloaded, ...) and HTTP status
+// codes, never bare panics. It reports any panic statically reachable
+// from an exported function or method of the public root package, or
+// from internal/serve's exported API and handle* endpoints, unless the
+// panic is a *named internal panic*: a constant message carrying the
+// repository's "pkg: ..." prefix convention, the documented
+// can't-happen invariant panics (e.g. "parallel: shard/window size
+// invariant violated"). Reachability is static-call only; panics behind
+// interface dispatch stay covered by the conformance batteries.
+var ErrSurface = &analysis.Analyzer{
+	Name: "errsurface",
+	Doc: "report bare panics (non-constant or missing the \"pkg: ...\" named-panic prefix) " +
+		"reachable from exported root-package functions or internal/serve handlers; the " +
+		"public surface returns errors, never panics",
+	Run:       runErrSurface,
+	FactTypes: []analysis.Fact{(*mayPanicBare)(nil)},
+}
+
+// mayPanicBare marks a function that can statically reach a panic whose
+// argument is not a named internal panic; Via records one witness chain.
+type mayPanicBare struct {
+	Via string
+}
+
+func (*mayPanicBare) AFact()           {}
+func (f *mayPanicBare) String() string { return "mayPanicBare(" + f.Via + ")" }
+
+// namedPanicRE matches the repository's named-panic convention: a
+// constant string starting with a lowercase package tag and ": ".
+var namedPanicRE = regexp.MustCompile(`^[a-z][a-zA-Z0-9_./-]*: `)
+
+// errSurfacePkg classifies the packages with an enforced error surface:
+// the public root package (every exported function/method) and
+// internal/serve (exported API plus the handle* HTTP endpoints).
+func errSurfacePkg(path string) (root, serve bool) {
+	return pkgPathHasSuffix(path, "slidingsample"), pkgPathHasSuffix(path, "internal/serve")
+}
+
+func runErrSurface(pass *analysis.Pass) (any, error) {
+	if !interestingPkg(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	al := collectAllows(pass, "errsurface")
+	nodes := buildGraph(pass)
+
+	seed := func(call *ast.CallExpr, callee *types.Func) (string, bool) {
+		if callee != nil {
+			return "", false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "panic" {
+			return "", false
+		}
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+			return "", false
+		}
+		if len(call.Args) == 1 && isNamedPanicArg(pass, call.Args[0]) {
+			return "", false
+		}
+		return "bare panic at " + shortPos(pass.Fset, call.Pos()), true
+	}
+	imported := func(callee *types.Func) (string, bool) {
+		var f mayPanicBare
+		if pass.ImportObjectFact(callee, &f) {
+			return f.Via, true
+		}
+		return "", false
+	}
+	propagate(pass, nodes, seed, imported)
+
+	for _, n := range nodes {
+		if n.via != "" {
+			fact := &mayPanicBare{Via: n.via}
+			pass.ExportObjectFact(n.fn, fact)
+		}
+	}
+	isRoot, isServe := errSurfacePkg(pass.Pkg.Path())
+	if !isRoot && !isServe {
+		return nil, nil
+	}
+	for _, n := range nodes {
+		if n.via == "" {
+			continue
+		}
+		entry := n.fn.Exported() || (isServe && strings.HasPrefix(n.fn.Name(), "handle"))
+		if !entry {
+			continue
+		}
+		al.report(n.decl.Name.Pos(),
+			"%s can reach a bare panic: %s (public surface returns errors; internal invariant panics must be constant \"pkg: ...\" strings)",
+			funcDisplay(pass, n.fn), n.via)
+	}
+	return nil, nil
+}
+
+// isNamedPanicArg reports whether a panic argument follows the named
+// internal panic convention: a constant "pkg: ..." string, possibly
+// built by string concatenation or fmt.Sprintf/Errorf with a constant
+// "pkg: ..." format.
+func isNamedPanicArg(pass *analysis.Pass, arg ast.Expr) bool {
+	if tv, ok := pass.TypesInfo.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return namedPanicRE.MatchString(constant.StringVal(tv.Value))
+	}
+	switch e := arg.(type) {
+	case *ast.ParenExpr:
+		return isNamedPanicArg(pass, e.X)
+	case *ast.BinaryExpr:
+		if e.Op == token.ADD {
+			return isNamedPanicArg(pass, e.X)
+		}
+	case *ast.CallExpr:
+		callee := staticCallee(pass.TypesInfo, e)
+		if callee != nil && callee.Pkg() != nil && callee.Pkg().Path() == "fmt" &&
+			(callee.Name() == "Sprintf" || callee.Name() == "Errorf") && len(e.Args) > 0 {
+			return isNamedPanicArg(pass, e.Args[0])
+		}
+	}
+	return false
+}
+
+func shortPos(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}

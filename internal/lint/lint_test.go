@@ -1,0 +1,233 @@
+package lint_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The fixture harness: each directory under testdata/ is a self-contained
+// Go module (its own go.mod, so the parent ./... never builds it) seeded
+// with violations annotated analysistest-style:
+//
+//	s.rng.Uint64() // want `query path .* draws randomness`
+//
+// The harness builds cmd/swlint, runs `go vet -vettool=swlint -json ./...`
+// inside the fixture module, and demands an exact match: every diagnostic
+// must be claimed by a want regexp on its exact file:line, and every want
+// must be claimed by exactly one diagnostic. This proves both directions
+// of the gate: seeded violations make vet exit non-zero with the expected
+// report, and clean code (and honored //swlint:allow directives) stay
+// silent.
+
+// wantRE matches a want annotation; quoted chunks are Go-quoted regexps.
+var (
+	wantRE  = regexp.MustCompile(`// want (.*)$`)
+	chunkRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+)
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// vetDiag is one diagnostic in `go vet -json` output, keyed as
+// package -> analyzer -> diagnostics.
+type vetDiag struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+func TestAnalyzers(t *testing.T) {
+	swlint := buildSwlint(t)
+	fixtures, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatalf("reading testdata: %v", err)
+	}
+	ran := 0
+	for _, fx := range fixtures {
+		if !fx.IsDir() {
+			continue
+		}
+		ran++
+		t.Run(fx.Name(), func(t *testing.T) {
+			runFixture(t, swlint, filepath.Join("testdata", fx.Name()))
+		})
+	}
+	if ran < 5 {
+		t.Fatalf("expected at least 5 fixture modules (one per analyzer plus allow semantics), found %d", ran)
+	}
+}
+
+// buildSwlint compiles the vettool once per test binary.
+func buildSwlint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "swlint")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/swlint")
+	cmd.Dir = "../.."
+	cmd.Env = fixtureEnv()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building swlint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func fixtureEnv() []string {
+	return append(os.Environ(), "GOFLAGS=-mod=mod", "GOPROXY=off", "GOWORK=off")
+}
+
+func runFixture(t *testing.T, swlint, dir string) {
+	t.Helper()
+	absTool, err := filepath.Abs(swlint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := collectWants(t, dir)
+
+	cmd := exec.Command("go", "vet", "-vettool="+absTool, "-json", "./...")
+	cmd.Dir = dir
+	cmd.Env = fixtureEnv()
+	out, err := cmd.CombinedOutput()
+	diags, perr := parseVetJSON(out)
+	if perr != nil {
+		t.Fatalf("go vet output not parseable (%v; vet err %v):\n%s", perr, err, out)
+	}
+	// -json mode always exits 0; prove the gate actually fails the build
+	// on seeded violations with a plain (non-JSON) run.
+	if len(diags) > 0 {
+		plain := exec.Command("go", "vet", "-vettool="+absTool, "./...")
+		plain.Dir = dir
+		plain.Env = fixtureEnv()
+		if pout, perr := plain.CombinedOutput(); perr == nil {
+			t.Errorf("go vet exited 0 despite %d diagnostics; the gate would not fail the build\n%s", len(diags), pout)
+		}
+	}
+
+	for _, d := range diags {
+		file, line, ok := splitPosn(d.Posn)
+		if !ok {
+			t.Errorf("unparseable position %q for %q", d.Posn, d.Message)
+			continue
+		}
+		key := file + ":" + strconv.Itoa(line)
+		claimed := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected diagnostic at %s: %s", key, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("no diagnostic at %s matching %q", key, w.re)
+			}
+		}
+	}
+}
+
+// collectWants scans every .go file in the fixture for want annotations,
+// keyed by "absfile:line".
+func collectWants(t *testing.T, dir string) map[string][]*expectation {
+	t.Helper()
+	wants := make(map[string][]*expectation)
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		abs, err := filepath.Abs(path)
+		if err != nil {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, lineText := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(lineText)
+			if m == nil {
+				continue
+			}
+			key := abs + ":" + strconv.Itoa(i+1)
+			chunks := chunkRE.FindAllString(m[1], -1)
+			if len(chunks) == 0 {
+				return fmt.Errorf("%s:%d: want annotation with no quoted regexps", path, i+1)
+			}
+			for _, chunk := range chunks {
+				pat, err := unquoteChunk(chunk)
+				if err != nil {
+					return fmt.Errorf("%s:%d: bad want chunk %s: %v", path, i+1, chunk, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return fmt.Errorf("%s:%d: bad want regexp %q: %v", path, i+1, pat, err)
+				}
+				wants[key] = append(wants[key], &expectation{re: re})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("collecting wants: %v", err)
+	}
+	return wants
+}
+
+func unquoteChunk(chunk string) (string, error) {
+	if strings.HasPrefix(chunk, "`") {
+		return strings.Trim(chunk, "`"), nil
+	}
+	return strconv.Unquote(chunk)
+}
+
+// parseVetJSON decodes `go vet -json` output: '#' comment lines
+// interleaved with pretty-printed JSON objects mapping
+// package -> analyzer -> []diagnostic.
+func parseVetJSON(out []byte) ([]vetDiag, error) {
+	var jsonLines []string
+	for _, line := range strings.Split(string(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		jsonLines = append(jsonLines, line)
+	}
+	dec := json.NewDecoder(strings.NewReader(strings.Join(jsonLines, "\n")))
+	var diags []vetDiag
+	for dec.More() {
+		var obj map[string]map[string][]vetDiag
+		if err := dec.Decode(&obj); err != nil {
+			return nil, err
+		}
+		for _, byAnalyzer := range obj {
+			for _, ds := range byAnalyzer {
+				diags = append(diags, ds...)
+			}
+		}
+	}
+	return diags, nil
+}
+
+// splitPosn splits "file:line:col" (the file may contain colons only on
+// exotic platforms; trailing two fields are numeric).
+func splitPosn(posn string) (file string, line int, ok bool) {
+	parts := strings.Split(posn, ":")
+	if len(parts) < 3 {
+		return "", 0, false
+	}
+	line, err := strconv.Atoi(parts[len(parts)-2])
+	if err != nil {
+		return "", 0, false
+	}
+	return strings.Join(parts[:len(parts)-2], ":"), line, true
+}

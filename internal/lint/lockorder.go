@@ -1,0 +1,738 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// LockOrder checks lock discipline against the hierarchy declared in
+// internal/serve/instance.go. Three families of checks:
+//
+//  1. Acquisition order. Walking each function linearly (forking at
+//     branches; a branch that terminates in return/panic does not leak
+//     its lock state into the continuation), the analyzer tracks which
+//     ranked locks are held and reports acquiring a lock whose declared
+//     rank is not strictly greater than every held lock's, any
+//     acquisition while a leaf lock is held, and re-acquiring a held
+//     lock. Intra-package static calls are checked one level deep via a
+//     transitive set of locks each function may acquire.
+//
+//  2. Mutex value copies: assignments, call arguments, return values,
+//     range element variables, and value receivers whose type contains a
+//     sync.Mutex or sync.RWMutex.
+//
+//  3. Manual Lock/Unlock shape: a lock manually unlocked at two or more
+//     syntactic sites in one function (the split-return-path shape that
+//     invites a missed unlock on the next edit) and a lock acquired but
+//     never released (no manual unlock, no defer). Deliberate manual
+//     pairs — the applier loop must release qmu before blocking on mu —
+//     carry a //swlint:allow with the reason.
+//
+// The walker is syntactic and per-goroutine: `go` statements and calls
+// through interfaces/function values are not followed, and sync.Cond.Wait
+// (which unlocks internally) is treated as a plain call. Those dynamics
+// stay covered by the -race gates.
+var LockOrder = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "check lock acquisition order against the declared serve hierarchy " +
+		"(Server.mu < Instance.mu < Instance.qmu < leaves), flag mutex value copies, " +
+		"never-released locks, and manual Lock/Unlock pairs split across return paths",
+	Run: runLockOrder,
+}
+
+// lockRank is one entry in the declared hierarchy. Locks must be
+// acquired in strictly increasing order; a leaf lock must be innermost
+// (nothing may be acquired while it is held).
+type lockRank struct {
+	order int
+	leaf  bool
+}
+
+// lockHierarchy declares the serve lock order, keyed by struct type name
+// then field name. Server.mu is the registry lock, outermost; Instance.mu
+// guards sampler state; Instance.qmu guards the ingest queue; oracleMu is
+// a strict leaf. statsMu is declared pre-emptively: Instance currently
+// publishes stats through the statsClean atomic, but if a stats mutex
+// ever appears it is leaf by contract.
+var lockHierarchy = map[string]map[string]lockRank{
+	"Server": {
+		"mu": {order: 0},
+	},
+	"Instance": {
+		"mu":       {order: 1},
+		"qmu":      {order: 2},
+		"oracleMu": {order: 3, leaf: true},
+		"statsMu":  {order: 3, leaf: true},
+	},
+}
+
+type lockOp int
+
+const (
+	opNone lockOp = iota
+	opLock
+	opRLock
+	opUnlock
+	opRUnlock
+)
+
+var lockMethodOps = map[string]lockOp{
+	"Lock":    opLock,
+	"RLock":   opRLock,
+	"Unlock":  opUnlock,
+	"RUnlock": opRUnlock,
+}
+
+// lockUse identifies one mutex operand. key is the field or variable
+// object when resolvable (stable across mentions), else the display name.
+type lockUse struct {
+	key  any
+	name string
+	rank *lockRank
+}
+
+type heldLock struct {
+	use      lockUse
+	read     bool
+	deferred bool // unlock is deferred: stays held to function end
+	pos      token.Pos
+}
+
+// lockCounters aggregates, per mutex per function, the rule-3 evidence.
+// Write and read halves are tracked separately so an RLock fast path and
+// a deferred write unlock don't mask each other.
+type lockCounters struct {
+	name                   string
+	firstLockW, firstLockR token.Pos
+	locksW, locksR         int
+	manualW, manualR       int
+	deferW, deferR         int
+}
+
+type lockChecker struct {
+	pass *analysis.Pass
+	al   *allows
+	// acquires maps each package function to the set of ranked locks it
+	// (transitively, through same-package static calls) may acquire.
+	acquires map[*types.Func]map[any]lockUse
+	// per-function state, reset by checkFunc:
+	counters map[any]*lockCounters
+	funcName string
+}
+
+func runLockOrder(pass *analysis.Pass) (any, error) {
+	if !interestingPkg(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	c := &lockChecker{pass: pass, al: collectAllows(pass, "lockorder")}
+	c.buildAcquires()
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		c.copyChecks(f)
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			c.checkFunc(funcDeclDisplay(pass, decl), decl.Body)
+			// Function literals run with their own (goroutine or callback)
+			// lock context, so each body is checked as its own scope.
+			for _, lit := range funcLitsIn(decl.Body) {
+				c.checkFunc(funcDeclDisplay(pass, decl)+" (func literal)", lit.Body)
+			}
+		}
+	}
+	return nil, nil
+}
+
+func funcDeclDisplay(pass *analysis.Pass, decl *ast.FuncDecl) string {
+	if fn, ok := pass.TypesInfo.Defs[decl.Name].(*types.Func); ok {
+		return funcDisplay(pass, fn)
+	}
+	return decl.Name.Name
+}
+
+// funcLitsIn returns every function literal in body, outermost first
+// (nested literals are returned too; checkFunc skips literal subtrees so
+// each body is walked exactly once).
+func funcLitsIn(body *ast.BlockStmt) []*ast.FuncLit {
+	var lits []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			lits = append(lits, lit)
+		}
+		return true
+	})
+	return lits
+}
+
+// classifyLock resolves call as a mutex Lock/RLock/Unlock/RUnlock method
+// call and identifies the operand.
+func (c *lockChecker) classifyLock(call *ast.CallExpr) (lockOp, lockUse) {
+	callee := staticCallee(c.pass.TypesInfo, call)
+	if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync" {
+		return opNone, lockUse{}
+	}
+	op, ok := lockMethodOps[callee.Name()]
+	if !ok {
+		return opNone, lockUse{}
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return opNone, lockUse{}
+	}
+	return op, c.lockUseOf(sel.X)
+}
+
+// lockUseOf identifies the mutex operand expression: its stable key, a
+// display name, and its declared rank (nil when untracked).
+func (c *lockChecker) lockUseOf(e ast.Expr) lockUse {
+	switch x := e.(type) {
+	case *ast.SelectorExpr: // recv.field — the hierarchy's shape
+		use := lockUse{name: x.Sel.Name}
+		if obj := c.pass.TypesInfo.Uses[x.Sel]; obj != nil {
+			use.key = obj
+		}
+		if t := c.pass.TypesInfo.TypeOf(x.X); t != nil {
+			if p, ok := types.Unalias(t).(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := types.Unalias(t).(*types.Named); ok {
+				owner := named.Obj().Name()
+				use.name = owner + "." + x.Sel.Name
+				if fields, ok := lockHierarchy[owner]; ok {
+					if r, ok := fields[x.Sel.Name]; ok {
+						use.rank = &r
+					}
+				}
+			}
+		}
+		if use.key == nil {
+			use.key = use.name
+		}
+		return use
+	case *ast.Ident:
+		use := lockUse{name: x.Name}
+		if obj := c.pass.TypesInfo.Uses[x]; obj != nil {
+			use.key = obj
+		} else {
+			use.key = x.Name
+		}
+		return use
+	default:
+		return lockUse{key: "<expr>", name: "mutex"}
+	}
+}
+
+// buildAcquires computes, for every function declared in this package,
+// the set of locks it may acquire, directly or through same-package
+// static calls (fixed point). Function literals are excluded: their
+// acquisitions happen when the literal runs, not when the enclosing
+// function is called.
+func (c *lockChecker) buildAcquires() {
+	c.acquires = make(map[*types.Func]map[any]lockUse)
+	type fnBody struct {
+		fn    *types.Func
+		calls []*types.Func
+	}
+	var fns []fnBody
+	for _, f := range c.pass.Files {
+		if isTestFile(c.pass.Fset, f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			fn, ok := c.pass.TypesInfo.Defs[decl.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			direct := make(map[any]lockUse)
+			var calls []*types.Func
+			ast.Inspect(decl.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if op, use := c.classifyLock(call); op == opLock || op == opRLock {
+					direct[use.key] = use
+				} else if callee := staticCallee(c.pass.TypesInfo, call); callee != nil && callee.Pkg() == c.pass.Pkg {
+					calls = append(calls, callee)
+				}
+				return true
+			})
+			c.acquires[fn] = direct
+			fns = append(fns, fnBody{fn: fn, calls: calls})
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fb := range fns {
+			set := c.acquires[fb.fn]
+			for _, callee := range fb.calls {
+				for k, use := range c.acquires[callee] {
+					if _, ok := set[k]; !ok {
+						set[k] = use
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkFunc runs the held-lock walk and rule-3 counters over one body.
+func (c *lockChecker) checkFunc(name string, body *ast.BlockStmt) {
+	c.funcName = name
+	c.counters = make(map[any]*lockCounters)
+	c.stmts(body.List, nil)
+	for _, ctr := range c.counters {
+		c.ruleThree(ctr)
+	}
+}
+
+func (c *lockChecker) ruleThree(ctr *lockCounters) {
+	if ctr.locksW > 0 {
+		switch {
+		case ctr.manualW >= 2:
+			c.al.report(ctr.firstLockW, "%s is manually unlocked at %d sites in %s (unlock split across return paths); use defer, or annotate why the pair must stay manual", ctr.name, ctr.manualW, c.funcName)
+		case ctr.manualW == 0 && ctr.deferW == 0:
+			c.al.report(ctr.firstLockW, "%s is locked but never released in %s", ctr.name, c.funcName)
+		}
+	}
+	if ctr.locksR > 0 {
+		switch {
+		case ctr.manualR >= 2:
+			c.al.report(ctr.firstLockR, "%s is manually RUnlocked at %d sites in %s (unlock split across return paths); use defer, or annotate why the pair must stay manual", ctr.name, ctr.manualR, c.funcName)
+		case ctr.manualR == 0 && ctr.deferR == 0:
+			c.al.report(ctr.firstLockR, "%s is RLocked but never released in %s", ctr.name, c.funcName)
+		}
+	}
+}
+
+func (c *lockChecker) counterFor(use lockUse) *lockCounters {
+	ctr, ok := c.counters[use.key]
+	if !ok {
+		ctr = &lockCounters{name: use.name}
+		c.counters[use.key] = ctr
+	}
+	return ctr
+}
+
+// stmts walks a statement list with the given held set, returning the
+// held set at the fall-through point and whether the list terminates
+// (every path ends in return/branch/panic before falling through).
+func (c *lockChecker) stmts(list []ast.Stmt, held []heldLock) ([]heldLock, bool) {
+	for _, s := range list {
+		var term bool
+		held, term = c.stmt(s, held)
+		if term {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func (c *lockChecker) stmt(s ast.Stmt, held []heldLock) ([]heldLock, bool) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return c.stmts(s.List, held)
+	case *ast.ExprStmt:
+		return c.exprCalls(s.X, held), false
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			held = c.exprCalls(e, held)
+		}
+		return held, false
+	case *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.EmptyStmt:
+		return c.scanGeneric(s, held), false
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			held = c.exprCalls(e, held)
+		}
+		return held, true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the enclosing construct; for merge
+		// purposes treat like return (conservative).
+		return held, true
+	case *ast.DeferStmt:
+		return c.deferStmt(s, held), false
+	case *ast.GoStmt:
+		// Runs concurrently: its lock operations belong to the spawned
+		// goroutine (checked via the function-literal pass), not here.
+		return held, false
+	case *ast.LabeledStmt:
+		return c.stmt(s.Stmt, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held, _ = c.stmt(s.Init, held)
+		}
+		held = c.exprCalls(s.Cond, held)
+		bodyHeld, bodyTerm := c.stmts(s.Body.List, cloneHeld(held))
+		elseHeld, elseTerm := cloneHeld(held), false
+		if s.Else != nil {
+			elseHeld, elseTerm = c.stmt(s.Else, elseHeld)
+		}
+		switch {
+		case bodyTerm && elseTerm:
+			return held, true
+		case bodyTerm:
+			return elseHeld, false
+		case elseTerm:
+			return bodyHeld, false
+		default:
+			return unionHeld(bodyHeld, elseHeld), false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held, _ = c.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			held = c.exprCalls(s.Cond, held)
+		}
+		bodyHeld, _ := c.stmts(s.Body.List, cloneHeld(held))
+		return unionHeld(held, bodyHeld), false
+	case *ast.RangeStmt:
+		held = c.exprCalls(s.X, held)
+		bodyHeld, _ := c.stmts(s.Body.List, cloneHeld(held))
+		return unionHeld(held, bodyHeld), false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return c.branches(s, held)
+	default:
+		return c.scanGeneric(s, held), false
+	}
+}
+
+// branches handles switch/type-switch/select: each clause forks from the
+// pre-state; the continuation is the union of non-terminating clauses
+// (plus the pre-state, since no clause may run without a default).
+func (c *lockChecker) branches(s ast.Stmt, held []heldLock) ([]heldLock, bool) {
+	var clauses []ast.Stmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held, _ = c.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			held = c.exprCalls(s.Tag, held)
+		}
+		clauses = s.Body.List
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			held, _ = c.stmt(s.Init, held)
+		}
+		clauses = s.Body.List
+	case *ast.SelectStmt:
+		clauses = s.Body.List
+	}
+	out := cloneHeld(held)
+	allTerm := len(clauses) > 0
+	for _, cl := range clauses {
+		var body []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			body = cl.Body
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			}
+			body = cl.Body
+		}
+		clHeld, clTerm := c.stmts(body, cloneHeld(held))
+		if !clTerm {
+			out = unionHeld(out, clHeld)
+			allTerm = false
+		}
+	}
+	// A select with no default always runs some clause; if every clause
+	// terminates, so does the select. (Same for an exhaustive switch, but
+	// without default we cannot know it is exhaustive.)
+	if allTerm && hasDefault {
+		return held, true
+	}
+	return out, false
+}
+
+// scanGeneric applies exprCalls to every expression nested in a statement
+// the dispatcher has no structural interest in.
+func (c *lockChecker) scanGeneric(s ast.Stmt, held []heldLock) []heldLock {
+	ast.Inspect(s, func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok {
+			held = c.exprCalls(e, held)
+			return false
+		}
+		return true
+	})
+	return held
+}
+
+// deferStmt registers deferred unlocks (including the defer-func-literal
+// wrapper shape): the lock stays held to function end, and the deferred
+// unlock satisfies rule 3.
+func (c *lockChecker) deferStmt(s *ast.DeferStmt, held []heldLock) []heldLock {
+	markDeferred := func(op lockOp, use lockUse) []heldLock {
+		ctr := c.counterFor(use)
+		if op == opUnlock {
+			ctr.deferW++
+		} else {
+			ctr.deferR++
+		}
+		for i := len(held) - 1; i >= 0; i-- {
+			if held[i].use.key == use.key && !held[i].deferred {
+				held[i].deferred = true
+				break
+			}
+		}
+		return held
+	}
+	if op, use := c.classifyLock(s.Call); op == opUnlock || op == opRUnlock {
+		return markDeferred(op, use)
+	}
+	if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if op, use := c.classifyLock(call); op == opUnlock || op == opRUnlock {
+					held = markDeferred(op, use)
+				}
+			}
+			return true
+		})
+	}
+	return held
+}
+
+// exprCalls processes every call in e (function literals excluded) in
+// evaluation order: lock operations update the held set and counters,
+// other static same-package calls are checked against their transitive
+// acquire sets.
+func (c *lockChecker) exprCalls(e ast.Expr, held []heldLock) []heldLock {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch op, use := c.classifyLock(call); op {
+		case opLock, opRLock:
+			held = c.acquire(call.Pos(), use, op == opRLock, held)
+		case opUnlock, opRUnlock:
+			held = c.release(use, op == opRUnlock, held)
+		default:
+			if callee := staticCallee(c.pass.TypesInfo, call); callee != nil && callee.Pkg() == c.pass.Pkg && len(held) > 0 {
+				c.checkCallee(call.Pos(), callee, held)
+			}
+		}
+		return true
+	})
+	return held
+}
+
+func (c *lockChecker) acquire(pos token.Pos, use lockUse, read bool, held []heldLock) []heldLock {
+	ctr := c.counterFor(use)
+	if read {
+		ctr.locksR++
+		if !ctr.firstLockR.IsValid() {
+			ctr.firstLockR = pos
+		}
+	} else {
+		ctr.locksW++
+		if !ctr.firstLockW.IsValid() {
+			ctr.firstLockW = pos
+		}
+	}
+	for _, h := range held {
+		if h.use.key == use.key {
+			c.al.report(pos, "%s acquires %s while already holding it (self-deadlock)", c.funcName, use.name)
+			continue
+		}
+		if h.use.rank != nil && h.use.rank.leaf {
+			c.al.report(pos, "%s acquires %s while holding leaf lock %s (leaf locks must be innermost; see the hierarchy in internal/serve/instance.go)", c.funcName, use.name, h.use.name)
+			continue
+		}
+		if use.rank != nil && h.use.rank != nil && h.use.rank.order >= use.rank.order {
+			c.al.report(pos, "%s acquires %s (rank %d) while holding %s (rank %d); declared order is Server.mu < Instance.mu < Instance.qmu < leaves", c.funcName, use.name, use.rank.order, h.use.name, h.use.rank.order)
+		}
+	}
+	return append(held, heldLock{use: use, read: read, pos: pos})
+}
+
+func (c *lockChecker) release(use lockUse, read bool, held []heldLock) []heldLock {
+	ctr := c.counterFor(use)
+	if read {
+		ctr.manualR++
+	} else {
+		ctr.manualW++
+	}
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i].use.key == use.key && held[i].read == read && !held[i].deferred {
+			return append(held[:i:i], held[i+1:]...)
+		}
+	}
+	return held
+}
+
+// checkCallee applies the order rules to every lock the callee may
+// transitively acquire, reported at the call site.
+func (c *lockChecker) checkCallee(pos token.Pos, callee *types.Func, held []heldLock) {
+	for _, use := range c.acquires[callee] {
+		for _, h := range held {
+			if h.use.key == use.key {
+				c.al.report(pos, "%s calls %s, which acquires %s while %[1]s already holds it (self-deadlock)", c.funcName, callee.Name(), use.name)
+				continue
+			}
+			if h.use.rank != nil && h.use.rank.leaf {
+				c.al.report(pos, "%s calls %s, which acquires %s while leaf lock %s is held (leaf locks must be innermost)", c.funcName, callee.Name(), use.name, h.use.name)
+				continue
+			}
+			if use.rank != nil && h.use.rank != nil && h.use.rank.order >= use.rank.order {
+				c.al.report(pos, "%s calls %s, which acquires %s (rank %d) while %s (rank %d) is held; declared order is Server.mu < Instance.mu < Instance.qmu < leaves", c.funcName, callee.Name(), use.name, use.rank.order, h.use.name, h.use.rank.order)
+			}
+		}
+	}
+}
+
+func cloneHeld(held []heldLock) []heldLock {
+	return append([]heldLock(nil), held...)
+}
+
+func unionHeld(a, b []heldLock) []heldLock {
+	out := cloneHeld(a)
+	for _, h := range b {
+		found := false
+		for _, g := range out {
+			if g.use.key == h.use.key && g.read == h.read {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// ---- mutex value copies ----
+
+func (c *lockChecker) copyChecks(f *ast.File) {
+	for _, d := range f.Decls {
+		if decl, ok := d.(*ast.FuncDecl); ok && decl.Recv != nil && len(decl.Recv.List) > 0 {
+			rt := c.pass.TypesInfo.TypeOf(decl.Recv.List[0].Type)
+			if rt != nil {
+				if _, isPtr := types.Unalias(rt).(*types.Pointer); !isPtr && containsMutex(rt) {
+					c.al.report(decl.Recv.Pos(), "method %s has a value receiver of type %s, which contains a sync mutex; use a pointer receiver", decl.Name.Name, types.TypeString(rt, types.RelativeTo(c.pass.Pkg)))
+				}
+			}
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, e := range n.Rhs {
+				c.reportLockCopy(e, "assignment copies")
+			}
+		case *ast.CallExpr:
+			if staticCallee(c.pass.TypesInfo, n) == nil {
+				return true // builtins (len, append, ...) don't copy
+			}
+			for _, arg := range n.Args {
+				c.reportLockCopy(arg, "call passes")
+			}
+		case *ast.ReturnStmt:
+			for _, e := range n.Results {
+				c.reportLockCopy(e, "return copies")
+			}
+		case *ast.RangeStmt:
+			if n.Value != nil {
+				if t := c.pass.TypesInfo.TypeOf(n.Value); t != nil && containsMutex(t) {
+					c.al.report(n.Value.Pos(), "range copies a lock: element type %s contains a sync mutex; iterate by index or over pointers", types.TypeString(t, types.RelativeTo(c.pass.Pkg)))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// reportLockCopy flags e when it reads an existing mutex-containing value
+// (composite literals build fresh zero-valued locks and are fine; &x and
+// calls don't copy at this site).
+func (c *lockChecker) reportLockCopy(e ast.Expr, what string) {
+	switch e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return
+	}
+	t := c.pass.TypesInfo.TypeOf(e)
+	if t == nil || !containsMutex(t) {
+		return
+	}
+	if obj, ok := c.pass.TypesInfo.Uses[rootIdent(e)].(*types.TypeName); ok && obj != nil {
+		return // a type conversion operand like T(x), not a value read
+	}
+	c.al.report(e.Pos(), "%s a lock by value: %s contains a sync mutex; use a pointer", what, types.TypeString(t, types.RelativeTo(c.pass.Pkg)))
+}
+
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			return x.Sel
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return &ast.Ident{}
+		}
+	}
+}
+
+// containsMutex reports whether t is, or transitively embeds by value, a
+// sync.Mutex or sync.RWMutex. Pointers, slices, maps, channels, and
+// interfaces are boundaries: the lock is shared, not copied.
+func containsMutex(t types.Type) bool {
+	return containsMutexRec(t, make(map[types.Type]bool))
+}
+
+func containsMutexRec(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	t = types.Unalias(t)
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && (obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+			return true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsMutexRec(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsMutexRec(u.Elem(), seen)
+	}
+	return false
+}

@@ -1,0 +1,4 @@
+// Fixture module for the //swlint:allow directive semantics themselves.
+module slidingsample.fixture/allow
+
+go 1.24

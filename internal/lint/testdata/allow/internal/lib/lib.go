@@ -1,0 +1,42 @@
+// Package lib pins the suppression contract of //swlint:allow: strictly
+// line-scoped, reason mandatory, analyzer name checked.
+package lib
+
+import "time"
+
+// sameLine: a trailing allow covers its own line and ONLY its own line —
+// the violation on the next line is still reported.
+func sameLine(t0 time.Time) (time.Time, time.Duration) {
+	n := time.Now()     //swlint:allow detrand fixture: same-line suppression
+	d := time.Since(t0) // want `detrand: call to time\.Since`
+	return n, d
+}
+
+// standalone: a directive on its own line covers exactly the next line;
+// it does not cascade to the line after.
+func standalone(t0 time.Time) (time.Time, time.Duration) {
+	//swlint:allow detrand fixture: covers the next line only
+	n := time.Now()
+	d := time.Since(t0) // want `detrand: call to time\.Since`
+	return n, d
+}
+
+// reasonless: an allow with no reason is itself reported by the analyzer
+// it names, and suppresses nothing.
+func reasonless() int64 {
+	//swlint:allow detrand // want `swlint:allow detrand is missing a reason`
+	return time.Now().UnixNano() // want `detrand: call to time\.Now`
+}
+
+// unknown: naming a nonexistent analyzer is reported (once, by the
+// directive owner) and suppresses nothing.
+func unknown() int64 {
+	//swlint:allow nosuchanalyzer with a reason // want `swlint:allow names unknown analyzer "nosuchanalyzer"`
+	return time.Now().UnixNano() // want `detrand: call to time\.Now`
+}
+
+// nameless: a directive with no analyzer at all is reported once.
+func nameless() int64 {
+	//swlint:allow // want `swlint:allow directive is missing an analyzer name`
+	return time.Now().UnixNano() // want `detrand: call to time\.Now`
+}

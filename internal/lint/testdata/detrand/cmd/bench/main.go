@@ -1,0 +1,15 @@
+// Command bench mirrors the timing harnesses: wall-clock reads are fine
+// when annotated with a justified allow.
+package main
+
+import "time"
+
+func main() {
+	start := time.Now() //swlint:allow detrand fixture: timing harness measurement only
+	work()
+	//swlint:allow detrand fixture: standalone allow covers the next line
+	elapsed := time.Since(start)
+	_ = elapsed
+}
+
+func work() {}

@@ -1,0 +1,4 @@
+// Fixture module for the detrand analyzer.
+module slidingsample.fixture/detrand
+
+go 1.24

@@ -1,0 +1,24 @@
+// Package lib seeds detrand's violations: banned imports and wall-clock
+// reads in library code.
+package lib
+
+import (
+	_ "crypto/rand" // want `detrand: import of crypto/rand`
+	_ "math/rand"   // want `detrand: import of math/rand`
+	"time"
+)
+
+// Stamp reads the wall clock: library code must take timestamps from the
+// caller.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `detrand: call to time\.Now`
+}
+
+// Age uses the Since and Until sugar over Now.
+func Age(t0 time.Time) (time.Duration, time.Duration) {
+	return time.Since(t0), // want `detrand: call to time\.Since`
+		time.Until(t0) // want `detrand: call to time\.Until`
+}
+
+// Shift only manipulates caller-supplied times: clean.
+func Shift(t0 time.Time, d time.Duration) time.Time { return t0.Add(d) }

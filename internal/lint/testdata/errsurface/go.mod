@@ -1,0 +1,4 @@
+// Fixture module for the errsurface analyzer.
+module slidingsample.fixture/errsurface
+
+go 1.24

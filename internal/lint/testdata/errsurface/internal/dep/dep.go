@@ -1,0 +1,22 @@
+// Package dep is outside the enforced surface: its bare panic is not
+// reported HERE, but the mayPanicBare fact crosses the package boundary
+// to any surface package that calls it.
+package dep
+
+import "errors"
+
+// Helper panics with a non-constant value: bare.
+func Helper(n int) int {
+	if n < 0 {
+		panic(errors.New("boom"))
+	}
+	return n
+}
+
+// Named panics under the repository convention: not bare.
+func Named(n int) int {
+	if n < 0 {
+		panic("dep: negative count")
+	}
+	return n
+}

@@ -1,0 +1,36 @@
+// Package serve mirrors the serving layer: exported API and handle*
+// endpoints must speak errors, not panics.
+package serve
+
+import "errors"
+
+type Server struct{ n int }
+
+// handleIngest is an unexported handler: still surface by the handle*
+// convention.
+func (s *Server) handleIngest(body string) error { // want `\(\*Server\)\.handleIngest can reach a bare panic`
+	if body == "" {
+		panic("empty body")
+	}
+	s.n++
+	return nil
+}
+
+// handleList speaks errors: clean.
+func (s *Server) handleList() error {
+	if s.n == 0 {
+		return errors.New("empty")
+	}
+	return nil
+}
+
+// Register is exported surface with a named panic: clean.
+func (s *Server) Register(name string) {
+	if name == "" {
+		panic("serve: empty instance name")
+	}
+	s.n++
+}
+
+// helper is unexported and not a handler: its bare panic is fine here.
+func (s *Server) helper() { panic(s.n) }

@@ -1,0 +1,57 @@
+// Package slidingsample mirrors the public root package: every exported
+// function and method is part of the error-speaking surface.
+package slidingsample
+
+import (
+	"fmt"
+
+	"slidingsample.fixture/errsurface/internal/dep"
+)
+
+// New reaches a bare panic directly.
+func New(k int) int { // want `New can reach a bare panic: New -> bare panic at root\.go:\d+`
+	if k < 0 {
+		panic("need k >= 0")
+	}
+	return k
+}
+
+// NewNamed panics with the constant "pkg: ..." convention: clean.
+func NewNamed(k int) int {
+	if k < 0 {
+		panic("slidingsample: need k >= 0")
+	}
+	return k
+}
+
+// NewFormatted panics via Sprintf with a named constant format: clean.
+func NewFormatted(k int) int {
+	if k < 0 {
+		panic(fmt.Sprintf("slidingsample: need k >= 0, got %d", k))
+	}
+	return k
+}
+
+// NewConcat builds the named panic by concatenation: clean.
+func NewConcat(who string) string {
+	if who == "" {
+		panic("slidingsample: empty name" + who)
+	}
+	return who
+}
+
+// Transitive inherits dep's bare panic through the fact chain.
+func Transitive(n int) int { // want `Transitive can reach a bare panic: Transitive -> Helper -> bare panic at dep\.go:\d+`
+	return dep.Helper(n)
+}
+
+// Guarded calls only dep's named panic: clean.
+func Guarded(n int) int { return dep.Named(n) }
+
+// internalOnly is unexported: bare panics are its own business.
+func internalOnly() { panic(42) }
+
+// Deliberate keeps a bare panic with a justified allow.
+//
+//swlint:allow errsurface fixture: deliberate bare panic with a reason
+func Deliberate() { panic("deliberately bare") }

@@ -1,0 +1,4 @@
+// Fixture module for the lockorder analyzer.
+module slidingsample.fixture/lockorder
+
+go 1.24

@@ -1,0 +1,54 @@
+package serve
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	v  int
+}
+
+type wrapper struct{ g guarded } // embeds the lock by value: copying wrapper copies it
+
+// valueReceiver copies the lock on every call.
+func (g guarded) valueReceiver() int { // want `method valueReceiver has a value receiver of type guarded`
+	return g.v
+}
+
+// assignCopy copies a held lock into a local.
+func assignCopy(g *guarded) int {
+	cp := *g // want `assignment copies a lock by value: guarded contains a sync mutex`
+	return cp.v
+}
+
+// passCopy hands the lock to a callee by value.
+func takes(g guarded) int { return g.v }
+
+func passCopy(g *guarded) int {
+	return takes(*g) // want `call passes a lock by value: guarded contains a sync mutex`
+}
+
+// returnCopy returns the embedded value, copying the nested lock.
+func returnCopy(w *wrapper) guarded {
+	return w.g // want `return copies a lock by value: guarded contains a sync mutex`
+}
+
+// rangeCopy iterates elements by value.
+func rangeCopy(gs []guarded) int {
+	total := 0
+	for _, g := range gs { // want `range copies a lock: element type guarded contains a sync mutex`
+		total += g.v
+	}
+	return total
+}
+
+// pointerUses never copy: clean.
+func pointerUses(g *guarded) *guarded {
+	p := g
+	gs := []*guarded{p}
+	for _, q := range gs {
+		q.mu.Lock()
+		q.v++
+		q.mu.Unlock()
+	}
+	return p
+}

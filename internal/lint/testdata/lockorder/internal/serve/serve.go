@@ -1,0 +1,129 @@
+// Package serve mirrors the real serving layer's lock hierarchy:
+// Server.mu (rank 0) < Instance.mu (1) < Instance.qmu (2) < leaves
+// (oracleMu). Each function below pins one rule.
+package serve
+
+import "sync"
+
+type Server struct {
+	mu   sync.RWMutex
+	inst map[string]*Instance
+}
+
+type Instance struct {
+	mu       sync.RWMutex
+	qmu      sync.Mutex
+	oracleMu sync.Mutex
+	n        int
+}
+
+// good follows the declared order with deferred unlocks: clean.
+func (in *Instance) good() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.qmu.Lock()
+	defer in.qmu.Unlock()
+	in.n++
+}
+
+// inverted acquires mu while holding the higher-ranked qmu.
+func (in *Instance) inverted() {
+	in.qmu.Lock()
+	defer in.qmu.Unlock()
+	in.mu.Lock() // want `acquires Instance\.mu \(rank 1\) while holding Instance\.qmu \(rank 2\)`
+	defer in.mu.Unlock()
+	in.n++
+}
+
+// underLeaf acquires while holding a leaf lock.
+func (in *Instance) underLeaf() {
+	in.oracleMu.Lock()
+	defer in.oracleMu.Unlock()
+	in.qmu.Lock() // want `acquires Instance\.qmu while holding leaf lock Instance\.oracleMu`
+	defer in.qmu.Unlock()
+	in.n++
+}
+
+// registryInversion takes the registry lock under an instance lock.
+func (s *Server) registryInversion(in *Instance) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	s.mu.Lock() // want `acquires Server\.mu \(rank 0\) while holding Instance\.mu \(rank 1\)`
+	defer s.mu.Unlock()
+	in.n++
+}
+
+// reacquire locks a mutex it already holds.
+func (in *Instance) reacquire() {
+	in.qmu.Lock() // want `Instance\.qmu is locked but never released in \(\*Instance\)\.reacquire`
+	in.qmu.Lock() // want `acquires Instance\.qmu while already holding it`
+	in.n++
+}
+
+// splitUnlock duplicates the manual unlock across return paths.
+func (in *Instance) splitUnlock(c bool) {
+	in.qmu.Lock() // want `Instance\.qmu is manually unlocked at 2 sites in \(\*Instance\)\.splitUnlock`
+	if c {
+		in.qmu.Unlock()
+		return
+	}
+	in.n++
+	in.qmu.Unlock()
+}
+
+// earlyReturnOK releases before each terminating branch exactly once per
+// path shape the walker tracks: one manual unlock site, no report.
+func (in *Instance) earlyReturnOK(c bool) int {
+	in.qmu.Lock()
+	defer in.qmu.Unlock()
+	if c {
+		return 0
+	}
+	return in.n
+}
+
+// deliberate mirrors the applier loop: a justified allow keeps the
+// manual pair.
+func (in *Instance) deliberate(c bool) {
+	in.qmu.Lock() //swlint:allow lockorder fixture: deliberate manual pair, released before blocking elsewhere
+	if c {
+		in.qmu.Unlock()
+		return
+	}
+	in.qmu.Unlock()
+}
+
+// lockQmu is plumbing for the transitive check.
+func (in *Instance) lockQmu() {
+	in.qmu.Lock()
+	defer in.qmu.Unlock()
+	in.n++
+}
+
+// lockMu is plumbing for the transitive inversion.
+func (in *Instance) lockMu() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.n++
+}
+
+// transitiveOK: calling a qmu-taker while holding mu respects the order.
+func (in *Instance) transitiveOK() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.lockQmu()
+}
+
+// transitiveInversion: the callee acquires mu below qmu.
+func (in *Instance) transitiveInversion() {
+	in.qmu.Lock()
+	defer in.qmu.Unlock()
+	in.lockMu() // want `calls lockMu, which acquires Instance\.mu \(rank 1\) while Instance\.qmu \(rank 2\) is held`
+}
+
+// transitiveSelf: the callee re-acquires a lock the caller holds.
+func (in *Instance) transitiveSelf() {
+	in.qmu.Lock()
+	defer in.qmu.Unlock()
+	in.lockQmu() // want `calls lockQmu, which acquires Instance\.qmu while \(\*Instance\)\.transitiveSelf already holds it`
+}

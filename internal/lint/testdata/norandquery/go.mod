@@ -1,0 +1,5 @@
+// Fixture module for the norandquery analyzer. The module path embeds
+// "slidingsample" so the analyzers' package gates treat it as in-repo.
+module slidingsample.fixture/norandquery
+
+go 1.24

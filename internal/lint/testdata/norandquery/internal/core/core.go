@@ -1,0 +1,13 @@
+// Package core is OUT of norandquery's reporting scope (only the root
+// package, weighted, parallel, and ehist hold the contract), so its
+// drawing Sample is not reported here — but its fact still flows to any
+// scoped caller.
+package core
+
+import "slidingsample.fixture/norandquery/internal/xrand"
+
+type Res struct{ rng *xrand.Rand }
+
+func NewRes(rng *xrand.Rand) *Res { return &Res{rng: rng} }
+
+func (r *Res) Sample() uint64 { return r.rng.Uint64() }

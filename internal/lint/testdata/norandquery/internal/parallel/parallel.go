@@ -1,0 +1,19 @@
+// Package parallel proves cross-package taint: the draw lives in
+// weighted, the report lands on this package's entry point via the
+// exported drawsRand fact.
+package parallel
+
+import "slidingsample.fixture/norandquery/internal/weighted"
+
+type Sharded struct{ w *weighted.WOR }
+
+func NewSharded(w *weighted.WOR) *Sharded { return &Sharded{w: w} }
+
+// SampleAt inherits weighted's query-time draw across the package
+// boundary.
+func (s *Sharded) SampleAt(now int64) []int { // want `query path \(\*Sharded\)\.SampleAt draws randomness: \(\*Sharded\)\.SampleAt -> \(\*WOR\)\.SampleAt -> \(\*xrand\.Rand\)\.Uint64`
+	return s.w.SampleAt(now)
+}
+
+// Sample delegates to weighted's clean query: clean here too.
+func (s *Sharded) Sample() []int { return s.w.Sample() }

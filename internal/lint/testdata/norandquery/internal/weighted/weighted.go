@@ -1,0 +1,46 @@
+// Package weighted seeds the fixture's violations: query entry points
+// that draw directly, transitively, and not at all.
+package weighted
+
+import "slidingsample.fixture/norandquery/internal/xrand"
+
+type WOR struct {
+	rng   *xrand.Rand
+	items []int
+}
+
+func NewWOR(rng *xrand.Rand) *WOR { return &WOR{rng: rng} }
+
+// Observe draws at ingest time: allowed, Observe is not a query entry.
+func (s *WOR) Observe(v int) {
+	if s.rng.Float64() < 0.5 {
+		s.items = append(s.items, v)
+	}
+}
+
+// Sample is a clean query: no draw anywhere on its path.
+func (s *WOR) Sample() []int { return s.items }
+
+// SampleAt draws directly at query time.
+func (s *WOR) SampleAt(now int64) []int { // want `query path \(\*WOR\)\.SampleAt draws randomness: \(\*WOR\)\.SampleAt -> \(\*xrand\.Rand\)\.Uint64`
+	if s.rng.Uint64()%2 == 0 {
+		return s.items
+	}
+	return nil
+}
+
+// reseed is unexported plumbing: tainted, but not an entry point itself.
+func (s *WOR) reseed() uint64 { return s.rng.Uint64() }
+
+// Words reaches a draw transitively through unexported plumbing.
+func (s *WOR) Words() int { // want `query path \(\*WOR\)\.Words draws randomness: \(\*WOR\)\.Words -> \(\*WOR\)\.reseed -> \(\*xrand\.Rand\)\.Uint64`
+	_ = s.reseed()
+	return len(s.items)
+}
+
+// SizeAt draws deliberately; the justified allow silences the report.
+//
+//swlint:allow norandquery fixture: deliberate query-time draw with a reason
+func (s *WOR) SizeAt(now int64) uint64 {
+	return s.rng.Uint64()
+}

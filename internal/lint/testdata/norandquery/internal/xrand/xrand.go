@@ -1,0 +1,14 @@
+// Package xrand is a stub of the real seeded generator: norandquery keys
+// on the package path suffix and the Rand receiver, not the contents.
+package xrand
+
+type Rand struct{ s uint64 }
+
+func New(seed uint64) *Rand { return &Rand{s: seed} }
+
+func (r *Rand) Uint64() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	return r.s
+}
+
+func (r *Rand) Float64() float64 { return float64(r.Uint64()>>11) / (1 << 53) }

@@ -1,0 +1,30 @@
+// Package slidingsample mirrors the public root package (scoping is by
+// path suffix): exported entry points are held to the rng-free contract,
+// including taint inherited from the out-of-scope core package.
+package slidingsample
+
+import (
+	"slidingsample.fixture/norandquery/internal/core"
+	"slidingsample.fixture/norandquery/internal/xrand"
+)
+
+type Sampler struct {
+	res  *core.Res
+	last uint64
+}
+
+func New(seed uint64) *Sampler { return &Sampler{res: core.NewRes(xrand.New(seed))} }
+
+// Sample picks up core's query-time draw through the fact chain.
+func (s *Sampler) Sample() uint64 { // want `query path \(\*Sampler\)\.Sample draws randomness: \(\*Sampler\)\.Sample -> \(\*Res\)\.Sample -> \(\*xrand\.Rand\)\.Uint64`
+	return s.res.Sample()
+}
+
+// ValuesAt is a clean query over cached state.
+func (s *Sampler) ValuesAt(now int64) uint64 { return s.last }
+
+// observe is unexported and may draw freely.
+func (s *Sampler) observe() { s.last = s.res.Sample() }
+
+// Refresh draws but is not a query entry-point name: no report.
+func (s *Sampler) Refresh() { s.observe() }

@@ -468,6 +468,8 @@ func (s *ShardedSeqWR[T]) windowSizes() ([]uint64, uint64) {
 // dispatcher rng, global slot j reading entry j of its chosen shard's
 // vector — entries are mutually independent, so the global law is
 // unchanged.
+//
+//swlint:allow norandquery with-replacement sampling draws its k slot picks at query time by contract; every draw comes from this sampler's own split rng in a fixed sequential order after all shard prefetches, so output is deterministic given admission and query order
 func (s *ShardedSeqWR[T]) Sample() ([]stream.Element[T], bool) {
 	s.d.requireSynced()
 	sizes, total := s.windowSizes()
@@ -703,6 +705,8 @@ func (s *ShardedTSWR[T]) Close() { s.ts.d.close() }
 // Shards whose elements all expired (possible only within the eps error
 // band) have their weights dropped in shard order before any slot pick, so
 // a non-empty window never fails.
+//
+//swlint:allow norandquery with-replacement sampling draws its k slot picks at query time by contract; every draw comes from this sampler's own split rng in a fixed sequential order after all shard prefetches, so output is deterministic given admission and query order
 func (s *ShardedTSWR[T]) SampleAt(now int64) ([]stream.Element[T], bool) {
 	s.ts.d.requireSynced()
 	now = s.ts.clockFor(now)
@@ -749,6 +753,8 @@ func (s *ShardedTSWR[T]) SampleAt(now int64) ([]stream.Element[T], bool) {
 }
 
 // Sample queries at the latest dispatched timestamp.
+//
+//swlint:allow norandquery with-replacement sampling draws its k slot picks at query time by contract; every draw comes from this sampler's own split rng in a fixed sequential order after all shard prefetches, so output is deterministic given admission and query order
 func (s *ShardedTSWR[T]) Sample() ([]stream.Element[T], bool) {
 	if !s.ts.begun {
 		return nil, false
@@ -809,6 +815,8 @@ func (s *ShardedTSWOR[T]) Close() { s.ts.d.close() }
 // shard-local rng streams independent of the estimate and the fan-out.
 // All dispatcher-side draws (the Floyd subset, the within-shard PickK
 // sub-sampling) run sequentially on the calling goroutine.
+//
+//swlint:allow norandquery the cross-shard WOR merge draws its position picks at query time by contract; draws come from this sampler's own split rng in a fixed sequential order after all shard prefetches, so output is deterministic given admission and query order
 func (s *ShardedTSWOR[T]) SampleAt(now int64) ([]stream.Element[T], bool) {
 	s.ts.d.requireSynced()
 	now = s.ts.clockFor(now)
@@ -887,6 +895,8 @@ func (s *ShardedTSWOR[T]) SampleAt(now int64) ([]stream.Element[T], bool) {
 }
 
 // Sample queries at the latest dispatched timestamp.
+//
+//swlint:allow norandquery the cross-shard WOR merge draws its position picks at query time by contract; draws come from this sampler's own split rng in a fixed sequential order after all shard prefetches, so output is deterministic given admission and query order
 func (s *ShardedTSWOR[T]) Sample() ([]stream.Element[T], bool) {
 	if !s.ts.begun {
 		return nil, false

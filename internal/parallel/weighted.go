@@ -583,11 +583,15 @@ func (s *ShardedWeightedTSWR[T]) Items() ([]weighted.Item[T], bool) {
 }
 
 // SampleAt implements stream.TimedSampler.
+//
+//swlint:allow norandquery with-replacement sampling draws its k slot picks at query time by contract; every draw comes from this sampler's own split rng in a fixed sequential order after all shard prefetches, so output is deterministic given admission and query order
 func (s *ShardedWeightedTSWR[T]) SampleAt(now int64) ([]stream.Element[T], bool) {
 	return itemsToElements(s.ItemsAt(now))
 }
 
 // Sample implements stream.Sampler.
+//
+//swlint:allow norandquery with-replacement sampling draws its k slot picks at query time by contract; every draw comes from this sampler's own split rng in a fixed sequential order after all shard prefetches, so output is deterministic given admission and query order
 func (s *ShardedWeightedTSWR[T]) Sample() ([]stream.Element[T], bool) {
 	return itemsToElements(s.Items())
 }
@@ -773,6 +777,8 @@ func (s *ShardedWeightedSeqWR[T]) Items() ([]weighted.Item[T], bool) {
 }
 
 // Sample implements stream.Sampler.
+//
+//swlint:allow norandquery with-replacement sampling draws its k slot picks at query time by contract; every draw comes from this sampler's own split rng in a fixed sequential order after all shard prefetches, so output is deterministic given admission and query order
 func (s *ShardedWeightedSeqWR[T]) Sample() ([]stream.Element[T], bool) {
 	return itemsToElements(s.Items())
 }

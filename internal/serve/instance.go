@@ -193,7 +193,10 @@ func (in *Instance) seqMode() bool { return in.spec.Mode == "seq" }
 // leave it nothing to do.
 func (in *Instance) runApplier() {
 	for {
-		in.qmu.Lock()
+		// The qmu pair deliberately stays manual: qmu must be RELEASED
+		// before blocking on mu below — a deferred unlock would hold it
+		// across mu.Lock and invert the declared mu-before-qmu order.
+		in.qmu.Lock() //swlint:allow lockorder applier loop must release qmu before blocking on mu; defer would invert the declared hierarchy
 		for len(in.queue) == 0 && !in.stopping {
 			in.workCond.Wait()
 		}
@@ -305,29 +308,35 @@ func (in *Instance) Ingest(values []string, timestamps []int64, weights []float6
 			elems[i].TS = timestamps[i]
 		}
 	}
+	return in.admit(elems, weights, first, lastTS)
+}
+
+// admit is Ingest's single qmu section: capacity and clock checks, then
+// the queue append and the admission-clock advance. The deferred unlock
+// covers every rejection branch (the lockorder split-unlock rule); defer
+// costs nanoseconds against a batch admission, so the hot path permits
+// it.
+func (in *Instance) admit(elems []stream.Element[string], weights []float64, first, lastTS int64) (uint64, error) {
 	in.qmu.Lock()
+	defer in.qmu.Unlock()
 	if in.closed {
-		in.qmu.Unlock()
 		return 0, ErrClosed
 	}
-	if in.queuedEvents+len(values) > in.queueCap || len(in.queue) >= maxQueuedBatches {
-		in.qmu.Unlock()
+	if in.queuedEvents+len(elems) > in.queueCap || len(in.queue) >= maxQueuedBatches {
 		return 0, ErrOverloaded
 	}
 	if !in.seqMode() {
 		if in.begun && first < in.last {
-			in.qmu.Unlock()
 			return 0, ErrTimeBackwards
 		}
 		in.last, in.begun = lastTS, true
 	}
 	in.queue = append(in.queue, stagedBatch{elems: elems, weights: weights})
-	in.queuedEvents += len(values)
+	in.queuedEvents += len(elems)
 	in.admittedSeq++
-	in.events += uint64(len(values))
+	in.events += uint64(len(elems))
 	total := in.events
 	in.workCond.Signal()
-	in.qmu.Unlock()
 	return total, nil
 }
 
@@ -337,9 +346,7 @@ func (in *Instance) Ingest(values []string, timestamps []int64, weights []float6
 func (in *Instance) ingestLegacy(values []string, timestamps []int64, weights []float64) (uint64, error) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	in.qmu.Lock()
-	closed, last, begun := in.closed, in.last, in.begun
-	in.qmu.Unlock()
+	closed, last, begun := in.admissionState()
 	if closed {
 		return 0, ErrClosed
 	}
@@ -375,14 +382,27 @@ func (in *Instance) ingestLegacy(values []string, timestamps []int64, weights []
 		in.scratch = batch[:0]
 	}
 	in.statsClean.Store(false)
+	return in.publishLegacy(last, begun), nil
+}
+
+// admissionState snapshots the qmu-guarded admission flags for the
+// legacy path's pre-checks.
+func (in *Instance) admissionState() (closed bool, last int64, begun bool) {
 	in.qmu.Lock()
+	defer in.qmu.Unlock()
+	return in.closed, in.last, in.begun
+}
+
+// publishLegacy writes the legacy path's advanced stream clock and event
+// count back into the qmu-guarded admission state.
+func (in *Instance) publishLegacy(last int64, begun bool) (total uint64) {
+	in.qmu.Lock()
+	defer in.qmu.Unlock()
 	if !in.seqMode() {
 		in.last, in.begun = last, begun
 	}
 	in.events = in.ing.Count()
-	total := in.events
-	in.qmu.Unlock()
-	return total, nil
+	return in.events
 }
 
 // maxFinite rejects +Inf (and, via the w > 0 guard, NaN) without pulling
@@ -569,16 +589,9 @@ func (in *Instance) Stats() (count uint64, k, words, maxWords int) {
 	count = in.events
 	in.qmu.Unlock()
 	if !pending && in.statsClean.Load() {
-		in.mu.RLock()
-		// Re-check under the lock: an applier that slipped in between the
-		// probe and the RLock would have cleared the flag before releasing
-		// mu, and it cannot run while we hold the read side.
-		if in.statsClean.Load() {
-			k, words, maxWords = in.ing.K(), in.ing.Words(), in.ing.MaxWords()
-			in.mu.RUnlock()
+		if k, words, maxWords, ok := in.statsFast(); ok {
 			return count, k, words, maxWords
 		}
-		in.mu.RUnlock()
 	}
 	in.mu.Lock()
 	defer in.mu.Unlock()
@@ -590,6 +603,19 @@ func (in *Instance) Stats() (count uint64, k, words, maxWords int) {
 	return count, in.ing.K(), in.ing.Words(), in.ing.MaxWords()
 }
 
+// statsFast reads the footprint under the read lock. Re-checks statsClean
+// under the lock: an applier that slipped in between the caller's probe
+// and the RLock would have cleared the flag before releasing mu, and it
+// cannot run while we hold the read side.
+func (in *Instance) statsFast() (k, words, maxWords int, ok bool) {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	if !in.statsClean.Load() {
+		return 0, 0, 0, false
+	}
+	return in.ing.K(), in.ing.Words(), in.ing.MaxWords(), true
+}
+
 // Close drains and stops the instance: admission is sealed, the staged
 // queue is applied in order, a final barrier flushes any in-flight sharded
 // ingest, the shard goroutines are stopped, and the applier goroutine
@@ -598,15 +624,9 @@ func (in *Instance) Stats() (count uint64, k, words, maxWords int) {
 func (in *Instance) Close() {
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	in.qmu.Lock()
-	if in.closed {
-		in.qmu.Unlock()
+	if !in.beginClose() {
 		return
 	}
-	in.closed = true
-	in.stopping = true
-	in.workCond.Broadcast()
-	in.qmu.Unlock()
 	in.drainLocked()
 	if in.barrier != nil {
 		in.barrier()
@@ -614,4 +634,18 @@ func (in *Instance) Close() {
 	if in.closer != nil {
 		in.closer()
 	}
+}
+
+// beginClose seals admission under qmu, waking the applier so it can
+// observe stopping and exit. Reports false when already closed.
+func (in *Instance) beginClose() bool {
+	in.qmu.Lock()
+	defer in.qmu.Unlock()
+	if in.closed {
+		return false
+	}
+	in.closed = true
+	in.stopping = true
+	in.workCond.Broadcast()
+	return true
 }

@@ -88,20 +88,26 @@ func (s *Server) Get(name string) (*Instance, bool) {
 // all dispatched elements are reflected in the shards) and then stops its
 // shard goroutines. Instances stay queryable; ingest is refused afterwards.
 func (s *Server) Close() {
+	for _, in := range s.seal() {
+		in.Close()
+	}
+}
+
+// seal marks the registry closed and snapshots the instances under mu,
+// so the (slow, instance-draining) Close calls run with the registry
+// lock released. Returns nil when already closed.
+func (s *Server) seal() []*Instance {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
-		s.mu.Unlock()
-		return
+		return nil
 	}
 	s.closed = true
 	insts := make([]*Instance, 0, len(s.inst))
 	for _, in := range s.inst {
 		insts = append(insts, in)
 	}
-	s.mu.Unlock()
-	for _, in := range insts {
-		in.Close()
-	}
+	return insts
 }
 
 // ---------------------------------------------------------------------------

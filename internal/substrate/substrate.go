@@ -12,7 +12,7 @@
 package substrate
 
 import (
-	cryptorand "crypto/rand"
+	cryptorand "crypto/rand" //swlint:allow detrand entropy only for the optional default-seed bootstrap; every draw still flows through seeded xrand
 	"encoding/binary"
 	"fmt"
 	"math"

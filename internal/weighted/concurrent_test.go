@@ -1,0 +1,69 @@
+package weighted
+
+import (
+	"sync"
+	"testing"
+
+	"slidingsample/internal/xrand"
+)
+
+// TestWORConcurrentReadOracle pins the rng-free-query contract at runtime,
+// complementing swlint's static norandquery check: once ingest stops, every
+// WOR query path (Items, Sample, Count, Retained, Words) is a pure read —
+// no rng draw, no lazy expiry, no memoization — so concurrent readers are
+// safe and all see the identical sample. Run under -race via
+// `make test-race`; a hidden mutation in any read path becomes a detected
+// race, and a hidden draw breaks the equality oracle below.
+//
+// TSWOR is deliberately absent: its ItemsAt advances the clock and expires
+// nodes in place (reads are mutating by design there), which is exactly why
+// the serve layer wraps it in qmu. WR is absent because with-replacement
+// sampling draws at query time (a contractual, swlint-allowed draw).
+func TestWORConcurrentReadOracle(t *testing.T) {
+	s := NewWOR[uint64](xrand.New(7), 64, 8, testWeight)
+	feed(s, 500)
+
+	wantItems, ok := s.Items()
+	if !ok {
+		t.Fatal("no sample after 500 arrivals")
+	}
+	wantCount, wantRetained, wantWords := s.Count(), s.Retained(), s.Words()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 200; iter++ {
+				items, ok := s.Items()
+				if !ok || len(items) != len(wantItems) {
+					t.Errorf("Items: ok=%v len=%d, want ok=true len=%d", ok, len(items), len(wantItems))
+					return
+				}
+				for i := range items {
+					if items[i] != wantItems[i] {
+						t.Errorf("Items[%d] = %+v, want %+v (query path not a pure read?)", i, items[i], wantItems[i])
+						return
+					}
+				}
+				sample, ok := s.Sample()
+				if !ok || len(sample) != len(wantItems) {
+					t.Errorf("Sample: ok=%v len=%d, want ok=true len=%d", ok, len(sample), len(wantItems))
+					return
+				}
+				for i := range sample {
+					if sample[i] != wantItems[i].Elem {
+						t.Errorf("Sample[%d] = %+v, want %+v", i, sample[i], wantItems[i].Elem)
+						return
+					}
+				}
+				if s.Count() != wantCount || s.Retained() != wantRetained || s.Words() != wantWords {
+					t.Errorf("scalar reads drifted: Count=%d Retained=%d Words=%d, want %d, %d, %d",
+						s.Count(), s.Retained(), s.Words(), wantCount, wantRetained, wantWords)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,7 +1,7 @@
 package slidingsample
 
 import (
-	cryptorand "crypto/rand"
+	cryptorand "crypto/rand" //swlint:allow detrand entropy only for the optional default-seed bootstrap; every draw still flows through seeded xrand
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -430,6 +430,8 @@ func NewStepBiased[T any](lens []uint64, weights []uint64, opts ...Option) (*Ste
 }
 
 // Sample draws one element under the step-biased distribution.
+//
+//swlint:allow norandquery the step-biased mixture draws its step at query time by contract (paper sect. 6 extension); the draw comes from the sampler's own split rng, deterministic given query order
 func (s *StepBiased[T]) Sample() (Sampled[T], bool) {
 	es, ok := s.biased.Sample()
 	if !ok {

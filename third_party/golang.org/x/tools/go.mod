@@ -1,0 +1,8 @@
+// Local vendored subset of golang.org/x/tools, copied verbatim from the Go
+// 1.24.0 toolchain's cmd/vendor tree (which pins the version recorded in the
+// root module's require directive). Only the packages cmd/swlint needs are
+// present: go/analysis, its unitchecker driver, and their internal support
+// packages. See README.md "Dependency policy" before adding anything here.
+module golang.org/x/tools
+
+go 1.24
