@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet lint bench-quick bench-batch bench-smoke swbench-quick smoke-e18 smoke-e19 serve-smoke check ci
+.PHONY: all build test test-race vet lint lint-json lint-fix bench-quick bench-batch bench-smoke swbench-quick smoke-e18 smoke-e19 serve-smoke check ci
 
 all: build
 
@@ -39,14 +39,30 @@ vet:
 	$(GO) vet ./...
 
 # swlint: the repo's own go/analysis gate (norandquery, detrand,
-# lockorder, errsurface — see internal/lint and DESIGN.md §8). Built from
-# source so the gate always matches the checked-out tree, then run through
+# lockorder, errsurface, wordsacct, noalias, substratecov, nilness,
+# unusedwrite — see internal/lint and DESIGN.md §8). Built from source so
+# the gate always matches the checked-out tree, then run through
 # `go vet -vettool` so it inherits vet's package loading, caching, and
 # cross-package facts. Must pass with zero unexplained //swlint:allow
 # directives; fixture tests in internal/lint prove it fails on violations.
 lint:
 	$(GO) build -o bin/swlint ./cmd/swlint
 	$(GO) vet -vettool=$(CURDIR)/bin/swlint ./...
+
+# Same gate, machine-readable: vet's -json stream rendered to
+# file:line:col lines (what editors and the CI problem matcher parse).
+# vet writes the -json stream to stderr (hence the 2>&1) and always exits
+# 0 in that mode, so `swlint render` owns the exit code.
+lint-json:
+	$(GO) build -o bin/swlint ./cmd/swlint
+	$(GO) vet -vettool=$(CURDIR)/bin/swlint -json ./... 2>&1 | bin/swlint render
+
+# Apply every suggested fix the analyzers offer (today: noalias wraps an
+# aliasing return in an append copy). CI runs this followed by
+# `git diff --exit-code` as the drift gate: fixes must already be applied.
+lint-fix:
+	$(GO) build -o bin/swlint ./cmd/swlint
+	$(GO) vet -vettool=$(CURDIR)/bin/swlint -json ./... 2>&1 | bin/swlint applyfixes
 
 # The weighted timestamp-window experiment at CI scale: exercises the
 # tentpole end to end (skyband + embedded ehist + query-time expiry).

@@ -1,0 +1,99 @@
+package slidingsample
+
+// alias_test.go: the dynamic half of the noalias contract. Query results
+// are owned by the caller — scribbling over a returned sample must not
+// perturb sampler state or the rng stream. Two identically-seeded runs
+// make the same ingest and query sequence; one of them vandalizes every
+// returned slice in between. Any aliasing between the returned slice and
+// retained state (or any query-path read of the mutated backing) makes the
+// follow-up samples diverge.
+
+import (
+	"testing"
+
+	"slidingsample/internal/stream"
+	"slidingsample/internal/xrand"
+)
+
+func TestQueryResultsAreCallerOwned(t *testing.T) {
+	const m = 900
+	const queries = 8
+	for _, sub := range confSubstrates() {
+		t.Run(sub.name, func(t *testing.T) {
+			clean := sub.mk(xrand.New(42))
+			dirty := sub.mk(xrand.New(42))
+			defer confClose(clean)
+			defer confClose(dirty)
+
+			for i := 0; i < m; i++ {
+				clean.Observe(uint64(i), confTS(i))
+				dirty.Observe(uint64(i), confTS(i))
+			}
+			confSync(clean)
+			confSync(dirty)
+
+			vandalize := func(es []stream.Element[uint64]) {
+				for j := range es {
+					es[j] = stream.Element[uint64]{Value: ^uint64(0), Index: ^uint64(0), TS: -1}
+				}
+			}
+
+			for q := 0; q < queries; q++ {
+				want, okW := clean.Sample()
+				got, okG := dirty.Sample()
+				if okW != okG {
+					t.Fatalf("query %d: ok diverged (%v vs %v) after mutating results", q, okW, okG)
+				}
+				if len(want) != len(got) {
+					t.Fatalf("query %d: sample size diverged (%d vs %d) after mutating results", q, len(want), len(got))
+				}
+				for j := range want {
+					if want[j] != got[j] {
+						t.Fatalf("query %d: sample[%d] diverged (%+v vs %+v) after mutating results", q, j, want[j], got[j])
+					}
+				}
+				vandalize(got)
+			}
+
+			// Timestamp substrates: the same contract for explicit "as of"
+			// queries through the TimedSampler surface.
+			tc, okC := clean.(stream.TimedSampler[uint64])
+			td, okD := dirty.(stream.TimedSampler[uint64])
+			if okC && okD && !sub.seq {
+				now := confTS(m - 1)
+				for q := 0; q < queries; q++ {
+					want, okW := tc.SampleAt(now)
+					got, okG := td.SampleAt(now)
+					if okW != okG || len(want) != len(got) {
+						t.Fatalf("SampleAt query %d diverged after mutating results", q)
+					}
+					for j := range want {
+						if want[j] != got[j] {
+							t.Fatalf("SampleAt query %d: sample[%d] diverged (%+v vs %+v)", q, j, want[j], got[j])
+						}
+					}
+					vandalize(got)
+				}
+			}
+
+			// The vandalism must also leave ingest unharmed: feed more and
+			// re-compare.
+			for i := m; i < m+200; i++ {
+				clean.Observe(uint64(i), confTS(i))
+				dirty.Observe(uint64(i), confTS(i))
+			}
+			confSync(clean)
+			confSync(dirty)
+			want, _ := clean.Sample()
+			got, _ := dirty.Sample()
+			if len(want) != len(got) {
+				t.Fatalf("post-ingest sample size diverged (%d vs %d)", len(want), len(got))
+			}
+			for j := range want {
+				if want[j] != got[j] {
+					t.Fatalf("post-ingest sample[%d] diverged (%+v vs %+v)", j, want[j], got[j])
+				}
+			}
+		})
+	}
+}

@@ -12,14 +12,51 @@
 // or just `make lint`. The analyzers, what theorem or PR each invariant
 // protects, and the //swlint:allow escape hatch are documented in
 // internal/lint and DESIGN.md §8.
+//
+// Two extra modes post-process vet's machine-readable output (vet -json
+// always exits 0, so both read the stream from stdin and own the exit
+// code):
+//
+//	go vet -vettool=… -json ./... | swlint render      # file:line:col lines, exit 1 on findings
+//	go vet -vettool=… -json ./... | swlint applyfixes  # apply suggested fixes to the tree
+//
+// `make lint-json` and `make lint-fix` wrap these; CI parses render's
+// output with a problem matcher and runs applyfixes under a
+// `git diff --exit-code` drift gate.
 package main
 
 import (
+	"fmt"
+	"os"
+
 	"golang.org/x/tools/go/analysis/unitchecker"
 
 	"slidingsample/internal/lint"
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "render":
+			n, err := lint.Render(os.Stdin, os.Stdout)
+			exitJSONMode(err, n > 0)
+		case "applyfixes":
+			_, err := lint.ApplyFixes(os.Stdin, os.Stdout)
+			exitJSONMode(err, false)
+		}
+	}
 	unitchecker.Main(lint.Analyzers()...)
+}
+
+// exitJSONMode terminates a render/applyfixes run: exit 2 on stream or
+// I/O errors, 1 when render saw diagnostics, 0 otherwise.
+func exitJSONMode(err error, findings bool) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swlint:", err)
+		os.Exit(2)
+	}
+	if findings {
+		os.Exit(1)
+	}
+	os.Exit(0)
 }

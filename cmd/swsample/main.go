@@ -36,6 +36,11 @@
 //	           parallel weighted ingest; WOR merges per-shard log-keys
 //	           exactly, WR picks shards by their (1±5%) weight totals)
 //
+// The registry also names the subset-sum estimator substrates — subsetsum
+// (seq mode), subsetsum-ts and sharded-subsetsum-ts (ts mode). They answer
+// Estimate, not Sample, so swsample refuses them with a pointer at
+// swserve, whose /subsetsum endpoint is their query surface.
+//
 // The weighted samplers favor heavy lines: each line's weight is its byte
 // length by default, or the float value of the 0-based field named by
 // -wfield (lines whose field is missing or non-positive fall back to

@@ -15,6 +15,7 @@ package slidingsample
 // the whole contract checked.
 
 import (
+	"math"
 	"testing"
 
 	"slidingsample/internal/apps"
@@ -390,5 +391,138 @@ func TestFreshTimedValuesDoesNotPinClock(t *testing.T) {
 	}
 	if err := w.Observe(1, -5); err != nil {
 		t.Fatalf("negative start after fresh Values (WOR): %v", err)
+	}
+}
+
+// confEstimatorAPI is the estimator surface shared by apps.NewSubsetSum,
+// apps.NewSubsetSumTS, and apps.NewShardedSubsetSumTS. The subset-sum
+// substrates answer Estimate/Total instead of Sample — they are not
+// stream.Samplers — so they get their own battery half below instead of a
+// row in confSubstrates.
+type confEstimatorAPI interface {
+	Observe(value uint64, ts int64)
+	ObserveBatch(batch []stream.Element[uint64])
+	Estimate(pred func(uint64) bool) (float64, bool)
+	K() int
+	Count() uint64
+	Words() int
+	MaxWords() int
+}
+
+type confEstimator struct {
+	name string
+	seq  bool
+	mk   func(r *xrand.Rand) confEstimatorAPI
+}
+
+// confEstK is larger than confK: the Horvitz–Thompson estimate over k
+// sketch slots tightens with k, and 48 slots keep the deterministic
+// tolerance below modest.
+const confEstK = 48
+
+func confEstimators() []confEstimator {
+	return []confEstimator{
+		{name: "apps/SubsetSum", seq: true,
+			mk: func(r *xrand.Rand) confEstimatorAPI {
+				return apps.NewSubsetSum[uint64](r, confN, confEstK, confWeight)
+			}},
+		{name: "apps/SubsetSumTS",
+			mk: func(r *xrand.Rand) confEstimatorAPI {
+				return apps.NewSubsetSumTS[uint64](r, confT0, confEstK, 0.05, confWeight)
+			}},
+		{name: "apps/ShardedSubsetSumTS",
+			mk: func(r *xrand.Rand) confEstimatorAPI {
+				return apps.NewShardedSubsetSumTS[uint64](r, confT0, confG, confEstK, 0.05, confWeight)
+			}},
+	}
+}
+
+// confEstSync/confEstClose mirror confSync/confClose for the estimator
+// surface (the sharded estimator is checkpointed like the sharded samplers).
+func confEstSync(e confEstimatorAPI) {
+	if b, ok := e.(interface{ Barrier() }); ok {
+		b.Barrier()
+	}
+}
+
+// confEstAll is the pred ≡ true subset: Estimate(confEstAll) is the total
+// active weight, the one query every estimator answers (the sharded
+// estimator has TotalAt but no Total, so the battery totals through it).
+func confEstAll(uint64) bool { return true }
+
+func confEstClose(e confEstimatorAPI) {
+	if c, ok := e.(interface{ Close() }); ok {
+		c.Close()
+	}
+}
+
+// TestEstimatorBattery is the estimator half of the conformance battery:
+// every subset-sum substrate refuses to estimate an empty window, reports
+// memory and counters sanely, and answers Estimate/Total within a
+// deterministic tolerance of the exact windowed subset sum (fixed seed, so
+// the tolerance is a regression pin, not a statistical bet).
+func TestEstimatorBattery(t *testing.T) {
+	const m = 1500
+	const tol = 0.35
+	for _, sub := range confEstimators() {
+		t.Run(sub.name, func(t *testing.T) {
+			e := sub.mk(xrand.New(101))
+			defer confEstClose(e)
+
+			confEstSync(e)
+			if _, ok := e.Estimate(confEstAll); ok {
+				t.Fatal("estimate from empty window")
+			}
+
+			for i := 0; i < m; i++ {
+				e.Observe(uint64(i), confTS(i))
+			}
+			confEstSync(e)
+			if e.Count() != m {
+				t.Fatalf("Count = %d, want %d", e.Count(), m)
+			}
+			if e.K() != confEstK {
+				t.Fatalf("K = %d, want %d", e.K(), confEstK)
+			}
+			if e.Words() <= 0 {
+				t.Fatalf("Words = %d", e.Words())
+			}
+			if e.MaxWords() < e.Words() {
+				t.Fatalf("MaxWords %d < Words %d", e.MaxWords(), e.Words())
+			}
+
+			// Exact subset sums over the active window.
+			now := confTS(m - 1)
+			exactTotal, exactEven := 0.0, 0.0
+			for i := 0; i < m; i++ {
+				if sub.seq {
+					if i < m-confN {
+						continue
+					}
+				} else if now-confTS(i) >= confT0 {
+					continue
+				}
+				w := confWeight(uint64(i))
+				exactTotal += w
+				if i%2 == 0 {
+					exactEven += w
+				}
+			}
+
+			total, ok := e.Estimate(confEstAll)
+			if !ok {
+				t.Fatal("Estimate(all) failed on non-empty window")
+			}
+			if rel := math.Abs(total-exactTotal) / exactTotal; rel > tol {
+				t.Fatalf("Estimate(all) = %g, exact %g (rel err %.2f)", total, exactTotal, rel)
+			}
+			even, ok := e.Estimate(func(v uint64) bool { return v%2 == 0 })
+			if !ok {
+				t.Fatal("Estimate failed on non-empty window")
+			}
+			if rel := math.Abs(even-exactEven) / exactEven; rel > tol {
+				t.Fatalf("Estimate(even) = %g, exact %g (rel err %.2f)", even, exactEven, rel)
+			}
+		})
 	}
 }

@@ -150,7 +150,9 @@ func (b *StepBiased[T]) Prob(d uint64) float64 {
 
 // Words implements stream.MemoryReporter.
 func (b *StepBiased[T]) Words() int {
-	w := 2 + 2*len(b.lens)
+	// wsum + count, then the lens and weights tables (one word per step
+	// each), then the per-step samplers.
+	w := 2 + len(b.lens) + len(b.weights)
 	for _, s := range b.samplers {
 		w += s.Words()
 	}
@@ -159,7 +161,7 @@ func (b *StepBiased[T]) Words() int {
 
 // MaxWords implements stream.MemoryReporter.
 func (b *StepBiased[T]) MaxWords() int {
-	w := 2 + 2*len(b.lens)
+	w := 2 + len(b.lens) + len(b.weights)
 	for _, s := range b.samplers {
 		w += s.MaxWords()
 	}

@@ -32,7 +32,7 @@ type decomp[T any] struct {
 	// scratch is the double buffer for incr: each increment rebuilds the
 	// list, and reusing the previous backing array keeps the steady-state
 	// arrival path allocation-free for the list itself.
-	scratch []*BS[T]
+	scratch []*BS[T] //swlint:allow wordsacct rebuild double buffer for list; live buckets are counted via list
 	// batch mode (set by the samplers' ObserveBatch around their append
 	// loops): bucket structures come from the chunked arenas and the
 	// GC-hygiene clears of the retired double buffer are deferred to
@@ -45,8 +45,8 @@ type decomp[T any] struct {
 	// their width — its chunks are kept small so a long-lived bucket pins
 	// at most ~1KiB of slab, bounding the total pinned slack at
 	// O(log n · mergeChunk) per sampler.
-	arena      bsArena[T]
-	mergeArena bsArena[T]
+	arena      bsArena[T] //swlint:allow wordsacct recycled slab allocator; live buckets are counted via list
+	mergeArena bsArena[T] //swlint:allow wordsacct recycled merge slab; live buckets are counted via list
 }
 
 // arenaMaxK bounds the slot count up to which the batch path draws bucket

@@ -36,7 +36,7 @@ type SeqWR[T any] struct {
 	// scratch holds the index-assigned elements of the batch segment being
 	// ingested. Transport, not sampler state: it is empty between calls and
 	// not counted by Words (same convention as the parallel channel buffers).
-	scratch []stream.Element[T]
+	scratch []stream.Element[T] //swlint:allow wordsacct recycled batch transport, empty between calls
 
 	maxWords int
 }

@@ -40,14 +40,16 @@ type TSWOR[T any] struct {
 
 	insts []*TSWR[T] // insts[i] samples actives among all-but-the-newest-i
 
-	tail    []stream.Element[T] // ring of the k most recent arrivals
-	tailPos int                 // next write position
+	// ring of the k most recent arrivals
+	//swlint:allow wordsacct counted by occupancy tailLen in wordsWithTail, not capacity
+	tail    []stream.Element[T]
+	tailPos int // next write position
 	tailLen int
 
 	// scratch holds the index-assigned elements of the batch being ingested,
 	// so delayed feeds within the batch read a flat slice instead of the
 	// ring. Transport, not sampler state; not counted by Words.
-	scratch []stream.Element[T]
+	scratch []stream.Element[T] //swlint:allow wordsacct recycled batch transport, empty between calls
 
 	count    uint64
 	now      int64

@@ -10,12 +10,13 @@ import (
 
 // directivePrefix introduces a suppression comment. Full grammar:
 //
-//	//swlint:allow <analyzer> <reason...>
+//	//swlint:allow <analyzer>[,<analyzer>...] <reason...>
 //
 // Trailing on a code line it covers that line; standalone on its own line
-// it covers exactly the next line. The reason is mandatory and free-form
-// but may not contain "//" (so a trailing "// want" marker in fixtures is
-// not swallowed into the reason).
+// it covers exactly the next line. The analyzer field is one name or a
+// comma-separated list (no spaces) when one line trips several analyzers.
+// The reason is mandatory and free-form but may not contain "//" (so a
+// trailing "// want" marker in fixtures is not swallowed into the reason).
 const directivePrefix = "//swlint:allow"
 
 // analyzerNames lists every analyzer swlint ships. Directives naming
@@ -23,10 +24,15 @@ const directivePrefix = "//swlint:allow"
 // owner (norandquery) so each bad directive is reported exactly once
 // rather than once per analyzer.
 var analyzerNames = map[string]bool{
-	"norandquery": true,
-	"detrand":     true,
-	"lockorder":   true,
-	"errsurface":  true,
+	"norandquery":  true,
+	"detrand":      true,
+	"lockorder":    true,
+	"errsurface":   true,
+	"wordsacct":    true,
+	"noalias":      true,
+	"substratecov": true,
+	"nilness":      true,
+	"unusedwrite":  true,
 }
 
 // directiveOwner is the analyzer that reports malformed directives which
@@ -77,23 +83,38 @@ func collectAllows(pass *analysis.Pass, name string) *allows {
 				}
 				fields := strings.Fields(rest)
 				p := pass.Fset.Position(c.Pos())
-				switch {
-				case len(fields) == 0:
+				if len(fields) == 0 {
 					if owner {
 						pass.Reportf(c.Pos(), "swlint:allow directive is missing an analyzer name")
 					}
-				case !analyzerNames[fields[0]]:
+					continue
+				}
+				// One directive may name several analyzers for a line that
+				// trips more than one check: //swlint:allow a,b <reason>.
+				names := strings.Split(fields[0], ",")
+				unknown := ""
+				mine := false
+				for _, nm := range names {
+					if !analyzerNames[nm] {
+						unknown = nm
+					}
+					if nm == name {
+						mine = true
+					}
+				}
+				switch {
+				case unknown != "":
 					if owner {
-						pass.Reportf(c.Pos(), "swlint:allow names unknown analyzer %q (have norandquery, detrand, lockorder, errsurface)", fields[0])
+						pass.Reportf(c.Pos(), "swlint:allow names unknown analyzer %q (have norandquery, detrand, lockorder, errsurface, wordsacct, noalias, substratecov, nilness, unusedwrite)", unknown)
 					}
 				case len(fields) == 1:
 					// Named but reasonless: the named analyzer owns the
 					// report, and the directive suppresses nothing.
-					if fields[0] == name {
+					if mine {
 						pass.Reportf(c.Pos(), "swlint:allow %s is missing a reason; reasonless allows are not honored", name)
 					}
 				default:
-					if fields[0] == name {
+					if mine {
 						target := p.Line
 						if !code[p.Line] {
 							// Standalone directive line: covers the next

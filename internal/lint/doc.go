@@ -46,6 +46,45 @@
 //     repository's "pkg: ..." prefix convention, the documented
 //     invariant-violation panics.
 //
+//   - wordsacct: the paper's optimal-memory claim is encoded in
+//     hand-written Words()/MaxWords() methods (DESIGN.md §6), and a field
+//     added without deciding its accounting silently falsifies them. For
+//     every type with a Words()/words() footprint method, each retained
+//     reference-typed field (slices, maps, embedded oracles, pointers to
+//     counted structures) must be referenced somewhere in the Words
+//     closure — the footprint method plus the same-type helpers it calls —
+//     or carry //swlint:allow wordsacct naming the word-model exclusion
+//     (recycled transport scratch, a duplicate typed view of already
+//     counted shards). Channels, func values, xrand.Rand, and the sync
+//     primitives are outside the model by definition.
+//
+//   - noalias: query results are owned by the caller. The exported entry
+//     points (Sample, SampleAt, Values, ValuesAt, Items, ItemsAt) must
+//     never return a slice or map aliasing retained sampler state; a
+//     conservative per-function taint flow (receiver fields taint;
+//     make/composite literals/append-to-fresh cleanse) plus the
+//     aliasesRetained object fact resolves sharded wrappers' chains
+//     cross-package. Findings on slice returns carry a SuggestedFix
+//     (wrap in append([]T(nil), ...)) applied by `make lint-fix`. The
+//     deliberately-live accessors (SampleSlots, SlotsAt, the window
+//     Contents materializers) are not entry points.
+//
+//   - substratecov: a substrate registered in internal/substrate.New must
+//     be wired everywhere operators meet it. The substrate pass parses the
+//     mode/sampler switch (the switch IS the registry) and exports the
+//     table as a package fact; the cmd/swsample pass joins it against the
+//     root conformance battery (constructor name), the serve capability
+//     tests, the swsample flag docs, and README's sampler table, read from
+//     the module root, reporting each gap at the substrate import.
+//
+//   - nilness, unusedwrite: conservative local AST reimplementations of
+//     the x/tools passes of the same names (upstream requires go/ssa,
+//     which the vendored tool-only x/tools subset omits — see the
+//     dependency policy in README). nilness flags uses of a variable
+//     inside its own `== nil` branch; unusedwrite flags field writes
+//     through value receivers or range-value copies that are never read
+//     afterwards.
+//
 // # Suppression
 //
 // A finding that is deliberate is annotated in place:
@@ -58,10 +97,13 @@
 //
 // The directive is strictly line-scoped: a standalone directive covers
 // exactly the following line, a trailing directive exactly its own line.
-// A directive without a reason is itself reported (by the analyzer it
-// names), and does not suppress anything. A directive naming an unknown
-// analyzer is reported by norandquery (the designated directive owner, so
-// the report appears exactly once). The reason may not contain "//".
+// One directive may name several analyzers, comma-separated with no
+// spaces (//swlint:allow detrand,norandquery <reason>), for a line that
+// trips more than one check. A directive without a reason is itself
+// reported (by every analyzer it names), and does not suppress anything.
+// A directive naming an unknown analyzer is reported by norandquery (the
+// designated directive owner, so the report appears exactly once). The
+// reason may not contain "//".
 //
 // # Analysis boundary
 //
@@ -86,5 +128,8 @@ import "golang.org/x/tools/go/analysis"
 
 // Analyzers returns the swlint suite in a stable order.
 func Analyzers() []*analysis.Analyzer {
-	return []*analysis.Analyzer{NoRandQuery, DetRand, LockOrder, ErrSurface}
+	return []*analysis.Analyzer{
+		NoRandQuery, DetRand, LockOrder, ErrSurface,
+		WordsAcct, NoAlias, SubstrateCov, Nilness, UnusedWrite,
+	}
 }

@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// This file implements the two post-processing modes of cmd/swlint, both
+// consuming the `go vet -vettool=… -json` stream on stdin:
+//
+//	swlint render     — print one `file:line:col: message (analyzer)` line
+//	                    per diagnostic (the shape CI problem matchers and
+//	                    editors parse) and exit nonzero if any were found;
+//	                    needed because vet's -json mode always exits 0.
+//	swlint applyfixes — apply every suggested fix carried in the stream
+//	                    (byte-offset edits) to the working tree; `make
+//	                    lint-fix` pipes into this, and CI follows with
+//	                    `git diff --exit-code` as the drift gate.
+//
+// The stream interleaves `# package` comment lines with JSON objects of
+// shape {pkg: {analyzer: [diagnostic…] | errorobj}}; both modes tolerate
+// the error-object branch by skipping values that do not decode as a
+// diagnostic list.
+
+// jsonFix mirrors x/tools analysisflags' JSONSuggestedFix.
+type jsonFix struct {
+	Message string         `json:"message"`
+	Edits   []jsonTextEdit `json:"edits"`
+}
+
+// jsonTextEdit mirrors analysisflags' JSONTextEdit: zero-based byte
+// offsets into the named file.
+type jsonTextEdit struct {
+	Filename string `json:"filename"`
+	Start    int    `json:"start"`
+	End      int    `json:"end"`
+	New      string `json:"new"`
+}
+
+// jsonDiagnostic mirrors analysisflags' JSONDiagnostic (the fields the
+// modes need).
+type jsonDiagnostic struct {
+	Posn           string    `json:"posn"`
+	Message        string    `json:"message"`
+	SuggestedFixes []jsonFix `json:"suggested_fixes"`
+}
+
+// renderedDiag is one diagnostic tagged with the analyzer that produced it.
+type renderedDiag struct {
+	analyzer string
+	diag     jsonDiagnostic
+}
+
+// decodeVetJSON parses a `go vet -json` stream: `#`-prefixed progress
+// lines are dropped, then the concatenated JSON objects are decoded in
+// sequence.
+func decodeVetJSON(r io.Reader) ([]renderedDiag, error) {
+	var clean strings.Builder
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "#") {
+			continue
+		}
+		clean.WriteString(sc.Text())
+		clean.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	var out []renderedDiag
+	dec := json.NewDecoder(strings.NewReader(clean.String()))
+	for dec.More() {
+		var pkgs map[string]map[string]json.RawMessage
+		if err := dec.Decode(&pkgs); err != nil {
+			return nil, fmt.Errorf("decoding vet -json stream: %w", err)
+		}
+		for _, analyzers := range pkgs {
+			for name, raw := range analyzers {
+				var diags []jsonDiagnostic
+				if json.Unmarshal(raw, &diags) != nil {
+					continue // package error object, not a diagnostic list
+				}
+				for _, d := range diags {
+					out = append(out, renderedDiag{analyzer: name, diag: d})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].diag.Posn != out[j].diag.Posn {
+			return out[i].diag.Posn < out[j].diag.Posn
+		}
+		return out[i].analyzer < out[j].analyzer
+	})
+	return out, nil
+}
+
+// Render converts a vet -json stream into file:line:col lines on w and
+// returns the number of diagnostics (the caller exits nonzero if > 0).
+func Render(r io.Reader, w io.Writer) (int, error) {
+	diags, err := decodeVetJSON(r)
+	if err != nil {
+		return 0, err
+	}
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s: %s (%s)\n", d.diag.Posn, d.diag.Message, d.analyzer)
+	}
+	return len(diags), nil
+}
+
+// ApplyFixes applies every suggested fix in a vet -json stream to the
+// files it names and reports what it did on w. Identical edits offered by
+// several diagnostics collapse to one; edits overlapping a previously
+// accepted edit in the same file are skipped (re-running lint offers them
+// again on the updated tree). Returns the number of files rewritten.
+func ApplyFixes(r io.Reader, w io.Writer) (int, error) {
+	diags, err := decodeVetJSON(r)
+	if err != nil {
+		return 0, err
+	}
+	byFile := make(map[string][]jsonTextEdit)
+	seen := make(map[string]bool)
+	for _, d := range diags {
+		for _, fix := range d.diag.SuggestedFixes {
+			for _, e := range fix.Edits {
+				key := fmt.Sprintf("%s\x00%d\x00%d\x00%s", e.Filename, e.Start, e.End, e.New)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				byFile[e.Filename] = append(byFile[e.Filename], e)
+			}
+		}
+	}
+
+	files := make([]string, 0, len(byFile))
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+
+	written := 0
+	for _, fname := range files {
+		edits := byFile[fname]
+		// Apply back-to-front so earlier offsets stay valid.
+		sort.Slice(edits, func(i, j int) bool { return edits[i].Start > edits[j].Start })
+		src, err := os.ReadFile(fname)
+		if err != nil {
+			return written, fmt.Errorf("reading %s: %w", fname, err)
+		}
+		applied := 0
+		lastStart := len(src) + 1
+		for _, e := range edits {
+			if e.Start < 0 || e.End < e.Start || e.End > len(src) {
+				fmt.Fprintf(w, "swlint: skipping out-of-range fix in %s [%d,%d)\n", fname, e.Start, e.End)
+				continue
+			}
+			if e.End > lastStart {
+				fmt.Fprintf(w, "swlint: skipping overlapping fix in %s [%d,%d); re-run lint-fix\n", fname, e.Start, e.End)
+				continue
+			}
+			src = append(src[:e.Start], append([]byte(e.New), src[e.End:]...)...)
+			lastStart = e.Start
+			applied++
+		}
+		if applied == 0 {
+			continue
+		}
+		info, err := os.Stat(fname)
+		mode := os.FileMode(0o644)
+		if err == nil {
+			mode = info.Mode()
+		}
+		if err := os.WriteFile(fname, src, mode); err != nil {
+			return written, fmt.Errorf("writing %s: %w", fname, err)
+		}
+		written++
+		fmt.Fprintf(w, "swlint: applied %d fix(es) to %s\n", applied, fname)
+	}
+	return written, nil
+}

@@ -1,0 +1,175 @@
+package lint_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"slidingsample/internal/lint"
+)
+
+// TestRenderStream pins the render mode on a synthetic vet -json stream:
+// '#' progress lines and package-error objects are tolerated, diagnostics
+// come out as file:line:col lines tagged with their analyzer.
+func TestRenderStream(t *testing.T) {
+	input := `# slidingsample/internal/fake
+{
+	"slidingsample/internal/fake": {
+		"noalias": [
+			{"posn": "/tmp/b.go:9:2", "message": "second"},
+			{"posn": "/tmp/a.go:3:9", "message": "first"}
+		],
+		"detrand": {"error": "package has type errors"}
+	}
+}
+`
+	var buf bytes.Buffer
+	n, err := lint.Render(strings.NewReader(input), &buf)
+	if err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("Render counted %d diagnostics, want 2", n)
+	}
+	want := "/tmp/a.go:3:9: first (noalias)\n/tmp/b.go:9:2: second (noalias)\n"
+	if buf.String() != want {
+		t.Errorf("Render output:\n%q\nwant:\n%q", buf.String(), want)
+	}
+}
+
+// TestRenderEmpty: a stream with no diagnostics renders nothing and
+// counts zero (so the CLI exits 0 and the gate passes).
+func TestRenderEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	n, err := lint.Render(strings.NewReader("# pkg\n{\"pkg\": {}}\n"), &buf)
+	if err != nil || n != 0 || buf.Len() != 0 {
+		t.Fatalf("Render = (%d, %v) with output %q; want (0, nil) and no output", n, err, buf.String())
+	}
+}
+
+// TestApplyFixesStream pins the edit engine: duplicate edits collapse,
+// overlapping edits are skipped, surviving edits apply back-to-front so
+// byte offsets stay valid.
+func TestApplyFixesStream(t *testing.T) {
+	dir := t.TempDir()
+	target := filepath.Join(dir, "x.go")
+	if err := os.WriteFile(target, []byte("hello world"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	edit := func(start, end int, new string) string {
+		return fmt.Sprintf(`{"filename": %q, "start": %d, "end": %d, "new": %q}`, target, start, end, new)
+	}
+	input := fmt.Sprintf(`{
+	"pkg": {
+		"noalias": [
+			{"posn": "%[1]s:1:1", "message": "m1", "suggested_fixes": [
+				{"message": "f", "edits": [%[2]s, %[3]s]}
+			]},
+			{"posn": "%[1]s:1:2", "message": "m2", "suggested_fixes": [
+				{"message": "f", "edits": [%[2]s, %[4]s]}
+			]}
+		]
+	}
+}`, target, edit(0, 5, "HELLO"), edit(6, 11, "gopher"), edit(3, 8, "CLOBBER"))
+
+	var buf bytes.Buffer
+	written, err := lint.ApplyFixes(strings.NewReader(input), &buf)
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if written != 1 {
+		t.Fatalf("ApplyFixes rewrote %d files, want 1\n%s", written, buf.String())
+	}
+	got, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "HELLO gopher" {
+		t.Errorf("after fixes: %q, want %q", got, "HELLO gopher")
+	}
+	if !strings.Contains(buf.String(), "skipping overlapping fix") {
+		t.Errorf("overlap skip not reported:\n%s", buf.String())
+	}
+}
+
+// TestApplyFixesEndToEnd proves the make lint-fix pipeline: copy the
+// noalias fixture to a scratch dir, run the real vettool in -json mode,
+// pipe its stream through `swlint applyfixes`, and check the aliasing
+// returns got wrapped in defensive copies that the next lint run accepts.
+func TestApplyFixesEndToEnd(t *testing.T) {
+	swlint := buildSwlint(t)
+	dir := t.TempDir()
+	copyFixture(t, "testdata/noalias", dir)
+
+	runVet := func() []byte {
+		cmd := exec.Command("go", "vet", "-vettool="+swlint, "-json", "./...")
+		cmd.Dir = dir
+		cmd.Env = fixtureEnv()
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("go vet -json: %v\n%s", err, out)
+		}
+		return out
+	}
+
+	apply := exec.Command(swlint, "applyfixes")
+	apply.Stdin = bytes.NewReader(runVet())
+	out, err := apply.CombinedOutput()
+	if err != nil {
+		t.Fatalf("swlint applyfixes: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "applied") {
+		t.Fatalf("applyfixes applied nothing:\n%s", out)
+	}
+
+	fixed, err := os.ReadFile(filepath.Join(dir, "internal", "weighted", "weighted.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(fixed), "append([]") {
+		t.Errorf("weighted.go not rewritten with a defensive copy:\n%s", fixed)
+	}
+
+	// The fixed tree must be rid of the slice aliases (s.items) — those
+	// carry the mechanical append-copy fix. Map aliases (s.meta) linger by
+	// design: a keyed copy loop has no one-expression rewrite.
+	diags, err := parseVetJSON(runVet())
+	if err != nil {
+		t.Fatalf("re-vet: %v", err)
+	}
+	for _, d := range diags {
+		if strings.Contains(d.Message, "returns field s.items") && !strings.Contains(d.Message, "->") {
+			t.Errorf("slice aliasing survived applyfixes at %s: %s", d.Posn, d.Message)
+		}
+	}
+}
+
+// copyFixture clones a fixture module into dst so tests can mutate it.
+func copyFixture(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		out := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(out, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(out, data, 0o644)
+	})
+	if err != nil {
+		t.Fatalf("copying fixture %s: %v", src, err)
+	}
+}

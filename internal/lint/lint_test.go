@@ -60,8 +60,8 @@ func TestAnalyzers(t *testing.T) {
 			runFixture(t, swlint, filepath.Join("testdata", fx.Name()))
 		})
 	}
-	if ran < 5 {
-		t.Fatalf("expected at least 5 fixture modules (one per analyzer plus allow semantics), found %d", ran)
+	if ran < 11 {
+		t.Fatalf("expected at least 11 fixture modules (one per analyzer plus allow semantics and edge cases), found %d", ran)
 	}
 }
 

@@ -1,0 +1,183 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Nilness is a lightweight local reimplementation of the x/tools nilness
+// pass (the upstream pass needs go/ssa, which the vendored tool-only
+// x/tools subset deliberately omits). It catches the shape that matters
+// in review: inside the body of `if x == nil { ... }` — where x is a
+// pointer, map, slice, or interface and is not reassigned in the block —
+// any dereference, call, index, or field access through x is a guaranteed
+// nil-pointer use.
+var Nilness = &analysis.Analyzer{
+	Name: "nilness",
+	Doc: "report uses (deref, call, selector, index) of a variable inside the body of " +
+		"its own `== nil` check; a conservative AST subset of x/tools' nilness",
+	Run: runNilness,
+}
+
+func runNilness(pass *analysis.Pass) (any, error) {
+	if !interestingPkg(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	al := collectAllows(pass, "nilness")
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(x ast.Node) bool {
+			ifs, ok := x.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			v := nilCheckedVar(pass, ifs.Cond)
+			if v == nil || assignsVar(pass, ifs.Body, v) {
+				return true
+			}
+			reportNilUses(pass, al, ifs.Body, v)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// nilCheckedVar returns the variable v when cond is exactly `v == nil`
+// (or `nil == v`) for a nil-able v; nil otherwise. Compound conditions
+// (&&, ||) are skipped: the extra clause may re-establish non-nilness.
+func nilCheckedVar(pass *analysis.Pass, cond ast.Expr) *types.Var {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok || be.Op != token.EQL {
+		return nil
+	}
+	operand := be.X
+	if isNilIdent(pass, be.X) {
+		operand = be.Y
+	} else if !isNilIdent(pass, be.Y) {
+		return nil
+	}
+	id, ok := operand.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := pass.TypesInfo.Uses[id].(*types.Var)
+	if v == nil {
+		return nil
+	}
+	switch v.Type().Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Interface, *types.Slice, *types.Signature, *types.Chan:
+		return v
+	}
+	return nil
+}
+
+func isNilIdent(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := pass.TypesInfo.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// assignsVar reports whether body assigns to v anywhere (including :=
+// shadows sharing the object? no — shadows are distinct objects, which is
+// exactly right: a shadowed x is a different variable).
+func assignsVar(pass *analysis.Pass, body *ast.BlockStmt, v *types.Var) bool {
+	found := false
+	ast.Inspect(body, func(x ast.Node) bool {
+		as, ok := x.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if lhsVar(pass, lhs) == v {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// reportNilUses flags guaranteed-nil uses of v in body: v.f, v[i], *v,
+// v(...), range v for maps is fine (ranging a nil map is legal), as are
+// len/cap/append and passing v along.
+func reportNilUses(pass *analysis.Pass, al *allows, body *ast.BlockStmt, v *types.Var) {
+	ast.Inspect(body, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false // may run after v is reassigned elsewhere
+		case *ast.SelectorExpr:
+			if usesVar(pass, x.X, v) && !methodOnNilable(pass, x) {
+				al.report(x.Pos(), "%s is nil on this path (checked == nil above); this %s will fault at run time", v.Name(), "field or method access")
+				return false
+			}
+		case *ast.StarExpr:
+			if usesVar(pass, x.X, v) {
+				al.report(x.Pos(), "%s is nil on this path (checked == nil above); this %s will fault at run time", v.Name(), "dereference")
+				return false
+			}
+		case *ast.IndexExpr:
+			// Reading a nil map is legal; indexing a nil slice/ptr faults.
+			if usesVar(pass, x.X, v) {
+				if _, isMap := v.Type().Underlying().(*types.Map); !isMap {
+					al.report(x.Pos(), "%s is nil on this path (checked == nil above); this %s will fault at run time", v.Name(), "index")
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if usesVar(pass, x.Fun, v) {
+				al.report(x.Pos(), "%s is nil on this path (checked == nil above); this %s will fault at run time", v.Name(), "call")
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// usesVar reports whether e is exactly an identifier for v.
+func usesVar(pass *analysis.Pass, e ast.Expr, v *types.Var) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == v
+}
+
+// methodOnNilable reports whether sel selects a method with a pointer
+// receiver — calling those on a nil pointer is legal Go when the method
+// tolerates it, so only field accesses and value-receiver methods (which
+// dereference) are reported for pointers.
+func methodOnNilable(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() == types.FieldVal {
+		return false
+	}
+	fn, _ := selection.Obj().(*types.Func)
+	if fn == nil {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	_, ptrRecv := sig.Recv().Type().(*types.Pointer)
+	return ptrRecv
+}
+
+// lhsVar resolves an assignment target to its variable object (shared
+// with noalias and unusedwrite).
+func lhsVar(pass *analysis.Pass, lhs ast.Expr) *types.Var {
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := pass.TypesInfo.Uses[id].(*types.Var)
+	return v
+}

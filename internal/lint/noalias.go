@@ -1,0 +1,375 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// NoAlias enforces the query-result ownership contract: the exported query
+// entry points hand the caller a fresh slice/map — never a view of
+// retained sampler state, which a caller could then mutate under the
+// sampler (or observe mutating as ingest continues). The analyzer runs a
+// conservative per-function taint flow (receiver fields and anything
+// sliced/indexed/assigned from them are retained; make/append-to-fresh/
+// composite literals are fresh) and follows static calls through the
+// aliasesRetained fact, so a sharded wrapper returning a shard's live
+// slice is reported at the wrapper's entry point with the cross-package
+// chain. The deliberately-live accessors (SampleSlots/SlotsAt, the
+// windows' Contents materializers) are not entry points.
+var NoAlias = &analysis.Analyzer{
+	Name: "noalias",
+	Doc: "report exported query entry points (Sample, SampleAt, Values, ValuesAt, Items, " +
+		"ItemsAt) that return a slice or map aliasing retained sampler state; results " +
+		"must be fresh copies",
+	Run:       runNoAlias,
+	FactTypes: []analysis.Fact{(*aliasesRetained)(nil)},
+}
+
+// aliasesRetained marks a function whose returned slice/map may share
+// backing storage with its receiver's retained state; Via records one
+// witness chain.
+type aliasesRetained struct {
+	Via string
+}
+
+func (*aliasesRetained) AFact()           {}
+func (f *aliasesRetained) String() string { return "aliasesRetained(" + f.Via + ")" }
+
+// noaliasEntryPoints is the exported query surface whose results callers
+// own outright.
+var noaliasEntryPoints = map[string]bool{
+	"Sample":   true,
+	"SampleAt": true,
+	"Values":   true,
+	"ValuesAt": true,
+	"Items":    true,
+	"ItemsAt":  true,
+}
+
+// noaliasScopedPkg: packages whose entry points are held to the fresh-copy
+// contract. Every interesting package still computes and exports facts.
+func noaliasScopedPkg(path string) bool {
+	return queryScopedPkg(path) ||
+		pkgPathHasSuffix(path, "internal/core") ||
+		pkgPathHasSuffix(path, "internal/baseline") ||
+		pkgPathHasSuffix(path, "internal/apps")
+}
+
+// retNode is one function's aliasing state during the package fixpoint.
+type retNode struct {
+	n       *funcNode
+	recv    *types.Var // receiver object, nil for plain functions
+	tainted bool
+	via     string
+	reports []aliasReport
+}
+
+type aliasReport struct {
+	ret *ast.ReturnStmt
+	exp ast.Expr
+	via string
+}
+
+func runNoAlias(pass *analysis.Pass) (any, error) {
+	if !interestingPkg(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	al := collectAllows(pass, "noalias")
+	nodes := buildGraph(pass)
+
+	rets := make([]*retNode, 0, len(nodes))
+	byFn := make(map[*types.Func]*retNode, len(nodes))
+	for _, n := range nodes {
+		r := &retNode{n: n}
+		if recv := n.decl.Recv; recv != nil && len(recv.List) > 0 && len(recv.List[0].Names) > 0 {
+			r.recv, _ = pass.TypesInfo.Defs[recv.List[0].Names[0]].(*types.Var)
+		}
+		rets = append(rets, r)
+		byFn[n.fn] = r
+	}
+
+	// Package-level fixpoint: a helper marked tainted in one round can
+	// taint a caller's return in the next.
+	for changed := true; changed; {
+		changed = false
+		for _, r := range rets {
+			if r.tainted {
+				continue
+			}
+			r.reports = r.reports[:0]
+			analyzeReturns(pass, r, byFn)
+			if len(r.reports) > 0 && !r.tainted {
+				r.tainted = true
+				r.via = funcDisplay(pass, r.n.fn) + " " + r.reports[0].via
+				changed = true
+			}
+		}
+	}
+
+	for _, r := range rets {
+		if r.tainted {
+			pass.ExportObjectFact(r.n.fn, &aliasesRetained{Via: r.via})
+		}
+	}
+	if !noaliasScopedPkg(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, r := range rets {
+		if !r.tainted || !r.n.fn.Exported() || !noaliasEntryPoints[r.n.fn.Name()] {
+			continue
+		}
+		for _, rep := range r.reports {
+			d := analysis.Diagnostic{
+				Pos: rep.ret.Pos(),
+				Message: fmt.Sprintf(
+					"query %s returns a value aliasing retained sampler state (%s); return a fresh copy, or justify with //swlint:allow noalias <reason>",
+					funcDisplay(pass, r.n.fn), rep.via),
+			}
+			if fix := copyFix(pass, rep.exp); fix != nil {
+				d.SuggestedFixes = []analysis.SuggestedFix{*fix}
+			}
+			p := pass.Fset.Position(d.Pos)
+			if !al.lines[posKey{p.Filename, p.Line}] {
+				pass.Report(d)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// copyFix builds the canonical defensive-copy rewrite for a returned
+// slice: append([]T(nil), expr...).
+func copyFix(pass *analysis.Pass, exp ast.Expr) *analysis.SuggestedFix {
+	tv, ok := pass.TypesInfo.Types[exp]
+	if !ok {
+		return nil
+	}
+	if _, ok := tv.Type.Underlying().(*types.Slice); !ok {
+		return nil // maps need a keyed copy loop; no mechanical rewrite
+	}
+	ts := types.TypeString(tv.Type, types.RelativeTo(pass.Pkg))
+	src := exprString(pass, exp)
+	if src == "" {
+		return nil
+	}
+	return &analysis.SuggestedFix{
+		Message: "return a fresh copy of the slice",
+		TextEdits: []analysis.TextEdit{{
+			Pos:     exp.Pos(),
+			End:     exp.End(),
+			NewText: []byte("append(" + ts + "(nil), " + src + "...)"),
+		}},
+	}
+}
+
+// exprString recovers the source text of exp from the pass's file content.
+func exprString(pass *analysis.Pass, exp ast.Expr) string {
+	file := pass.Fset.File(exp.Pos())
+	if file == nil || pass.ReadFile == nil {
+		return ""
+	}
+	start := file.Offset(exp.Pos())
+	end := file.Offset(exp.End())
+	for _, f := range pass.Files {
+		if pass.Fset.File(f.Pos()) == file {
+			src, err := pass.ReadFile(file.Name())
+			if err != nil || end > len(src) {
+				return ""
+			}
+			return string(src[start:end])
+		}
+	}
+	return ""
+}
+
+// analyzeReturns computes r's tainted returns under the current package
+// knowledge: a local taint fixpoint over assignments, then every return
+// whose slice/map-typed result is tainted is recorded.
+func analyzeReturns(pass *analysis.Pass, r *retNode, byFn map[*types.Func]*retNode) {
+	body := r.n.decl.Body
+	tainted := make(map[*types.Var]string) // local var -> witness
+
+	var taintOf func(e ast.Expr) (string, bool)
+	taintOf = func(e ast.Expr) (string, bool) {
+		switch e := e.(type) {
+		case *ast.Ident:
+			v, _ := pass.TypesInfo.Uses[e].(*types.Var)
+			if v == nil {
+				return "", false
+			}
+			if via, ok := tainted[v]; ok {
+				return via, true
+			}
+			return "", false
+		case *ast.SelectorExpr:
+			if selection, ok := pass.TypesInfo.Selections[e]; ok && selection.Kind() == types.FieldVal {
+				// A field chain rooted at the receiver is retained state.
+				if base := baseIdent(e); base != nil {
+					if v, _ := pass.TypesInfo.Uses[base].(*types.Var); v != nil && v == r.recv && r.recv != nil {
+						return "returns field " + exprPath(e), true
+					}
+				}
+			}
+			return taintOf(e.X)
+		case *ast.IndexExpr:
+			return taintOf(e.X)
+		case *ast.SliceExpr:
+			return taintOf(e.X)
+		case *ast.ParenExpr:
+			return taintOf(e.X)
+		case *ast.StarExpr:
+			return taintOf(e.X)
+		case *ast.CallExpr:
+			return taintOfCall(pass, e, taintOf, byFn)
+		default:
+			return "", false
+		}
+	}
+
+	// Local fixpoint over assignments.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(x ast.Node) bool {
+			as, ok := x.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			// a, b := f() — taint every slice/map lhs if the call taints.
+			if len(as.Lhs) > 1 && len(as.Rhs) == 1 {
+				if via, ok := taintOf(as.Rhs[0]); ok {
+					for _, lhs := range as.Lhs {
+						if v := lhsVar(pass, lhs); v != nil && refLike(v.Type()) {
+							if _, done := tainted[v]; !done {
+								tainted[v] = via
+								changed = true
+							}
+						}
+					}
+				}
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				if i >= len(as.Rhs) {
+					break
+				}
+				if via, ok := taintOf(as.Rhs[i]); ok {
+					if v := lhsVar(pass, lhs); v != nil {
+						if _, done := tainted[v]; !done {
+							tainted[v] = via
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	ast.Inspect(body, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false // closures: out of the static boundary
+		}
+		ret, ok := x.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			tv, ok := pass.TypesInfo.Types[res]
+			if !ok || !refLike(tv.Type) {
+				continue
+			}
+			if via, ok := taintOf(res); ok {
+				r.reports = append(r.reports, aliasReport{ret: ret, exp: res, via: via})
+			}
+		}
+		return true
+	})
+}
+
+// taintOfCall classifies a call expression: append keeps its first
+// argument's taint, conversions keep their operand's, fresh allocations
+// cleanse, and static callees contribute their aliasesRetained fact (same
+// package via the fixpoint, imported via the fact store).
+func taintOfCall(pass *analysis.Pass, call *ast.CallExpr, taintOf func(ast.Expr) (string, bool), byFn map[*types.Func]*retNode) (string, bool) {
+	// Conversion: []T(x) keeps x's taint.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			return taintOf(call.Args[0])
+		}
+		return "", false
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, _ := pass.TypesInfo.Uses[id].(*types.Builtin); b != nil {
+			if b.Name() == "append" && len(call.Args) > 0 {
+				return taintOf(call.Args[0])
+			}
+			return "", false // make, new, len, ...
+		}
+	}
+	callee := staticCallee(pass.TypesInfo, call)
+	if callee == nil {
+		return "", false
+	}
+	if callee.Pkg() == pass.Pkg {
+		if r := byFn[callee]; r != nil && r.tainted {
+			return "-> " + r.via, true
+		}
+		return "", false
+	}
+	var f aliasesRetained
+	if pass.ImportObjectFact(callee, &f) {
+		return "-> " + f.Via, true
+	}
+	return "", false
+}
+
+// refLike reports whether t is a slice or map (the aliasable result
+// shapes this analyzer polices).
+func refLike(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+// baseIdent returns the innermost identifier of a selector chain.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// exprPath renders a selector chain for diagnostics ("s.sky.nodes").
+func exprPath(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprPath(x.X) + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return exprPath(x.X)
+	case *ast.StarExpr:
+		return "*" + exprPath(x.X)
+	case *ast.IndexExpr:
+		return exprPath(x.X) + "[...]"
+	default:
+		return "expr"
+	}
+}

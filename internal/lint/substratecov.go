@@ -1,0 +1,340 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// SubstrateCov closes the "wire it in five places" drift: a substrate
+// registered in internal/substrate.New must be exercised by the root
+// conformance battery (its constructor appears in conformance_test.go),
+// registrable through the serving layer's capability tests (its name
+// appears under internal/serve), documented in the swsample flag docs
+// (cmd/swsample/main.go) and in README's sampler-name table. The
+// substrate pass parses New's mode/sampler switch — the registry IS that
+// switch — and exports the table as a package fact; the cmd/swsample pass
+// (the one importer that always exists) joins the fact against the
+// coverage sources read from the repository root and reports each gap at
+// the substrate import.
+var SubstrateCov = &analysis.Analyzer{
+	Name: "substratecov",
+	Doc: "cross-check the internal/substrate registry against the conformance battery, " +
+		"serve capability tests, swsample flag docs, and README sampler table; report " +
+		"substrates registered but not covered",
+	Run:       runSubstrateCov,
+	FactTypes: []analysis.Fact{(*substrateTable)(nil)},
+}
+
+// substrateEntry is one registered substrate: its mode ("seq"/"ts"), its
+// -sampler name, the constructor the registry calls for it, and where the
+// case label sits (carried into diagnostics so the report names the
+// registry line even though it fires in the importing package).
+type substrateEntry struct {
+	Mode, Name, Ctor, Pos string
+}
+
+// substrateTable is the registry parsed out of substrate.New, exported as
+// a package fact on internal/substrate.
+type substrateTable struct {
+	Entries []substrateEntry
+}
+
+func (*substrateTable) AFact() {}
+func (t *substrateTable) String() string {
+	return "substrateTable(" + strconv.Itoa(len(t.Entries)) + " entries)"
+}
+
+func isSubstratePkg(path string) bool { return pkgPathHasSuffix(path, "internal/substrate") }
+func isCovJoinerPkg(path string) bool { return pkgPathHasSuffix(path, "cmd/swsample") }
+
+func runSubstrateCov(pass *analysis.Pass) (any, error) {
+	if !interestingPkg(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	if isSubstratePkg(pass.Pkg.Path()) {
+		if tab := parseSubstrateRegistry(pass); len(tab.Entries) > 0 {
+			pass.ExportPackageFact(tab)
+		}
+		return nil, nil
+	}
+	if !isCovJoinerPkg(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	al := collectAllows(pass, "substratecov")
+	for _, imp := range pass.Pkg.Imports() {
+		if !isSubstratePkg(imp.Path()) {
+			continue
+		}
+		var tab substrateTable
+		if !pass.ImportPackageFact(imp, &tab) {
+			continue
+		}
+		reportCoverageGaps(pass, al, imp, &tab)
+	}
+	return nil, nil
+}
+
+// parseSubstrateRegistry walks New's nested switches: the outer switch on
+// spec.Mode, an inner switch on spec.Sampler per mode, one constructor
+// call per case.
+func parseSubstrateRegistry(pass *analysis.Pass) *substrateTable {
+	tab := &substrateTable{}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "New" || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(x ast.Node) bool {
+				sw, ok := x.(*ast.SwitchStmt)
+				if !ok || !switchTagSelects(sw, "Mode") {
+					return true
+				}
+				for _, stmt := range sw.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, mode := range caseStrings(cc) {
+						collectSamplerCases(pass, cc, mode, tab)
+					}
+				}
+				return false
+			})
+		}
+	}
+	sort.Slice(tab.Entries, func(i, j int) bool {
+		a, b := tab.Entries[i], tab.Entries[j]
+		if a.Mode != b.Mode {
+			return a.Mode < b.Mode
+		}
+		return a.Name < b.Name
+	})
+	return tab
+}
+
+// collectSamplerCases finds the spec.Sampler switch inside one mode case
+// and records an entry per sampler name.
+func collectSamplerCases(pass *analysis.Pass, modeCase *ast.CaseClause, mode string, tab *substrateTable) {
+	for _, stmt := range modeCase.Body {
+		sw, ok := stmt.(*ast.SwitchStmt)
+		if !ok || !switchTagSelects(sw, "Sampler") {
+			continue
+		}
+		for _, s := range sw.Body.List {
+			cc, ok := s.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			ctor := firstConstructor(cc)
+			for _, name := range caseStrings(cc) {
+				p := pass.Fset.Position(cc.Pos())
+				tab.Entries = append(tab.Entries, substrateEntry{
+					Mode: mode,
+					Name: name,
+					Ctor: ctor,
+					Pos:  filepath.Base(p.Filename) + ":" + strconv.Itoa(p.Line),
+				})
+			}
+		}
+	}
+}
+
+// switchTagSelects reports whether sw switches on a selector whose field
+// is called name (spec.Mode, spec.Sampler).
+func switchTagSelects(sw *ast.SwitchStmt, name string) bool {
+	sel, ok := sw.Tag.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == name
+}
+
+// caseStrings returns the string-literal labels of a case clause.
+func caseStrings(cc *ast.CaseClause) []string {
+	var out []string
+	for _, e := range cc.List {
+		if lit, ok := e.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+			if s, err := strconv.Unquote(lit.Value); err == nil {
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// firstConstructor returns the base name of the first New* call in the
+// case body ("NewSeqWOR"), the registry's join key into the conformance
+// battery.
+func firstConstructor(cc *ast.CaseClause) string {
+	ctor := ""
+	for _, stmt := range cc.Body {
+		ast.Inspect(stmt, func(x ast.Node) bool {
+			if ctor != "" {
+				return false
+			}
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := ""
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				name = fun.Name
+			case *ast.SelectorExpr:
+				name = fun.Sel.Name
+			case *ast.IndexExpr: // generic instantiation New[T](...)
+				switch g := fun.X.(type) {
+				case *ast.Ident:
+					name = g.Name
+				case *ast.SelectorExpr:
+					name = g.Sel.Name
+				}
+			}
+			if strings.HasPrefix(name, "New") {
+				ctor = name
+				return false
+			}
+			return true
+		})
+		if ctor != "" {
+			break
+		}
+	}
+	return ctor
+}
+
+// coverageSource is one place a substrate must be wired, identified by the
+// repo-root-relative files to scan and the join key to look for.
+type coverageSource struct {
+	label   string
+	files   []string // relative to the module root; globs allowed
+	useCtor bool     // match the constructor name instead of the sampler name
+}
+
+var coverageSources = []coverageSource{
+	{label: "conformance battery (conformance_test.go)", files: []string{"conformance_test.go"}, useCtor: true},
+	{label: "serve capability tests (internal/serve)", files: []string{"internal/serve/*.go"}},
+	{label: "swsample flag docs (cmd/swsample/main.go)", files: []string{"cmd/swsample/main.go"}},
+	{label: "README sampler table (README.md)", files: []string{"README.md"}},
+}
+
+// reportCoverageGaps reads each coverage source from the module root and
+// reports, at the substrate import, every registry entry a source misses.
+func reportCoverageGaps(pass *analysis.Pass, al *allows, imp *types.Package, tab *substrateTable) {
+	root := moduleRoot(pass)
+	if root == "" {
+		return
+	}
+	pos := importPos(pass, imp.Path())
+	for _, src := range coverageSources {
+		text, found := readSourceFiles(root, src.files)
+		if !found {
+			al.report(pos, "substratecov: coverage source %s not found under %s", src.label, root)
+			continue
+		}
+		for _, e := range tab.Entries {
+			key := e.Name
+			if src.useCtor {
+				key = e.Ctor
+				if key == "" {
+					continue
+				}
+			}
+			if !containsToken(text, key) {
+				al.report(pos,
+					"substrate %s/%s (registered at %s) is not covered by the %s: add it, or annotate //swlint:allow substratecov <reason>",
+					e.Mode, e.Name, e.Pos, src.label)
+			}
+		}
+	}
+}
+
+// containsToken reports whether text contains key bounded by non-word
+// characters, so "wor" does not match inside "weighted-wor" or "NewSeqWOR"
+// inside "NewSeqWORX".
+func containsToken(text, key string) bool {
+	for from := 0; ; {
+		i := strings.Index(text[from:], key)
+		if i < 0 {
+			return false
+		}
+		i += from
+		before := byte(0)
+		if i > 0 {
+			before = text[i-1]
+		}
+		after := byte(0)
+		if j := i + len(key); j < len(text) {
+			after = text[j]
+		}
+		if !wordByte(before) && !wordByte(after) {
+			return true
+		}
+		from = i + 1
+	}
+}
+
+func wordByte(b byte) bool {
+	return b == '_' || b == '-' ||
+		(b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z') || (b >= '0' && b <= '9')
+}
+
+// readSourceFiles concatenates the named files (relative globs) under
+// root; found reports whether at least one file matched.
+func readSourceFiles(root string, patterns []string) (string, bool) {
+	var sb strings.Builder
+	found := false
+	for _, pat := range patterns {
+		matches, _ := filepath.Glob(filepath.Join(root, filepath.FromSlash(pat)))
+		for _, m := range matches {
+			data, err := os.ReadFile(m)
+			if err != nil {
+				continue
+			}
+			found = true
+			sb.Write(data)
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String(), found
+}
+
+// moduleRoot walks up from the pass's first file to the enclosing go.mod.
+func moduleRoot(pass *analysis.Pass) string {
+	if len(pass.Files) == 0 {
+		return ""
+	}
+	dir := filepath.Dir(pass.Fset.Position(pass.Files[0].Pos()).Filename)
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return ""
+		}
+		dir = parent
+	}
+}
+
+// importPos locates the import spec of path in the pass's files (the
+// natural anchor for cross-package coverage reports).
+func importPos(pass *analysis.Pass, path string) token.Pos {
+	for _, f := range pass.Files {
+		for _, spec := range f.Imports {
+			if p, err := strconv.Unquote(spec.Path.Value); err == nil && p == path {
+				return spec.Pos()
+			}
+		}
+	}
+	return pass.Files[0].Pos()
+}

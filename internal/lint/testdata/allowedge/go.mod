@@ -1,0 +1,4 @@
+// Fixture module for the suppression-grammar edge cases.
+module slidingsample.fixture/allowedge
+
+go 1.24

@@ -1,0 +1,50 @@
+// Package weighted pins two suppression-grammar edge cases: one directive
+// naming two analyzers for a line that trips both, and an allow on a
+// generic method honored across every instantiation (diagnostics and
+// facts key on origin objects).
+package weighted
+
+import (
+	"time"
+
+	"slidingsample.fixture/allowedge/internal/xrand"
+)
+
+// S trips detrand (ambient clock) and norandquery (query-path draw) on
+// the same line.
+type S struct{ rng *xrand.Rand }
+
+// Sample: one comma-separated directive suppresses both analyzers.
+//
+//swlint:allow detrand,norandquery fixture: one line, two analyzers
+func (s *S) Sample() []int { _ = time.Now(); _ = s.rng.Uint64(); return nil }
+
+// ValuesAt names only detrand: the clock is suppressed, the draw is not.
+//
+//swlint:allow detrand fixture: only the clock is justified
+func (s *S) ValuesAt(now int64) []int { _ = time.Now(); _ = s.rng.Uint64(); return nil } // want `query path .*ValuesAt draws randomness`
+
+// G: the standalone allow sits on the generic origin's declaration and
+// suppresses for every instantiation below.
+type G[T any] struct{ rng *xrand.Rand }
+
+//swlint:allow norandquery fixture: the origin decl carries the allow for all instantiations
+func (g *G[T]) Sample() []T { _ = g.rng.Uint64(); return nil }
+
+// H is the unsuppressed control: reported exactly once even though it is
+// instantiated at two types, because the call graph normalizes to origins.
+type H[T any] struct{ rng *xrand.Rand }
+
+func (h *H[T]) SampleAt(now int64) []T { return pick[T](h.rng) } // want `query path .*SampleAt draws randomness`
+
+// pick is the generic helper holding the draw; the report lands at the
+// entry point through the origin-normalized static call.
+func pick[T any](r *xrand.Rand) []T { _ = r.Uint64(); return nil }
+
+func use() {
+	var a G[int]
+	var b G[string]
+	var c H[int]
+	var d H[string]
+	_, _, _, _ = a, b, c, d
+}

@@ -1,0 +1,11 @@
+// Package xrand stubs the seeded generator for the edge-case fixture.
+package xrand
+
+type Rand struct{ s uint64 }
+
+func New(seed uint64) *Rand { return &Rand{s: seed} }
+
+func (r *Rand) Uint64() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	return r.s
+}

@@ -1,0 +1,4 @@
+// Fixture module for the nilness analyzer.
+module slidingsample.fixture/nilness
+
+go 1.24

@@ -1,0 +1,72 @@
+// Package core pins the nilness contract: inside the body of a variable's
+// own `== nil` check, dereference-like uses are guaranteed faults.
+package core
+
+type node struct {
+	next *node
+	val  int
+}
+
+// ok is a pointer-receiver method: legal to call on nil.
+func (n *node) ok() bool { return n == nil }
+
+func field(n *node) int {
+	if n == nil {
+		return n.val // want `n is nil on this path \(checked == nil above\); this field or method access will fault at run time`
+	}
+	return n.val
+}
+
+func deref(p *int) int {
+	if p == nil {
+		return *p // want `p is nil on this path .* this dereference will fault at run time`
+	}
+	return *p
+}
+
+func index(xs []int) int {
+	if xs == nil {
+		return xs[0] // want `xs is nil on this path .* this index will fault at run time`
+	}
+	return xs[0]
+}
+
+func call(f func() int) int {
+	if f == nil {
+		return f() // want `f is nil on this path .* this call will fault at run time`
+	}
+	return f()
+}
+
+// mapRead: reading a nil map is legal Go — silent.
+func mapRead(m map[string]int) int {
+	if m == nil {
+		return m["k"]
+	}
+	return 0
+}
+
+// repaired: the branch reassigns before the use — silent.
+func repaired(p *int) int {
+	if p == nil {
+		p = new(int)
+		return *p
+	}
+	return *p
+}
+
+// ptrMethod: calling a pointer-receiver method on nil is legal — silent.
+func ptrMethod(n *node) bool {
+	if n == nil {
+		return n.ok()
+	}
+	return false
+}
+
+// compound: the && clause may re-establish non-nilness — skipped.
+func compound(p *int, use bool) int {
+	if p == nil && use {
+		return *p
+	}
+	return 0
+}

@@ -1,0 +1,4 @@
+// Fixture module for the noalias analyzer.
+module slidingsample.fixture/noalias
+
+go 1.24

@@ -1,0 +1,16 @@
+// Package parallel pins the cross-package half of noalias: a wrapper
+// forwarding a shard's live view is reported at ITS entry point with the
+// chain, resolved through the aliasesRetained fact.
+package parallel
+
+import "slidingsample.fixture/noalias/internal/weighted"
+
+type Sharded struct{ w *weighted.WOR }
+
+func NewSharded() *Sharded { return &Sharded{w: weighted.New(8)} }
+
+// Sample forwards the shard's live view.
+func (s *Sharded) Sample() []int { return s.w.Sample() } // want `query \(\*Sharded\)\.Sample returns a value aliasing retained sampler state \(-> \(\*WOR\)\.Sample returns field s\.items\)`
+
+// Values forwards the copying query: silent.
+func (s *Sharded) Values() []int { return s.w.Values() }

@@ -1,0 +1,44 @@
+// Package weighted pins the noalias contract inside one package: query
+// entry points must hand back fresh copies, not views of retained state.
+package weighted
+
+type WOR struct {
+	items []int
+	meta  map[string]int
+}
+
+func New(n int) *WOR { return &WOR{items: make([]int, n), meta: map[string]int{}} }
+
+// Sample returns the live backing slice.
+func (s *WOR) Sample() []int { return s.items } // want `query \(\*WOR\)\.Sample returns a value aliasing retained sampler state \(returns field s\.items\)`
+
+// Values copies element-wise: silent.
+func (s *WOR) Values() []int {
+	out := make([]int, len(s.items))
+	copy(out, s.items)
+	return out
+}
+
+// ValuesAt copies via append-to-fresh: silent.
+func (s *WOR) ValuesAt(now int64) []int { return append([]int(nil), s.items...) }
+
+// Items flows the field through locals and a subslice — still a view.
+func (s *WOR) Items() []int {
+	v := s.items
+	w := v[1:]
+	return w // want `query \(\*WOR\)\.Items returns a value aliasing retained sampler state \(returns field s\.items\)`
+}
+
+// ItemsAt returns a retained map (no mechanical fix exists for maps).
+func (s *WOR) ItemsAt(now int64) map[string]int {
+	return s.meta // want `query \(\*WOR\)\.ItemsAt returns a value aliasing retained sampler state \(returns field s\.meta\)`
+}
+
+// SampleSlots is not an entry point: live views are its documented
+// contract, so it stays silent (but still exports the aliasing fact).
+func (s *WOR) SampleSlots() []int { return s.items }
+
+// SampleAt is a deliberate live view, justified in place.
+func (s *WOR) SampleAt(now int64) []int {
+	return s.items //swlint:allow noalias fixture: documented live view
+}

@@ -12,8 +12,9 @@ func NewSharded(w *weighted.WOR) *Sharded { return &Sharded{w: w} }
 // SampleAt inherits weighted's query-time draw across the package
 // boundary.
 func (s *Sharded) SampleAt(now int64) []int { // want `query path \(\*Sharded\)\.SampleAt draws randomness: \(\*Sharded\)\.SampleAt -> \(\*WOR\)\.SampleAt -> \(\*xrand\.Rand\)\.Uint64`
-	return s.w.SampleAt(now)
+	return s.w.SampleAt(now) // want `query \(\*Sharded\)\.SampleAt returns a value aliasing retained sampler state \(-> \(\*WOR\)\.SampleAt returns field s\.items\)`
 }
 
-// Sample delegates to weighted's clean query: clean here too.
-func (s *Sharded) Sample() []int { return s.w.Sample() }
+// Sample delegates to weighted's rng-free query: clean for norandquery,
+// but the live view it forwards is reported here too, with the chain.
+func (s *Sharded) Sample() []int { return s.w.Sample() } // want `query \(\*Sharded\)\.Sample returns a value aliasing retained sampler state`

@@ -18,13 +18,14 @@ func (s *WOR) Observe(v int) {
 	}
 }
 
-// Sample is a clean query: no draw anywhere on its path.
-func (s *WOR) Sample() []int { return s.items }
+// Sample is a clean query for norandquery (no draw on its path) but a
+// live-view return for noalias.
+func (s *WOR) Sample() []int { return s.items } // want `query \(\*WOR\)\.Sample returns a value aliasing retained sampler state`
 
 // SampleAt draws directly at query time.
 func (s *WOR) SampleAt(now int64) []int { // want `query path \(\*WOR\)\.SampleAt draws randomness: \(\*WOR\)\.SampleAt -> \(\*xrand\.Rand\)\.Uint64`
 	if s.rng.Uint64()%2 == 0 {
-		return s.items
+		return s.items // want `query \(\*WOR\)\.SampleAt returns a value aliasing retained sampler state`
 	}
 	return nil
 }

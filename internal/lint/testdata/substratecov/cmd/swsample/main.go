@@ -1,0 +1,11 @@
+// Command swsample is the fixture joiner: it imports the substrate
+// registry, so the coverage join fires here.
+//
+// Samplers: wor (default).
+package main
+
+import "slidingsample.fixture/substratecov/internal/substrate" // want `substrate seq/w\S \(registered at substrate\.go:\d+\) is not covered by the conformance battery \(conformance_test\.go\)` `substrate seq/w\S \(registered at substrate\.go:\d+\) is not covered by the swsample flag docs \(cmd/swsample/main\.go\)`
+
+func main() {
+	_ = substrate.New(substrate.Spec{Mode: "seq", Sampler: "wor"})
+}

@@ -1,0 +1,13 @@
+package root
+
+// The fixture conformance battery covers NewSeqWOR and NewTSWOR but has no
+// row for the seq with-replacement constructor — the drift to catch.
+
+import "testing"
+
+func TestConformanceBattery(t *testing.T) {
+	rows := []string{"core.NewSeqWOR", "core.NewTSWOR"}
+	if len(rows) != 2 {
+		t.Fatal("fixture battery changed")
+	}
+}

@@ -1,0 +1,4 @@
+// Fixture module for the substratecov analyzer.
+module slidingsample.fixture/substratecov
+
+go 1.24

@@ -1,0 +1,8 @@
+// Package core stubs the sampler constructors the fixture registry calls.
+package core
+
+type Sampler struct{}
+
+func NewSeqWOR() *Sampler { return &Sampler{} }
+func NewSeqWR() *Sampler  { return &Sampler{} }
+func NewTSWOR() *Sampler  { return &Sampler{} }

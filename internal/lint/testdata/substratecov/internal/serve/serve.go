@@ -1,0 +1,3 @@
+// Package serve is the fixture serving layer; its tests are the coverage
+// source the analyzer scans.
+package serve

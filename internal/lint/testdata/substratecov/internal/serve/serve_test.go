@@ -1,0 +1,12 @@
+package serve
+
+// The serve capability tests register every sampler name: wor, wr.
+
+import "testing"
+
+func TestRegisterAll(t *testing.T) {
+	names := []string{"wor", "wr"}
+	if len(names) != 2 {
+		t.Fatal("fixture sweep changed")
+	}
+}

@@ -1,0 +1,25 @@
+// Package substrate is a miniature of the real registry: New's nested
+// mode/sampler switch IS the registry the analyzer parses.
+package substrate
+
+import "slidingsample.fixture/substratecov/internal/core"
+
+type Spec struct{ Mode, Sampler string }
+
+func New(spec Spec) any {
+	switch spec.Mode {
+	case "seq":
+		switch spec.Sampler {
+		case "wor":
+			return core.NewSeqWOR()
+		case "wr":
+			return core.NewSeqWR()
+		}
+	case "ts":
+		switch spec.Sampler {
+		case "wor":
+			return core.NewTSWOR()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+// Package root anchors the fixture's module root (the coverage sources —
+// conformance_test.go, README.md — live beside it).
+package root

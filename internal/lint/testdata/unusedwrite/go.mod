@@ -1,0 +1,4 @@
+// Fixture module for the unusedwrite analyzer.
+module slidingsample.fixture/unusedwrite
+
+go 1.24

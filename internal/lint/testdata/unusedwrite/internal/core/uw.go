@@ -1,0 +1,59 @@
+// Package core pins the unusedwrite contract: field writes through
+// by-value copies that nothing reads afterwards are lost.
+package core
+
+type counter struct {
+	n, m  int
+	items []int
+}
+
+// lost: a value receiver's field write mutates a discarded copy.
+func (c counter) lost() {
+	c.n = 5 // want `write to c\.n is lost: value receiver c is a copy and is never read after this write`
+}
+
+// twoLost: a later lost write must not rescue an earlier one.
+func (c counter) twoLost() {
+	c.n = 1 // want `write to c\.n is lost`
+	c.m = 2 // want `write to c\.m is lost`
+}
+
+// incLost: op-assign through a value receiver is a write too.
+func (c counter) incLost() {
+	c.n++ // want `write to c\.n is lost`
+}
+
+// readAfter: deliberate copy-then-use — silent.
+func (c counter) readAfter() int {
+	c.n = 5
+	return c.n
+}
+
+// sharedBacking: element writes reach the caller through the shared
+// backing array — a real use, not a lost write.
+func (c counter) sharedBacking() {
+	c.items[0] = 1
+}
+
+// inc mutates through a pointer receiver — silent.
+func (c *counter) inc() { c.n++ }
+
+// rangeLost: the range value variable is an iteration copy.
+func rangeLost(cs []counter) {
+	for i := range cs {
+		_ = i
+	}
+	for _, c := range cs {
+		c.n = 9 // want `write to c\.n is lost: range-value copy c is a copy and is never read after this write`
+	}
+}
+
+// rangeRead: copy-then-use inside the loop body — silent.
+func rangeRead(cs []counter) int {
+	sum := 0
+	for _, c := range cs {
+		c.n = 9
+		sum += c.n
+	}
+	return sum
+}

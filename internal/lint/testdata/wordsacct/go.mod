@@ -1,0 +1,4 @@
+// Fixture module for the wordsacct analyzer.
+module slidingsample.fixture/wordsacct
+
+go 1.24

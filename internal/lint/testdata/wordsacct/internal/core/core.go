@@ -1,0 +1,64 @@
+// Package core pins the wordsacct contract: every retained reference-typed
+// field of a type with a Words()/words() method must be referenced in the
+// footprint closure or carry a justified allow.
+package core
+
+import (
+	"sync"
+
+	"slidingsample.fixture/wordsacct/internal/xrand"
+)
+
+// Bad retains a slice its Words() never accounts.
+type Bad struct {
+	items []int // want `field Bad\.items \(\[\]int\) is retained state but not accounted in Bad's Words\(\)/words\(\)`
+	count int
+}
+
+func (b *Bad) Words() int { return b.count }
+
+// Good accounts every retained field — the map through a same-type helper,
+// which is part of the Words closure.
+type Good struct {
+	items []int
+	kv    map[string]int
+}
+
+func (g *Good) Words() int { return len(g.items) + g.kvWords() }
+
+func (g *Good) kvWords() int { return len(g.kv) }
+
+// Excluded fields are outside the word model by definition: sync
+// primitives, channels (transport), func values (configuration), and the
+// seeded rng.
+type Excluded struct {
+	mu   sync.Mutex
+	ch   chan int
+	hook func() int
+	rng  *xrand.Rand
+	n    int
+}
+
+func (e *Excluded) Words() int { return e.n }
+
+// Allowed: an unreferenced field with a justified exclusion stays silent.
+type Allowed struct {
+	scratch []int //swlint:allow wordsacct fixture: recycled transport, empty between calls
+	n       int
+}
+
+func (a *Allowed) Words() int { return a.n }
+
+// LowerWords: the unexported words(peak) spelling is held to the same
+// contract.
+type LowerWords struct {
+	cache []uint64 // want `field LowerWords\.cache \(\[\]uint64\) is retained state but not accounted in LowerWords's Words\(\)/words\(\)`
+	n     int
+}
+
+func (l *LowerWords) words(peak bool) int {
+	if peak {
+		return 2 * l.n
+	}
+	return l.n
+}

@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// UnusedWrite is a lightweight local reimplementation of the x/tools
+// unusedwrite pass (upstream needs go/ssa, absent from the vendored
+// tool-only subset). It reports the two classic lost-write shapes that
+// matter for this codebase's value-semantics types:
+//
+//   - a field write through a VALUE receiver (`func (s S) m() { s.f = ... }`)
+//     mutates the method's private copy, which is discarded at return;
+//   - a field write through a range VALUE variable
+//     (`for _, v := range xs { v.f = ... }`) mutates the iteration copy.
+//
+// A write is only reported when the copy is never read afterwards (the
+// variable does not appear again after the assignment), so deliberate
+// local-copy-then-use patterns stay silent.
+var UnusedWrite = &analysis.Analyzer{
+	Name: "unusedwrite",
+	Doc: "report field writes through value receivers or range-value copies that are " +
+		"never read afterwards; a conservative AST subset of x/tools' unusedwrite",
+	Run: runUnusedWrite,
+}
+
+func runUnusedWrite(pass *analysis.Pass) (any, error) {
+	if !interestingPkg(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	al := collectAllows(pass, "unusedwrite")
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// Value receivers.
+			if fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+				if _, ptr := fd.Recv.List[0].Type.(*ast.StarExpr); !ptr {
+					if v, ok := pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]].(*types.Var); ok {
+						checkCopyWrites(pass, al, fd.Body, v, "value receiver")
+					}
+				}
+			}
+			// Range-value copies of struct type.
+			ast.Inspect(fd.Body, func(x ast.Node) bool {
+				rng, ok := x.(*ast.RangeStmt)
+				if !ok || rng.Value == nil {
+					return true
+				}
+				id, ok := rng.Value.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				v, ok := pass.TypesInfo.Defs[id].(*types.Var)
+				if !ok {
+					return true
+				}
+				if _, isStruct := v.Type().Underlying().(*types.Struct); !isStruct {
+					return true
+				}
+				checkCopyWrites(pass, al, rng.Body, v, "range-value copy")
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// checkCopyWrites reports `v.f = ...` (and op-assigns) in body when v — a
+// by-value copy — is never read after the write.
+func checkCopyWrites(pass *analysis.Pass, al *allows, body *ast.BlockStmt, v *types.Var, kind string) {
+	type write struct {
+		pos   token.Pos
+		field string
+		end   token.Pos // position after which a read would rescue it
+	}
+	var writes []write
+	var reads []token.Pos
+
+	ast.Inspect(body, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if sel, ok := lhs.(*ast.SelectorExpr); ok {
+					if id, ok := sel.X.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == v {
+						// Direct v.f = ... — a candidate lost write; the
+						// target's own mention of v is not a read.
+						writes = append(writes, write{pos: sel.Pos(), field: sel.Sel.Name, end: x.End()})
+						continue
+					}
+				}
+				// v.f[i] = ..., other targets: writes through shared
+				// backing, so the mention of v is a real use.
+				collectReads(pass, lhs, v, &reads)
+			}
+			for _, rhs := range x.Rhs {
+				collectReads(pass, rhs, v, &reads)
+			}
+			return false
+		case *ast.IncDecStmt:
+			if sel, ok := x.X.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == v {
+					writes = append(writes, write{pos: sel.Pos(), field: sel.Sel.Name, end: x.End()})
+					return false
+				}
+			}
+			collectReads(pass, x.X, v, &reads)
+			return false
+		default:
+			if e, ok := x.(ast.Expr); ok {
+				collectReads(pass, e, v, &reads)
+				return false
+			}
+			return true
+		}
+	})
+
+	for _, w := range writes {
+		rescued := false
+		for _, r := range reads {
+			if r > w.end {
+				rescued = true
+				break
+			}
+		}
+		if !rescued {
+			al.report(w.pos,
+				"write to %s.%s is lost: %s %s is a copy and is never read after this write",
+				v.Name(), w.field, kind, v.Name())
+		}
+	}
+}
+
+// collectReads records positions where v itself is read inside e —
+// excluding the write target shape handled by the caller.
+func collectReads(pass *analysis.Pass, e ast.Expr, v *types.Var, out *[]token.Pos) {
+	ast.Inspect(e, func(x ast.Node) bool {
+		if id, ok := x.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == v {
+			*out = append(*out, id.Pos())
+		}
+		return true
+	})
+}

@@ -1,0 +1,249 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// WordsAcct enforces the §6 word-model accounting contract: every type
+// that reports its footprint through a Words()/words() method must account
+// for each retained reference-typed field (slices, maps, embedded oracles,
+// cached scratch) in that method — by referencing the field somewhere in
+// the Words closure — or carry an explicit //swlint:allow wordsacct with
+// the word-model exclusion that justifies leaving it out. Adding a field
+// to a counted type without deciding its accounting breaks the build.
+var WordsAcct = &analysis.Analyzer{
+	Name: "wordsacct",
+	Doc: "require every retained reference-typed field of a type with a Words()/words() " +
+		"footprint method to be accounted in that method or carry an explicit " +
+		"//swlint:allow wordsacct word-model exclusion (DESIGN.md §6)",
+	Run: runWordsAcct,
+}
+
+// needsAccounting reports whether a field of type t retains heap state the
+// word model must decide on. The documented exclusions (DESIGN.md §6):
+// channels are transport, func values are configuration/code, xrand.Rand
+// and the sync primitives are fixed-size machinery outside the model.
+// seen guards recursive struct walks against cycles.
+func needsAccounting(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		if excludedWordsType(named) {
+			return false
+		}
+		if hasWordsMethod(named) {
+			return true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true
+	case *types.Chan, *types.Signature:
+		return false
+	case *types.Interface:
+		return true // embedded oracle: dynamic state of unknown size
+	case *types.Pointer:
+		if named, ok := u.Elem().(*types.Named); ok && excludedWordsType(named) {
+			return false
+		}
+		return true // retained heap structure behind the pointer
+	case *types.Array:
+		return needsAccounting(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if needsAccounting(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false // scalars
+	}
+}
+
+// excludedWordsType lists named types outside the word model: the seeded
+// rng (code, not stream state) and the sync package's primitives.
+func excludedWordsType(named *types.Named) bool {
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	if isXrandPkg(path) && obj.Name() == "Rand" {
+		return true
+	}
+	return path == "sync" || path == "sync/atomic"
+}
+
+// hasWordsMethod reports whether named declares a Words/words method with
+// a single int result (promoted methods do not count: an embedded counted
+// type is itself a field the outer Words must account for).
+func hasWordsMethod(named *types.Named) bool {
+	named = named.Origin()
+	for i := 0; i < named.NumMethods(); i++ {
+		if isWordsFunc(named.Method(i)) {
+			return true
+		}
+	}
+	return false
+}
+
+// isWordsFunc reports whether fn is a footprint method: named Words or
+// words, any parameters (the peak-selector shape words(peak bool) counts),
+// exactly one int result.
+func isWordsFunc(fn *types.Func) bool {
+	if fn.Name() != "Words" && fn.Name() != "words" {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Results().Len() != 1 {
+		return false
+	}
+	b, ok := sig.Results().At(0).Type().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Int
+}
+
+// recvNamed resolves a method node's receiver to its origin named type,
+// or nil for plain functions.
+func recvNamed(fn *types.Func) *types.Named {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	if named == nil {
+		return nil
+	}
+	return named.Origin()
+}
+
+func runWordsAcct(pass *analysis.Pass) (any, error) {
+	if !interestingPkg(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	al := collectAllows(pass, "wordsacct")
+	nodes := buildGraph(pass)
+
+	// Group this package's methods by origin receiver type.
+	methods := make(map[*types.Named][]*funcNode)
+	for _, n := range nodes {
+		if named := recvNamed(n.fn); named != nil {
+			methods[named] = append(methods[named], n)
+		}
+	}
+
+	for named, ms := range methods {
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		// The Words closure: the footprint methods plus every same-type
+		// method statically reachable from them (helpers like shardWords
+		// and the per-shard walkers).
+		var work []*funcNode
+		byFn := make(map[*types.Func]*funcNode, len(ms))
+		for _, m := range ms {
+			byFn[m.fn] = m
+			if isWordsFunc(m.fn) {
+				work = append(work, m)
+			}
+		}
+		if len(work) == 0 {
+			continue
+		}
+		closure := make(map[*funcNode]bool)
+		for len(work) > 0 {
+			n := work[0]
+			work = work[1:]
+			if closure[n] {
+				continue
+			}
+			closure[n] = true
+			for _, e := range n.edges {
+				if e.callee == nil {
+					continue
+				}
+				if m := byFn[e.callee]; m != nil && !closure[m] {
+					work = append(work, m)
+				}
+			}
+		}
+
+		// Fields referenced anywhere in the closure, including embedded
+		// hops on the way to a promoted field or method.
+		accounted := make(map[*types.Var]bool)
+		for n := range closure {
+			ast.Inspect(n.decl.Body, func(x ast.Node) bool {
+				sel, ok := x.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				selection, ok := pass.TypesInfo.Selections[sel]
+				if !ok {
+					return true
+				}
+				recv := selection.Recv()
+				if p, ok := recv.(*types.Pointer); ok {
+					recv = p.Elem()
+				}
+				rn, _ := recv.(*types.Named)
+				if rn == nil || rn.Origin() != named {
+					return true
+				}
+				markIndexPath(st, selection, accounted)
+				return true
+			})
+		}
+
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if accounted[f] || !needsAccounting(f.Type(), map[types.Type]bool{}) {
+				continue
+			}
+			al.report(f.Pos(),
+				"field %s.%s (%s) is retained state but not accounted in %s's Words()/words(): count its words or annotate //swlint:allow wordsacct <word-model exclusion> (DESIGN.md §6)",
+				named.Obj().Name(), f.Name(), types.TypeString(f.Type(), types.RelativeTo(pass.Pkg)), named.Obj().Name())
+		}
+	}
+	return nil, nil
+}
+
+// markIndexPath marks every struct field traversed by a selection rooted
+// at st: for a field selection all index hops are fields; for a method
+// selection the final hop is the method and everything before it is an
+// embedded field.
+func markIndexPath(st *types.Struct, selection *types.Selection, accounted map[*types.Var]bool) {
+	idx := selection.Index()
+	if selection.Kind() != types.FieldVal {
+		if len(idx) == 0 {
+			return
+		}
+		idx = idx[:len(idx)-1]
+	}
+	cur := st
+	for _, i := range idx {
+		if i >= cur.NumFields() {
+			return
+		}
+		f := cur.Field(i)
+		accounted[f] = true
+		t := f.Type()
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		next, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			return
+		}
+		cur = next
+	}
+}

@@ -1,0 +1,80 @@
+package parallel
+
+// words_test.go: pins the dispatcher-side word accounting (DESIGN.md §6).
+// The per-shard query caches — tsDispatch.sizes and wdispatch.wcache —
+// persist between queries, so they are sampler state, not transport: the
+// first query after a checkpoint must grow Words() by exactly G words (the
+// warmed cache) and later queries at the same checkpoint by nothing. These
+// tests fail against a words() that forgets either cache.
+
+import (
+	"testing"
+
+	"slidingsample/internal/xrand"
+)
+
+func TestWordsCountsSizesCache(t *testing.T) {
+	const g, k, t0 = 4, 3, 50
+	s := NewShardedTSWR[uint64](xrand.New(7), t0, g, k, 0.05)
+	defer s.Close()
+
+	// All arrivals on one tick: nothing can expire at query time, so the
+	// only footprint change a query can cause is warming the size cache.
+	for i := 0; i < 200; i++ {
+		s.Observe(uint64(i), 0)
+	}
+	s.Barrier()
+
+	if len(s.ts.sizes) != 0 {
+		t.Fatalf("size cache warm before any query: len %d", len(s.ts.sizes))
+	}
+	before := s.Words()
+	if _, ok := s.SampleAt(0); !ok {
+		t.Fatal("no sample from non-empty window")
+	}
+	if len(s.ts.sizes) != g {
+		t.Fatalf("size cache holds %d words after query, want G=%d", len(s.ts.sizes), g)
+	}
+	if got := s.Words(); got != before+g {
+		t.Fatalf("Words = %d after warming the size cache, want %d+%d", got, before, g)
+	}
+	// Same checkpoint, cache already warm: the footprint must not creep.
+	if _, ok := s.SampleAt(0); !ok {
+		t.Fatal("no sample on repeat query")
+	}
+	if got := s.Words(); got != before+g {
+		t.Fatalf("Words = %d after repeat query, want %d", got, before+g)
+	}
+}
+
+func TestWordsCountsWeightCache(t *testing.T) {
+	const g, k, t0 = 4, 3, 50
+	weight := func(v uint64) float64 { return float64(v%5) + 1 }
+	s := NewShardedWeightedTSWR[uint64](xrand.New(9), t0, g, k, 0.05, weight)
+	defer s.Close()
+
+	for i := 0; i < 200; i++ {
+		s.Observe(uint64(i), 0)
+	}
+	s.Barrier()
+
+	if len(s.w.wcache) != 0 {
+		t.Fatalf("weight cache warm before any query: len %d", len(s.w.wcache))
+	}
+	before := s.Words()
+	if _, ok := s.SampleAt(0); !ok {
+		t.Fatal("no sample from non-empty window")
+	}
+	if len(s.w.wcache) != g {
+		t.Fatalf("weight cache holds %d words after query, want G=%d", len(s.w.wcache), g)
+	}
+	if got := s.Words(); got != before+g {
+		t.Fatalf("Words = %d after warming the weight cache, want %d+%d", got, before, g)
+	}
+	if _, ok := s.SampleAt(0); !ok {
+		t.Fatal("no sample on repeat query")
+	}
+	if got := s.Words(); got != before+g {
+		t.Fatalf("Words = %d after repeat query, want %d", got, before+g)
+	}
+}

@@ -470,7 +470,7 @@ func validWeight(w float64) bool { return w > 0 && !math.IsInf(w, 1) }
 // elements in, weighted samples out, with the standard scratch discipline.
 type weightedSeqSampler[T any] struct {
 	inner   stream.Sampler[weightedItem[T]]
-	scratch []stream.Element[weightedItem[T]]
+	scratch []stream.Element[weightedItem[T]] //swlint:allow wordsacct recycled batch scratch under stream.MaxRecycledCap, empty between calls
 	// sync, when set, flushes pending sharded ingest before a query: the
 	// sharded substrates require a barrier between ingest and sampling, and
 	// the public wrappers hold it automatically so queries are always safe.
@@ -760,8 +760,8 @@ func (s *ShardedWeightedSequenceWR[T]) TotalWeight() float64 { return s.sharded.
 // "as of now" samples out.
 type weightedTSSampler[T any] struct {
 	timed   stream.TimedSampler[weightedItem[T]]
-	sized   interface{ SizeAt(int64) uint64 }
-	scratch []stream.Element[weightedItem[T]]
+	sized   interface{ SizeAt(int64) uint64 } //swlint:allow wordsacct capability view of the timed sampler above, counted there
+	scratch []stream.Element[weightedItem[T]] //swlint:allow wordsacct recycled batch scratch under stream.MaxRecycledCap, empty between calls
 	// sync, when set, flushes pending sharded ingest before a query: the
 	// sharded substrates require a barrier between ingest and sampling, and
 	// the public wrappers hold it automatically so queries are always safe.
