@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet lint lint-json lint-fix bench-quick bench-batch bench-smoke swbench-quick smoke-e18 smoke-e19 serve-smoke check ci
+.PHONY: all build test test-race vet lint lint-json lint-fix bench-quick bench-batch bench-smoke bench-tenants swbench-quick smoke-e18 smoke-e19 serve-smoke check ci
 
 all: build
 
@@ -28,12 +28,17 @@ test:
 #   ./internal/window      exact materializers: harness code reads them
 #                          from checker goroutines after ingest stops;
 #                          TestBuffersConcurrentReads pins the read paths
+#   ./internal/slab        sync.Pool-backed slice recycling shared by every
+#                          tenant ingest request; TestSlicePoolConcurrent
+#                          hammers Get/Put from many goroutines
+# internal/serve includes TestTenantFirstArrivalRace, the fabric's
+# concurrent lazy-instantiation hammer (exactly one sampler per tenant).
 # Not listed: internal/core and internal/xrand are single-goroutine by
 # contract with no concurrent tests to exercise (callers synchronize);
 # internal/stream and internal/substrate are data/plumbing with no
 # goroutines; cmd/* are covered by the smoke targets.
 test-race:
-	$(GO) test -race . ./internal/parallel/... ./internal/ehist/... ./internal/serve/... ./internal/weighted/... ./internal/window/...
+	$(GO) test -race . ./internal/parallel/... ./internal/ehist/... ./internal/serve/... ./internal/slab/... ./internal/weighted/... ./internal/window/...
 
 vet:
 	$(GO) vet ./...
@@ -102,8 +107,16 @@ bench-smoke:
 	$(GO) run ./cmd/swload -clients 2 -batches 4 -batch-size 25 -queries 10 > /dev/null
 	$(GO) test -run xxx -bench 'BenchmarkHTTP|BenchmarkBatch_|SampleAt' -benchtime 1x ./internal/serve/ .
 
+# Multi-tenant fabric smoke: a tiny hermetic swload tenant wave (fabric
+# registration, zipf-skewed /tenant/{fabric}/{id}/ traffic) plus the tenant
+# ingest/footprint benchmarks at one iteration with -short (skips the 1M
+# population). Verifies the BENCH_6 machinery runs, not that it is fast.
+bench-tenants:
+	$(GO) run ./cmd/swload -tenants 100 -tenant-skew 1.1 -clients 2 -batches 4 -batch-size 25 -queries 10 > /dev/null
+	$(GO) test -run xxx -bench 'BenchmarkTenant' -benchtime 1x -short ./internal/serve/
+
 # lint runs right after vet/build so invariant violations fail the gate
 # before the slower race and smoke stages.
-check: vet build lint test test-race smoke-e18 smoke-e19 serve-smoke bench-smoke
+check: vet build lint test test-race smoke-e18 smoke-e19 serve-smoke bench-smoke bench-tenants
 
 ci: check

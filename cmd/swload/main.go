@@ -30,6 +30,16 @@
 // and sequential shard queries (serve.SetPipelinedIngest(false),
 // parallel.SetQueryFanout(1)). BENCH_5.json pairs -legacy rows with default
 // rows at equal workloads.
+//
+// -tenants N switches the workload to the multi-tenant fabric: one fabric
+// is registered (any "sharded-" prefix on -sampler is dropped — fabrics
+// reject substrates that own goroutines) and every request targets
+// /tenant/{fabric}/{id}/... for an id drawn from a Zipf(-tenant-skew)
+// distribution over N tenants. The pick sequence is precomputed
+// sequentially from the run seed, so the tenant mix is reproducible across
+// runs and servers. The mixed wave's readers stick to /sample in tenant
+// mode (/weight depends on the template's oracle capability). BENCH_6.json
+// pairs tenant-mode rows at increasing N.
 package main
 
 import (
@@ -48,6 +58,7 @@ import (
 
 	"slidingsample/internal/parallel"
 	"slidingsample/internal/serve"
+	"slidingsample/internal/xrand"
 )
 
 type phaseSummary struct {
@@ -62,16 +73,21 @@ type phaseSummary struct {
 }
 
 type summary struct {
-	Label     string       `json:"label,omitempty"`
-	Pipelined bool         `json:"pipelined"`
-	Fanout    int          `json:"fanout"`
-	Clients   int          `json:"clients"`
-	Batches   int          `json:"batchesPerClient"`
-	BatchSize int          `json:"batchSize"`
-	Queries   int          `json:"queriesPerClient"`
-	Sampler   string       `json:"sampler"`
-	Ingest    phaseSummary `json:"ingest"`
-	Query     phaseSummary `json:"query"`
+	Label      string  `json:"label,omitempty"`
+	Pipelined  bool    `json:"pipelined"`
+	Fanout     int     `json:"fanout"`
+	Clients    int     `json:"clients"`
+	Batches    int     `json:"batchesPerClient"`
+	BatchSize  int     `json:"batchSize"`
+	Queries    int     `json:"queriesPerClient"`
+	Sampler    string  `json:"sampler"`
+	Tenants    int     `json:"tenants,omitempty"`
+	TenantSkew float64 `json:"tenantSkew,omitempty"`
+	// LiveTenants is read back from GET /fabrics after the waves: how many
+	// tenants the pick distribution actually instantiated.
+	LiveTenants int          `json:"liveTenants,omitempty"`
+	Ingest      phaseSummary `json:"ingest"`
+	Query       phaseSummary `json:"query"`
 	// Mixed reruns ingest with concurrent readers: MixedIngest is the wave's
 	// ingest view, MixedSample/MixedWeight the readers' latency split by
 	// endpoint (/sample takes the application lock, /weight rides the read
@@ -83,20 +99,22 @@ type summary struct {
 
 func main() {
 	var (
-		urlFlag   = flag.String("url", "", "base URL of a running swserve; empty: hermetic in-process server")
-		name      = flag.String("name", "load", "sampler name to register and drive")
-		sampler   = flag.String("sampler", "sharded-weighted-wor", "seq-mode substrate to load")
-		clients   = flag.Int("clients", 4, "concurrent client goroutines")
-		batches   = flag.Int("batches", 50, "ingest batches per client")
-		batchSize = flag.Int("batch-size", 100, "values per ingest batch")
-		queries   = flag.Int("queries", 200, "sample queries per client")
-		n         = flag.Uint64("n", 4096, "sequence window size")
-		k         = flag.Int("k", 16, "sample size")
-		g         = flag.Int("g", 4, "shard count")
-		seed      = flag.Uint64("seed", 5, "sampler seed")
-		legacy    = flag.Bool("legacy", false, "baseline: pre-pipeline ingest and sequential shard queries")
-		fanout    = flag.Int("fanout", 0, "shard-query worker bound (0: min(GOMAXPROCS, 8); ignored with -legacy)")
-		label     = flag.String("label", "", "free-form label copied into the JSON summary")
+		urlFlag    = flag.String("url", "", "base URL of a running swserve; empty: hermetic in-process server")
+		name       = flag.String("name", "load", "sampler name to register and drive")
+		sampler    = flag.String("sampler", "sharded-weighted-wor", "seq-mode substrate to load")
+		clients    = flag.Int("clients", 4, "concurrent client goroutines")
+		batches    = flag.Int("batches", 50, "ingest batches per client")
+		batchSize  = flag.Int("batch-size", 100, "values per ingest batch")
+		queries    = flag.Int("queries", 200, "sample queries per client")
+		n          = flag.Uint64("n", 4096, "sequence window size")
+		k          = flag.Int("k", 16, "sample size")
+		g          = flag.Int("g", 4, "shard count")
+		seed       = flag.Uint64("seed", 5, "sampler seed")
+		legacy     = flag.Bool("legacy", false, "baseline: pre-pipeline ingest and sequential shard queries")
+		fanout     = flag.Int("fanout", 0, "shard-query worker bound (0: min(GOMAXPROCS, 8); ignored with -legacy)")
+		label      = flag.String("label", "", "free-form label copied into the JSON summary")
+		tenants    = flag.Int("tenants", 0, "fabric mode: spread the workload over this many tenants (0: one named sampler)")
+		tenantSkew = flag.Float64("tenant-skew", 1.1, "zipf exponent for the tenant pick distribution (<=0: uniform)")
 	)
 	flag.Parse()
 
@@ -107,11 +125,24 @@ func main() {
 		parallel.SetQueryFanout(*fanout)
 	}
 
-	spec := serve.Spec{Mode: "seq", Sampler: *sampler, N: *n, K: *k, G: *g, Seed: *seed}
+	samplerName := *sampler
+	if *tenants > 0 {
+		// Fabrics parallelize across tenants, not within one sampler, and
+		// reject goroutine-owning sharded substrates.
+		samplerName = strings.TrimPrefix(samplerName, "sharded-")
+	}
+	spec := serve.Spec{Mode: "seq", Sampler: samplerName, N: *n, K: *k, G: *g, Seed: *seed}
+	if *tenants > 0 {
+		spec.G = 0
+	}
 	base := *urlFlag
 	if base == "" {
 		registry := serve.NewServer()
-		if _, err := registry.Register(*name, spec); err != nil {
+		if *tenants > 0 {
+			if _, err := registry.RegisterFabric(*name, spec, *tenants); err != nil {
+				fatal(err)
+			}
+		} else if _, err := registry.Register(*name, spec); err != nil {
 			fatal(err)
 		}
 		defer registry.Close()
@@ -125,10 +156,11 @@ func main() {
 		base = "http://" + ln.Addr().String()
 	} else {
 		base = strings.TrimRight(base, "/")
-		if err := registerRemote(base, *name, spec); err != nil {
+		if err := registerRemote(base, *name, spec, *tenants); err != nil {
 			fatal(err)
 		}
 	}
+	rt := newRoutes(base, *name, *tenants, *tenantSkew, *seed, *clients, *batches, *queries)
 
 	client := &http.Client{Transport: &http.Transport{
 		MaxIdleConns:        *clients * 2,
@@ -136,19 +168,27 @@ func main() {
 	}}
 
 	out := summary{
-		Label:     *label,
-		Pipelined: !*legacy,
-		Fanout:    parallel.QueryFanout(),
-		Clients:   *clients,
-		Batches:   *batches,
-		BatchSize: *batchSize,
-		Queries:   *queries,
-		Sampler:   *sampler,
+		Label:      *label,
+		Pipelined:  !*legacy,
+		Fanout:     parallel.QueryFanout(),
+		Clients:    *clients,
+		Batches:    *batches,
+		BatchSize:  *batchSize,
+		Queries:    *queries,
+		Sampler:    samplerName,
+		Tenants:    *tenants,
+		TenantSkew: *tenantSkew,
 	}
-	out.Ingest = runIngest(client, base, *name, *clients, *batches, *batchSize, 0)
-	out.Query = runQueries(client, base, *name, *clients, *queries)
+	if *tenants == 0 {
+		out.TenantSkew = 0
+	}
+	out.Ingest = runIngest(client, rt, *clients, *batches, *batchSize, 0)
+	out.Query = runQueries(client, rt, *clients, *queries)
 	out.MixedIngest, out.MixedSample, out.MixedWeight =
-		runMixed(client, base, *name, *clients, *batches, *batchSize)
+		runMixed(client, rt, *clients, *batches, *batchSize)
+	if *tenants > 0 {
+		out.LiveTenants = liveTenants(client, base, *name)
+	}
 
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -162,26 +202,85 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-// registerRemote creates the load sampler on an external server, tolerating
-// "already exists" so repeated runs can share one instance.
-func registerRemote(base, name string, spec serve.Spec) error {
-	body, err := json.Marshal(struct {
+// registerRemote creates the load sampler — or, with tenants > 0, the load
+// fabric — on an external server, tolerating "already exists" so repeated
+// runs can share one instance.
+func registerRemote(base, name string, spec serve.Spec, tenants int) error {
+	url := base + "/samplers"
+	var payload any = struct {
 		Name string     `json:"name"`
 		Spec serve.Spec `json:"spec"`
-	}{name, spec})
+	}{name, spec}
+	if tenants > 0 {
+		url = base + "/fabrics"
+		payload = struct {
+			Name       string     `json:"name"`
+			Spec       serve.Spec `json:"spec"`
+			MaxTenants int        `json:"maxTenants"`
+		}{name, spec, tenants}
+	}
+	body, err := json.Marshal(payload)
 	if err != nil {
 		return err
 	}
-	resp, err := http.Post(base+"/samplers", "application/json", bytes.NewReader(body))
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
 	io.Copy(io.Discard, resp.Body)
-	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusConflict {
-		return fmt.Errorf("register %q on %s: status %d", name, base, resp.StatusCode)
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusCreated, http.StatusConflict:
+		return nil
 	}
-	return nil
+	return fmt.Errorf("register %q on %s: status %d", name, base, resp.StatusCode)
+}
+
+// routes maps workload slots (global request indices) to URLs. Classic mode
+// always targets the one named sampler; tenant mode spreads requests over
+// /tenant/{fabric}/{id}/... following a precomputed Zipf pick sequence, so
+// the tenant mix is identical run to run. weight is nil when the mixed
+// wave's readers should stick to /sample.
+type routes struct {
+	ingest func(slot int) string
+	sample func(slot int) string
+	weight func(slot int) string
+}
+
+func newRoutes(base, name string, tenants int, skew float64, seed uint64, clients, batches, queries int) routes {
+	if tenants <= 0 {
+		return routes{
+			ingest: func(int) string { return base + "/ingest/" + name },
+			sample: func(int) string { return base + "/sample/" + name },
+			weight: func(int) string { return base + "/weight/" + name },
+		}
+	}
+	// Precompute the pick table sequentially from the run seed: slots
+	// consume it modulo its length, so every phase (and every rerun) sees
+	// the same skewed tenant mix regardless of goroutine interleaving.
+	total := clients * (2*batches + queries)
+	if total < 1024 {
+		total = 1024
+	}
+	picks := make([]int, total)
+	r := xrand.New(seed)
+	if skew > 0 {
+		z := xrand.NewZipf(r, skew, tenants)
+		for i := range picks {
+			picks[i] = int(z.Next())
+		}
+	} else {
+		for i := range picks {
+			picks[i] = int(r.Uint64n(uint64(tenants)))
+		}
+	}
+	tid := func(slot int) string {
+		return fmt.Sprintf("%s/tenant/%s/t%06d", base, name, picks[slot%len(picks)])
+	}
+	return routes{
+		ingest: func(slot int) string { return tid(slot) + "/ingest" },
+		sample: func(slot int) string { return tid(slot) + "/sample" },
+	}
 }
 
 // ingestBody builds one deterministic batch payload: weights cycle over a
@@ -208,8 +307,10 @@ func ingestBody(c, b, size int) string {
 }
 
 // runIngest drives one concurrent ingest wave; batchOffset keeps a second
-// wave's values distinct from the first.
-func runIngest(client *http.Client, base, name string, clients, batches, size, batchOffset int) phaseSummary {
+// wave's values distinct from the first. The slot passed to the route is
+// (client, batch) flattened, so the tenant pick for a given batch does not
+// depend on scheduling.
+func runIngest(client *http.Client, rt routes, clients, batches, size, batchOffset int) phaseSummary {
 	durs := make([][]time.Duration, clients)
 	retries := make([]int, clients)
 	var wg sync.WaitGroup
@@ -222,7 +323,7 @@ func runIngest(client *http.Client, base, name string, clients, batches, size, b
 				body := ingestBody(c, b+batchOffset, size)
 				for {
 					t0 := time.Now() //swlint:allow detrand timing harness: wall-clock throughput measurement only; never feeds sampler state or seeds
-					code, err := doPost(client, base+"/ingest/"+name, body)
+					code, err := doPost(client, rt.ingest(c*batches+b), body)
 					durs[c] = append(durs[c], time.Since(t0)) //swlint:allow detrand timing harness: wall-clock throughput measurement only; never feeds sampler state or seeds
 					if err != nil {
 						fatal(err)
@@ -260,7 +361,7 @@ func runIngest(client *http.Client, base, name string, clients, batches, size, b
 	}
 }
 
-func runQueries(client *http.Client, base, name string, clients, queries int) phaseSummary {
+func runQueries(client *http.Client, rt routes, clients, queries int) phaseSummary {
 	durs := make([][]time.Duration, clients)
 	var wg sync.WaitGroup
 	start := time.Now() //swlint:allow detrand timing harness: wall-clock throughput measurement only; never feeds sampler state or seeds
@@ -270,12 +371,14 @@ func runQueries(client *http.Client, base, name string, clients, queries int) ph
 			defer wg.Done()
 			for q := 0; q < queries; q++ {
 				t0 := time.Now() //swlint:allow detrand timing harness: wall-clock throughput measurement only; never feeds sampler state or seeds
-				code, err := doGet(client, base+"/sample/"+name)
+				code, err := doGet(client, rt.sample(c*queries+q))
 				durs[c] = append(durs[c], time.Since(t0)) //swlint:allow detrand timing harness: wall-clock throughput measurement only; never feeds sampler state or seeds
 				if err != nil {
 					fatal(err)
 				}
-				if code != http.StatusOK {
+				// Tenant-mode picks can land on a tenant with no arrivals yet;
+				// 404 is that route's documented answer, not a failure.
+				if code != http.StatusOK && code != http.StatusNotFound {
 					fatal(fmt.Errorf("sample status %d", code))
 				}
 			}
@@ -295,8 +398,9 @@ func runQueries(client *http.Client, base, name string, clients, queries int) ph
 }
 
 // runMixed reruns the ingest wave while an equal number of readers
-// alternate /sample and /weight, measuring read latency with writes hot.
-func runMixed(client *http.Client, base, name string, clients, batches, size int) (ingest, sample, weight phaseSummary) {
+// alternate /sample and /weight (tenant mode: /sample only), measuring read
+// latency with writes hot.
+func runMixed(client *http.Client, rt routes, clients, batches, size int) (ingest, sample, weight phaseSummary) {
 	sampleDurs := make([][]time.Duration, clients)
 	weightDurs := make([][]time.Duration, clients)
 	stop := make(chan struct{})
@@ -311,9 +415,9 @@ func runMixed(client *http.Client, base, name string, clients, batches, size int
 					return
 				default:
 				}
-				url, durs := base+"/sample/"+name, &sampleDurs[c]
-				if i%2 == 1 {
-					url, durs = base+"/weight/"+name, &weightDurs[c]
+				url, durs := rt.sample(i*clients+c), &sampleDurs[c]
+				if i%2 == 1 && rt.weight != nil {
+					url, durs = rt.weight(i*clients+c), &weightDurs[c]
 				}
 				t0 := time.Now() //swlint:allow detrand timing harness: wall-clock throughput measurement only; never feeds sampler state or seeds
 				code, err := doGet(client, url)
@@ -321,13 +425,13 @@ func runMixed(client *http.Client, base, name string, clients, batches, size int
 				if err != nil {
 					fatal(err)
 				}
-				if code != http.StatusOK {
+				if code != http.StatusOK && code != http.StatusNotFound {
 					fatal(fmt.Errorf("mixed query status %d", code))
 				}
 			}
 		}(c)
 	}
-	ingest = runIngest(client, base, name, clients, batches, size, batches)
+	ingest = runIngest(client, rt, clients, batches, size, batches)
 	close(stop)
 	readers.Wait()
 
@@ -357,6 +461,29 @@ func doPost(client *http.Client, url, body string) (int, error) {
 	defer resp.Body.Close()
 	io.Copy(io.Discard, resp.Body)
 	return resp.StatusCode, nil
+}
+
+// liveTenants reads the fabric listing and returns the named fabric's live
+// tenant count (0 if the listing is unavailable — diagnostics, not a gate).
+func liveTenants(client *http.Client, base, name string) int {
+	resp, err := client.Get(base + "/fabrics")
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	var infos []struct {
+		Name    string `json:"name"`
+		Tenants int    `json:"tenants"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&infos) != nil {
+		return 0
+	}
+	for _, info := range infos {
+		if info.Name == name {
+			return info.Tenants
+		}
+	}
+	return 0
 }
 
 func doGet(client *http.Client, url string) (int, error) {

@@ -22,6 +22,17 @@
 //	GET  /weight/{name}      (1±5%) active-weight oracle   [?at=<ts>]
 //	GET  /subsetsum/{name}   subset-sum estimate           [?at=&prefix=&contains=]
 //
+// With -fabric the initial registration is a multi-tenant FABRIC instead of
+// a single sampler: per-tenant samplers are stamped out lazily from the
+// spec on first ingest (DESIGN.md §9), capped at -max-tenants, under
+// /tenant/{fabric}/{tenant-id}/{ingest,sample,size,weight,subsetsum}; more
+// fabrics can be added at runtime with POST /fabrics.
+//
+// -pprof exposes net/http/pprof under /debug/pprof/ (off by default —
+// profiling endpoints are an information leak on an open port; never
+// served in smoke mode). Tenant-scale memory profiles are then one
+// `go tool pprof .../debug/pprof/heap` away.
+//
 // On SIGINT/SIGTERM the server shuts down gracefully: in-flight requests
 // finish, then every sampler drains its dispatcher barrier before its
 // shard goroutines stop.
@@ -62,6 +73,10 @@ func main() {
 		smoke   = flag.Bool("smoke", false, "run the fixed smoke scenario against an in-process server and exit")
 		golden  = flag.String("golden", "", "with -smoke: compare output against this golden file instead of printing")
 
+		fabric     = flag.Bool("fabric", false, "register the initial spec as a multi-tenant fabric instead of a single sampler")
+		maxTenants = flag.Int("max-tenants", 0, "with -fabric: tenant budget (0: serve.DefaultMaxTenants)")
+		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (never in smoke mode)")
+
 		defaults          = serve.DefaultHTTPTimeouts()
 		readHeaderTimeout = flag.Duration("read-header-timeout", defaults.ReadHeaderTimeout, "bound on reading a request's headers (slowloris protection)")
 		readTimeout       = flag.Duration("read-timeout", defaults.ReadTimeout, "bound on reading a whole request, body included")
@@ -84,15 +99,25 @@ func main() {
 		Seed: *seed, Weight: substrate.WeightSelector(*wfield),
 	}
 	registry := serve.NewServer()
-	inst, err := registry.Register(*name, spec)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "swserve:", err)
-		os.Exit(1)
+	if *fabric {
+		f, err := registry.RegisterFabric(*name, spec, *maxTenants)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "swserve:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "swserve: serving fabric %q (%s/%s, base seed %d, max %d tenants) on %s\n",
+			*name, spec.Mode, spec.Sampler, f.Spec().Seed, f.MaxTenants(), *addr)
+	} else {
+		inst, err := registry.Register(*name, spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "swserve:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "swserve: serving %q (%s/%s, seed %d) on %s\n",
+			*name, spec.Mode, spec.Sampler, inst.Spec().Seed, *addr)
 	}
-	fmt.Fprintf(os.Stderr, "swserve: serving %q (%s/%s, seed %d) on %s\n",
-		*name, spec.Mode, spec.Sampler, inst.Spec().Seed, *addr)
 
-	httpSrv := serve.NewHTTPServer(*addr, registry, serve.HTTPTimeouts{
+	httpSrv := serve.NewHTTPServer(*addr, buildHandler(registry, *pprofOn), serve.HTTPTimeouts{
 		ReadHeaderTimeout: *readHeaderTimeout,
 		ReadTimeout:       *readTimeout,
 		IdleTimeout:       *idleTimeout,

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"slidingsample/internal/serve"
+)
+
+// TestBuildHandlerPprofGating pins the -pprof contract: the profiling
+// endpoints exist exactly when the flag is set, and the registry routes are
+// served either way.
+func TestBuildHandlerPprofGating(t *testing.T) {
+	for _, on := range []bool{false, true} {
+		registry := serve.NewServer()
+		t.Cleanup(registry.Close)
+		h := buildHandler(registry, on)
+
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/pprof/cmdline", nil))
+		want := http.StatusNotFound
+		if on {
+			want = http.StatusOK
+		}
+		if rr.Code != want {
+			t.Errorf("pprof=%v: GET /debug/pprof/cmdline = %d, want %d", on, rr.Code, want)
+		}
+
+		rr = httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest("GET", "/healthz", nil))
+		if rr.Code != http.StatusOK {
+			t.Errorf("pprof=%v: GET /healthz = %d, want 200", on, rr.Code)
+		}
+	}
+}

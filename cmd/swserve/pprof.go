@@ -1,0 +1,26 @@
+package main
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// buildHandler wraps the registry in the process-level routes. With pprofOn
+// the net/http/pprof endpoints are mounted explicitly — NOT via the
+// package's init side effect on http.DefaultServeMux, which would expose
+// them unconditionally the moment anything served the default mux. Off is
+// the default: profiling endpoints leak heap contents and symbol names, so
+// they are opt-in per process (and the smoke scenario never passes them).
+func buildHandler(registry http.Handler, pprofOn bool) http.Handler {
+	if !pprofOn {
+		return registry
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", registry)
+	return mux
+}

@@ -109,6 +109,15 @@
 // DESIGN.md §7, BENCH_5.json (cmd/swload before/after rows) and
 // `go doc ./cmd/swserve`.
 //
+// Because one sampler is only O(k·log n) words, the serving layer also
+// scales the other axis: a multi-tenant FABRIC (swserve -fabric) keeps an
+// independently seeded sampler per tenant — lazily created on first
+// arrival through a striped keyed registry, state drawn from slab pools,
+// hundreds of bytes per idle tenant — so a single process serves
+// /tenant/{fabric}/{id}/... for hundreds of thousands to millions of live
+// tenants with per-tenant byte-determinism. See DESIGN.md §9 and
+// BENCH_6.json (naive-registry vs fabric rows).
+//
 // # One interface, many substrates
 //
 // All public samplers are thin generic adapters over the unified internal

@@ -38,7 +38,7 @@ import (
 var LockOrder = &analysis.Analyzer{
 	Name: "lockorder",
 	Doc: "check lock acquisition order against the declared serve hierarchy " +
-		"(Server.mu < Instance.mu < Instance.qmu < leaves), flag mutex value copies, " +
+		"(Server.mu < Instance.mu/tenantStripe.mu < Instance.qmu < leaves), flag mutex value copies, " +
 		"never-released locks, and manual Lock/Unlock pairs split across return paths",
 	Run: runLockOrder,
 }
@@ -57,6 +57,11 @@ type lockRank struct {
 // a strict leaf. statsMu is declared pre-emptively: Instance currently
 // publishes stats through the statsClean atomic, but if a stats mutex
 // ever appears it is leaf by contract.
+// The fabric side of serve adds two ranks: tenantStripe.mu guards one
+// registry stripe (rank 1, like Instance.mu — the two are never held
+// together, and equal ranks forbid nesting either way), and tenant.mu is a
+// strict leaf: a tenant's apply/query path must never reach back into the
+// stripe maps or any other lock.
 var lockHierarchy = map[string]map[string]lockRank{
 	"Server": {
 		"mu": {order: 0},
@@ -66,6 +71,12 @@ var lockHierarchy = map[string]map[string]lockRank{
 		"qmu":      {order: 2},
 		"oracleMu": {order: 3, leaf: true},
 		"statsMu":  {order: 3, leaf: true},
+	},
+	"tenantStripe": {
+		"mu": {order: 1},
+	},
+	"tenant": {
+		"mu": {order: 3, leaf: true},
 	},
 }
 

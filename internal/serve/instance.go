@@ -49,6 +49,71 @@ type stagedBatch struct {
 	weights []float64
 }
 
+// caps holds a built substrate behind its capability views. The registry
+// layers — the named Instance and the fabric's per-tenant holder — never
+// know concrete sampler types, only what each one can answer; wireCaps is
+// the single place the type assertions live.
+type caps struct {
+	ing ingester // always non-nil
+
+	// Optional capability views (nil when the substrate lacks them).
+	plain    stream.Sampler[string]      // Sample()
+	timed    stream.TimedSampler[string] // SampleAt(now)
+	weighted weightedIngester            // explicit ingest weights
+	sizer    interface{ SizeAt(int64) uint64 }
+	weigher  func(int64) float64                            // (1±ε) active-weight oracle
+	estAt    func(int64, func(string) bool) (float64, bool) // subset sum at a query time
+	est      func(pred func(string) bool) (float64, bool)   // subset sum, sequence windows
+	barrier  func()
+	closer   func()
+}
+
+// wireCaps wires a substrate's capabilities by type assertion.
+func wireCaps(built any) caps {
+	c := caps{ing: built.(ingester)}
+	if s, ok := built.(stream.Sampler[string]); ok {
+		c.plain = s
+	}
+	if s, ok := built.(stream.TimedSampler[string]); ok {
+		c.timed = s
+	}
+	if s, ok := built.(weightedIngester); ok {
+		c.weighted = s
+	}
+	if s, ok := built.(interface{ SizeAt(int64) uint64 }); ok {
+		c.sizer = s
+	}
+	if s, ok := built.(interface{ TotalWeightAt(int64) float64 }); ok {
+		c.weigher = s.TotalWeightAt
+	} else if s, ok := built.(interface{ WeightAt(int64) float64 }); ok {
+		// The sharded subset-sum estimator names its dispatcher-side
+		// weight oracle WeightAt (TotalAt is the HT estimate).
+		c.weigher = s.WeightAt
+	} else if s, ok := built.(interface{ TotalWeight() float64 }); ok {
+		// Sequence-window sharded weighted samplers: the oracle is clocked
+		// on the arrival index, so the query takes no time argument (and
+		// readClock already rejects at= in seq mode).
+		c.weigher = func(int64) float64 { return s.TotalWeight() }
+	}
+	if s, ok := built.(interface {
+		EstimateAt(int64, func(string) bool) (float64, bool)
+	}); ok {
+		c.estAt = s.EstimateAt
+	}
+	if s, ok := built.(interface {
+		Estimate(func(string) bool) (float64, bool)
+	}); ok {
+		c.est = s.Estimate
+	}
+	if s, ok := built.(interface{ Barrier() }); ok {
+		c.barrier = s.Barrier
+	}
+	if s, ok := built.(interface{ Close() }); ok {
+		c.closer = s.Close
+	}
+	return c
+}
+
 // Instance is one registered sampler: the substrate behind its capability
 // views, plus the concurrency machinery that maps HTTP concurrency onto
 // the single-goroutine sampler contract.
@@ -78,18 +143,8 @@ type Instance struct {
 	mu   sync.RWMutex
 	spec Spec
 
-	ing ingester // always non-nil
-
-	// Optional capability views (nil when the substrate lacks them).
-	plain    stream.Sampler[string]      // Sample()
-	timed    stream.TimedSampler[string] // SampleAt(now)
-	weighted weightedIngester            // explicit ingest weights
-	sizer    interface{ SizeAt(int64) uint64 }
-	weigher  func(int64) float64                            // (1±ε) active-weight oracle
-	estAt    func(int64, func(string) bool) (float64, bool) // subset sum at a query time
-	est      func(pred func(string) bool) (float64, bool)   // subset sum, sequence windows
-	barrier  func()
-	closer   func()
+	// The substrate behind its capability views (wireCaps).
+	caps
 
 	// Admission state, guarded by qmu. workCond wakes the applier when the
 	// queue goes non-empty (or shutdown begins); appliedCond wakes oracle
@@ -128,51 +183,10 @@ type Instance struct {
 	scratch []stream.Element[string]
 }
 
-// newInstance wires the substrate's capabilities by type assertion — the
-// registry never needs to know concrete sampler types, only what each one
-// can answer — and starts the instance's applier goroutine.
+// newInstance wires the substrate's capabilities (wireCaps) and starts the
+// instance's applier goroutine.
 func newInstance(spec Spec, built any) *Instance {
-	inst := &Instance{spec: spec, ing: built.(ingester)}
-	if s, ok := built.(stream.Sampler[string]); ok {
-		inst.plain = s
-	}
-	if s, ok := built.(stream.TimedSampler[string]); ok {
-		inst.timed = s
-	}
-	if s, ok := built.(weightedIngester); ok {
-		inst.weighted = s
-	}
-	if s, ok := built.(interface{ SizeAt(int64) uint64 }); ok {
-		inst.sizer = s
-	}
-	if s, ok := built.(interface{ TotalWeightAt(int64) float64 }); ok {
-		inst.weigher = s.TotalWeightAt
-	} else if s, ok := built.(interface{ WeightAt(int64) float64 }); ok {
-		// The sharded subset-sum estimator names its dispatcher-side
-		// weight oracle WeightAt (TotalAt is the HT estimate).
-		inst.weigher = s.WeightAt
-	} else if s, ok := built.(interface{ TotalWeight() float64 }); ok {
-		// Sequence-window sharded weighted samplers: the oracle is clocked
-		// on the arrival index, so the query takes no time argument (and
-		// readClock already rejects at= in seq mode).
-		inst.weigher = func(int64) float64 { return s.TotalWeight() }
-	}
-	if s, ok := built.(interface {
-		EstimateAt(int64, func(string) bool) (float64, bool)
-	}); ok {
-		inst.estAt = s.EstimateAt
-	}
-	if s, ok := built.(interface {
-		Estimate(func(string) bool) (float64, bool)
-	}); ok {
-		inst.est = s.Estimate
-	}
-	if s, ok := built.(interface{ Barrier() }); ok {
-		inst.barrier = s.Barrier
-	}
-	if s, ok := built.(interface{ Close() }); ok {
-		inst.closer = s.Close
-	}
+	inst := &Instance{spec: spec, caps: wireCaps(built)}
 	inst.workCond = sync.NewCond(&inst.qmu)
 	inst.appliedCond = sync.NewCond(&inst.qmu)
 	inst.queueCap = MaxQueuedIngestEvents

@@ -129,10 +129,15 @@ func TestIngestOverload(t *testing.T) {
 		inst.mu.Unlock()
 		t.Fatalf("overfull queue: got %v, want ErrOverloaded", err)
 	}
-	// The HTTP surface maps the same condition to 503.
-	code, body := post(t, ts.URL+"/ingest/q", `{"values":["g"],"timestamps":[4]}`)
+	// The HTTP surface maps the same condition to 503, with the Retry-After
+	// backoff hint (DESIGN.md §7: nothing was admitted — pause briefly and
+	// resend the SAME batch).
+	code, body, hdr := postHdr(t, ts.URL+"/ingest/q", `{"values":["g"],"timestamps":[4]}`)
 	inst.mu.Unlock()
 	wantStatus(t, code, 503, body)
+	if got := hdr.Get("Retry-After"); got != "1" {
+		t.Fatalf("503 Retry-After = %q, want %q", got, "1")
+	}
 
 	// Once the applier drains, admission succeeds again and the rejected
 	// batches left no trace: the count reflects exactly the admitted ones.

@@ -91,6 +91,22 @@ var (
 	// applier is not keeping up with admission. Surfaced as 503 so clients
 	// back off and retry instead of the queue growing without bound.
 	ErrOverloaded = errors.New("serve: ingest staging queue is full, retry later")
+	// ErrLineTooLong: one NDJSON ingest line exceeded the scanner's bound.
+	// Surfaced as 413 — the batch can be split, so the condition is the
+	// client's to fix, not transient.
+	ErrLineTooLong = errors.New("serve: NDJSON line exceeds the per-line limit")
+	// ErrUnknownFabric: no fabric registered under the requested name.
+	ErrUnknownFabric = errors.New("serve: unknown fabric name")
+	// ErrUnknownTenant: a query for a tenant that has never ingested
+	// (tenants are created lazily on first arrival; queries never create).
+	ErrUnknownTenant = errors.New("serve: unknown tenant (tenants are created on first ingest)")
+	// ErrTenantBudget: a first arrival that would exceed the fabric's tenant
+	// budget. Surfaced as 507 — admitting the tenant would commit memory the
+	// operator has capped, and the condition does not clear by retrying.
+	ErrTenantBudget = errors.New("serve: fabric tenant budget exhausted")
+	// ErrBadTenantID: a tenant id that is empty, too long, or carries
+	// path/whitespace characters.
+	ErrBadTenantID = errors.New("serve: tenant id must be non-empty, at most 128 bytes, without slashes or whitespace")
 )
 
 // Spec names a substrate the registry can serve — the shared

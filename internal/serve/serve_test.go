@@ -64,6 +64,22 @@ func post(t *testing.T, url, body string) (int, string) {
 	return do(t, http.MethodPost, url, "application/json", body)
 }
 
+// postHdr is post exposing the response headers (for header-contract
+// assertions like Retry-After on 503).
+func postHdr(t *testing.T, url, body string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, strings.TrimSpace(string(b)), resp.Header
+}
+
 func get(t *testing.T, url string) (int, string) {
 	return do(t, http.MethodGet, url, "", "")
 }

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"sync"
 
+	"slidingsample/internal/slab"
 	"slidingsample/internal/stream"
 )
 
@@ -26,19 +27,35 @@ import (
 //	GET  /weight/{name}      (1±ε) weight total oracle [?at=<ts>]
 //	GET  /subsetsum/{name}   HT subset-sum estimate    [?at=<ts>&prefix=&contains=]
 //
-// Close drains every instance (barrier, then shard shutdown) — call it
-// after the enclosing http.Server has finished its graceful Shutdown so no
-// handler is mid-flight.
+// Multi-tenant fabric routes (DESIGN.md §9; tenants are created lazily on
+// first ingest, and the fabric/sampler namespaces are independent):
+//
+//	GET  /fabrics                              list fabrics (name, spec, budget, live tenants)
+//	POST /fabrics                              register a fabric from a JSON {name, spec, maxTenants}
+//	POST /tenant/{fabric}/{id}/ingest          batched ingest, JSON or NDJSON
+//	GET  /tenant/{fabric}/{id}/sample          tenant sample             [?at=<ts>]
+//	GET  /tenant/{fabric}/{id}/size            tenant window size oracle [?at=<ts>]
+//	GET  /tenant/{fabric}/{id}/weight          tenant weight oracle      [?at=<ts>]
+//	GET  /tenant/{fabric}/{id}/subsetsum       tenant subset-sum         [?at=<ts>&prefix=&contains=]
+//
+// Close drains every instance (barrier, then shard shutdown) and seals
+// every fabric — call it after the enclosing http.Server has finished its
+// graceful Shutdown so no handler is mid-flight.
 type Server struct {
-	mu     sync.RWMutex
-	inst   map[string]*Instance
-	mux    *http.ServeMux
-	closed bool
+	mu      sync.RWMutex
+	inst    map[string]*Instance
+	fabrics map[string]*Fabric
+	mux     *http.ServeMux
+	closed  bool
 }
 
 // NewServer returns an empty registry serving the routes above.
 func NewServer() *Server {
-	s := &Server{inst: make(map[string]*Instance), mux: http.NewServeMux()}
+	s := &Server{
+		inst:    make(map[string]*Instance),
+		fabrics: make(map[string]*Fabric),
+		mux:     http.NewServeMux(),
+	}
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -49,6 +66,13 @@ func NewServer() *Server {
 	s.mux.HandleFunc("GET /size/{name}", s.handleSize)
 	s.mux.HandleFunc("GET /weight/{name}", s.handleWeight)
 	s.mux.HandleFunc("GET /subsetsum/{name}", s.handleSubsetSum)
+	s.mux.HandleFunc("GET /fabrics", s.handleFabricList)
+	s.mux.HandleFunc("POST /fabrics", s.handleFabricRegister)
+	s.mux.HandleFunc("POST /tenant/{fabric}/{id}/ingest", s.handleTenantIngest)
+	s.mux.HandleFunc("GET /tenant/{fabric}/{id}/sample", s.handleTenantSample)
+	s.mux.HandleFunc("GET /tenant/{fabric}/{id}/size", s.handleTenantSize)
+	s.mux.HandleFunc("GET /tenant/{fabric}/{id}/weight", s.handleTenantWeight)
+	s.mux.HandleFunc("GET /tenant/{fabric}/{id}/subsetsum", s.handleTenantSubsetSum)
 	return s
 }
 
@@ -84,30 +108,70 @@ func (s *Server) Get(name string) (*Instance, bool) {
 	return inst, ok
 }
 
-// Close drains every registered instance: each takes a final barrier (so
+// RegisterFabric builds the spec's fabric template and adds it under name.
+// Fabric names share the samplers' naming rules but live in their own
+// namespace (the routes never overlap).
+func (s *Server) RegisterFabric(name string, spec Spec, maxTenants int) (*Fabric, error) {
+	if name == "" || strings.ContainsAny(name, "/ \t\n") {
+		return nil, fmt.Errorf("serve: fabric name must be non-empty without slashes or whitespace")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if _, dup := s.fabrics[name]; dup {
+		return nil, ErrDuplicateName
+	}
+	f, err := NewFabric(spec, maxTenants)
+	if err != nil {
+		return nil, err
+	}
+	s.fabrics[name] = f
+	return f, nil
+}
+
+// GetFabric returns the named fabric.
+func (s *Server) GetFabric(name string) (*Fabric, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	f, ok := s.fabrics[name]
+	return f, ok
+}
+
+// Close drains every registered instance — each takes a final barrier (so
 // all dispatched elements are reflected in the shards) and then stops its
-// shard goroutines. Instances stay queryable; ingest is refused afterwards.
+// shard goroutines — and seals every fabric. Instances and tenants stay
+// queryable; ingest is refused afterwards.
 func (s *Server) Close() {
-	for _, in := range s.seal() {
+	insts, fabs := s.seal()
+	for _, f := range fabs {
+		f.Close()
+	}
+	for _, in := range insts {
 		in.Close()
 	}
 }
 
-// seal marks the registry closed and snapshots the instances under mu,
-// so the (slow, instance-draining) Close calls run with the registry
-// lock released. Returns nil when already closed.
-func (s *Server) seal() []*Instance {
+// seal marks the registry closed and snapshots the instances and fabrics
+// under mu, so the (slow, instance-draining) Close calls run with the
+// registry lock released. Returns nils when already closed.
+func (s *Server) seal() ([]*Instance, []*Fabric) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return nil
+		return nil, nil
 	}
 	s.closed = true
 	insts := make([]*Instance, 0, len(s.inst))
 	for _, in := range s.inst {
 		insts = append(insts, in)
 	}
-	return insts
+	fabs := make([]*Fabric, 0, len(s.fabrics))
+	for _, f := range s.fabrics {
+		fabs = append(fabs, f)
+	}
+	return insts, fabs
 }
 
 // ---------------------------------------------------------------------------
@@ -166,20 +230,46 @@ type RegisterRequest struct {
 	Spec Spec   `json:"spec"`
 }
 
+// FabricRegisterRequest is the POST /fabrics body. MaxTenants 0 selects
+// DefaultMaxTenants.
+type FabricRegisterRequest struct {
+	Name       string `json:"name"`
+	Spec       Spec   `json:"spec"`
+	MaxTenants int    `json:"maxTenants,omitempty"`
+}
+
+// FabricInfo is one GET /fabrics listing entry. Tenants is the live count;
+// per-tenant footprint walks are deliberately not offered here — a listing
+// that touched a million tenants per scrape would be its own overload.
+type FabricInfo struct {
+	Name       string `json:"name"`
+	Spec       Spec   `json:"spec"`
+	MaxTenants int    `json:"maxTenants"`
+	Tenants    int    `json:"tenants"`
+}
+
 type errResponse struct {
 	Error string `json:"error"`
 }
 
 // statusFor maps serving-layer errors onto HTTP statuses: requests that
 // can never succeed are 400, missing names 404, requests that conflict
-// with the instance's current stream state (clocks, shutdown) 409, and
-// transient overload — a full ingest staging queue — 503 (retryable).
+// with the instance's current stream state (clocks, shutdown) 409, an
+// oversized NDJSON line 413 (split the batch), transient overload — a full
+// ingest staging queue — 503 (retryable), and an exhausted tenant budget
+// 507 (the operator capped the fabric's memory; retrying will not help).
 func statusFor(err error) int {
 	switch {
-	case errors.Is(err, ErrUnknownSampler):
+	case errors.Is(err, ErrUnknownSampler),
+		errors.Is(err, ErrUnknownFabric),
+		errors.Is(err, ErrUnknownTenant):
 		return http.StatusNotFound
 	case errors.Is(err, ErrOverloaded):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrLineTooLong):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, ErrTenantBudget):
+		return http.StatusInsufficientStorage
 	case errors.Is(err, ErrDuplicateName),
 		errors.Is(err, ErrTimeBackwards),
 		errors.Is(err, ErrClockBackwards),
@@ -191,6 +281,12 @@ func statusFor(err error) int {
 	}
 }
 
+// retryAfterSeconds is the Retry-After hint on 503 responses. Overload
+// means the staging queue is full while the applier drains it continuously,
+// so the right client move is a short pause and a resend of the SAME batch
+// — nothing was admitted. DESIGN.md §7 documents the backoff contract.
+const retryAfterSeconds = "1"
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -199,7 +295,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeErr(w http.ResponseWriter, err error) {
-	writeJSON(w, statusFor(err), errResponse{Error: err.Error()})
+	status := statusFor(err)
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", retryAfterSeconds)
+	}
+	writeJSON(w, status, errResponse{Error: err.Error()})
 }
 
 // ---------------------------------------------------------------------------
@@ -298,20 +398,10 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	var req IngestRequest
-	ct := r.Header.Get("Content-Type")
-	if strings.HasPrefix(ct, "application/x-ndjson") {
-		parsed, err := parseNDJSON(r)
-		if err != nil {
-			writeErr(w, err)
-			return
-		}
-		req = parsed
-	} else {
-		if err := decodeJSONBody(r, &req); err != nil {
-			writeErr(w, err)
-			return
-		}
+	req, err := decodeIngestBody(r, IngestRequest{})
+	if err != nil {
+		writeErr(w, err)
+		return
 	}
 	count, err := inst.Ingest(req.Values, req.Timestamps, req.Weights)
 	if err != nil {
@@ -321,14 +411,39 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, IngestResponse{Ingested: len(req.Values), Count: count})
 }
 
-// parseNDJSON folds a stream of Records into one batch. Records must be
-// uniform: either every record carries ts or none, and either every record
-// carries weight or none (a ragged stream is a malformed batch).
-func parseNDJSON(r *http.Request) (IngestRequest, error) {
-	var req IngestRequest
+// decodeIngestBody parses an ingest request body — NDJSON under
+// Content-Type application/x-ndjson, a JSON IngestRequest otherwise —
+// appending into the slices req arrives with (the tenant handlers pass
+// slab-recycled scratch; the named path passes the zero value).
+func decodeIngestBody(r *http.Request, req IngestRequest) (IngestRequest, error) {
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/x-ndjson") {
+		return parseNDJSON(r, req)
+	}
+	if err := decodeJSONBody(r, &req); err != nil {
+		return req, err
+	}
+	return req, nil
+}
+
+// NDJSON scanner bounds: lines buffer through initialNDJSONBufBytes and may
+// grow to maxNDJSONLineBytes; a longer line is an explicit 413
+// (ErrLineTooLong) rather than bufio.Scanner's bare "token too long" — the
+// client can split the batch or switch to the JSON body.
+const (
+	initialNDJSONBufBytes = 64 << 10
+	maxNDJSONLineBytes    = 1 << 20
+)
+
+// parseNDJSON folds a stream of Records into one batch, appending into the
+// request's slices. Records must be uniform: either every record carries ts
+// or none, and either every record carries weight or none (a ragged stream
+// is a malformed batch). Presence is tracked explicitly — not by slice
+// nil-ness — because recycled scratch slices are non-nil while empty.
+func parseNDJSON(r *http.Request, req IngestRequest) (IngestRequest, error) {
 	sc := bufio.NewScanner(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sc.Buffer(make([]byte, initialNDJSONBufBytes), maxNDJSONLineBytes)
 	line := 0
+	var hasTS, hasW bool
 	for sc.Scan() {
 		raw := strings.TrimSpace(sc.Text())
 		line++
@@ -341,11 +456,15 @@ func parseNDJSON(r *http.Request) (IngestRequest, error) {
 		if err := dec.Decode(&rec); err != nil {
 			return req, fmt.Errorf("serve: bad NDJSON record on line %d: %w", line, err)
 		}
-		if (rec.TS != nil) != (req.Timestamps != nil) && len(req.Values) > 0 {
-			return req, fmt.Errorf("serve: ragged NDJSON batch: line %d switches ts presence", line)
-		}
-		if (rec.Weight != nil) != (req.Weights != nil) && len(req.Values) > 0 {
-			return req, fmt.Errorf("serve: ragged NDJSON batch: line %d switches weight presence", line)
+		if len(req.Values) == 0 {
+			hasTS, hasW = rec.TS != nil, rec.Weight != nil
+		} else {
+			if (rec.TS != nil) != hasTS {
+				return req, fmt.Errorf("serve: ragged NDJSON batch: line %d switches ts presence", line)
+			}
+			if (rec.Weight != nil) != hasW {
+				return req, fmt.Errorf("serve: ragged NDJSON batch: line %d switches weight presence", line)
+			}
 		}
 		req.Values = append(req.Values, rec.Value)
 		if rec.TS != nil {
@@ -356,6 +475,9 @@ func parseNDJSON(r *http.Request) (IngestRequest, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return req, fmt.Errorf("%w (%d bytes; split the batch or use the JSON body)", ErrLineTooLong, maxNDJSONLineBytes)
+		}
 		return req, fmt.Errorf("serve: bad NDJSON body: %w", err)
 	}
 	return req, nil
@@ -445,6 +567,179 @@ func (s *Server) handleSubsetSum(w http.ResponseWriter, r *http.Request) {
 		return strings.HasPrefix(v, prefix) && strings.Contains(v, contains)
 	}
 	est, sampled, err := inst.SubsetSum(at, pred)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SubsetSumResponse{OK: sampled, Estimate: est})
+}
+
+// ---------------------------------------------------------------------------
+// Fabric handlers
+// ---------------------------------------------------------------------------
+
+// Tenant request scratch: the decoded values/timestamps/weights slices are
+// dead the moment the fabric call returns (the fabric copies into its own
+// slab-recycled element batch and the substrates retain only the values),
+// so they recycle per request. The named-instance path cannot share this —
+// its pipelined admission RETAINS the batch in the staging queue.
+var (
+	tenantValuesPool  = slab.NewSlicePool[string](stream.MaxRecycledCap)
+	tenantTSPool      = slab.NewSlicePool[int64](stream.MaxRecycledCap)
+	tenantWeightsPool = slab.NewSlicePool[float64](stream.MaxRecycledCap)
+)
+
+func (s *Server) fabricFor(w http.ResponseWriter, r *http.Request) (*Fabric, bool) {
+	f, ok := s.GetFabric(r.PathValue("fabric"))
+	if !ok {
+		writeErr(w, fmt.Errorf("%w: %q", ErrUnknownFabric, r.PathValue("fabric")))
+		return nil, false
+	}
+	return f, true
+}
+
+// handleFabricList renders the fabric registry sorted by name.
+func (s *Server) handleFabricList(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.fabrics))
+	for name := range s.fabrics {
+		names = append(names, name)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	out := make([]FabricInfo, 0, len(names))
+	for _, name := range names {
+		f, ok := s.GetFabric(name)
+		if !ok {
+			continue
+		}
+		out = append(out, FabricInfo{
+			Name: name, Spec: f.Spec(),
+			MaxTenants: f.MaxTenants(), Tenants: f.Tenants(),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleFabricRegister(w http.ResponseWriter, r *http.Request) {
+	var req FabricRegisterRequest
+	if err := decodeJSONBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	f, err := s.RegisterFabric(req.Name, req.Spec, req.MaxTenants)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, FabricInfo{
+		Name: req.Name, Spec: f.Spec(),
+		MaxTenants: f.MaxTenants(), Tenants: f.Tenants(),
+	})
+}
+
+// handleTenantIngest is handleIngest against a fabric tenant, with the
+// request scratch recycled through the tenant slab pools (a million thin
+// writers must not allocate three slices per request).
+func (s *Server) handleTenantIngest(w http.ResponseWriter, r *http.Request) {
+	f, ok := s.fabricFor(w, r)
+	if !ok {
+		return
+	}
+	req, err := decodeIngestBody(r, IngestRequest{
+		Values:     tenantValuesPool.Get(0),
+		Timestamps: tenantTSPool.Get(0),
+		Weights:    tenantWeightsPool.Get(0),
+	})
+	if err == nil {
+		var count uint64
+		count, err = f.Ingest(r.PathValue("id"), req.Values, req.Timestamps, req.Weights)
+		if err == nil {
+			writeJSON(w, http.StatusOK, IngestResponse{Ingested: len(req.Values), Count: count})
+		}
+	}
+	if err != nil {
+		writeErr(w, err)
+	}
+	tenantValuesPool.Put(req.Values)
+	tenantTSPool.Put(req.Timestamps)
+	tenantWeightsPool.Put(req.Weights)
+}
+
+func (s *Server) handleTenantSample(w http.ResponseWriter, r *http.Request) {
+	f, ok := s.fabricFor(w, r)
+	if !ok {
+		return
+	}
+	at, err := atParam(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	es, sampled, err := f.Sample(r.PathValue("id"), at)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	resp := SampleResponse{OK: sampled}
+	for _, e := range es {
+		resp.Sample = append(resp.Sample, SampledElement{Value: e.Value, Index: e.Index, TS: e.TS})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleTenantSize(w http.ResponseWriter, r *http.Request) {
+	f, ok := s.fabricFor(w, r)
+	if !ok {
+		return
+	}
+	at, err := atParam(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	n, err := f.Size(r.PathValue("id"), at)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]uint64{"size": n})
+}
+
+func (s *Server) handleTenantWeight(w http.ResponseWriter, r *http.Request) {
+	f, ok := s.fabricFor(w, r)
+	if !ok {
+		return
+	}
+	at, err := atParam(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	wt, err := f.Weight(r.PathValue("id"), at)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]float64{"weight": wt})
+}
+
+func (s *Server) handleTenantSubsetSum(w http.ResponseWriter, r *http.Request) {
+	f, ok := s.fabricFor(w, r)
+	if !ok {
+		return
+	}
+	at, err := atParam(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	q := r.URL.Query()
+	prefix, contains := q.Get("prefix"), q.Get("contains")
+	pred := func(v string) bool {
+		return strings.HasPrefix(v, prefix) && strings.Contains(v, contains)
+	}
+	est, sampled, err := f.SubsetSum(r.PathValue("id"), at, pred)
 	if err != nil {
 		writeErr(w, err)
 		return

@@ -1,0 +1,88 @@
+// Package slab provides typed free-lists for the small fixed-shape scratch
+// blocks the serving layer churns through on every request: element batches,
+// timestamp and weight runs, staging scratch. The samplers themselves retain
+// O(k·log n) words for their lifetime (DESIGN.md §6) and are NOT slab
+// candidates; what the multi-tenant fabric must avoid is paying a fresh
+// heap allocation per request for buffers whose shape is identical across
+// requests and across tenants.
+//
+// A SlicePool is a sync.Pool of slices with three house rules layered on
+// top:
+//
+//   - the stream.MaxRecycledCap discipline: buffers whose capacity grew past
+//     the cap are dropped, not recycled, so one pathological batch cannot
+//     pin a huge backing array in the pool forever;
+//   - recycled buffers are cleared to their full capacity before they are
+//     stored, so evicted payloads (strings, pointers) are not kept live by
+//     pool slack — the same rule the skyband insert path follows;
+//   - the slice headers themselves are boxed in reusable entries, so a
+//     Get/Put cycle is allocation-free in steady state (a bare
+//     sync.Pool.Put(s) would box the 24-byte header on every call).
+//
+// Pools are safe for concurrent use; the returned slices are not shared.
+package slab
+
+import "sync"
+
+// entry boxes a slice header so it can cross the sync.Pool any-interface
+// boundary without allocating. An entry lives in exactly one of the two
+// pools at a time: in slices while it carries a buffer, in boxes while it
+// waits to carry the next one.
+type entry[T any] struct{ s []T }
+
+// SlicePool is a typed free-list of []T scratch buffers. The zero value is
+// not usable; construct with NewSlicePool.
+type SlicePool[T any] struct {
+	slices sync.Pool // *entry[T] carrying a cleared buffer
+	boxes  sync.Pool // *entry[T] with s == nil, awaiting reuse
+	maxCap int
+}
+
+// NewSlicePool returns a pool that recycles buffers of capacity at most
+// maxCap (larger ones are dropped at Put). Panics if maxCap <= 0 — callers
+// pass stream.MaxRecycledCap or a deliberate bound, never a default.
+func NewSlicePool[T any](maxCap int) *SlicePool[T] {
+	if maxCap <= 0 {
+		panic("slab: NewSlicePool with maxCap <= 0")
+	}
+	return &SlicePool[T]{maxCap: maxCap}
+}
+
+// Get returns a slice of length n. When a recycled buffer with sufficient
+// capacity is available its storage is reused (contents are zero — Put
+// cleared them); otherwise a fresh slice is allocated. A recycled buffer
+// that is too small for n is dropped rather than returned to the pool: the
+// workload's batch sizes converge, so the pool fills back up with
+// full-sized buffers from the allocation path's Puts.
+func (p *SlicePool[T]) Get(n int) []T {
+	if v := p.slices.Get(); v != nil {
+		e := v.(*entry[T])
+		s := e.s
+		e.s = nil
+		p.boxes.Put(e)
+		if cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]T, n)
+}
+
+// Put recycles a buffer for a future Get. The buffer is cleared to its full
+// capacity first; the caller must not retain any alias to it. Buffers with
+// zero capacity or capacity beyond the pool's cap are dropped.
+func (p *SlicePool[T]) Put(s []T) {
+	c := cap(s)
+	if c == 0 || c > p.maxCap {
+		return
+	}
+	s = s[:c]
+	clear(s)
+	var e *entry[T]
+	if v := p.boxes.Get(); v != nil {
+		e = v.(*entry[T])
+	} else {
+		e = new(entry[T])
+	}
+	e.s = s[:0]
+	p.slices.Put(e)
+}

@@ -75,9 +75,13 @@ type node[T any] struct {
 // shared core of WOR (one skyband with parameter k) and WR (k independent
 // skybands with parameter 1).
 type skyband[T any] struct {
-	win   window.Sequence
-	k     int
-	rng   *xrand.Rand
+	win window.Sequence
+	k   int
+	// rng is embedded by value (SplitValue, not Split): the multi-tenant
+	// fabric packs millions of skybands into one process, and 32 bytes
+	// inline beats a pointer plus a separate 32-byte heap object per
+	// skyband — k of them per WR sampler. The derived stream is identical.
+	rng   xrand.Rand
 	nodes []node[T]
 }
 
@@ -97,7 +101,7 @@ func drawLogKey(rng *xrand.Rand, w float64) float64 {
 // so a domination count never includes expired elements while the node is
 // active — which is exactly why beat >= k is a safe drop.
 func (s *skyband[T]) observe(e stream.Element[T], w float64) {
-	s.nodes = insertNode(s.nodes, s.k, e, w, drawLogKey(s.rng, w))
+	s.nodes = insertNode(s.nodes, s.k, e, w, drawLogKey(&s.rng, w))
 	i := 0
 	for i < len(s.nodes) && !s.win.Active(s.nodes[i].elem.Index, e.Index) {
 		i++
@@ -197,7 +201,7 @@ func NewWOR[T any](rng *xrand.Rand, n uint64, k int, weight func(T) float64) *WO
 		n:      n,
 		k:      k,
 		weight: weight,
-		sky:    skyband[T]{win: window.Sequence{N: n}, k: k, rng: rng.Split()},
+		sky:    skyband[T]{win: window.Sequence{N: n}, k: k, rng: rng.SplitValue()},
 	}
 	s.maxWords = s.Words()
 	return s
@@ -361,7 +365,7 @@ func NewWR[T any](rng *xrand.Rand, n uint64, k int, weight func(T) float64) *WR[
 	}
 	s := &WR[T]{n: n, k: k, weight: weight, insts: make([]skyband[T], k)}
 	for i := range s.insts {
-		s.insts[i] = skyband[T]{win: window.Sequence{N: n}, k: 1, rng: rng.Split()}
+		s.insts[i] = skyband[T]{win: window.Sequence{N: n}, k: 1, rng: rng.SplitValue()}
 	}
 	s.maxWords = s.Words()
 	return s

@@ -1,0 +1,46 @@
+package xrand
+
+// Per-tenant seed derivation for the multi-tenant sampler fabric
+// (internal/serve). A fabric holds ONE resolved base seed; every tenant's
+// sampler is seeded from (base, tenant id) so that each tenant's transcript
+// is byte-deterministic on its own, no matter how arrivals from other
+// tenants interleave with it. The derivation must therefore be a pure
+// function of its two inputs — no global state, no draw order.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// TenantSeed derives the deterministic seed for one tenant of a fabric with
+// the given base seed. The tenant id is hashed with FNV-1a (64-bit) and the
+// result is mixed with the base through two SplitMix64 finalizer rounds, the
+// same scramble New uses to fill generator state, so structurally similar
+// ids ("t1", "t2", ...) land on unrelated seeds.
+//
+// The result is never 0: seed 0 means "draw a fresh random seed" at the
+// public WithSeed surface and in substrate.ResolveSeed, which would silently
+// break the per-tenant determinism contract for the unlucky tenant whose
+// hash cancelled the base.
+func TenantSeed(base uint64, id string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= fnvPrime64
+	}
+	s := mix64(base + 0x9e3779b97f4a7c15)
+	s = mix64(s ^ h)
+	if s == 0 {
+		s = 0x9e3779b97f4a7c15
+	}
+	return s
+}
+
+// mix64 is the SplitMix64 finalizer: a bijective scramble with full
+// avalanche, so single-bit differences in (base, id) flip about half the
+// output bits.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

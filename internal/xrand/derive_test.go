@@ -1,0 +1,96 @@
+package xrand
+
+import "testing"
+
+func TestTenantSeedDeterministic(t *testing.T) {
+	a := TenantSeed(42, "alice")
+	b := TenantSeed(42, "alice")
+	if a != b {
+		t.Fatalf("TenantSeed not deterministic: %d vs %d", a, b)
+	}
+}
+
+func TestTenantSeedDistinguishesInputs(t *testing.T) {
+	base := uint64(42)
+	if TenantSeed(base, "alice") == TenantSeed(base, "bob") {
+		t.Fatalf("distinct ids collided under the same base")
+	}
+	if TenantSeed(base, "alice") == TenantSeed(base+1, "alice") {
+		t.Fatalf("distinct bases collided for the same id")
+	}
+	// Structurally similar ids must not land on related seeds; a weak mix
+	// (e.g. plain xor of hash and base) would make t1/t2 differ in one bit.
+	d := TenantSeed(base, "t1") ^ TenantSeed(base, "t2")
+	if n := popcount(d); n < 8 {
+		t.Fatalf("t1/t2 seeds differ in only %d bits; mixing too weak", n)
+	}
+}
+
+func TestTenantSeedNeverZero(t *testing.T) {
+	// Seed 0 means "draw a random seed" downstream, so TenantSeed must not
+	// emit it. The exact preimage of 0 is obscure; spot-check a spread of
+	// inputs including the adversarial-ish base that cancels the offset.
+	ids := []string{"", "a", "t0", "t1", "tenant-9999", "\x00\x00"}
+	bases := []uint64{0, 1, ^uint64(0), 0x9e3779b97f4a7c15}
+	for _, b := range bases {
+		for _, id := range ids {
+			if TenantSeed(b, id) == 0 {
+				t.Fatalf("TenantSeed(%d, %q) == 0", b, id)
+			}
+		}
+	}
+}
+
+func TestTenantSeedCollisionSweep(t *testing.T) {
+	// 64-bit FNV over short ids plus SplitMix64 mixing should see zero
+	// collisions over a 100k-tenant id space (birthday bound ~2.7e-10).
+	const n = 100_000
+	seen := make(map[uint64]int, n)
+	buf := []byte("t")
+	for i := 0; i < n; i++ {
+		buf = appendInt(buf[:1], i)
+		s := TenantSeed(7, string(buf))
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("seed collision between tenants %d and %d", prev, i)
+		}
+		seen[s] = i
+	}
+}
+
+func TestSplitValueMatchesSplit(t *testing.T) {
+	a := New(123)
+	b := New(123)
+	sa := a.Split()
+	sv := b.SplitValue()
+	for i := 0; i < 64; i++ {
+		if x, y := sa.Uint64(), sv.Uint64(); x != y {
+			t.Fatalf("draw %d: Split %d vs SplitValue %d", i, x, y)
+		}
+	}
+	// Parent streams must also stay in lockstep (both consumed one draw).
+	if x, y := a.Uint64(), b.Uint64(); x != y {
+		t.Fatalf("parent streams diverged: %d vs %d", x, y)
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+func appendInt(b []byte, v int) []byte {
+	if v == 0 {
+		return append(b, '0')
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(b, tmp[i:]...)
+}
