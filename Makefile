@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet lint lint-json lint-fix bench-quick bench-batch bench-smoke bench-tenants swbench-quick smoke-e18 smoke-e19 serve-smoke check ci
+.PHONY: all build test test-race vet lint lint-json lint-fix bench-quick bench-batch bench-smoke bench-tenants swbench-quick smoke-e18 smoke-e19 serve-smoke recover-smoke check ci
 
 all: build
 
@@ -87,6 +87,13 @@ smoke-e19:
 serve-smoke:
 	$(GO) run ./cmd/swserve -smoke -golden cmd/swserve/testdata/smoke.golden
 
+# Durability end to end (DESIGN.md §10): the kill-and-recover battery
+# (snapshot + WAL-tail replay vs an uninterrupted control, bit-for-bit
+# over HTTP), the wire snapshot/restore round trip, and the
+# snapshot-while-ingesting hammer — all under the race detector.
+recover-smoke:
+	$(GO) test -race -count=1 -run 'TestKillAndRecover|TestHTTPSnapshotRestoreRoundTrip|TestSnapshotWhileIngesting' ./internal/serve/
+
 # Fast benchmark smoke: fixed iteration counts so CI time is bounded.
 bench-quick:
 	$(GO) test -run xxx -bench . -benchtime 10000x ./...
@@ -117,6 +124,6 @@ bench-tenants:
 
 # lint runs right after vet/build so invariant violations fail the gate
 # before the slower race and smoke stages.
-check: vet build lint test test-race smoke-e18 smoke-e19 serve-smoke bench-smoke bench-tenants
+check: vet build lint test test-race smoke-e18 smoke-e19 serve-smoke recover-smoke bench-smoke bench-tenants
 
 ci: check

@@ -28,6 +28,15 @@
 // /tenant/{fabric}/{tenant-id}/{ingest,sample,size,weight,subsetsum}; more
 // fabrics can be added at runtime with POST /fabrics.
 //
+// With -state-dir the registry is DURABLE (DESIGN.md §10): each instance
+// keeps a binary snapshot plus an NDJSON ingest WAL in the directory, the
+// WAL is appended before a batch is acknowledged, snapshots are rewritten
+// every -snapshot-interval and at shutdown, and a restart restores the
+// snapshots and replays the uncovered WAL tails before serving — a
+// recovered sampler resumes the exact random stream it was killed in.
+// Snapshots can also be taken and shipped over the wire with
+// POST /snapshot/{name} and POST /restore/{name}.
+//
 // -pprof exposes net/http/pprof under /debug/pprof/ (off by default —
 // profiling endpoints are an information leak on an open port; never
 // served in smoke mode). Tenant-scale memory profiles are then one
@@ -73,6 +82,9 @@ func main() {
 		smoke   = flag.Bool("smoke", false, "run the fixed smoke scenario against an in-process server and exit")
 		golden  = flag.String("golden", "", "with -smoke: compare output against this golden file instead of printing")
 
+		stateDir     = flag.String("state-dir", "", "durability directory: snapshots + ingest WALs; instances found there are recovered on start")
+		snapInterval = flag.Duration("snapshot-interval", 30*time.Second, "with -state-dir: periodic snapshot cadence (0: only on shutdown)")
+
 		fabric     = flag.Bool("fabric", false, "register the initial spec as a multi-tenant fabric instead of a single sampler")
 		maxTenants = flag.Int("max-tenants", 0, "with -fabric: tenant budget (0: serve.DefaultMaxTenants)")
 		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (never in smoke mode)")
@@ -99,7 +111,27 @@ func main() {
 		Seed: *seed, Weight: substrate.WeightSelector(*wfield),
 	}
 	registry := serve.NewServer()
-	if *fabric {
+	var sd *serve.StateDir
+	if *stateDir != "" {
+		var err error
+		sd, err = serve.OpenStateDir(*stateDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "swserve:", err)
+			os.Exit(1)
+		}
+		recovered, err := sd.Recover(registry)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "swserve:", err)
+			os.Exit(1)
+		}
+		if len(recovered) > 0 {
+			fmt.Fprintf(os.Stderr, "swserve: recovered %d sampler(s) from %s: %v\n", len(recovered), *stateDir, recovered)
+		}
+		registry.SetStateDir(sd)
+	}
+	if _, already := registry.Get(*name); already && !*fabric {
+		fmt.Fprintf(os.Stderr, "swserve: resuming recovered %q on %s\n", *name, *addr)
+	} else if *fabric {
 		f, err := registry.RegisterFabric(*name, spec, *maxTenants)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "swserve:", err)
@@ -125,6 +157,17 @@ func main() {
 	})
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+	if sd != nil && *snapInterval > 0 {
+		ticker := time.NewTicker(*snapInterval)
+		defer ticker.Stop()
+		go func() {
+			for range ticker.C {
+				if err := sd.SnapshotAll(); err != nil {
+					fmt.Fprintln(os.Stderr, "swserve: snapshot:", err)
+				}
+			}
+		}()
+	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 
@@ -146,5 +189,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "swserve: shutdown:", err)
 		}
 		registry.Close()
+		// A final snapshot after the drain: on a clean shutdown the WAL
+		// tail is empty and restart resumes without replay.
+		if sd != nil {
+			if err := sd.SnapshotAll(); err != nil {
+				fmt.Fprintln(os.Stderr, "swserve: snapshot:", err)
+			}
+		}
 	}
 }

@@ -118,6 +118,16 @@
 // tenants with per-tenant byte-determinism. See DESIGN.md §9 and
 // BENCH_6.json (naive-registry vs fabric rows).
 //
+// State survives restarts: every sampler carries a versioned binary
+// Snapshot/Restore pair (the public wrappers expose Snapshot methods and
+// RestoreSequenceWR/RestoreSequenceWOR/RestoreTimestampWR/
+// RestoreTimestampWOR), and a restored sampler resumes bit-identically —
+// same retained elements, same RNG position, same future draws. swserve
+// layers durability on top (-state-dir): periodic snapshots plus an
+// NDJSON ingest WAL appended before a batch is acknowledged, recovery on
+// start, and POST /snapshot / /restore for shipping state between
+// processes. See DESIGN.md §10.
+//
 // # One interface, many substrates
 //
 // All public samplers are thin generic adapters over the unified internal

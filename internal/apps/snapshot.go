@@ -1,0 +1,121 @@
+package apps
+
+import (
+	"io"
+
+	"slidingsample/internal/parallel"
+	"slidingsample/internal/snap"
+	"slidingsample/internal/weighted"
+)
+
+// Snapshot kind tags.
+const (
+	kindSubsetSum          = "apps.SubsetSum"
+	kindSubsetSumTS        = "apps.SubsetSumTS"
+	kindShardedSubsetSumTS = "apps.ShardedSubsetSumTS"
+)
+
+// The estimators are thin shells over their weighted samplers: the
+// persistent state is the sketch size plus the embedded sampler's body.
+// Weight functions are code, not state — every Restore* re-binds one.
+
+// Snapshot writes the estimator's full state (header included) to w.
+func (e *SubsetSum[T]) Snapshot(w io.Writer) error {
+	sw := snap.NewWriter(w, kindSubsetSum)
+	sw.Int(e.k)
+	weighted.EncodeWOR(sw, e.s)
+	return sw.Err()
+}
+
+// RestoreSubsetSum reads a SubsetSum snapshot, re-binding the given
+// weight function.
+func RestoreSubsetSum[T any](r io.Reader, weight func(T) float64) (*SubsetSum[T], error) {
+	sr, err := snap.NewReader(r, kindSubsetSum)
+	if err != nil {
+		return nil, err
+	}
+	e := &SubsetSum[T]{}
+	e.k = sr.Int()
+	if err := sr.Err(); err != nil {
+		return nil, err
+	}
+	if e.k < 1 {
+		return nil, snap.Errorf("apps.SubsetSum with k %d", e.k)
+	}
+	e.s = weighted.DecodeWOR(sr, weight)
+	if err := sr.Err(); err != nil {
+		return nil, err
+	}
+	if e.s.K() != e.k+1 {
+		return nil, snap.Errorf("apps.SubsetSum sketch slots %d != k+1 = %d", e.s.K(), e.k+1)
+	}
+	return e, nil
+}
+
+// Snapshot writes the estimator's full state (header included) to w.
+func (e *SubsetSumTS[T]) Snapshot(w io.Writer) error {
+	sw := snap.NewWriter(w, kindSubsetSumTS)
+	sw.Int(e.k)
+	weighted.EncodeTSWOR(sw, e.s)
+	return sw.Err()
+}
+
+// RestoreSubsetSumTS reads a SubsetSumTS snapshot, re-binding the given
+// weight function.
+func RestoreSubsetSumTS[T any](r io.Reader, weight func(T) float64) (*SubsetSumTS[T], error) {
+	sr, err := snap.NewReader(r, kindSubsetSumTS)
+	if err != nil {
+		return nil, err
+	}
+	e := &SubsetSumTS[T]{}
+	e.k = sr.Int()
+	if err := sr.Err(); err != nil {
+		return nil, err
+	}
+	if e.k < 1 {
+		return nil, snap.Errorf("apps.SubsetSumTS with k %d", e.k)
+	}
+	e.s = weighted.DecodeTSWOR(sr, weight)
+	if err := sr.Err(); err != nil {
+		return nil, err
+	}
+	if e.s.K() != e.k+1 {
+		return nil, snap.Errorf("apps.SubsetSumTS sketch slots %d != k+1 = %d", e.s.K(), e.k+1)
+	}
+	return e, nil
+}
+
+// Snapshot writes the estimator's full state (header included) to w. The
+// embedded sharded sampler drains an ingest barrier first; like every
+// method, Snapshot belongs to the producer goroutine.
+func (e *ShardedSubsetSumTS[T]) Snapshot(w io.Writer) error {
+	sw := snap.NewWriter(w, kindShardedSubsetSumTS)
+	sw.Int(e.k)
+	parallel.EncodeShardedWeightedTSWOR(sw, e.s)
+	return sw.Err()
+}
+
+// RestoreShardedSubsetSumTS reads a ShardedSubsetSumTS snapshot,
+// re-binding the given weight function, and starts the shard workers.
+func RestoreShardedSubsetSumTS[T any](r io.Reader, weight func(T) float64) (*ShardedSubsetSumTS[T], error) {
+	sr, err := snap.NewReader(r, kindShardedSubsetSumTS)
+	if err != nil {
+		return nil, err
+	}
+	e := &ShardedSubsetSumTS[T]{}
+	e.k = sr.Int()
+	if err := sr.Err(); err != nil {
+		return nil, err
+	}
+	if e.k < 1 {
+		return nil, snap.Errorf("apps.ShardedSubsetSumTS with k %d", e.k)
+	}
+	e.s = parallel.DecodeShardedWeightedTSWOR(sr, weight)
+	if err := sr.Err(); err != nil {
+		return nil, err
+	}
+	if e.s.K() != e.k+1 {
+		return nil, snap.Errorf("apps.ShardedSubsetSumTS sketch slots %d != k+1 = %d", e.s.K(), e.k+1)
+	}
+	return e, nil
+}

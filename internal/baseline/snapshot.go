@@ -1,0 +1,321 @@
+package baseline
+
+import (
+	"io"
+
+	"slidingsample/internal/snap"
+	"slidingsample/internal/window"
+)
+
+// Snapshot kind tags.
+const (
+	kindChain      = "baseline.Chain"
+	kindOversample = "baseline.Oversample"
+	kindPriority   = "baseline.Priority"
+	kindSkyband    = "baseline.Skyband"
+	kindFullWindow = "baseline.FullWindow"
+)
+
+// The decoders construct structs directly (never via New*): construction
+// splits generators that the snapshot already carries, and decoders must
+// return errors where constructors panic. See internal/core/snapshot.go.
+
+// ---------------------------------------------------------------------------
+// Chain / Oversample
+// ---------------------------------------------------------------------------
+
+func encodeChain[T any](w *snap.Writer, c *chain[T]) {
+	w.U64(c.n)
+	snap.WriteRand(w, c.rng)
+	w.U64(c.count)
+	w.Len(len(c.nodes))
+	for _, nd := range c.nodes {
+		snap.WriteStored(w, nd.st)
+		w.U64(nd.succ)
+	}
+}
+
+func decodeChain[T any](r *snap.Reader) *chain[T] {
+	c := &chain[T]{}
+	c.n = r.U64()
+	c.rng = snap.ReadRand(r)
+	c.count = r.U64()
+	if r.Err() != nil {
+		return c
+	}
+	if c.n == 0 || c.rng == nil {
+		r.Failf("baseline.chain with n %d", c.n)
+		return c
+	}
+	c.win = window.Sequence{N: c.n}
+	n := r.Len(-1)
+	c.nodes = make([]chainNode[T], 0, snap.CapHint(n))
+	for i := 0; i < n && r.Err() == nil; i++ {
+		st := snap.ReadStored[T](r)
+		succ := r.U64()
+		if st == nil && r.Err() == nil {
+			r.Failf("baseline.chain with nil node")
+			break
+		}
+		c.nodes = append(c.nodes, chainNode[T]{st: st, succ: succ})
+	}
+	return c
+}
+
+// Snapshot writes the sampler's full state (header included) to w.
+func (c *Chain[T]) Snapshot(w io.Writer) error {
+	sw := snap.NewWriter(w, kindChain)
+	encodeChainTop(sw, c)
+	return sw.Err()
+}
+
+func encodeChainTop[T any](w *snap.Writer, c *Chain[T]) {
+	w.U64(c.n)
+	w.Int(c.k)
+	w.Int(c.maxWords)
+	for _, ch := range c.chains {
+		encodeChain(w, ch)
+	}
+}
+
+// RestoreChain reads a Chain snapshot written by Snapshot.
+func RestoreChain[T any](r io.Reader) (*Chain[T], error) {
+	sr, err := snap.NewReader(r, kindChain)
+	if err != nil {
+		return nil, err
+	}
+	c := decodeChainTop[T](sr)
+	if err := sr.Err(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func decodeChainTop[T any](r *snap.Reader) *Chain[T] {
+	c := &Chain[T]{}
+	c.n = r.U64()
+	c.k = r.Int()
+	c.maxWords = r.Int()
+	if r.Err() != nil {
+		return c
+	}
+	if c.n == 0 || c.k <= 0 || c.k > snap.MaxParam {
+		r.Failf("baseline.Chain with n %d, k %d", c.n, c.k)
+		return c
+	}
+	c.chains = make([]*chain[T], c.k)
+	for i := 0; i < c.k && r.Err() == nil; i++ {
+		c.chains[i] = decodeChain[T](r)
+	}
+	return c
+}
+
+// Snapshot writes the sampler's full state (header included) to w.
+func (o *Oversample[T]) Snapshot(w io.Writer) error {
+	sw := snap.NewWriter(w, kindOversample)
+	sw.U64(o.n)
+	sw.Int(o.k)
+	sw.Int(o.factor)
+	snap.WriteRand(sw, o.rng)
+	sw.U64(o.failures)
+	sw.U64(o.queries)
+	encodeChainTop(sw, o.inner)
+	return sw.Err()
+}
+
+// RestoreOversample reads an Oversample snapshot written by Snapshot.
+func RestoreOversample[T any](r io.Reader) (*Oversample[T], error) {
+	sr, err := snap.NewReader(r, kindOversample)
+	if err != nil {
+		return nil, err
+	}
+	o := &Oversample[T]{}
+	o.n = sr.U64()
+	o.k = sr.Int()
+	o.factor = sr.Int()
+	o.rng = snap.ReadRand(sr)
+	o.failures = sr.U64()
+	o.queries = sr.U64()
+	if err := sr.Err(); err != nil {
+		return nil, err
+	}
+	if o.k <= 0 || o.factor < 1 || o.rng == nil {
+		return nil, snap.Errorf("baseline.Oversample with k %d, factor %d", o.k, o.factor)
+	}
+	o.inner = decodeChainTop[T](sr)
+	if err := sr.Err(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// ---------------------------------------------------------------------------
+// Priority / Skyband
+// ---------------------------------------------------------------------------
+
+// Snapshot writes the sampler's full state (header included) to w.
+func (p *Priority[T]) Snapshot(w io.Writer) error {
+	sw := snap.NewWriter(w, kindPriority)
+	sw.I64(p.t0)
+	sw.Int(p.k)
+	sw.U64(p.count)
+	sw.I64(p.now)
+	sw.Int(p.maxWords)
+	for _, c := range p.copies {
+		snap.WriteRand(sw, c.rng)
+		sw.Len(len(c.nodes))
+		for _, nd := range c.nodes {
+			snap.WriteStored(sw, nd.st)
+			sw.U64(nd.prio)
+		}
+	}
+	return sw.Err()
+}
+
+// RestorePriority reads a Priority snapshot written by Snapshot.
+func RestorePriority[T any](r io.Reader) (*Priority[T], error) {
+	sr, err := snap.NewReader(r, kindPriority)
+	if err != nil {
+		return nil, err
+	}
+	p := &Priority[T]{}
+	p.t0 = sr.I64()
+	p.k = sr.Int()
+	p.count = sr.U64()
+	p.now = sr.I64()
+	p.maxWords = sr.Int()
+	if err := sr.Err(); err != nil {
+		return nil, err
+	}
+	if p.t0 <= 0 || p.k <= 0 || p.k > snap.MaxParam {
+		return nil, snap.Errorf("baseline.Priority with t0 %d, k %d", p.t0, p.k)
+	}
+	p.copies = make([]*prio[T], p.k)
+	for i := 0; i < p.k && sr.Err() == nil; i++ {
+		c := &prio[T]{w: window.Timestamp{T0: p.t0}}
+		c.rng = snap.ReadRand(sr)
+		if sr.Err() == nil && c.rng == nil {
+			sr.Failf("baseline.prio missing rng")
+			break
+		}
+		n := sr.Len(-1)
+		c.nodes = make([]prioNode[T], 0, snap.CapHint(n))
+		for j := 0; j < n && sr.Err() == nil; j++ {
+			st := snap.ReadStored[T](sr)
+			pr := sr.U64()
+			if st == nil && sr.Err() == nil {
+				sr.Failf("baseline.prio with nil node")
+				break
+			}
+			c.nodes = append(c.nodes, prioNode[T]{st: st, prio: pr})
+		}
+		p.copies[i] = c
+	}
+	if err := sr.Err(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Snapshot writes the sampler's full state (header included) to w.
+func (s *Skyband[T]) Snapshot(w io.Writer) error {
+	sw := snap.NewWriter(w, kindSkyband)
+	sw.I64(s.t0)
+	sw.Int(s.k)
+	snap.WriteRand(sw, s.rng)
+	sw.U64(s.count)
+	sw.I64(s.now)
+	sw.Int(s.maxWords)
+	sw.Len(len(s.nodes))
+	for _, nd := range s.nodes {
+		snap.WriteStored(sw, nd.st)
+		sw.U64(nd.prio)
+		sw.Int(nd.dominated)
+	}
+	return sw.Err()
+}
+
+// RestoreSkyband reads a Skyband snapshot written by Snapshot.
+func RestoreSkyband[T any](r io.Reader) (*Skyband[T], error) {
+	sr, err := snap.NewReader(r, kindSkyband)
+	if err != nil {
+		return nil, err
+	}
+	s := &Skyband[T]{}
+	s.t0 = sr.I64()
+	s.k = sr.Int()
+	s.rng = snap.ReadRand(sr)
+	s.count = sr.U64()
+	s.now = sr.I64()
+	s.maxWords = sr.Int()
+	if err := sr.Err(); err != nil {
+		return nil, err
+	}
+	if s.t0 <= 0 || s.k <= 0 || s.rng == nil {
+		return nil, snap.Errorf("baseline.Skyband with t0 %d, k %d", s.t0, s.k)
+	}
+	s.w = window.Timestamp{T0: s.t0}
+	n := sr.Len(-1)
+	s.nodes = make([]skyNode[T], 0, snap.CapHint(n))
+	for i := 0; i < n && sr.Err() == nil; i++ {
+		st := snap.ReadStored[T](sr)
+		prio := sr.U64()
+		dominated := sr.Int()
+		if st == nil && sr.Err() == nil {
+			sr.Failf("baseline.Skyband with nil node")
+			break
+		}
+		s.nodes = append(s.nodes, skyNode[T]{st: st, prio: prio, dominated: dominated})
+	}
+	if err := sr.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ---------------------------------------------------------------------------
+// FullWindow
+// ---------------------------------------------------------------------------
+
+// Snapshot writes the sampler's full state (header included) to w. The
+// whole window content rides along — this is the store-everything
+// baseline, its snapshot is Θ(n) by construction.
+func (f *FullWindow[T]) Snapshot(w io.Writer) error {
+	sw := snap.NewWriter(w, kindFullWindow)
+	snap.WriteRand(sw, f.rng)
+	sw.U64(f.n)
+	sw.I64(f.lastTS)
+	sw.Int(f.k)
+	sw.Bool(f.wor)
+	sw.Int(f.maxWords)
+	window.EncodeSeqBuffer(sw, f.seq)
+	window.EncodeTSBuffer(sw, f.tsb)
+	return sw.Err()
+}
+
+// RestoreFullWindow reads a FullWindow snapshot written by Snapshot.
+func RestoreFullWindow[T any](r io.Reader) (*FullWindow[T], error) {
+	sr, err := snap.NewReader(r, kindFullWindow)
+	if err != nil {
+		return nil, err
+	}
+	f := &FullWindow[T]{}
+	f.rng = snap.ReadRand(sr)
+	f.n = sr.U64()
+	f.lastTS = sr.I64()
+	f.k = sr.Int()
+	f.wor = sr.Bool()
+	f.maxWords = sr.Int()
+	f.seq = window.DecodeSeqBuffer[T](sr)
+	f.tsb = window.DecodeTSBuffer[T](sr)
+	if err := sr.Err(); err != nil {
+		return nil, err
+	}
+	if f.rng == nil {
+		return nil, snap.Errorf("baseline.FullWindow missing rng")
+	}
+	if (f.seq == nil) == (f.tsb == nil) {
+		return nil, snap.Errorf("baseline.FullWindow needs exactly one buffer")
+	}
+	return f, nil
+}

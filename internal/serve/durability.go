@@ -1,0 +1,445 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"slidingsample/internal/snap"
+	"slidingsample/internal/stream"
+	"slidingsample/internal/substrate"
+)
+
+// Serving durability (DESIGN.md §10): an instance snapshot is the serve
+// layer's admission state (event count, stream clock) followed by the
+// substrate's own spec-headed snapshot, and a WAL is the existing NDJSON
+// ingest wire format — one Record line per admitted element, appended in
+// admission order before the batch is acknowledged. Recovery restores the
+// latest snapshot and replays the WAL records the snapshot does not cover
+// through the ordinary ingest path, so a recovered instance resumes
+// bit-identically to one that admitted the same stream and served no
+// randomness-drawing queries between the snapshot cut and the crash.
+
+// kindServeInstance heads a serving-layer instance snapshot.
+const kindServeInstance = "serve.Instance"
+
+// maxSnapshotBytes bounds a POST /restore body. Snapshots are k-sized, not
+// window-sized, for every substrate but the fullwindow baseline; this cap
+// comfortably covers the serving cap on that ring too.
+const maxSnapshotBytes = 1 << 30
+
+// Snapshot writes the instance's full state to w: the admission counters
+// and stream clock, then the substrate's spec-headed snapshot. The cut is
+// consistent — everything admitted before the cut is applied (staged
+// prefix drained, sharded ingest barriered) and everything admitted after
+// stays in the staging queue and the WAL.
+func (in *Instance) Snapshot(w io.Writer) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	// One qmu section fixes the cut: the staged prefix is dequeued and the
+	// admission counters are read atomically with it. Batches admitted
+	// after this point cannot be applied until we release mu, so the
+	// substrate below reflects exactly the first `events` elements.
+	in.qmu.Lock()
+	batches := in.queue
+	in.queue = nil
+	in.queuedEvents = 0
+	events, last, begun := in.events, in.last, in.begun
+	walSkip := events - in.walBase
+	in.qmu.Unlock()
+	in.applyLocked(batches)
+	if in.barrier != nil {
+		in.barrier()
+	}
+	sw := snap.NewWriter(w, kindServeInstance)
+	sw.U64(events)
+	sw.U64(walSkip)
+	sw.I64(last)
+	sw.Bool(begun)
+	if err := sw.Err(); err != nil {
+		return err
+	}
+	return substrate.Snapshot(w, in.spec, in.built)
+}
+
+// RestoreInstance reads an instance snapshot written by Snapshot and
+// rebuilds the instance mid-stream, applier goroutine included. The second
+// return is the number of WAL records the snapshot already covers — the
+// caller skips that many lines when replaying the instance's WAL.
+func RestoreInstance(r io.Reader) (*Instance, uint64, error) {
+	sr, err := snap.NewReader(r, kindServeInstance)
+	if err != nil {
+		return nil, 0, err
+	}
+	events := sr.U64()
+	walSkip := sr.U64()
+	last := sr.I64()
+	begun := sr.Bool()
+	if err := sr.Err(); err != nil {
+		return nil, 0, err
+	}
+	if walSkip > events {
+		return nil, 0, snap.Errorf("serve: snapshot covers %d wal records but admitted only %d events", walSkip, events)
+	}
+	spec, built, err := substrate.Restore(r)
+	if err != nil {
+		return nil, 0, err
+	}
+	closeBuilt := func() {
+		if c, ok := built.(interface{ Close() }); ok {
+			c.Close()
+		}
+	}
+	if err := validateServable(spec); err != nil {
+		closeBuilt()
+		return nil, 0, fmt.Errorf("%w: %v", snap.ErrFormat, err)
+	}
+	ing, ok := built.(ingester)
+	if !ok {
+		closeBuilt()
+		return nil, 0, snap.Errorf("serve: restored substrate %T is not servable", built)
+	}
+	// Every admitted element was applied before the snapshot cut, so the
+	// substrate's own count must match the admission counter exactly; a
+	// mismatch means a spliced snapshot.
+	if c := ing.Count(); c != events {
+		closeBuilt()
+		return nil, 0, snap.Errorf("serve: snapshot admitted %d events but the substrate counted %d", events, c)
+	}
+	inst := newInstance(spec, built)
+	inst.qmu.Lock()
+	inst.events, inst.last, inst.begun = events, last, begun
+	inst.qmu.Unlock()
+	return inst, walSkip, nil
+}
+
+// ---------------------------------------------------------------------------
+// WAL
+// ---------------------------------------------------------------------------
+
+// walFile is one instance's append-only ingest log. Appends happen under
+// the instance's admission mutex, so the log order is the admission order;
+// the file mutex only guards against the recovery compaction racing a
+// late append on a path that bypassed admission (none today — belt and
+// braces).
+type walFile struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func (w *walFile) append(buf []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.f.Write(buf); err != nil {
+		return fmt.Errorf("serve: wal append: %w", err)
+	}
+	return nil
+}
+
+func (w *walFile) sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Sync()
+}
+
+// encodeWALBatch renders one admitted batch as NDJSON Record lines — the
+// same wire format the ingest endpoint accepts, so a WAL is replayable
+// with nothing but the ordinary ingest path (or curl).
+func encodeWALBatch(elems []stream.Element[string], weights []float64, withTS bool) ([]byte, error) {
+	var buf bytes.Buffer
+	for i := range elems {
+		rec := Record{Value: elems[i].Value}
+		if withTS {
+			ts := elems[i].TS
+			rec.TS = &ts
+		}
+		if weights != nil {
+			w := weights[i]
+			rec.Weight = &w
+		}
+		b, err := json.Marshal(rec)
+		if err != nil {
+			return nil, fmt.Errorf("serve: wal encode: %w", err)
+		}
+		buf.Write(b)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes(), nil
+}
+
+// ---------------------------------------------------------------------------
+// State directory
+// ---------------------------------------------------------------------------
+
+// StateDir is a directory of per-instance durability state: <name>.snap is
+// the latest snapshot (written atomically via rename) and <name>.wal is
+// the NDJSON ingest log since that WAL file was created. Fabric tenants
+// are not persisted — a million thin tenants are cheap to refill from
+// their upstream, and per-tenant WAL fds would defeat the fabric's whole
+// memory design.
+type StateDir struct {
+	dir string
+
+	// mu guards the durable set and serializes file writes (two concurrent
+	// SnapshotAll calls must not race on the same temp file).
+	mu      sync.Mutex
+	durable map[string]*Instance
+}
+
+// OpenStateDir creates the directory if needed and returns the handle.
+func OpenStateDir(dir string) (*StateDir, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: state dir: %w", err)
+	}
+	return &StateDir{dir: dir, durable: make(map[string]*Instance)}, nil
+}
+
+func (sd *StateDir) snapPath(name string) string { return filepath.Join(sd.dir, name+".snap") }
+func (sd *StateDir) walPath(name string) string  { return filepath.Join(sd.dir, name+".wal") }
+
+// Enable makes an instance durable: a fresh (truncated) WAL starts at the
+// instance's current admission count, and an initial snapshot of the
+// current state is written — so the invariant "snapshot + uncovered WAL
+// records = full state" holds from the first acknowledged batch on. Call
+// it before the instance is published to a registry; the WAL hook is read
+// lock-free by the ingest paths.
+func (sd *StateDir) Enable(name string, in *Instance) error {
+	f, err := os.OpenFile(sd.walPath(name), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("serve: wal create: %w", err)
+	}
+	in.wal = &walFile{f: f}
+	in.qmu.Lock()
+	in.walBase = in.events
+	in.qmu.Unlock()
+	if err := sd.WriteSnapshot(name, in); err != nil {
+		return err
+	}
+	sd.mu.Lock()
+	sd.durable[name] = in
+	sd.mu.Unlock()
+	return nil
+}
+
+// WriteSnapshot snapshots the instance into <name>.snap via a temp file
+// and an atomic rename, fsyncing before the swap — a crash mid-write
+// leaves the previous snapshot intact.
+func (sd *StateDir) WriteSnapshot(name string, in *Instance) error {
+	sd.mu.Lock()
+	defer sd.mu.Unlock()
+	var buf bytes.Buffer
+	if err := in.Snapshot(&buf); err != nil {
+		return err
+	}
+	return sd.writeSnapBytesLocked(name, buf.Bytes())
+}
+
+// writeSnapBytes persists already-captured snapshot bytes (the /snapshot
+// endpoint streams the same bytes to the client).
+func (sd *StateDir) writeSnapBytes(name string, b []byte) error {
+	sd.mu.Lock()
+	defer sd.mu.Unlock()
+	return sd.writeSnapBytesLocked(name, b)
+}
+
+func (sd *StateDir) writeSnapBytesLocked(name string, b []byte) error {
+	tmp := sd.snapPath(name) + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("serve: snapshot write: %w", err)
+	}
+	_, werr := f.Write(b)
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("serve: snapshot write: %w", werr)
+	}
+	if err := os.Rename(tmp, sd.snapPath(name)); err != nil {
+		return fmt.Errorf("serve: snapshot write: %w", err)
+	}
+	return nil
+}
+
+// has reports whether the instance under name is durable in this dir.
+func (sd *StateDir) has(name string) bool {
+	sd.mu.Lock()
+	defer sd.mu.Unlock()
+	_, ok := sd.durable[name]
+	return ok
+}
+
+// SnapshotAll writes a fresh snapshot for every durable instance and
+// fsyncs every WAL, returning the first error after attempting all.
+func (sd *StateDir) SnapshotAll() error {
+	names := func() []string {
+		sd.mu.Lock()
+		defer sd.mu.Unlock()
+		ns := make([]string, 0, len(sd.durable))
+		for name := range sd.durable {
+			ns = append(ns, name)
+		}
+		return ns
+	}()
+	sort.Strings(names)
+	var firstErr error
+	for _, name := range names {
+		in := func() *Instance {
+			sd.mu.Lock()
+			defer sd.mu.Unlock()
+			return sd.durable[name]
+		}()
+		if in == nil {
+			continue
+		}
+		if err := in.wal.sync(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("serve: wal sync %q: %w", name, err)
+		}
+		if err := sd.WriteSnapshot(name, in); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("serve: snapshot %q: %w", name, err)
+		}
+	}
+	return firstErr
+}
+
+// Recover restores every <name>.snap in the directory, replays each WAL
+// tail, compacts (fresh snapshot, truncated WAL), and adopts the
+// recovered instances into the registry. It runs single-threaded at
+// startup, before the registry serves traffic.
+func (sd *StateDir) Recover(s *Server) ([]string, error) {
+	entries, err := os.ReadDir(sd.dir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: state dir: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".snap") {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), ".snap")
+		inst, err := sd.recoverOne(name)
+		if err != nil {
+			return names, fmt.Errorf("serve: recover %q: %w", name, err)
+		}
+		if err := s.Adopt(name, inst); err != nil {
+			inst.Close()
+			return names, err
+		}
+		names = append(names, name)
+	}
+	return names, nil
+}
+
+// recoverOne rebuilds one instance: restore the snapshot, replay the WAL
+// records it does not cover, then compact — truncate the WAL and write a
+// snapshot of the caught-up state, so WAL growth is bounded per process
+// lifetime.
+func (sd *StateDir) recoverOne(name string) (*Instance, error) {
+	f, err := os.Open(sd.snapPath(name))
+	if err != nil {
+		return nil, err
+	}
+	inst, walSkip, err := RestoreInstance(bufio.NewReader(f))
+	_ = f.Close()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sd.replayWAL(inst, name, walSkip); err != nil {
+		inst.Close()
+		return nil, err
+	}
+	if err := sd.Enable(name, inst); err != nil {
+		inst.Close()
+		return nil, err
+	}
+	return inst, nil
+}
+
+// replayWAL feeds the WAL records after the first skip through the
+// ordinary ingest path. A torn FINAL record — the crash interrupting an
+// append — is tolerated (that batch was never acknowledged); a corrupt
+// record anywhere else is an error.
+func (sd *StateDir) replayWAL(in *Instance, name string, skip uint64) (uint64, error) {
+	f, err := os.Open(sd.walPath(name))
+	if errors.Is(err, os.ErrNotExist) {
+		if skip != 0 {
+			return 0, fmt.Errorf("serve: snapshot covers %d wal records but %q has no wal", skip, name)
+		}
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, initialNDJSONBufBytes), maxNDJSONLineBytes)
+	var n, applied uint64
+	var torn error
+	for sc.Scan() {
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" {
+			continue
+		}
+		if torn != nil {
+			return applied, fmt.Errorf("serve: corrupt wal record %d for %q: %v", n, name, torn)
+		}
+		n++
+		var rec Record
+		if err := json.Unmarshal([]byte(raw), &rec); err != nil {
+			if n <= skip {
+				return applied, fmt.Errorf("serve: corrupt wal record %d for %q (covered by the snapshot): %v", n, name, err)
+			}
+			torn = err
+			continue
+		}
+		if n <= skip {
+			continue
+		}
+		if err := replayRecord(in, rec); err != nil {
+			return applied, fmt.Errorf("serve: wal replay record %d for %q: %w", n, name, err)
+		}
+		applied++
+	}
+	if err := sc.Err(); err != nil {
+		return applied, fmt.Errorf("serve: wal read %q: %w", name, err)
+	}
+	if n < skip {
+		return applied, fmt.Errorf("serve: wal for %q has %d records but the snapshot covers %d", name, n, skip)
+	}
+	return applied, nil
+}
+
+// replayRecord re-ingests one WAL record, waiting out transient staging
+// backpressure (the applier drains concurrently during replay).
+func replayRecord(in *Instance, rec Record) error {
+	values := []string{rec.Value}
+	var tss []int64
+	var ws []float64
+	if rec.TS != nil {
+		tss = []int64{*rec.TS}
+	}
+	if rec.Weight != nil {
+		ws = []float64{*rec.Weight}
+	}
+	for {
+		_, err := in.Ingest(values, tss, ws)
+		if errors.Is(err, ErrOverloaded) {
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		return err
+	}
+}

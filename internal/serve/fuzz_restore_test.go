@@ -1,0 +1,194 @@
+package serve
+
+// Restore hardening battery: arbitrary, truncated, corrupted, and
+// version-bumped snapshot bytes must make RestoreInstance return an
+// error — never panic, never hang, never leak a dispatcher goroutine.
+// The seed corpus is a set of REAL snapshots (one per representative
+// substrate family, fixed seeds) so the fuzzer starts inside the format
+// and mutates outward. Run the corpus with plain `go test`, or explore:
+//
+//	go test -fuzz FuzzRestoreInstance ./internal/serve/
+//
+// A successful restore of mutated bytes is fine (e.g. a flipped bit
+// inside an RNG word is just a different valid snapshot); the property
+// is that whatever comes back is a working instance that closes cleanly.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"slidingsample/internal/snap"
+)
+
+// fuzzSpecs covers one row per codec family: core seq/ts, baseline,
+// weighted, sharded, and the estimator apps.
+func fuzzSpecs() []Spec {
+	return []Spec{
+		{Mode: "seq", Sampler: "wor", N: 64, K: 4, Seed: 11},
+		{Mode: "seq", Sampler: "chain", N: 64, K: 3, Seed: 12},
+		{Mode: "seq", Sampler: "weighted-wr", N: 64, K: 3, Seed: 13},
+		{Mode: "ts", Sampler: "wor", T0: 16, K: 3, Seed: 14},
+		{Mode: "ts", Sampler: "fullwindow", T0: 16, K: 3, Seed: 15},
+		{Mode: "ts", Sampler: "sharded-weighted-ts-wor", T0: 16, K: 3, G: 4, Seed: 16},
+		{Mode: "ts", Sampler: "subsetsum-ts", T0: 16, K: 8, Seed: 17},
+	}
+}
+
+// seedBatch builds the deterministic element batch [start, start+count):
+// distinct values with a second whitespace field (so every weight
+// selector has something to chew on) and a half-rate timestamp clock.
+func seedBatch(spec Spec, start, count int) (values []string, timestamps []int64) {
+	values = make([]string, count)
+	if spec.Mode == "ts" {
+		timestamps = make([]int64, count)
+	}
+	for i := range values {
+		values[i] = fmt.Sprintf("v%03d extra", start+i)
+		if timestamps != nil {
+			timestamps[i] = int64((start + i) / 2)
+		}
+	}
+	return values, timestamps
+}
+
+// seedIngest pushes the deterministic batch [start, start+count) into inst.
+func seedIngest(t testing.TB, inst *Instance, start, count int) {
+	t.Helper()
+	values, timestamps := seedBatch(inst.Spec(), start, count)
+	if _, err := inst.Ingest(values, timestamps, nil); err != nil {
+		spec := inst.Spec()
+		t.Fatalf("Ingest(%s/%s): %v", spec.Mode, spec.Sampler, err)
+	}
+}
+
+// seedEvents is the ingest prefix captured by seedSnapshot and the
+// golden fixtures.
+const seedEvents = 48
+
+// seedSnapshot registers spec on a throwaway server, ingests the fixed
+// prefix, and returns the instance's snapshot bytes.
+func seedSnapshot(t testing.TB, spec Spec) []byte {
+	t.Helper()
+	s := NewServer()
+	defer s.Close()
+	inst, err := s.Register("seed", spec)
+	if err != nil {
+		t.Fatalf("Register(%s/%s): %v", spec.Mode, spec.Sampler, err)
+	}
+	seedIngest(t, inst, 0, seedEvents)
+	var buf bytes.Buffer
+	if err := inst.Snapshot(&buf); err != nil {
+		t.Fatalf("Snapshot(%s/%s): %v", spec.Mode, spec.Sampler, err)
+	}
+	return buf.Bytes()
+}
+
+// tryRestore feeds data to RestoreInstance and, when it succeeds, proves
+// the instance is live (query + close) so a semi-corrupt snapshot that
+// slips past validation still has to produce a working sampler.
+func tryRestore(t *testing.T, data []byte) {
+	t.Helper()
+	inst, _, err := RestoreInstance(bytes.NewReader(data))
+	if err != nil {
+		if inst != nil {
+			t.Fatalf("RestoreInstance returned both an instance and error %v", err)
+		}
+		return
+	}
+	if _, k, _, _ := inst.Stats(); k <= 0 {
+		t.Fatalf("restored instance reports k=%d", k)
+	}
+	inst.Close()
+}
+
+func FuzzRestoreInstance(f *testing.F) {
+	for _, spec := range fuzzSpecs() {
+		f.Add(seedSnapshot(f, spec))
+	}
+	f.Add([]byte{})
+	f.Add([]byte("SWS1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return
+		}
+		tryRestore(t, data)
+	})
+}
+
+// TestRestoreTruncated checks that every strict prefix of a valid
+// snapshot errors: the codec reads exactly what the encoder wrote, so a
+// byte missing anywhere must surface before the instance is built.
+func TestRestoreTruncated(t *testing.T) {
+	for _, spec := range fuzzSpecs() {
+		t.Run(spec.Mode+"/"+spec.Sampler, func(t *testing.T) {
+			data := seedSnapshot(t, spec)
+			step := 1
+			if len(data) > 2048 {
+				step = len(data) / 2048
+			}
+			for cut := 0; cut < len(data); cut += step {
+				inst, _, err := RestoreInstance(bytes.NewReader(data[:cut]))
+				if err == nil {
+					inst.Close()
+					t.Fatalf("restore of %d/%d-byte prefix succeeded", cut, len(data))
+				}
+			}
+		})
+	}
+}
+
+// TestRestoreCorrupted flips one byte at a time across the snapshot. A
+// flip may land in RNG state and still restore (a different valid
+// snapshot) — the invariant is no panic and a closeable result.
+func TestRestoreCorrupted(t *testing.T) {
+	for _, spec := range fuzzSpecs() {
+		t.Run(spec.Mode+"/"+spec.Sampler, func(t *testing.T) {
+			data := seedSnapshot(t, spec)
+			step := 1
+			if len(data) > 2048 {
+				step = len(data) / 2048
+			}
+			for i := 0; i < len(data); i += step {
+				mut := bytes.Clone(data)
+				mut[i] ^= 0xFF
+				tryRestore(t, mut)
+			}
+		})
+	}
+}
+
+// TestRestoreVersionBump checks a future-versioned snapshot is rejected
+// loudly with ErrFormat (offset 4 is the little-endian u16 version).
+func TestRestoreVersionBump(t *testing.T) {
+	data := seedSnapshot(t, fuzzSpecs()[0])
+	data[4], data[5] = 0xFE, 0xCA
+	inst, _, err := RestoreInstance(bytes.NewReader(data))
+	if err == nil {
+		inst.Close()
+		t.Fatal("restore of version-bumped snapshot succeeded")
+	}
+	if !errors.Is(err, snap.ErrFormat) {
+		t.Fatalf("version bump error = %v, want snap.ErrFormat", err)
+	}
+}
+
+// TestRestoreKindMismatch feeds a snapshot whose kind tag was rewritten;
+// the header check must refuse before any body decoding happens.
+func TestRestoreKindMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	sw := snap.NewWriter(&buf, "serve.SomethingElse")
+	sw.U64(0)
+	if err := sw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	inst, _, err := RestoreInstance(bytes.NewReader(buf.Bytes()))
+	if err == nil {
+		inst.Close()
+		t.Fatal("restore of wrong-kind snapshot succeeded")
+	}
+	if !errors.Is(err, snap.ErrFormat) {
+		t.Fatalf("kind mismatch error = %v, want snap.ErrFormat", err)
+	}
+}

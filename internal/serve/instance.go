@@ -181,12 +181,26 @@ type Instance struct {
 	// mu; the substrates consume batches synchronously, so it is reusable
 	// as soon as the observe call returns).
 	scratch []stream.Element[string]
+
+	// built is the substrate behind the capability views, kept for the
+	// snapshot codec (substrate.Snapshot re-resolves it by spec name).
+	built any
+
+	// wal, when non-nil, logs every admitted batch as NDJSON records for
+	// crash recovery (DESIGN.md §10). It is set before the instance is
+	// published to the registry and never changes afterwards, so the
+	// ingest paths read it without a lock. walBase (guarded by qmu) is the
+	// admitted-event count when the current WAL file was created or
+	// truncated; a snapshot records events-walBase so recovery knows how
+	// many WAL records it already covers.
+	wal     *walFile
+	walBase uint64
 }
 
 // newInstance wires the substrate's capabilities (wireCaps) and starts the
 // instance's applier goroutine.
 func newInstance(spec Spec, built any) *Instance {
-	inst := &Instance{spec: spec, caps: wireCaps(built)}
+	inst := &Instance{spec: spec, caps: wireCaps(built), built: built}
 	inst.workCond = sync.NewCond(&inst.qmu)
 	inst.appliedCond = sync.NewCond(&inst.qmu)
 	inst.queueCap = MaxQueuedIngestEvents
@@ -322,7 +336,17 @@ func (in *Instance) Ingest(values []string, timestamps []int64, weights []float6
 			elems[i].TS = timestamps[i]
 		}
 	}
-	return in.admit(elems, weights, first, lastTS)
+	// Encode the WAL records outside the locks; admit appends them under
+	// qmu so the log order IS the admission order.
+	var walBuf []byte
+	if in.wal != nil {
+		var err error
+		walBuf, err = encodeWALBatch(elems, weights, !in.seqMode())
+		if err != nil {
+			return 0, err
+		}
+	}
+	return in.admit(elems, weights, first, lastTS, walBuf)
 }
 
 // admit is Ingest's single qmu section: capacity and clock checks, then
@@ -330,7 +354,7 @@ func (in *Instance) Ingest(values []string, timestamps []int64, weights []float6
 // covers every rejection branch (the lockorder split-unlock rule); defer
 // costs nanoseconds against a batch admission, so the hot path permits
 // it.
-func (in *Instance) admit(elems []stream.Element[string], weights []float64, first, lastTS int64) (uint64, error) {
+func (in *Instance) admit(elems []stream.Element[string], weights []float64, first, lastTS int64, walBuf []byte) (uint64, error) {
 	in.qmu.Lock()
 	defer in.qmu.Unlock()
 	if in.closed {
@@ -339,10 +363,18 @@ func (in *Instance) admit(elems []stream.Element[string], weights []float64, fir
 	if in.queuedEvents+len(elems) > in.queueCap || len(in.queue) >= maxQueuedBatches {
 		return 0, ErrOverloaded
 	}
-	if !in.seqMode() {
-		if in.begun && first < in.last {
-			return 0, ErrTimeBackwards
+	if !in.seqMode() && in.begun && first < in.last {
+		return 0, ErrTimeBackwards
+	}
+	// Log before committing: a batch is only acknowledged once it is on
+	// disk, so a crash never loses acknowledged ingest. A failed append
+	// rejects the batch with the instance untouched.
+	if walBuf != nil {
+		if err := in.wal.append(walBuf); err != nil {
+			return 0, err
 		}
+	}
+	if !in.seqMode() {
 		in.last, in.begun = lastTS, true
 	}
 	in.queue = append(in.queue, stagedBatch{elems: elems, weights: weights})
@@ -383,6 +415,15 @@ func (in *Instance) ingestLegacy(values []string, timestamps []int64, weights []
 			e.TS = timestamps[i]
 		}
 		batch = append(batch, e)
+	}
+	if in.wal != nil {
+		buf, err := encodeWALBatch(batch, weights, !in.seqMode())
+		if err != nil {
+			return 0, err
+		}
+		if err := in.wal.append(buf); err != nil {
+			return 0, err
+		}
 	}
 	if weights != nil {
 		in.weighted.ObserveWeightedBatch(batch, weights)

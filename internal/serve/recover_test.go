@@ -1,0 +1,308 @@
+package serve
+
+// Kill-and-recover end-to-end battery (DESIGN.md §10). The durability
+// contract under test: a recovered instance (snapshot + WAL tail replay)
+// is indistinguishable — bit for bit, over HTTP — from a twin that never
+// crashed. The crash point sits BETWEEN a periodic snapshot and later
+// admitted batches, so recovery must stitch both sources together; and
+// because WAL replay re-admits elements one at a time, the battery also
+// pins batch-boundary invariance of the ingest path.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// httpTranscript runs the fixed query script against a server and
+// renders status + exact body for each request. Queries draw from the
+// sampler RNG in request order, so both servers must see the same script.
+func httpTranscript(t *testing.T, base, name string) string {
+	t.Helper()
+	var b strings.Builder
+	for _, path := range []string{
+		"/sample/" + name,
+		"/size/" + name,
+		"/weight/" + name,
+		"/subsetsum/" + name + "?contains=1",
+		"/sample/" + name,
+	} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&b, "GET %s -> %d %s\n", path, resp.StatusCode, body)
+	}
+	return b.String()
+}
+
+// httpIngest posts the deterministic batch [start, start+count) as one
+// JSON ingest request.
+func httpIngest(t *testing.T, base, name string, spec Spec, start, count int) {
+	t.Helper()
+	values, timestamps := seedBatch(spec, start, count)
+	payload := map[string]any{"values": values}
+	if timestamps != nil {
+		payload["timestamps"] = timestamps
+	}
+	body, err := json.Marshal(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/ingest/"+name, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		t.Fatalf("ingest %s [%d,%d): %d %s", name, start, start+count, resp.StatusCode, msg)
+	}
+}
+
+// TestKillAndRecover crashes a durable server after a snapshot AND two
+// more admitted batches, recovers into a fresh server from the state
+// directory, and requires its HTTP responses to be byte-identical to a
+// control server that never died.
+func TestKillAndRecover(t *testing.T) {
+	for _, spec := range fuzzSpecs() {
+		t.Run(spec.Mode+"/"+spec.Sampler, func(t *testing.T) {
+			// Control: the uninterrupted twin.
+			control := NewServer()
+			defer control.Close()
+			cinst, err := control.Register("d", spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seedIngest(t, cinst, 0, 48)
+			seedIngest(t, cinst, 48, 20)
+			seedIngest(t, cinst, 68, 12)
+
+			// Durable: snapshot covers the first 48 events, the WAL tail
+			// holds the remaining 32 admitted after the last snapshot.
+			dir := t.TempDir()
+			sd, err := OpenStateDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			victim := NewServer()
+			victim.SetStateDir(sd)
+			vinst, err := victim.Register("d", spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seedIngest(t, vinst, 0, 48)
+			if err := sd.SnapshotAll(); err != nil {
+				t.Fatal(err)
+			}
+			seedIngest(t, vinst, 48, 20)
+			seedIngest(t, vinst, 68, 12)
+			// "Kill": drain goroutines but write no final snapshot — the
+			// last 32 events exist only in the WAL.
+			victim.Close()
+
+			// Recover into a brand-new process-equivalent.
+			sd2, err := OpenStateDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			revived := NewServer()
+			defer revived.Close()
+			names, err := sd2.Recover(revived)
+			if err != nil {
+				t.Fatalf("recover: %v", err)
+			}
+			if len(names) != 1 || names[0] != "d" {
+				t.Fatalf("recovered %v, want [d]", names)
+			}
+			revived.SetStateDir(sd2)
+
+			controlSrv := httptest.NewServer(control)
+			defer controlSrv.Close()
+			revivedSrv := httptest.NewServer(revived)
+			defer revivedSrv.Close()
+
+			// Identical scripts from here on: queries, another ingest
+			// (exercising the recovered WAL), queries again.
+			got := httpTranscript(t, revivedSrv.URL, "d")
+			want := httpTranscript(t, controlSrv.URL, "d")
+			if got != want {
+				t.Fatalf("post-recovery transcript diverged:\n--- recovered\n%s--- control\n%s", got, want)
+			}
+			httpIngest(t, revivedSrv.URL, "d", spec, 80, 24)
+			httpIngest(t, controlSrv.URL, "d", spec, 80, 24)
+			got = httpTranscript(t, revivedSrv.URL, "d")
+			want = httpTranscript(t, controlSrv.URL, "d")
+			if got != want {
+				t.Fatalf("post-recovery resume diverged:\n--- recovered\n%s--- control\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestHTTPSnapshotRestoreRoundTrip ships a snapshot over the wire:
+// POST /snapshot on one server, POST /restore on another, then requires
+// the two to serve byte-identical responses.
+func TestHTTPSnapshotRestoreRoundTrip(t *testing.T) {
+	spec := Spec{Mode: "ts", Sampler: "sharded-weighted-ts-wor", T0: 16, K: 3, G: 4, Seed: 7}
+
+	src := NewServer()
+	defer src.Close()
+	inst, err := src.Register("d", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedIngest(t, inst, 0, 60)
+	srcSrv := httptest.NewServer(src)
+	defer srcSrv.Close()
+
+	resp, err := http.Post(srcSrv.URL+"/snapshot/d", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapBytes, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot: %d %s", resp.StatusCode, snapBytes)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst := NewServer()
+	defer dst.Close()
+	dstSrv := httptest.NewServer(dst)
+	defer dstSrv.Close()
+	resp, err = http.Post(dstSrv.URL+"/restore/d", "application/octet-stream", bytes.NewReader(snapBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("restore: %d %s", resp.StatusCode, msg)
+	}
+
+	for round := 0; round < 3; round++ {
+		start := 60 + round*15
+		httpIngest(t, srcSrv.URL, "d", spec, start, 15)
+		httpIngest(t, dstSrv.URL, "d", spec, start, 15)
+		got := httpTranscript(t, dstSrv.URL, "d")
+		want := httpTranscript(t, srcSrv.URL, "d")
+		if got != want {
+			t.Fatalf("round %d diverged:\n--- restored\n%s--- source\n%s", round, got, want)
+		}
+	}
+}
+
+// TestSnapshotWhileIngesting hammers a durable instance with concurrent
+// ingest, periodic snapshots, and queries (run under -race by
+// `make test-race` and `make recover-smoke`), then crash-recovers and
+// checks that every acknowledged element survived.
+func TestSnapshotWhileIngesting(t *testing.T) {
+	spec := Spec{Mode: "ts", Sampler: "sharded-weighted-ts-wor", T0: 16, K: 4, G: 4, Seed: 99}
+	dir := t.TempDir()
+	sd, err := OpenStateDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer()
+	s.SetStateDir(sd)
+	inst, err := s.Register("hammer", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		stop     = make(chan struct{})
+		admitted atomic.Uint64
+		wg       sync.WaitGroup
+	)
+	wg.Add(3)
+	go func() { // ingester: acknowledged == WAL-logged
+		defer wg.Done()
+		for start := 0; ; start += 8 {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			values, timestamps := seedBatch(spec, start, 8)
+			if _, err := inst.Ingest(values, timestamps, nil); err != nil {
+				if errors.Is(err, ErrOverloaded) {
+					start -= 8
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				t.Errorf("ingest: %v", err)
+				return
+			}
+			admitted.Add(8)
+		}
+	}()
+	go func() { // snapshotter
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if err := sd.SnapshotAll(); err != nil {
+					t.Errorf("snapshot: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	go func() { // querier
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				inst.Sample(nil)
+				inst.Stats()
+			}
+		}
+	}()
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	s.Close() // crash: no final snapshot
+
+	sd2, err := OpenStateDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	revived := NewServer()
+	defer revived.Close()
+	if _, err := sd2.Recover(revived); err != nil {
+		t.Fatalf("recover after hammer: %v", err)
+	}
+	rinst, ok := revived.Get("hammer")
+	if !ok {
+		t.Fatal("hammer instance not recovered")
+	}
+	count, _, _, _ := rinst.Stats()
+	if want := admitted.Load(); count != want {
+		t.Fatalf("recovered %d events, want every acknowledged one (%d)", count, want)
+	}
+}

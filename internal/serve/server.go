@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -26,6 +27,9 @@ import (
 //	GET  /size/{name}        (1±ε) window size oracle  [?at=<ts>]
 //	GET  /weight/{name}      (1±ε) weight total oracle [?at=<ts>]
 //	GET  /subsetsum/{name}   HT subset-sum estimate    [?at=<ts>&prefix=&contains=]
+//	POST /snapshot/{name}    stream the instance's binary snapshot (and persist
+//	                         it when a state dir is attached)
+//	POST /restore/{name}     register an instance from a snapshot body
 //
 // Multi-tenant fabric routes (DESIGN.md §9; tenants are created lazily on
 // first ingest, and the fabric/sampler namespaces are independent):
@@ -47,6 +51,11 @@ type Server struct {
 	fabrics map[string]*Fabric
 	mux     *http.ServeMux
 	closed  bool
+
+	// state, when set, makes registered and restored instances durable:
+	// Register and POST /restore enable a WAL + snapshot file per instance
+	// (DESIGN.md §10). Set it before the server takes traffic.
+	state *StateDir
 }
 
 // NewServer returns an empty registry serving the routes above.
@@ -66,6 +75,8 @@ func NewServer() *Server {
 	s.mux.HandleFunc("GET /size/{name}", s.handleSize)
 	s.mux.HandleFunc("GET /weight/{name}", s.handleWeight)
 	s.mux.HandleFunc("GET /subsetsum/{name}", s.handleSubsetSum)
+	s.mux.HandleFunc("POST /snapshot/{name}", s.handleSnapshot)
+	s.mux.HandleFunc("POST /restore/{name}", s.handleRestore)
 	s.mux.HandleFunc("GET /fabrics", s.handleFabricList)
 	s.mux.HandleFunc("POST /fabrics", s.handleFabricRegister)
 	s.mux.HandleFunc("POST /tenant/{fabric}/{id}/ingest", s.handleTenantIngest)
@@ -96,8 +107,56 @@ func (s *Server) Register(name string, spec Spec) (*Instance, error) {
 	if err != nil {
 		return nil, err
 	}
+	if s.state != nil {
+		if err := s.state.Enable(name, inst); err != nil {
+			inst.Close()
+			return nil, err
+		}
+	}
 	s.inst[name] = inst
 	return inst, nil
+}
+
+// SetStateDir attaches a durability directory: instances registered (or
+// restored over HTTP) afterwards get a WAL and snapshot file there. Call
+// it after StateDir.Recover and before the server takes traffic.
+func (s *Server) SetStateDir(sd *StateDir) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.state = sd
+}
+
+// stateDir returns the attached durability directory, if any.
+func (s *Server) stateDir() *StateDir {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.state
+}
+
+// Adopt inserts an already-built instance — a restored snapshot — under
+// name. Unlike Register it never builds and never touches the state dir;
+// recovery wires durability itself before adopting.
+func (s *Server) Adopt(name string, inst *Instance) error {
+	if name == "" || strings.ContainsAny(name, "/ \t\n") {
+		return fmt.Errorf("serve: sampler name must be non-empty without slashes or whitespace")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, dup := s.inst[name]; dup {
+		return ErrDuplicateName
+	}
+	s.inst[name] = inst
+	return nil
+}
+
+// drop removes a name from the registry (restore-endpoint unwind only).
+func (s *Server) drop(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.inst, name)
 }
 
 // Get returns the named instance.
@@ -572,6 +631,64 @@ func (s *Server) handleSubsetSum(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, SubsetSumResponse{OK: sampled, Estimate: est})
+}
+
+// handleSnapshot streams the instance's binary snapshot. When a state dir
+// is attached and the instance is durable there, the same bytes are also
+// persisted as the instance's latest on-disk snapshot — one consistent
+// cut, on disk and on the wire.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	inst, ok := s.instanceFor(w, r)
+	if !ok {
+		return
+	}
+	name := r.PathValue("name")
+	var buf bytes.Buffer
+	if err := inst.Snapshot(&buf); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if sd := s.stateDir(); sd != nil && sd.has(name) {
+		if err := sd.writeSnapBytes(name, buf.Bytes()); err != nil {
+			writeErr(w, err)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
+}
+
+// handleRestore registers an instance under {name} from a snapshot body
+// (the bytes POST /snapshot produced). The name must be free — restore
+// never replaces a live instance. Any WAL coverage the snapshot mentions
+// is irrelevant here: no WAL accompanies an HTTP body, and with a state
+// dir attached the instance starts a fresh one.
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	inst, _, err := RestoreInstance(bufio.NewReader(http.MaxBytesReader(nil, r.Body, maxSnapshotBytes)))
+	if err != nil {
+		writeErr(w, fmt.Errorf("serve: restore: %w", err))
+		return
+	}
+	if err := s.Adopt(name, inst); err != nil {
+		inst.Close()
+		writeErr(w, err)
+		return
+	}
+	if sd := s.stateDir(); sd != nil {
+		if err := sd.Enable(name, inst); err != nil {
+			s.drop(name)
+			inst.Close()
+			writeErr(w, err)
+			return
+		}
+	}
+	count, k, words, maxWords := inst.Stats()
+	writeJSON(w, http.StatusCreated, SamplerInfo{
+		Name: name, Spec: inst.Spec(),
+		Count: count, K: k, Words: words, MaxWords: maxWords,
+	})
 }
 
 // ---------------------------------------------------------------------------

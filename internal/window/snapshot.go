@@ -1,0 +1,90 @@
+package window
+
+import (
+	"slidingsample/internal/snap"
+	"slidingsample/internal/stream"
+)
+
+// Header-less body codecs for the exact materializers, used by the
+// full-window baseline's snapshot (the enclosing sampler owns the header).
+
+// EncodeSeqBuffer writes a SeqBuffer body (nil-aware) on a shared writer.
+// The ring is flattened to arrival order so the wire format is independent
+// of the in-memory cursor position.
+func EncodeSeqBuffer[T any](w *snap.Writer, b *SeqBuffer[T]) {
+	if b == nil {
+		w.Bool(false)
+		return
+	}
+	w.Bool(true)
+	w.U64(b.n)
+	contents := b.Contents()
+	w.Len(len(contents))
+	for _, e := range contents {
+		snap.WriteElement(w, e)
+	}
+}
+
+// DecodeSeqBuffer reads a SeqBuffer body written by EncodeSeqBuffer.
+func DecodeSeqBuffer[T any](r *snap.Reader) *SeqBuffer[T] {
+	if !r.Bool() {
+		return nil
+	}
+	n := r.U64()
+	if r.Err() != nil {
+		return nil
+	}
+	if n == 0 || n > snap.MaxParam {
+		r.Failf("window.SeqBuffer with n %d", n)
+		return nil
+	}
+	b := &SeqBuffer[T]{n: n, buf: make([]stream.Element[T], n)}
+	cnt := r.Len(int(n))
+	for i := 0; i < cnt && r.Err() == nil; i++ {
+		b.Observe(snap.ReadElement[T](r))
+	}
+	return b
+}
+
+// EncodeTSBuffer writes a TSBuffer body (nil-aware) on a shared writer.
+func EncodeTSBuffer[T any](w *snap.Writer, b *TSBuffer[T]) {
+	if b == nil {
+		w.Bool(false)
+		return
+	}
+	w.Bool(true)
+	w.I64(b.w.T0)
+	w.I64(b.now)
+	w.Bool(b.any)
+	w.Len(len(b.buf))
+	for _, e := range b.buf {
+		snap.WriteElement(w, e)
+	}
+}
+
+// DecodeTSBuffer reads a TSBuffer body written by EncodeTSBuffer.
+func DecodeTSBuffer[T any](r *snap.Reader) *TSBuffer[T] {
+	if !r.Bool() {
+		return nil
+	}
+	b := &TSBuffer[T]{}
+	b.w.T0 = r.I64()
+	b.now = r.I64()
+	b.any = r.Bool()
+	if r.Err() != nil {
+		return nil
+	}
+	if b.w.T0 <= 0 {
+		r.Failf("window.TSBuffer with t0 %d", b.w.T0)
+		return nil
+	}
+	n := r.Len(-1)
+	if r.Err() != nil {
+		return nil
+	}
+	b.buf = make([]stream.Element[T], 0, snap.CapHint(n))
+	for i := 0; i < n && r.Err() == nil; i++ {
+		b.buf = append(b.buf, snap.ReadElement[T](r))
+	}
+	return b
+}

@@ -205,6 +205,23 @@ func (r *Rand) Split() *Rand {
 	return New(r.Uint64())
 }
 
+// State returns the four 256-bit-state words of the generator, for
+// checkpointing. Together with SetState it round-trips the generator
+// exactly: a restored generator produces the identical future stream.
+func (r *Rand) State() (s0, s1, s2, s3 uint64) {
+	return r.s0, r.s1, r.s2, r.s3
+}
+
+// SetState overwrites the generator state with previously captured words.
+// The all-zero state is a xoshiro fixed point and is patched the same way
+// Seed patches it, so SetState is total even on corrupt input.
+func (r *Rand) SetState(s0, s1, s2, s3 uint64) {
+	r.s0, r.s1, r.s2, r.s3 = s0, s1, s2, s3
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s3 = 1
+	}
+}
+
 // SplitValue is Split without the heap allocation: the derived generator is
 // returned by value, for holders that embed their Rand inline. The sampler
 // fabric packs millions of per-tenant samplers into one process, so the

@@ -1,0 +1,132 @@
+package slidingsample
+
+import (
+	"io"
+
+	"slidingsample/internal/core"
+	"slidingsample/internal/snap"
+)
+
+// Checkpoint/restore for the public core samplers (DESIGN.md §10). A
+// snapshot captures the complete sampler state — window bookkeeping,
+// retained elements, and the full RNG state — so a restored sampler
+// resumes BIT-IDENTICALLY: under WithSeed, snapshot → restore → resume
+// produces exactly the byte stream the uninterrupted sampler would have.
+//
+// The sequence samplers delegate to their core codec directly (the public
+// adapter holds no state of its own); the timestamp samplers prepend the
+// adapter's monotone-clock guard so ErrTimeBackwards behavior survives a
+// restore too. The weighted and sharded PUBLIC wrappers carry opaque
+// per-element weights in their payloads and are not snapshotable through
+// this API — serve their stream through the serving layer (internal
+// substrates over string values), which snapshots every substrate in the
+// vocabulary, sharded dispatchers included.
+
+// Public snapshot kind tags (timestamp adapters only; sequence snapshots
+// reuse the core kind).
+const (
+	kindPublicTSWR  = "slidingsample.TimestampWR"
+	kindPublicTSWOR = "slidingsample.TimestampWOR"
+)
+
+// Snapshot writes the sampler's full state to w.
+func (s *SequenceWR[T]) Snapshot(w io.Writer) error {
+	return s.inner.(*core.SeqWR[T]).Snapshot(w)
+}
+
+// RestoreSequenceWR reads a SequenceWR snapshot written by Snapshot. The
+// restored sampler continues the snapshotted random stream: no seed is
+// involved, the RNG state rides the snapshot.
+func RestoreSequenceWR[T any](r io.Reader) (*SequenceWR[T], error) {
+	inner, err := core.RestoreSeqWR[T](r)
+	if err != nil {
+		return nil, err
+	}
+	s := &SequenceWR[T]{n: inner.N()}
+	s.inner = inner
+	return s, nil
+}
+
+// Snapshot writes the sampler's full state to w.
+func (s *SequenceWOR[T]) Snapshot(w io.Writer) error {
+	return s.inner.(*core.SeqWOR[T]).Snapshot(w)
+}
+
+// RestoreSequenceWOR reads a SequenceWOR snapshot written by Snapshot.
+func RestoreSequenceWOR[T any](r io.Reader) (*SequenceWOR[T], error) {
+	inner, err := core.RestoreSeqWOR[T](r)
+	if err != nil {
+		return nil, err
+	}
+	s := &SequenceWOR[T]{n: inner.N()}
+	s.inner = inner
+	return s, nil
+}
+
+// Snapshot writes the sampler's full state to w, the public adapter's
+// monotone clock included.
+func (s *TimestampWR[T]) Snapshot(w io.Writer) error {
+	sw := snap.NewWriter(w, kindPublicTSWR)
+	sw.I64(s.last)
+	sw.Bool(s.begun)
+	if err := sw.Err(); err != nil {
+		return err
+	}
+	return s.timed.(*core.TSWR[T]).Snapshot(w)
+}
+
+// RestoreTimestampWR reads a TimestampWR snapshot written by Snapshot.
+func RestoreTimestampWR[T any](r io.Reader) (*TimestampWR[T], error) {
+	sr, err := snap.NewReader(r, kindPublicTSWR)
+	if err != nil {
+		return nil, err
+	}
+	last := sr.I64()
+	begun := sr.Bool()
+	if err := sr.Err(); err != nil {
+		return nil, err
+	}
+	inner, err := core.RestoreTSWR[T](r)
+	if err != nil {
+		return nil, err
+	}
+	s := &TimestampWR[T]{t0: inner.Horizon()}
+	s.timed = inner
+	s.inner = inner
+	s.last, s.begun = last, begun
+	return s, nil
+}
+
+// Snapshot writes the sampler's full state to w, the public adapter's
+// monotone clock included.
+func (s *TimestampWOR[T]) Snapshot(w io.Writer) error {
+	sw := snap.NewWriter(w, kindPublicTSWOR)
+	sw.I64(s.last)
+	sw.Bool(s.begun)
+	if err := sw.Err(); err != nil {
+		return err
+	}
+	return s.timed.(*core.TSWOR[T]).Snapshot(w)
+}
+
+// RestoreTimestampWOR reads a TimestampWOR snapshot written by Snapshot.
+func RestoreTimestampWOR[T any](r io.Reader) (*TimestampWOR[T], error) {
+	sr, err := snap.NewReader(r, kindPublicTSWOR)
+	if err != nil {
+		return nil, err
+	}
+	last := sr.I64()
+	begun := sr.Bool()
+	if err := sr.Err(); err != nil {
+		return nil, err
+	}
+	inner, err := core.RestoreTSWOR[T](r)
+	if err != nil {
+		return nil, err
+	}
+	s := &TimestampWOR[T]{t0: inner.Horizon()}
+	s.timed = inner
+	s.inner = inner
+	s.last, s.begun = last, begun
+	return s, nil
+}
